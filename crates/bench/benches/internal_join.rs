@@ -1,0 +1,95 @@
+//! Microbenchmarks of the internal (in-memory) join algorithms across
+//! partition sizes — the §3.2.2 / §4.4.1 trade-off: nested loops win on tiny
+//! partitions (S³J), the interval trie wins on large ones (PBSM with big
+//! memory).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sweep::InternalAlgo;
+
+fn bench_partition_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("internal_join");
+    group.sample_size(10);
+    for n in [64usize, 1024, 16 * 1024] {
+        // TIGER-like line segments at a density giving realistic selectivity.
+        let r = datagen::LineNetwork {
+            count: n,
+            coverage: 0.15,
+            segments_per_line: 15,
+            seed: 1,
+        }
+        .generate();
+        let s = datagen::LineNetwork {
+            count: n,
+            coverage: 0.1,
+            segments_per_line: 15,
+            seed: 2,
+        }
+        .generate();
+        group.throughput(Throughput::Elements(n as u64));
+        for algo in InternalAlgo::ALL {
+            // The quadratic baseline becomes pointless beyond small inputs.
+            if algo == InternalAlgo::NestedLoops && n > 1024 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(algo.to_string(), n),
+                &(&r, &s),
+                |b, (r, s)| {
+                    b.iter(|| {
+                        let mut j = algo.create();
+                        let mut rv = r.to_vec();
+                        let mut sv = s.to_vec();
+                        let mut n = 0u64;
+                        j.join(&mut rv, &mut sv, &mut |_, _| n += 1);
+                        n
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_selectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("internal_join_selectivity");
+    group.sample_size(10);
+    let n = 8 * 1024;
+    for p in [1.0f64, 4.0] {
+        let base_r = datagen::LineNetwork {
+            count: n,
+            coverage: 0.15,
+            segments_per_line: 15,
+            seed: 3,
+        }
+        .generate();
+        let base_s = datagen::LineNetwork {
+            count: n,
+            coverage: 0.1,
+            segments_per_line: 15,
+            seed: 4,
+        }
+        .generate();
+        let r = datagen::scale(&base_r, p);
+        let s = datagen::scale(&base_s, p);
+        for algo in [InternalAlgo::PlaneSweepList, InternalAlgo::PlaneSweepTrie] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.to_string(), format!("p{p}")),
+                &(&r, &s),
+                |b, (r, s)| {
+                    b.iter(|| {
+                        let mut j = algo.create();
+                        let mut rv = r.to_vec();
+                        let mut sv = s.to_vec();
+                        let mut n = 0u64;
+                        j.join(&mut rv, &mut sv, &mut |_, _| n += 1);
+                        n
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition_sizes, bench_selectivity);
+criterion_main!(benches);

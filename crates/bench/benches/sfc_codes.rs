@@ -1,0 +1,66 @@
+//! §4.4.2 ablation: the cost of computing locational codes. The paper picks
+//! the Peano curve because curve choice affects neither I/O nor intersection
+//! tests — only the code computation itself — and Peano values are cheaper
+//! than Hilbert values.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfc::{cells_overlapping, size_level, Curve, MAX_LEVEL};
+
+fn bench_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locational_codes");
+    let cells: Vec<(u32, u32)> = (0..4096u32)
+        .map(|i| (i.wrapping_mul(2654435761) % 65536, i.wrapping_mul(40503) % 65536))
+        .collect();
+    group.throughput(Throughput::Elements(cells.len() as u64));
+    for curve in [Curve::Peano, Curve::Hilbert] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{curve:?}"), "level16"),
+            &cells,
+            |b, cells| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &(x, y) in cells.iter() {
+                        acc ^= curve.code(16, x, y);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_level_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("level_assignment");
+    let data = datagen::LineNetwork {
+        count: 8192,
+        coverage: 0.12,
+        segments_per_line: 15,
+        seed: 5,
+    }
+    .generate();
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("size_level+cells", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for k in &data {
+                let l = size_level(&k.rect, MAX_LEVEL);
+                acc += cells_overlapping(&k.rect, l).len();
+            }
+            acc
+        })
+    });
+    group.bench_function("mxcif_cell", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for k in &data {
+                acc ^= sfc::mxcif_cell(&k.rect, MAX_LEVEL).ix;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codes, bench_level_assignment);
+criterion_main!(benches);

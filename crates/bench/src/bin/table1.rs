@@ -1,0 +1,46 @@
+//! Table 1: the datasets — cardinalities and coverage.
+
+use bench::{banner, cal_st, la_rr, la_st, scale};
+use geom::dataset_stats;
+
+fn main() {
+    banner(
+        "Table 1",
+        "datasets used in the experiments",
+        "LA_RR: 128,971 MBRs cov 0.22 | LA_ST: 131,461 cov 0.03 | \
+         LA_RR(p)/LA_ST(p): coverage × p² | CAL_ST: 1,888,012 cov 0.12",
+    );
+    println!(
+        "{:<12} {:>12} {:>10}   description",
+        "dataset", "MBRs", "coverage"
+    );
+    let rows: Vec<(&str, &[geom::Kpe], &str)> = vec![
+        ("LA_RR", la_rr(), "railways and rivers, LA (synthetic equivalent)"),
+        ("LA_ST", la_st(), "streets, LA (synthetic equivalent)"),
+        ("CAL_ST", cal_st(), "streets, california (synthetic equivalent)"),
+    ];
+    for (name, data, desc) in rows {
+        let st = dataset_stats(data).unwrap();
+        println!(
+            "{:<12} {:>12} {:>10.3}   {}",
+            name, st.count, st.coverage, desc
+        );
+    }
+    // The scaled families.
+    for p in [2.0, 3.0, 4.0] {
+        for (name, data) in [("LA_RR", la_rr()), ("LA_ST", la_st())] {
+            let scaled = datagen::scale(data, p);
+            let st = dataset_stats(&scaled).unwrap();
+            println!(
+                "{:<12} {:>12} {:>10.3}   edges grown by {p}",
+                format!("{name}({p})"),
+                st.count,
+                st.coverage
+            );
+        }
+    }
+    if scale() < 1.0 {
+        println!();
+        println!("(cardinalities scaled by SJ_SCALE={}; coverage preserved)", scale());
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared plumbing for the experiment binaries (one per paper table/figure).
+//!
+//! Datasets are generated once per process and cached; the overall scale is
+//! controlled by the `SJ_SCALE` environment variable (`1.0` = the paper's
+//! full cardinalities; smaller values shrink every dataset proportionally
+//! for smoke runs, e.g. `SJ_SCALE=0.05`).
+//!
+//! Memory axes: the paper's KPE is ~20 bytes, ours is 40, so "the paper's
+//! M megabytes" corresponds to `2·M` of our bytes at `SJ_SCALE=1`; at
+//! smaller scales the budget shrinks with the data. Use [`paper_mem`].
+
+use std::sync::OnceLock;
+
+use geom::Kpe;
+use pbsm::{Dedup, PbsmConfig};
+use s3j::S3jConfig;
+use sweep::InternalAlgo;
+
+/// Seed shared by every experiment (determinism across binaries).
+pub const SEED: u64 = 2026;
+
+/// Global dataset scale factor (`SJ_SCALE`, default 1.0 = paper scale).
+pub fn scale() -> f64 {
+    std::env::var("SJ_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
+}
+
+fn cached(cell: &'static OnceLock<Vec<Kpe>>, cfg: datagen::LineNetwork) -> &'static [Kpe] {
+    cell.get_or_init(|| datagen::sized(&cfg, scale()).generate())
+}
+
+/// `LA_RR` equivalent (railways & rivers of LA; Table 1).
+pub fn la_rr() -> &'static [Kpe] {
+    static D: OnceLock<Vec<Kpe>> = OnceLock::new();
+    cached(&D, datagen::la_rr_config(SEED))
+}
+
+/// `LA_ST` equivalent (streets of LA; Table 1).
+pub fn la_st() -> &'static [Kpe] {
+    static D: OnceLock<Vec<Kpe>> = OnceLock::new();
+    cached(&D, datagen::la_st_config(SEED))
+}
+
+/// `CAL_ST` equivalent (streets of California; Table 1).
+pub fn cal_st() -> &'static [Kpe] {
+    static D: OnceLock<Vec<Kpe>> = OnceLock::new();
+    cached(&D, datagen::cal_st_config(SEED))
+}
+
+/// The joins of Table 2: J1–J4 are `LA_RR(p) ⋈ LA_ST(p)` for p = 1..4;
+/// J5 is the `CAL_ST` self join.
+pub fn join_inputs(p: u32) -> (Vec<Kpe>, Vec<Kpe>) {
+    assert!((1..=10).contains(&p));
+    let f = p as f64;
+    (datagen::scale(la_rr(), f), datagen::scale(la_st(), f))
+}
+
+/// Converts "the paper's M megabytes" into our bytes (40-byte KPEs vs the
+/// paper's ~20-byte KPEs ⇒ factor 2), scaled with the dataset scale.
+pub fn paper_mem(paper_mb: f64) -> usize {
+    ((paper_mb * 2.0 * 1024.0 * 1024.0) * scale()).max(4096.0) as usize
+}
+
+/// PBSM configuration shorthand.
+pub fn pbsm_cfg(mem: usize, internal: InternalAlgo, dedup: Dedup) -> PbsmConfig {
+    PbsmConfig {
+        mem_bytes: mem,
+        internal,
+        dedup,
+        ..Default::default()
+    }
+}
+
+/// S³J configuration shorthand.
+pub fn s3j_cfg(mem: usize, replicate: bool) -> S3jConfig {
+    S3jConfig {
+        mem_bytes: mem,
+        replicate,
+        ..Default::default()
+    }
+}
+
+/// Number of repetitions for noisy wall-clock measurements (`SJ_REPEAT`,
+/// default 1). Experiment binaries that measure CPU-heavy sweeps run each
+/// configuration this many times and report the median total time.
+pub fn repeats() -> usize {
+    std::env::var("SJ_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Runs `f` [`repeats`] times and returns the run with the median
+/// total-seconds value according to `key`.
+pub fn median_run<T, F, K>(mut f: F, key: K) -> T
+where
+    F: FnMut() -> T,
+    K: Fn(&T) -> f64,
+{
+    let mut runs: Vec<T> = (0..repeats()).map(|_| f()).collect();
+    runs.sort_by(|a, b| key(a).total_cmp(&key(b)));
+    let mid = runs.len() / 2;
+    runs.swap_remove(mid)
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, what: &str, paper_expectation: &str) {
+    println!("=== {id}: {what} ===");
+    println!("scale: {} (SJ_SCALE; 1.0 = paper cardinalities)", scale());
+    println!("paper expectation: {paper_expectation}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_inputs_scale_with_p() {
+        std::env::set_var("SJ_SCALE", "0.01");
+        let (r1, _) = join_inputs(1);
+        let (r2, _) = join_inputs(2);
+        assert_eq!(r1.len(), r2.len());
+        let a1: f64 = r1.iter().map(|k| k.rect.area()).sum();
+        let a2: f64 = r2.iter().map(|k| k.rect.area()).sum();
+        assert!((a2 / a1 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn median_run_picks_the_middle() {
+        std::env::set_var("SJ_REPEAT", "3");
+        let mut vals = [30.0, 10.0, 20.0].into_iter();
+        let got = median_run(|| vals.next().unwrap(), |v| *v);
+        assert_eq!(got, 20.0);
+        std::env::remove_var("SJ_REPEAT");
+    }
+
+    #[test]
+    fn paper_mem_scales() {
+        std::env::set_var("SJ_SCALE", "0.01");
+        assert!(paper_mem(2.5) < 2 * 1024 * 1024);
+    }
+}

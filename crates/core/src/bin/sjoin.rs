@@ -1,0 +1,265 @@
+//! `sjoin` — command-line spatial join runner.
+//!
+//! ```text
+//! sjoin [--left la_rr|la_st|cal_st|uniform|clustered]
+//!       [--right la_rr|la_st|cal_st|uniform|clustered|self]
+//!       [--algo pbsm|pbsm-trie|pbsm-sort|s3j|s3j-orig|sssj]
+//!       [--mem-mb <f64>] [--scale <f64>] [--p <f64>] [--seed <u64>]
+//!       [--limit <n>] [--refine] [--distance <eps>] [--stats]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! sjoin --scale 0.05                          # LA_RR ⋈ LA_ST with PBSM-RPM
+//! sjoin --algo s3j --mem-mb 2.5 --p 3         # S3J on LA_RR(3) ⋈ LA_ST(3)
+//! sjoin --left cal_st --right self --stats    # J5 with phase breakdown
+//! sjoin --refine --limit 5                    # exact road crossings
+//! ```
+
+use spatialjoin::{datagen, refine, Algorithm, InternalAlgo, JoinStats, SpatialJoin};
+
+struct Args {
+    left: String,
+    right: String,
+    algo: String,
+    mem_mb: f64,
+    scale: f64,
+    p: f64,
+    seed: u64,
+    limit: usize,
+    refine: bool,
+    distance: Option<f64>,
+    stats: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            left: "la_rr".into(),
+            right: "la_st".into(),
+            algo: "pbsm".into(),
+            mem_mb: 5.0,
+            scale: 0.05,
+            p: 1.0,
+            seed: 42,
+            limit: 0,
+            refine: false,
+            distance: None,
+            stats: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut val = |name: &str| -> Result<String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--left" => args.left = val("--left")?,
+                "--right" => args.right = val("--right")?,
+                "--algo" => args.algo = val("--algo")?,
+                "--mem-mb" => args.mem_mb = parse_num(&val("--mem-mb")?)?,
+                "--scale" => args.scale = parse_num(&val("--scale")?)?,
+                "--p" => args.p = parse_num(&val("--p")?)?,
+                "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--limit" => args.limit = val("--limit")?.parse().map_err(|e| format!("--limit: {e}"))?,
+                "--refine" => args.refine = true,
+                "--distance" => args.distance = Some(parse_num(&val("--distance")?)?),
+                "--stats" => args.stats = true,
+                "--help" | "-h" => {
+                    println!("{}", HELP);
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other} (try --help)")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 2000)
+  --left/--right  la_rr | la_st | cal_st | uniform | clustered | self (right only)
+  --algo          pbsm | pbsm-trie | pbsm-sort | s3j | s3j-orig | sssj | shj
+  --mem-mb N      memory budget in MiB                  (default 5)
+  --scale F       dataset scale, 1.0 = paper size       (default 0.05)
+  --p F           grow MBR edges by factor p            (default 1)
+  --seed N        dataset seed                          (default 42)
+  --limit N       print the first N result pairs
+  --refine        verify candidates against exact segment geometry
+  --distance EPS  eps-distance join instead of intersection (implies --refine)
+  --stats         print the phase breakdown";
+
+fn parse_num(v: &str) -> Result<f64, String> {
+    v.parse().map_err(|e| format!("bad number {v}: {e}"))
+}
+
+fn dataset(name: &str, scale: f64, seed: u64) -> Result<datagen::LineDataset, String> {
+    let cfg = match name {
+        "la_rr" => datagen::la_rr_config(seed),
+        "la_st" => datagen::la_st_config(seed),
+        "cal_st" => datagen::cal_st_config(seed),
+        "uniform" | "clustered" => datagen::LineNetwork {
+            count: (50_000_f64 * scale).max(16.0) as usize,
+            coverage: 0.1,
+            segments_per_line: if name == "clustered" { 60 } else { 2 },
+            seed,
+        },
+        other => return Err(format!("unknown dataset {other}")),
+    };
+    Ok(datagen::sized(&cfg, if matches!(name, "uniform" | "clustered") { 1.0 } else { scale })
+        .generate_dataset())
+}
+
+fn algorithm(name: &str, mem: usize) -> Result<Algorithm, String> {
+    Ok(match name {
+        "pbsm" => Algorithm::pbsm_rpm(mem),
+        "pbsm-trie" => {
+            let Algorithm::Pbsm(mut cfg) = Algorithm::pbsm_rpm(mem) else {
+                unreachable!()
+            };
+            cfg.internal = InternalAlgo::PlaneSweepTrie;
+            Algorithm::Pbsm(cfg)
+        }
+        "pbsm-sort" => Algorithm::pbsm_original(mem),
+        "s3j" => Algorithm::s3j_replicated(mem),
+        "s3j-orig" => Algorithm::s3j_original(mem),
+        "sssj" => Algorithm::sssj(mem),
+        "shj" => Algorithm::shj(mem),
+        other => return Err(format!("unknown algorithm {other}")),
+    })
+}
+
+fn print_phase_stats(stats: &JoinStats) {
+    match stats {
+        JoinStats::Pbsm(s) => {
+            println!("  partitions       : {} (grid {}x{})", s.partitions, s.grid.gx, s.grid.gy);
+            println!(
+                "  replication      : {} copies written (+{} while repartitioning)",
+                s.copies_r + s.copies_s,
+                s.repart_copies
+            );
+            println!("  repartitioned    : {} pairs", s.repartitioned_pairs);
+            println!("  candidates       : {}", s.candidates);
+            println!("  duplicates       : {}", s.duplicates);
+            println!("  intersection tests: {}", s.join_counters.tests);
+        }
+        JoinStats::S3j(s) => {
+            println!(
+                "  level copies     : {} / {} (r/s), {} levels occupied",
+                s.copies_r,
+                s.copies_s,
+                s.histogram_r.iter().filter(|&&n| n > 0).count()
+            );
+            println!("  sort runs        : {}", s.sort_runs);
+            println!("  candidates       : {}", s.candidates);
+            println!("  duplicates       : {}", s.duplicates);
+            println!("  intersection tests: {}", s.join_counters.tests);
+        }
+        JoinStats::Sssj(s) => {
+            println!("  sort runs        : {} + {}", s.sort_r.runs, s.sort_s.runs);
+            println!("  peak sweep status: {} rects", s.peak_status);
+            println!("  intersection tests: {}", s.join_counters.tests);
+        }
+        JoinStats::Shj(s) => {
+            println!("  buckets          : {}", s.buckets);
+            println!(
+                "  probe copies     : {} ({} filtered out)",
+                s.probe_copies, s.probe_filtered
+            );
+            println!("  overflowed pairs : {}", s.overflowed_pairs);
+            println!("  intersection tests: {}", s.join_counters.tests);
+        }
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mem = (args.mem_mb * 1024.0 * 1024.0) as usize;
+    let left = dataset(&args.left, args.scale, args.seed).unwrap_or_else(die);
+    let right = if args.right == "self" {
+        left.clone()
+    } else {
+        dataset(&args.right, args.scale, args.seed ^ 0xFFFF).unwrap_or_else(die)
+    };
+    let (left, right) = if args.p != 1.0 {
+        (
+            datagen::scale_dataset(&left, args.p),
+            datagen::scale_dataset(&right, args.p),
+        )
+    } else {
+        (left, right)
+    };
+    let join = SpatialJoin::new(algorithm(&args.algo, mem).unwrap_or_else(die));
+    println!(
+        "{} ({} MBRs) ⋈ {} ({} MBRs), {} , M = {} MiB",
+        args.left,
+        left.len(),
+        args.right,
+        right.len(),
+        join.algorithm().name(),
+        args.mem_mb
+    );
+
+    if let Some(eps) = args.distance {
+        let run = join.within_distance(&left, &right, eps);
+        println!("pairs within eps={eps}: {}", run.pairs.len());
+        println!(
+            "filter candidates {}, false-positive rate {:.1}%",
+            run.refine.candidates,
+            100.0 * run.refine.false_positive_rate()
+        );
+        println!("filter time {:.2}s simulated", run.filter.total_seconds());
+        for (a, b) in run.pairs.iter().take(args.limit) {
+            println!("  #{} ~ #{}", a.0, b.0);
+        }
+        return;
+    }
+
+    if args.refine {
+        let run = join.run_refined(
+            &left.kpes,
+            &right.kpes,
+            refine::SegmentIntersect {
+                r: &left.segments,
+                s: &right.segments,
+            },
+        );
+        println!("exact intersections: {}", run.pairs.len());
+        println!(
+            "filter candidates {}, false-positive rate {:.1}%",
+            run.refine.candidates,
+            100.0 * run.refine.false_positive_rate()
+        );
+        println!("filter time {:.2}s simulated", run.filter.total_seconds());
+        for (a, b) in run.pairs.iter().take(args.limit) {
+            println!("  #{} x #{}", a.0, b.0);
+        }
+        return;
+    }
+
+    let run = join.run(&left.kpes, &right.kpes);
+    println!("results          : {}", run.stats.results());
+    println!("duplicates       : {}", run.stats.duplicates());
+    println!("cpu (emulated)   : {:.2} s", run.stats.scaled_cpu_seconds());
+    println!("disk (simulated) : {:.2} s", run.stats.io_seconds());
+    println!("total            : {:.2} s", run.stats.total_seconds());
+    if let Some(first) = run.stats.first_result_seconds() {
+        println!("first result at  : {first:.2} s");
+    }
+    if args.stats {
+        print_phase_stats(&run.stats);
+    }
+    for (a, b) in run.pairs.iter().take(args.limit) {
+        println!("  #{} x #{}", a.0, b.0);
+    }
+}
+
+fn die<T>(e: String) -> T {
+    eprintln!("error: {e}");
+    std::process::exit(2);
+}

@@ -1,0 +1,461 @@
+//! # spatialjoin — index-free spatial join processing
+//!
+//! A faithful reproduction of *Dittrich & Seeger, "Data Redundancy and
+//! Duplicate Detection in Spatial Join Processing", ICDE 2000*: the improved
+//! **PBSM** (grid partitioning with online Reference-Point duplicate
+//! elimination and an interval-trie plane sweep) and the improved **S³J**
+//! (size separation with controlled ≤4× replication), plus the **SSSJ**
+//! baseline, all running out-of-core against a simulated disk with the
+//! paper's `PT + n` cost model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spatialjoin::{Algorithm, SpatialJoin};
+//!
+//! // Two TIGER-like synthetic datasets (1% of the paper's LA files).
+//! let roads  = spatialjoin::datagen::sized(&spatialjoin::datagen::la_rr_config(1), 0.01).generate();
+//! let rivers = spatialjoin::datagen::sized(&spatialjoin::datagen::la_st_config(1), 0.01).generate();
+//!
+//! // PBSM with the Reference Point Method and 256 KiB of memory.
+//! let join = SpatialJoin::new(Algorithm::pbsm_rpm(256 * 1024));
+//! let run = join.run(&roads, &rivers);
+//!
+//! println!(
+//!     "{} intersecting pairs in {:.3}s simulated ({} duplicates suppressed online)",
+//!     run.pairs.len(),
+//!     run.stats.total_seconds(),
+//!     run.stats.duplicates(),
+//! );
+//! # assert!(run.pairs.len() > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`geom`] | rectangles, KPEs, the reference point |
+//! | [`sfc`] | Peano/Hilbert locational codes, MX-CIF level functions |
+//! | [`storage`] | simulated disk (`PT + n`), paged files, external sort |
+//! | [`sweep`] | internal joins: nested loops, list sweep, interval-trie sweep |
+//! | [`quadtree`] | MX-CIF quadtree + synchronized-traversal join (§4.1) |
+//! | [`datagen`] | TIGER-like synthetic datasets (Table 1 equivalents) |
+//! | [`pbsm`] | PBSM with sort-phase or Reference-Point dedup (§3) |
+//! | [`s3j`] | S³J original / with controlled replication (§4) |
+//! | [`sssj`] | sweeping-based baseline ([APR+ 98]) |
+//! | [`rtree`] | STR R-tree + synchronized R-tree join ([BKS 93]) |
+//! | [`shj`] | Spatial Hash Join baseline ([LR 96]) |
+//! | [`estimate`] | grid histograms, selectivity estimation, partition advice |
+//! | [`refine`] | refinement step: exact-geometry verification ([BKSS 94]) |
+//! | [`exec`] | open-next-close operator tree, streaming join operators |
+
+pub use datagen;
+pub use exec;
+pub use refine;
+pub use rtree;
+pub use estimate;
+pub use shj;
+pub use geom;
+pub use pbsm;
+pub use quadtree;
+pub use s3j;
+pub use sfc;
+pub use sssj;
+pub use storage;
+pub use sweep;
+
+pub use geom::{dataset_stats, reference_point, DatasetStats, Kpe, Point, Rect, RecordId};
+pub use storage::{DiskModel, IoStats, SimDisk};
+pub use sweep::InternalAlgo;
+
+use pbsm::{Dedup, PbsmConfig, PbsmStats};
+use s3j::{S3jConfig, S3jStats};
+use shj::{ShjConfig, ShjStats};
+use sssj::{SssjConfig, SssjStats};
+
+/// Algorithm selection with its full configuration.
+#[derive(Debug, Clone)]
+pub enum Algorithm {
+    Pbsm(PbsmConfig),
+    S3j(S3jConfig),
+    Sssj(SssjConfig),
+    Shj(ShjConfig),
+}
+
+impl Algorithm {
+    /// PBSM as improved by the paper: Reference Point Method dedup.
+    /// The internal algorithm defaults to the list sweep; switch to
+    /// [`InternalAlgo::PlaneSweepTrie`] for large memories (§3.2.2).
+    pub fn pbsm_rpm(mem_bytes: usize) -> Algorithm {
+        Algorithm::Pbsm(PbsmConfig {
+            mem_bytes,
+            ..Default::default()
+        })
+    }
+
+    /// Original PBSM ([PD 96]): duplicates removed in a final sort phase.
+    pub fn pbsm_original(mem_bytes: usize) -> Algorithm {
+        Algorithm::Pbsm(PbsmConfig {
+            mem_bytes,
+            dedup: Dedup::SortPhase,
+            ..Default::default()
+        })
+    }
+
+    /// S³J as improved by the paper: size separation with ≤4× replication
+    /// and online duplicate elimination (§4.3).
+    pub fn s3j_replicated(mem_bytes: usize) -> Algorithm {
+        Algorithm::S3j(S3jConfig {
+            mem_bytes,
+            replicate: true,
+            ..Default::default()
+        })
+    }
+
+    /// Original S³J ([KS 97]): covering-cell assignment, no replication.
+    pub fn s3j_original(mem_bytes: usize) -> Algorithm {
+        Algorithm::S3j(S3jConfig {
+            mem_bytes,
+            replicate: false,
+            ..Default::default()
+        })
+    }
+
+    /// Scalable Sweeping-Based Spatial Join baseline ([APR+ 98]).
+    pub fn sssj(mem_bytes: usize) -> Algorithm {
+        Algorithm::Sssj(SssjConfig {
+            mem_bytes,
+            ..Default::default()
+        })
+    }
+
+    /// Spatial Hash Join baseline ([LR 96]): build-side partitioning,
+    /// probe-side replication, no duplicates by construction.
+    pub fn shj(mem_bytes: usize) -> Algorithm {
+        Algorithm::Shj(ShjConfig {
+            mem_bytes,
+            ..Default::default()
+        })
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Pbsm(c) => match c.dedup {
+                Dedup::SortPhase => "PBSM (sort-phase dedup)",
+                Dedup::ReferencePoint => "PBSM (reference point)",
+                Dedup::None => "PBSM (raw candidates)",
+            },
+            Algorithm::S3j(c) => {
+                if c.replicate {
+                    "S3J (replicated)"
+                } else {
+                    "S3J (original)"
+                }
+            }
+            Algorithm::Sssj(_) => "SSSJ",
+            Algorithm::Shj(_) => "SHJ (spatial hash join)",
+        }
+    }
+}
+
+/// Statistics of a completed join, uniform across algorithms.
+#[derive(Debug, Clone)]
+pub enum JoinStats {
+    Pbsm(PbsmStats),
+    S3j(S3jStats),
+    Sssj(SssjStats),
+    Shj(ShjStats),
+}
+
+impl JoinStats {
+    /// Number of (duplicate-free) result pairs.
+    pub fn results(&self) -> u64 {
+        match self {
+            JoinStats::Pbsm(s) => s.results,
+            JoinStats::S3j(s) => s.results,
+            JoinStats::Sssj(s) => s.results,
+            JoinStats::Shj(s) => s.results,
+        }
+    }
+
+    /// Duplicates suppressed online or removed by sorting.
+    pub fn duplicates(&self) -> u64 {
+        match self {
+            JoinStats::Pbsm(s) => s.duplicates,
+            JoinStats::S3j(s) => s.duplicates,
+            JoinStats::Sssj(_) => 0,
+            JoinStats::Shj(_) => 0,
+        }
+    }
+
+    /// Measured CPU seconds.
+    pub fn cpu_seconds(&self) -> f64 {
+        match self {
+            JoinStats::Pbsm(s) => s.cpu_seconds(),
+            JoinStats::S3j(s) => s.cpu_seconds(),
+            JoinStats::Sssj(s) => s.cpu_seconds(),
+            JoinStats::Shj(s) => s.cpu_seconds(),
+        }
+    }
+
+    /// CPU seconds stretched to the emulated 1999 machine.
+    pub fn scaled_cpu_seconds(&self) -> f64 {
+        match self {
+            JoinStats::Pbsm(s) => s.scaled_cpu_seconds(),
+            JoinStats::S3j(s) => s.scaled_cpu_seconds(),
+            JoinStats::Sssj(s) => s.scaled_cpu_seconds(),
+            JoinStats::Shj(s) => s.scaled_cpu_seconds(),
+        }
+    }
+
+    /// Simulated disk seconds under the configured [`DiskModel`].
+    pub fn io_seconds(&self) -> f64 {
+        match self {
+            JoinStats::Pbsm(s) => s.io_seconds(),
+            JoinStats::S3j(s) => s.io_seconds(),
+            JoinStats::Sssj(s) => s.io_seconds(),
+            JoinStats::Shj(s) => s.io_seconds(),
+        }
+    }
+
+    /// Total I/O counters across all phases.
+    pub fn io_total(&self) -> IoStats {
+        match self {
+            JoinStats::Pbsm(s) => s.io_total(),
+            JoinStats::S3j(s) => s.io_total(),
+            JoinStats::Sssj(s) => s.io_total(),
+            JoinStats::Shj(s) => s.io_total(),
+        }
+    }
+
+    /// The paper's "total runtime": emulated CPU + simulated disk time.
+    pub fn total_seconds(&self) -> f64 {
+        self.scaled_cpu_seconds() + self.io_seconds()
+    }
+
+    /// Simulated position of the first emitted result (pipelining metric).
+    pub fn first_result_seconds(&self) -> Option<f64> {
+        match self {
+            JoinStats::Pbsm(s) => s.first_result_seconds(),
+            JoinStats::S3j(s) => s.first_result_seconds(),
+            JoinStats::Sssj(s) => s.first_result_seconds(),
+            JoinStats::Shj(_) => None,
+        }
+    }
+}
+
+/// A configured spatial join, ready to run.
+#[derive(Debug, Clone)]
+pub struct SpatialJoin {
+    algorithm: Algorithm,
+    disk_model: DiskModel,
+}
+
+/// Result of [`SpatialJoin::run`]: materialised pairs plus statistics.
+pub struct JoinRun {
+    pub pairs: Vec<(RecordId, RecordId)>,
+    pub stats: JoinStats,
+}
+
+impl SpatialJoin {
+    pub fn new(algorithm: Algorithm) -> Self {
+        SpatialJoin {
+            algorithm,
+            disk_model: DiskModel::default(),
+        }
+    }
+
+    /// Overrides the simulated disk parameters.
+    pub fn with_disk_model(mut self, model: DiskModel) -> Self {
+        self.disk_model = model;
+        self
+    }
+
+    pub fn algorithm(&self) -> &Algorithm {
+        &self.algorithm
+    }
+
+    /// Runs the join, streaming results into `out`. A fresh simulated disk
+    /// is created per run, so statistics are independent across runs.
+    pub fn run_with(
+        &self,
+        r: &[Kpe],
+        s: &[Kpe],
+        out: &mut dyn FnMut(RecordId, RecordId),
+    ) -> JoinStats {
+        let disk = SimDisk::new(self.disk_model);
+        match &self.algorithm {
+            Algorithm::Pbsm(cfg) => JoinStats::Pbsm(pbsm::pbsm_join(&disk, r, s, cfg, out)),
+            Algorithm::S3j(cfg) => JoinStats::S3j(s3j::s3j_join(&disk, r, s, cfg, out)),
+            Algorithm::Sssj(cfg) => JoinStats::Sssj(sssj::sssj_join(&disk, r, s, cfg, out)),
+            Algorithm::Shj(cfg) => JoinStats::Shj(shj::shj_join(&disk, r, s, cfg, out)),
+        }
+    }
+
+    /// Runs the join and materialises all result pairs.
+    pub fn run(&self, r: &[Kpe], s: &[Kpe]) -> JoinRun {
+        let mut pairs = Vec::new();
+        let stats = self.run_with(r, s, &mut |a, b| pairs.push((a, b)));
+        JoinRun { pairs, stats }
+    }
+
+    /// Runs the join, counting results without materialising them.
+    pub fn count(&self, r: &[Kpe], s: &[Kpe]) -> (u64, JoinStats) {
+        let mut n = 0u64;
+        let stats = self.run_with(r, s, &mut |_, _| n += 1);
+        (n, stats)
+    }
+
+    /// Filter step + refinement step in one pipelined pass: every candidate
+    /// the filter emits is verified against exact geometry by `refiner`
+    /// immediately ([BKSS 94]-style multi-step processing — possible online
+    /// precisely because the Reference Point Method keeps the candidate
+    /// stream duplicate-free, §3.1).
+    pub fn run_refined<R: refine::Refiner>(
+        &self,
+        r: &[Kpe],
+        s: &[Kpe],
+        refiner: R,
+    ) -> RefinedRun {
+        let mut pairs = Vec::new();
+        let mut sink = |a: RecordId, b: RecordId| pairs.push((a, b));
+        let mut stage = refine::Refinement::new(refiner, &mut sink);
+        let filter = self.run_with(r, s, &mut |a, b| stage.accept(a, b));
+        let refine = stage.stats();
+        RefinedRun {
+            pairs,
+            filter,
+            refine,
+        }
+    }
+
+    /// ε-distance join over exact line geometry (the similarity-join
+    /// direction of the paper's future work, [KS 98]): the filter step runs
+    /// this join over `ε/2`-expanded MBRs, the refinement step verifies
+    /// exact segment distance.
+    pub fn within_distance(
+        &self,
+        r: &datagen::LineDataset,
+        s: &datagen::LineDataset,
+        eps: f64,
+    ) -> RefinedRun {
+        assert!(eps >= 0.0);
+        let expand = |data: &[Kpe]| -> Vec<Kpe> {
+            data.iter()
+                .map(|k| Kpe::new(k.id, k.rect.expanded(eps / 2.0)))
+                .collect()
+        };
+        let re = expand(&r.kpes);
+        let se = expand(&s.kpes);
+        self.run_refined(
+            &re,
+            &se,
+            refine::SegmentWithinDistance {
+                r: &r.segments,
+                s: &s.segments,
+                eps,
+            },
+        )
+    }
+}
+
+/// Result of a combined filter + refinement run.
+pub struct RefinedRun {
+    /// Pairs whose exact geometries satisfy the predicate.
+    pub pairs: Vec<(RecordId, RecordId)>,
+    /// Filter-step statistics.
+    pub filter: JoinStats,
+    /// Refinement-step statistics (candidates, hits, false-positive rate).
+    pub refine: refine::RefineStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pair() -> (Vec<Kpe>, Vec<Kpe>) {
+        let r = datagen::sized(&datagen::la_rr_config(7), 0.01).generate();
+        let s = datagen::sized(&datagen::la_st_config(7), 0.01).generate();
+        (r, s)
+    }
+
+    #[test]
+    fn all_algorithms_agree_through_the_public_api() {
+        let (r, s) = small_pair();
+        let mem = 64 * 1024;
+        let algorithms = [
+            Algorithm::pbsm_rpm(mem),
+            Algorithm::pbsm_original(mem),
+            Algorithm::s3j_replicated(mem),
+            Algorithm::s3j_original(mem),
+            Algorithm::sssj(mem),
+            Algorithm::shj(mem),
+        ];
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        for algo in algorithms {
+            let name = algo.name();
+            let run = SpatialJoin::new(algo).run(&r, &s);
+            let mut pairs: Vec<(u64, u64)> =
+                run.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+            pairs.sort_unstable();
+            assert_eq!(run.stats.results() as usize, pairs.len(), "{name}");
+            match &reference {
+                None => reference = Some(pairs),
+                Some(want) => assert_eq!(&pairs, want, "{name} diverges"),
+            }
+        }
+    }
+
+    #[test]
+    fn count_matches_run() {
+        let (r, s) = small_pair();
+        let join = SpatialJoin::new(Algorithm::pbsm_rpm(64 * 1024));
+        let run = join.run(&r, &s);
+        let (n, stats) = join.count(&r, &s);
+        assert_eq!(n as usize, run.pairs.len());
+        assert_eq!(stats.results(), run.stats.results());
+    }
+
+    #[test]
+    fn disk_model_scales_io_seconds() {
+        let (r, s) = small_pair();
+        let slow = DiskModel {
+            transfer_secs_per_page: 0.01,
+            ..Default::default()
+        };
+        let fast = DiskModel {
+            transfer_secs_per_page: 0.0001,
+            ..Default::default()
+        };
+        let mem = 48 * 1024;
+        let (_, st_slow) = SpatialJoin::new(Algorithm::pbsm_rpm(mem))
+            .with_disk_model(slow)
+            .count(&r, &s);
+        let (_, st_fast) = SpatialJoin::new(Algorithm::pbsm_rpm(mem))
+            .with_disk_model(fast)
+            .count(&r, &s);
+        assert!(st_slow.io_seconds() > st_fast.io_seconds() * 10.0);
+        // Same work, same counters.
+        assert_eq!(st_slow.io_total(), st_fast.io_total());
+    }
+
+    #[test]
+    fn names_are_distinct_and_stable() {
+        let names: Vec<&str> = [
+            Algorithm::pbsm_rpm(1),
+            Algorithm::pbsm_original(1),
+            Algorithm::s3j_replicated(1),
+            Algorithm::s3j_original(1),
+            Algorithm::sssj(1),
+            Algorithm::shj(1),
+        ]
+        .iter()
+        .map(|a| a.name())
+        .collect();
+        let mut uniq = names.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), names.len());
+    }
+}

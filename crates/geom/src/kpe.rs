@@ -1,0 +1,80 @@
+use crate::Rect;
+
+/// Identifier of a spatial object — the "key pointer" of a key-pointer
+/// element. In a real system this would be a RID into the base relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+/// A *key-pointer element* (KPE): the unit of work of the filter step.
+///
+/// The filter step of a spatial join never touches exact geometry; it joins
+/// sets of KPEs and emits candidate `(RecordId, RecordId)` pairs. `Kpe` is
+/// deliberately `Copy` and 40 bytes on the wire (see [`Kpe::ENCODED_SIZE`]):
+/// partition sizing (PBSM formula (1)) and memory budgeting are all expressed
+/// in units of `sizeof(KPE)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Kpe {
+    pub id: RecordId,
+    pub rect: Rect,
+}
+
+impl Kpe {
+    /// Size of the fixed-length on-disk encoding in bytes.
+    pub const ENCODED_SIZE: usize = 8 + 4 * 8;
+
+    #[inline]
+    pub fn new(id: RecordId, rect: Rect) -> Self {
+        Kpe { id, rect }
+    }
+
+    /// Serialises into exactly [`Kpe::ENCODED_SIZE`] bytes (little endian).
+    #[inline]
+    pub fn encode(&self, buf: &mut [u8]) {
+        buf[0..8].copy_from_slice(&self.id.0.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.rect.xl.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.rect.yl.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.rect.xh.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.rect.yh.to_le_bytes());
+    }
+
+    /// Inverse of [`Kpe::encode`].
+    #[inline]
+    pub fn decode(buf: &[u8]) -> Self {
+        let le = |r: core::ops::Range<usize>| f64::from_le_bytes(buf[r].try_into().unwrap());
+        Kpe {
+            id: RecordId(u64::from_le_bytes(buf[0..8].try_into().unwrap())),
+            rect: Rect {
+                xl: le(8..16),
+                yl: le(16..24),
+                xh: le(24..32),
+                yh: le(32..40),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let k = Kpe::new(RecordId(0xDEAD_BEEF_0BAD_F00D), Rect::new(0.125, 0.25, 0.5, 0.75));
+        let mut buf = [0u8; Kpe::ENCODED_SIZE];
+        k.encode(&mut buf);
+        assert_eq!(Kpe::decode(&buf), k);
+    }
+
+    #[test]
+    fn encoded_size_is_forty_bytes() {
+        assert_eq!(Kpe::ENCODED_SIZE, 40);
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let k = Kpe::new(RecordId(7), Rect::new(0.0, 0.0, 1.0, 1.0));
+        let mut buf = [0xAAu8; Kpe::ENCODED_SIZE + 16];
+        k.encode(&mut buf[..Kpe::ENCODED_SIZE]);
+        assert_eq!(Kpe::decode(&buf), k);
+    }
+}

@@ -1,0 +1,112 @@
+//! Geometric primitives for spatial join processing.
+//!
+//! This crate provides the building blocks shared by every join algorithm in
+//! the workspace:
+//!
+//! * [`Rect`] — a rectilinear minimum bounding rectangle (MBR) given by its
+//!   lower-left corner `(xl, yl)` and upper-right corner `(xh, yh)`,
+//! * [`Point`] — a 2-d point,
+//! * [`Kpe`] — a *key-pointer element*: the identifier of a spatial object
+//!   together with its MBR. The filter step of a spatial join operates
+//!   exclusively on KPEs,
+//! * [`reference_point`] — the Reference Point Method (RPM) primitive used by
+//!   the duplicate-elimination logic of both PBSM and S³J: for an intersecting
+//!   pair `(r, s)` the unique point
+//!   `x = (max(r.xl, s.xl), min(r.yh, s.yh))`.
+//!
+//! All coordinates are `f64`. Datasets in this workspace are normalised to the
+//! unit square `[0, 1] × [0, 1]`, but nothing in this crate assumes that.
+
+mod kpe;
+mod rect;
+mod refpoint;
+mod segment;
+
+pub use kpe::{Kpe, RecordId};
+pub use rect::{Point, Rect};
+pub use refpoint::reference_point;
+pub use segment::Segment;
+
+/// Statistics over a set of rectangles, as reported in Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of MBRs in the dataset.
+    pub count: usize,
+    /// Sum of rectangle areas divided by the area of the global MBR
+    /// (the paper's *coverage* measure; may exceed 1 for overlapping data).
+    pub coverage: f64,
+    /// MBR of the whole dataset.
+    pub bounds: Rect,
+}
+
+/// Computes count, coverage and bounds of a dataset.
+///
+/// Returns `None` for an empty input (coverage is undefined then).
+pub fn dataset_stats(data: &[Kpe]) -> Option<DatasetStats> {
+    let first = data.first()?;
+    let mut bounds = first.rect;
+    let mut area_sum = 0.0;
+    for k in data {
+        bounds = bounds.union(&k.rect);
+        area_sum += k.rect.area();
+    }
+    let total = bounds.area();
+    let coverage = if total > 0.0 { area_sum / total } else { 0.0 };
+    Some(DatasetStats {
+        count: data.len(),
+        coverage,
+        bounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kpe(id: u64, xl: f64, yl: f64, xh: f64, yh: f64) -> Kpe {
+        Kpe::new(RecordId(id), Rect::new(xl, yl, xh, yh))
+    }
+
+    #[test]
+    fn stats_of_empty_dataset_is_none() {
+        assert!(dataset_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn stats_single_rect_coverage_one() {
+        let s = dataset_stats(&[kpe(0, 0.1, 0.1, 0.3, 0.4)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert!((s.coverage - 1.0).abs() < 1e-12);
+        assert_eq!(s.bounds, Rect::new(0.1, 0.1, 0.3, 0.4));
+    }
+
+    #[test]
+    fn stats_two_disjoint_quadrants() {
+        // Two quarter-size rects inside the unit square: coverage = 0.5.
+        let s = dataset_stats(&[
+            kpe(0, 0.0, 0.0, 0.5, 0.5),
+            kpe(1, 0.5, 0.5, 1.0, 1.0),
+        ])
+        .unwrap();
+        assert!((s.coverage - 0.5).abs() < 1e-12);
+        assert_eq!(s.bounds, Rect::new(0.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn stats_coverage_can_exceed_one_for_overlapping_data() {
+        let s = dataset_stats(&[
+            kpe(0, 0.0, 0.0, 1.0, 1.0),
+            kpe(1, 0.0, 0.0, 1.0, 1.0),
+            kpe(2, 0.0, 0.0, 1.0, 1.0),
+        ])
+        .unwrap();
+        assert!((s.coverage - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_degenerate_zero_area_bounds() {
+        // All rects are the same point: bounds area 0, coverage defined as 0.
+        let s = dataset_stats(&[kpe(0, 0.5, 0.5, 0.5, 0.5)]).unwrap();
+        assert_eq!(s.coverage, 0.0);
+    }
+}

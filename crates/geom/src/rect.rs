@@ -1,0 +1,263 @@
+/// A 2-d point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// A rectilinear minimum bounding rectangle represented by its lower-left
+/// corner `(xl, yl)` and upper-right corner `(xh, yh)`.
+///
+/// Rectangles are closed: two rectangles sharing only an edge or a corner
+/// *do* intersect, exactly as in the plane-sweep literature the paper builds
+/// on. Degenerate rectangles (zero width and/or height) are legal — TIGER
+/// line data routinely produces them for axis-parallel segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub xl: f64,
+    pub yl: f64,
+    pub xh: f64,
+    pub yh: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle. Debug-asserts that the corners are ordered.
+    #[inline]
+    pub fn new(xl: f64, yl: f64, xh: f64, yh: f64) -> Self {
+        debug_assert!(xl <= xh && yl <= yh, "malformed rect {xl},{yl},{xh},{yh}");
+        Rect { xl, yl, xh, yh }
+    }
+
+    /// The rectangle spanning the whole unit square, the normalised data
+    /// space used throughout this workspace.
+    #[inline]
+    pub const fn unit() -> Self {
+        Rect {
+            xl: 0.0,
+            yl: 0.0,
+            xh: 1.0,
+            yh: 1.0,
+        }
+    }
+
+    /// Smallest rectangle containing both corners, regardless of order.
+    #[inline]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect {
+            xl: a.x.min(b.x),
+            yl: a.y.min(b.y),
+            xh: a.x.max(b.x),
+            yh: a.y.max(b.y),
+        }
+    }
+
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.xh - self.xl
+    }
+
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.yh - self.yl
+    }
+
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.xl + self.xh) * 0.5, (self.yl + self.yh) * 0.5)
+    }
+
+    /// Closed-interval intersection test — the join predicate of the filter
+    /// step.
+    ///
+    /// ```
+    /// use geom::Rect;
+    /// let a = Rect::new(0.0, 0.0, 0.5, 0.5);
+    /// assert!(a.intersects(&Rect::new(0.5, 0.5, 1.0, 1.0))); // touching counts
+    /// assert!(!a.intersects(&Rect::new(0.6, 0.6, 1.0, 1.0)));
+    /// ```
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.xl <= other.xh && other.xl <= self.xh && self.yl <= other.yh && other.yl <= self.yh
+    }
+
+    /// Closed-interval containment test for a point.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.xl <= p.x && p.x <= self.xh && self.yl <= p.y && p.y <= self.yh
+    }
+
+    /// `true` iff `other` lies entirely inside `self` (closed intervals).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.xl <= other.xl && other.xh <= self.xh && self.yl <= other.yl && other.yh <= self.yh
+    }
+
+    /// Smallest rectangle containing both inputs.
+    #[inline]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            xl: self.xl.min(other.xl),
+            yl: self.yl.min(other.yl),
+            xh: self.xh.max(other.xh),
+            yh: self.yh.max(other.yh),
+        }
+    }
+
+    /// Intersection of both inputs, or `None` if they do not intersect.
+    #[inline]
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            xl: self.xl.max(other.xl),
+            yl: self.yl.max(other.yl),
+            xh: self.xh.min(other.xh),
+            yh: self.yh.min(other.yh),
+        })
+    }
+
+    /// Minkowski expansion: grows the rectangle by `d` on every side.
+    /// Two rectangles are within (L∞-ish) gap `2d` of each other iff their
+    /// `d`-expanded versions intersect — the filter-step transform of the
+    /// ε-distance join.
+    #[inline]
+    pub fn expanded(&self, d: f64) -> Rect {
+        debug_assert!(d >= 0.0);
+        Rect {
+            xl: self.xl - d,
+            yl: self.yl - d,
+            xh: self.xh + d,
+            yh: self.yh + d,
+        }
+    }
+
+    /// Grows both edge lengths by the factor `p` around the centre — the
+    /// paper's `LA_RR(p)` / `LA_ST(p)` scaling operator (coverage then grows
+    /// by `p²`).
+    #[inline]
+    pub fn scaled(&self, p: f64) -> Rect {
+        let c = self.center();
+        let hw = self.width() * 0.5 * p;
+        let hh = self.height() * 0.5 * p;
+        Rect {
+            xl: c.x - hw,
+            yl: c.y - hh,
+            xh: c.x + hw,
+            yh: c.y + hh,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_accessors() {
+        let r = Rect::new(0.1, 0.2, 0.5, 0.8);
+        assert!((r.width() - 0.4).abs() < 1e-12);
+        assert!((r.height() - 0.6).abs() < 1e-12);
+        assert!((r.area() - 0.24).abs() < 1e-12);
+        let c = r.center();
+        assert!((c.x - 0.3).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersects_is_symmetric_and_touching_counts() {
+        let a = Rect::new(0.0, 0.0, 0.5, 0.5);
+        let b = Rect::new(0.5, 0.5, 1.0, 1.0); // shares a corner
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        let c = Rect::new(0.5001, 0.0, 1.0, 0.4);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn degenerate_rects_intersect() {
+        // Two crossing line segments as MBRs.
+        let h = Rect::new(0.0, 0.5, 1.0, 0.5);
+        let v = Rect::new(0.5, 0.0, 0.5, 1.0);
+        assert!(h.intersects(&v));
+        assert!(h.contains_point(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn intersection_matches_predicate() {
+        let a = Rect::new(0.0, 0.0, 0.6, 0.6);
+        let b = Rect::new(0.4, 0.2, 1.0, 0.5);
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i, Rect::new(0.4, 0.2, 0.6, 0.5));
+        let far = Rect::new(0.9, 0.9, 1.0, 1.0);
+        assert!(a.intersection(&far).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Rect::new(0.0, 0.3, 0.2, 0.4);
+        let b = Rect::new(0.5, 0.0, 0.9, 0.1);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0.0, 0.0, 0.9, 0.4));
+    }
+
+    #[test]
+    fn scaled_grows_area_quadratically() {
+        let r = Rect::new(0.4, 0.4, 0.6, 0.6);
+        let s = r.scaled(3.0);
+        assert!((s.area() - 9.0 * r.area()).abs() < 1e-12);
+        assert_eq!(s.center(), r.center());
+    }
+
+    #[test]
+    fn from_corners_normalises_order() {
+        let r = Rect::from_corners(Point::new(0.9, 0.1), Point::new(0.2, 0.7));
+        assert_eq!(r, Rect::new(0.2, 0.1, 0.9, 0.7));
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b, c, d)| {
+            Rect::from_corners(Point::new(a, b), Point::new(c, d))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_iff_intersects(a in arb_rect(), b in arb_rect()) {
+            prop_assert_eq!(a.intersection(&b).is_some(), a.intersects(&b));
+        }
+
+        #[test]
+        fn prop_intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+            }
+        }
+
+        #[test]
+        fn prop_union_commutative_and_covering(a in arb_rect(), b in arb_rect()) {
+            let u = a.union(&b);
+            prop_assert_eq!(u, b.union(&a));
+            prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        }
+
+        #[test]
+        fn prop_self_intersection(a in arb_rect()) {
+            prop_assert!(a.intersects(&a));
+            prop_assert_eq!(a.intersection(&a), Some(a));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+use crate::{Point, Rect};
+
+/// The Reference Point Method primitive (paper §3.2.1).
+///
+/// For a pair of intersecting rectangles `(r, s)` the *reference point* is
+///
+/// ```text
+/// x = ( max(r.xl, s.xl), min(r.yh, s.yh) )
+/// ```
+///
+/// i.e. the upper-left corner of the intersection `r ∩ s`. Because the
+/// intersection of two rectangles is itself a rectangle, this point is unique
+/// and lies inside both `r` and `s`. When the data space is divided into
+/// *disjoint* partitions, the reference point lies in exactly one partition
+/// region — so a result pair is reported only by the partition containing it,
+/// eliminating duplicates online at the cost of at most six comparisons.
+///
+/// The function is symmetric: `reference_point(r, s) == reference_point(s, r)`.
+///
+/// Callers must only invoke this for pairs that actually intersect; the value
+/// is meaningless otherwise (debug builds assert intersection).
+///
+/// ```
+/// use geom::{reference_point, Rect};
+/// let r = Rect::new(0.0, 0.0, 0.6, 0.8);
+/// let s = Rect::new(0.4, 0.2, 1.0, 0.5);
+/// let x = reference_point(&r, &s);
+/// assert_eq!((x.x, x.y), (0.4, 0.5)); // upper-left corner of r ∩ s
+/// ```
+#[inline]
+pub fn reference_point(r: &Rect, s: &Rect) -> Point {
+    debug_assert!(r.intersects(s), "reference point of non-intersecting pair");
+    Point::new(r.xl.max(s.xl), r.yh.min(s.yh))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matches_paper_definition() {
+        let r = Rect::new(0.0, 0.0, 0.6, 0.8);
+        let s = Rect::new(0.4, 0.2, 1.0, 0.5);
+        let x = reference_point(&r, &s);
+        assert_eq!(x, Point::new(0.4, 0.5));
+    }
+
+    #[test]
+    fn is_upper_left_corner_of_intersection() {
+        let r = Rect::new(0.1, 0.1, 0.9, 0.9);
+        let s = Rect::new(0.3, 0.0, 0.7, 0.6);
+        let i = r.intersection(&s).unwrap();
+        let x = reference_point(&r, &s);
+        assert_eq!(x, Point::new(i.xl, i.yh));
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0).prop_map(|(a, b, c, d)| {
+            Rect::from_corners(Point::new(a, b), Point::new(c, d))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_symmetric_and_inside_both(a in arb_rect(), b in arb_rect()) {
+            prop_assume!(a.intersects(&b));
+            let x = reference_point(&a, &b);
+            prop_assert_eq!(x, reference_point(&b, &a));
+            prop_assert!(a.contains_point(x));
+            prop_assert!(b.contains_point(x));
+        }
+
+        /// The core RPM guarantee: over any grid partitioning of the data
+        /// space into disjoint half-open cells, the reference point falls in
+        /// exactly one cell.
+        #[test]
+        fn prop_unique_cell(a in arb_rect(), b in arb_rect(), n in 1usize..16) {
+            prop_assume!(a.intersects(&b));
+            let x = reference_point(&a, &b);
+            let step = 1.0 / n as f64;
+            let mut owners = 0;
+            for i in 0..n {
+                for j in 0..n {
+                    let (xl, yl) = (i as f64 * step, j as f64 * step);
+                    // Half-open cells, closed at the data-space boundary.
+                    let in_x = x.x >= xl && (x.x < xl + step || (i == n - 1 && x.x <= 1.0));
+                    let in_y = x.y >= yl && (x.y < yl + step || (j == n - 1 && x.y <= 1.0));
+                    if in_x && in_y { owners += 1; }
+                }
+            }
+            prop_assert_eq!(owners, 1);
+        }
+    }
+}

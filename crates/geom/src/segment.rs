@@ -1,0 +1,159 @@
+use crate::{Point, Rect};
+
+/// An exact line segment — the geometry behind a TIGER-style line MBR.
+///
+/// The filter step of a spatial join only sees [`crate::Kpe`]s; the
+/// *refinement* step ([BKSS 94]) re-tests candidate pairs against exact
+/// geometry like this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Minimum bounding rectangle of the segment.
+    #[inline]
+    pub fn mbr(&self) -> Rect {
+        Rect::from_corners(self.a, self.b)
+    }
+
+    /// Exact segment/segment intersection test (shared endpoints and
+    /// collinear overlap count as intersecting), via orientation tests.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let d1 = orient(other.a, other.b, self.a);
+        let d2 = orient(other.a, other.b, self.b);
+        let d3 = orient(self.a, self.b, other.a);
+        let d4 = orient(self.a, self.b, other.b);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1 == 0.0 && on_segment(other.a, other.b, self.a))
+            || (d2 == 0.0 && on_segment(other.a, other.b, self.b))
+            || (d3 == 0.0 && on_segment(self.a, self.b, other.a))
+            || (d4 == 0.0 && on_segment(self.a, self.b, other.b))
+    }
+
+    /// Squared euclidean distance between the two segments (0 when they
+    /// intersect). Used by the ε-distance join's refinement step.
+    pub fn distance_sq(&self, other: &Segment) -> f64 {
+        if self.intersects(other) {
+            return 0.0;
+        }
+        let d1 = point_segment_distance_sq(self.a, other);
+        let d2 = point_segment_distance_sq(self.b, other);
+        let d3 = point_segment_distance_sq(other.a, self);
+        let d4 = point_segment_distance_sq(other.b, self);
+        d1.min(d2).min(d3).min(d4)
+    }
+}
+
+/// Twice the signed area of triangle `(a, b, c)`; sign gives orientation.
+#[inline]
+fn orient(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Given collinear `a, b, p`: is `p` within the closed box of `(a, b)`?
+#[inline]
+fn on_segment(a: Point, b: Point, p: Point) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Squared distance from point `p` to segment `s`.
+fn point_segment_distance_sq(p: Point, s: &Segment) -> f64 {
+    let (dx, dy) = (s.b.x - s.a.x, s.b.y - s.a.y);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq <= 0.0 {
+        0.0
+    } else {
+        (((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (s.a.x + t * dx, s.a.y + t * dy);
+    let (ex, ey) = (p.x - cx, p.y - cy);
+    ex * ex + ey * ey
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let h = seg(0.0, 0.5, 1.0, 0.5);
+        let v = seg(0.5, 0.0, 0.5, 1.0);
+        assert!(h.intersects(&v));
+        assert!(v.intersects(&h));
+        assert_eq!(h.distance_sq(&v), 0.0);
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.0, 0.1, 1.0, 0.1);
+        assert!(!a.intersects(&b));
+        assert!((a.distance_sq(&b) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_endpoints_intersect() {
+        let a = seg(0.0, 0.0, 0.5, 0.5);
+        let b = seg(0.5, 0.5, 1.0, 0.2);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects_disjoint_does_not() {
+        let a = seg(0.0, 0.0, 0.5, 0.0);
+        let b = seg(0.25, 0.0, 0.75, 0.0);
+        assert!(a.intersects(&b));
+        let c = seg(0.6, 0.0, 0.9, 0.0);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn mbr_overlap_without_exact_intersection() {
+        // The classic filter-step false positive: diagonal segments whose
+        // MBRs overlap but which never touch.
+        let a = seg(0.0, 0.0, 1.0, 1.0);
+        let b = seg(0.0, 0.9, 0.05, 1.0);
+        assert!(a.mbr().intersects(&b.mbr()));
+        assert!(!a.intersects(&b));
+        assert!(a.distance_sq(&b) > 0.0);
+    }
+
+    #[test]
+    fn t_junction_intersects() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.5, 0.0, 0.5, 1.0); // endpoint on a's interior
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn degenerate_point_segments() {
+        let p = seg(0.5, 0.5, 0.5, 0.5);
+        let q = seg(0.5, 0.5, 0.5, 0.5);
+        assert!(p.intersects(&q));
+        let far = seg(0.0, 0.0, 0.1, 0.1);
+        assert!(!p.intersects(&far));
+        assert!(p.distance_sq(&far) > 0.0);
+    }
+
+    #[test]
+    fn distance_between_skew_segments() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.2, 0.3, 0.8, 0.3);
+        assert!((a.distance_sq(&b) - 0.09).abs() < 1e-12);
+    }
+}

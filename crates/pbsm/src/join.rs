@@ -1,0 +1,821 @@
+use std::time::Instant;
+
+use geom::{reference_point, Kpe, RecordId};
+use storage::{
+    external_sort, DiskModel, FileId, IdPair, IoStats, RecordReader, RecordWriter, SimDisk,
+    SortStats,
+};
+use sweep::{InternalAlgo, InternalJoin, JoinCounters};
+
+use crate::grid::{PartitionMap, RegionChain, TileGrid, TileScheme};
+
+/// Maximum repartitioning recursion before a pair is joined over-budget
+/// (guards against pathological replication blow-up).
+const MAX_REPART_DEPTH: u32 = 12;
+
+/// Duplicate-handling strategy of the final phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dedup {
+    /// Original PBSM ([PD 96]): materialise all candidates, sort them
+    /// (externally if necessary), drop equal neighbours. Blocks the
+    /// pipeline and pays I/O proportional to the result size (Figure 3a).
+    SortPhase,
+    /// This paper's online Reference Point Method: report a pair only when
+    /// its reference point lies in the region of the current partition.
+    #[default]
+    ReferencePoint,
+    /// Diagnostic mode: emit raw candidates, duplicates included. Used by
+    /// tests to observe the replication-induced duplication rate.
+    None,
+}
+
+/// PBSM tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct PbsmConfig {
+    /// Memory budget `M` in bytes for the join phase (and sort phase).
+    pub mem_bytes: usize,
+    /// Safety factor `t > 1` applied inside formula (1) (§3.2.3).
+    pub safety_factor: f64,
+    /// Tiles per partition (`NT = P ·` this; §3.1 suggests `NT ≥ P`).
+    pub tiles_per_partition: u32,
+    /// In-memory join algorithm for partition pairs.
+    pub internal: InternalAlgo,
+    /// Duplicate handling.
+    pub dedup: Dedup,
+    /// Tile→partition assignment scheme.
+    pub tile_scheme: TileScheme,
+    /// Write-buffer pages per partition file during partitioning.
+    pub partition_buffer_pages: usize,
+    /// Buffer pages for sequential scans (loading pairs, candidates).
+    pub io_buffer_pages: usize,
+    /// Salt for the tile hash.
+    pub seed: u64,
+}
+
+impl Default for PbsmConfig {
+    fn default() -> Self {
+        PbsmConfig {
+            mem_bytes: 8 << 20,
+            safety_factor: 1.2,
+            tiles_per_partition: 4,
+            internal: InternalAlgo::PlaneSweepList,
+            dedup: Dedup::ReferencePoint,
+            tile_scheme: TileScheme::Hash,
+            partition_buffer_pages: 1,
+            io_buffer_pages: 4,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Everything PBSM measured while running.
+#[derive(Debug, Clone)]
+pub struct PbsmStats {
+    pub partitions: u32,
+    pub grid: TileGrid,
+    /// KPE copies written during partitioning (≥ input size; the excess is
+    /// the replication the Reference Point Method exists to pay for).
+    pub copies_r: u64,
+    pub copies_s: u64,
+    /// KPE copies written while repartitioning.
+    pub repart_copies: u64,
+    /// Partition pairs that had to be repartitioned.
+    pub repartitioned_pairs: u32,
+    /// Deepest repartitioning recursion reached.
+    pub repart_depth: u32,
+    /// Pairs emitted by the internal joins before duplicate handling.
+    pub candidates: u64,
+    /// Final (duplicate-free, except [`Dedup::None`]) result count.
+    pub results: u64,
+    /// Duplicates suppressed online (RPM) or removed by the sort phase.
+    pub duplicates: u64,
+    pub join_counters: JoinCounters,
+    pub io_partition: IoStats,
+    pub io_repart: IoStats,
+    pub io_join: IoStats,
+    pub io_dedup: IoStats,
+    pub cpu_partition: f64,
+    pub cpu_repart: f64,
+    pub cpu_join: f64,
+    pub cpu_dedup: f64,
+    pub sort: Option<SortStats>,
+    pub model: DiskModel,
+    /// CPU position (seconds since start) of the first emitted result.
+    pub first_result_cpu: Option<f64>,
+    /// I/O meter (all disks) at the first emitted result.
+    pub first_result_io: Option<IoStats>,
+}
+
+impl PbsmStats {
+    fn new(model: DiskModel) -> Self {
+        PbsmStats {
+            partitions: 0,
+            grid: TileGrid { gx: 1, gy: 1 },
+            copies_r: 0,
+            copies_s: 0,
+            repart_copies: 0,
+            repartitioned_pairs: 0,
+            repart_depth: 0,
+            candidates: 0,
+            results: 0,
+            duplicates: 0,
+            join_counters: JoinCounters::default(),
+            io_partition: IoStats::default(),
+            io_repart: IoStats::default(),
+            io_join: IoStats::default(),
+            io_dedup: IoStats::default(),
+            cpu_partition: 0.0,
+            cpu_repart: 0.0,
+            cpu_join: 0.0,
+            cpu_dedup: 0.0,
+            sort: None,
+            model,
+            first_result_cpu: None,
+            first_result_io: None,
+        }
+    }
+
+    /// Simulated time at which the first result appeared (None if empty) —
+    /// the pipelining metric: RPM emits during the join phase, the sort
+    /// phase only after the complete candidate set is sorted.
+    pub fn first_result_seconds(&self) -> Option<f64> {
+        Some(
+            self.model.scaled_cpu(self.first_result_cpu?)
+                + self.model.seconds(self.first_result_io.as_ref()?),
+        )
+    }
+
+    pub fn io_total(&self) -> IoStats {
+        self.io_partition
+            .plus(&self.io_repart)
+            .plus(&self.io_join)
+            .plus(&self.io_dedup)
+    }
+
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cpu_partition + self.cpu_repart + self.cpu_join + self.cpu_dedup
+    }
+
+    pub fn io_seconds(&self) -> f64 {
+        self.model.seconds(&self.io_total())
+    }
+
+    /// CPU seconds stretched to the emulated 1999 machine.
+    pub fn scaled_cpu_seconds(&self) -> f64 {
+        self.model.scaled_cpu(self.cpu_seconds())
+    }
+
+    /// The paper's "total runtime": (emulated) CPU plus simulated disk time.
+    pub fn total_seconds(&self) -> f64 {
+        self.scaled_cpu_seconds() + self.io_seconds()
+    }
+
+    /// Fraction of the total runtime spent repartitioning (Figure 6).
+    pub fn repart_fraction(&self) -> f64 {
+        let repart = self.model.scaled_cpu(self.cpu_repart) + self.model.seconds(&self.io_repart);
+        if self.total_seconds() > 0.0 {
+            repart / self.total_seconds()
+        } else {
+            0.0
+        }
+    }
+
+    /// Replication rate: copies written per input KPE.
+    pub fn replication_rate(&self, input_len: usize) -> f64 {
+        (self.copies_r + self.copies_s) as f64 / input_len.max(1) as f64
+    }
+}
+
+struct Ctx<'a> {
+    disk: &'a SimDisk,
+    cfg: &'a PbsmConfig,
+    internal: Box<dyn InternalJoin>,
+    stats: PbsmStats,
+    /// Candidate writer on a dedicated disk so the sort phase's I/O is
+    /// attributable (Figure 3a's "upper box").
+    dedup_disk: Option<SimDisk>,
+    candidates: Option<RecordWriter<IdPair>>,
+}
+
+/// Runs PBSM on `r ⋈ s`, invoking `out` for every result pair.
+///
+/// Reading the inputs and delivering the output are free of charge, per the
+/// paper's cost model (§2); all intermediate files (partitions, repartitions,
+/// candidate sets) live on `disk` and are fully accounted.
+pub fn pbsm_join(
+    disk: &SimDisk,
+    r: &[Kpe],
+    s: &[Kpe],
+    cfg: &PbsmConfig,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> PbsmStats {
+    let mut stats = PbsmStats::new(disk.model());
+    let run_start = Instant::now();
+
+    // --- Phase 1: partitioning (formula (1) with safety factor t) ----------
+    let t0 = Instant::now();
+    let io0 = disk.stats();
+    let input_bytes = (r.len() + s.len()) * Kpe::ENCODED_SIZE;
+    let p = ((cfg.safety_factor * input_bytes as f64 / cfg.mem_bytes as f64).ceil() as u32).max(1);
+    let grid = TileGrid::for_partitions(p, cfg.tiles_per_partition);
+    let map = PartitionMap::new(p, cfg.tile_scheme, cfg.seed);
+    stats.partitions = p;
+    stats.grid = grid;
+
+    // With a single partition the "pair" is the whole input: per the cost
+    // model it can be joined straight from memory, so the partition files
+    // are never materialised (the same shortcut every in-memory hash join
+    // takes when it fits).
+    let single = p == 1;
+    let (files_r, files_s) = if single {
+        stats.copies_r = r.len() as u64; // one logical copy each, not on disk
+        stats.copies_s = s.len() as u64;
+        (Vec::new(), Vec::new())
+    } else {
+        let (files_r, copies_r) =
+            partition_relation(disk, r, grid, map, cfg.partition_buffer_pages);
+        let (files_s, copies_s) =
+            partition_relation(disk, s, grid, map, cfg.partition_buffer_pages);
+        stats.copies_r = copies_r;
+        stats.copies_s = copies_s;
+        (files_r, files_s)
+    };
+    stats.io_partition = disk.stats().delta(&io0);
+    stats.cpu_partition = t0.elapsed().as_secs_f64();
+
+    // --- Phases 2+3: repartition where needed, join every pair -------------
+    let dedup_disk = matches!(cfg.dedup, Dedup::SortPhase).then(|| SimDisk::new(disk.model()));
+    let candidates = dedup_disk
+        .as_ref()
+        .map(|d| RecordWriter::<IdPair>::create(d, cfg.io_buffer_pages));
+    // First-result probe: captures the CPU/I/O meters the moment the first
+    // result reaches the consumer (the pipelining metric of §3.1/§5).
+    let mut first_cpu: Option<f64> = None;
+    let mut first_io: Option<IoStats> = None;
+    let probe_disk = disk.clone();
+    let probe_dedup = dedup_disk.clone();
+    let mut wrapped_out = |a: RecordId, b: RecordId| {
+        if first_cpu.is_none() {
+            first_cpu = Some(run_start.elapsed().as_secs_f64());
+            let mut io = probe_disk.stats();
+            if let Some(d) = &probe_dedup {
+                io = io.plus(&d.stats());
+            }
+            first_io = Some(io);
+        }
+        out(a, b);
+    };
+    let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
+    let mut ctx = Ctx {
+        disk,
+        cfg,
+        internal: cfg.internal.create(),
+        stats,
+        dedup_disk,
+        candidates,
+    };
+    if single {
+        let t = Instant::now();
+        let chain = RegionChain::top(grid, map, map.partition_of(0, 0, grid.gx));
+        let mut rv = r.to_vec();
+        let mut sv = s.to_vec();
+        join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out);
+        ctx.stats.cpu_join += t.elapsed().as_secs_f64();
+    } else {
+        for i in 0..p {
+            let chain = RegionChain::top(grid, map, i);
+            join_pair(&mut ctx, files_r[i as usize], files_s[i as usize], &chain, 0, out);
+            disk.delete(files_r[i as usize]);
+            disk.delete(files_s[i as usize]);
+        }
+    }
+    ctx.stats.join_counters = ctx.internal.counters();
+
+    // --- Phase 4 (SortPhase only): sort candidates, drop duplicates --------
+    let Ctx {
+        mut stats,
+        dedup_disk,
+        candidates,
+        ..
+    } = ctx;
+    if let (Some(ddisk), Some(writer)) = (dedup_disk, candidates) {
+        let t3 = Instant::now();
+        let cand_file = writer.finish();
+        let (sorted, sort_stats) = external_sort::<IdPair>(&ddisk, cand_file, cfg.mem_bytes);
+        ddisk.delete(cand_file);
+        let mut prev: Option<IdPair> = None;
+        for pair in RecordReader::<IdPair>::new(&ddisk, sorted, cfg.io_buffer_pages) {
+            if prev != Some(pair) {
+                stats.results += 1;
+                out(RecordId(pair.r), RecordId(pair.s));
+            } else {
+                stats.duplicates += 1;
+            }
+            prev = Some(pair);
+        }
+        ddisk.delete(sorted);
+        stats.sort = Some(sort_stats);
+        stats.io_dedup = ddisk.stats();
+        stats.cpu_dedup = t3.elapsed().as_secs_f64();
+    }
+    stats.first_result_cpu = first_cpu;
+    stats.first_result_io = first_io;
+    stats
+}
+
+/// Phase 1 for one relation: replicate each KPE into the partition of every
+/// tile it overlaps. Returns the partition files and the number of copies.
+fn partition_relation(
+    disk: &SimDisk,
+    data: &[Kpe],
+    grid: TileGrid,
+    map: PartitionMap,
+    buffer_pages: usize,
+) -> (Vec<FileId>, u64) {
+    let p = map.partitions;
+    let mut writers: Vec<RecordWriter<Kpe>> = (0..p)
+        .map(|_| RecordWriter::create(disk, buffer_pages))
+        .collect();
+    let mut copies = 0u64;
+    let mut targets: Vec<u32> = Vec::with_capacity(8);
+    for k in data {
+        targets.clear();
+        let (xs, ys) = grid.tile_range(&k.rect, 1);
+        for iy in ys {
+            for ix in xs.clone() {
+                let pid = map.partition_of(ix, iy, grid.gx);
+                if !targets.contains(&pid) {
+                    targets.push(pid);
+                }
+            }
+        }
+        for &pid in &targets {
+            writers[pid as usize].push(k);
+            copies += 1;
+        }
+    }
+    (writers.into_iter().map(|w| w.finish()).collect(), copies)
+}
+
+/// Joins one loaded partition pair with the configured duplicate handling.
+fn join_loaded(
+    ctx: &mut Ctx<'_>,
+    rv: &mut [Kpe],
+    sv: &mut [Kpe],
+    chain: &RegionChain,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) {
+    let Ctx {
+        internal,
+        stats,
+        candidates,
+        cfg,
+        ..
+    } = ctx;
+    let mut local_candidates = 0u64;
+    internal.join(rv, sv, &mut |a, b| {
+        local_candidates += 1;
+        match cfg.dedup {
+            Dedup::ReferencePoint => {
+                if chain.contains_point(reference_point(&a.rect, &b.rect)) {
+                    stats.results += 1;
+                    out(a.id, b.id);
+                } else {
+                    stats.duplicates += 1;
+                }
+            }
+            Dedup::SortPhase => {
+                candidates
+                    .as_mut()
+                    .expect("sort-phase candidate writer")
+                    .push(&IdPair { r: a.id.0, s: b.id.0 });
+            }
+            Dedup::None => {
+                stats.results += 1;
+                out(a.id, b.id);
+            }
+        }
+    });
+    ctx.stats.candidates += local_candidates;
+}
+
+/// Phases 2+3 for one partition pair: join it if it fits, else repartition
+/// the larger side (§3.2.3) and recurse.
+fn join_pair(
+    ctx: &mut Ctx<'_>,
+    fr: FileId,
+    fs: FileId,
+    chain: &RegionChain,
+    depth: u32,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) {
+    let disk = ctx.disk;
+    let (br, bs) = (disk.len(fr), disk.len(fs));
+    if br == 0 || bs == 0 {
+        return;
+    }
+    let fits = (br + bs) as usize <= ctx.cfg.mem_bytes;
+    if fits || depth >= MAX_REPART_DEPTH {
+        // --- Join phase ---
+        let t = Instant::now();
+        let io0 = disk.stats();
+        let mut rv: Vec<Kpe> =
+            RecordReader::<Kpe>::new(disk, fr, ctx.cfg.io_buffer_pages).collect();
+        let mut sv: Vec<Kpe> =
+            RecordReader::<Kpe>::new(disk, fs, ctx.cfg.io_buffer_pages).collect();
+        join_loaded(ctx, &mut rv, &mut sv, chain, out);
+        ctx.stats.io_join = ctx.stats.io_join.plus(&disk.stats().delta(&io0));
+        ctx.stats.cpu_join += t.elapsed().as_secs_f64();
+        return;
+    }
+
+    // --- Repartitioning phase ---
+    let t = Instant::now();
+    let io0 = disk.stats();
+    ctx.stats.repartitioned_pairs += 1;
+    ctx.stats.repart_depth = ctx.stats.repart_depth.max(depth + 1);
+    let split_r = br >= bs; // split the larger partition first
+    let (big, big_bytes) = if split_r { (fr, br) } else { (fs, bs) };
+    let f_new = chain.max_f() * 2;
+    let n_sub = ((ctx.cfg.safety_factor * 2.0 * big_bytes as f64 / ctx.cfg.mem_bytes as f64)
+        .ceil() as u32)
+        .max(2);
+    let submap = PartitionMap::new(
+        n_sub,
+        ctx.cfg.tile_scheme,
+        ctx.cfg.seed ^ (0xABCD_u64.rotate_left(depth) ^ f_new as u64),
+    );
+    let mut writers: Vec<RecordWriter<Kpe>> = (0..n_sub)
+        .map(|_| RecordWriter::create(disk, ctx.cfg.partition_buffer_pages))
+        .collect();
+    let mut targets: Vec<u32> = Vec::with_capacity(8);
+    for k in RecordReader::<Kpe>::new(disk, big, ctx.cfg.io_buffer_pages) {
+        targets.clear();
+        let (xs, ys) = chain.base.tile_range(&k.rect, f_new);
+        for iy in ys {
+            for ix in xs.clone() {
+                if !chain.contains_tile(ix, iy, f_new) {
+                    continue; // tile outside this pair's region
+                }
+                let pid = submap.partition_of(ix, iy, chain.base.gx * f_new);
+                if !targets.contains(&pid) {
+                    targets.push(pid);
+                }
+            }
+        }
+        for &pid in &targets {
+            writers[pid as usize].push(&k);
+            ctx.stats.repart_copies += 1;
+        }
+    }
+    let subfiles: Vec<FileId> = writers.into_iter().map(|w| w.finish()).collect();
+    ctx.stats.io_repart = ctx.stats.io_repart.plus(&disk.stats().delta(&io0));
+    ctx.stats.cpu_repart += t.elapsed().as_secs_f64();
+
+    for (k, &sub) in subfiles.iter().enumerate() {
+        let sub_chain = chain.refined(f_new, submap, k as u32);
+        if split_r {
+            join_pair(ctx, sub, fs, &sub_chain, depth + 1, out);
+        } else {
+            join_pair(ctx, fr, sub, &sub_chain, depth + 1, out);
+        }
+        disk.delete(sub);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{scale, uniform, LineNetwork};
+    use std::collections::HashSet;
+
+    fn brute(r: &[Kpe], s: &[Kpe]) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        for a in r {
+            for b in s {
+                if a.rect.intersects(&b.rect) {
+                    v.push((a.id.0, b.id.0));
+                }
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    fn run(r: &[Kpe], s: &[Kpe], cfg: &PbsmConfig) -> (Vec<(u64, u64)>, PbsmStats) {
+        let disk = SimDisk::with_default_model();
+        let mut got = Vec::new();
+        let stats = pbsm_join(&disk, r, s, cfg, &mut |a, b| got.push((a.0, b.0)));
+        got.sort_unstable();
+        (got, stats)
+    }
+
+    fn tiger_pair(n: usize) -> (Vec<Kpe>, Vec<Kpe>) {
+        let r = LineNetwork {
+            count: n,
+            coverage: 0.22,
+            segments_per_line: 20,
+            seed: 101,
+        }
+        .generate();
+        let s = LineNetwork {
+            count: n + n / 10,
+            coverage: 0.03,
+            segments_per_line: 10,
+            seed: 202,
+        }
+        .generate();
+        (r, s)
+    }
+
+    #[test]
+    fn rpm_matches_brute_force_multi_partition() {
+        let (r, s) = tiger_pair(3000);
+        let cfg = PbsmConfig {
+            mem_bytes: 32 * 1024, // forces many partitions
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert!(stats.partitions > 4, "want several partitions");
+        assert_eq!(got, brute(&r, &s));
+        assert_eq!(stats.results as usize, got.len());
+    }
+
+    #[test]
+    fn sort_phase_matches_rpm_and_pays_io() {
+        let (r, s) = tiger_pair(2000);
+        let base = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            ..Default::default()
+        };
+        let (rpm, st_rpm) = run(&r, &s, &base);
+        let (sorted, st_sort) = run(
+            &r,
+            &s,
+            &PbsmConfig {
+                dedup: Dedup::SortPhase,
+                ..base
+            },
+        );
+        assert_eq!(rpm, sorted);
+        assert_eq!(st_rpm.results, st_sort.results);
+        // Identical candidate sets, but only the sort phase does dedup I/O.
+        assert_eq!(st_rpm.candidates, st_sort.candidates);
+        assert_eq!(st_rpm.io_dedup, IoStats::default());
+        assert!(st_sort.io_dedup.pages_written > 0);
+        assert!(st_sort.sort.is_some());
+    }
+
+    #[test]
+    fn duplicates_are_real_and_fully_suppressed() {
+        // Scaled-up rects overlap many tiles => replication => duplicates.
+        let (r0, s0) = tiger_pair(1500);
+        let (r, s) = (scale(&r0, 4.0), scale(&s0, 4.0));
+        let cfg = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert!(
+            stats.duplicates > 0,
+            "expected duplicate candidates, got none (replication {})",
+            stats.replication_rate(r.len() + s.len())
+        );
+        assert_eq!(got, brute(&r, &s));
+        // Raw candidate mode really does emit duplicates.
+        let (raw, raw_stats) = run(
+            &r,
+            &s,
+            &PbsmConfig {
+                dedup: Dedup::None,
+                ..cfg
+            },
+        );
+        assert_eq!(raw_stats.candidates, stats.candidates);
+        assert!(raw.len() > got.len());
+        let unique: HashSet<_> = raw.iter().copied().collect();
+        assert_eq!(unique.len(), got.len());
+    }
+
+    #[test]
+    fn all_internal_algorithms_agree() {
+        let (r, s) = tiger_pair(2000);
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        for internal in InternalAlgo::ALL {
+            let cfg = PbsmConfig {
+                mem_bytes: 48 * 1024,
+                internal,
+                ..Default::default()
+            };
+            let (got, _) = run(&r, &s, &cfg);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "{internal} diverges"),
+            }
+        }
+    }
+
+    #[test]
+    fn repartitioning_triggers_and_stays_correct() {
+        // Clustered data + round-robin tiles => skewed partitions => some
+        // pair overflows memory and must repartition.
+        let r = datagen::clustered(4000, 2, 0.01, 7);
+        let s = datagen::clustered(4000, 2, 0.01, 8);
+        let cfg = PbsmConfig {
+            mem_bytes: 48 * 1024,
+            tile_scheme: TileScheme::RoundRobin,
+            tiles_per_partition: 1,
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert!(
+            stats.repartitioned_pairs > 0,
+            "expected repartitioning; partitions={} copies={}",
+            stats.partitions,
+            stats.copies_r + stats.copies_s
+        );
+        assert_eq!(got, brute(&r, &s));
+    }
+
+    #[test]
+    fn single_partition_when_memory_is_plentiful() {
+        let (r, s) = tiger_pair(500);
+        let cfg = PbsmConfig {
+            mem_bytes: 64 << 20,
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(stats.duplicates, 0, "one partition cannot duplicate");
+        assert_eq!(got, brute(&r, &s));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (r, _) = tiger_pair(100);
+        let cfg = PbsmConfig::default();
+        let (got, stats) = run(&r, &[], &cfg);
+        assert!(got.is_empty());
+        assert_eq!(stats.results, 0);
+        let (got, _) = run(&[], &[], &cfg);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn self_join_is_consistent() {
+        let r = uniform(1200, 0.01, 33);
+        let cfg = PbsmConfig {
+            mem_bytes: 24 * 1024,
+            ..Default::default()
+        };
+        let (got, _) = run(&r, &r, &cfg);
+        assert_eq!(got, brute(&r, &r));
+        // Ordered-pair symmetry: (a,b) present iff (b,a) present.
+        let set: HashSet<_> = got.iter().copied().collect();
+        for &(a, b) in &got {
+            assert!(set.contains(&(b, a)));
+        }
+    }
+
+    #[test]
+    fn stats_phase_decomposition_adds_up() {
+        let (r, s) = tiger_pair(1500);
+        let cfg = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            dedup: Dedup::SortPhase,
+            ..Default::default()
+        };
+        let disk = SimDisk::with_default_model();
+        let stats = pbsm_join(&disk, &r, &s, &cfg, &mut |_, _| {});
+        // Partition + repart + join I/O happens on the main disk...
+        let main = stats.io_partition.plus(&stats.io_repart).plus(&stats.io_join);
+        assert_eq!(main, disk.stats());
+        // ...and totals include the dedup disk.
+        assert_eq!(
+            stats.io_total().pages_written,
+            main.pages_written + stats.io_dedup.pages_written
+        );
+        assert!(stats.total_seconds() > 0.0);
+        assert!(stats.repart_fraction() >= 0.0 && stats.repart_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn replication_grows_with_coverage() {
+        let (r0, s0) = tiger_pair(1500);
+        let cfg = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            ..Default::default()
+        };
+        let (_, st1) = run(&r0, &s0, &cfg);
+        let (r4, s4) = (scale(&r0, 4.0), scale(&s0, 4.0));
+        let (_, st4) = run(&r4, &s4, &cfg);
+        let n = r0.len() + s0.len();
+        assert!(
+            st4.replication_rate(n) > st1.replication_rate(n),
+            "p=4 replication {} not above p=1 {}",
+            st4.replication_rate(n),
+            st1.replication_rate(n)
+        );
+    }
+}
+
+#[cfg(test)]
+mod formula_tests {
+    use super::*;
+
+    /// Formula (1) with the safety factor: P = ceil(t * input / M).
+    #[test]
+    fn partition_count_follows_formula() {
+        let disk = SimDisk::with_default_model();
+        let data = datagen::uniform(1000, 0.001, 1); // 40 KB per relation
+        for (mem, t, expect) in [
+            (80_000usize, 1.0f64, 1u32),
+            (40_000, 1.0, 2),
+            (40_000, 1.2, 3),   // the §3.2.3 fix: 2.0 -> 2.4 -> 3
+            (10_000, 1.0, 8),
+            (10_000, 2.0, 16),
+        ] {
+            let cfg = PbsmConfig {
+                mem_bytes: mem,
+                safety_factor: t,
+                ..Default::default()
+            };
+            let st = pbsm_join(&disk, &data, &data, &cfg, &mut |_, _| {});
+            assert_eq!(st.partitions, expect, "mem={mem} t={t}");
+        }
+    }
+
+    /// A borderline partition count without the safety factor triggers
+    /// repartitioning; with t = 1.2 it does not (the paper's '1.99' case).
+    #[test]
+    fn safety_factor_avoids_borderline_repartitioning() {
+        let disk = SimDisk::with_default_model();
+        let data = datagen::uniform(2000, 0.002, 2); // 80 KB per relation
+        let mem = 81_000; // input/M = 1.975 -> P=2 without t
+        let run = |t: f64| {
+            let cfg = PbsmConfig {
+                mem_bytes: mem,
+                safety_factor: t,
+                ..Default::default()
+            };
+            pbsm_join(&disk, &data, &data, &cfg, &mut |_, _| {})
+        };
+        let tight = run(1.0);
+        let safe = run(1.2);
+        assert_eq!(tight.partitions, 2);
+        assert_eq!(safe.partitions, 3);
+        assert!(
+            tight.repartitioned_pairs >= safe.repartitioned_pairs,
+            "safety factor should not repartition more"
+        );
+    }
+
+    /// With a single partition the join runs straight from memory: no
+    /// partition files, no I/O — matching the in-memory shortcut SSSJ takes.
+    #[test]
+    fn single_partition_skips_all_io() {
+        let disk = SimDisk::with_default_model();
+        let data = datagen::uniform(500, 0.01, 9);
+        let cfg = PbsmConfig {
+            mem_bytes: 64 << 20,
+            ..Default::default()
+        };
+        let mut n = 0u64;
+        let st = pbsm_join(&disk, &data, &data, &cfg, &mut |_, _| n += 1);
+        assert_eq!(st.partitions, 1);
+        assert_eq!(disk.stats(), IoStats::default(), "P=1 must not touch disk");
+        assert_eq!(st.results, n);
+        assert!(n > 0);
+        // The sort-phase variant still pays its dedup I/O, but no partition I/O.
+        let st = pbsm_join(
+            &disk,
+            &data,
+            &data,
+            &PbsmConfig {
+                dedup: Dedup::SortPhase,
+                ..cfg
+            },
+            &mut |_, _| {},
+        );
+        assert_eq!(st.io_partition, IoStats::default());
+        assert!(st.io_dedup.pages_written > 0);
+        assert_eq!(st.results, n);
+    }
+
+    /// The Dedup::None diagnostic emits exactly the raw candidate stream.
+    #[test]
+    fn dedup_none_emits_raw_candidates() {
+        let disk = SimDisk::with_default_model();
+        let data = datagen::scale(&datagen::uniform(800, 0.01, 3), 3.0);
+        let cfg = PbsmConfig {
+            mem_bytes: 8 * 1024,
+            dedup: Dedup::None,
+            ..Default::default()
+        };
+        let mut emitted = 0u64;
+        let st = pbsm_join(&disk, &data, &data, &cfg, &mut |_, _| emitted += 1);
+        assert_eq!(emitted, st.candidates);
+        assert_eq!(st.results, st.candidates);
+        assert_eq!(st.duplicates, 0);
+    }
+}

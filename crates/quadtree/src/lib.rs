@@ -1,0 +1,478 @@
+//! The MX-CIF quadtree and its synchronized-traversal spatial join.
+//!
+//! S³J "can be viewed as an external version of a join algorithm that is
+//! performed on MX-CIF quadtrees" (paper §4.1). This crate provides that
+//! internal version: the [`MxCifQuadtree`] ([Sam 90], [AS 83]) stores each
+//! rectangle at the *lowest* node whose region covers it (several rectangles
+//! per node, no node capacity), and [`MxCifQuadtree::join`] performs the
+//! synchronized pre-order traversal joining every node with the nodes on the
+//! path to its counterpart.
+//!
+//! It doubles as the reference model in tests: the level-file decomposition
+//! of S³J must agree exactly with the node contents of this tree.
+
+use geom::{Kpe, Point, Rect};
+use sfc::{mxcif_cell, Cell};
+
+const NONE: u32 = u32::MAX;
+
+struct Node {
+    children: [u32; 4],
+    entries: Vec<Kpe>,
+}
+
+impl Node {
+    fn new() -> Self {
+        Node {
+            children: [NONE; 4],
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// In-memory MX-CIF quadtree over the unit data space.
+pub struct MxCifQuadtree {
+    nodes: Vec<Node>,
+    max_level: u8,
+    len: usize,
+}
+
+impl MxCifQuadtree {
+    /// Creates an empty tree whose finest level is `max_level`.
+    pub fn new(max_level: u8) -> Self {
+        MxCifQuadtree {
+            nodes: vec![Node::new()],
+            max_level,
+            len: 0,
+        }
+    }
+
+    /// Builds a tree from a dataset.
+    pub fn bulk(data: &[Kpe], max_level: u8) -> Self {
+        let mut t = Self::new(max_level);
+        for k in data {
+            t.insert(*k);
+        }
+        t
+    }
+
+    /// Number of rectangles stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of allocated quadtree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Index of the node for `cell`, creating the path to it on demand.
+    fn node_for(&mut self, cell: Cell) -> usize {
+        let mut idx = 0usize;
+        for depth in (0..cell.level).rev() {
+            // Quadrant of the next step: bit `depth` of the cell coords.
+            let qx = (cell.ix >> depth) & 1;
+            let qy = (cell.iy >> depth) & 1;
+            let q = ((qy << 1) | qx) as usize;
+            let next = self.nodes[idx].children[q];
+            idx = if next == NONE {
+                let new = self.nodes.len() as u32;
+                self.nodes.push(Node::new());
+                self.nodes[idx].children[q] = new;
+                new as usize
+            } else {
+                next as usize
+            };
+        }
+        idx
+    }
+
+    /// Inserts a rectangle at the lowest node covering it.
+    pub fn insert(&mut self, k: Kpe) {
+        let cell = mxcif_cell(&k.rect, self.max_level);
+        let idx = self.node_for(cell);
+        self.nodes[idx].entries.push(k);
+        self.len += 1;
+    }
+
+    /// Histogram of entries per level (index = level). Exposes the paper's
+    /// observation that with the original assignment rule "the vast majority
+    /// of rectangles in the lowest level-file (level 0) were very small".
+    pub fn level_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_level as usize + 1];
+        // Recompute levels from node depth via DFS.
+        let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+        while let Some((idx, depth)) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            hist[depth] += node.entries.len();
+            for &c in &node.children {
+                if c != NONE {
+                    stack.push((c, depth + 1));
+                }
+            }
+        }
+        hist
+    }
+
+    /// All stored rectangles intersecting `query`.
+    pub fn window_query(&self, query: &Rect, out: &mut dyn FnMut(&Kpe)) {
+        let mut stack: Vec<(u32, Cell)> = vec![(0, Cell::ROOT)];
+        while let Some((idx, cell)) = stack.pop() {
+            if !cell.rect().intersects(query) {
+                continue;
+            }
+            let node = &self.nodes[idx as usize];
+            for e in &node.entries {
+                if e.rect.intersects(query) {
+                    out(e);
+                }
+            }
+            for (q, &c) in node.children.iter().enumerate() {
+                if c != NONE {
+                    let qx = (q as u32) & 1;
+                    let qy = (q as u32) >> 1;
+                    stack.push((
+                        c,
+                        Cell::new(cell.level + 1, cell.ix * 2 + qx, cell.iy * 2 + qy),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// All stored rectangles containing point `p` (uses the covering
+    /// property: only nodes on the path to `p`'s leaf can hold matches).
+    pub fn point_query(&self, p: Point, out: &mut dyn FnMut(&Kpe)) {
+        let leaf = Cell::containing(self.max_level, p);
+        let mut idx = 0usize;
+        for depth in (0..self.max_level).rev() {
+            for e in &self.nodes[idx].entries {
+                if e.rect.contains_point(p) {
+                    out(e);
+                }
+            }
+            let qx = (leaf.ix >> depth) & 1;
+            let qy = (leaf.iy >> depth) & 1;
+            let next = self.nodes[idx].children[((qy << 1) | qx) as usize];
+            if next == NONE {
+                return;
+            }
+            idx = next as usize;
+        }
+        for e in &self.nodes[idx].entries {
+            if e.rect.contains_point(p) {
+                out(e);
+            }
+        }
+    }
+
+    /// Synchronized pre-order traversal join (paper §4.1): for every pair of
+    /// synchronously visited nodes `(N_R, N_S)`, `N_R` is joined with all
+    /// nodes on the path to `N_S` (including `N_S`) and `N_S` with all nodes
+    /// on the path to `N_R` (excluding `N_R`, which the first join covered).
+    ///
+    /// Reports ordered pairs `(r, s)`; each intersecting pair exactly once.
+    /// Returns the number of rectangle intersection tests performed.
+    pub fn join(&self, other: &MxCifQuadtree, out: &mut dyn FnMut(&Kpe, &Kpe)) -> u64 {
+        let mut path_r: Vec<u32> = Vec::new();
+        let mut path_s: Vec<u32> = Vec::new();
+        let mut tests = 0u64;
+        self.join_rec(other, Some(0), Some(0), &mut path_r, &mut path_s, &mut tests, out);
+        tests
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_rec(
+        &self,
+        other: &MxCifQuadtree,
+        nr: Option<u32>,
+        ns: Option<u32>,
+        path_r: &mut Vec<u32>,
+        path_s: &mut Vec<u32>,
+        tests: &mut u64,
+        out: &mut dyn FnMut(&Kpe, &Kpe),
+    ) {
+        // Join the newly visited R node with the S path (including ns) and
+        // the newly visited S node with the R path (excluding nr).
+        if let Some(r) = nr {
+            let r_entries = &self.nodes[r as usize].entries;
+            for &s in path_s.iter().chain(ns.iter()) {
+                join_lists(r_entries, &other.nodes[s as usize].entries, tests, out);
+            }
+        }
+        if let Some(s) = ns {
+            let s_entries = &other.nodes[s as usize].entries;
+            for &r in path_r.iter() {
+                join_lists(&self.nodes[r as usize].entries, s_entries, tests, out);
+            }
+        }
+        // Descend into quadrants present in either tree.
+        let rc = nr.map(|r| self.nodes[r as usize].children);
+        let sc = ns.map(|s| other.nodes[s as usize].children);
+        let any_child = |c: Option<[u32; 4]>, q: usize| c.map(|c| c[q]).filter(|&v| v != NONE);
+        if rc.is_none() && sc.is_none() {
+            return;
+        }
+        if let Some(r) = nr {
+            path_r.push(r);
+        }
+        if let Some(s) = ns {
+            path_s.push(s);
+        }
+        for q in 0..4 {
+            let cr = any_child(rc, q);
+            let cs = any_child(sc, q);
+            if cr.is_some() || cs.is_some() {
+                self.join_rec(other, cr, cs, path_r, path_s, tests, out);
+            }
+        }
+        if nr.is_some() {
+            path_r.pop();
+        }
+        if ns.is_some() {
+            path_s.pop();
+        }
+    }
+}
+
+fn join_lists(r: &[Kpe], s: &[Kpe], tests: &mut u64, out: &mut dyn FnMut(&Kpe, &Kpe)) {
+    *tests += (r.len() * s.len()) as u64;
+    for a in r {
+        for b in s {
+            if a.rect.intersects(&b.rect) {
+                out(a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::RecordId;
+    use rand::prelude::*;
+
+    fn random_kpes(n: usize, max_edge: f64, seed: u64) -> Vec<Kpe> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let x = rng.gen_range(0.0..1.0);
+                let y = rng.gen_range(0.0..1.0);
+                let w = rng.gen_range(0.0..max_edge);
+                let h = rng.gen_range(0.0..max_edge);
+                Kpe::new(
+                    RecordId(i as u64),
+                    Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)),
+                )
+            })
+            .collect()
+    }
+
+    fn brute(r: &[Kpe], s: &[Kpe]) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        for a in r {
+            for b in s {
+                if a.rect.intersects(&b.rect) {
+                    v.push((a.id.0, b.id.0));
+                }
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_then_count() {
+        let data = random_kpes(100, 0.05, 1);
+        let t = MxCifQuadtree::bulk(&data, 10);
+        assert_eq!(t.len(), 100);
+        assert_eq!(t.level_histogram().iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn window_query_matches_scan() {
+        let data = random_kpes(300, 0.08, 2);
+        let t = MxCifQuadtree::bulk(&data, 12);
+        let q = Rect::new(0.2, 0.3, 0.5, 0.6);
+        let mut got: Vec<u64> = Vec::new();
+        t.window_query(&q, &mut |k| got.push(k.id.0));
+        got.sort_unstable();
+        let mut want: Vec<u64> = data
+            .iter()
+            .filter(|k| k.rect.intersects(&q))
+            .map(|k| k.id.0)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn point_query_matches_scan() {
+        let data = random_kpes(300, 0.1, 3);
+        let t = MxCifQuadtree::bulk(&data, 12);
+        for p in [
+            Point::new(0.5, 0.5),
+            Point::new(0.1, 0.9),
+            Point::new(0.33, 0.66),
+        ] {
+            let mut got: Vec<u64> = Vec::new();
+            t.point_query(p, &mut |k| got.push(k.id.0));
+            got.sort_unstable();
+            let mut want: Vec<u64> = data
+                .iter()
+                .filter(|k| k.rect.contains_point(p))
+                .map(|k| k.id.0)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "point {p:?}");
+        }
+    }
+
+    #[test]
+    fn join_matches_brute_force() {
+        let r = random_kpes(200, 0.06, 4);
+        let s = random_kpes(250, 0.04, 5);
+        let tr = MxCifQuadtree::bulk(&r, 12);
+        let ts = MxCifQuadtree::bulk(&s, 12);
+        let mut got = Vec::new();
+        tr.join(&ts, &mut |a, b| got.push((a.id.0, b.id.0)));
+        got.sort_unstable();
+        assert_eq!(got, brute(&r, &s));
+    }
+
+    #[test]
+    fn join_is_exactly_once_even_for_root_heavy_data() {
+        // Rects straddling the centre all live at the root: the root-pair
+        // join must still produce each pair exactly once.
+        let mk = |id: u64, d: f64| {
+            Kpe::new(
+                RecordId(id),
+                Rect::new(0.5 - d, 0.5 - d, 0.5 + d, 0.5 + d),
+            )
+        };
+        let r: Vec<Kpe> = (0..10).map(|i| mk(i, 0.001 + i as f64 * 0.01)).collect();
+        let s: Vec<Kpe> = (100..110).map(|i| mk(i, 0.002 + (i - 100) as f64 * 0.01)).collect();
+        let tr = MxCifQuadtree::bulk(&r, 10);
+        let ts = MxCifQuadtree::bulk(&s, 10);
+        let mut got = Vec::new();
+        tr.join(&ts, &mut |a, b| got.push((a.id.0, b.id.0)));
+        got.sort_unstable();
+        let want = brute(&r, &s);
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 100); // all pairs intersect at the centre
+    }
+
+    #[test]
+    fn join_with_empty_tree() {
+        let r = random_kpes(50, 0.1, 6);
+        let tr = MxCifQuadtree::bulk(&r, 10);
+        let ts = MxCifQuadtree::new(10);
+        let mut got = Vec::new();
+        tr.join(&ts, &mut |a, b| got.push((a.id.0, b.id.0)));
+        assert!(got.is_empty());
+        ts.join(&tr, &mut |a, b| got.push((a.id.0, b.id.0)));
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn join_does_fewer_tests_than_nested_loops_on_spread_data() {
+        let r = random_kpes(1000, 0.01, 7);
+        let s = random_kpes(1000, 0.01, 8);
+        let tr = MxCifQuadtree::bulk(&r, 12);
+        let ts = MxCifQuadtree::bulk(&s, 12);
+        let tests = tr.join(&ts, &mut |_, _| {});
+        assert!(tests < 1000 * 1000 / 10, "tests = {tests}");
+    }
+
+    #[test]
+    fn level_histogram_shows_clipping_pathology() {
+        // Tiny rects placed ON the centre lines land at coarse levels even
+        // though they are small — the motivation for size separation.
+        let mut data = Vec::new();
+        for i in 0..50u64 {
+            let t = i as f64 / 50.0;
+            data.push(Kpe::new(
+                RecordId(i),
+                Rect::new(0.4999, t.min(0.998), 0.5001, (t + 0.001).min(0.999)),
+            ));
+        }
+        let t = MxCifQuadtree::bulk(&data, 12);
+        let hist = t.level_histogram();
+        assert!(hist[0] + hist[1] > 25, "hist = {hist:?}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use geom::RecordId;
+    use proptest::prelude::*;
+
+    fn arb_kpes(max_n: usize) -> impl Strategy<Value = Vec<Kpe>> {
+        prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.4, 0.0f64..0.4),
+            0..max_n,
+        )
+        .prop_map(|v| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, (x, y, w, h))| {
+                    Kpe::new(
+                        RecordId(i as u64),
+                        Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)),
+                    )
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The synchronized quadtree join (§4.1) equals brute force for
+        /// arbitrary inputs and tree depths.
+        #[test]
+        fn prop_join_matches_brute_force(r in arb_kpes(60), s in arb_kpes(60),
+                                         max_level in 1u8..10) {
+            let tr = MxCifQuadtree::bulk(&r, max_level);
+            let ts = MxCifQuadtree::bulk(&s, max_level);
+            let mut got = Vec::new();
+            tr.join(&ts, &mut |a, b| got.push((a.id.0, b.id.0)));
+            got.sort_unstable();
+            let mut want = Vec::new();
+            for a in &r {
+                for b in &s {
+                    if a.rect.intersects(&b.rect) {
+                        want.push((a.id.0, b.id.0));
+                    }
+                }
+            }
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Every stored rectangle is covered by its node's cell region — the
+        /// MX-CIF invariant the join's path-only pairing relies on.
+        #[test]
+        fn prop_window_query_consistent(r in arb_kpes(80),
+                                        qx in 0.0f64..1.0, qy in 0.0f64..1.0,
+                                        qw in 0.0f64..0.5, qh in 0.0f64..0.5) {
+            let q = Rect::new(qx, qy, (qx + qw).min(1.0), (qy + qh).min(1.0));
+            let t = MxCifQuadtree::bulk(&r, 10);
+            let mut got: Vec<u64> = Vec::new();
+            t.window_query(&q, &mut |k| got.push(k.id.0));
+            got.sort_unstable();
+            let mut want: Vec<u64> = r
+                .iter()
+                .filter(|k| k.rect.intersects(&q))
+                .map(|k| k.id.0)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,757 @@
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use geom::{reference_point, Kpe, RecordId};
+use sfc::{Cell, Curve, MAX_LEVEL};
+use storage::{external_sort_by, DiskModel, FileId, IoStats, RecordReader, SimDisk};
+use sweep::{InternalAlgo, InternalJoin, JoinCounters};
+
+use crate::levels::{LevelFiles, LevelRecord};
+
+/// Join-phase strategy (§4.4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanMode {
+    /// One synchronized scan over all level files, driven by a heap of file
+    /// cursors ordered by pre-order position — empty partitions are never
+    /// touched (the paper's implementation, detailed in [Dit 99]).
+    #[default]
+    HeapMerge,
+    /// Ablation baseline: join every pair of level files with its own merge
+    /// scan. Re-reads each level file once per opposite level.
+    LevelPairs,
+}
+
+/// S³J tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct S3jConfig {
+    /// Memory budget in bytes (drives external sorting; partitions are
+    /// assumed to fit, as in [KS 97]).
+    pub mem_bytes: usize,
+    /// Finest grid level.
+    pub max_level: u8,
+    /// `false`: original S³J (covering-cell assignment, no duplicates).
+    /// `true`: §4.3 size separation with ≤4-fold replication + online RPM.
+    pub replicate: bool,
+    /// Levels to coarsen the size-separation assignment by (replicated mode
+    /// only). 0 is the literal §4.3 rule (~3× replication on line data);
+    /// the default 1 keeps the ≤4-copy bound but halves the per-axis
+    /// straddle probability (~1.8× replication) — the paper's second design
+    /// choice ("the overall replication rate should be kept sufficiently
+    /// low").
+    pub level_shift: u8,
+    /// Space-filling curve for locational codes (§4.4.2).
+    pub curve: Curve,
+    /// Internal join algorithm for partition pairs (§4.4.1: nested loops
+    /// wins for S³J's tiny partitions).
+    pub internal: InternalAlgo,
+    pub scan: ScanMode,
+    /// Write-buffer pages per level file during partitioning.
+    pub level_buffer_pages: usize,
+    /// Read-buffer pages per cursor during the join scan.
+    pub io_buffer_pages: usize,
+}
+
+impl Default for S3jConfig {
+    fn default() -> Self {
+        S3jConfig {
+            mem_bytes: 8 << 20,
+            max_level: MAX_LEVEL,
+            replicate: true,
+            level_shift: 1,
+            curve: Curve::Peano,
+            internal: InternalAlgo::NestedLoops,
+            scan: ScanMode::HeapMerge,
+            level_buffer_pages: 1,
+            io_buffer_pages: 2,
+        }
+    }
+}
+
+/// Everything S³J measured while running.
+#[derive(Debug, Clone)]
+pub struct S3jStats {
+    pub copies_r: u64,
+    pub copies_s: u64,
+    pub histogram_r: Vec<u64>,
+    pub histogram_s: Vec<u64>,
+    pub code_computations: u64,
+    /// Pairs produced by the internal joins before duplicate handling.
+    pub candidates: u64,
+    pub results: u64,
+    pub duplicates: u64,
+    pub join_counters: JoinCounters,
+    pub sort_runs: usize,
+    pub sort_passes_max: usize,
+    pub io_partition: IoStats,
+    pub io_sort: IoStats,
+    pub io_join: IoStats,
+    pub cpu_partition: f64,
+    pub cpu_sort: f64,
+    pub cpu_join: f64,
+    /// Peak bytes of partitions resident during the join scan.
+    pub peak_partition_bytes: usize,
+    pub model: DiskModel,
+    /// CPU position (seconds since start) of the first emitted result.
+    pub first_result_cpu: Option<f64>,
+    /// I/O meter at the first emitted result.
+    pub first_result_io: Option<IoStats>,
+}
+
+impl S3jStats {
+    pub fn io_total(&self) -> IoStats {
+        self.io_partition.plus(&self.io_sort).plus(&self.io_join)
+    }
+
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cpu_partition + self.cpu_sort + self.cpu_join
+    }
+
+    pub fn io_seconds(&self) -> f64 {
+        self.model.seconds(&self.io_total())
+    }
+
+    /// CPU seconds stretched to the emulated 1999 machine.
+    pub fn scaled_cpu_seconds(&self) -> f64 {
+        self.model.scaled_cpu(self.cpu_seconds())
+    }
+
+    /// The paper's "total runtime": (emulated) CPU plus simulated disk time.
+    pub fn total_seconds(&self) -> f64 {
+        self.scaled_cpu_seconds() + self.io_seconds()
+    }
+
+    pub fn replication_rate(&self, input_len: usize) -> f64 {
+        (self.copies_r + self.copies_s) as f64 / input_len.max(1) as f64
+    }
+
+    /// Simulated time at which the first result appeared (None if empty).
+    /// S³J pipelines once the level files are sorted: results flow during
+    /// the synchronized scan.
+    pub fn first_result_seconds(&self) -> Option<f64> {
+        Some(
+            self.model.scaled_cpu(self.first_result_cpu?)
+                + self.model.seconds(self.first_result_io.as_ref()?),
+        )
+    }
+}
+
+/// A loaded partition: one cell's rectangles from one relation.
+struct Part {
+    rel: usize, // 0 = R, 1 = S
+    level: u8,
+    /// Pre-order range of the cell on the `max_level` grid.
+    start: u64,
+    end: u64,
+    cell: Cell,
+    rects: Vec<Kpe>,
+}
+
+/// Cursor over one sorted level file that yields whole partitions.
+struct Cursor {
+    reader: RecordReader<LevelRecord>,
+    level: u8,
+    rel: usize,
+    pending: Option<LevelRecord>,
+}
+
+impl Cursor {
+    fn new(disk: &SimDisk, file: FileId, level: u8, rel: usize, buffer_pages: usize) -> Self {
+        let mut reader = RecordReader::new(disk, file, buffer_pages);
+        let pending = reader.next();
+        Cursor {
+            reader,
+            level,
+            rel,
+            pending,
+        }
+    }
+
+    /// Pre-order heap key of the next partition.
+    fn peek_key(&self, max_level: u8) -> Option<(u64, u8, usize)> {
+        self.pending.as_ref().map(|r| {
+            let shift = 2 * (max_level - self.level) as u32;
+            (r.code << shift, self.level, self.rel)
+        })
+    }
+
+    /// Consumes all records of the next cell.
+    fn take_partition(&mut self, curve: Curve, max_level: u8) -> Part {
+        let first = self.pending.take().expect("cursor exhausted");
+        let code = first.code;
+        let mut rects = vec![first.kpe];
+        loop {
+            match self.reader.next() {
+                Some(r) if r.code == code => rects.push(r.kpe),
+                other => {
+                    self.pending = other;
+                    break;
+                }
+            }
+        }
+        let shift = 2 * (max_level - self.level) as u32;
+        let start = code << shift;
+        Part {
+            rel: self.rel,
+            level: self.level,
+            start,
+            end: start + (1u64 << shift),
+            cell: Cell::from_code(self.level, code, curve),
+            rects,
+        }
+    }
+}
+
+struct JoinCtx<'a> {
+    cfg: &'a S3jConfig,
+    internal: Box<dyn InternalJoin>,
+    candidates: u64,
+    results: u64,
+    duplicates: u64,
+}
+
+impl JoinCtx<'_> {
+    /// Joins a pair of partitions where `deeper` is the one with the finer
+    /// (or equal) cell. With replication, the modified RPM (§4.3) reports a
+    /// pair only if its reference point lies in the deeper partition's cell.
+    fn join_parts(
+        &mut self,
+        deeper: &mut Part,
+        other: &mut Part,
+        out: &mut dyn FnMut(RecordId, RecordId),
+    ) {
+        debug_assert!(deeper.level >= other.level);
+        let replicate = self.cfg.replicate;
+        let cell = deeper.cell;
+        let mut candidates = 0u64;
+        let mut results = 0u64;
+        let mut duplicates = 0u64;
+        // Orientation: callback receives (r, s) ids.
+        let flip = deeper.rel == 0; // deeper from R => internal args (other=s? no)
+        let (r_slice, s_slice) = if flip {
+            (&mut deeper.rects, &mut other.rects)
+        } else {
+            (&mut other.rects, &mut deeper.rects)
+        };
+        self.internal.join(r_slice, s_slice, &mut |a, b| {
+            candidates += 1;
+            if replicate {
+                if cell.contains_point(reference_point(&a.rect, &b.rect)) {
+                    results += 1;
+                    out(a.id, b.id);
+                } else {
+                    duplicates += 1;
+                }
+            } else {
+                results += 1;
+                out(a.id, b.id);
+            }
+        });
+        self.candidates += candidates;
+        self.results += results;
+        self.duplicates += duplicates;
+    }
+}
+
+/// Runs S³J on `r ⋈ s`, invoking `out` for every result pair.
+///
+/// Reading the inputs and delivering the output are free of charge (paper
+/// §2); level files, sort runs and the join scan are fully accounted on
+/// `disk`.
+pub fn s3j_join(
+    disk: &SimDisk,
+    r: &[Kpe],
+    s: &[Kpe],
+    cfg: &S3jConfig,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> S3jStats {
+    let run_start = Instant::now();
+    // --- Phase 1: partitioning into level files -----------------------------
+    let t0 = Instant::now();
+    let io0 = disk.stats();
+    let lf_r = LevelFiles::build(
+        disk,
+        r,
+        cfg.max_level,
+        cfg.curve,
+        cfg.replicate,
+        cfg.level_shift,
+        cfg.level_buffer_pages,
+    );
+    let lf_s = LevelFiles::build(
+        disk,
+        s,
+        cfg.max_level,
+        cfg.curve,
+        cfg.replicate,
+        cfg.level_shift,
+        cfg.level_buffer_pages,
+    );
+    let mut stats = S3jStats {
+        copies_r: lf_r.copies,
+        copies_s: lf_s.copies,
+        histogram_r: lf_r.histogram.clone(),
+        histogram_s: lf_s.histogram.clone(),
+        code_computations: lf_r.code_computations + lf_s.code_computations,
+        candidates: 0,
+        results: 0,
+        duplicates: 0,
+        join_counters: JoinCounters::default(),
+        sort_runs: 0,
+        sort_passes_max: 0,
+        io_partition: IoStats::default(),
+        io_sort: IoStats::default(),
+        io_join: IoStats::default(),
+        cpu_partition: 0.0,
+        cpu_sort: 0.0,
+        cpu_join: 0.0,
+        peak_partition_bytes: 0,
+        model: disk.model(),
+        first_result_cpu: None,
+        first_result_io: None,
+    };
+    stats.io_partition = disk.stats().delta(&io0);
+    stats.cpu_partition = t0.elapsed().as_secs_f64();
+
+    // --- Phase 2: sort every level file by locational code ------------------
+    let t1 = Instant::now();
+    let io1 = disk.stats();
+    let sort_levels = |lf: &LevelFiles, stats: &mut S3jStats| -> Vec<Option<FileId>> {
+        lf.files
+            .iter()
+            .map(|f| {
+                f.map(|f| {
+                    let (sorted, st) =
+                        external_sort_by::<LevelRecord, _, _>(disk, f, cfg.mem_bytes, |r| r.code);
+                    disk.delete(f);
+                    stats.sort_runs += st.runs;
+                    stats.sort_passes_max = stats.sort_passes_max.max(st.merge_passes);
+                    sorted
+                })
+            })
+            .collect()
+    };
+    let sorted_r = sort_levels(&lf_r, &mut stats);
+    let sorted_s = sort_levels(&lf_s, &mut stats);
+    stats.io_sort = disk.stats().delta(&io1);
+    stats.cpu_sort = t1.elapsed().as_secs_f64();
+
+    // --- Phase 3: synchronized scan ------------------------------------------
+    let t2 = Instant::now();
+    let io2 = disk.stats();
+    let mut first_cpu: Option<f64> = None;
+    let mut first_io: Option<IoStats> = None;
+    let probe_disk = disk.clone();
+    let mut wrapped_out = |a: RecordId, b: RecordId| {
+        if first_cpu.is_none() {
+            first_cpu = Some(run_start.elapsed().as_secs_f64());
+            first_io = Some(probe_disk.stats());
+        }
+        out(a, b);
+    };
+    let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
+    let mut ctx = JoinCtx {
+        cfg,
+        internal: cfg.internal.create(),
+        candidates: 0,
+        results: 0,
+        duplicates: 0,
+    };
+    match cfg.scan {
+        ScanMode::HeapMerge => heap_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out),
+        ScanMode::LevelPairs => {
+            pair_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
+        }
+    }
+    stats.candidates = ctx.candidates;
+    stats.results = ctx.results;
+    stats.duplicates = ctx.duplicates;
+    stats.join_counters = ctx.internal.counters();
+    stats.io_join = disk.stats().delta(&io2);
+    stats.cpu_join = t2.elapsed().as_secs_f64();
+
+    for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
+        disk.delete(*f);
+    }
+    stats.first_result_cpu = first_cpu;
+    stats.first_result_io = first_io;
+    stats
+}
+
+/// §4.4.3: one pass over all level files, merged by a heap of cursors in
+/// pre-order; per relation a stack of the partitions on the current root
+/// path. A new partition is joined against the other relation's stack (its
+/// cell's ancestors-or-equal), then pushed on its own stack.
+fn heap_scan(
+    disk: &SimDisk,
+    cfg: &S3jConfig,
+    sorted_r: &[Option<FileId>],
+    sorted_s: &[Option<FileId>],
+    ctx: &mut JoinCtx<'_>,
+    stats: &mut S3jStats,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) {
+    let mut cursors: Vec<Cursor> = Vec::new();
+    for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
+        for (level, f) in files.iter().enumerate() {
+            if let Some(f) = f {
+                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages));
+            }
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, u8, usize, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter().enumerate() {
+        if let Some((start, level, rel)) = c.peek_key(cfg.max_level) {
+            heap.push(Reverse((start, level, rel, i)));
+        }
+    }
+    let mut stacks: [Vec<Part>; 2] = [Vec::new(), Vec::new()];
+    let mut resident = 0usize;
+    while let Some(Reverse((_, _, _, ci))) = heap.pop() {
+        let mut part = cursors[ci].take_partition(cfg.curve, cfg.max_level);
+        if let Some((st, lv, rl)) = cursors[ci].peek_key(cfg.max_level) {
+            heap.push(Reverse((st, lv, rl, ci)));
+        }
+        // Unwind both stacks to the root path of the new cell.
+        for stack in stacks.iter_mut() {
+            while let Some(top) = stack.last() {
+                if top.start <= part.start && part.start < top.end {
+                    break; // ancestor (or equal): keep
+                }
+                resident -= top.rects.len() * Kpe::ENCODED_SIZE;
+                stack.pop();
+            }
+        }
+        // Join against the other relation's root path. Every stack entry is
+        // an ancestor-or-equal cell, so `part` is always the deeper one.
+        let other_stack = &mut stacks[1 - part.rel];
+        for q in other_stack.iter_mut() {
+            ctx.join_parts(&mut part, q, out);
+        }
+        resident += part.rects.len() * Kpe::ENCODED_SIZE;
+        stats.peak_partition_bytes = stats.peak_partition_bytes.max(resident);
+        stacks[part.rel].push(part);
+    }
+}
+
+/// Ablation baseline for §4.4.3: a separate merge scan per pair of level
+/// files. Produces identical results; re-reads each level file once per
+/// opposite occupied level.
+fn pair_scan(
+    disk: &SimDisk,
+    cfg: &S3jConfig,
+    sorted_r: &[Option<FileId>],
+    sorted_s: &[Option<FileId>],
+    ctx: &mut JoinCtx<'_>,
+    stats: &mut S3jStats,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) {
+    for (lr, fr) in sorted_r.iter().enumerate() {
+        let Some(fr) = fr else { continue };
+        for (ls, fs) in sorted_s.iter().enumerate() {
+            let Some(fs) = fs else { continue };
+            let cr = Cursor::new(disk, *fr, lr as u8, 0, cfg.io_buffer_pages);
+            let cs = Cursor::new(disk, *fs, ls as u8, 1, cfg.io_buffer_pages);
+            // Merge: `a` is the coarser-or-equal side, `b` the deeper side.
+            let (mut a, mut b) = if lr <= ls { (cr, cs) } else { (cs, cr) };
+            let mut pa = a.pending.is_some().then(|| a.take_partition(cfg.curve, cfg.max_level));
+            let mut pb = b.pending.is_some().then(|| b.take_partition(cfg.curve, cfg.max_level));
+            while let (Some(ca), Some(cb)) = (&mut pa, &mut pb) {
+                if ca.start <= cb.start && cb.start < ca.end {
+                    // `ca` covers `cb`: join (cb is the deeper partition).
+                    stats.peak_partition_bytes = stats.peak_partition_bytes.max(
+                        (ca.rects.len() + cb.rects.len()) * Kpe::ENCODED_SIZE,
+                    );
+                    ctx.join_parts(cb, ca, out);
+                    pb = b.pending.is_some().then(|| b.take_partition(cfg.curve, cfg.max_level));
+                } else if ca.end <= cb.start {
+                    pa = a.pending.is_some().then(|| a.take_partition(cfg.curve, cfg.max_level));
+                } else {
+                    pb = b.pending.is_some().then(|| b.take_partition(cfg.curve, cfg.max_level));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::{scale, LineNetwork};
+
+    fn brute(r: &[Kpe], s: &[Kpe]) -> Vec<(u64, u64)> {
+        let mut v = Vec::new();
+        for a in r {
+            for b in s {
+                if a.rect.intersects(&b.rect) {
+                    v.push((a.id.0, b.id.0));
+                }
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+
+    fn run(r: &[Kpe], s: &[Kpe], cfg: &S3jConfig) -> (Vec<(u64, u64)>, S3jStats) {
+        let disk = SimDisk::with_default_model();
+        let mut got = Vec::new();
+        let stats = s3j_join(&disk, r, s, cfg, &mut |a, b| got.push((a.0, b.0)));
+        got.sort_unstable();
+        (got, stats)
+    }
+
+    fn tiger_pair(n: usize) -> (Vec<Kpe>, Vec<Kpe>) {
+        let r = LineNetwork {
+            count: n,
+            coverage: 0.22,
+            segments_per_line: 20,
+            seed: 301,
+        }
+        .generate();
+        let s = LineNetwork {
+            count: n + n / 7,
+            coverage: 0.03,
+            segments_per_line: 10,
+            seed: 302,
+        }
+        .generate();
+        (r, s)
+    }
+
+    #[test]
+    fn original_s3j_matches_brute_force() {
+        let (r, s) = tiger_pair(2500);
+        let cfg = S3jConfig {
+            replicate: false,
+            mem_bytes: 64 * 1024,
+            max_level: 10,
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert_eq!(got, brute(&r, &s));
+        assert_eq!(stats.duplicates, 0, "no replication, no duplicates");
+        assert_eq!(stats.copies_r as usize, r.len());
+    }
+
+    #[test]
+    fn replicated_s3j_matches_brute_force_and_dedups() {
+        let (r0, s0) = tiger_pair(2000);
+        // Scale up so rects straddle cells and replication actually happens.
+        let (r, s) = (scale(&r0, 3.0), scale(&s0, 3.0));
+        let cfg = S3jConfig {
+            replicate: true,
+            mem_bytes: 64 * 1024,
+            max_level: 10,
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert_eq!(got, brute(&r, &s));
+        assert!(stats.copies_r as usize > r.len(), "expected replication");
+        assert!(stats.duplicates > 0, "expected suppressed duplicates");
+        assert!(stats.replication_rate(r.len() + s.len()) <= 4.0);
+    }
+
+    #[test]
+    fn heap_and_pair_scans_agree() {
+        let (r, s) = tiger_pair(1500);
+        for replicate in [false, true] {
+            let base = S3jConfig {
+                replicate,
+                mem_bytes: 48 * 1024,
+                max_level: 9,
+                ..Default::default()
+            };
+            let (heap, hs) = run(&r, &s, &base);
+            let (pairs, ps) = run(
+                &r,
+                &s,
+                &S3jConfig {
+                    scan: ScanMode::LevelPairs,
+                    ..base
+                },
+            );
+            assert_eq!(heap, pairs, "replicate={replicate}");
+            assert_eq!(hs.results, ps.results);
+            // The naive scan re-reads level files: strictly more join I/O.
+            assert!(
+                ps.io_join.pages_read >= hs.io_join.pages_read,
+                "pair-scan should not read less"
+            );
+        }
+    }
+
+    #[test]
+    fn all_internal_algorithms_agree() {
+        let (r, s) = tiger_pair(1500);
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        for internal in InternalAlgo::ALL {
+            let cfg = S3jConfig {
+                internal,
+                mem_bytes: 48 * 1024,
+                max_level: 9,
+                ..Default::default()
+            };
+            let (got, _) = run(&r, &s, &cfg);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => assert_eq!(&got, want, "{internal} diverges"),
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_and_peano_curves_agree() {
+        let (r, s) = tiger_pair(1200);
+        let base = S3jConfig {
+            mem_bytes: 48 * 1024,
+            max_level: 9,
+            ..Default::default()
+        };
+        let (peano, pstats) = run(&r, &s, &base);
+        let (hilbert, hstats) = run(
+            &r,
+            &s,
+            &S3jConfig {
+                curve: Curve::Hilbert,
+                ..base
+            },
+        );
+        assert_eq!(peano, hilbert);
+        // §4.4.2: curve choice affects neither I/O nor intersection tests.
+        assert_eq!(pstats.io_total(), hstats.io_total());
+        assert_eq!(pstats.join_counters.tests, hstats.join_counters.tests);
+    }
+
+    #[test]
+    fn replication_cuts_intersection_tests_on_straddler_heavy_data() {
+        // The motivating pathology (§4.2–4.3): small rects straddling grid
+        // lines land at coarse levels without replication and get tested
+        // against everything.
+        let (r0, s0) = tiger_pair(3000);
+        let (r, s) = (scale(&r0, 2.0), scale(&s0, 2.0));
+        let base = S3jConfig {
+            mem_bytes: 64 * 1024,
+            max_level: 10,
+            ..Default::default()
+        };
+        let (res_o, orig) = run(&r, &s, &S3jConfig { replicate: false, ..base });
+        let (res_r, repl) = run(&r, &s, &S3jConfig { replicate: true, ..base });
+        assert_eq!(res_o, res_r);
+        assert!(
+            repl.join_counters.tests * 2 < orig.join_counters.tests,
+            "replicated {} tests vs original {}",
+            repl.join_counters.tests,
+            orig.join_counters.tests
+        );
+    }
+
+    #[test]
+    fn self_join_consistent() {
+        let (r, _) = tiger_pair(1200);
+        let cfg = S3jConfig {
+            mem_bytes: 48 * 1024,
+            max_level: 9,
+            ..Default::default()
+        };
+        let (got, _) = run(&r, &r, &cfg);
+        assert_eq!(got, brute(&r, &r));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (r, _) = tiger_pair(200);
+        let cfg = S3jConfig::default();
+        let (got, stats) = run(&r, &[], &cfg);
+        assert!(got.is_empty());
+        assert_eq!(stats.results, 0);
+        let (got, _) = run(&[], &[], &cfg);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn stats_io_decomposition_adds_up() {
+        let (r, s) = tiger_pair(1000);
+        let disk = SimDisk::with_default_model();
+        let stats = s3j_join(&disk, &r, &s, &S3jConfig::default(), &mut |_, _| {});
+        assert_eq!(stats.io_total(), disk.stats());
+        assert!(stats.total_seconds() > 0.0);
+        assert!(stats.peak_partition_bytes > 0);
+    }
+}
+
+#[cfg(test)]
+mod rpm_unit_tests {
+    use super::*;
+    use geom::{Kpe, Rect, RecordId};
+
+    fn run_cfg(r: &[Kpe], s: &[Kpe], cfg: &S3jConfig) -> (Vec<(u64, u64)>, S3jStats) {
+        let disk = SimDisk::with_default_model();
+        let mut got = Vec::new();
+        let st = s3j_join(&disk, r, s, cfg, &mut |a, b| got.push((a.0, b.0)));
+        got.sort_unstable();
+        (got, st)
+    }
+
+    /// Hand-constructed instance of paper Figure 10: r sits one level above
+    /// s; s is replicated into two sibling cells; the pair must be reported
+    /// exactly once (from the cell containing the reference point).
+    #[test]
+    fn figure10_mixed_level_pair_reported_once() {
+        // r: a rect needing a level-1 cell (edges just over 1/4).
+        let r = Kpe::new(RecordId(1), Rect::new(0.05, 0.05, 0.35, 0.35));
+        // s: a small rect straddling the vertical line x = 0.25 (level-2
+        // cell boundary), inside r.
+        let s = Kpe::new(RecordId(2), Rect::new(0.22, 0.1, 0.28, 0.15));
+        let cfg = S3jConfig {
+            replicate: true,
+            level_shift: 0,
+            max_level: 8,
+            ..Default::default()
+        };
+        let (got, st) = run_cfg(&[r], &[s], &cfg);
+        assert_eq!(got, vec![(1, 2)]);
+        assert_eq!(st.results, 1);
+        assert!(
+            st.copies_s >= 2,
+            "s must be replicated across the boundary (copies = {})",
+            st.copies_s
+        );
+        assert_eq!(st.candidates, st.results + st.duplicates);
+        assert!(st.duplicates >= 1, "the duplicate candidate must be caught");
+    }
+
+    /// Equal-level pair replicated into the same two cells: both cells see
+    /// both rects, only the reference-point cell reports.
+    #[test]
+    fn equal_level_replicated_pair_reported_once() {
+        let r = Kpe::new(RecordId(1), Rect::new(0.22, 0.1, 0.28, 0.14));
+        let s = Kpe::new(RecordId(2), Rect::new(0.23, 0.11, 0.29, 0.15));
+        let cfg = S3jConfig {
+            replicate: true,
+            level_shift: 0,
+            max_level: 8,
+            ..Default::default()
+        };
+        let (got, st) = run_cfg(&[r], &[s], &cfg);
+        assert_eq!(got, vec![(1, 2)]);
+        assert!(st.duplicates >= 1);
+    }
+
+    /// A pair whose rects only touch at one point on a cell boundary: the
+    /// half-open cell convention must still deliver it exactly once.
+    #[test]
+    fn touching_pair_on_cell_boundary() {
+        let r = Kpe::new(RecordId(1), Rect::new(0.20, 0.20, 0.25, 0.25));
+        let s = Kpe::new(RecordId(2), Rect::new(0.25, 0.25, 0.30, 0.30));
+        for shift in [0u8, 1] {
+            let cfg = S3jConfig {
+                replicate: true,
+                level_shift: shift,
+                max_level: 8,
+                ..Default::default()
+            };
+            let (got, _) = run_cfg(&[r], &[s], &cfg);
+            assert_eq!(got, vec![(1, 2)], "shift {shift}");
+        }
+    }
+}

@@ -1,0 +1,219 @@
+use geom::{Point, Rect};
+
+use crate::Curve;
+
+/// A cell of the level-`k` equidistant grid over the unit data space.
+///
+/// Level `k` has `2^k × 2^k` cells of side `2^-k`; `(ix, iy)` are the column
+/// and row indices. Cell regions are **half-open** (`[lo, hi)` on both axes),
+/// except that cells touching the upper data-space boundary are closed there
+/// — exactly the disjoint-partitioning convention required by the Reference
+/// Point Method: every point of the data space lies in exactly one cell of a
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cell {
+    pub level: u8,
+    pub ix: u32,
+    pub iy: u32,
+}
+
+impl Cell {
+    /// The root cell (level 0) covering the whole data space.
+    pub const ROOT: Cell = Cell {
+        level: 0,
+        ix: 0,
+        iy: 0,
+    };
+
+    #[inline]
+    pub fn new(level: u8, ix: u32, iy: u32) -> Self {
+        debug_assert!(level <= 31);
+        debug_assert!(ix < (1u32 << level).max(1) && iy < (1u32 << level).max(1));
+        Cell { level, ix, iy }
+    }
+
+    /// Side length `2^-level`.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        1.0 / (1u64 << self.level) as f64
+    }
+
+    /// The cell's rectangular region (as a closed `Rect`; use
+    /// [`Cell::contains_point`] for the half-open membership test).
+    #[inline]
+    pub fn rect(&self) -> Rect {
+        let s = self.side();
+        Rect::new(
+            self.ix as f64 * s,
+            self.iy as f64 * s,
+            (self.ix as f64 + 1.0) * s,
+            (self.iy as f64 + 1.0) * s,
+        )
+    }
+
+    /// Half-open membership test (closed on the data-space boundary).
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        *self == Cell::containing(self.level, p)
+    }
+
+    /// The unique cell of `level` containing point `p` under the half-open
+    /// convention. Coordinates are clamped into `[0, 1]`, so points of
+    /// rectangles protruding from the data space (scaled datasets) are mapped
+    /// to boundary cells.
+    #[inline]
+    pub fn containing(level: u8, p: Point) -> Cell {
+        let n = 1u32 << level;
+        let coord = |v: f64| -> u32 {
+            let v = v.clamp(0.0, 1.0);
+            ((v * n as f64) as u32).min(n - 1)
+        };
+        Cell {
+            level,
+            ix: coord(p.x),
+            iy: coord(p.y),
+        }
+    }
+
+    /// The ancestor of this cell at `level ≤ self.level`.
+    #[inline]
+    pub fn ancestor_at(&self, level: u8) -> Cell {
+        debug_assert!(level <= self.level);
+        let shift = self.level - level;
+        Cell {
+            level,
+            ix: self.ix >> shift,
+            iy: self.iy >> shift,
+        }
+    }
+
+    /// `true` iff `self` is an ancestor of (or equal to) `other` in the
+    /// implicit quadtree.
+    #[inline]
+    pub fn covers(&self, other: &Cell) -> bool {
+        self.level <= other.level && other.ancestor_at(self.level) == *self
+    }
+
+    /// Locational code under `curve` (uses `2·level` bits).
+    #[inline]
+    pub fn code(&self, curve: Curve) -> u64 {
+        curve.code(self.level, self.ix, self.iy)
+    }
+
+    /// Reconstructs a cell from its locational code.
+    #[inline]
+    pub fn from_code(level: u8, code: u64, curve: Curve) -> Cell {
+        let (ix, iy) = curve.cell_of_code(level, code);
+        Cell { level, ix, iy }
+    }
+
+    /// Position of the cell in a pre-order traversal of the implicit
+    /// quadtree linearised by the **Peano** curve, as the pair
+    /// `(start-of-z-range, level)`: ancestors sort before descendants, and
+    /// disjoint subtrees sort by z-order. This is the merge key of the
+    /// synchronized level-file scan (paper §4.4.3).
+    ///
+    /// `max_level` is the finest level in use; the z-range start is expressed
+    /// on that grid.
+    #[inline]
+    pub fn preorder_key(&self, max_level: u8) -> (u64, u8) {
+        debug_assert!(self.level <= max_level);
+        let z = crate::zorder::encode(self.ix, self.iy);
+        (z << (2 * (max_level - self.level)), self.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_covers_everything() {
+        let c = Cell::new(5, 17, 9);
+        assert!(Cell::ROOT.covers(&c));
+        assert!(c.covers(&c));
+        assert!(!c.covers(&Cell::ROOT));
+    }
+
+    #[test]
+    fn containing_is_half_open() {
+        // 0.5 is the left edge of the right cells at level 1.
+        let c = Cell::containing(1, Point::new(0.5, 0.5));
+        assert_eq!(c, Cell::new(1, 1, 1));
+        // The data-space boundary belongs to the last cell.
+        let b = Cell::containing(1, Point::new(1.0, 1.0));
+        assert_eq!(b, Cell::new(1, 1, 1));
+        // Out-of-space points are clamped.
+        let o = Cell::containing(2, Point::new(-0.25, 1.75));
+        assert_eq!(o, Cell::new(2, 0, 3));
+    }
+
+    #[test]
+    fn every_point_in_exactly_one_cell_per_level() {
+        for level in 0..5u8 {
+            let n = 1u32 << level;
+            for p in [
+                Point::new(0.0, 0.0),
+                Point::new(0.25, 0.75),
+                Point::new(0.5, 0.5),
+                Point::new(0.999, 0.001),
+                Point::new(1.0, 1.0),
+            ] {
+                let mut owners = 0;
+                for ix in 0..n {
+                    for iy in 0..n {
+                        if Cell::new(level, ix, iy).contains_point(p) {
+                            owners += 1;
+                        }
+                    }
+                }
+                assert_eq!(owners, 1, "level {level} point {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_region_contains_descendant_region() {
+        let c = Cell::new(6, 42, 13);
+        for l in 0..=6u8 {
+            let a = c.ancestor_at(l);
+            assert!(a.rect().contains_rect(&c.rect()));
+            assert!(a.covers(&c));
+        }
+    }
+
+    #[test]
+    fn preorder_key_sorts_ancestors_first() {
+        let max = 8;
+        let parent = Cell::new(3, 2, 5);
+        let child = Cell::new(4, 4, 10); // = (2*2, 2*5)
+        assert!(parent.covers(&child));
+        let kp = parent.preorder_key(max);
+        let kc = child.preorder_key(max);
+        assert!(kp < kc, "parent must precede child in pre-order");
+        // A disjoint sibling subtree sorts strictly after the whole subtree.
+        let sibling = Cell::new(3, 3, 5);
+        assert!(kc < sibling.preorder_key(max));
+    }
+
+    #[test]
+    fn code_roundtrip_both_curves() {
+        let c = Cell::new(7, 100, 27);
+        for curve in [Curve::Peano, Curve::Hilbert] {
+            let code = c.code(curve);
+            assert_eq!(Cell::from_code(7, code, curve), c);
+        }
+    }
+
+    #[test]
+    fn rect_tiles_the_space() {
+        // Level-2 cell regions union to the unit square and have equal area.
+        let mut area = 0.0;
+        for ix in 0..4 {
+            for iy in 0..4 {
+                area += Cell::new(2, ix, iy).rect().area();
+            }
+        }
+        assert!((area - 1.0).abs() < 1e-12);
+    }
+}

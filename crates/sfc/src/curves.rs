@@ -1,0 +1,297 @@
+/// Peano curve (Morton order / Z-curve): bit interleaving.
+pub mod zorder {
+    /// Spreads the low 32 bits of `v` so that bit `i` moves to bit `2i`.
+    #[inline]
+    pub fn spread(v: u32) -> u64 {
+        let mut x = v as u64;
+        x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+        x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+        x
+    }
+
+    /// Inverse of [`spread`].
+    #[inline]
+    pub fn compact(v: u64) -> u32 {
+        let mut x = v & 0x5555_5555_5555_5555;
+        x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+        x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+        x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+        x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+        x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+        x as u32
+    }
+
+    /// Morton code of cell `(ix, iy)`: `x` bits land in even positions.
+    /// For a cell at level `k` only the low `2k` bits are significant.
+    #[inline]
+    pub fn encode(ix: u32, iy: u32) -> u64 {
+        spread(ix) | (spread(iy) << 1)
+    }
+
+    /// Inverse of [`encode`].
+    #[inline]
+    pub fn decode(code: u64) -> (u32, u32) {
+        (compact(code), compact(code >> 1))
+    }
+}
+
+/// Hilbert curve of a given order (level), via the classical
+/// rotate-and-accumulate construction.
+pub mod hilbert {
+    /// Hilbert index of cell `(x, y)` on the `2^order × 2^order` grid.
+    /// Coordinates must be `< 2^order`.
+    pub fn encode(order: u8, mut x: u32, mut y: u32) -> u64 {
+        debug_assert!(order <= 31);
+        let n: u32 = 1u32.checked_shl(order as u32).unwrap_or(0);
+        debug_assert!(order == 0 || (x < n && y < n));
+        let mut d: u64 = 0;
+        let mut s: u32 = n / 2;
+        while s > 0 {
+            let rx = u32::from((x & s) > 0);
+            let ry = u32::from((y & s) > 0);
+            d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+            // Rotate quadrant (classical construction).
+            if ry == 0 {
+                if rx == 1 {
+                    x = n - 1 - x;
+                    y = n - 1 - y;
+                }
+                core::mem::swap(&mut x, &mut y);
+            }
+            s /= 2;
+        }
+        d
+    }
+
+    /// Cell `(x, y)` of Hilbert index `d` on the `2^order × 2^order` grid.
+    pub fn decode(order: u8, d: u64) -> (u32, u32) {
+        let (mut x, mut y): (u32, u32) = (0, 0);
+        let mut t = d;
+        let mut s: u32 = 1;
+        while s < (1u32 << order) {
+            let rx = 1 & (t / 2) as u32;
+            let ry = 1 & ((t as u32) ^ rx);
+            // Rotate.
+            if ry == 0 {
+                if rx == 1 {
+                    x = s - 1 - x;
+                    y = s - 1 - y;
+                }
+                core::mem::swap(&mut x, &mut y);
+            }
+            x += s * rx;
+            y += s * ry;
+            t /= 4;
+            s *= 2;
+        }
+        (x, y)
+    }
+}
+
+/// Runtime selection of the space-filling curve used for locational codes.
+///
+/// Both curves are *recursive* (quadrant-preserving): the code of a cell at
+/// level `k`, multiplied by 4, is a prefix of the codes of its four children.
+/// This property is what makes the synchronized level-file scan of S³J a
+/// pre-order quadtree traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Curve {
+    /// Peano / Morton / Z-order. Cheapest to compute; the default.
+    #[default]
+    Peano,
+    /// Hilbert curve, as suggested in [KS 97]. Better clustering, more
+    /// expensive code computation (paper §4.4.2).
+    Hilbert,
+}
+
+impl Curve {
+    /// Locational code of cell `(ix, iy)` at `level`.
+    #[inline]
+    pub fn code(self, level: u8, ix: u32, iy: u32) -> u64 {
+        match self {
+            Curve::Peano => zorder::encode(ix, iy),
+            Curve::Hilbert => hilbert::encode(level, ix, iy),
+        }
+    }
+
+    /// Inverse of [`Curve::code`].
+    #[inline]
+    pub fn cell_of_code(self, level: u8, code: u64) -> (u32, u32) {
+        match self {
+            Curve::Peano => zorder::decode(code),
+            Curve::Hilbert => hilbert::decode(level, code),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zorder_small_grid() {
+        // Standard Morton layout on the 2x2 grid.
+        assert_eq!(zorder::encode(0, 0), 0);
+        assert_eq!(zorder::encode(1, 0), 1);
+        assert_eq!(zorder::encode(0, 1), 2);
+        assert_eq!(zorder::encode(1, 1), 3);
+    }
+
+    #[test]
+    fn zorder_recursive_prefix_property() {
+        // Children of cell (ix,iy) at level k are (2ix+dx, 2iy+dy) at k+1 and
+        // share the parent's code as a 2-bit-shifted prefix.
+        for (ix, iy) in [(0u32, 0u32), (1, 2), (3, 3), (5, 1)] {
+            let parent = zorder::encode(ix, iy);
+            for dx in 0..2 {
+                for dy in 0..2 {
+                    let child = zorder::encode(2 * ix + dx, 2 * iy + dy);
+                    assert_eq!(child >> 2, parent);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_order_one() {
+        // The order-1 Hilbert curve visits (0,0),(0,1),(1,1),(1,0).
+        assert_eq!(hilbert::encode(1, 0, 0), 0);
+        assert_eq!(hilbert::encode(1, 0, 1), 1);
+        assert_eq!(hilbert::encode(1, 1, 1), 2);
+        assert_eq!(hilbert::encode(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn hilbert_is_a_bijection_order_4() {
+        let order = 4u8;
+        let n = 1u32 << order;
+        let mut seen = vec![false; (n * n) as usize];
+        for x in 0..n {
+            for y in 0..n {
+                let d = hilbert::encode(order, x, y) as usize;
+                assert!(d < seen.len());
+                assert!(!seen[d], "duplicate hilbert code {d}");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn hilbert_consecutive_codes_are_adjacent_cells() {
+        let order = 5u8;
+        let n = 1u64 << order;
+        let mut prev = hilbert::decode(order, 0);
+        for d in 1..n * n {
+            let cur = hilbert::decode(order, d);
+            let manhattan =
+                (cur.0 as i64 - prev.0 as i64).abs() + (cur.1 as i64 - prev.1 as i64).abs();
+            assert_eq!(manhattan, 1, "codes {} and {} not adjacent", d - 1, d);
+            prev = cur;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_zorder_roundtrip(ix in any::<u32>(), iy in any::<u32>()) {
+            let (x, y) = zorder::decode(zorder::encode(ix, iy));
+            prop_assert_eq!((x, y), (ix, iy));
+        }
+
+        #[test]
+        fn prop_hilbert_roundtrip(order in 1u8..16, raw_x in any::<u32>(), raw_y in any::<u32>()) {
+            let mask = (1u32 << order) - 1;
+            let (ix, iy) = (raw_x & mask, raw_y & mask);
+            let (x, y) = hilbert::decode(order, hilbert::encode(order, ix, iy));
+            prop_assert_eq!((x, y), (ix, iy));
+        }
+
+        #[test]
+        fn prop_curve_roundtrip(level in 1u8..16, raw_x in any::<u32>(), raw_y in any::<u32>()) {
+            let mask = (1u32 << level) - 1;
+            let (ix, iy) = (raw_x & mask, raw_y & mask);
+            for curve in [Curve::Peano, Curve::Hilbert] {
+                let code = curve.code(level, ix, iy);
+                prop_assert!(code < 1u64 << (2 * level));
+                prop_assert_eq!(curve.cell_of_code(level, code), (ix, iy));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod hierarchy_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The synchronized level-file scan of S³J assumes *both* curves are
+    /// quadrant-recursive: the four children of a cell occupy the code range
+    /// `[4·parent, 4·parent + 4)` on the next level, so `child >> 2 ==
+    /// parent`. For the Peano curve this is bit-interleaving by definition;
+    /// for the Hilbert curve it follows from the recursive construction —
+    /// and this test pins it down because the merge order silently breaks
+    /// without it.
+    #[test]
+    fn hilbert_children_share_code_prefix() {
+        for order in 1u8..7 {
+            let n = 1u32 << order;
+            for x in 0..n {
+                for y in 0..n {
+                    let parent = hilbert::encode(order, x, y);
+                    let mut child_codes: Vec<u64> = Vec::new();
+                    for dx in 0..2 {
+                        for dy in 0..2 {
+                            child_codes.push(hilbert::encode(order + 1, 2 * x + dx, 2 * y + dy));
+                        }
+                    }
+                    child_codes.sort_unstable();
+                    assert_eq!(
+                        child_codes,
+                        vec![4 * parent, 4 * parent + 1, 4 * parent + 2, 4 * parent + 3],
+                        "order {order} cell ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Same property, sampled at deep levels where exhaustion is
+        /// impossible.
+        #[test]
+        fn prop_hilbert_prefix_deep(order in 8u8..15, raw_x in any::<u32>(), raw_y in any::<u32>()) {
+            let mask = (1u32 << order) - 1;
+            let (x, y) = (raw_x & mask, raw_y & mask);
+            let parent = hilbert::encode(order, x, y);
+            for dx in 0..2 {
+                for dy in 0..2 {
+                    let child = hilbert::encode(order + 1, 2 * x + dx, 2 * y + dy);
+                    prop_assert_eq!(child >> 2, parent);
+                }
+            }
+        }
+
+        /// Pre-order keys are consistent across curves: the *set* of
+        /// partitions an S³J scan pairs up is curve-independent.
+        #[test]
+        fn prop_preorder_containment_matches_cell_covers(
+            la in 0u8..8, lb in 0u8..8, raw in any::<(u32, u32, u32, u32)>()
+        ) {
+            use crate::Cell;
+            let max = 10u8;
+            let (la, lb) = (la.min(lb), la.max(lb));
+            let mask = |l: u8| if l == 0 { 0 } else { (1u32 << l) - 1 };
+            let ca = Cell::new(la, raw.0 & mask(la), raw.1 & mask(la));
+            let cb = Cell::new(lb, raw.2 & mask(lb), raw.3 & mask(lb));
+            let (sa, _) = ca.preorder_key(max);
+            let (sb, _) = cb.preorder_key(max);
+            let span_a = 1u64 << (2 * (max - la) as u32);
+            let range_contains = sa <= sb && sb < sa + span_a;
+            prop_assert_eq!(range_contains, ca.covers(&cb));
+        }
+    }
+}

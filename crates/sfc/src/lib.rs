@@ -1,0 +1,29 @@
+//! Space-filling curves, locational codes and MX-CIF level functions.
+//!
+//! S³J decomposes the unit data space into a hierarchy of equidistant grids:
+//! level `k` has `2^k × 2^k` half-open cells of side `2^-k` (level 0 is the
+//! single root cell — the paper's "lowest level"). Each rectangle is assigned
+//! to one (original S³J) or up to four (replicated S³J) cells, and the cells
+//! of one level are linearised by a recursive space-filling curve, yielding a
+//! *locational code* per rectangle ([Gar 82]).
+//!
+//! This crate provides:
+//!
+//! * [`Cell`] — a grid cell `(level, ix, iy)` with half-open region semantics
+//!   matching the Reference Point Method,
+//! * [`zorder`] — the Peano/Morton curve (bit interleaving), the default
+//!   curve of this reproduction (paper §4.4.2 argues the curve choice only
+//!   affects code-computation cost, and Peano codes are cheapest),
+//! * [`hilbert`] — the Hilbert curve, the curve suggested by [KS 97],
+//! * [`Curve`] — runtime curve selection,
+//! * [`mxcif_level`] / [`size_level`] — the original covering-cell level
+//!   function and the size-separation level function of paper §4.3,
+//! * [`cells_overlapping`] — the ≤4 cells of a level a rectangle overlaps.
+
+mod cell;
+mod curves;
+mod level;
+
+pub use cell::Cell;
+pub use curves::{hilbert, zorder, Curve};
+pub use level::{cells_overlapping, mxcif_cell, mxcif_level, size_level, MAX_LEVEL};

@@ -1,0 +1,374 @@
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Disk parameters of the cost model.
+///
+/// A request for `n` contiguous pages costs `positioning_ratio + n`
+/// page-transfer units (the paper's `PT + n`), and one unit corresponds to
+/// `transfer_secs_per_page` seconds of simulated disk time.
+///
+/// The defaults emulate the paper's testbed (1999 2 GB Seagate behind direct
+/// I/O): 8 KiB pages, ~1.6 ms transfer per page (≈5 MB/s sustained) and an
+/// average positioning time of ~10 ms, i.e. `PT ≈ 6`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// `PT`: positioning time expressed in page-transfer units.
+    pub positioning_ratio: f64,
+    /// Seconds of simulated time per page-transfer unit.
+    pub transfer_secs_per_page: f64,
+    /// Factor by which measured CPU seconds are stretched when combined with
+    /// the simulated disk time. The paper's testbed is a ~75 MHz
+    /// SuperSPARC-II; a modern core is two to three orders of magnitude
+    /// faster, and without this factor every CPU-side effect the paper
+    /// reports (trie vs list sweeps, replication CPU savings) would vanish
+    /// behind 1999-era disk time. Set to 1.0 to disable.
+    pub cpu_slowdown: f64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel {
+            page_size: 8 * 1024,
+            positioning_ratio: 6.0,
+            transfer_secs_per_page: 0.0016,
+            cpu_slowdown: 250.0,
+        }
+    }
+}
+
+impl DiskModel {
+    /// Total cost of the recorded requests in page-transfer units.
+    pub fn units(&self, s: &IoStats) -> f64 {
+        self.positioning_ratio * (s.read_requests + s.write_requests) as f64
+            + (s.pages_read + s.pages_written) as f64
+    }
+
+    /// Total simulated disk time in seconds.
+    pub fn seconds(&self, s: &IoStats) -> f64 {
+        self.units(s) * self.transfer_secs_per_page
+    }
+
+    /// Measured CPU seconds stretched to the emulated machine.
+    pub fn scaled_cpu(&self, raw_secs: f64) -> f64 {
+        raw_secs * self.cpu_slowdown
+    }
+}
+
+/// Cumulative I/O counters of a [`SimDisk`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    pub read_requests: u64,
+    pub write_requests: u64,
+    pub pages_read: u64,
+    pub pages_written: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+}
+
+impl IoStats {
+    /// Counters accumulated since the snapshot `since`.
+    pub fn delta(&self, since: &IoStats) -> IoStats {
+        IoStats {
+            read_requests: self.read_requests - since.read_requests,
+            write_requests: self.write_requests - since.write_requests,
+            pages_read: self.pages_read - since.pages_read,
+            pages_written: self.pages_written - since.pages_written,
+            bytes_read: self.bytes_read - since.bytes_read,
+            bytes_written: self.bytes_written - since.bytes_written,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            read_requests: self.read_requests + other.read_requests,
+            write_requests: self.write_requests + other.write_requests,
+            pages_read: self.pages_read + other.pages_read,
+            pages_written: self.pages_written + other.pages_written,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+/// Handle to a file on a [`SimDisk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(u32);
+
+#[derive(Default)]
+struct Inner {
+    files: Vec<Option<Vec<u8>>>,
+    stats: IoStats,
+}
+
+/// The simulated disk. Cheap to clone (shared handle); all file contents and
+/// counters live behind one lock. Single-writer usage patterns keep lock
+/// contention irrelevant — the simulation itself is not a benchmark target,
+/// the *counters* are.
+#[derive(Clone)]
+pub struct SimDisk {
+    inner: Arc<Mutex<Inner>>,
+    model: DiskModel,
+}
+
+impl SimDisk {
+    pub fn new(model: DiskModel) -> Self {
+        SimDisk {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            model,
+        }
+    }
+
+    pub fn with_default_model() -> Self {
+        Self::new(DiskModel::default())
+    }
+
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+
+    /// Creates an empty file.
+    pub fn create(&self) -> FileId {
+        let mut g = self.inner.lock();
+        g.files.push(Some(Vec::new()));
+        FileId((g.files.len() - 1) as u32)
+    }
+
+    /// Deletes a file, releasing its space. Idempotent.
+    pub fn delete(&self, f: FileId) {
+        let mut g = self.inner.lock();
+        if let Some(slot) = g.files.get_mut(f.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Length of a file in bytes.
+    pub fn len(&self, f: FileId) -> u64 {
+        let g = self.inner.lock();
+        g.files[f.0 as usize]
+            .as_ref()
+            .expect("file was deleted")
+            .len() as u64
+    }
+
+    /// `true` iff the file holds no bytes.
+    pub fn is_empty(&self, f: FileId) -> bool {
+        self.len(f) == 0
+    }
+
+    /// Appends `data` as **one** request: cost `PT + ceil(len / page_size)`.
+    ///
+    /// Writers should batch bytes into multi-page buffers before calling this
+    /// — that is exactly the contiguous-write optimisation the cost model
+    /// rewards.
+    pub fn append(&self, f: FileId, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let pages = data.len().div_ceil(self.model.page_size) as u64;
+        let mut g = self.inner.lock();
+        g.stats.write_requests += 1;
+        g.stats.pages_written += pages;
+        g.stats.bytes_written += data.len() as u64;
+        g.files[f.0 as usize]
+            .as_mut()
+            .expect("file was deleted")
+            .extend_from_slice(data);
+    }
+
+    /// Reads `out.len()` bytes starting at byte `offset` as **one** request:
+    /// cost `PT + (number of pages the byte range touches)`. Panics if the
+    /// range extends past the end of the file.
+    pub fn read(&self, f: FileId, offset: u64, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        let ps = self.model.page_size as u64;
+        let first_page = offset / ps;
+        let last_page = (offset + out.len() as u64 - 1) / ps;
+        let pages = last_page - first_page + 1;
+        let mut g = self.inner.lock();
+        g.stats.read_requests += 1;
+        g.stats.pages_read += pages;
+        g.stats.bytes_read += out.len() as u64;
+        let data = g.files[f.0 as usize].as_ref().expect("file was deleted");
+        let start = offset as usize;
+        out.copy_from_slice(&data[start..start + out.len()]);
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets all counters to zero (file contents are kept).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = IoStats::default();
+    }
+
+    /// Simulated disk seconds for counters accumulated so far.
+    pub fn io_seconds(&self) -> f64 {
+        self.model.seconds(&self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_disk() -> SimDisk {
+        SimDisk::new(DiskModel {
+            page_size: 16,
+            positioning_ratio: 10.0,
+            transfer_secs_per_page: 1.0,
+            cpu_slowdown: 1.0,
+        })
+    }
+
+    #[test]
+    fn append_and_read_roundtrip() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, b"hello world, this spans pages!");
+        assert_eq!(d.len(f), 30);
+        let mut buf = vec![0u8; 11];
+        d.read(f, 6, &mut buf);
+        assert_eq!(&buf, b"world, this");
+    }
+
+    #[test]
+    fn cost_model_pt_plus_n() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, &[0u8; 40]); // 3 pages, 1 request
+        let s = d.stats();
+        assert_eq!(s.write_requests, 1);
+        assert_eq!(s.pages_written, 3);
+        // units = PT*1 + 3 = 13
+        assert!((d.model().units(&s) - 13.0).abs() < 1e-12);
+        assert!((d.io_seconds() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_counts_pages_touched_not_bytes() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, &[7u8; 64]);
+        d.reset_stats();
+        // 2 bytes straddling a page boundary touch 2 pages.
+        let mut b = [0u8; 2];
+        d.read(f, 15, &mut b);
+        let s = d.stats();
+        assert_eq!(s.read_requests, 1);
+        assert_eq!(s.pages_read, 2);
+        // Within one page: 1 page.
+        d.read(f, 0, &mut b);
+        assert_eq!(d.stats().pages_read, 3);
+    }
+
+    #[test]
+    fn one_big_request_cheaper_than_many_small() {
+        let d = small_disk();
+        let f1 = d.create();
+        d.append(f1, &[0u8; 160]); // 10 pages in one request: PT + 10 = 20
+        let one = d.model().units(&d.stats());
+        d.reset_stats();
+        let f2 = d.create();
+        for _ in 0..10 {
+            d.append(f2, &[0u8; 16]); // 10 requests: 10*(PT + 1) = 110
+        }
+        let many = d.model().units(&d.stats());
+        assert!(one < many);
+        assert!((many - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delete_then_recreate_is_independent() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, b"abc");
+        d.delete(f);
+        let g = d.create();
+        assert_ne!(f, g);
+        assert_eq!(d.len(g), 0);
+    }
+
+    #[test]
+    fn stats_delta_and_plus() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, &[0u8; 16]);
+        let snap = d.stats();
+        d.append(f, &[0u8; 32]);
+        let delta = d.stats().delta(&snap);
+        assert_eq!(delta.write_requests, 1);
+        assert_eq!(delta.pages_written, 2);
+        let sum = snap.plus(&delta);
+        assert_eq!(sum, d.stats());
+    }
+
+    #[test]
+    fn empty_operations_are_free() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, &[]);
+        let mut empty: [u8; 0] = [];
+        d.read(f, 0, &mut empty);
+        assert_eq!(d.stats(), IoStats::default());
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskModel {
+            page_size: 16,
+            positioning_ratio: 1.0,
+            transfer_secs_per_page: 1.0,
+            cpu_slowdown: 1.0,
+        })
+    }
+
+    #[test]
+    #[should_panic]
+    fn read_past_end_of_file_panics() {
+        let d = disk();
+        let f = d.create();
+        d.append(f, &[1u8; 8]);
+        let mut out = [0u8; 16];
+        d.read(f, 0, &mut out); // only 8 bytes exist
+    }
+
+    #[test]
+    #[should_panic(expected = "file was deleted")]
+    fn read_from_deleted_file_panics() {
+        let d = disk();
+        let f = d.create();
+        d.append(f, &[1u8; 16]);
+        d.delete(f);
+        let mut out = [0u8; 4];
+        d.read(f, 0, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "file was deleted")]
+    fn append_to_deleted_file_panics() {
+        let d = disk();
+        let f = d.create();
+        d.delete(f);
+        d.append(f, &[0u8; 4]);
+    }
+
+    #[test]
+    fn double_delete_is_idempotent() {
+        let d = disk();
+        let f = d.create();
+        d.delete(f);
+        d.delete(f); // no panic
+    }
+}

@@ -1,0 +1,37 @@
+//! Out-of-core storage substrate with an explicit I/O cost model.
+//!
+//! The paper's I/O model (§2): data moves between main memory and secondary
+//! storage in fixed-size pages; a request for `n` contiguous pages costs
+//! `PT + n` *page-transfer units*, where `PT` is the ratio of disk-arm
+//! positioning time to page-transfer time. The original experiments ran on a
+//! 1999 SPARCstation with direct I/O so that the OS buffer cache could not
+//! hide this cost. On modern hardware raw I/O would be essentially free and
+//! the I/O-bound shapes of Figures 3a/5/11/14 would vanish, so this crate
+//! *simulates* the disk: it stores file contents in memory, runs the real
+//! out-of-core algorithms against real (simulated) files, counts every
+//! request, and converts the counts into seconds with configurable 1999-era
+//! disk constants.
+//!
+//! Components:
+//!
+//! * [`DiskModel`] — page size, `PT`, per-page transfer time,
+//! * [`SimDisk`] — the disk: create/delete/append/read files, [`IoStats`],
+//! * [`FileWriter`] / [`FileReader`] — buffered sequential byte streams with
+//!   multi-page requests (larger buffers ⇒ fewer positioning penalties),
+//! * [`RecordWriter`] / [`RecordReader`] — typed fixed-length record streams
+//!   ([`FixedRecord`]),
+//! * [`external_sort`] — memory-budgeted run formation + multiway merge,
+//!   the building block of PBSM's original duplicate-removal phase and of
+//!   S³J's level-file sorting phase.
+
+mod disk;
+mod file;
+mod pool;
+mod record;
+mod sort;
+
+pub use disk::{DiskModel, FileId, IoStats, SimDisk};
+pub use file::{FileReader, FileWriter};
+pub use pool::BufferPool;
+pub use record::{read_all, write_all, FixedRecord, IdPair, RecordReader, RecordWriter};
+pub use sort::{external_sort, external_sort_by, external_sort_slice, SortStats};

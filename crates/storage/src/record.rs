@@ -1,0 +1,243 @@
+use geom::Kpe;
+
+use crate::{FileReader, FileWriter, FileId, SimDisk};
+
+/// A fixed-length, byte-serialisable record — the unit of all intermediate
+/// files (partitions, level files, runs, candidate sets).
+pub trait FixedRecord: Copy {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+    /// Serialises into `buf[..Self::SIZE]`.
+    fn encode(&self, buf: &mut [u8]);
+    /// Inverse of [`FixedRecord::encode`].
+    fn decode(buf: &[u8]) -> Self;
+}
+
+impl FixedRecord for Kpe {
+    const SIZE: usize = Kpe::ENCODED_SIZE;
+
+    fn encode(&self, buf: &mut [u8]) {
+        Kpe::encode(self, buf);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        Kpe::decode(buf)
+    }
+}
+
+/// A candidate/result tuple of the filter step: a pair of record
+/// identifiers. This is what PBSM's original duplicate-removal phase sorts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdPair {
+    pub r: u64,
+    pub s: u64,
+}
+
+impl FixedRecord for IdPair {
+    const SIZE: usize = 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        buf[0..8].copy_from_slice(&self.r.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.s.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        IdPair {
+            r: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            s: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        }
+    }
+}
+
+/// Typed buffered writer of [`FixedRecord`]s.
+pub struct RecordWriter<R: FixedRecord> {
+    inner: FileWriter,
+    scratch: Vec<u8>,
+    count: u64,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: FixedRecord> RecordWriter<R> {
+    pub fn new(disk: &SimDisk, file: FileId, buffer_pages: usize) -> Self {
+        RecordWriter {
+            inner: FileWriter::new(disk, file, buffer_pages),
+            scratch: vec![0u8; R::SIZE],
+            count: 0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Creates the backing file too.
+    pub fn create(disk: &SimDisk, buffer_pages: usize) -> Self {
+        let f = disk.create();
+        Self::new(disk, f, buffer_pages)
+    }
+
+    pub fn push(&mut self, r: &R) {
+        r.encode(&mut self.scratch);
+        self.inner.write(&self.scratch);
+        self.count += 1;
+    }
+
+    /// Records pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn buffer_bytes(&self) -> usize {
+        self.inner.buffer_bytes()
+    }
+
+    pub fn file(&self) -> FileId {
+        self.inner.file()
+    }
+
+    pub fn finish(self) -> FileId {
+        self.inner.finish()
+    }
+}
+
+/// Typed buffered reader of [`FixedRecord`]s; an `Iterator<Item = R>`.
+pub struct RecordReader<R: FixedRecord> {
+    inner: FileReader,
+    scratch: Vec<u8>,
+    _marker: std::marker::PhantomData<R>,
+}
+
+impl<R: FixedRecord> RecordReader<R> {
+    pub fn new(disk: &SimDisk, file: FileId, buffer_pages: usize) -> Self {
+        RecordReader {
+            inner: FileReader::new(disk, file, buffer_pages),
+            scratch: vec![0u8; R::SIZE],
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reads records from the byte range `[start, end)` of `file`.
+    pub fn with_range(disk: &SimDisk, file: FileId, start: u64, end: u64, buffer_pages: usize) -> Self {
+        RecordReader {
+            inner: FileReader::with_range(disk, file, start, end, buffer_pages),
+            scratch: vec![0u8; R::SIZE],
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Records still unread.
+    pub fn remaining(&self) -> u64 {
+        self.inner.remaining() / R::SIZE as u64
+    }
+
+    pub fn buffer_bytes(&self) -> usize {
+        self.inner.buffer_bytes()
+    }
+}
+
+impl<R: FixedRecord> Iterator for RecordReader<R> {
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        // Split borrow: temporarily move scratch out to satisfy the borrow
+        // checker without copying.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let got = self.inner.read_exact(&mut scratch);
+        let out = got.then(|| R::decode(&scratch));
+        self.scratch = scratch;
+        out
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining() as usize;
+        (n, Some(n))
+    }
+}
+
+/// Convenience: writes all records into a fresh file with a large buffer.
+pub fn write_all<R: FixedRecord>(disk: &SimDisk, records: &[R], buffer_pages: usize) -> FileId {
+    let mut w = RecordWriter::create(disk, buffer_pages);
+    for r in records {
+        w.push(r);
+    }
+    w.finish()
+}
+
+/// Convenience: reads a whole record file into memory.
+pub fn read_all<R: FixedRecord>(disk: &SimDisk, file: FileId, buffer_pages: usize) -> Vec<R> {
+    RecordReader::new(disk, file, buffer_pages).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiskModel;
+    use geom::{Rect, RecordId};
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskModel {
+            page_size: 64,
+            positioning_ratio: 2.0,
+            transfer_secs_per_page: 1.0,
+            cpu_slowdown: 1.0,
+        })
+    }
+
+    #[test]
+    fn kpe_record_roundtrip_through_disk() {
+        let d = disk();
+        let kpes: Vec<Kpe> = (0..100)
+            .map(|i| {
+                let v = i as f64 / 200.0;
+                Kpe::new(RecordId(i), Rect::new(v, v, v + 0.1, v + 0.2))
+            })
+            .collect();
+        let f = write_all(&d, &kpes, 2);
+        assert_eq!(d.len(f), (100 * Kpe::ENCODED_SIZE) as u64);
+        let back: Vec<Kpe> = read_all(&d, f, 3);
+        assert_eq!(back, kpes);
+    }
+
+    #[test]
+    fn idpair_roundtrip_and_ordering() {
+        let d = disk();
+        let pairs = vec![
+            IdPair { r: 3, s: 1 },
+            IdPair { r: 1, s: 2 },
+            IdPair { r: 1, s: 1 },
+        ];
+        let f = write_all(&d, &pairs, 1);
+        let back: Vec<IdPair> = read_all(&d, f, 1);
+        assert_eq!(back, pairs);
+        let mut sorted = back.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![
+                IdPair { r: 1, s: 1 },
+                IdPair { r: 1, s: 2 },
+                IdPair { r: 3, s: 1 }
+            ]
+        );
+    }
+
+    #[test]
+    fn reader_size_hint_is_exact() {
+        let d = disk();
+        let pairs: Vec<IdPair> = (0..17).map(|i| IdPair { r: i, s: i }).collect();
+        let f = write_all(&d, &pairs, 1);
+        let mut r = RecordReader::<IdPair>::new(&d, f, 1);
+        assert_eq!(r.size_hint(), (17, Some(17)));
+        r.next();
+        assert_eq!(r.size_hint(), (16, Some(16)));
+        assert_eq!(r.count(), 16);
+    }
+
+    #[test]
+    fn range_reader_reads_record_slice() {
+        let d = disk();
+        let pairs: Vec<IdPair> = (0..10).map(|i| IdPair { r: i, s: 0 }).collect();
+        let f = write_all(&d, &pairs, 1);
+        let sz = IdPair::SIZE as u64;
+        let slice: Vec<IdPair> =
+            RecordReader::<IdPair>::with_range(&d, f, 3 * sz, 7 * sz, 1).collect();
+        assert_eq!(slice.iter().map(|p| p.r).collect::<Vec<_>>(), vec![3, 4, 5, 6]);
+    }
+}

@@ -1,0 +1,78 @@
+use geom::Kpe;
+
+use crate::{InternalJoin, JoinCounters};
+
+/// The *Plane-Sweep Intersection-Test* of [BKS 93], PBSM's original internal
+/// algorithm.
+///
+/// Both inputs are sorted by `xl` and swept left to right. The rectangle
+/// whose left edge the sweep line meets first performs a *forward scan* over
+/// the other relation: every rectangle starting before its right edge is a
+/// sweep-line-status neighbour and is tested for y-overlap. The status is
+/// thus kept implicitly, "organised as a list".
+///
+/// The forward scan makes the cost per rectangle proportional to the number
+/// of rectangles the sweep line currently stabs — fine for the well-shrunk
+/// partitions of PBSM with small memory, but degrading as partitions grow
+/// (the paper's observation that PBSM(list) gets *slower* with more memory,
+/// Figure 5).
+#[derive(Debug, Default)]
+pub struct PlaneSweepList {
+    counters: JoinCounters,
+}
+
+impl PlaneSweepList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward scan: `cur` (from one relation) against `other[from..]`,
+    /// reporting pairs in `(r, s)` orientation via `emit`.
+    #[inline]
+    fn forward_scan(
+        counters: &mut JoinCounters,
+        cur: &Kpe,
+        other: &[Kpe],
+        from: usize,
+        emit: &mut dyn FnMut(&Kpe, &Kpe),
+    ) {
+        for b in &other[from..] {
+            if b.rect.xl > cur.rect.xh {
+                break;
+            }
+            counters.tests += 1;
+            // x-overlap is implied: b.xl ∈ [cur.xl, cur.xh]; test y only.
+            if cur.rect.yl <= b.rect.yh && b.rect.yl <= cur.rect.yh {
+                counters.results += 1;
+                emit(cur, b);
+            }
+        }
+    }
+}
+
+impl InternalJoin for PlaneSweepList {
+    fn join(&mut self, r: &mut [Kpe], s: &mut [Kpe], out: &mut dyn FnMut(&Kpe, &Kpe)) {
+        r.sort_unstable_by(|a, b| a.rect.xl.total_cmp(&b.rect.xl));
+        s.sort_unstable_by(|a, b| a.rect.xl.total_cmp(&b.rect.xl));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < r.len() && j < s.len() {
+            if r[i].rect.xl <= s[j].rect.xl {
+                let cur = r[i];
+                Self::forward_scan(&mut self.counters, &cur, s, j, &mut |a, b| out(a, b));
+                i += 1;
+            } else {
+                let cur = s[j];
+                Self::forward_scan(&mut self.counters, &cur, r, i, &mut |a, b| out(b, a));
+                j += 1;
+            }
+        }
+    }
+
+    fn counters(&self) -> JoinCounters {
+        self.counters
+    }
+
+    fn reset(&mut self) {
+        self.counters = JoinCounters::default();
+    }
+}

@@ -1,0 +1,10 @@
+#!/bin/bash
+# Runs every experiment binary at full paper scale, one log per experiment.
+set -u
+cd /root/repo
+for b in table1 table2 table3 fig3 fig4 fig5 fig6 fig11 fig11m fig12 fig13 fig14 ablations ext_baselines ext_skew; do
+  echo "=== running $b ($(date +%T)) ==="
+  SJ_SCALE=${SJ_SCALE:-1.0} SJ_REPEAT=${SJ_REPEAT:-1} timeout 3600 cargo run --release -q -p bench --bin $b > results/$b.txt 2>&1
+  echo "=== done $b rc=$? ($(date +%T)) ==="
+done
+echo ALL_DONE

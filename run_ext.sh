@@ -1,0 +1,8 @@
+#!/bin/bash
+cd /root/repo
+for b in ablations ext_baselines ext_skew; do
+  echo "=== running $b ($(date +%T)) ==="
+  SJ_SCALE=1.0 timeout 3600 cargo run --release -q -p bench --bin $b > results/$b.txt 2>&1
+  echo "=== done $b rc=$? ($(date +%T)) ==="
+done
+echo ALL_DONE

@@ -1,0 +1,5 @@
+//! Umbrella crate: re-exports the whole workspace so that the root-level
+//! `examples/` and `tests/` can exercise the public API exactly as a
+//! downstream user of the `spatialjoin` crate would.
+
+pub use spatialjoin::*;

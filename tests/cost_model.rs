@@ -1,0 +1,146 @@
+//! Cost-model and I/O-accounting invariants: the analytical claims of the
+//! paper (Table 3, Figure 3a) expressed as assertions over the simulated
+//! disk counters.
+
+use spatial_join_suite::{Algorithm, JoinStats, Kpe, SpatialJoin};
+
+fn datasets() -> (Vec<Kpe>, Vec<Kpe>) {
+    let r = datagen::sized(&datagen::la_rr_config(71), 0.02).generate();
+    let s = datagen::sized(&datagen::la_st_config(71), 0.02).generate();
+    (r, s)
+}
+
+/// Figure 3a: the sort-phase duplicate removal pays extra I/O proportional
+/// to the candidate-set size; RPM pays none.
+#[test]
+fn rpm_strictly_cheaper_io_than_sort_phase() {
+    let (r, s) = datasets();
+    let mem = 64 * 1024;
+    let (_, rpm) = SpatialJoin::new(Algorithm::pbsm_rpm(mem)).count(&r, &s);
+    let (_, pd) = SpatialJoin::new(Algorithm::pbsm_original(mem)).count(&r, &s);
+    let (JoinStats::Pbsm(rpm), JoinStats::Pbsm(pd)) = (&rpm, &pd) else {
+        unreachable!()
+    };
+    // Identical filter work...
+    assert_eq!(rpm.candidates, pd.candidates);
+    assert_eq!(rpm.io_partition, pd.io_partition);
+    // ...but only the sort phase touches the disk for dedup.
+    assert_eq!(rpm.io_dedup.pages_written + rpm.io_dedup.pages_read, 0);
+    assert!(pd.io_dedup.pages_written > 0);
+    // Dedup I/O scales with the candidate set: at least one write+read pass.
+    let cand_bytes = pd.candidates * 16;
+    let ps = pd.model.page_size as u64;
+    assert!(pd.io_dedup.pages_written >= cand_bytes / ps);
+    assert!(pd.io_dedup.pages_read >= cand_bytes / ps);
+}
+
+/// The larger the result set, the larger the sort phase's overhead — the
+/// trend across J1→J4 in Figure 3a.
+#[test]
+fn dedup_io_grows_with_result_size() {
+    let (r0, s0) = datasets();
+    let mem = 64 * 1024;
+    let mut last_overhead = 0u64;
+    for p in [1.0, 2.0, 3.0] {
+        let r = datagen::scale(&r0, p);
+        let s = datagen::scale(&s0, p);
+        let (_, st) = SpatialJoin::new(Algorithm::pbsm_original(mem)).count(&r, &s);
+        let JoinStats::Pbsm(st) = &st else { unreachable!() };
+        let overhead = st.io_dedup.pages_written + st.io_dedup.pages_read;
+        assert!(
+            overhead > last_overhead,
+            "p={p}: dedup I/O {overhead} did not grow past {last_overhead}"
+        );
+        last_overhead = overhead;
+    }
+}
+
+/// Table 3, PBSM row: partitioning writes the (replicated) input once;
+/// the join phase reads it once.
+#[test]
+fn pbsm_io_passes_match_table3() {
+    let (r, s) = datasets();
+    let (_, st) = SpatialJoin::new(Algorithm::pbsm_rpm(64 * 1024)).count(&r, &s);
+    let JoinStats::Pbsm(st) = &st else { unreachable!() };
+    let ps = st.model.page_size as u64;
+    let copies_bytes = (st.copies_r + st.copies_s) * Kpe::ENCODED_SIZE as u64;
+    // Partitioning phase: exactly the replicated data, written once.
+    assert_eq!(st.io_partition.bytes_written, copies_bytes);
+    assert_eq!(st.io_partition.bytes_read, 0);
+    // Join phase: reads what was written (plus repartition traffic).
+    let total_written = st.io_total().bytes_written;
+    let total_read = st.io_total().bytes_read;
+    assert!(total_read >= copies_bytes);
+    assert!(total_read <= 2 * total_written, "unexpected re-reading");
+    let _ = ps;
+}
+
+/// Table 3, S³J row: partitioning writes the level files once; sorting
+/// reads and writes them at least once more; the join reads them once.
+#[test]
+fn s3j_io_passes_match_table3() {
+    let (r, s) = datasets();
+    let (_, st) = SpatialJoin::new(Algorithm::s3j_replicated(64 * 1024)).count(&r, &s);
+    let JoinStats::S3j(st) = &st else { unreachable!() };
+    let level_bytes = (st.copies_r + st.copies_s) * 48; // LevelRecord::SIZE
+    assert_eq!(st.io_partition.bytes_written, level_bytes);
+    assert!(st.io_sort.bytes_read >= level_bytes);
+    assert!(st.io_sort.bytes_written >= level_bytes);
+    assert!(st.io_join.bytes_read >= level_bytes);
+    assert_eq!(st.io_join.bytes_written, 0);
+}
+
+/// More memory never increases the I/O volume (fewer runs, fewer merge
+/// passes, fewer repartitions).
+#[test]
+fn io_monotone_in_memory() {
+    let (r, s) = datasets();
+    for make in [Algorithm::pbsm_rpm as fn(usize) -> Algorithm, Algorithm::s3j_replicated] {
+        let mut last = u64::MAX;
+        for mem in [16 * 1024, 128 * 1024, 1 << 20, 8 << 20] {
+            let algo = make(mem);
+            let name = algo.name();
+            let (_, st) = SpatialJoin::new(algo).count(&r, &s);
+            let io = st.io_total();
+            let vol = io.pages_written + io.pages_read;
+            assert!(
+                vol <= last,
+                "{name}: I/O volume {vol} grew when memory rose to {mem}"
+            );
+            last = vol;
+        }
+    }
+}
+
+/// The simulated-time identity: total = scaled CPU + io units × transfer.
+#[test]
+fn total_time_identity() {
+    let (r, s) = datasets();
+    let (_, st) = SpatialJoin::new(Algorithm::pbsm_rpm(64 * 1024)).count(&r, &s);
+    let total = st.total_seconds();
+    let recomputed = st.scaled_cpu_seconds() + st.io_seconds();
+    assert!((total - recomputed).abs() < 1e-9);
+    assert!(st.io_seconds() > 0.0);
+    assert!(st.scaled_cpu_seconds() > st.cpu_seconds());
+}
+
+/// S³J replication reduces intersection tests (the CPU side of Figure 11)
+/// on straddler-heavy (scaled) data.
+#[test]
+fn s3j_replication_cuts_cpu_work() {
+    let (r0, s0) = datasets();
+    let r = datagen::scale(&r0, 3.0);
+    let s = datagen::scale(&s0, 3.0);
+    let mem = 128 * 1024;
+    let (_, orig) = SpatialJoin::new(Algorithm::s3j_original(mem)).count(&r, &s);
+    let (_, repl) = SpatialJoin::new(Algorithm::s3j_replicated(mem)).count(&r, &s);
+    let (JoinStats::S3j(orig), JoinStats::S3j(repl)) = (&orig, &repl) else {
+        unreachable!()
+    };
+    assert!(
+        repl.join_counters.tests * 2 < orig.join_counters.tests,
+        "replication did not cut tests: {} vs {}",
+        repl.join_counters.tests,
+        orig.join_counters.tests
+    );
+}

@@ -1,0 +1,137 @@
+//! Property-based invariants of the duplicate-handling machinery, checked
+//! through the public API on randomly generated workloads.
+
+use proptest::prelude::*;
+use spatial_join_suite::{Algorithm, Kpe, Point, Rect, RecordId, SpatialJoin};
+
+fn arb_kpes(max_n: usize) -> impl Strategy<Value = Vec<Kpe>> {
+    prop::collection::vec(
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.2, 0.0f64..0.2),
+        1..max_n,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, w, h))| {
+                Kpe::new(
+                    RecordId(i as u64),
+                    Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)),
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RPM accounting: candidates = results + suppressed duplicates, and the
+    /// result set is duplicate-free and equals the sort-phase result set.
+    #[test]
+    fn pbsm_rpm_accounting(r in arb_kpes(120), s in arb_kpes(120)) {
+        let mem = 8 * 1024; // tiny: forces several partitions
+        let rpm = SpatialJoin::new(Algorithm::pbsm_rpm(mem)).run(&r, &s);
+        if let spatial_join_suite::JoinStats::Pbsm(st) = &rpm.stats {
+            prop_assert_eq!(st.candidates, st.results + st.duplicates);
+        } else {
+            unreachable!();
+        }
+        let mut pairs = rpm.pairs.clone();
+        pairs.sort_unstable_by_key(|(a, b)| (a.0, b.0));
+        let before = pairs.len();
+        pairs.dedup();
+        prop_assert_eq!(before, pairs.len(), "RPM emitted a duplicate");
+
+        let sorted = SpatialJoin::new(Algorithm::pbsm_original(mem)).run(&r, &s);
+        prop_assert_eq!(rpm.stats.results(), sorted.stats.results());
+    }
+
+    /// S³J replication invariants: ≤4 copies per rectangle, duplicates
+    /// fully suppressed, and agreement with the unreplicated original.
+    #[test]
+    fn s3j_replication_invariants(r in arb_kpes(120), s in arb_kpes(120)) {
+        let mem = 8 * 1024;
+        let repl = SpatialJoin::new(Algorithm::s3j_replicated(mem)).run(&r, &s);
+        if let spatial_join_suite::JoinStats::S3j(st) = &repl.stats {
+            prop_assert!(st.copies_r <= 4 * r.len() as u64);
+            prop_assert!(st.copies_s <= 4 * s.len() as u64);
+            prop_assert_eq!(st.candidates, st.results + st.duplicates);
+        } else {
+            unreachable!();
+        }
+        let orig = SpatialJoin::new(Algorithm::s3j_original(mem)).run(&r, &s);
+        prop_assert_eq!(repl.stats.results(), orig.stats.results());
+        prop_assert_eq!(orig.stats.duplicates(), 0);
+    }
+
+    /// The reference point of every reported pair lies inside both MBRs.
+    #[test]
+    fn reference_point_inside_both(r in arb_kpes(60), s in arb_kpes(60)) {
+        let run = SpatialJoin::new(Algorithm::pbsm_rpm(8 * 1024)).run(&r, &s);
+        for (rid, sid) in run.pairs {
+            let a = r[rid.0 as usize];
+            let b = s[sid.0 as usize];
+            prop_assert!(a.rect.intersects(&b.rect));
+            let x: Point = spatial_join_suite::reference_point(&a.rect, &b.rect);
+            prop_assert!(a.rect.contains_point(x) && b.rect.contains_point(x));
+        }
+    }
+
+    /// Result symmetry: joining (r, s) and (s, r) gives mirrored pairs, for
+    /// both replicating algorithms.
+    #[test]
+    fn join_is_symmetric(r in arb_kpes(80), s in arb_kpes(80)) {
+        for algo in [Algorithm::pbsm_rpm(8 * 1024), Algorithm::s3j_replicated(8 * 1024)] {
+            let name = algo.name();
+            let ab = SpatialJoin::new(algo.clone()).run(&r, &s);
+            let ba = SpatialJoin::new(algo).run(&s, &r);
+            let mut x: Vec<(u64, u64)> = ab.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+            let mut y: Vec<(u64, u64)> = ba.pairs.iter().map(|(a, b)| (b.0, a.0)).collect();
+            x.sort_unstable();
+            y.sort_unstable();
+            prop_assert_eq!(x, y, "{} not symmetric", name);
+        }
+    }
+
+    /// Monotonicity under scaling: growing every rectangle can only add
+    /// result pairs, never remove them.
+    #[test]
+    fn scaling_grows_result_set(r in arb_kpes(60), s in arb_kpes(60)) {
+        let join = SpatialJoin::new(Algorithm::pbsm_rpm(8 * 1024));
+        let base = join.run(&r, &s);
+        let bigger = join.run(&datagen::scale(&r, 1.5), &datagen::scale(&s, 1.5));
+        let small: std::collections::HashSet<(u64, u64)> =
+            base.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+        let big: std::collections::HashSet<(u64, u64)> =
+            bigger.pairs.iter().map(|(a, b)| (b_ids(*a), b_ids(*b))).collect();
+        for p in &small {
+            prop_assert!(big.contains(p), "pair {:?} lost after scaling", p);
+        }
+    }
+}
+
+fn b_ids(id: RecordId) -> u64 {
+    id.0
+}
+
+#[test]
+fn memory_budget_does_not_change_results() {
+    let r = datagen::sized(&datagen::la_rr_config(61), 0.008).generate();
+    let s = datagen::sized(&datagen::la_st_config(61), 0.008).generate();
+    let reference = SpatialJoin::new(Algorithm::pbsm_rpm(1 << 22)).run(&r, &s);
+    for mem in [4 * 1024, 16 * 1024, 64 * 1024, 1 << 20] {
+        for algo in [
+            Algorithm::pbsm_rpm(mem),
+            Algorithm::s3j_replicated(mem),
+            Algorithm::sssj(mem),
+        ] {
+            let name = algo.name();
+            let (n, _) = SpatialJoin::new(algo).count(&r, &s);
+            assert_eq!(
+                n,
+                reference.stats.results(),
+                "{name} at M={mem} changed the result count"
+            );
+        }
+    }
+}
