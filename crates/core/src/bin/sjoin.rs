@@ -5,7 +5,7 @@
 //!       [--right la_rr|la_st|cal_st|uniform|clustered|self]
 //!       [--algo pbsm|pbsm-trie|pbsm-sort|s3j|s3j-orig|sssj]
 //!       [--mem-mb <f64>] [--scale <f64>] [--p <f64>] [--seed <u64>]
-//!       [--limit <n>] [--refine] [--distance <eps>] [--stats]
+//!       [--threads <n>] [--limit <n>] [--refine] [--distance <eps>] [--stats]
 //! ```
 //!
 //! Examples:
@@ -27,6 +27,7 @@ struct Args {
     scale: f64,
     p: f64,
     seed: u64,
+    threads: usize,
     limit: usize,
     refine: bool,
     distance: Option<f64>,
@@ -43,6 +44,7 @@ impl Args {
             scale: 0.05,
             p: 1.0,
             seed: 42,
+            threads: 1,
             limit: 0,
             refine: false,
             distance: None,
@@ -61,6 +63,10 @@ impl Args {
                 "--scale" => args.scale = parse_num(&val("--scale")?)?,
                 "--p" => args.p = parse_num(&val("--p")?)?,
                 "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--threads" => {
+                    args.threads =
+                        val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                }
                 "--limit" => args.limit = val("--limit")?.parse().map_err(|e| format!("--limit: {e}"))?,
                 "--refine" => args.refine = true,
                 "--distance" => args.distance = Some(parse_num(&val("--distance")?)?),
@@ -83,6 +89,7 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
   --scale F       dataset scale, 1.0 = paper size       (default 0.05)
   --p F           grow MBR edges by factor p            (default 1)
   --seed N        dataset seed                          (default 42)
+  --threads N     worker threads for the join phase, 0 = all cores (default 1)
   --limit N       print the first N result pairs
   --refine        verify candidates against exact segment geometry
   --distance EPS  eps-distance join instead of intersection (implies --refine)
@@ -194,7 +201,9 @@ fn main() {
     } else {
         (left, right)
     };
-    let join = SpatialJoin::new(algorithm(&args.algo, mem).unwrap_or_else(die));
+    let join = SpatialJoin::new(
+        algorithm(&args.algo, mem).unwrap_or_else(die).with_threads(args.threads),
+    );
     println!(
         "{} ({} MBRs) ⋈ {} ({} MBRs), {} , M = {} MiB",
         args.left,

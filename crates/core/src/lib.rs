@@ -138,6 +138,29 @@ impl Algorithm {
         })
     }
 
+    /// Sets the partition-join worker-thread knob (`0` = all cores, `1` =
+    /// sequential) on algorithms that support parallel partition execution
+    /// (PBSM and S³J); a no-op for the single-sweep baselines. Results and
+    /// deterministic counters are identical for every value.
+    pub fn with_threads(mut self, threads: usize) -> Algorithm {
+        match &mut self {
+            Algorithm::Pbsm(c) => c.threads = threads,
+            Algorithm::S3j(c) => c.threads = threads,
+            Algorithm::Sssj(_) | Algorithm::Shj(_) => {}
+        }
+        self
+    }
+
+    /// The configured worker-thread knob (`None` for algorithms without
+    /// partition-level parallelism).
+    pub fn threads(&self) -> Option<usize> {
+        match self {
+            Algorithm::Pbsm(c) => Some(c.threads),
+            Algorithm::S3j(c) => Some(c.threads),
+            Algorithm::Sssj(_) | Algorithm::Shj(_) => None,
+        }
+    }
+
     /// Human-readable name for reports.
     pub fn name(&self) -> &'static str {
         match self {

@@ -115,6 +115,19 @@ pub enum JoinAlgorithm {
     S3j(S3jConfig),
 }
 
+impl JoinAlgorithm {
+    /// Sets the partition-join worker-thread knob of the wrapped config
+    /// (`0` = all cores, `1` = sequential). The operator's output stream is
+    /// identical for every value; only wall-clock changes.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        match &mut self {
+            JoinAlgorithm::Pbsm(c) => c.threads = threads,
+            JoinAlgorithm::S3j(c) => c.threads = threads,
+        }
+        self
+    }
+}
+
 /// Binary streaming spatial-join operator.
 ///
 /// `open()` drains both children (the join consumes its inputs either way)
@@ -154,6 +167,15 @@ where
     /// Bounded-channel capacity between the join and its consumer.
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Worker threads for the join's partition phase. The join itself runs
+    /// on one producer thread either way; with `threads > 1` that producer
+    /// fans partition pairs out to a pool and streams the re-ordered
+    /// results into the same bounded channel.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.algorithm = self.algorithm.clone().with_threads(threads);
         self
     }
 }
@@ -471,6 +493,38 @@ mod tests {
         let mut plan = Limit::new(KpeScan::new(data.clone()), 10_000);
         let got = Collected::drain(&mut plan);
         assert_eq!(got.items.len(), data.len());
+    }
+
+    #[test]
+    fn parallel_operator_streams_identical_pairs_in_identical_order() {
+        // The tentpole guarantee observed end to end through the operator
+        // tree: many workers feed the one bounded channel, yet the consumer
+        // sees the exact sequential tuple order (canonical re-assembly).
+        let r = tiger(1500, 12);
+        let s = tiger(1500, 13);
+        for algorithm in [
+            JoinAlgorithm::Pbsm(PbsmConfig {
+                mem_bytes: 32 * 1024,
+                ..Default::default()
+            }),
+            JoinAlgorithm::S3j(S3jConfig {
+                mem_bytes: 32 * 1024,
+                max_level: 9,
+                ..Default::default()
+            }),
+        ] {
+            let run = |threads: usize| {
+                let mut op = SpatialJoinOp::new(
+                    KpeScan::new(r.clone()),
+                    KpeScan::new(s.clone()),
+                    algorithm.clone(),
+                    SimDisk::with_default_model(),
+                )
+                .with_threads(threads);
+                Collected::drain(&mut op).items
+            };
+            assert_eq!(run(1), run(4), "tuple order must not depend on threads");
+        }
     }
 
     #[test]

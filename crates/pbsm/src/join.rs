@@ -50,6 +50,12 @@ pub struct PbsmConfig {
     pub io_buffer_pages: usize,
     /// Salt for the tile hash.
     pub seed: u64,
+    /// Worker threads for the partition-pair join phase (phases 2+3).
+    /// `0` means "all available cores"; `1` runs the sequential code path.
+    /// The result stream and all deterministic counters are identical for
+    /// every value — partition pairs are tagged and re-assembled in
+    /// canonical order.
+    pub threads: usize,
 }
 
 impl Default for PbsmConfig {
@@ -64,6 +70,7 @@ impl Default for PbsmConfig {
             partition_buffer_pages: 1,
             io_buffer_pages: 4,
             seed: 0x5EED,
+            threads: 0,
         }
     }
 }
@@ -184,17 +191,46 @@ impl PbsmStats {
     pub fn replication_rate(&self, input_len: usize) -> f64 {
         (self.copies_r + self.copies_s) as f64 / input_len.max(1) as f64
     }
+
+    /// Folds a per-worker partial into this stats struct — the deterministic
+    /// reduction of the parallel executor. Work counts and I/O counters are
+    /// pure sums (independent of worker interleaving); CPU phase times take
+    /// the **max over workers**, because workers run concurrently and a
+    /// phase costs as much wall-clock as its slowest worker; the recursion
+    /// depth takes the max. Run-level fields (`partitions`, `grid`, `model`,
+    /// `sort`, first-result probes) belong to the coordinating run and are
+    /// kept from `self`.
+    pub fn merge(&mut self, other: &PbsmStats) {
+        self.copies_r += other.copies_r;
+        self.copies_s += other.copies_s;
+        self.repart_copies += other.repart_copies;
+        self.repartitioned_pairs += other.repartitioned_pairs;
+        self.repart_depth = self.repart_depth.max(other.repart_depth);
+        self.candidates += other.candidates;
+        self.results += other.results;
+        self.duplicates += other.duplicates;
+        self.join_counters.merge(&other.join_counters);
+        self.io_partition = self.io_partition.plus(&other.io_partition);
+        self.io_repart = self.io_repart.plus(&other.io_repart);
+        self.io_join = self.io_join.plus(&other.io_join);
+        self.io_dedup = self.io_dedup.plus(&other.io_dedup);
+        self.cpu_partition = self.cpu_partition.max(other.cpu_partition);
+        self.cpu_repart = self.cpu_repart.max(other.cpu_repart);
+        self.cpu_join = self.cpu_join.max(other.cpu_join);
+        self.cpu_dedup = self.cpu_dedup.max(other.cpu_dedup);
+    }
 }
 
 struct Ctx<'a> {
     disk: &'a SimDisk,
     cfg: &'a PbsmConfig,
-    internal: Box<dyn InternalJoin>,
-    stats: PbsmStats,
-    /// Candidate writer on a dedicated disk so the sort phase's I/O is
-    /// attributable (Figure 3a's "upper box").
-    dedup_disk: Option<SimDisk>,
-    candidates: Option<RecordWriter<IdPair>>,
+    internal: &'a mut (dyn InternalJoin + Send),
+    stats: &'a mut PbsmStats,
+    /// Compute clock for the `cpu_join`/`cpu_repart` phase accounting: wall
+    /// time on the sequential path, a per-worker [`parallel::WorkClock`] on
+    /// the parallel path (so the max-over-workers reduction reports the
+    /// phase cost on dedicated cores, not host timeslicing).
+    clock: &'a dyn Fn() -> f64,
 }
 
 /// Runs PBSM on `r ⋈ s`, invoking `out` for every result pair.
@@ -245,7 +281,7 @@ pub fn pbsm_join(
 
     // --- Phases 2+3: repartition where needed, join every pair -------------
     let dedup_disk = matches!(cfg.dedup, Dedup::SortPhase).then(|| SimDisk::new(disk.model()));
-    let candidates = dedup_disk
+    let mut candidates = dedup_disk
         .as_ref()
         .map(|d| RecordWriter::<IdPair>::create(d, cfg.io_buffer_pages));
     // First-result probe: captures the CPU/I/O meters the moment the first
@@ -266,38 +302,129 @@ pub fn pbsm_join(
         out(a, b);
     };
     let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
-    let mut ctx = Ctx {
-        disk,
-        cfg,
-        internal: cfg.internal.create(),
-        stats,
-        dedup_disk,
-        candidates,
-    };
+    let threads = parallel::resolve_threads(cfg.threads);
+    let mut internal = cfg.internal.create();
+    // On-CPU compute clock (wall fallback) so sequential and parallel
+    // join-phase measurements share a basis — see `Ctx::clock`.
+    let coord_clock = parallel::WorkClock::start();
+    let wall_clock = move || coord_clock.seconds();
     if single {
         let t = Instant::now();
         let chain = RegionChain::top(grid, map, map.partition_of(0, 0, grid.gx));
         let mut rv = r.to_vec();
         let mut sv = s.to_vec();
-        join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out);
-        ctx.stats.cpu_join += t.elapsed().as_secs_f64();
-    } else {
+        let mut ctx = Ctx {
+            disk,
+            cfg,
+            internal: &mut *internal,
+            stats: &mut stats,
+            clock: &wall_clock,
+        };
+        join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out, &mut |pair| {
+            candidates
+                .as_mut()
+                .expect("sort-phase candidate writer")
+                .push(&pair)
+        });
+        stats.cpu_join += t.elapsed().as_secs_f64();
+        stats.join_counters = internal.counters();
+    } else if threads <= 1 {
+        // Sequential executor: today's exact behaviour (threads = 1).
+        let mut ctx = Ctx {
+            disk,
+            cfg,
+            internal: &mut *internal,
+            stats: &mut stats,
+            clock: &wall_clock,
+        };
         for i in 0..p {
             let chain = RegionChain::top(grid, map, i);
-            join_pair(&mut ctx, files_r[i as usize], files_s[i as usize], &chain, 0, out);
+            join_pair(
+                &mut ctx,
+                files_r[i as usize],
+                files_s[i as usize],
+                &chain,
+                0,
+                out,
+                &mut |pair| {
+                    candidates
+                        .as_mut()
+                        .expect("sort-phase candidate writer")
+                        .push(&pair)
+                },
+            );
             disk.delete(files_r[i as usize]);
             disk.delete(files_s[i as usize]);
         }
+        stats.join_counters = internal.counters();
+    } else {
+        // Parallel executor: each top-level partition pair (including its
+        // repartitioning recursion) is one task. Workers run on forked I/O
+        // counters; task outputs are re-assembled in partition order, so
+        // the emitted stream — and, for the sort phase, the candidate file
+        // — is byte-identical to the sequential path.
+        struct TaskOut {
+            pairs: Vec<(RecordId, RecordId)>,
+            cand: Vec<IdPair>,
+        }
+        let model = disk.model();
+        let workers = parallel::run_ordered(
+            threads,
+            p as usize,
+            |_w| {
+                (
+                    disk.fork_counters(),
+                    cfg.internal.create(),
+                    PbsmStats::new(model),
+                    parallel::WorkClock::start(),
+                )
+            },
+            |(fork, internal, partial, work_clock), i| {
+                let chain = RegionChain::top(grid, map, i as u32);
+                let mut pairs = Vec::new();
+                let mut cand = Vec::new();
+                let clock = || work_clock.seconds();
+                let mut ctx = Ctx {
+                    disk: fork,
+                    cfg,
+                    internal: &mut **internal,
+                    stats: partial,
+                    clock: &clock,
+                };
+                join_pair(
+                    &mut ctx,
+                    files_r[i],
+                    files_s[i],
+                    &chain,
+                    0,
+                    &mut |a, b| pairs.push((a, b)),
+                    &mut |pair| cand.push(pair),
+                );
+                TaskOut { pairs, cand }
+            },
+            |i, t| {
+                for (a, b) in t.pairs {
+                    out(a, b);
+                }
+                if let Some(w) = candidates.as_mut() {
+                    for pair in t.cand {
+                        w.push(&pair);
+                    }
+                }
+                disk.delete(files_r[i]);
+                disk.delete(files_s[i]);
+            },
+        );
+        for (fork, internal, mut partial, _clock) in workers {
+            partial.join_counters = internal.counters();
+            stats.merge(&partial);
+            // Fold the worker's forked meter back so `disk.stats()` reports
+            // the same totals as a sequential run.
+            disk.add_stats(&fork.stats());
+        }
     }
-    ctx.stats.join_counters = ctx.internal.counters();
 
     // --- Phase 4 (SortPhase only): sort candidates, drop duplicates --------
-    let Ctx {
-        mut stats,
-        dedup_disk,
-        candidates,
-        ..
-    } = ctx;
     if let (Some(ddisk), Some(writer)) = (dedup_disk, candidates) {
         let t3 = Instant::now();
         let cand_file = writer.finish();
@@ -358,17 +485,20 @@ fn partition_relation(
 }
 
 /// Joins one loaded partition pair with the configured duplicate handling.
+/// `cand` receives sort-phase candidate pairs (in emission order); the
+/// sequential executor writes them straight to the candidate file, the
+/// parallel executor buffers them per task for canonical-order reassembly.
 fn join_loaded(
     ctx: &mut Ctx<'_>,
     rv: &mut [Kpe],
     sv: &mut [Kpe],
     chain: &RegionChain,
     out: &mut dyn FnMut(RecordId, RecordId),
+    cand: &mut dyn FnMut(IdPair),
 ) {
     let Ctx {
         internal,
         stats,
-        candidates,
         cfg,
         ..
     } = ctx;
@@ -385,10 +515,7 @@ fn join_loaded(
                 }
             }
             Dedup::SortPhase => {
-                candidates
-                    .as_mut()
-                    .expect("sort-phase candidate writer")
-                    .push(&IdPair { r: a.id.0, s: b.id.0 });
+                cand(IdPair { r: a.id.0, s: b.id.0 });
             }
             Dedup::None => {
                 stats.results += 1;
@@ -408,6 +535,7 @@ fn join_pair(
     chain: &RegionChain,
     depth: u32,
     out: &mut dyn FnMut(RecordId, RecordId),
+    cand: &mut dyn FnMut(IdPair),
 ) {
     let disk = ctx.disk;
     let (br, bs) = (disk.len(fr), disk.len(fs));
@@ -417,20 +545,20 @@ fn join_pair(
     let fits = (br + bs) as usize <= ctx.cfg.mem_bytes;
     if fits || depth >= MAX_REPART_DEPTH {
         // --- Join phase ---
-        let t = Instant::now();
+        let c0 = (ctx.clock)();
         let io0 = disk.stats();
         let mut rv: Vec<Kpe> =
             RecordReader::<Kpe>::new(disk, fr, ctx.cfg.io_buffer_pages).collect();
         let mut sv: Vec<Kpe> =
             RecordReader::<Kpe>::new(disk, fs, ctx.cfg.io_buffer_pages).collect();
-        join_loaded(ctx, &mut rv, &mut sv, chain, out);
+        join_loaded(ctx, &mut rv, &mut sv, chain, out, cand);
         ctx.stats.io_join = ctx.stats.io_join.plus(&disk.stats().delta(&io0));
-        ctx.stats.cpu_join += t.elapsed().as_secs_f64();
+        ctx.stats.cpu_join += (ctx.clock)() - c0;
         return;
     }
 
     // --- Repartitioning phase ---
-    let t = Instant::now();
+    let c0 = (ctx.clock)();
     let io0 = disk.stats();
     ctx.stats.repartitioned_pairs += 1;
     ctx.stats.repart_depth = ctx.stats.repart_depth.max(depth + 1);
@@ -470,14 +598,14 @@ fn join_pair(
     }
     let subfiles: Vec<FileId> = writers.into_iter().map(|w| w.finish()).collect();
     ctx.stats.io_repart = ctx.stats.io_repart.plus(&disk.stats().delta(&io0));
-    ctx.stats.cpu_repart += t.elapsed().as_secs_f64();
+    ctx.stats.cpu_repart += (ctx.clock)() - c0;
 
     for (k, &sub) in subfiles.iter().enumerate() {
         let sub_chain = chain.refined(f_new, submap, k as u32);
         if split_r {
-            join_pair(ctx, sub, fs, &sub_chain, depth + 1, out);
+            join_pair(ctx, sub, fs, &sub_chain, depth + 1, out, cand);
         } else {
-            join_pair(ctx, fr, sub, &sub_chain, depth + 1, out);
+            join_pair(ctx, fr, sub, &sub_chain, depth + 1, out, cand);
         }
         disk.delete(sub);
     }

@@ -50,6 +50,12 @@ pub struct S3jConfig {
     pub level_buffer_pages: usize,
     /// Read-buffer pages per cursor during the join scan.
     pub io_buffer_pages: usize,
+    /// Worker threads for the partition-pair joins of the synchronized scan
+    /// ([`ScanMode::HeapMerge`] only; the ablation scan stays sequential).
+    /// `0` means "all available cores"; `1` runs the sequential code path.
+    /// The result stream and all deterministic counters are identical for
+    /// every value.
+    pub threads: usize,
 }
 
 impl Default for S3jConfig {
@@ -64,6 +70,7 @@ impl Default for S3jConfig {
             scan: ScanMode::HeapMerge,
             level_buffer_pages: 1,
             io_buffer_pages: 2,
+            threads: 0,
         }
     }
 }
@@ -134,9 +141,63 @@ impl S3jStats {
                 + self.model.seconds(self.first_result_io.as_ref()?),
         )
     }
+
+    /// Folds a per-worker partial into this stats struct — the deterministic
+    /// reduction of the parallel executor. Work counts and I/O counters are
+    /// pure sums (independent of worker interleaving); CPU phase times and
+    /// the resident peak take the **max over workers** (concurrent phases
+    /// cost as much as the slowest worker). Run-level fields (`model`,
+    /// histograms, sort stats, first-result probes) are kept from `self`.
+    pub fn merge(&mut self, other: &S3jStats) {
+        self.copies_r += other.copies_r;
+        self.copies_s += other.copies_s;
+        self.code_computations += other.code_computations;
+        self.candidates += other.candidates;
+        self.results += other.results;
+        self.duplicates += other.duplicates;
+        self.join_counters.merge(&other.join_counters);
+        self.io_partition = self.io_partition.plus(&other.io_partition);
+        self.io_sort = self.io_sort.plus(&other.io_sort);
+        self.io_join = self.io_join.plus(&other.io_join);
+        self.cpu_partition = self.cpu_partition.max(other.cpu_partition);
+        self.cpu_sort = self.cpu_sort.max(other.cpu_sort);
+        self.cpu_join = self.cpu_join.max(other.cpu_join);
+        self.peak_partition_bytes = self.peak_partition_bytes.max(other.peak_partition_bytes);
+    }
+
+    /// A zeroed partial for per-worker accumulation (merged back with
+    /// [`S3jStats::merge`]).
+    fn partial(model: DiskModel) -> S3jStats {
+        S3jStats {
+            copies_r: 0,
+            copies_s: 0,
+            histogram_r: Vec::new(),
+            histogram_s: Vec::new(),
+            code_computations: 0,
+            candidates: 0,
+            results: 0,
+            duplicates: 0,
+            join_counters: JoinCounters::default(),
+            sort_runs: 0,
+            sort_passes_max: 0,
+            io_partition: IoStats::default(),
+            io_sort: IoStats::default(),
+            io_join: IoStats::default(),
+            cpu_partition: 0.0,
+            cpu_sort: 0.0,
+            cpu_join: 0.0,
+            peak_partition_bytes: 0,
+            model,
+            first_result_cpu: None,
+            first_result_io: None,
+        }
+    }
 }
 
-/// A loaded partition: one cell's rectangles from one relation.
+/// A loaded partition: one cell's rectangles from one relation. Cloned by
+/// parallel workers (internal joins reorder rects in place, so every task
+/// works on a pristine private copy).
+#[derive(Clone)]
 struct Part {
     rel: usize, // 0 = R, 1 = S
     level: u8,
@@ -145,6 +206,24 @@ struct Part {
     end: u64,
     cell: Cell,
     rects: Vec<Kpe>,
+}
+
+impl Part {
+    /// A private copy of this partition whose rects live in `buf` (cleared
+    /// first) — lets parallel workers recycle scratch buffers instead of
+    /// allocating per task.
+    fn copy_into(&self, mut buf: Vec<Kpe>) -> Part {
+        buf.clear();
+        buf.extend_from_slice(&self.rects);
+        Part {
+            rel: self.rel,
+            level: self.level,
+            start: self.start,
+            end: self.end,
+            cell: self.cell,
+            rects: buf,
+        }
+    }
 }
 
 /// Cursor over one sorted level file that yields whole partitions.
@@ -204,7 +283,7 @@ impl Cursor {
 
 struct JoinCtx<'a> {
     cfg: &'a S3jConfig,
-    internal: Box<dyn InternalJoin>,
+    internal: Box<dyn InternalJoin + Send>,
     candidates: u64,
     results: u64,
     duplicates: u64,
@@ -337,7 +416,10 @@ pub fn s3j_join(
     stats.cpu_sort = t1.elapsed().as_secs_f64();
 
     // --- Phase 3: synchronized scan ------------------------------------------
-    let t2 = Instant::now();
+    // On-CPU compute clock (wall fallback): keeps the sequential and
+    // parallel join-phase measurements on the same basis, so speedup ratios
+    // are meaningful even on an oversubscribed host.
+    let t2 = parallel::WorkClock::start();
     let io2 = disk.stats();
     let mut first_cpu: Option<f64> = None;
     let mut first_io: Option<IoStats> = None;
@@ -350,25 +432,36 @@ pub fn s3j_join(
         out(a, b);
     };
     let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
-    let mut ctx = JoinCtx {
-        cfg,
-        internal: cfg.internal.create(),
-        candidates: 0,
-        results: 0,
-        duplicates: 0,
-    };
-    match cfg.scan {
-        ScanMode::HeapMerge => heap_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out),
-        ScanMode::LevelPairs => {
-            pair_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
+    let threads = parallel::resolve_threads(cfg.threads);
+    if matches!(cfg.scan, ScanMode::HeapMerge) && threads > 1 {
+        // `cpu_join` is assembled inside: the coordinator's discovery scan
+        // plus the max-over-workers on-CPU join time — the phase cost on
+        // dedicated cores, which the pool barrier realises as wall time on
+        // an unloaded multicore host.
+        heap_scan_parallel(disk, cfg, threads, &sorted_r, &sorted_s, &mut stats, out);
+    } else {
+        let mut ctx = JoinCtx {
+            cfg,
+            internal: cfg.internal.create(),
+            candidates: 0,
+            results: 0,
+            duplicates: 0,
+        };
+        match cfg.scan {
+            ScanMode::HeapMerge => {
+                heap_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
+            }
+            ScanMode::LevelPairs => {
+                pair_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
+            }
         }
+        stats.candidates = ctx.candidates;
+        stats.results = ctx.results;
+        stats.duplicates = ctx.duplicates;
+        stats.join_counters = ctx.internal.counters();
+        stats.cpu_join = t2.seconds();
     }
-    stats.candidates = ctx.candidates;
-    stats.results = ctx.results;
-    stats.duplicates = ctx.duplicates;
-    stats.join_counters = ctx.internal.counters();
     stats.io_join = disk.stats().delta(&io2);
-    stats.cpu_join = t2.elapsed().as_secs_f64();
 
     for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
         disk.delete(*f);
@@ -432,6 +525,131 @@ fn heap_scan(
         stats.peak_partition_bytes = stats.peak_partition_bytes.max(resident);
         stacks[part.rel].push(part);
     }
+}
+
+/// Parallel variant of [`heap_scan`]: the discovery traversal (cursors,
+/// heap, root-path stacks) runs unchanged on the coordinator — it is the
+/// only I/O — but instead of joining inline, every (new partition, stack
+/// entry) pair is queued over `Arc`-shared partitions and workers claim
+/// contiguous chunks of the queue. Workers join pristine clones (internal
+/// joins reorder rects in place) and buffer their result pairs; the pool
+/// re-assembles chunk outputs in discovery order, so
+/// the emitted stream is identical to the sequential scan, and the modified
+/// RPM (§4.3) keeps the union of task outputs duplicate-free no matter how
+/// tasks interleave.
+fn heap_scan_parallel(
+    disk: &SimDisk,
+    cfg: &S3jConfig,
+    threads: usize,
+    sorted_r: &[Option<FileId>],
+    sorted_s: &[Option<FileId>],
+    stats: &mut S3jStats,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) {
+    use std::sync::Arc;
+
+    let t_discover = parallel::WorkClock::start();
+    let mut cursors: Vec<Cursor> = Vec::new();
+    for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
+        for (level, f) in files.iter().enumerate() {
+            if let Some(f) = f {
+                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages));
+            }
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<(u64, u8, usize, usize)>> = BinaryHeap::new();
+    for (i, c) in cursors.iter().enumerate() {
+        if let Some((start, level, rel)) = c.peek_key(cfg.max_level) {
+            heap.push(Reverse((start, level, rel, i)));
+        }
+    }
+    let mut stacks: [Vec<Arc<Part>>; 2] = [Vec::new(), Vec::new()];
+    let mut resident = 0usize;
+    let mut tasks: Vec<(Arc<Part>, Arc<Part>)> = Vec::new();
+    while let Some(Reverse((_, _, _, ci))) = heap.pop() {
+        let part = cursors[ci].take_partition(cfg.curve, cfg.max_level);
+        if let Some((st, lv, rl)) = cursors[ci].peek_key(cfg.max_level) {
+            heap.push(Reverse((st, lv, rl, ci)));
+        }
+        for stack in stacks.iter_mut() {
+            while let Some(top) = stack.last() {
+                if top.start <= part.start && part.start < top.end {
+                    break; // ancestor (or equal): keep
+                }
+                resident -= top.rects.len() * Kpe::ENCODED_SIZE;
+                stack.pop();
+            }
+        }
+        let part = Arc::new(part);
+        for q in stacks[1 - part.rel].iter() {
+            tasks.push((Arc::clone(&part), Arc::clone(q)));
+        }
+        resident += part.rects.len() * Kpe::ENCODED_SIZE;
+        stats.peak_partition_bytes = stats.peak_partition_bytes.max(resident);
+        stacks[part.rel].push(part);
+    }
+    drop(stacks);
+    let discover_secs = t_discover.seconds();
+
+    // S³J partition pairs are tiny (often a handful of rects), so a task
+    // per pair would drown in per-task overhead. Workers instead claim
+    // contiguous *chunks* of the discovery-ordered pair list; chunk outputs
+    // re-assemble in chunk order, which is discovery order.
+    let chunk = tasks.len().div_ceil(threads * 16).max(1);
+    let n_chunks = tasks.len().div_ceil(chunk);
+    let model = stats.model;
+    let workers = parallel::run_ordered(
+        threads,
+        n_chunks,
+        |_w| {
+            (
+                JoinCtx {
+                    cfg,
+                    internal: cfg.internal.create(),
+                    candidates: 0,
+                    results: 0,
+                    duplicates: 0,
+                },
+                0f64,
+                parallel::WorkClock::start(),
+                // Scratch rect buffers, reused across tasks: internal joins
+                // reorder rects in place, so each task needs private copies,
+                // but per-task Vec allocations would serialise the pool on
+                // the allocator lock.
+                (Vec::new(), Vec::new()),
+            )
+        },
+        |(ctx, cpu, work_clock, scratch), c| {
+            let c0 = work_clock.seconds();
+            let mut pairs = Vec::new();
+            for (deeper, other) in &tasks[c * chunk..tasks.len().min((c + 1) * chunk)] {
+                let mut deeper = deeper.copy_into(std::mem::take(&mut scratch.0));
+                let mut other = other.copy_into(std::mem::take(&mut scratch.1));
+                ctx.join_parts(&mut deeper, &mut other, &mut |a, b| pairs.push((a, b)));
+                scratch.0 = deeper.rects;
+                scratch.1 = other.rects;
+            }
+            *cpu += work_clock.seconds() - c0;
+            pairs
+        },
+        |_i, pairs| {
+            for (a, b) in pairs {
+                out(a, b);
+            }
+        },
+    );
+    for (ctx, cpu, _clock, _scratch) in workers {
+        let mut partial = S3jStats::partial(model);
+        partial.candidates = ctx.candidates;
+        partial.results = ctx.results;
+        partial.duplicates = ctx.duplicates;
+        partial.join_counters = ctx.internal.counters();
+        partial.cpu_join = cpu;
+        stats.merge(&partial);
+    }
+    // Coordinator discovery (the phase's only I/O and heap work) happens
+    // before the workers start; it adds to whichever worker was slowest.
+    stats.cpu_join += discover_secs;
 }
 
 /// Ablation baseline for §4.4.3: a separate merge scan per pair of level

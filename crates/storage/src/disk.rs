@@ -92,34 +92,58 @@ impl IoStats {
             bytes_written: self.bytes_written + other.bytes_written,
         }
     }
+
+    /// In-place element-wise sum: folds another counter (e.g. a worker's
+    /// forked meter, see [`SimDisk::fork_counters`]) into this one.
+    pub fn merge(&mut self, other: &IoStats) {
+        *self = self.plus(other);
+    }
 }
 
 /// Handle to a file on a [`SimDisk`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(u32);
 
-#[derive(Default)]
-struct Inner {
-    files: Vec<Option<Vec<u8>>>,
-    stats: IoStats,
-}
-
-/// The simulated disk. Cheap to clone (shared handle); all file contents and
-/// counters live behind one lock. Single-writer usage patterns keep lock
-/// contention irrelevant — the simulation itself is not a benchmark target,
-/// the *counters* are.
+/// The simulated disk. Cheap to clone (shared handle): clones share both the
+/// file store and the I/O meter. [`SimDisk::fork_counters`] instead shares
+/// only the file store and gives the fork a fresh meter — parallel join
+/// workers each run on a fork, so their per-worker counters can be merged
+/// back deterministically (via [`SimDisk::add_stats`]) regardless of how the
+/// scheduler interleaved their requests. Lock contention is irrelevant —
+/// the simulation itself is not a benchmark target, the *counters* are.
 #[derive(Clone)]
 pub struct SimDisk {
-    inner: Arc<Mutex<Inner>>,
+    files: Arc<Mutex<Vec<Option<Vec<u8>>>>>,
+    stats: Arc<Mutex<IoStats>>,
     model: DiskModel,
 }
 
 impl SimDisk {
     pub fn new(model: DiskModel) -> Self {
         SimDisk {
-            inner: Arc::new(Mutex::new(Inner::default())),
+            files: Arc::new(Mutex::new(Vec::new())),
+            stats: Arc::new(Mutex::new(IoStats::default())),
             model,
         }
+    }
+
+    /// A handle onto the **same** file store with a **fresh, private** I/O
+    /// meter. Work done through the fork is invisible to this handle's
+    /// counters until the caller folds the fork's [`SimDisk::stats`] back in
+    /// with [`SimDisk::add_stats`] — the per-worker counter protocol of the
+    /// parallel join executors.
+    pub fn fork_counters(&self) -> SimDisk {
+        SimDisk {
+            files: Arc::clone(&self.files),
+            stats: Arc::new(Mutex::new(IoStats::default())),
+            model: self.model,
+        }
+    }
+
+    /// Folds externally accumulated counters (a fork's meter) into this
+    /// handle's meter.
+    pub fn add_stats(&self, s: &IoStats) {
+        self.stats.lock().merge(s);
     }
 
     pub fn with_default_model() -> Self {
@@ -132,26 +156,23 @@ impl SimDisk {
 
     /// Creates an empty file.
     pub fn create(&self) -> FileId {
-        let mut g = self.inner.lock();
-        g.files.push(Some(Vec::new()));
-        FileId((g.files.len() - 1) as u32)
+        let mut g = self.files.lock();
+        g.push(Some(Vec::new()));
+        FileId((g.len() - 1) as u32)
     }
 
     /// Deletes a file, releasing its space. Idempotent.
     pub fn delete(&self, f: FileId) {
-        let mut g = self.inner.lock();
-        if let Some(slot) = g.files.get_mut(f.0 as usize) {
+        let mut g = self.files.lock();
+        if let Some(slot) = g.get_mut(f.0 as usize) {
             *slot = None;
         }
     }
 
     /// Length of a file in bytes.
     pub fn len(&self, f: FileId) -> u64 {
-        let g = self.inner.lock();
-        g.files[f.0 as usize]
-            .as_ref()
-            .expect("file was deleted")
-            .len() as u64
+        let g = self.files.lock();
+        g[f.0 as usize].as_ref().expect("file was deleted").len() as u64
     }
 
     /// `true` iff the file holds no bytes.
@@ -169,11 +190,13 @@ impl SimDisk {
             return;
         }
         let pages = data.len().div_ceil(self.model.page_size) as u64;
-        let mut g = self.inner.lock();
-        g.stats.write_requests += 1;
-        g.stats.pages_written += pages;
-        g.stats.bytes_written += data.len() as u64;
-        g.files[f.0 as usize]
+        {
+            let mut s = self.stats.lock();
+            s.write_requests += 1;
+            s.pages_written += pages;
+            s.bytes_written += data.len() as u64;
+        }
+        self.files.lock()[f.0 as usize]
             .as_mut()
             .expect("file was deleted")
             .extend_from_slice(data);
@@ -190,23 +213,26 @@ impl SimDisk {
         let first_page = offset / ps;
         let last_page = (offset + out.len() as u64 - 1) / ps;
         let pages = last_page - first_page + 1;
-        let mut g = self.inner.lock();
-        g.stats.read_requests += 1;
-        g.stats.pages_read += pages;
-        g.stats.bytes_read += out.len() as u64;
-        let data = g.files[f.0 as usize].as_ref().expect("file was deleted");
+        {
+            let mut s = self.stats.lock();
+            s.read_requests += 1;
+            s.pages_read += pages;
+            s.bytes_read += out.len() as u64;
+        }
+        let g = self.files.lock();
+        let data = g[f.0 as usize].as_ref().expect("file was deleted");
         let start = offset as usize;
         out.copy_from_slice(&data[start..start + out.len()]);
     }
 
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> IoStats {
-        self.inner.lock().stats
+        *self.stats.lock()
     }
 
     /// Resets all counters to zero (file contents are kept).
     pub fn reset_stats(&self) {
-        self.inner.lock().stats = IoStats::default();
+        *self.stats.lock() = IoStats::default();
     }
 
     /// Simulated disk seconds for counters accumulated so far.
@@ -308,6 +334,31 @@ mod tests {
         assert_eq!(delta.pages_written, 2);
         let sum = snap.plus(&delta);
         assert_eq!(sum, d.stats());
+    }
+
+    #[test]
+    fn fork_shares_files_but_not_counters() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, &[0u8; 16]);
+        let fork = d.fork_counters();
+        // Fork starts with a clean meter but sees the shared file.
+        assert_eq!(fork.stats(), IoStats::default());
+        assert_eq!(fork.len(f), 16);
+        // Work through the fork is metered on the fork only...
+        fork.append(f, &[0u8; 32]);
+        assert_eq!(fork.stats().pages_written, 2);
+        assert_eq!(d.stats().pages_written, 1);
+        // ...but the bytes land in the shared store.
+        assert_eq!(d.len(f), 48);
+        // Merging the fork back restores the single-meter view.
+        d.add_stats(&fork.stats());
+        assert_eq!(d.stats().pages_written, 3);
+        assert_eq!(d.stats().write_requests, 2);
+        // Deletion through either handle is visible to both.
+        let g = fork.create();
+        d.delete(g);
+        assert_eq!(fork.stats().read_requests, 0);
     }
 
     #[test]

@@ -49,6 +49,13 @@ impl JoinCounters {
         self.results += other.results;
         self.node_visits += other.node_visits;
     }
+
+    /// Folds another counter into this one — the deterministic reduction
+    /// the parallel join executors apply to per-worker counters (counts are
+    /// pure sums, so the merge is independent of worker interleaving).
+    pub fn merge(&mut self, other: &JoinCounters) {
+        self.add(other);
+    }
 }
 
 /// An in-memory spatial (intersection) join on two sets of KPEs.
@@ -81,8 +88,9 @@ pub enum InternalAlgo {
 }
 
 impl InternalAlgo {
-    /// Instantiates the selected algorithm.
-    pub fn create(self) -> Box<dyn InternalJoin> {
+    /// Instantiates the selected algorithm. The trait object is `Send` so
+    /// each parallel join worker can own its own instance.
+    pub fn create(self) -> Box<dyn InternalJoin + Send> {
         match self {
             InternalAlgo::NestedLoops => Box::new(NestedLoops::new()),
             InternalAlgo::PlaneSweepList => Box::new(PlaneSweepList::new()),

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment has no cargo registry access, so this crate
+//! reimplements exactly the surface the workspace uses: `StdRng` (a
+//! deterministic xoshiro256++ seeded via SplitMix64), `Rng::gen_range` /
+//! `gen_bool`, `SeedableRng::seed_from_u64`, and `SliceRandom`
+//! (`shuffle` / `choose` / `choose_multiple`).
+//!
+//! The generator is *not* stream-compatible with the real `rand::StdRng`;
+//! synthetic datasets are deterministic per seed within this workspace,
+//! which is all the experiments require.
+
+use std::ops::Range;
+
+/// Minimal core trait: everything is derived from uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<G: RngCore + Sized> Rng for G {}
+
+/// Seeding (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The workspace's standard generator: xoshiro256++ with SplitMix64 seeding.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the canonical way to seed xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniformly sampleable types (stand-in for `rand`'s `SampleUniform`).
+/// A single blanket `SampleRange` impl below mirrors real rand's shape so
+/// that float-literal inference (`gen_range(0.0..1.0)` ⇒ `f64`) works.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[lo, hi)`; `hi_inclusive` widens to `[lo, hi]`.
+    fn sample_between<G: RngCore + ?Sized>(lo: Self, hi: Self, hi_inclusive: bool, rng: &mut G)
+        -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<G: RngCore + ?Sized>(lo: f64, hi: f64, _incl: bool, rng: &mut G) -> f64 {
+        debug_assert!(lo <= hi);
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<G: RngCore + ?Sized>(lo: f32, hi: f32, _incl: bool, rng: &mut G) -> f32 {
+        debug_assert!(lo <= hi);
+        lo + (unit_f64(rng.next_u64()) as f32) * (hi - lo)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(lo: $t, hi: $t, incl: bool, rng: &mut G) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + incl as u128;
+                assert!(span > 0, "empty integer range");
+                let r = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range sampling (subset of `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Slice helpers (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    type Item;
+
+    fn shuffle<G: RngCore>(&mut self, rng: &mut G);
+    fn choose<G: RngCore>(&self, rng: &mut G) -> Option<&Self::Item>;
+    /// Up to `amount` distinct elements, in random order.
+    fn choose_multiple<G: RngCore>(
+        &self,
+        rng: &mut G,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<G: RngCore>(&mut self, rng: &mut G) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample(rng);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<G: RngCore>(&self, rng: &mut G) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample(rng)])
+        }
+    }
+
+    fn choose_multiple<G: RngCore>(&self, rng: &mut G, amount: usize) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        // Partial Fisher–Yates: the first `amount` slots end up random.
+        for i in 0..amount {
+            let j = (i..idx.len()).sample(rng);
+            idx.swap(i, j);
+        }
+        idx[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng, SliceRandom, StdRng};
+}
+
+pub mod seq {
+    pub use crate::SliceRandom;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&f));
+            let i: u32 = rng.gen_range(3u32..10);
+            assert!((3..10).contains(&i));
+            let n: usize = rng.gen_range(0usize..1);
+            assert_eq!(n, 0);
+        }
+    }
+
+    #[test]
+    fn unit_samples_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&x));
+            lo |= x < 0.1;
+            hi |= x > 0.9;
+        }
+        assert!(lo && hi, "samples did not spread across [0,1)");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}/10000");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+    }
+
+    #[test]
+    fn shuffle_permutes_and_choose_multiple_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 10).copied().collect();
+        assert_eq!(picked.len(), 10);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 10, "choose_multiple repeated an element");
+        assert!(v.choose(&mut rng).is_some());
+    }
+}
