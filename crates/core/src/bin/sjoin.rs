@@ -17,7 +17,9 @@
 //! sjoin --refine --limit 5                    # exact road crossings
 //! ```
 
-use spatialjoin::{datagen, refine, Algorithm, InternalAlgo, JoinStats, SpatialJoin};
+use spatialjoin::{
+    datagen, refine, Algorithm, FaultPlan, InternalAlgo, JoinStats, RetryPolicy, SpatialJoin,
+};
 
 struct Args {
     left: String,
@@ -32,6 +34,9 @@ struct Args {
     refine: bool,
     distance: Option<f64>,
     stats: bool,
+    faults: Option<u64>,
+    fault_rate: Option<f64>,
+    retry: Option<u32>,
 }
 
 impl Args {
@@ -49,6 +54,9 @@ impl Args {
             refine: false,
             distance: None,
             stats: false,
+            faults: None,
+            fault_rate: None,
+            retry: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -71,6 +79,15 @@ impl Args {
                 "--refine" => args.refine = true,
                 "--distance" => args.distance = Some(parse_num(&val("--distance")?)?),
                 "--stats" => args.stats = true,
+                "--faults" => {
+                    args.faults =
+                        Some(val("--faults")?.parse().map_err(|e| format!("--faults: {e}"))?)
+                }
+                "--fault-rate" => args.fault_rate = Some(parse_num(&val("--fault-rate")?)?),
+                "--retry" => {
+                    args.retry =
+                        Some(val("--retry")?.parse().map_err(|e| format!("--retry: {e}"))?)
+                }
                 "--help" | "-h" => {
                     println!("{}", HELP);
                     std::process::exit(0);
@@ -93,7 +110,10 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
   --limit N       print the first N result pairs
   --refine        verify candidates against exact segment geometry
   --distance EPS  eps-distance join instead of intersection (implies --refine)
-  --stats         print the phase breakdown";
+  --stats         print the phase breakdown
+  --faults SEED   inject seeded deterministic disk faults
+  --fault-rate P  fraction of request identities that fail  (default 0.05)
+  --retry N       attempts per page request, incl. the first (default 4)";
 
 fn parse_num(v: &str) -> Result<f64, String> {
     v.parse().map_err(|e| format!("bad number {v}: {e}"))
@@ -145,6 +165,12 @@ fn print_phase_stats(stats: &JoinStats) {
                 s.repart_copies
             );
             println!("  repartitioned    : {} pairs", s.repartitioned_pairs);
+            if s.degraded_partitions + s.requeued_partitions > 0 {
+                println!(
+                    "  fault recovery   : {} partitions degraded, {} requeued",
+                    s.degraded_partitions, s.requeued_partitions
+                );
+            }
             println!("  candidates       : {}", s.candidates);
             println!("  duplicates       : {}", s.duplicates);
             println!("  intersection tests: {}", s.join_counters.tests);
@@ -201,9 +227,19 @@ fn main() {
     } else {
         (left, right)
     };
-    let join = SpatialJoin::new(
+    let mut join = SpatialJoin::new(
         algorithm(&args.algo, mem).unwrap_or_else(die).with_threads(args.threads),
     );
+    if let Some(seed) = args.faults {
+        let mut plan = FaultPlan::recoverable(seed);
+        if let Some(rate) = args.fault_rate {
+            plan.fault_rate = rate.clamp(0.0, 1.0);
+        }
+        join = join.with_faults(plan);
+    }
+    if let Some(n) = args.retry {
+        join = join.with_retry(RetryPolicy::with_max_attempts(n));
+    }
     println!(
         "{} ({} MBRs) ⋈ {} ({} MBRs), {} , M = {} MiB",
         args.left,
@@ -215,7 +251,7 @@ fn main() {
     );
 
     if let Some(eps) = args.distance {
-        let run = join.within_distance(&left, &right, eps);
+        let run = join.try_within_distance(&left, &right, eps).unwrap_or_else(die_join);
         println!("pairs within eps={eps}: {}", run.pairs.len());
         println!(
             "filter candidates {}, false-positive rate {:.1}%",
@@ -230,14 +266,16 @@ fn main() {
     }
 
     if args.refine {
-        let run = join.run_refined(
-            &left.kpes,
-            &right.kpes,
-            refine::SegmentIntersect {
-                r: &left.segments,
-                s: &right.segments,
-            },
-        );
+        let run = join
+            .try_run_refined(
+                &left.kpes,
+                &right.kpes,
+                refine::SegmentIntersect {
+                    r: &left.segments,
+                    s: &right.segments,
+                },
+            )
+            .unwrap_or_else(die_join);
         println!("exact intersections: {}", run.pairs.len());
         println!(
             "filter candidates {}, false-positive rate {:.1}%",
@@ -251,7 +289,7 @@ fn main() {
         return;
     }
 
-    let run = join.run(&left.kpes, &right.kpes);
+    let run = join.try_run(&left.kpes, &right.kpes).unwrap_or_else(die_join);
     println!("results          : {}", run.stats.results());
     println!("duplicates       : {}", run.stats.duplicates());
     println!("cpu (emulated)   : {:.2} s", run.stats.scaled_cpu_seconds());
@@ -262,6 +300,13 @@ fn main() {
     }
     if args.stats {
         print_phase_stats(&run.stats);
+        let io = run.stats.io_total();
+        if io.faults_injected > 0 {
+            println!(
+                "  faults injected  : {} ({} read retries, {} write retries, {} backoff units)",
+                io.faults_injected, io.read_retries, io.write_retries, io.backoff_units
+            );
+        }
     }
     for (a, b) in run.pairs.iter().take(args.limit) {
         println!("  #{} x #{}", a.0, b.0);
@@ -271,4 +316,9 @@ fn main() {
 fn die<T>(e: String) -> T {
     eprintln!("error: {e}");
     std::process::exit(2);
+}
+
+fn die_join<T>(e: spatialjoin::JoinError) -> T {
+    eprintln!("error: {e}");
+    std::process::exit(1);
 }

@@ -65,7 +65,9 @@ pub use storage;
 pub use sweep;
 
 pub use geom::{dataset_stats, reference_point, DatasetStats, Kpe, Point, Rect, RecordId};
-pub use storage::{DiskModel, IoStats, SimDisk};
+pub use storage::{
+    DiskModel, FaultPlan, IoError, IoErrorKind, IoStats, JoinError, RetryPolicy, SimDisk,
+};
 pub use sweep::InternalAlgo;
 
 use pbsm::{Dedup, PbsmConfig, PbsmStats};
@@ -273,9 +275,12 @@ impl JoinStats {
 pub struct SpatialJoin {
     algorithm: Algorithm,
     disk_model: DiskModel,
+    fault_plan: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 /// Result of [`SpatialJoin::run`]: materialised pairs plus statistics.
+#[derive(Debug)]
 pub struct JoinRun {
     pub pairs: Vec<(RecordId, RecordId)>,
     pub stats: JoinStats,
@@ -286,6 +291,8 @@ impl SpatialJoin {
         SpatialJoin {
             algorithm,
             disk_model: DiskModel::default(),
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -295,39 +302,110 @@ impl SpatialJoin {
         self
     }
 
+    /// Attaches a seeded fault plan to the per-run simulated disk. Only the
+    /// partition-based joins (PBSM, S³J) have fallible code paths; running a
+    /// baseline algorithm with a fault plan makes [`SpatialJoin::try_run`]
+    /// return [`IoErrorKind::Unsupported`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the page-request retry policy used when a fault plan is
+    /// attached (default: 4 attempts, exponential backoff).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     pub fn algorithm(&self) -> &Algorithm {
         &self.algorithm
     }
 
+    fn make_disk(&self) -> SimDisk {
+        let disk = SimDisk::new(self.disk_model);
+        match self.fault_plan {
+            Some(plan) => disk.with_faults(plan, self.retry),
+            None => disk,
+        }
+    }
+
     /// Runs the join, streaming results into `out`. A fresh simulated disk
     /// is created per run, so statistics are independent across runs.
+    ///
+    /// A request that exhausts its retry budget and every degradation path
+    /// surfaces as a typed [`JoinError`]; without a fault plan this never
+    /// happens.
+    pub fn try_run_with(
+        &self,
+        r: &[Kpe],
+        s: &[Kpe],
+        out: &mut dyn FnMut(RecordId, RecordId),
+    ) -> Result<JoinStats, JoinError> {
+        match &self.algorithm {
+            Algorithm::Pbsm(cfg) => {
+                pbsm::try_pbsm_join(&self.make_disk(), r, s, cfg, out).map(JoinStats::Pbsm)
+            }
+            Algorithm::S3j(cfg) => {
+                s3j::try_s3j_join(&self.make_disk(), r, s, cfg, out).map(JoinStats::S3j)
+            }
+            // The single-sweep baselines have no fallible code path; refuse
+            // the combination up front rather than panicking mid-join.
+            Algorithm::Sssj(_) | Algorithm::Shj(_) if self.fault_plan.is_some() => {
+                Err(JoinError::new("setup", IoError::unsupported()))
+            }
+            Algorithm::Sssj(cfg) => Ok(JoinStats::Sssj(sssj::sssj_join(
+                &self.make_disk(),
+                r,
+                s,
+                cfg,
+                out,
+            ))),
+            Algorithm::Shj(cfg) => Ok(JoinStats::Shj(shj::shj_join(
+                &self.make_disk(),
+                r,
+                s,
+                cfg,
+                out,
+            ))),
+        }
+    }
+
+    /// Infallible [`SpatialJoin::try_run_with`] for fault-free configurations.
     pub fn run_with(
         &self,
         r: &[Kpe],
         s: &[Kpe],
         out: &mut dyn FnMut(RecordId, RecordId),
     ) -> JoinStats {
-        let disk = SimDisk::new(self.disk_model);
-        match &self.algorithm {
-            Algorithm::Pbsm(cfg) => JoinStats::Pbsm(pbsm::pbsm_join(&disk, r, s, cfg, out)),
-            Algorithm::S3j(cfg) => JoinStats::S3j(s3j::s3j_join(&disk, r, s, cfg, out)),
-            Algorithm::Sssj(cfg) => JoinStats::Sssj(sssj::sssj_join(&disk, r, s, cfg, out)),
-            Algorithm::Shj(cfg) => JoinStats::Shj(shj::shj_join(&disk, r, s, cfg, out)),
-        }
+        self.try_run_with(r, s, out)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// Runs the join and materialises all result pairs.
-    pub fn run(&self, r: &[Kpe], s: &[Kpe]) -> JoinRun {
+    pub fn try_run(&self, r: &[Kpe], s: &[Kpe]) -> Result<JoinRun, JoinError> {
         let mut pairs = Vec::new();
-        let stats = self.run_with(r, s, &mut |a, b| pairs.push((a, b)));
-        JoinRun { pairs, stats }
+        let stats = self.try_run_with(r, s, &mut |a, b| pairs.push((a, b)))?;
+        Ok(JoinRun { pairs, stats })
+    }
+
+    /// Infallible [`SpatialJoin::try_run`] for fault-free configurations.
+    pub fn run(&self, r: &[Kpe], s: &[Kpe]) -> JoinRun {
+        self.try_run(r, s)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// Runs the join, counting results without materialising them.
-    pub fn count(&self, r: &[Kpe], s: &[Kpe]) -> (u64, JoinStats) {
+    pub fn try_count(&self, r: &[Kpe], s: &[Kpe]) -> Result<(u64, JoinStats), JoinError> {
         let mut n = 0u64;
-        let stats = self.run_with(r, s, &mut |_, _| n += 1);
-        (n, stats)
+        let stats = self.try_run_with(r, s, &mut |_, _| n += 1)?;
+        Ok((n, stats))
+    }
+
+    /// Infallible [`SpatialJoin::try_count`] for fault-free configurations.
+    pub fn count(&self, r: &[Kpe], s: &[Kpe]) -> (u64, JoinStats) {
+        self.try_count(r, s)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// Filter step + refinement step in one pipelined pass: every candidate
@@ -335,34 +413,46 @@ impl SpatialJoin {
     /// immediately ([BKSS 94]-style multi-step processing — possible online
     /// precisely because the Reference Point Method keeps the candidate
     /// stream duplicate-free, §3.1).
+    pub fn try_run_refined<R: refine::Refiner>(
+        &self,
+        r: &[Kpe],
+        s: &[Kpe],
+        refiner: R,
+    ) -> Result<RefinedRun, JoinError> {
+        let mut pairs = Vec::new();
+        let mut sink = |a: RecordId, b: RecordId| pairs.push((a, b));
+        let mut stage = refine::Refinement::new(refiner, &mut sink);
+        let filter = self.try_run_with(r, s, &mut |a, b| stage.accept(a, b))?;
+        let refine = stage.stats();
+        Ok(RefinedRun {
+            pairs,
+            filter,
+            refine,
+        })
+    }
+
+    /// Infallible [`SpatialJoin::try_run_refined`] for fault-free
+    /// configurations.
     pub fn run_refined<R: refine::Refiner>(
         &self,
         r: &[Kpe],
         s: &[Kpe],
         refiner: R,
     ) -> RefinedRun {
-        let mut pairs = Vec::new();
-        let mut sink = |a: RecordId, b: RecordId| pairs.push((a, b));
-        let mut stage = refine::Refinement::new(refiner, &mut sink);
-        let filter = self.run_with(r, s, &mut |a, b| stage.accept(a, b));
-        let refine = stage.stats();
-        RefinedRun {
-            pairs,
-            filter,
-            refine,
-        }
+        self.try_run_refined(r, s, refiner)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// ε-distance join over exact line geometry (the similarity-join
     /// direction of the paper's future work, [KS 98]): the filter step runs
     /// this join over `ε/2`-expanded MBRs, the refinement step verifies
     /// exact segment distance.
-    pub fn within_distance(
+    pub fn try_within_distance(
         &self,
         r: &datagen::LineDataset,
         s: &datagen::LineDataset,
         eps: f64,
-    ) -> RefinedRun {
+    ) -> Result<RefinedRun, JoinError> {
         assert!(eps >= 0.0);
         let expand = |data: &[Kpe]| -> Vec<Kpe> {
             data.iter()
@@ -371,7 +461,7 @@ impl SpatialJoin {
         };
         let re = expand(&r.kpes);
         let se = expand(&s.kpes);
-        self.run_refined(
+        self.try_run_refined(
             &re,
             &se,
             refine::SegmentWithinDistance {
@@ -380,6 +470,18 @@ impl SpatialJoin {
                 eps,
             },
         )
+    }
+
+    /// Infallible [`SpatialJoin::try_within_distance`] for fault-free
+    /// configurations.
+    pub fn within_distance(
+        &self,
+        r: &datagen::LineDataset,
+        s: &datagen::LineDataset,
+        eps: f64,
+    ) -> RefinedRun {
+        self.try_within_distance(r, s, eps)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 }
 
@@ -461,6 +563,69 @@ mod tests {
         assert!(st_slow.io_seconds() > st_fast.io_seconds() * 10.0);
         // Same work, same counters.
         assert_eq!(st_slow.io_total(), st_fast.io_total());
+    }
+
+    #[test]
+    fn recoverable_faults_do_not_change_results() {
+        let (r, s) = small_pair();
+        for algo in [Algorithm::pbsm_rpm(64 * 1024), Algorithm::s3j_replicated(64 * 1024)] {
+            let clean = SpatialJoin::new(algo.clone()).run(&r, &s);
+            let faulty = SpatialJoin::new(algo)
+                .with_faults(FaultPlan::recoverable(11))
+                .try_run(&r, &s)
+                .expect("recoverable faults must be cured by retries");
+            let sort = |run: &JoinRun| {
+                let mut v: Vec<(u64, u64)> = run.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+                v.sort_unstable();
+                v
+            };
+            assert_eq!(sort(&clean), sort(&faulty));
+            let io = faulty.stats.io_total();
+            assert!(io.faults_injected > 0, "plan must actually fire");
+            assert!(io.read_retries + io.write_retries > 0);
+            assert_eq!(clean.stats.io_total().faults_injected, 0);
+        }
+    }
+
+    #[test]
+    fn unrecoverable_faults_surface_typed_errors() {
+        let (r, s) = small_pair();
+        for algo in [Algorithm::pbsm_rpm(64 * 1024), Algorithm::s3j_replicated(64 * 1024)] {
+            let err = SpatialJoin::new(algo)
+                .with_faults(FaultPlan::unrecoverable(5))
+                .try_run(&r, &s)
+                .expect_err("every request fails: the join cannot succeed");
+            assert!(err.io.kind.is_transient() || err.io.attempts >= 1);
+            assert!(!err.phase.is_empty());
+        }
+    }
+
+    #[test]
+    fn baselines_reject_fault_plans_up_front() {
+        let (r, s) = small_pair();
+        for algo in [Algorithm::sssj(64 * 1024), Algorithm::shj(64 * 1024)] {
+            let err = SpatialJoin::new(algo)
+                .with_faults(FaultPlan::recoverable(1))
+                .try_run(&r, &s)
+                .expect_err("baselines have no fallible code path");
+            assert_eq!(err.io.kind, IoErrorKind::Unsupported);
+            assert_eq!(err.phase, "setup");
+        }
+    }
+
+    #[test]
+    fn retry_policy_none_turns_recoverable_into_failure() {
+        let (r, s) = small_pair();
+        let res = SpatialJoin::new(Algorithm::pbsm_rpm(64 * 1024))
+            .with_faults(FaultPlan::recoverable(11))
+            .with_retry(RetryPolicy::none())
+            .try_run(&r, &s);
+        // With one attempt per request and no degradation deep enough to
+        // outlast a 5% identity fault rate, the join is overwhelmingly
+        // likely to fail — and must do so with a typed error, not a panic.
+        if let Err(e) = res {
+            assert!(e.io.attempts >= 1);
+        }
     }
 
     #[test]

@@ -18,13 +18,44 @@
 //! * [`Collected`] — a sink that drains an operator and records the
 //!   time-to-first-tuple and time-to-completion.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
 use geom::{Kpe, Rect, RecordId};
-use pbsm::{pbsm_join, PbsmConfig};
-use s3j::{s3j_join, S3jConfig};
-use storage::SimDisk;
+use pbsm::{try_pbsm_join, PbsmConfig};
+use s3j::{try_s3j_join, S3jConfig};
+use storage::{JoinError, SimDisk};
+
+/// Why a [`SpatialJoinOp`] stream terminated abnormally. Delivered as the
+/// final item of the stream — the operator never panics the consumer thread
+/// and never leaves it blocked on the channel.
+#[derive(Debug)]
+pub enum JoinOpError {
+    /// The join surfaced a typed I/O failure (retry budget exhausted on a
+    /// permanent fault, say).
+    Join(JoinError),
+    /// The worker thread panicked; the payload message is preserved.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for JoinOpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinOpError::Join(e) => write!(f, "{e}"),
+            JoinOpError::WorkerPanicked(msg) => write!(f, "join worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinOpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JoinOpError::Join(e) => Some(e),
+            JoinOpError::WorkerPanicked(_) => None,
+        }
+    }
+}
 
 /// The open-next-close iterator contract of [Gra 93]. `open` may do
 /// blocking preparatory work; `next` yields one tuple; `close` releases
@@ -137,13 +168,18 @@ impl JoinAlgorithm {
 /// with [`pbsm::Dedup::SortPhase`]) therefore exhibits its full
 /// time-to-first-tuple latency through this operator, while the Reference
 /// Point Method variants stream.
+///
+/// Items are `Result`: a join that fails with a typed I/O error (retry
+/// budget exhausted on an unrecoverable fault) or a panicking worker
+/// delivers one final `Err` item and ends the stream, so the consumer is
+/// never left blocked on the channel and never observes a panic directly.
 pub struct SpatialJoinOp<L, R> {
     left: L,
     right: R,
     algorithm: JoinAlgorithm,
     disk: SimDisk,
     pipeline_depth: usize,
-    rx: Option<mpsc::Receiver<(RecordId, RecordId)>>,
+    rx: Option<mpsc::Receiver<Result<(RecordId, RecordId), JoinOpError>>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -185,7 +221,7 @@ where
     L: Operator<Item = Kpe>,
     R: Operator<Item = Kpe>,
 {
-    type Item = (RecordId, RecordId);
+    type Item = Result<(RecordId, RecordId), JoinOpError>;
 
     fn open(&mut self) {
         self.left.open();
@@ -205,24 +241,45 @@ where
         let algorithm = self.algorithm.clone();
         let disk = self.disk.clone();
         self.worker = Some(std::thread::spawn(move || {
-            let mut emit = |a: RecordId, b: RecordId| {
-                // A send error means the consumer closed early; results are
-                // discarded, which is the correct LIMIT-style behaviour.
-                let _ = tx.send((a, b));
-            };
-            match algorithm {
-                JoinAlgorithm::Pbsm(cfg) => {
-                    pbsm_join(&disk, &lhs, &rhs, &cfg, &mut emit);
+            // The whole join runs under `catch_unwind`: a panicking worker
+            // must still hang up the channel with a final error item, or
+            // the consumer would block forever on `recv()`.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut emit = |a: RecordId, b: RecordId| {
+                    // A send error means the consumer closed early; results
+                    // are discarded, which is the correct LIMIT-style
+                    // behaviour.
+                    let _ = tx.send(Ok((a, b)));
+                };
+                match algorithm {
+                    JoinAlgorithm::Pbsm(cfg) => {
+                        try_pbsm_join(&disk, &lhs, &rhs, &cfg, &mut emit).map(|_| ())
+                    }
+                    JoinAlgorithm::S3j(cfg) => {
+                        try_s3j_join(&disk, &lhs, &rhs, &cfg, &mut emit).map(|_| ())
+                    }
                 }
-                JoinAlgorithm::S3j(cfg) => {
-                    s3j_join(&disk, &lhs, &rhs, &cfg, &mut emit);
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    let _ = tx.send(Err(JoinOpError::Join(e)));
+                }
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    let _ = tx.send(Err(JoinOpError::WorkerPanicked(msg)));
                 }
             }
+            // `tx` drops here, which ends the stream for the consumer.
         }));
         self.rx = Some(rx);
     }
 
-    fn next(&mut self) -> Option<(RecordId, RecordId)> {
+    fn next(&mut self) -> Option<Result<(RecordId, RecordId), JoinOpError>> {
         self.rx.as_ref()?.recv().ok()
     }
 
@@ -333,6 +390,17 @@ mod tests {
         v
     }
 
+    /// Unwraps a drained join stream into sorted id pairs.
+    fn ok_pairs(items: Vec<Result<(RecordId, RecordId), JoinOpError>>) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = items
+            .into_iter()
+            .map(|r| r.expect("join stream delivered an error"))
+            .map(|(a, b)| (a.0, b.0))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
     #[test]
     fn scan_and_filter_compose() {
         let data = tiger(500, 1);
@@ -364,10 +432,8 @@ mod tests {
             disk,
         );
         let got = Collected::drain(&mut op);
-        let mut pairs: Vec<(u64, u64)> = got.items.iter().map(|(a, b)| (a.0, b.0)).collect();
-        pairs.sort_unstable();
-        assert_eq!(pairs, brute(&r, &s));
         assert!(got.first_tuple_secs.unwrap() <= got.total_secs);
+        assert_eq!(ok_pairs(got.items), brute(&r, &s));
     }
 
     #[test]
@@ -387,9 +453,7 @@ mod tests {
             disk,
         );
         let got = Collected::drain(&mut op);
-        let mut pairs: Vec<(u64, u64)> = got.items.iter().map(|(a, b)| (a.0, b.0)).collect();
-        pairs.sort_unstable();
-        assert_eq!(pairs, brute(&r, &s));
+        assert_eq!(ok_pairs(got.items), brute(&r, &s));
     }
 
     #[test]
@@ -434,9 +498,7 @@ mod tests {
             .filter(|k| k.rect.intersects(&window))
             .copied()
             .collect();
-        let mut pairs: Vec<(u64, u64)> = got.items.iter().map(|(a, b)| (a.0, b.0)).collect();
-        pairs.sort_unstable();
-        assert_eq!(pairs, brute(&rf, &s));
+        assert_eq!(ok_pairs(got.items), brute(&rf, &s));
     }
 
     #[test]
@@ -521,7 +583,11 @@ mod tests {
                     SimDisk::with_default_model(),
                 )
                 .with_threads(threads);
-                Collected::drain(&mut op).items
+                Collected::drain(&mut op)
+                    .items
+                    .into_iter()
+                    .map(|r| r.expect("join stream delivered an error"))
+                    .collect::<Vec<_>>()
             };
             assert_eq!(run(1), run(4), "tuple order must not depend on threads");
         }
@@ -556,5 +622,62 @@ mod tests {
         // Both configurations deliver a first tuple through the pipe.
         assert!(run(Dedup::ReferencePoint).is_some());
         assert!(run(Dedup::SortPhase).is_some());
+    }
+
+    #[test]
+    fn unrecoverable_fault_surfaces_as_error_item_not_hang() {
+        use storage::{FaultPlan, RetryPolicy};
+        let r = tiger(600, 40);
+        let s = tiger(600, 41);
+        for algorithm in [
+            JoinAlgorithm::Pbsm(PbsmConfig {
+                mem_bytes: 32 * 1024,
+                ..Default::default()
+            }),
+            JoinAlgorithm::S3j(S3jConfig {
+                mem_bytes: 32 * 1024,
+                max_level: 9,
+                ..Default::default()
+            }),
+        ] {
+            let disk = SimDisk::with_default_model().with_faults(FaultPlan::unrecoverable(7), RetryPolicy::default());
+            let mut op = SpatialJoinOp::new(
+                KpeScan::new(r.clone()),
+                KpeScan::new(s.clone()),
+                algorithm,
+                disk,
+            )
+            .with_pipeline_depth(4);
+            let got = Collected::drain(&mut op); // must terminate, not hang
+            let last = got.items.last().expect("stream delivers a final item");
+            assert!(
+                matches!(last, Err(JoinOpError::Join(_))),
+                "expected a typed join error, got {last:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recoverable_faults_leave_the_stream_intact() {
+        use storage::{FaultPlan, RetryPolicy};
+        let r = tiger(800, 42);
+        let s = tiger(800, 43);
+        let run = |plan: Option<FaultPlan>| {
+            let mut disk = SimDisk::with_default_model();
+            if let Some(p) = plan {
+                disk = disk.with_faults(p, RetryPolicy::default());
+            }
+            let mut op = SpatialJoinOp::new(
+                KpeScan::new(r.clone()),
+                KpeScan::new(s.clone()),
+                JoinAlgorithm::Pbsm(PbsmConfig {
+                    mem_bytes: 32 * 1024,
+                    ..Default::default()
+                }),
+                disk,
+            );
+            ok_pairs(Collected::drain(&mut op).items)
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::recoverable(99))));
     }
 }

@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Cumulative on-CPU time of the calling thread, in seconds, where the
@@ -156,6 +157,144 @@ where
     })
 }
 
+/// Scheduling state of [`run_ordered_fallible`]: fresh task indices come
+/// from `next`, failed tasks wait in `retries` for any worker to pick up.
+struct Requeue {
+    next: usize,
+    retries: Vec<(usize, u32)>, // (task index, round = prior failures)
+    in_flight: usize,
+}
+
+/// Decrements `in_flight` and wakes waiters even if the task panicked —
+/// without this a panicking task would leave idle workers blocked on the
+/// condvar forever.
+struct InFlightGuard<'a> {
+    queue: &'a Mutex<Requeue>,
+    cvar: &'a Condvar,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut q = match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        q.in_flight -= 1;
+        self.cvar.notify_all();
+    }
+}
+
+/// [`run_ordered`] for fallible tasks, with bounded requeueing: a task that
+/// returns `Err` goes back into the shared queue up to `max_requeues` times
+/// before its final `Err` is delivered to the sink. Each retry runs on
+/// whichever worker claims it (round-robin recovery: a partition whose
+/// worker exhausted its I/O retry budget gets a fresh chance, and the
+/// storage layer's shared per-identity fault counters have advanced in the
+/// meantime, so deterministic transient faults are eventually consumed).
+///
+/// `task(&mut state, task_idx, round)` sees `round = 0` on the first run and
+/// `round = k` on the `k`-th requeue. The sink observes exactly one final
+/// `Result` per task, in canonical order. Worker states are returned as in
+/// [`run_ordered`].
+pub fn run_ordered_fallible<S, T, E, FInit, FTask, FSink>(
+    threads: usize,
+    n_tasks: usize,
+    max_requeues: u32,
+    init: FInit,
+    task: FTask,
+    mut sink: FSink,
+) -> Vec<S>
+where
+    S: Send,
+    T: Send,
+    E: Send,
+    FInit: Fn(usize) -> S + Sync,
+    FTask: Fn(&mut S, usize, u32) -> Result<T, E> + Sync,
+    FSink: FnMut(usize, Result<T, E>),
+{
+    let threads = threads.max(1).min(n_tasks.max(1));
+    let queue = Mutex::new(Requeue {
+        next: 0,
+        retries: Vec::new(),
+        in_flight: 0,
+    });
+    let cvar = Condvar::new();
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, E>)>();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let tx = tx.clone();
+                let queue = &queue;
+                let cvar = &cvar;
+                let init = &init;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut state = init(w);
+                    loop {
+                        // Claim a retry (preferred — it is oldest work) or a
+                        // fresh index; wait while in-flight tasks might still
+                        // spawn retries; exit when nothing can arrive.
+                        let claimed = {
+                            let mut q = queue.lock().expect("requeue lock");
+                            loop {
+                                if let Some(job) = q.retries.pop() {
+                                    q.in_flight += 1;
+                                    break Some(job);
+                                }
+                                if q.next < n_tasks {
+                                    let i = q.next;
+                                    q.next += 1;
+                                    q.in_flight += 1;
+                                    break Some((i, 0));
+                                }
+                                if q.in_flight == 0 {
+                                    break None;
+                                }
+                                q = cvar.wait(q).expect("requeue lock");
+                            }
+                        };
+                        let Some((i, round)) = claimed else { break };
+                        let guard = InFlightGuard { queue, cvar };
+                        let res = task(&mut state, i, round);
+                        match res {
+                            Err(e) if round < max_requeues => {
+                                let mut q = queue.lock().expect("requeue lock");
+                                q.retries.push((i, round + 1));
+                                drop(q);
+                                drop(e);
+                            }
+                            final_res => {
+                                // Receiver outlives the scope; send only
+                                // fails if the collector panicked first.
+                                let _ = tx.send((i, final_res));
+                            }
+                        }
+                        drop(guard); // decrement + notify after requeue push
+                    }
+                    state
+                })
+            })
+            .collect();
+        drop(tx);
+
+        // Canonical-order reassembly, as in `run_ordered`.
+        let mut pending: BTreeMap<usize, Result<T, E>> = BTreeMap::new();
+        let mut emit_next = 0usize;
+        for (i, out) in rx {
+            pending.insert(i, out);
+            while let Some(out) = pending.remove(&emit_next) {
+                sink(emit_next, out);
+                emit_next += 1;
+            }
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +378,87 @@ mod tests {
             |_, i| i,
             |_, _| assert_eq!(std::thread::current().id(), caller),
         );
+    }
+
+    #[test]
+    fn fallible_pool_requeues_up_to_cap() {
+        use std::collections::HashMap;
+        use std::sync::Mutex as StdMutex;
+        // Task i fails its first `i % 3` runs; with cap 2 every task
+        // eventually succeeds and reports the round it succeeded on.
+        let attempts: StdMutex<HashMap<usize, u32>> = StdMutex::new(HashMap::new());
+        for threads in [1, 4] {
+            attempts.lock().unwrap().clear();
+            let mut seen = Vec::new();
+            run_ordered_fallible(
+                threads,
+                30,
+                2,
+                |_| (),
+                |_, i, round| {
+                    *attempts.lock().unwrap().entry(i).or_insert(0) += 1;
+                    if round < (i % 3) as u32 {
+                        Err(format!("task {i} round {round}"))
+                    } else {
+                        Ok((i, round))
+                    }
+                },
+                |i, out| seen.push((i, out)),
+            );
+            assert_eq!(seen.len(), 30);
+            for (idx, (i, out)) in seen.iter().enumerate() {
+                assert_eq!(idx, *i, "canonical order");
+                let (task, round) = out.as_ref().expect("all tasks recover within cap");
+                assert_eq!(*task, idx);
+                assert_eq!(*round, (idx % 3) as u32);
+            }
+            let att = attempts.lock().unwrap();
+            for i in 0..30usize {
+                assert_eq!(att[&i], (i % 3) as u32 + 1, "task {i} total runs");
+            }
+        }
+    }
+
+    #[test]
+    fn fallible_pool_surfaces_final_error_after_cap() {
+        for threads in [1, 3] {
+            let mut results = Vec::new();
+            run_ordered_fallible(
+                threads,
+                10,
+                1,
+                |_| 0u32,
+                |runs, i, _round| {
+                    *runs += 1;
+                    if i == 4 {
+                        Err("always fails")
+                    } else {
+                        Ok(i)
+                    }
+                },
+                |i, out| results.push((i, out)),
+            );
+            assert_eq!(results.len(), 10);
+            for (i, out) in &results {
+                if *i == 4 {
+                    assert_eq!(*out, Err("always fails"));
+                } else {
+                    assert_eq!(*out, Ok(*i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fallible_pool_zero_tasks_is_fine() {
+        let states = run_ordered_fallible(
+            4,
+            0,
+            3,
+            |_| (),
+            |_, _i, _r| Ok::<(), ()>(()),
+            |_, _| panic!("no tasks"),
+        );
+        assert_eq!(states.len(), 1);
     }
 }

@@ -2,8 +2,8 @@ use std::time::Instant;
 
 use geom::{reference_point, Kpe, RecordId};
 use storage::{
-    external_sort, DiskModel, FileId, IdPair, IoStats, RecordReader, RecordWriter, SimDisk,
-    SortStats,
+    try_external_sort, try_read_all, DiskModel, FileId, IdPair, IoError, IoStats, JoinError,
+    RecordReader, RecordWriter, SimDisk, SortStats,
 };
 use sweep::{InternalAlgo, InternalJoin, JoinCounters};
 
@@ -56,6 +56,11 @@ pub struct PbsmConfig {
     /// every value — partition pairs are tagged and re-assembled in
     /// canonical order.
     pub threads: usize,
+    /// How many times a partition task that failed terminally (its retry
+    /// budget and repartition fallback both exhausted) may be requeued onto
+    /// another worker before the error propagates. Only the parallel
+    /// executor requeues; the sequential path degrades in place.
+    pub max_partition_requeues: u32,
 }
 
 impl Default for PbsmConfig {
@@ -71,6 +76,7 @@ impl Default for PbsmConfig {
             io_buffer_pages: 4,
             seed: 0x5EED,
             threads: 0,
+            max_partition_requeues: 1,
         }
     }
 }
@@ -96,6 +102,11 @@ pub struct PbsmStats {
     pub results: u64,
     /// Duplicates suppressed online (RPM) or removed by the sort phase.
     pub duplicates: u64,
+    /// Partition tasks re-run on another worker after a terminal failure.
+    pub requeued_partitions: u32,
+    /// Partition pairs whose load exhausted the retry budget and that fell
+    /// back to recursive repartitioning (graceful degradation).
+    pub degraded_partitions: u32,
     pub join_counters: JoinCounters,
     pub io_partition: IoStats,
     pub io_repart: IoStats,
@@ -126,6 +137,8 @@ impl PbsmStats {
             candidates: 0,
             results: 0,
             duplicates: 0,
+            requeued_partitions: 0,
+            degraded_partitions: 0,
             join_counters: JoinCounters::default(),
             io_partition: IoStats::default(),
             io_repart: IoStats::default(),
@@ -209,6 +222,8 @@ impl PbsmStats {
         self.candidates += other.candidates;
         self.results += other.results;
         self.duplicates += other.duplicates;
+        self.requeued_partitions += other.requeued_partitions;
+        self.degraded_partitions += other.degraded_partitions;
         self.join_counters.merge(&other.join_counters);
         self.io_partition = self.io_partition.plus(&other.io_partition);
         self.io_repart = self.io_repart.plus(&other.io_repart);
@@ -235,9 +250,9 @@ struct Ctx<'a> {
 
 /// Runs PBSM on `r ⋈ s`, invoking `out` for every result pair.
 ///
-/// Reading the inputs and delivering the output are free of charge, per the
-/// paper's cost model (§2); all intermediate files (partitions, repartitions,
-/// candidate sets) live on `disk` and are fully accounted.
+/// Infallible wrapper over [`try_pbsm_join`]; panics with the typed error's
+/// message if a request exhausts the disk's retry budget and every
+/// degradation path (impossible on a fault-free disk).
 pub fn pbsm_join(
     disk: &SimDisk,
     r: &[Kpe],
@@ -245,6 +260,34 @@ pub fn pbsm_join(
     cfg: &PbsmConfig,
     out: &mut dyn FnMut(RecordId, RecordId),
 ) -> PbsmStats {
+    try_pbsm_join(disk, r, s, cfg, out)
+        .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
+}
+
+/// Runs PBSM on `r ⋈ s`, invoking `out` for every result pair.
+///
+/// Reading the inputs and delivering the output are free of charge, per the
+/// paper's cost model (§2); all intermediate files (partitions, repartitions,
+/// candidate sets) live on `disk` and are fully accounted.
+///
+/// Failure semantics: every page request already retried under the disk's
+/// [`storage::RetryPolicy`] before an error reaches this layer. A partition
+/// pair whose load still fails *degrades gracefully* into recursive
+/// repartitioning (counted in [`PbsmStats::degraded_partitions`]) — safe
+/// because a failed load has emitted nothing, and the refined sub-regions
+/// keep the output duplicate-free. On the parallel path a terminally failed
+/// task is requeued onto another worker up to
+/// [`PbsmConfig::max_partition_requeues`] times; its buffered output is
+/// discarded, so nothing is double-emitted. Only when all of that is
+/// exhausted does the typed [`JoinError`] surface. Failed attempts, retries
+/// and backoff stay charged to the disk meter either way.
+pub fn try_pbsm_join(
+    disk: &SimDisk,
+    r: &[Kpe],
+    s: &[Kpe],
+    cfg: &PbsmConfig,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> Result<PbsmStats, JoinError> {
     let mut stats = PbsmStats::new(disk.model());
     let run_start = Instant::now();
 
@@ -268,10 +311,18 @@ pub fn pbsm_join(
         stats.copies_s = s.len() as u64;
         (Vec::new(), Vec::new())
     } else {
-        let (files_r, copies_r) =
-            partition_relation(disk, r, grid, map, cfg.partition_buffer_pages);
+        let (files_r, copies_r) = partition_relation(disk, r, grid, map, cfg.partition_buffer_pages)
+            .map_err(|e| JoinError::new("partition", e))?;
         let (files_s, copies_s) =
-            partition_relation(disk, s, grid, map, cfg.partition_buffer_pages);
+            match partition_relation(disk, s, grid, map, cfg.partition_buffer_pages) {
+                Ok(v) => v,
+                Err(e) => {
+                    for &f in &files_r {
+                        disk.delete(f);
+                    }
+                    return Err(JoinError::new("partition", e));
+                }
+            };
         stats.copies_r = copies_r;
         stats.copies_s = copies_s;
         (files_r, files_s)
@@ -280,7 +331,10 @@ pub fn pbsm_join(
     stats.cpu_partition = t0.elapsed().as_secs_f64();
 
     // --- Phases 2+3: repartition where needed, join every pair -------------
-    let dedup_disk = matches!(cfg.dedup, Dedup::SortPhase).then(|| SimDisk::new(disk.model()));
+    // The dedup disk is a scratch fork: own files and meter, but the same
+    // fault plan and retry policy, so the sort phase is covered by fault
+    // injection too.
+    let dedup_disk = matches!(cfg.dedup, Dedup::SortPhase).then(|| disk.scratch_disk());
     let mut candidates = dedup_disk
         .as_ref()
         .map(|d| RecordWriter::<IdPair>::create(d, cfg.io_buffer_pages));
@@ -320,43 +374,58 @@ pub fn pbsm_join(
             stats: &mut stats,
             clock: &wall_clock,
         };
-        join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out, &mut |pair| {
+        let joined = join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out, &mut |pair| {
             candidates
                 .as_mut()
-                .expect("sort-phase candidate writer")
-                .push(&pair)
+                .expect("sort-phase candidate writer (Some iff Dedup::SortPhase)")
+                .try_push(&pair)
         });
         stats.cpu_join += t.elapsed().as_secs_f64();
         stats.join_counters = internal.counters();
+        joined.map_err(|e| JoinError::new("dedup", e))?;
     } else if threads <= 1 {
-        // Sequential executor: today's exact behaviour (threads = 1).
-        let mut ctx = Ctx {
-            disk,
-            cfg,
-            internal: &mut *internal,
-            stats: &mut stats,
-            clock: &wall_clock,
-        };
-        for i in 0..p {
-            let chain = RegionChain::top(grid, map, i);
-            join_pair(
-                &mut ctx,
-                files_r[i as usize],
-                files_s[i as usize],
-                &chain,
-                0,
-                out,
-                &mut |pair| {
-                    candidates
-                        .as_mut()
-                        .expect("sort-phase candidate writer")
-                        .push(&pair)
-                },
-            );
-            disk.delete(files_r[i as usize]);
-            disk.delete(files_s[i as usize]);
+        // Sequential executor: today's exact behaviour (threads = 1). After
+        // the first terminal error the remaining pairs are skipped, but all
+        // partition files are still deleted.
+        let mut first_err: Option<JoinError> = None;
+        {
+            let mut ctx = Ctx {
+                disk,
+                cfg,
+                internal: &mut *internal,
+                stats: &mut stats,
+                clock: &wall_clock,
+            };
+            for i in 0..p {
+                if first_err.is_none() {
+                    let chain = RegionChain::top(grid, map, i);
+                    let res = join_pair(
+                        &mut ctx,
+                        files_r[i as usize],
+                        files_s[i as usize],
+                        &chain,
+                        0,
+                        i,
+                        out,
+                        &mut |pair| {
+                            candidates
+                                .as_mut()
+                                .expect("sort-phase candidate writer (Some iff Dedup::SortPhase)")
+                                .try_push(&pair)
+                        },
+                    );
+                    if let Err(e) = res {
+                        first_err = Some(e);
+                    }
+                }
+                disk.delete(files_r[i as usize]);
+                disk.delete(files_s[i as usize]);
+            }
         }
         stats.join_counters = internal.counters();
+        if let Some(e) = first_err {
+            return Err(e);
+        }
     } else {
         // Parallel executor: each top-level partition pair (including its
         // repartitioning recursion) is one task. Workers run on forked I/O
@@ -368,9 +437,11 @@ pub fn pbsm_join(
             cand: Vec<IdPair>,
         }
         let model = disk.model();
-        let workers = parallel::run_ordered(
+        let mut first_err: Option<JoinError> = None;
+        let workers = parallel::run_ordered_fallible(
             threads,
             p as usize,
+            cfg.max_partition_requeues,
             |_w| {
                 (
                     disk.fork_counters(),
@@ -379,7 +450,16 @@ pub fn pbsm_join(
                     parallel::WorkClock::start(),
                 )
             },
-            |(fork, internal, partial, work_clock), i| {
+            |(fork, internal, partial, work_clock), i, round| {
+                if round > 0 {
+                    partial.requeued_partitions += 1;
+                }
+                // Snapshot the logical counters: a failed attempt's partial
+                // work is discarded (the pool requeues the whole task), so
+                // its counts must not leak into the merged stats. The forked
+                // I/O meter is deliberately *not* rolled back — failed
+                // attempts and their retries are real simulated disk time.
+                let snapshot = partial.clone();
                 let chain = RegionChain::top(grid, map, i as u32);
                 let mut pairs = Vec::new();
                 let mut cand = Vec::new();
@@ -391,24 +471,44 @@ pub fn pbsm_join(
                     stats: partial,
                     clock: &clock,
                 };
-                join_pair(
+                let res = join_pair(
                     &mut ctx,
                     files_r[i],
                     files_s[i],
                     &chain,
                     0,
+                    i as u32,
                     &mut |a, b| pairs.push((a, b)),
-                    &mut |pair| cand.push(pair),
+                    &mut |pair| {
+                        cand.push(pair);
+                        Ok(())
+                    },
                 );
-                TaskOut { pairs, cand }
-            },
-            |i, t| {
-                for (a, b) in t.pairs {
-                    out(a, b);
+                match res {
+                    Ok(()) => Ok(TaskOut { pairs, cand }),
+                    Err(e) => {
+                        *partial = snapshot;
+                        Err(e)
+                    }
                 }
-                if let Some(w) = candidates.as_mut() {
-                    for pair in t.cand {
-                        w.push(&pair);
+            },
+            |i, result| {
+                match result {
+                    Ok(t) => {
+                        for (a, b) in t.pairs {
+                            out(a, b);
+                        }
+                        if let Some(w) = candidates.as_mut() {
+                            for pair in t.cand {
+                                if let Err(e) = w.try_push(&pair) {
+                                    first_err.get_or_insert(JoinError::new("dedup", e));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        first_err.get_or_insert(e);
                     }
                 }
                 disk.delete(files_r[i]);
@@ -422,16 +522,31 @@ pub fn pbsm_join(
             // the same totals as a sequential run.
             disk.add_stats(&fork.stats());
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
     }
 
     // --- Phase 4 (SortPhase only): sort candidates, drop duplicates --------
     if let (Some(ddisk), Some(writer)) = (dedup_disk, candidates) {
         let t3 = Instant::now();
-        let cand_file = writer.finish();
-        let (sorted, sort_stats) = external_sort::<IdPair>(&ddisk, cand_file, cfg.mem_bytes);
+        let cand_file = writer
+            .try_finish()
+            .map_err(|e| JoinError::new("dedup", e))?;
+        let (sorted, sort_stats) = try_external_sort::<IdPair>(&ddisk, cand_file, cfg.mem_bytes)
+            .map_err(|e| JoinError::new("dedup", e))?;
         ddisk.delete(cand_file);
         let mut prev: Option<IdPair> = None;
-        for pair in RecordReader::<IdPair>::new(&ddisk, sorted, cfg.io_buffer_pages) {
+        let mut reader = RecordReader::<IdPair>::new(&ddisk, sorted, cfg.io_buffer_pages);
+        loop {
+            let pair = match reader.try_next() {
+                Ok(Some(pair)) => pair,
+                Ok(None) => break,
+                Err(e) => {
+                    ddisk.delete(sorted);
+                    return Err(JoinError::new("dedup", e));
+                }
+            };
             if prev != Some(pair) {
                 stats.results += 1;
                 out(RecordId(pair.r), RecordId(pair.s));
@@ -447,18 +562,19 @@ pub fn pbsm_join(
     }
     stats.first_result_cpu = first_cpu;
     stats.first_result_io = first_io;
-    stats
+    Ok(stats)
 }
 
 /// Phase 1 for one relation: replicate each KPE into the partition of every
 /// tile it overlaps. Returns the partition files and the number of copies.
+/// On error every file this call created is deleted before returning.
 fn partition_relation(
     disk: &SimDisk,
     data: &[Kpe],
     grid: TileGrid,
     map: PartitionMap,
     buffer_pages: usize,
-) -> (Vec<FileId>, u64) {
+) -> Result<(Vec<FileId>, u64), IoError> {
     let p = map.partitions;
     let mut writers: Vec<RecordWriter<Kpe>> = (0..p)
         .map(|_| RecordWriter::create(disk, buffer_pages))
@@ -477,11 +593,35 @@ fn partition_relation(
             }
         }
         for &pid in &targets {
-            writers[pid as usize].push(k);
+            if let Err(e) = writers[pid as usize].try_push(k) {
+                for w in &writers {
+                    disk.delete(w.file());
+                }
+                return Err(e);
+            }
             copies += 1;
         }
     }
-    (writers.into_iter().map(|w| w.finish()).collect(), copies)
+    let mut files = Vec::with_capacity(p as usize);
+    let mut err: Option<IoError> = None;
+    for w in writers {
+        let fid = w.file();
+        match w.try_finish() {
+            Ok(f) if err.is_none() => files.push(f),
+            Ok(_) => disk.delete(fid),
+            Err(e) => {
+                disk.delete(fid);
+                err.get_or_insert(e);
+            }
+        }
+    }
+    if let Some(e) = err {
+        for &f in &files {
+            disk.delete(f);
+        }
+        return Err(e);
+    }
+    Ok((files, copies))
 }
 
 /// Joins one loaded partition pair with the configured duplicate handling.
@@ -494,8 +634,8 @@ fn join_loaded(
     sv: &mut [Kpe],
     chain: &RegionChain,
     out: &mut dyn FnMut(RecordId, RecordId),
-    cand: &mut dyn FnMut(IdPair),
-) {
+    cand: &mut dyn FnMut(IdPair) -> Result<(), IoError>,
+) -> Result<(), IoError> {
     let Ctx {
         internal,
         stats,
@@ -503,6 +643,10 @@ fn join_loaded(
         ..
     } = ctx;
     let mut local_candidates = 0u64;
+    // The internal sweep's callback cannot return a Result, so a candidate
+    // write failure is latched here and surfaced once the sweep finishes;
+    // further candidate writes are skipped (the error is terminal).
+    let mut io_err: Option<IoError> = None;
     internal.join(rv, sv, &mut |a, b| {
         local_candidates += 1;
         match cfg.dedup {
@@ -515,7 +659,11 @@ fn join_loaded(
                 }
             }
             Dedup::SortPhase => {
-                cand(IdPair { r: a.id.0, s: b.id.0 });
+                if io_err.is_none() {
+                    if let Err(e) = cand(IdPair { r: a.id.0, s: b.id.0 }) {
+                        io_err = Some(e);
+                    }
+                }
             }
             Dedup::None => {
                 stats.results += 1;
@@ -524,37 +672,73 @@ fn join_loaded(
         }
     });
     ctx.stats.candidates += local_candidates;
+    match io_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Phases 2+3 for one partition pair: join it if it fits, else repartition
-/// the larger side (§3.2.3) and recurse.
+/// the larger side (§3.2.3) and recurse. `top` is the top-level partition
+/// index this pair descends from, carried for error attribution.
+///
+/// Graceful degradation: a pair that *fits* but whose load exhausts the
+/// retry budget falls through to the repartitioning branch instead of
+/// failing. That is safe because a failed load has emitted nothing yet and
+/// the refined sub-regions re-derive the pair's results duplicate-free; it
+/// is *effective* because the repartition re-reads the failing file through
+/// the same shared attempt counters, which have advanced past the failing
+/// attempts, so the re-reads get a fresh retry budget.
+#[allow(clippy::too_many_arguments)] // internal recursive helper; the args are the recursion state
 fn join_pair(
     ctx: &mut Ctx<'_>,
     fr: FileId,
     fs: FileId,
     chain: &RegionChain,
     depth: u32,
+    top: u32,
     out: &mut dyn FnMut(RecordId, RecordId),
-    cand: &mut dyn FnMut(IdPair),
-) {
+    cand: &mut dyn FnMut(IdPair) -> Result<(), IoError>,
+) -> Result<(), JoinError> {
     let disk = ctx.disk;
-    let (br, bs) = (disk.len(fr), disk.len(fs));
+    let join_err = |e: IoError| JoinError::in_partition("join", top, e);
+    let br = disk.try_len(fr).map_err(join_err)?;
+    let bs = disk.try_len(fs).map_err(join_err)?;
     if br == 0 || bs == 0 {
-        return;
+        return Ok(());
     }
     let fits = (br + bs) as usize <= ctx.cfg.mem_bytes;
+    // On degradation, split the side whose load failed: its fault counters
+    // are the warmed-up ones. `None` = the normal size heuristic.
+    let mut forced_split: Option<bool> = None;
     if fits || depth >= MAX_REPART_DEPTH {
         // --- Join phase ---
         let c0 = (ctx.clock)();
         let io0 = disk.stats();
-        let mut rv: Vec<Kpe> =
-            RecordReader::<Kpe>::new(disk, fr, ctx.cfg.io_buffer_pages).collect();
-        let mut sv: Vec<Kpe> =
-            RecordReader::<Kpe>::new(disk, fs, ctx.cfg.io_buffer_pages).collect();
-        join_loaded(ctx, &mut rv, &mut sv, chain, out, cand);
-        ctx.stats.io_join = ctx.stats.io_join.plus(&disk.stats().delta(&io0));
-        ctx.stats.cpu_join += (ctx.clock)() - c0;
-        return;
+        let (loaded, failed_r) = match try_read_all::<Kpe>(disk, fr, ctx.cfg.io_buffer_pages) {
+            Ok(rv) => match try_read_all::<Kpe>(disk, fs, ctx.cfg.io_buffer_pages) {
+                Ok(sv) => (Ok((rv, sv)), false),
+                Err(e) => (Err(e), false),
+            },
+            Err(e) => (Err(e), true),
+        };
+        match loaded {
+            Ok((mut rv, mut sv)) => {
+                let joined = join_loaded(ctx, &mut rv, &mut sv, chain, out, cand);
+                ctx.stats.io_join = ctx.stats.io_join.plus(&disk.stats().delta(&io0));
+                ctx.stats.cpu_join += (ctx.clock)() - c0;
+                return joined.map_err(|e| JoinError::in_partition("dedup", top, e));
+            }
+            Err(e) => {
+                ctx.stats.io_join = ctx.stats.io_join.plus(&disk.stats().delta(&io0));
+                ctx.stats.cpu_join += (ctx.clock)() - c0;
+                if depth >= MAX_REPART_DEPTH {
+                    return Err(join_err(e));
+                }
+                ctx.stats.degraded_partitions += 1;
+                forced_split = Some(failed_r);
+            }
+        }
     }
 
     // --- Repartitioning phase ---
@@ -562,7 +746,7 @@ fn join_pair(
     let io0 = disk.stats();
     ctx.stats.repartitioned_pairs += 1;
     ctx.stats.repart_depth = ctx.stats.repart_depth.max(depth + 1);
-    let split_r = br >= bs; // split the larger partition first
+    let split_r = forced_split.unwrap_or(br >= bs); // default: larger side first
     let (big, big_bytes) = if split_r { (fr, br) } else { (fs, bs) };
     let f_new = chain.max_f() * 2;
     let n_sub = ((ctx.cfg.safety_factor * 2.0 * big_bytes as f64 / ctx.cfg.mem_bytes as f64)
@@ -573,41 +757,108 @@ fn join_pair(
         ctx.cfg.tile_scheme,
         ctx.cfg.seed ^ (0xABCD_u64.rotate_left(depth) ^ f_new as u64),
     );
-    let mut writers: Vec<RecordWriter<Kpe>> = (0..n_sub)
-        .map(|_| RecordWriter::create(disk, ctx.cfg.partition_buffer_pages))
-        .collect();
-    let mut targets: Vec<u32> = Vec::with_capacity(8);
-    for k in RecordReader::<Kpe>::new(disk, big, ctx.cfg.io_buffer_pages) {
-        targets.clear();
-        let (xs, ys) = chain.base.tile_range(&k.rect, f_new);
-        for iy in ys {
-            for ix in xs.clone() {
-                if !chain.contains_tile(ix, iy, f_new) {
-                    continue; // tile outside this pair's region
+    let io_pages = ctx.cfg.io_buffer_pages;
+    let repart_err = |e: IoError| JoinError::in_partition("repartition", top, e);
+    // The copy gets a bounded number of whole-pass re-issues: a
+    // *size-triggered* repartition reads its input cold — no failed load has
+    // warmed the attempt counters — so a fault outlasting one in-call retry
+    // budget would otherwise be terminal right here. Re-issuing advances the
+    // shared counters exactly like a partition requeue does, granting each
+    // round a fresh budget; every round's failed I/O stays charged.
+    const COPY_ROUNDS: u32 = 3;
+    let mut subfiles: Vec<FileId> = Vec::new();
+    let mut copy_err: Option<IoError> = None;
+    for _round in 0..COPY_ROUNDS {
+        copy_err = None;
+        let mut writers: Vec<RecordWriter<Kpe>> = (0..n_sub)
+            .map(|_| RecordWriter::create(disk, ctx.cfg.partition_buffer_pages))
+            .collect();
+        let copied: Result<u64, IoError> = (|| {
+            let mut copies = 0u64;
+            let mut targets: Vec<u32> = Vec::with_capacity(8);
+            let mut reader = RecordReader::<Kpe>::new(disk, big, io_pages);
+            while let Some(k) = reader.try_next()? {
+                targets.clear();
+                let (xs, ys) = chain.base.tile_range(&k.rect, f_new);
+                for iy in ys {
+                    for ix in xs.clone() {
+                        if !chain.contains_tile(ix, iy, f_new) {
+                            continue; // tile outside this pair's region
+                        }
+                        let pid = submap.partition_of(ix, iy, chain.base.gx * f_new);
+                        if !targets.contains(&pid) {
+                            targets.push(pid);
+                        }
+                    }
                 }
-                let pid = submap.partition_of(ix, iy, chain.base.gx * f_new);
-                if !targets.contains(&pid) {
-                    targets.push(pid);
+                for &pid in &targets {
+                    writers[pid as usize].try_push(&k)?;
+                    copies += 1;
                 }
             }
-        }
-        for &pid in &targets {
-            writers[pid as usize].push(&k);
-            ctx.stats.repart_copies += 1;
+            Ok(copies)
+        })();
+        match copied {
+            Ok(copies) => {
+                let mut finished: Vec<FileId> = Vec::with_capacity(writers.len());
+                let mut finish_err: Option<IoError> = None;
+                for w in writers {
+                    let fid = w.file();
+                    match w.try_finish() {
+                        Ok(f) if finish_err.is_none() => finished.push(f),
+                        Ok(_) => disk.delete(fid),
+                        Err(e) => {
+                            disk.delete(fid);
+                            finish_err.get_or_insert(e);
+                        }
+                    }
+                }
+                match finish_err {
+                    None => {
+                        ctx.stats.repart_copies += copies;
+                        subfiles = finished;
+                        break;
+                    }
+                    Some(e) => {
+                        for &f in &finished {
+                            disk.delete(f);
+                        }
+                        copy_err = Some(e);
+                    }
+                }
+            }
+            Err(e) => {
+                for w in &writers {
+                    disk.delete(w.file());
+                }
+                copy_err = Some(e);
+            }
         }
     }
-    let subfiles: Vec<FileId> = writers.into_iter().map(|w| w.finish()).collect();
     ctx.stats.io_repart = ctx.stats.io_repart.plus(&disk.stats().delta(&io0));
     ctx.stats.cpu_repart += (ctx.clock)() - c0;
+    if let Some(e) = copy_err {
+        return Err(repart_err(e));
+    }
 
+    let mut sub_err: Option<JoinError> = None;
     for (k, &sub) in subfiles.iter().enumerate() {
-        let sub_chain = chain.refined(f_new, submap, k as u32);
-        if split_r {
-            join_pair(ctx, sub, fs, &sub_chain, depth + 1, out, cand);
-        } else {
-            join_pair(ctx, fr, sub, &sub_chain, depth + 1, out, cand);
+        if sub_err.is_none() {
+            let sub_chain = chain.refined(f_new, submap, k as u32);
+            let res = if split_r {
+                join_pair(ctx, sub, fs, &sub_chain, depth + 1, top, out, cand)
+            } else {
+                join_pair(ctx, fr, sub, &sub_chain, depth + 1, top, out, cand)
+            };
+            if let Err(e) = res {
+                sub_err = Some(e);
+            }
         }
         disk.delete(sub);
+    }
+    match sub_err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 

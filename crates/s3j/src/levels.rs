@@ -1,6 +1,6 @@
 use geom::Kpe;
 use sfc::{cells_overlapping, mxcif_cell, size_level, Curve};
-use storage::{FileId, FixedRecord, RecordWriter, SimDisk};
+use storage::{FileId, FixedRecord, IoError, RecordWriter, SimDisk};
 
 /// A record of a level file: a KPE tagged with its locational code. The
 /// level itself is implicit in which file the record lives in; the code uses
@@ -20,8 +20,10 @@ impl FixedRecord for LevelRecord {
     }
 
     fn decode(buf: &[u8]) -> Self {
+        // Invariant: callers hand `decode` exactly `SIZE` bytes, so the
+        // 8-byte code sub-slice always converts.
         LevelRecord {
-            code: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
+            code: u64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice")),
             kpe: Kpe::decode(&buf[8..]),
         }
     }
@@ -63,15 +65,39 @@ impl LevelFiles {
         level_shift: u8,
         buffer_pages: usize,
     ) -> LevelFiles {
+        Self::try_build(disk, data, max_level, curve, replicate, level_shift, buffer_pages)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
+    }
+
+    /// Fallible [`LevelFiles::build`]: a write that exhausts the disk's
+    /// retry budget surfaces as a typed error, after every file this call
+    /// created has been deleted.
+    pub fn try_build(
+        disk: &SimDisk,
+        data: &[Kpe],
+        max_level: u8,
+        curve: Curve,
+        replicate: bool,
+        level_shift: u8,
+        buffer_pages: usize,
+    ) -> Result<LevelFiles, IoError> {
         let n_levels = max_level as usize + 1;
         let mut writers: Vec<Option<RecordWriter<LevelRecord>>> = (0..n_levels).map(|_| None).collect();
         let mut histogram = vec![0u64; n_levels];
         let mut copies = 0u64;
         let mut code_computations = 0u64;
-        let push = |writers: &mut Vec<Option<RecordWriter<LevelRecord>>>, level: u8, rec: LevelRecord| {
+        let push = |writers: &mut Vec<Option<RecordWriter<LevelRecord>>>,
+                    level: u8,
+                    rec: LevelRecord|
+         -> Result<(), IoError> {
             let w = writers[level as usize]
                 .get_or_insert_with(|| RecordWriter::create(disk, buffer_pages));
-            w.push(&rec);
+            w.try_push(&rec)
+        };
+        let delete_all = |writers: &[Option<RecordWriter<LevelRecord>>]| {
+            for w in writers.iter().flatten() {
+                disk.delete(w.file());
+            }
         };
         for k in data {
             if replicate {
@@ -83,7 +109,10 @@ impl LevelFiles {
                         code_computations += 1;
                         cell.code(curve)
                     };
-                    push(&mut writers, level, LevelRecord { code, kpe: *k });
+                    if let Err(e) = push(&mut writers, level, LevelRecord { code, kpe: *k }) {
+                        delete_all(&writers);
+                        return Err(e);
+                    }
                     histogram[level as usize] += 1;
                     copies += 1;
                 }
@@ -95,20 +124,48 @@ impl LevelFiles {
                     code_computations += 1;
                     cell.code(curve)
                 };
-                push(&mut writers, cell.level, LevelRecord { code, kpe: *k });
+                if let Err(e) = push(&mut writers, cell.level, LevelRecord { code, kpe: *k }) {
+                    delete_all(&writers);
+                    return Err(e);
+                }
                 histogram[cell.level as usize] += 1;
                 copies += 1;
             }
         }
-        LevelFiles {
-            files: writers
-                .into_iter()
-                .map(|w| w.map(|w| w.finish()))
-                .collect(),
+        let mut files: Vec<Option<FileId>> = Vec::with_capacity(n_levels);
+        let mut err: Option<IoError> = None;
+        for w in writers {
+            match w {
+                None => files.push(None),
+                Some(w) => {
+                    let fid = w.file();
+                    match w.try_finish() {
+                        Ok(f) if err.is_none() => files.push(Some(f)),
+                        Ok(_) => {
+                            disk.delete(fid);
+                            files.push(None);
+                        }
+                        Err(e) => {
+                            disk.delete(fid);
+                            err.get_or_insert(e);
+                            files.push(None);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(e) = err {
+            for f in files.iter().flatten() {
+                disk.delete(*f);
+            }
+            return Err(e);
+        }
+        Ok(LevelFiles {
+            files,
             histogram,
             copies,
             code_computations,
-        }
+        })
     }
 
     /// Deletes all level files.

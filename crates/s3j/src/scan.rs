@@ -4,7 +4,9 @@ use std::time::Instant;
 
 use geom::{reference_point, Kpe, RecordId};
 use sfc::{Cell, Curve, MAX_LEVEL};
-use storage::{external_sort_by, DiskModel, FileId, IoStats, RecordReader, SimDisk};
+use storage::{
+    try_external_sort_by, DiskModel, FileId, IoError, IoStats, JoinError, RecordReader, SimDisk,
+};
 use sweep::{InternalAlgo, InternalJoin, JoinCounters};
 
 use crate::levels::{LevelFiles, LevelRecord};
@@ -235,15 +237,21 @@ struct Cursor {
 }
 
 impl Cursor {
-    fn new(disk: &SimDisk, file: FileId, level: u8, rel: usize, buffer_pages: usize) -> Self {
+    fn new(
+        disk: &SimDisk,
+        file: FileId,
+        level: u8,
+        rel: usize,
+        buffer_pages: usize,
+    ) -> Result<Self, IoError> {
         let mut reader = RecordReader::new(disk, file, buffer_pages);
-        let pending = reader.next();
-        Cursor {
+        let pending = reader.try_next()?;
+        Ok(Cursor {
             reader,
             level,
             rel,
             pending,
-        }
+        })
     }
 
     /// Pre-order heap key of the next partition.
@@ -254,13 +262,16 @@ impl Cursor {
         })
     }
 
-    /// Consumes all records of the next cell.
-    fn take_partition(&mut self, curve: Curve, max_level: u8) -> Part {
+    /// Consumes all records of the next cell. On error the cursor is broken
+    /// (the partition in flight is lost); the scan treats it as terminal.
+    fn take_partition(&mut self, curve: Curve, max_level: u8) -> Result<Part, IoError> {
+        // Invariant: only called after `peek_key` returned `Some`, so a
+        // pending record exists.
         let first = self.pending.take().expect("cursor exhausted");
         let code = first.code;
         let mut rects = vec![first.kpe];
         loop {
-            match self.reader.next() {
+            match self.reader.try_next()? {
                 Some(r) if r.code == code => rects.push(r.kpe),
                 other => {
                     self.pending = other;
@@ -270,14 +281,14 @@ impl Cursor {
         }
         let shift = 2 * (max_level - self.level) as u32;
         let start = code << shift;
-        Part {
+        Ok(Part {
             rel: self.rel,
             level: self.level,
             start,
             end: start + (1u64 << shift),
             cell: Cell::from_code(self.level, code, curve),
             rects,
-        }
+        })
     }
 }
 
@@ -334,9 +345,9 @@ impl JoinCtx<'_> {
 
 /// Runs S³J on `r ⋈ s`, invoking `out` for every result pair.
 ///
-/// Reading the inputs and delivering the output are free of charge (paper
-/// §2); level files, sort runs and the join scan are fully accounted on
-/// `disk`.
+/// Infallible wrapper over [`try_s3j_join`]; panics with the typed error's
+/// message if a request exhausts the disk's retry budget (impossible on a
+/// fault-free disk).
 pub fn s3j_join(
     disk: &SimDisk,
     r: &[Kpe],
@@ -344,11 +355,34 @@ pub fn s3j_join(
     cfg: &S3jConfig,
     out: &mut dyn FnMut(RecordId, RecordId),
 ) -> S3jStats {
+    try_s3j_join(disk, r, s, cfg, out)
+        .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
+}
+
+/// Runs S³J on `r ⋈ s`, invoking `out` for every result pair.
+///
+/// Reading the inputs and delivering the output are free of charge (paper
+/// §2); level files, sort runs and the join scan are fully accounted on
+/// `disk`.
+///
+/// Failure semantics: every page request already retried under the disk's
+/// [`storage::RetryPolicy`]; an error reaching this layer is terminal and
+/// surfaces as a typed [`JoinError`] naming the phase (`"build"`, `"sort"`,
+/// `"scan"`), after all intermediate files have been deleted. The parallel
+/// scan's workers are pure CPU — the coordinator performs all discovery
+/// I/O — so errors arise only from build, sort, and the discovery scan.
+pub fn try_s3j_join(
+    disk: &SimDisk,
+    r: &[Kpe],
+    s: &[Kpe],
+    cfg: &S3jConfig,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> Result<S3jStats, JoinError> {
     let run_start = Instant::now();
     // --- Phase 1: partitioning into level files -----------------------------
     let t0 = Instant::now();
     let io0 = disk.stats();
-    let lf_r = LevelFiles::build(
+    let lf_r = LevelFiles::try_build(
         disk,
         r,
         cfg.max_level,
@@ -356,8 +390,9 @@ pub fn s3j_join(
         cfg.replicate,
         cfg.level_shift,
         cfg.level_buffer_pages,
-    );
-    let lf_s = LevelFiles::build(
+    )
+    .map_err(|e| JoinError::new("build", e))?;
+    let lf_s = match LevelFiles::try_build(
         disk,
         s,
         cfg.max_level,
@@ -365,7 +400,13 @@ pub fn s3j_join(
         cfg.replicate,
         cfg.level_shift,
         cfg.level_buffer_pages,
-    );
+    ) {
+        Ok(lf) => lf,
+        Err(e) => {
+            lf_r.delete(disk);
+            return Err(JoinError::new("build", e));
+        }
+    };
     let mut stats = S3jStats {
         copies_r: lf_r.copies,
         copies_s: lf_s.copies,
@@ -395,25 +436,51 @@ pub fn s3j_join(
     // --- Phase 2: sort every level file by locational code ------------------
     let t1 = Instant::now();
     let io1 = disk.stats();
-    let sort_levels = |lf: &LevelFiles, stats: &mut S3jStats| -> Vec<Option<FileId>> {
-        lf.files
-            .iter()
-            .map(|f| {
-                f.map(|f| {
-                    let (sorted, st) =
-                        external_sort_by::<LevelRecord, _, _>(disk, f, cfg.mem_bytes, |r| r.code);
-                    disk.delete(f);
-                    stats.sort_runs += st.runs;
-                    stats.sort_passes_max = stats.sort_passes_max.max(st.merge_passes);
-                    sorted
+    // A sort failure is latched; later level files are deleted unsorted and
+    // every already-sorted file is cleaned up before the error surfaces.
+    let mut sort_err: Option<IoError> = None;
+    let sort_levels =
+        |lf: &LevelFiles, stats: &mut S3jStats, err: &mut Option<IoError>| -> Vec<Option<FileId>> {
+            lf.files
+                .iter()
+                .map(|f| {
+                    f.and_then(|f| {
+                        if err.is_some() {
+                            disk.delete(f);
+                            return None;
+                        }
+                        match try_external_sort_by::<LevelRecord, _, _>(
+                            disk,
+                            f,
+                            cfg.mem_bytes,
+                            |r| r.code,
+                        ) {
+                            Ok((sorted, st)) => {
+                                disk.delete(f);
+                                stats.sort_runs += st.runs;
+                                stats.sort_passes_max = stats.sort_passes_max.max(st.merge_passes);
+                                Some(sorted)
+                            }
+                            Err(e) => {
+                                disk.delete(f);
+                                *err = Some(e);
+                                None
+                            }
+                        }
+                    })
                 })
-            })
-            .collect()
-    };
-    let sorted_r = sort_levels(&lf_r, &mut stats);
-    let sorted_s = sort_levels(&lf_s, &mut stats);
+                .collect()
+        };
+    let sorted_r = sort_levels(&lf_r, &mut stats, &mut sort_err);
+    let sorted_s = sort_levels(&lf_s, &mut stats, &mut sort_err);
     stats.io_sort = disk.stats().delta(&io1);
     stats.cpu_sort = t1.elapsed().as_secs_f64();
+    if let Some(e) = sort_err {
+        for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
+            disk.delete(*f);
+        }
+        return Err(JoinError::new("sort", e));
+    }
 
     // --- Phase 3: synchronized scan ------------------------------------------
     // On-CPU compute clock (wall fallback): keeps the sequential and
@@ -433,12 +500,12 @@ pub fn s3j_join(
     };
     let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
     let threads = parallel::resolve_threads(cfg.threads);
-    if matches!(cfg.scan, ScanMode::HeapMerge) && threads > 1 {
+    let scan_res: Result<(), IoError> = if matches!(cfg.scan, ScanMode::HeapMerge) && threads > 1 {
         // `cpu_join` is assembled inside: the coordinator's discovery scan
         // plus the max-over-workers on-CPU join time — the phase cost on
         // dedicated cores, which the pool barrier realises as wall time on
         // an unloaded multicore host.
-        heap_scan_parallel(disk, cfg, threads, &sorted_r, &sorted_s, &mut stats, out);
+        heap_scan_parallel(disk, cfg, threads, &sorted_r, &sorted_s, &mut stats, out)
     } else {
         let mut ctx = JoinCtx {
             cfg,
@@ -447,28 +514,30 @@ pub fn s3j_join(
             results: 0,
             duplicates: 0,
         };
-        match cfg.scan {
+        let res = match cfg.scan {
             ScanMode::HeapMerge => {
                 heap_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
             }
             ScanMode::LevelPairs => {
                 pair_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
             }
-        }
+        };
         stats.candidates = ctx.candidates;
         stats.results = ctx.results;
         stats.duplicates = ctx.duplicates;
         stats.join_counters = ctx.internal.counters();
         stats.cpu_join = t2.seconds();
-    }
+        res
+    };
     stats.io_join = disk.stats().delta(&io2);
 
     for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
         disk.delete(*f);
     }
+    scan_res.map_err(|e| JoinError::new("scan", e))?;
     stats.first_result_cpu = first_cpu;
     stats.first_result_io = first_io;
-    stats
+    Ok(stats)
 }
 
 /// §4.4.3: one pass over all level files, merged by a heap of cursors in
@@ -483,12 +552,12 @@ fn heap_scan(
     ctx: &mut JoinCtx<'_>,
     stats: &mut S3jStats,
     out: &mut dyn FnMut(RecordId, RecordId),
-) {
+) -> Result<(), IoError> {
     let mut cursors: Vec<Cursor> = Vec::new();
     for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
         for (level, f) in files.iter().enumerate() {
             if let Some(f) = f {
-                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages));
+                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages)?);
             }
         }
     }
@@ -501,7 +570,7 @@ fn heap_scan(
     let mut stacks: [Vec<Part>; 2] = [Vec::new(), Vec::new()];
     let mut resident = 0usize;
     while let Some(Reverse((_, _, _, ci))) = heap.pop() {
-        let mut part = cursors[ci].take_partition(cfg.curve, cfg.max_level);
+        let mut part = cursors[ci].take_partition(cfg.curve, cfg.max_level)?;
         if let Some((st, lv, rl)) = cursors[ci].peek_key(cfg.max_level) {
             heap.push(Reverse((st, lv, rl, ci)));
         }
@@ -525,6 +594,7 @@ fn heap_scan(
         stats.peak_partition_bytes = stats.peak_partition_bytes.max(resident);
         stacks[part.rel].push(part);
     }
+    Ok(())
 }
 
 /// Parallel variant of [`heap_scan`]: the discovery traversal (cursors,
@@ -545,7 +615,7 @@ fn heap_scan_parallel(
     sorted_s: &[Option<FileId>],
     stats: &mut S3jStats,
     out: &mut dyn FnMut(RecordId, RecordId),
-) {
+) -> Result<(), IoError> {
     use std::sync::Arc;
 
     let t_discover = parallel::WorkClock::start();
@@ -553,7 +623,7 @@ fn heap_scan_parallel(
     for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
         for (level, f) in files.iter().enumerate() {
             if let Some(f) = f {
-                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages));
+                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages)?);
             }
         }
     }
@@ -567,7 +637,7 @@ fn heap_scan_parallel(
     let mut resident = 0usize;
     let mut tasks: Vec<(Arc<Part>, Arc<Part>)> = Vec::new();
     while let Some(Reverse((_, _, _, ci))) = heap.pop() {
-        let part = cursors[ci].take_partition(cfg.curve, cfg.max_level);
+        let part = cursors[ci].take_partition(cfg.curve, cfg.max_level)?;
         if let Some((st, lv, rl)) = cursors[ci].peek_key(cfg.max_level) {
             heap.push(Reverse((st, lv, rl, ci)));
         }
@@ -649,7 +719,10 @@ fn heap_scan_parallel(
     }
     // Coordinator discovery (the phase's only I/O and heap work) happens
     // before the workers start; it adds to whichever worker was slowest.
+    // Once discovery succeeded nothing below can fail: the worker tasks are
+    // pure CPU over in-memory partitions.
     stats.cpu_join += discover_secs;
+    Ok(())
 }
 
 /// Ablation baseline for §4.4.3: a separate merge scan per pair of level
@@ -663,17 +736,25 @@ fn pair_scan(
     ctx: &mut JoinCtx<'_>,
     stats: &mut S3jStats,
     out: &mut dyn FnMut(RecordId, RecordId),
-) {
+) -> Result<(), IoError> {
+    // The next whole partition of `c`, or `None` at end of file.
+    fn next_part(c: &mut Cursor, curve: Curve, max_level: u8) -> Result<Option<Part>, IoError> {
+        if c.pending.is_some() {
+            Ok(Some(c.take_partition(curve, max_level)?))
+        } else {
+            Ok(None)
+        }
+    }
     for (lr, fr) in sorted_r.iter().enumerate() {
         let Some(fr) = fr else { continue };
         for (ls, fs) in sorted_s.iter().enumerate() {
             let Some(fs) = fs else { continue };
-            let cr = Cursor::new(disk, *fr, lr as u8, 0, cfg.io_buffer_pages);
-            let cs = Cursor::new(disk, *fs, ls as u8, 1, cfg.io_buffer_pages);
+            let cr = Cursor::new(disk, *fr, lr as u8, 0, cfg.io_buffer_pages)?;
+            let cs = Cursor::new(disk, *fs, ls as u8, 1, cfg.io_buffer_pages)?;
             // Merge: `a` is the coarser-or-equal side, `b` the deeper side.
             let (mut a, mut b) = if lr <= ls { (cr, cs) } else { (cs, cr) };
-            let mut pa = a.pending.is_some().then(|| a.take_partition(cfg.curve, cfg.max_level));
-            let mut pb = b.pending.is_some().then(|| b.take_partition(cfg.curve, cfg.max_level));
+            let mut pa = next_part(&mut a, cfg.curve, cfg.max_level)?;
+            let mut pb = next_part(&mut b, cfg.curve, cfg.max_level)?;
             while let (Some(ca), Some(cb)) = (&mut pa, &mut pb) {
                 if ca.start <= cb.start && cb.start < ca.end {
                     // `ca` covers `cb`: join (cb is the deeper partition).
@@ -681,15 +762,16 @@ fn pair_scan(
                         (ca.rects.len() + cb.rects.len()) * Kpe::ENCODED_SIZE,
                     );
                     ctx.join_parts(cb, ca, out);
-                    pb = b.pending.is_some().then(|| b.take_partition(cfg.curve, cfg.max_level));
+                    pb = next_part(&mut b, cfg.curve, cfg.max_level)?;
                 } else if ca.end <= cb.start {
-                    pa = a.pending.is_some().then(|| a.take_partition(cfg.curve, cfg.max_level));
+                    pa = next_part(&mut a, cfg.curve, cfg.max_level)?;
                 } else {
-                    pb = b.pending.is_some().then(|| b.take_partition(cfg.curve, cfg.max_level));
+                    pb = next_part(&mut b, cfg.curve, cfg.max_level)?;
                 }
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

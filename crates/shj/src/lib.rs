@@ -155,6 +155,10 @@ pub fn shj_join(
     stats.buckets = b;
     let seeds = pick_seeds(r, b as usize, cfg.samples_per_bucket, cfg.seed);
 
+    // The baseline deliberately uses the panicking storage wrappers
+    // (`push`/`finish`/`RecordReader::next`): SHJ does not opt into fault
+    // injection (`SpatialJoin::try_run` refuses the combination up front),
+    // so on a fault-free disk these calls cannot fail.
     let mut extents: Vec<Option<Rect>> = vec![None; b as usize];
     let mut build_writers: Vec<RecordWriter<Kpe>> = (0..b)
         .map(|_| RecordWriter::create(disk, cfg.bucket_buffer_pages))

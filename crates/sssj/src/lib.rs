@@ -120,6 +120,10 @@ pub fn sssj_join(
             SortStats { runs: 1, merge_passes: 0 },
         )
     } else {
+        // The baseline deliberately uses the panicking storage wrappers:
+        // SSSJ does not opt into fault injection (`SpatialJoin::try_run`
+        // refuses the combination up front), so on a fault-free disk these
+        // calls cannot fail.
         let (fr, st_r) = external_sort_slice::<Kpe, _, _>(disk, r, cfg.mem_bytes / 2, key);
         let (fs, st_s) = external_sort_slice::<Kpe, _, _>(disk, s, cfg.mem_bytes / 2, key);
         (Sorted::Disk(fr), Sorted::Disk(fs), st_r, st_s)
@@ -203,12 +207,15 @@ fn sweep(
             _ => false,
         };
         if take_r {
-            let cur = nr.take().unwrap();
+            // Invariant: `take_r` is only true when `nr` is `Some`.
+            let cur = nr.take().expect("take_r implies nr is Some");
             nr = rs.next();
             sweep_step(&cur, &mut active_s, counters, &mut |b| emit(cur.id, b.id));
             active_r.push(cur);
         } else {
-            let cur = ns.take().unwrap();
+            // Invariant: the loop condition guarantees `ns` is `Some` when
+            // `take_r` is false (both-None ends the loop, r-only sets it).
+            let cur = ns.take().expect("!take_r implies ns is Some");
             ns = ss.next();
             sweep_step(&cur, &mut active_r, counters, &mut |a| emit(a.id, cur.id));
             active_s.push(cur);

@@ -1,6 +1,10 @@
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use crate::fault::{FaultPlan, IoError, IoErrorKind, IoOp, PERMANENT};
+use crate::retry::RetryPolicy;
 
 /// Disk parameters of the cost model.
 ///
@@ -40,10 +44,14 @@ impl Default for DiskModel {
 }
 
 impl DiskModel {
-    /// Total cost of the recorded requests in page-transfer units.
+    /// Total cost of the recorded requests in page-transfer units. Every
+    /// attempt of a retried request pays the full `PT + n` (the arm
+    /// repositions and the transfer restarts), and backoff pauses are
+    /// charged on top in the same units.
     pub fn units(&self, s: &IoStats) -> f64 {
         self.positioning_ratio * (s.read_requests + s.write_requests) as f64
             + (s.pages_read + s.pages_written) as f64
+            + s.backoff_units as f64
     }
 
     /// Total simulated disk time in seconds.
@@ -58,6 +66,14 @@ impl DiskModel {
 }
 
 /// Cumulative I/O counters of a [`SimDisk`].
+///
+/// Retry accounting: `read_requests`/`write_requests` (and the page/byte
+/// counters) include **every** attempt, failed ones too. `faults_injected`
+/// counts injected failures, `read_retries`/`write_retries` count the
+/// re-issued attempts those failures triggered, and `backoff_units` is the
+/// total simulated backoff charged between attempts. A fault-free run keeps
+/// all four at zero, so equality comparisons against historical counters
+/// still hold.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     pub read_requests: u64,
@@ -66,6 +82,14 @@ pub struct IoStats {
     pub pages_written: u64,
     pub bytes_read: u64,
     pub bytes_written: u64,
+    /// Injected failures observed (reads and writes).
+    pub faults_injected: u64,
+    /// Read attempts re-issued after a failure.
+    pub read_retries: u64,
+    /// Write attempts re-issued after a failure.
+    pub write_retries: u64,
+    /// Simulated backoff charged between attempts, in page-transfer units.
+    pub backoff_units: u64,
 }
 
 impl IoStats {
@@ -78,6 +102,10 @@ impl IoStats {
             pages_written: self.pages_written - since.pages_written,
             bytes_read: self.bytes_read - since.bytes_read,
             bytes_written: self.bytes_written - since.bytes_written,
+            faults_injected: self.faults_injected - since.faults_injected,
+            read_retries: self.read_retries - since.read_retries,
+            write_retries: self.write_retries - since.write_retries,
+            backoff_units: self.backoff_units - since.backoff_units,
         }
     }
 
@@ -90,6 +118,10 @@ impl IoStats {
             pages_written: self.pages_written + other.pages_written,
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
+            faults_injected: self.faults_injected + other.faults_injected,
+            read_retries: self.read_retries + other.read_retries,
+            write_retries: self.write_retries + other.write_retries,
+            backoff_units: self.backoff_units + other.backoff_units,
         }
     }
 
@@ -104,6 +136,120 @@ impl IoStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FileId(u32);
 
+impl FileId {
+    /// Placeholder id for errors that do not refer to a concrete file
+    /// (see [`crate::IoError::unsupported`]).
+    pub(crate) fn sentinel() -> FileId {
+        FileId(u32::MAX)
+    }
+}
+
+/// FNV-1a 64-bit, the per-page checksum of the simulated page format.
+#[inline]
+fn page_checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A file's bytes plus the per-page checksums the simulated page format
+/// carries. Checksums are recomputed for the pages an append touches and
+/// verified for the pages a read touches — injected bit-rot is *detected* by
+/// this machinery, not merely reported.
+struct StoredFile {
+    data: Vec<u8>,
+    sums: Vec<u64>,
+}
+
+impl StoredFile {
+    fn new() -> Self {
+        StoredFile {
+            data: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    fn append(&mut self, bytes: &[u8], page_size: usize) {
+        let first_touched = self.data.len() / page_size;
+        self.data.extend_from_slice(bytes);
+        let n_pages = self.data.len().div_ceil(page_size);
+        self.sums.resize(n_pages, 0);
+        for p in first_touched..n_pages {
+            let start = p * page_size;
+            let end = ((p + 1) * page_size).min(self.data.len());
+            self.sums[p] = page_checksum(&self.data[start..end]);
+        }
+    }
+
+    /// Verifies the checksums of pages `[first, last]`. `corrupt_page`
+    /// simulates bit-rot on that page: its on-the-wire checksum is perturbed
+    /// before the compare, so detection flows through the same path a real
+    /// mismatch would.
+    fn verify(&self, first: u64, last: u64, page_size: usize, corrupt_page: Option<u64>) -> Result<(), u64> {
+        for p in first..=last {
+            let start = p as usize * page_size;
+            let end = ((p as usize + 1) * page_size).min(self.data.len());
+            let mut sum = page_checksum(&self.data[start..end]);
+            if corrupt_page == Some(p) {
+                sum ^= 0x1; // a single flipped bit on the wire
+            }
+            if sum != self.sums[p as usize] {
+                return Err(p);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Shared fault configuration + per-identity attempt counters. One instance
+/// is shared by a disk, all its [`SimDisk::fork_counters`] forks and
+/// [`SimDisk::scratch_disk`] siblings, so concurrent handles draw failures
+/// from a single deterministic pool (see `fault.rs` module docs).
+struct FaultState {
+    plan: Option<FaultPlan>,
+    policy: RetryPolicy,
+    attempts: Mutex<HashMap<(u8, u64, u64), u32>>,
+}
+
+impl FaultState {
+    fn clean() -> Self {
+        FaultState {
+            plan: None,
+            policy: RetryPolicy::default(),
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Consumes one attempt of `(op, offset, len)`. Returns the injected
+    /// failure, if this attempt is fated to fail: `(kind, global_attempt
+    /// index, identity salt)`.
+    fn next_fault(&self, op: IoOp, offset: u64, len: u64) -> Option<(IoErrorKind, u32, u64)> {
+        let plan = self.plan.as_ref()?;
+        let (fail_count, kind) = plan.fate(op, offset, len)?;
+        let tag = match op {
+            IoOp::Read => 0u8,
+            IoOp::Write => 1u8,
+        };
+        let mut g = self.attempts.lock();
+        let e = g.entry((tag, offset, len)).or_insert(0);
+        let idx = *e;
+        if fail_count != PERMANENT {
+            // Permanent identities fail forever; no need to advance (and
+            // saturating keeps the counter meaningful either way).
+            *e = e.saturating_add(1);
+        }
+        drop(g);
+        if idx < fail_count {
+            Some((kind, idx, plan.identity_salt(op, offset, len)))
+        } else {
+            None
+        }
+    }
+}
+
 /// The simulated disk. Cheap to clone (shared handle): clones share both the
 /// file store and the I/O meter. [`SimDisk::fork_counters`] instead shares
 /// only the file store and gives the fork a fresh meter — parallel join
@@ -111,11 +257,22 @@ pub struct FileId(u32);
 /// back deterministically (via [`SimDisk::add_stats`]) regardless of how the
 /// scheduler interleaved their requests. Lock contention is irrelevant —
 /// the simulation itself is not a benchmark target, the *counters* are.
+///
+/// Fault injection: [`SimDisk::with_faults`] attaches a seeded [`FaultPlan`]
+/// and a [`RetryPolicy`]. The fallible entry points ([`SimDisk::try_read`],
+/// [`SimDisk::try_append`], [`SimDisk::try_len`]) retry injected failures
+/// per the policy, charging every attempt plus backoff to the meter, and
+/// surface a typed [`IoError`] only once the budget is exhausted. The
+/// infallible `read`/`append`/`len` wrappers keep their historic signatures:
+/// they still succeed under recoverable plans (retries happen inside) and
+/// panic with the typed error's message otherwise — legacy callers that
+/// never attach a plan are unaffected.
 #[derive(Clone)]
 pub struct SimDisk {
-    files: Arc<Mutex<Vec<Option<Vec<u8>>>>>,
+    files: Arc<Mutex<Vec<Option<StoredFile>>>>,
     stats: Arc<Mutex<IoStats>>,
     model: DiskModel,
+    faults: Arc<FaultState>,
 }
 
 impl SimDisk {
@@ -124,19 +281,61 @@ impl SimDisk {
             files: Arc::new(Mutex::new(Vec::new())),
             stats: Arc::new(Mutex::new(IoStats::default())),
             model,
+            faults: Arc::new(FaultState::clean()),
         }
+    }
+
+    /// Attaches a fault plan and retry policy. Call before handing out forks
+    /// or siblings — fault state is shared through them.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        self.faults = Arc::new(FaultState {
+            plan: Some(plan),
+            policy,
+            attempts: Mutex::new(HashMap::new()),
+        });
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults.plan
+    }
+
+    /// The retry policy in effect (default when no faults attached).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.faults.policy
     }
 
     /// A handle onto the **same** file store with a **fresh, private** I/O
     /// meter. Work done through the fork is invisible to this handle's
     /// counters until the caller folds the fork's [`SimDisk::stats`] back in
     /// with [`SimDisk::add_stats`] — the per-worker counter protocol of the
-    /// parallel join executors.
+    /// parallel join executors. The fault state (plan, policy, attempt
+    /// counters) is shared, so forks draw failures from one pool.
     pub fn fork_counters(&self) -> SimDisk {
         SimDisk {
             files: Arc::clone(&self.files),
             stats: Arc::new(Mutex::new(IoStats::default())),
             model: self.model,
+            faults: Arc::clone(&self.faults),
+        }
+    }
+
+    /// A fresh disk (empty file store, zeroed meter) inheriting this disk's
+    /// model, fault plan and retry policy, with **independent** attempt
+    /// counters. Used by phases that stage intermediate data on a separate
+    /// volume (PBSM's sort-phase dedup) so that fault injection covers them
+    /// too.
+    pub fn scratch_disk(&self) -> SimDisk {
+        SimDisk {
+            files: Arc::new(Mutex::new(Vec::new())),
+            stats: Arc::new(Mutex::new(IoStats::default())),
+            model: self.model,
+            faults: Arc::new(FaultState {
+                plan: self.faults.plan,
+                policy: self.faults.policy,
+                attempts: Mutex::new(HashMap::new()),
+            }),
         }
     }
 
@@ -157,7 +356,7 @@ impl SimDisk {
     /// Creates an empty file.
     pub fn create(&self) -> FileId {
         let mut g = self.files.lock();
-        g.push(Some(Vec::new()));
+        g.push(Some(StoredFile::new()));
         FileId((g.len() - 1) as u32)
     }
 
@@ -169,10 +368,26 @@ impl SimDisk {
         }
     }
 
-    /// Length of a file in bytes.
-    pub fn len(&self, f: FileId) -> u64 {
+    /// Length of a file in bytes. A metadata lookup — free and fault-exempt.
+    pub fn try_len(&self, f: FileId) -> Result<u64, IoError> {
         let g = self.files.lock();
-        g[f.0 as usize].as_ref().expect("file was deleted").len() as u64
+        match g.get(f.0 as usize).and_then(|s| s.as_ref()) {
+            Some(file) => Ok(file.data.len() as u64),
+            None => Err(IoError {
+                kind: IoErrorKind::FileDeleted,
+                file: f,
+                offset: 0,
+                len: 0,
+                attempts: 1,
+            }),
+        }
+    }
+
+    /// Length of a file in bytes. Panics if the file was deleted — use
+    /// [`SimDisk::try_len`] to handle that as a typed error.
+    pub fn len(&self, f: FileId) -> u64 {
+        self.try_len(f)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// `true` iff the file holds no bytes.
@@ -180,49 +395,179 @@ impl SimDisk {
         self.len(f) == 0
     }
 
-    /// Appends `data` as **one** request: cost `PT + ceil(len / page_size)`.
+    /// Appends `data` as **one** request: cost `PT + ceil(len / page_size)`
+    /// per attempt. Injected write faults (transient, torn) persist nothing
+    /// — the write is atomic — and are retried per the [`RetryPolicy`],
+    /// each attempt re-charged in full plus backoff.
     ///
     /// Writers should batch bytes into multi-page buffers before calling this
     /// — that is exactly the contiguous-write optimisation the cost model
     /// rewards.
-    pub fn append(&self, f: FileId, data: &[u8]) {
+    pub fn try_append(&self, f: FileId, data: &[u8]) -> Result<(), IoError> {
         if data.is_empty() {
-            return;
+            return Ok(());
         }
-        let pages = data.len().div_ceil(self.model.page_size) as u64;
-        {
-            let mut s = self.stats.lock();
-            s.write_requests += 1;
-            s.pages_written += pages;
-            s.bytes_written += data.len() as u64;
+        let ps = self.model.page_size;
+        let pages = data.len().div_ceil(ps) as u64;
+        let max_attempts = self.faults.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let mut files = self.files.lock();
+            let Some(file) = files.get_mut(f.0 as usize).and_then(|s| s.as_mut()) else {
+                return Err(IoError {
+                    kind: IoErrorKind::FileDeleted,
+                    file: f,
+                    offset: 0,
+                    len: data.len() as u64,
+                    attempts: attempt,
+                });
+            };
+            let offset = file.data.len() as u64;
+            {
+                let mut s = self.stats.lock();
+                s.write_requests += 1;
+                s.pages_written += pages;
+                s.bytes_written += data.len() as u64;
+            }
+            match self.faults.next_fault(IoOp::Write, offset, data.len() as u64) {
+                None => {
+                    file.append(data, ps);
+                    return Ok(());
+                }
+                Some((kind, global_idx, salt)) => {
+                    drop(files); // nothing persisted: atomic rollback
+                    let mut s = self.stats.lock();
+                    s.faults_injected += 1;
+                    if attempt < max_attempts {
+                        s.write_retries += 1;
+                        s.backoff_units += self.faults.policy.backoff_units(global_idx, salt);
+                    } else {
+                        return Err(IoError {
+                            kind,
+                            file: f,
+                            offset,
+                            len: data.len() as u64,
+                            attempts: attempt,
+                        });
+                    }
+                }
+            }
         }
-        self.files.lock()[f.0 as usize]
-            .as_mut()
-            .expect("file was deleted")
-            .extend_from_slice(data);
+    }
+
+    /// Infallible wrapper over [`SimDisk::try_append`]; panics with the
+    /// typed error's message if the request cannot be satisfied.
+    pub fn append(&self, f: FileId, data: &[u8]) {
+        self.try_append(f, data)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// Reads `out.len()` bytes starting at byte `offset` as **one** request:
-    /// cost `PT + (number of pages the byte range touches)`. Panics if the
-    /// range extends past the end of the file.
-    pub fn read(&self, f: FileId, offset: u64, out: &mut [u8]) {
+    /// cost `PT + (number of pages the byte range touches)` per attempt.
+    /// Every touched page's checksum is verified; injected bit-rot fails the
+    /// verification and transient read faults fail in transit — both are
+    /// retried per the [`RetryPolicy`], each attempt re-charged in full plus
+    /// backoff. Out-of-range requests and deleted files surface immediately.
+    pub fn try_read(&self, f: FileId, offset: u64, out: &mut [u8]) -> Result<(), IoError> {
         if out.is_empty() {
-            return;
+            return Ok(());
         }
         let ps = self.model.page_size as u64;
         let first_page = offset / ps;
         let last_page = (offset + out.len() as u64 - 1) / ps;
         let pages = last_page - first_page + 1;
-        {
+        let max_attempts = self.faults.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let files = self.files.lock();
+            let Some(file) = files.get(f.0 as usize).and_then(|s| s.as_ref()) else {
+                return Err(IoError {
+                    kind: IoErrorKind::FileDeleted,
+                    file: f,
+                    offset,
+                    len: out.len() as u64,
+                    attempts: attempt,
+                });
+            };
+            if offset + out.len() as u64 > file.data.len() as u64 {
+                return Err(IoError {
+                    kind: IoErrorKind::OutOfBounds,
+                    file: f,
+                    offset,
+                    len: out.len() as u64,
+                    attempts: attempt,
+                });
+            }
+            {
+                let mut s = self.stats.lock();
+                s.read_requests += 1;
+                s.pages_read += pages;
+                s.bytes_read += out.len() as u64;
+            }
+            let fault = self.faults.next_fault(IoOp::Read, offset, out.len() as u64);
+            // Bit-rot corrupts a page on the wire; the per-page checksum
+            // machinery is what detects it. Other read faults fail in
+            // transit before verification.
+            let (failed, salt_and_idx) = match fault {
+                None => {
+                    // Genuine verification: a mismatch here (without
+                    // injection) would expose real bookkeeping corruption.
+                    match file.verify(first_page, last_page, ps as usize, None) {
+                        Ok(()) => {
+                            let start = offset as usize;
+                            out.copy_from_slice(&file.data[start..start + out.len()]);
+                            return Ok(());
+                        }
+                        Err(_page) => (IoErrorKind::ChecksumMismatch, None),
+                    }
+                }
+                Some((IoErrorKind::ChecksumMismatch, idx, salt)) => {
+                    let v = file.verify(first_page, last_page, ps as usize, Some(first_page));
+                    debug_assert!(v.is_err(), "injected bit-rot must fail verification");
+                    (IoErrorKind::ChecksumMismatch, Some((idx, salt)))
+                }
+                Some((kind, idx, salt)) => (kind, Some((idx, salt))),
+            };
+            drop(files);
             let mut s = self.stats.lock();
-            s.read_requests += 1;
-            s.pages_read += pages;
-            s.bytes_read += out.len() as u64;
+            match salt_and_idx {
+                Some((global_idx, salt)) => {
+                    s.faults_injected += 1;
+                    if attempt < max_attempts {
+                        s.read_retries += 1;
+                        s.backoff_units += self.faults.policy.backoff_units(global_idx, salt);
+                    } else {
+                        return Err(IoError {
+                            kind: failed,
+                            file: f,
+                            offset,
+                            len: out.len() as u64,
+                            attempts: attempt,
+                        });
+                    }
+                }
+                // Real (non-injected) checksum corruption: retrying cannot
+                // help, the stored state itself is inconsistent.
+                None => {
+                    return Err(IoError {
+                        kind: failed,
+                        file: f,
+                        offset,
+                        len: out.len() as u64,
+                        attempts: attempt,
+                    })
+                }
+            }
         }
-        let g = self.files.lock();
-        let data = g[f.0 as usize].as_ref().expect("file was deleted");
-        let start = offset as usize;
-        out.copy_from_slice(&data[start..start + out.len()]);
+    }
+
+    /// Infallible wrapper over [`SimDisk::try_read`]; panics with the typed
+    /// error's message if the request cannot be satisfied.
+    pub fn read(&self, f: FileId, offset: u64, out: &mut [u8]) {
+        self.try_read(f, offset, out)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// Snapshot of the cumulative counters.
@@ -242,6 +587,7 @@ impl SimDisk {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -373,6 +719,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod failure_tests {
     use super::*;
 
@@ -386,7 +733,7 @@ mod failure_tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "past end of file")]
     fn read_past_end_of_file_panics() {
         let d = disk();
         let f = d.create();
@@ -421,5 +768,193 @@ mod failure_tests {
         let f = d.create();
         d.delete(f);
         d.delete(f); // no panic
+    }
+
+    #[test]
+    fn typed_errors_from_try_apis() {
+        let d = disk();
+        let f = d.create();
+        d.append(f, &[1u8; 8]);
+        let mut out = [0u8; 16];
+        let e = d.try_read(f, 0, &mut out).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::OutOfBounds);
+        d.delete(f);
+        assert_eq!(d.try_len(f).unwrap_err().kind, IoErrorKind::FileDeleted);
+        assert_eq!(d.try_append(f, &[0u8; 4]).unwrap_err().kind, IoErrorKind::FileDeleted);
+        let e = d.try_read(f, 0, &mut out[..4]).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::FileDeleted);
+        assert!(!e.kind.is_transient());
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod fault_tests {
+    use super::*;
+
+    fn disk_with(plan: FaultPlan, policy: RetryPolicy) -> SimDisk {
+        SimDisk::new(DiskModel {
+            page_size: 16,
+            positioning_ratio: 4.0,
+            transfer_secs_per_page: 1.0,
+            cpu_slowdown: 1.0,
+        })
+        .with_faults(plan, policy)
+    }
+
+    /// A plan that faults every identity exactly once (fate() draws the
+    /// fail count uniformly in `1..=max_consecutive`, so 1 pins it).
+    fn always_fail_once() -> FaultPlan {
+        FaultPlan {
+            seed: 1,
+            fault_rate: 1.0,
+            max_consecutive: 1,
+            permanent_rate: 0.0,
+            reads_only: false,
+        }
+    }
+
+    #[test]
+    fn recoverable_fault_retries_and_succeeds_with_visible_cost() {
+        let plan = always_fail_once();
+        let d = disk_with(plan, RetryPolicy::default());
+        let f = d.create();
+        d.try_append(f, &[42u8; 32]).expect("retry must succeed");
+        let s = d.stats();
+        assert!(s.faults_injected >= 1, "{s:?}");
+        assert_eq!(s.write_retries, s.faults_injected);
+        assert!(s.backoff_units > 0);
+        // Every attempt is charged: requests > 1 for a single logical write.
+        assert_eq!(s.write_requests, 1 + s.write_retries);
+        let mut out = [0u8; 32];
+        d.try_read(f, 0, &mut out).expect("read retries too");
+        assert_eq!(out, [42u8; 32]);
+        let s = d.stats();
+        assert_eq!(s.read_requests, 1 + s.read_retries);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        let plan = FaultPlan::unrecoverable(9);
+        let d = disk_with(plan, RetryPolicy::with_max_attempts(3));
+        let f = d.create();
+        let e = d.try_append(f, &[0u8; 8]).unwrap_err();
+        assert_eq!(e.attempts, 3);
+        assert!(e.kind.is_transient());
+        // All three attempts were charged.
+        assert_eq!(d.stats().write_requests, 3);
+        assert_eq!(d.stats().faults_injected, 3);
+        assert_eq!(d.stats().write_retries, 2); // last failure is not retried
+    }
+
+    #[test]
+    fn bit_rot_is_detected_by_page_checksums_and_cured_by_retry() {
+        // Find a seed whose fate for this identity is a checksum fault.
+        let mut chosen = None;
+        for seed in 0..5000u64 {
+            let p = FaultPlan {
+                seed,
+                fault_rate: 1.0,
+                max_consecutive: 1,
+                permanent_rate: 0.0,
+                reads_only: false,
+            };
+            if let Some((1, IoErrorKind::ChecksumMismatch)) = p.fate(IoOp::Read, 0, 32) {
+                chosen = Some(p);
+                break;
+            }
+        }
+        let plan = chosen.expect("some seed yields bit-rot for this identity");
+        let d = SimDisk::new(DiskModel {
+            page_size: 16,
+            positioning_ratio: 4.0,
+            transfer_secs_per_page: 1.0,
+            cpu_slowdown: 1.0,
+        });
+        let f = d.create();
+        d.append(f, &[7u8; 32]);
+        let d = d.with_faults(plan, RetryPolicy::default());
+        let mut out = [0u8; 32];
+        d.try_read(f, 0, &mut out).expect("re-read is clean");
+        assert_eq!(out, [7u8; 32]);
+        assert!(d.stats().read_retries >= 1);
+    }
+
+    #[test]
+    fn fault_totals_are_deterministic_across_interleavings() {
+        // Two forks hammer the same identities concurrently; the merged
+        // totals must match a single-handle run of the same multiset.
+        let plan = FaultPlan::recoverable(1234);
+        let run = |threads: usize| -> IoStats {
+            let d = disk_with(plan, RetryPolicy::default());
+            let files: Vec<FileId> = (0..threads).map(|_| d.create()).collect();
+            let handles: Vec<std::thread::JoinHandle<IoStats>> = files
+                .iter()
+                .map(|&f| {
+                    let fork = d.fork_counters();
+                    std::thread::spawn(move || {
+                        for i in 0..50u64 {
+                            fork.try_append(f, &[i as u8; 24]).unwrap();
+                        }
+                        let mut out = vec![0u8; 24];
+                        for i in 0..50u64 {
+                            fork.try_read(f, i * 24, &mut out).unwrap();
+                        }
+                        fork.stats()
+                    })
+                })
+                .collect();
+            for h in handles {
+                d.add_stats(&h.join().unwrap());
+            }
+            d.stats()
+        };
+        // Same multiset of identities issued once per file: totals scale
+        // linearly with the file count and are identical across runs.
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a, b);
+        assert!(a.faults_injected > 0, "plan should inject something: {a:?}");
+    }
+
+    #[test]
+    fn backoff_units_flow_into_simulated_seconds() {
+        let plan = always_fail_once();
+        let d = disk_with(plan, RetryPolicy::default());
+        let f = d.create();
+        d.try_append(f, &[0u8; 16]).unwrap();
+        let s = d.stats();
+        let m = d.model();
+        let expected = m.positioning_ratio * s.write_requests as f64
+            + s.pages_written as f64
+            + s.backoff_units as f64;
+        assert!((m.units(&s) - expected).abs() < 1e-12);
+        assert!(s.backoff_units > 0);
+    }
+
+    #[test]
+    fn scratch_disk_inherits_plan_with_fresh_state() {
+        let plan = always_fail_once();
+        let d = disk_with(plan, RetryPolicy::default());
+        let scratch = d.scratch_disk();
+        assert_eq!(scratch.fault_plan(), Some(plan));
+        let f = scratch.create();
+        scratch.try_append(f, &[1u8; 16]).unwrap();
+        assert!(scratch.stats().faults_injected > 0);
+        assert_eq!(d.stats(), IoStats::default(), "scratch meter is private");
+    }
+
+    #[test]
+    fn fault_free_disk_keeps_retry_counters_zero() {
+        let d = SimDisk::with_default_model();
+        let f = d.create();
+        d.append(f, &[0u8; 1024]);
+        let mut out = [0u8; 1024];
+        d.read(f, 0, &mut out);
+        let s = d.stats();
+        assert_eq!(s.faults_injected, 0);
+        assert_eq!(s.read_retries, 0);
+        assert_eq!(s.write_retries, 0);
+        assert_eq!(s.backoff_units, 0);
     }
 }

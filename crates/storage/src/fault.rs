@@ -1,0 +1,376 @@
+//! Deterministic fault injection and typed I/O errors for the simulated disk.
+//!
+//! The paper's cost model (§5) treats the disk as perfectly reliable; a
+//! production-scale system cannot. This module adds a *failure model* that is
+//! as deterministic as the cost model itself: whether a given page request
+//! fails, how many times it fails before succeeding, and what kind of failure
+//! it is are all pure functions of a seed and the request's identity — never
+//! of wall-clock time, scheduling, or a shared mutable RNG.
+//!
+//! ## Request identity
+//!
+//! A fault decision is keyed on `(direction, byte offset, byte length)` of a
+//! request — deliberately **excluding** the [`crate::FileId`]. File ids are
+//! allocated in racy order when parallel workers repartition through forked
+//! disk handles, so any scheme keyed on the file id would inject different
+//! faults at `threads = 1` and `threads = 4`. The identity triple, by
+//! contrast, is determined by *what* the algorithm reads and writes, which is
+//! itself deterministic; the multiset of request identities issued by a join
+//! is the same for every thread count, so the injected failures (and the
+//! retries, backoff, and extra page-transfer units they cost) are too.
+//!
+//! Requests sharing an identity share a per-identity *attempt counter* (kept
+//! on the disk's shared [fault state](crate::SimDisk::with_faults) so that
+//! forked handles draw from one pool): the first `fail_count` attempts fail,
+//! all later attempts succeed. Each failure is consumed by whichever handle
+//! performs it, so totals stay deterministic under any interleaving.
+
+use crate::FileId;
+
+/// Direction of a simulated disk request, for fault-identity purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    Read,
+    Write,
+}
+
+impl IoOp {
+    fn tag(self) -> u64 {
+        match self {
+            IoOp::Read => 0x52,  // 'R'
+            IoOp::Write => 0x57, // 'W'
+        }
+    }
+}
+
+/// Classification of a simulated I/O failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoErrorKind {
+    /// A read that failed in transit; retrying re-issues the request.
+    TransientRead,
+    /// A write that failed before any byte reached the platter.
+    TransientWrite,
+    /// A write that was interrupted mid-page. The simulated disk detects the
+    /// tear at write time and persists nothing (atomic rollback), so a retry
+    /// starts from clean state.
+    TornWrite,
+    /// Bit-rot: the page content read off the platter does not match the
+    /// stored per-page checksum. A retry re-reads the page clean.
+    ChecksumMismatch,
+    /// The file was deleted; the request can never succeed.
+    FileDeleted,
+    /// The byte range extends past the end of the file.
+    OutOfBounds,
+    /// The operation does not support the requested fault configuration
+    /// (e.g. fault injection requested for an algorithm that runs fully
+    /// in memory).
+    Unsupported,
+}
+
+impl IoErrorKind {
+    /// `true` for kinds that a retry can plausibly cure.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            IoErrorKind::TransientRead
+                | IoErrorKind::TransientWrite
+                | IoErrorKind::TornWrite
+                | IoErrorKind::ChecksumMismatch
+        )
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            IoErrorKind::TransientRead => "transient read error",
+            IoErrorKind::TransientWrite => "transient write error",
+            IoErrorKind::TornWrite => "torn write",
+            IoErrorKind::ChecksumMismatch => "page checksum mismatch",
+            IoErrorKind::FileDeleted => "file was deleted",
+            IoErrorKind::OutOfBounds => "request extends past end of file",
+            IoErrorKind::Unsupported => "operation unsupported under fault injection",
+        }
+    }
+}
+
+/// A typed error from the simulated disk: what failed, where, and after how
+/// many attempts the request was given up on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoError {
+    pub kind: IoErrorKind,
+    pub file: FileId,
+    pub offset: u64,
+    pub len: u64,
+    /// Attempts performed (including the failing one) before surfacing.
+    pub attempts: u32,
+}
+
+impl IoError {
+    /// An error that refers to no specific request: the *configuration*
+    /// itself is unsupported — e.g. fault injection requested for a baseline
+    /// algorithm that has no fallible code path.
+    pub fn unsupported() -> Self {
+        IoError {
+            kind: IoErrorKind::Unsupported,
+            file: FileId::sentinel(),
+            offset: 0,
+            len: 0,
+            attempts: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({:?}, offset {}, len {}, {} attempt{})",
+            self.kind.describe(),
+            self.file,
+            self.offset,
+            self.len,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+        )
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// A join-level error: an [`IoError`] plus where in the pipeline it escaped.
+///
+/// This is the error type the fallible join entry points
+/// (`try_pbsm_join`, `try_s3j_join`, `SpatialJoin::try_run`) surface once a
+/// request has exhausted its retry budget and every degradation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinError {
+    /// Pipeline phase the error escaped from (`"partition"`, `"join"`,
+    /// `"repartition"`, `"dedup"`, `"build"`, `"sort"`, `"scan"`, …).
+    pub phase: &'static str,
+    /// Partition (task) index for per-partition phases, if known.
+    pub partition: Option<u32>,
+    pub io: IoError,
+}
+
+impl JoinError {
+    pub fn new(phase: &'static str, io: IoError) -> Self {
+        JoinError {
+            phase,
+            partition: None,
+            io,
+        }
+    }
+
+    pub fn in_partition(phase: &'static str, partition: u32, io: IoError) -> Self {
+        JoinError {
+            phase,
+            partition: Some(partition),
+            io,
+        }
+    }
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.partition {
+            Some(p) => write!(f, "join failed in phase `{}` (partition {}): {}", self.phase, p, self.io),
+            None => write!(f, "join failed in phase `{}`: {}", self.phase, self.io),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.io)
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer the vendored `rand` uses for
+/// seeding. Statistically strong enough for Bernoulli draws and cheap enough
+/// to run on every request.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+#[inline]
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Sentinel `fail_count`: the identity never succeeds.
+pub const PERMANENT: u32 = u32::MAX;
+
+/// A seeded, deterministic plan of disk faults.
+///
+/// The plan is a *pure function* from request identity to fate: for each
+/// `(op, offset, len)` it decides whether the identity is faulty at all, how
+/// many leading attempts fail (`fail_count`), whether the fault is permanent,
+/// and what [`IoErrorKind`] the failures report. See the module docs for why
+/// the identity excludes the file id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all per-identity draws derive from.
+    pub seed: u64,
+    /// Fraction of request identities that fail at least once, in `[0, 1]`.
+    pub fault_rate: f64,
+    /// Upper bound on consecutive failures of a non-permanent faulty
+    /// identity (the actual count is a seeded draw in `1..=max_consecutive`).
+    pub max_consecutive: u32,
+    /// Fraction of *faulty* identities that never succeed, in `[0, 1]`.
+    pub permanent_rate: f64,
+    /// Restrict injection to read requests. Used by the degraded regime:
+    /// a read that outlasts one retry budget is cured by the join layer
+    /// (repartition fallback, partition requeue), but a write that outlasts
+    /// its budget has no second chance — the bytes were never persisted.
+    pub reads_only: bool,
+}
+
+impl FaultPlan {
+    /// A plan whose every fault is cured within the default
+    /// [`crate::RetryPolicy`] budget: any join must produce output identical
+    /// to the fault-free run, just at a higher simulated-time cost.
+    pub fn recoverable(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            fault_rate: 0.05,
+            max_consecutive: 2,
+            permanent_rate: 0.0,
+            reads_only: false,
+        }
+    }
+
+    /// A plan whose faulty identities outlast one retry budget (with the
+    /// default policy of 4 attempts) but succeed on a later re-issue —
+    /// exercising the partition-requeue and degradation paths.
+    pub fn degraded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            fault_rate: 0.02,
+            max_consecutive: 6,
+            permanent_rate: 0.0,
+            reads_only: true,
+        }
+    }
+
+    /// A plan under which **every** request fails forever: joins that touch
+    /// the disk must surface a typed error (never panic or hang).
+    pub fn unrecoverable(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            fault_rate: 1.0,
+            max_consecutive: 1,
+            permanent_rate: 1.0,
+            reads_only: false,
+        }
+    }
+
+    /// Salt identifying a request, stable across processes and thread
+    /// counts. Also used to derive deterministic backoff jitter.
+    #[inline]
+    pub fn identity_salt(&self, op: IoOp, offset: u64, len: u64) -> u64 {
+        let mut h = mix(self.seed ^ op.tag());
+        h = mix(h ^ offset);
+        mix(h ^ len.rotate_left(32))
+    }
+
+    /// The fate of an identity: `None` if it never fails, otherwise
+    /// `(fail_count, kind)` where the first `fail_count` attempts fail
+    /// ([`PERMANENT`] means all of them do).
+    pub fn fate(&self, op: IoOp, offset: u64, len: u64) -> Option<(u32, IoErrorKind)> {
+        if self.fault_rate <= 0.0 || (self.reads_only && op == IoOp::Write) {
+            return None;
+        }
+        let salt = self.identity_salt(op, offset, len);
+        if unit(salt) >= self.fault_rate {
+            return None;
+        }
+        let h2 = mix(salt);
+        let kind = match (op, h2 & 1 == 0) {
+            (IoOp::Read, true) => IoErrorKind::TransientRead,
+            (IoOp::Read, false) => IoErrorKind::ChecksumMismatch,
+            (IoOp::Write, true) => IoErrorKind::TransientWrite,
+            (IoOp::Write, false) => IoErrorKind::TornWrite,
+        };
+        let h3 = mix(h2);
+        if unit(h3) < self.permanent_rate {
+            return Some((PERMANENT, kind));
+        }
+        let span = self.max_consecutive.max(1) as u64;
+        let count = 1 + (mix(h3 ^ 0x5EED) % span) as u32;
+        Some((count, kind))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_is_a_pure_function_of_identity() {
+        let p = FaultPlan::recoverable(42);
+        for off in [0u64, 8192, 123_456] {
+            for len in [1u64, 4096, 65_536] {
+                assert_eq!(p.fate(IoOp::Read, off, len), p.fate(IoOp::Read, off, len));
+                assert_eq!(p.fate(IoOp::Write, off, len), p.fate(IoOp::Write, off, len));
+            }
+        }
+    }
+
+    #[test]
+    fn recoverable_plan_hits_roughly_its_rate() {
+        let p = FaultPlan::recoverable(7);
+        let n = 10_000u64;
+        let faulty = (0..n)
+            .filter(|&i| p.fate(IoOp::Read, i * 4096, 4096).is_some())
+            .count();
+        // 5% ± generous slack.
+        assert!((200..=800).contains(&faulty), "faulty = {faulty}");
+        for i in 0..n {
+            if let Some((count, kind)) = p.fate(IoOp::Write, i * 512, 512) {
+                assert!((1..=2).contains(&count));
+                assert!(kind.is_transient());
+            }
+        }
+    }
+
+    #[test]
+    fn unrecoverable_plan_fails_everything_forever() {
+        let p = FaultPlan::unrecoverable(3);
+        for i in 0..100u64 {
+            let (count, _) = p.fate(IoOp::Read, i * 64, 64).expect("must be faulty");
+            assert_eq!(count, PERMANENT);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_plans() {
+        let a = FaultPlan::recoverable(1);
+        let b = FaultPlan::recoverable(2);
+        let differs = (0..1000u64)
+            .any(|i| a.fate(IoOp::Read, i * 4096, 4096) != b.fate(IoOp::Read, i * 4096, 4096));
+        assert!(differs);
+    }
+
+    #[test]
+    fn error_display_mentions_kind_and_location() {
+        let d = crate::SimDisk::with_default_model();
+        let f = d.create();
+        let e = IoError {
+            kind: IoErrorKind::FileDeleted,
+            file: f,
+            offset: 0,
+            len: 16,
+            attempts: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("file was deleted"), "{s}");
+        let j = JoinError::in_partition("join", 3, e);
+        let s = j.to_string();
+        assert!(s.contains("phase `join`") && s.contains("partition 3"), "{s}");
+    }
+}

@@ -1,4 +1,4 @@
-use crate::{FileId, SimDisk};
+use crate::{FileId, IoError, SimDisk};
 
 /// Buffered append-only byte sink over a [`SimDisk`] file.
 ///
@@ -40,7 +40,10 @@ impl FileWriter {
         self.bytes_written
     }
 
-    pub fn write(&mut self, mut data: &[u8]) {
+    /// Buffers `data`, flushing full buffers as single requests. An error
+    /// surfaces only when a flush exhausts the disk's retry budget; the
+    /// failed buffer is kept, so a later flush retries the same bytes.
+    pub fn try_write(&mut self, mut data: &[u8]) -> Result<(), IoError> {
         self.bytes_written += data.len() as u64;
         while !data.is_empty() {
             let room = self.cap - self.buf.len();
@@ -48,19 +51,33 @@ impl FileWriter {
             self.buf.extend_from_slice(&data[..take]);
             data = &data[take..];
             if self.buf.len() == self.cap {
-                self.disk.append(self.file, &self.buf);
+                self.disk.try_append(self.file, &self.buf)?;
                 self.buf.clear();
             }
         }
+        Ok(())
+    }
+
+    /// Infallible wrapper over [`FileWriter::try_write`]; panics with the
+    /// typed error's message if the flush cannot be satisfied.
+    pub fn write(&mut self, data: &[u8]) {
+        self.try_write(data)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// Flushes any buffered bytes and returns the file handle.
-    pub fn finish(mut self) -> FileId {
+    pub fn try_finish(mut self) -> Result<FileId, IoError> {
         if !self.buf.is_empty() {
-            self.disk.append(self.file, &self.buf);
+            self.disk.try_append(self.file, &self.buf)?;
             self.buf.clear();
         }
-        self.file
+        Ok(self.file)
+    }
+
+    /// Infallible wrapper over [`FileWriter::try_finish`].
+    pub fn finish(self) -> FileId {
+        self.try_finish()
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 }
 
@@ -110,27 +127,31 @@ impl FileReader {
         (self.buf.len() - self.buf_pos) as u64 + (self.end - self.offset)
     }
 
-    fn refill(&mut self) {
+    fn try_refill(&mut self) -> Result<(), IoError> {
         debug_assert_eq!(self.buf_pos, self.buf.len());
         let want = (self.cap as u64).min(self.end - self.offset) as usize;
         self.buf.resize(want, 0);
         self.buf_pos = 0;
         if want > 0 {
-            self.disk.read(self.file, self.offset, &mut self.buf);
+            self.disk.try_read(self.file, self.offset, &mut self.buf)?;
             self.offset += want as u64;
         }
+        Ok(())
     }
 
-    /// Fills `out` completely; returns `false` (leaving `out` unspecified) if
-    /// fewer than `out.len()` bytes remain.
-    pub fn read_exact(&mut self, out: &mut [u8]) -> bool {
+    /// Fills `out` completely; `Ok(false)` (leaving `out` unspecified) if
+    /// fewer than `out.len()` bytes remain. An error surfaces only when a
+    /// buffer refill exhausts the disk's retry budget; the stream should be
+    /// considered broken afterwards — recovery restarts from a fresh reader
+    /// (that is what the join-level degradation paths do).
+    pub fn try_read_exact(&mut self, out: &mut [u8]) -> Result<bool, IoError> {
         if (self.remaining() as usize) < out.len() {
-            return false;
+            return Ok(false);
         }
         let mut done = 0;
         while done < out.len() {
             if self.buf_pos == self.buf.len() {
-                self.refill();
+                self.try_refill()?;
             }
             let avail = self.buf.len() - self.buf_pos;
             let take = avail.min(out.len() - done);
@@ -138,11 +159,19 @@ impl FileReader {
             self.buf_pos += take;
             done += take;
         }
-        true
+        Ok(true)
+    }
+
+    /// Infallible wrapper over [`FileReader::try_read_exact`]; panics with
+    /// the typed error's message if a refill cannot be satisfied.
+    pub fn read_exact(&mut self, out: &mut [u8]) -> bool {
+        self.try_read_exact(out)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::DiskModel;

@@ -24,14 +24,34 @@
 //!   the building block of PBSM's original duplicate-removal phase and of
 //!   S³J's level-file sorting phase.
 
+//!
+//! Failure model (PR 2): [`SimDisk::with_faults`] attaches a seeded
+//! [`FaultPlan`] — transient read/write errors, torn writes, bit-rot caught
+//! by per-page checksums — and a [`RetryPolicy`] that retries failed page
+//! requests with exponential backoff *in simulated disk-time units*, every
+//! attempt charged to the cost model. Fallible `try_*` twins of every I/O
+//! entry point return the typed [`IoError`]; the historic infallible names
+//! remain as thin wrappers (they still succeed under recoverable plans,
+//! because retries happen at the page-request level underneath them).
+
 mod disk;
+mod fault;
 mod file;
 mod pool;
 mod record;
 mod sort;
+mod retry;
 
 pub use disk::{DiskModel, FileId, IoStats, SimDisk};
+pub use fault::{FaultPlan, IoError, IoErrorKind, IoOp, JoinError};
 pub use file::{FileReader, FileWriter};
 pub use pool::BufferPool;
-pub use record::{read_all, write_all, FixedRecord, IdPair, RecordReader, RecordWriter};
-pub use sort::{external_sort, external_sort_by, external_sort_slice, SortStats};
+pub use record::{
+    read_all, try_read_all, try_write_all, write_all, FixedRecord, IdPair, RecordReader,
+    RecordWriter,
+};
+pub use retry::RetryPolicy;
+pub use sort::{
+    external_sort, external_sort_by, external_sort_slice, try_external_sort,
+    try_external_sort_by, try_external_sort_slice, SortStats,
+};

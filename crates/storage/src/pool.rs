@@ -71,14 +71,16 @@ impl BufferPool {
             });
             self.slots.len() - 1
         } else {
-            // Evict the least recently used page.
+            // Evict the least recently used page. Invariant: this branch is
+            // only reached with `slots.len() == capacity >= 1` (clamped in
+            // `new`), so a minimum always exists.
             let victim = self
                 .slots
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| s.last_used)
                 .map(|(i, _)| i)
-                .expect("capacity >= 1");
+                .expect("capacity >= 1 slots are non-empty");
             self.map.remove(&self.slots[victim].key);
             self.slots[victim] = Slot {
                 key,
@@ -103,6 +105,7 @@ impl BufferPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::DiskModel;

@@ -1,6 +1,6 @@
 use geom::Kpe;
 
-use crate::{FileReader, FileWriter, FileId, SimDisk};
+use crate::{FileReader, FileWriter, FileId, IoError, SimDisk};
 
 /// A fixed-length, byte-serialisable record — the unit of all intermediate
 /// files (partitions, level files, runs, candidate sets).
@@ -42,9 +42,11 @@ impl FixedRecord for IdPair {
     }
 
     fn decode(buf: &[u8]) -> Self {
+        // Invariant: callers hand `decode` exactly `SIZE` bytes, so the
+        // 8-byte sub-slices always convert.
         IdPair {
-            r: u64::from_le_bytes(buf[0..8].try_into().unwrap()),
-            s: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            r: u64::from_le_bytes(buf[0..8].try_into().expect("8-byte slice")),
+            s: u64::from_le_bytes(buf[8..16].try_into().expect("8-byte slice")),
         }
     }
 }
@@ -73,10 +75,19 @@ impl<R: FixedRecord> RecordWriter<R> {
         Self::new(disk, f, buffer_pages)
     }
 
-    pub fn push(&mut self, r: &R) {
+    /// Buffers one record; an error surfaces only when a flush exhausts the
+    /// disk's retry budget.
+    pub fn try_push(&mut self, r: &R) -> Result<(), IoError> {
         r.encode(&mut self.scratch);
-        self.inner.write(&self.scratch);
+        self.inner.try_write(&self.scratch)?;
         self.count += 1;
+        Ok(())
+    }
+
+    /// Infallible wrapper over [`RecordWriter::try_push`].
+    pub fn push(&mut self, r: &R) {
+        self.try_push(r)
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     /// Records pushed so far.
@@ -92,6 +103,11 @@ impl<R: FixedRecord> RecordWriter<R> {
         self.inner.file()
     }
 
+    pub fn try_finish(self) -> Result<FileId, IoError> {
+        self.inner.try_finish()
+    }
+
+    /// Infallible wrapper over [`RecordWriter::try_finish`].
     pub fn finish(self) -> FileId {
         self.inner.finish()
     }
@@ -130,19 +146,33 @@ impl<R: FixedRecord> RecordReader<R> {
     pub fn buffer_bytes(&self) -> usize {
         self.inner.buffer_bytes()
     }
+
+    /// The next record, `Ok(None)` at end of stream, or a typed error when a
+    /// refill exhausts the disk's retry budget (after which the reader
+    /// should be discarded — recovery restarts from a fresh one).
+    pub fn try_next(&mut self) -> Result<Option<R>, IoError> {
+        // Split borrow: temporarily move scratch out to satisfy the borrow
+        // checker without copying.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let got = self.inner.try_read_exact(&mut scratch);
+        let out = match got {
+            Ok(true) => Ok(Some(R::decode(&scratch))),
+            Ok(false) => Ok(None),
+            Err(e) => Err(e),
+        };
+        self.scratch = scratch;
+        out
+    }
 }
 
 impl<R: FixedRecord> Iterator for RecordReader<R> {
     type Item = R;
 
+    /// Infallible wrapper over [`RecordReader::try_next`]; panics with the
+    /// typed error's message if a refill cannot be satisfied.
     fn next(&mut self) -> Option<R> {
-        // Split borrow: temporarily move scratch out to satisfy the borrow
-        // checker without copying.
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let got = self.inner.read_exact(&mut scratch);
-        let out = got.then(|| R::decode(&scratch));
-        self.scratch = scratch;
-        out
+        self.try_next()
+            .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -160,12 +190,40 @@ pub fn write_all<R: FixedRecord>(disk: &SimDisk, records: &[R], buffer_pages: us
     w.finish()
 }
 
+/// Fallible [`write_all`].
+pub fn try_write_all<R: FixedRecord>(
+    disk: &SimDisk,
+    records: &[R],
+    buffer_pages: usize,
+) -> Result<FileId, IoError> {
+    let mut w = RecordWriter::create(disk, buffer_pages);
+    for r in records {
+        w.try_push(r)?;
+    }
+    w.try_finish()
+}
+
 /// Convenience: reads a whole record file into memory.
 pub fn read_all<R: FixedRecord>(disk: &SimDisk, file: FileId, buffer_pages: usize) -> Vec<R> {
     RecordReader::new(disk, file, buffer_pages).collect()
 }
 
+/// Fallible [`read_all`].
+pub fn try_read_all<R: FixedRecord>(
+    disk: &SimDisk,
+    file: FileId,
+    buffer_pages: usize,
+) -> Result<Vec<R>, IoError> {
+    let mut reader = RecordReader::<R>::new(disk, file, buffer_pages);
+    let mut out = Vec::with_capacity(reader.remaining() as usize);
+    while let Some(r) = reader.try_next()? {
+        out.push(r);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::DiskModel;

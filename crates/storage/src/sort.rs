@@ -1,7 +1,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::{FileId, FixedRecord, RecordReader, RecordWriter, SimDisk};
+use crate::{FileId, FixedRecord, IoError, RecordReader, RecordWriter, SimDisk};
 
 /// Outcome counters of an [`external_sort_by`] invocation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,12 +55,15 @@ impl BufferPlan {
 ///
 /// The input file is left untouched; the sorted output is a fresh file.
 /// `key` must be cheap — it is evaluated once per comparison-heap insertion.
-pub fn external_sort_by<R, K, F>(
+///
+/// An error surfaces when a page request exhausts the disk's retry budget;
+/// intermediate run files are deleted before returning it.
+pub fn try_external_sort_by<R, K, F>(
     disk: &SimDisk,
     input: FileId,
     mem_bytes: usize,
     key: F,
-) -> (FileId, SortStats)
+) -> Result<(FileId, SortStats), IoError>
 where
     R: FixedRecord,
     K: Ord,
@@ -77,32 +80,55 @@ where
     let mut runs: Vec<(u64, u64)> = Vec::new(); // byte ranges
     let mut offset = 0u64;
     let mut chunk: Vec<R> = Vec::with_capacity(run_records.min(1 << 20));
-    loop {
-        chunk.clear();
-        while chunk.len() < run_records {
-            match reader.next() {
-                Some(r) => chunk.push(r),
-                None => break,
+    let formed = (|| -> Result<(), IoError> {
+        loop {
+            chunk.clear();
+            while chunk.len() < run_records {
+                match reader.try_next()? {
+                    Some(r) => chunk.push(r),
+                    None => break,
+                }
             }
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            chunk.sort_by_key(|a| key(a));
+            let mut w = RecordWriter::<R>::new(disk, runs_file, plan.out_pages);
+            for r in &chunk {
+                w.try_push(r)?;
+            }
+            let bytes = (chunk.len() * R::SIZE) as u64;
+            w.try_finish()?;
+            runs.push((offset, offset + bytes));
+            offset += bytes;
+            stats.runs += 1;
         }
-        if chunk.is_empty() {
-            break;
-        }
-        chunk.sort_by_key(|a| key(a));
-        let mut w = RecordWriter::<R>::new(disk, runs_file, plan.out_pages);
-        for r in &chunk {
-            w.push(r);
-        }
-        let bytes = (chunk.len() * R::SIZE) as u64;
-        w.finish();
-        runs.push((offset, offset + bytes));
-        offset += bytes;
-        stats.runs += 1;
-    }
+    })();
     drop(reader);
+    if let Err(e) = formed {
+        disk.delete(runs_file);
+        return Err(e);
+    }
 
-    let out = merge_runs::<R, K, F>(disk, runs_file, runs, mem_bytes, key, &mut stats);
-    (out, stats)
+    let out = try_merge_runs::<R, K, F>(disk, runs_file, runs, mem_bytes, key, &mut stats)?;
+    Ok((out, stats))
+}
+
+/// Infallible wrapper over [`try_external_sort_by`]; panics with the typed
+/// error's message if a request cannot be satisfied.
+pub fn external_sort_by<R, K, F>(
+    disk: &SimDisk,
+    input: FileId,
+    mem_bytes: usize,
+    key: F,
+) -> (FileId, SortStats)
+where
+    R: FixedRecord,
+    K: Ord,
+    F: Fn(&R) -> K + Copy,
+{
+    try_external_sort_by(disk, input, mem_bytes, key)
+        .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
 }
 
 /// Sorts an in-memory slice into a record file with at most `mem_bytes` of
@@ -110,12 +136,12 @@ where
 /// (it is already in memory / comes from an upstream operator, which the
 /// paper's cost model does not charge); only runs and merge passes hit the
 /// disk.
-pub fn external_sort_slice<R, K, F>(
+pub fn try_external_sort_slice<R, K, F>(
     disk: &SimDisk,
     data: &[R],
     mem_bytes: usize,
     key: F,
-) -> (FileId, SortStats)
+) -> Result<(FileId, SortStats), IoError>
 where
     R: FixedRecord,
     K: Ord,
@@ -133,28 +159,52 @@ where
         let mut sorted: Vec<R> = chunk.to_vec();
         sorted.sort_by_key(|a| key(a));
         let mut w = RecordWriter::<R>::new(disk, runs_file, plan.out_pages);
-        for r in &sorted {
-            w.push(r);
+        let written = (|| -> Result<(), IoError> {
+            for r in &sorted {
+                w.try_push(r)?;
+            }
+            w.try_finish()?;
+            Ok(())
+        })();
+        if let Err(e) = written {
+            disk.delete(runs_file);
+            return Err(e);
         }
         let bytes = (sorted.len() * R::SIZE) as u64;
-        w.finish();
         runs.push((offset, offset + bytes));
         offset += bytes;
         stats.runs += 1;
     }
-    let out = merge_runs::<R, K, F>(disk, runs_file, runs, mem_bytes, key, &mut stats);
-    (out, stats)
+    let out = try_merge_runs::<R, K, F>(disk, runs_file, runs, mem_bytes, key, &mut stats)?;
+    Ok((out, stats))
+}
+
+/// Infallible wrapper over [`try_external_sort_slice`].
+pub fn external_sort_slice<R, K, F>(
+    disk: &SimDisk,
+    data: &[R],
+    mem_bytes: usize,
+    key: F,
+) -> (FileId, SortStats)
+where
+    R: FixedRecord,
+    K: Ord,
+    F: Fn(&R) -> K + Copy,
+{
+    try_external_sort_slice(disk, data, mem_bytes, key)
+        .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
 }
 
 /// Repeated multiway merging until one run remains; returns the final file.
-fn merge_runs<R, K, F>(
+/// On error both the current and the half-written next file are deleted.
+fn try_merge_runs<R, K, F>(
     disk: &SimDisk,
     runs_file: FileId,
     runs: Vec<(u64, u64)>,
     mem_bytes: usize,
     key: F,
     stats: &mut SortStats,
-) -> FileId
+) -> Result<FileId, IoError>
 where
     R: FixedRecord,
     K: Ord,
@@ -162,7 +212,7 @@ where
 {
     let ps = disk.model().page_size;
     if runs.len() <= 1 {
-        return runs_file;
+        return Ok(runs_file);
     }
     let plan = BufferPlan::for_budget(mem_bytes, ps);
     let fan_in = plan.fan_in(mem_bytes, ps);
@@ -175,7 +225,11 @@ where
         let mut out_offset = 0u64;
         for group in current_runs.chunks(fan_in) {
             let bytes: u64 = group.iter().map(|(s, e)| e - s).sum();
-            merge_group::<R, K, F>(disk, current_file, group, next_file, key, plan);
+            if let Err(e) = try_merge_group::<R, K, F>(disk, current_file, group, next_file, key, plan) {
+                disk.delete(current_file);
+                disk.delete(next_file);
+                return Err(e);
+            }
             next_runs.push((out_offset, out_offset + bytes));
             out_offset += bytes;
         }
@@ -183,18 +237,19 @@ where
         current_file = next_file;
         current_runs = next_runs;
     }
-    current_file
+    Ok(current_file)
 }
 
 /// Merges the given runs of `src` and appends the merged output to `dst`.
-fn merge_group<R, K, F>(
+fn try_merge_group<R, K, F>(
     disk: &SimDisk,
     src: FileId,
     runs: &[(u64, u64)],
     dst: FileId,
     key: F,
     plan: BufferPlan,
-) where
+) -> Result<(), IoError>
+where
     R: FixedRecord,
     K: Ord,
     F: Fn(&R) -> K + Copy,
@@ -233,7 +288,7 @@ fn merge_group<R, K, F>(
     let mut heap: BinaryHeap<Reverse<Entry<K>>> = BinaryHeap::with_capacity(readers.len());
     let mut seq = 0u64;
     for (i, r) in readers.iter_mut().enumerate() {
-        let first = r.next();
+        let first = r.try_next()?;
         if let Some(ref rec) = first {
             heap.push(Reverse(Entry {
                 key: key(rec),
@@ -246,9 +301,11 @@ fn merge_group<R, K, F>(
     }
     let mut w = RecordWriter::<R>::new(disk, dst, plan.out_pages);
     while let Some(Reverse(top)) = heap.pop() {
+        // Invariant: every heap entry was inserted together with its record
+        // in `pending[run]`, and entries per run alternate push/pop.
         let rec = pending[top.run].take().expect("heap/pending out of sync");
-        w.push(&rec);
-        if let Some(next) = readers[top.run].next() {
+        w.try_push(&rec)?;
+        if let Some(next) = readers[top.run].try_next()? {
             heap.push(Reverse(Entry {
                 key: key(&next),
                 run: top.run,
@@ -258,7 +315,20 @@ fn merge_group<R, K, F>(
             pending[top.run] = Some(next);
         }
     }
-    w.finish();
+    w.try_finish()?;
+    Ok(())
+}
+
+/// [`try_external_sort_by`] for records that are themselves `Ord`.
+pub fn try_external_sort<R>(
+    disk: &SimDisk,
+    input: FileId,
+    mem_bytes: usize,
+) -> Result<(FileId, SortStats), IoError>
+where
+    R: FixedRecord + Ord,
+{
+    try_external_sort_by(disk, input, mem_bytes, |r: &R| *r)
 }
 
 /// [`external_sort_by`] for records that are themselves `Ord`.
@@ -270,6 +340,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::record::{read_all, write_all};
@@ -374,6 +445,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod proptests {
     use super::*;
     use crate::record::{read_all, write_all};

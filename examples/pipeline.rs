@@ -72,7 +72,7 @@ fn main() {
     let mut first10 = Vec::new();
     while first10.len() < 10 {
         match plan.next() {
-            Some(pair) => first10.push(pair),
+            Some(item) => first10.push(item.expect("join stream delivered an error")),
             None => break,
         }
     }

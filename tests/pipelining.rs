@@ -91,7 +91,14 @@ fn operator_drain_matches_direct_run() {
     );
     let collected = Collected::drain(&mut op);
     assert_eq!(collected.items.len(), direct.pairs.len());
-    let mut a: Vec<(u64, u64)> = collected.items.iter().map(|(x, y)| (x.0, y.0)).collect();
+    let mut a: Vec<(u64, u64)> = collected
+        .items
+        .iter()
+        .map(|item| {
+            let (x, y) = item.as_ref().expect("join stream delivered an error");
+            (x.0, y.0)
+        })
+        .collect();
     let mut b: Vec<(u64, u64)> = direct.pairs.iter().map(|(x, y)| (x.0, y.0)).collect();
     a.sort_unstable();
     b.sort_unstable();
