@@ -1,0 +1,606 @@
+//! The metamorphic oracle: every join algorithm, run through the public
+//! API, must produce the same result set — equal to a brute-force reference
+//! and invariant under semantics-preserving transformations of the input
+//! and the configuration.
+//!
+//! Two oracle relation families are used, both *sound* (a reported
+//! difference is always a real bug, never an artefact):
+//!
+//! * **configuration invariance** — memory budget (and therefore partition
+//!   count), tile grid, internal algorithm, thread count, fault plan,
+//!   CPU-slowdown factor: none of these touch the geometry, so the result
+//!   set (and for threads/slowdown even the I/O counters) must not move;
+//! * **exact geometric transforms** — scaling by a power of two is exact in
+//!   `f64`, and translating by a dyadic-lattice amount after an exact
+//!   halving is exact for lattice-aligned workloads (the adversarial
+//!   generator only emits such workloads; for foreign inputs exactness is
+//!   verified per coordinate and the transform is skipped when it would
+//!   round). Exact affine maps preserve the intersection relation, so the
+//!   result pairs must be identical.
+
+use geom::{Kpe, Rect};
+use quadtree::MxCifQuadtree;
+use spatialjoin::{Algorithm, DiskModel, FaultPlan, InternalAlgo, JoinStats, SpatialJoin};
+
+/// Finest quadtree level used for the in-memory MX-CIF reference join.
+const QUADTREE_LEVEL: u8 = 12;
+
+/// Every algorithm under conformance test. The three PBSM-RPM entries
+/// differ only in the internal (in-memory) join, covering all
+/// [`InternalAlgo`]s; quadtree is the paper's §4.1 in-memory join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoId {
+    PbsmRpmNested,
+    PbsmRpmList,
+    PbsmRpmTrie,
+    PbsmSort,
+    S3jReplicated,
+    S3jOriginal,
+    Sssj,
+    Shj,
+    Quadtree,
+}
+
+impl AlgoId {
+    pub const ALL: [AlgoId; 9] = [
+        AlgoId::PbsmRpmNested,
+        AlgoId::PbsmRpmList,
+        AlgoId::PbsmRpmTrie,
+        AlgoId::PbsmSort,
+        AlgoId::S3jReplicated,
+        AlgoId::S3jOriginal,
+        AlgoId::Sssj,
+        AlgoId::Shj,
+        AlgoId::Quadtree,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoId::PbsmRpmNested => "pbsm-rpm-nested",
+            AlgoId::PbsmRpmList => "pbsm-rpm-list",
+            AlgoId::PbsmRpmTrie => "pbsm-rpm-trie",
+            AlgoId::PbsmSort => "pbsm-sort",
+            AlgoId::S3jReplicated => "s3j",
+            AlgoId::S3jOriginal => "s3j-orig",
+            AlgoId::Sssj => "sssj",
+            AlgoId::Shj => "shj",
+            AlgoId::Quadtree => "quadtree",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<AlgoId> {
+        AlgoId::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+impl std::fmt::Display for AlgoId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A semantics-preserving transformation of the workload or configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transform {
+    /// No transform: the base run must equal brute force (and satisfy the
+    /// accounting identities). Anchors the whole metamorphic chain to
+    /// ground truth.
+    Identity,
+    /// Exact halving about the origin followed by a dyadic translation
+    /// (`x ↦ x/2 + dx`). The halving guarantees both slack inside the unit
+    /// square and bit-exactness of the subsequent addition.
+    Translate { dx: f64, dy: f64 },
+    /// Pure scaling about the origin by a power of two `p ≤ 1` (exact).
+    Scale { p: f64 },
+    /// Join `(s, r)` instead of `(r, s)`: the mirrored pair set must match.
+    SwapInputs,
+    /// Different memory budget — and therefore partition count / bucket
+    /// count / sort-run length. Results must be invariant.
+    Mem { bytes: usize },
+    /// Different PBSM tiles-per-partition (`NT = P ·` this).
+    Tiles { per_partition: u32 },
+    /// Parallel partition execution: results, counters and I/O totals must
+    /// be identical to the sequential path.
+    Threads { n: usize },
+    /// Seeded recoverable fault plan: retries must cure every fault without
+    /// changing the result set.
+    Faults { seed: u64 },
+    /// Different CPU-slowdown factor in the disk model: results *and* I/O
+    /// totals must be invariant (time scaling must not leak into logic).
+    CpuSlowdown { factor: f64 },
+}
+
+impl Transform {
+    /// Whether this transform is meaningful for `algo`. Geometric
+    /// transforms apply everywhere; configuration transforms only where the
+    /// configuration surface exists (e.g. no fault plan for the infallible
+    /// single-sweep baselines, no tile grid outside PBSM).
+    pub fn applies_to(self, algo: AlgoId) -> bool {
+        use AlgoId::*;
+        match self {
+            Transform::Identity
+            | Transform::Translate { .. }
+            | Transform::Scale { .. }
+            | Transform::SwapInputs => true,
+            Transform::Mem { .. } | Transform::CpuSlowdown { .. } => algo != Quadtree,
+            Transform::Tiles { .. } => {
+                matches!(algo, PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort)
+            }
+            Transform::Threads { .. } | Transform::Faults { .. } => matches!(
+                algo,
+                PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort | S3jReplicated | S3jOriginal
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transform::Identity => write!(f, "identity"),
+            Transform::Translate { dx, dy } => write!(f, "translate {dx} {dy}"),
+            Transform::Scale { p } => write!(f, "scale {p}"),
+            Transform::SwapInputs => write!(f, "swap"),
+            Transform::Mem { bytes } => write!(f, "mem {bytes}"),
+            Transform::Tiles { per_partition } => write!(f, "tiles {per_partition}"),
+            Transform::Threads { n } => write!(f, "threads {n}"),
+            Transform::Faults { seed } => write!(f, "faults {seed}"),
+            Transform::CpuSlowdown { factor } => write!(f, "cpu-slowdown {factor}"),
+        }
+    }
+}
+
+impl Transform {
+    pub fn parse(s: &str) -> Option<Transform> {
+        let mut it = s.split_whitespace();
+        let head = it.next()?;
+        let mut num = || it.next().and_then(|v| v.parse::<f64>().ok());
+        let t = match head {
+            "identity" => Transform::Identity,
+            "translate" => Transform::Translate { dx: num()?, dy: num()? },
+            "scale" => Transform::Scale { p: num()? },
+            "swap" => Transform::SwapInputs,
+            "mem" => Transform::Mem { bytes: num()? as usize },
+            "tiles" => Transform::Tiles { per_partition: num()? as u32 },
+            "threads" => Transform::Threads { n: num()? as usize },
+            "faults" => Transform::Faults { seed: num()? as u64 },
+            "cpu-slowdown" => Transform::CpuSlowdown { factor: num()? },
+            _ => return None,
+        };
+        Some(t)
+    }
+}
+
+/// Base configuration of an oracle run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Memory budget in bytes. The default is deliberately tiny so even
+    /// small adversarial workloads span several partitions.
+    pub mem: usize,
+    pub threads: usize,
+    pub tiles_per_partition: Option<u32>,
+    pub fault_seed: Option<u64>,
+    pub cpu_slowdown: Option<f64>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            mem: 4 * 1024,
+            threads: 1,
+            tiles_per_partition: None,
+            fault_seed: None,
+            cpu_slowdown: None,
+        }
+    }
+}
+
+/// Outcome of one algorithm run: sorted pairs plus (for the external
+/// algorithms) the uniform statistics.
+pub struct RunOut {
+    pub pairs: Vec<(u64, u64)>,
+    pub stats: Option<JoinStats>,
+}
+
+/// Brute-force reference join (the ground truth every chain anchors to).
+pub fn brute_force(r: &[Kpe], s: &[Kpe]) -> Vec<(u64, u64)> {
+    let mut v = Vec::new();
+    for a in r {
+        for b in s {
+            if a.rect.intersects(&b.rect) {
+                v.push((a.id.0, b.id.0));
+            }
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+/// Runs one algorithm through the public API under `cfg`.
+pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<RunOut, String> {
+    if algo == AlgoId::Quadtree {
+        let tr = MxCifQuadtree::bulk(r, QUADTREE_LEVEL);
+        let ts = MxCifQuadtree::bulk(s, QUADTREE_LEVEL);
+        let mut pairs = Vec::new();
+        tr.join(&ts, &mut |a, b| pairs.push((a.id.0, b.id.0)));
+        pairs.sort_unstable();
+        return Ok(RunOut { pairs, stats: None });
+    }
+    let base = match algo {
+        AlgoId::PbsmRpmNested => {
+            Algorithm::pbsm_rpm(cfg.mem).with_internal(InternalAlgo::NestedLoops)
+        }
+        AlgoId::PbsmRpmList => {
+            Algorithm::pbsm_rpm(cfg.mem).with_internal(InternalAlgo::PlaneSweepList)
+        }
+        AlgoId::PbsmRpmTrie => {
+            Algorithm::pbsm_rpm(cfg.mem).with_internal(InternalAlgo::PlaneSweepTrie)
+        }
+        AlgoId::PbsmSort => Algorithm::pbsm_original(cfg.mem),
+        AlgoId::S3jReplicated => Algorithm::s3j_replicated(cfg.mem),
+        AlgoId::S3jOriginal => Algorithm::s3j_original(cfg.mem),
+        AlgoId::Sssj => Algorithm::sssj(cfg.mem),
+        AlgoId::Shj => Algorithm::shj(cfg.mem),
+        AlgoId::Quadtree => unreachable!(),
+    };
+    let mut base = base.with_threads(cfg.threads);
+    if let Some(tiles) = cfg.tiles_per_partition {
+        base = base.with_tiles_per_partition(tiles);
+    }
+    let mut join = SpatialJoin::new(base);
+    if let Some(seed) = cfg.fault_seed {
+        join = join.with_faults(FaultPlan::recoverable(seed));
+    }
+    if let Some(factor) = cfg.cpu_slowdown {
+        join = join.with_disk_model(DiskModel {
+            cpu_slowdown: factor,
+            ..DiskModel::default()
+        });
+    }
+    let run = join
+        .try_run(r, s)
+        .map_err(|e| format!("{algo}: join failed: {e}"))?;
+    let mut pairs: Vec<(u64, u64)> = run.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+    pairs.sort_unstable();
+    Ok(RunOut {
+        pairs,
+        stats: Some(run.stats),
+    })
+}
+
+/// Applies `x ↦ x/2 + dx` to every coordinate. Returns `None` if any
+/// coordinate would leave the unit square or round (the caller skips the
+/// transform — soundness over coverage).
+fn translated(data: &[Kpe], dx: f64, dy: f64) -> Option<Vec<Kpe>> {
+    let map = |v: f64, d: f64| -> Option<f64> {
+        let half = v * 0.5; // exact: power-of-two scaling
+        let shifted = half + d;
+        // Exactness witness: the addition must be reversible bit-for-bit.
+        if !(0.0..=1.0).contains(&shifted) || shifted - d != half {
+            return None;
+        }
+        Some(shifted)
+    };
+    data.iter()
+        .map(|k| {
+            Some(Kpe::new(
+                k.id,
+                Rect::new(
+                    map(k.rect.xl, dx)?,
+                    map(k.rect.yl, dy)?,
+                    map(k.rect.xh, dx)?,
+                    map(k.rect.yh, dy)?,
+                ),
+            ))
+        })
+        .collect()
+}
+
+/// Applies exact power-of-two scaling about the origin.
+fn scaled(data: &[Kpe], p: f64) -> Vec<Kpe> {
+    data.iter()
+        .map(|k| {
+            Kpe::new(
+                k.id,
+                Rect::new(k.rect.xl * p, k.rect.yl * p, k.rect.xh * p, k.rect.yh * p),
+            )
+        })
+        .collect()
+}
+
+/// Uniform accounting checks on a completed run: the reported result count
+/// matches the emitted pairs, the pair stream is duplicate-free, and the
+/// duplicate-accounting identity `candidates = results + suppressed` holds
+/// for the replicating algorithms (the baselines must report zero
+/// suppressed duplicates).
+fn accounting(algo: AlgoId, out: &RunOut) -> Option<String> {
+    if out.pairs.windows(2).any(|w| w[0] == w[1]) {
+        return Some(format!("{algo}: emitted a duplicate result pair"));
+    }
+    let stats = out.stats.as_ref()?;
+    if stats.results() as usize != out.pairs.len() {
+        return Some(format!(
+            "{algo}: stats.results {} != emitted pairs {}",
+            stats.results(),
+            out.pairs.len()
+        ));
+    }
+    match stats {
+        JoinStats::Pbsm(st) => {
+            if st.candidates != st.results + st.duplicates {
+                return Some(format!(
+                    "{algo}: candidates {} != results {} + suppressed {}",
+                    st.candidates, st.results, st.duplicates
+                ));
+            }
+        }
+        JoinStats::S3j(st) => {
+            if st.candidates != st.results + st.duplicates {
+                return Some(format!(
+                    "{algo}: candidates {} != results {} + suppressed {}",
+                    st.candidates, st.results, st.duplicates
+                ));
+            }
+        }
+        JoinStats::Sssj(_) | JoinStats::Shj(_) => {
+            if stats.duplicates() != 0 {
+                return Some(format!("{algo}: baseline reported suppressed duplicates"));
+            }
+        }
+    }
+    None
+}
+
+fn first_diff(a: &[(u64, u64)], b: &[(u64, u64)]) -> String {
+    let only_a = a.iter().find(|p| b.binary_search(p).is_err());
+    let only_b = b.iter().find(|p| a.binary_search(p).is_err());
+    format!(
+        "{} vs {} pairs; first only-left {:?}, first only-right {:?}",
+        a.len(),
+        b.len(),
+        only_a,
+        only_b
+    )
+}
+
+/// Checks one `(algorithm, transform)` cell on one workload. Returns a
+/// failure message, or `None` if the oracle relation holds (or the
+/// transform does not apply / would be inexact on this workload).
+pub fn check_one(
+    algo: AlgoId,
+    transform: Transform,
+    cfg: &RunConfig,
+    r: &[Kpe],
+    s: &[Kpe],
+) -> Option<String> {
+    if !transform.applies_to(algo) {
+        return None;
+    }
+    let base = match run_algo(algo, cfg, r, s) {
+        Ok(out) => out,
+        Err(e) => return Some(e),
+    };
+    if let Some(msg) = accounting(algo, &base) {
+        return Some(msg);
+    }
+    let (variant, expect): (RunOut, Vec<(u64, u64)>) = match transform {
+        Transform::Identity => {
+            let want = brute_force(r, s);
+            if base.pairs != want {
+                return Some(format!(
+                    "{algo} [identity]: diverges from brute force: {}",
+                    first_diff(&base.pairs, &want)
+                ));
+            }
+            return None;
+        }
+        Transform::Translate { dx, dy } => {
+            let (tr, ts) = (translated(r, dx, dy)?, translated(s, dx, dy)?);
+            match run_algo(algo, cfg, &tr, &ts) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
+        Transform::Scale { p } => {
+            let (sr, ss) = (scaled(r, p), scaled(s, p));
+            match run_algo(algo, cfg, &sr, &ss) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
+        Transform::SwapInputs => {
+            let mut mirrored: Vec<(u64, u64)> =
+                base.pairs.iter().map(|&(a, b)| (b, a)).collect();
+            mirrored.sort_unstable();
+            match run_algo(algo, cfg, s, r) {
+                Ok(out) => (out, mirrored),
+                Err(e) => return Some(e),
+            }
+        }
+        Transform::Mem { bytes } => {
+            let cfg2 = RunConfig { mem: bytes, ..*cfg };
+            match run_algo(algo, &cfg2, r, s) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
+        Transform::Tiles { per_partition } => {
+            let cfg2 = RunConfig {
+                tiles_per_partition: Some(per_partition),
+                ..*cfg
+            };
+            match run_algo(algo, &cfg2, r, s) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
+        Transform::Threads { n } => {
+            let cfg2 = RunConfig { threads: n, ..*cfg };
+            match run_algo(algo, &cfg2, r, s) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
+        Transform::Faults { seed } => {
+            let cfg2 = RunConfig {
+                fault_seed: Some(seed),
+                ..*cfg
+            };
+            match run_algo(algo, &cfg2, r, s) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
+        Transform::CpuSlowdown { factor } => {
+            let cfg2 = RunConfig {
+                cpu_slowdown: Some(factor),
+                ..*cfg
+            };
+            match run_algo(algo, &cfg2, r, s) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
+    };
+    if let Some(msg) = accounting(algo, &variant) {
+        return Some(format!("{msg} [under {transform}]"));
+    }
+    if variant.pairs != expect {
+        return Some(format!(
+            "{algo} [{transform}]: result set not invariant: {}",
+            first_diff(&variant.pairs, &expect)
+        ));
+    }
+    // Transforms that must not even move the I/O counters: thread count
+    // (deterministic parallel reassembly) and CPU-slowdown (a pure time
+    // scaling — if it leaks into logic, the cost model is broken).
+    if matches!(
+        transform,
+        Transform::Threads { .. } | Transform::CpuSlowdown { .. }
+    ) {
+        if let (Some(a), Some(b)) = (&base.stats, &variant.stats) {
+            if a.io_total() != b.io_total() {
+                return Some(format!(
+                    "{algo} [{transform}]: I/O totals not invariant: {:?} vs {:?}",
+                    a.io_total(),
+                    b.io_total()
+                ));
+            }
+            if (a.results(), a.duplicates()) != (b.results(), b.duplicates()) {
+                return Some(format!(
+                    "{algo} [{transform}]: counters not invariant: ({}, {}) vs ({}, {})",
+                    a.results(),
+                    a.duplicates(),
+                    b.results(),
+                    b.duplicates()
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// One failed oracle cell.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub algo: AlgoId,
+    pub transform: Transform,
+    pub message: String,
+}
+
+/// Runs the full oracle matrix on one workload.
+pub fn check_workload(
+    r: &[Kpe],
+    s: &[Kpe],
+    cfg: &RunConfig,
+    algos: &[AlgoId],
+    transforms: &[Transform],
+) -> Vec<Failure> {
+    let mut failures = Vec::new();
+    for &algo in algos {
+        for &transform in transforms {
+            if let Some(message) = check_one(algo, transform, cfg, r, s) {
+                failures.push(Failure {
+                    algo,
+                    transform,
+                    message,
+                });
+            }
+        }
+    }
+    failures
+}
+
+/// The transform set exercised for one soak seed: all nine relation kinds,
+/// with seed-derived dyadic offsets and knob values.
+pub fn transforms_for(seed: u64, mem: usize) -> Vec<Transform> {
+    let lattice = (1u64 << 20) as f64;
+    let dx = ((seed.wrapping_mul(7).wrapping_add(3)) % (1 << 18)) as f64 / lattice;
+    let dy = ((seed.wrapping_mul(13).wrapping_add(5)) % (1 << 18)) as f64 / lattice;
+    vec![
+        Transform::Identity,
+        Transform::Translate { dx, dy },
+        Transform::Scale { p: 0.5 },
+        Transform::SwapInputs,
+        Transform::Mem {
+            bytes: (mem / 2).max(1024),
+        },
+        Transform::Mem { bytes: mem * 4 },
+        Transform::Tiles {
+            per_partition: if seed.is_multiple_of(2) { 1 } else { 9 },
+        },
+        Transform::Threads {
+            n: 2 + (seed % 3) as usize,
+        },
+        Transform::Faults {
+            seed: seed ^ 0xFA17,
+        },
+        Transform::CpuSlowdown { factor: 1.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algo_names_round_trip() {
+        for algo in AlgoId::ALL {
+            assert_eq!(AlgoId::parse(algo.name()), Some(algo));
+        }
+        assert_eq!(AlgoId::parse("nope"), None);
+    }
+
+    #[test]
+    fn transform_strings_round_trip() {
+        for t in transforms_for(5, 4096) {
+            let s = t.to_string();
+            assert_eq!(Transform::parse(&s), Some(t), "{s}");
+        }
+    }
+
+    #[test]
+    fn translated_is_exact_on_lattice_data() {
+        let (r, _) = datagen::Adversarial { count: 100, seed: 1 }.generate_pair();
+        let dx = 1234.0 / (1u64 << 20) as f64;
+        let t = translated(&r, dx, dx).expect("lattice data translates exactly");
+        for (a, b) in r.iter().zip(&t) {
+            assert_eq!(b.rect.xl, a.rect.xl * 0.5 + dx);
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_a_small_adversarial_workload() {
+        let (r, s) = datagen::Adversarial { count: 60, seed: 42 }.generate_pair();
+        let cfg = RunConfig::default();
+        let failures = check_workload(&r, &s, &cfg, &AlgoId::ALL, &transforms_for(42, cfg.mem));
+        assert!(
+            failures.is_empty(),
+            "unexpected failures: {:?}",
+            failures
+                .iter()
+                .map(|f| format!("{} [{}]: {}", f.algo, f.transform, f.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}

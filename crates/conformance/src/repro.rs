@@ -1,0 +1,341 @@
+//! JSON repro files and regression-test generation.
+//!
+//! A repro is the shrunken counterexample the soak emits on failure: the
+//! two relations (ids positional), plus the algorithm/transform cell that
+//! failed. Files live under `tests/corpus/` and are replayed by the
+//! `corpus` integration test against *all* algorithms, so a bug found in
+//! one algorithm permanently guards every other.
+//!
+//! The workspace has no serde; coordinates are serialised with Rust's
+//! `f64` `Display` (shortest representation that round-trips exactly) and
+//! parsed back with `str::parse`, so a repro file is bit-exact. The parser
+//! below covers exactly the subset the writer emits (one object; string
+//! and rect-array values) plus arbitrary whitespace.
+
+use crate::oracle::{self, AlgoId, Failure, RunConfig, Transform};
+use geom::{Kpe, Rect, RecordId};
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Human-readable one-liner: what this repro caught.
+    pub label: String,
+    /// The algorithm cell that failed, if recorded.
+    pub algo: Option<AlgoId>,
+    /// The transform cell that failed, if recorded.
+    pub transform: Option<Transform>,
+    /// Memory budget the failure reproduces under (the shrinker co-shrinks
+    /// this with the workload: partition counts scale with `bytes / mem`,
+    /// so a tiny counterexample needs a tiny budget to span partitions).
+    pub mem: Option<usize>,
+    pub r: Vec<Kpe>,
+    pub s: Vec<Kpe>,
+}
+
+fn rects_json(data: &[Kpe], indent: &str) -> String {
+    let rows: Vec<String> = data
+        .iter()
+        .map(|k| {
+            format!(
+                "{indent}  [{}, {}, {}, {}]",
+                k.rect.xl, k.rect.yl, k.rect.xh, k.rect.yh
+            )
+        })
+        .collect();
+    if rows.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n{indent}]", rows.join(",\n"))
+    }
+}
+
+fn kpes_from_rects(rects: Vec<[f64; 4]>) -> Vec<Kpe> {
+    rects
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| Kpe::new(RecordId(i as u64), Rect::new(c[0], c[1], c[2], c[3])))
+        .collect()
+}
+
+impl Repro {
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"label\": \"{}\",\n", self.label.replace('"', "'")));
+        if let Some(algo) = self.algo {
+            out.push_str(&format!("  \"algo\": \"{algo}\",\n"));
+        }
+        if let Some(t) = self.transform {
+            out.push_str(&format!("  \"transform\": \"{t}\",\n"));
+        }
+        if let Some(mem) = self.mem {
+            out.push_str(&format!("  \"mem\": {mem},\n"));
+        }
+        out.push_str(&format!("  \"r\": {},\n", rects_json(&self.r, "  ")));
+        out.push_str(&format!("  \"s\": {}\n", rects_json(&self.s, "  ")));
+        out.push_str("}\n");
+        out
+    }
+
+    pub fn from_json(text: &str) -> Result<Repro, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        p.expect(b'{')?;
+        let mut label = String::new();
+        let mut algo = None;
+        let mut transform = None;
+        let mut mem = None;
+        let (mut r, mut s) = (None, None);
+        loop {
+            p.skip_ws();
+            if p.peek() == Some(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "label" => label = p.string()?,
+                "algo" => {
+                    let v = p.string()?;
+                    algo = Some(AlgoId::parse(&v).ok_or(format!("unknown algo {v:?}"))?);
+                }
+                "transform" => {
+                    let v = p.string()?;
+                    transform =
+                        Some(Transform::parse(&v).ok_or(format!("unknown transform {v:?}"))?);
+                }
+                "mem" => mem = Some(p.number()? as usize),
+                "r" => r = Some(kpes_from_rects(p.rect_array()?)),
+                "s" => s = Some(kpes_from_rects(p.rect_array()?)),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            p.skip_ws();
+            if p.peek() == Some(b',') {
+                p.i += 1;
+            }
+        }
+        Ok(Repro {
+            label,
+            algo,
+            transform,
+            mem,
+            r: r.ok_or("missing \"r\"")?,
+            s: s.ok_or("missing \"s\"")?,
+        })
+    }
+
+    /// Replays this repro: every algorithm is checked against brute force
+    /// (`Identity`), and the recorded failing transform — if any — is
+    /// re-applied to every algorithm it applies to.
+    pub fn replay(&self, cfg: &RunConfig) -> Vec<Failure> {
+        let mut transforms = vec![Transform::Identity];
+        if let Some(t) = self.transform {
+            if t != Transform::Identity {
+                transforms.push(t);
+            }
+        }
+        let cfg = RunConfig {
+            mem: self.mem.unwrap_or(cfg.mem),
+            ..*cfg
+        };
+        oracle::check_workload(&self.r, &self.s, &cfg, &AlgoId::ALL, &transforms)
+    }
+
+    /// A ready-to-paste `#[test]` reproducing this failure via the public
+    /// API (printed by the soak next to the JSON file).
+    pub fn regression_snippet(&self, name: &str) -> String {
+        let fmt_rel = |data: &[Kpe]| -> String {
+            data.iter()
+                .map(|k| {
+                    format!(
+                        "        ({}, {}, {}, {}),\n",
+                        k.rect.xl, k.rect.yl, k.rect.xh, k.rect.yh
+                    )
+                })
+                .collect()
+        };
+        let algo = self.algo.map_or("pbsm-rpm-list".into(), |a| a.to_string());
+        let transform = self
+            .transform
+            .map_or("identity".into(), |t| t.to_string());
+        let cfg_expr = match self.mem {
+            Some(mem) => format!(
+                "conformance::RunConfig {{ mem: {mem}, ..Default::default() }}"
+            ),
+            None => "conformance::RunConfig::default()".to_string(),
+        };
+        format!(
+            "#[test]\n\
+             fn {name}() {{\n\
+             \x20   // {label}\n\
+             \x20   let rel = |coords: &[(f64, f64, f64, f64)]| -> Vec<Kpe> {{\n\
+             \x20       coords.iter().enumerate()\n\
+             \x20           .map(|(i, &(xl, yl, xh, yh))| Kpe::new(RecordId(i as u64), Rect::new(xl, yl, xh, yh)))\n\
+             \x20           .collect()\n\
+             \x20   }};\n\
+             \x20   let r = rel(&[\n{r}    ]);\n\
+             \x20   let s = rel(&[\n{s}    ]);\n\
+             \x20   let algo = conformance::AlgoId::parse(\"{algo}\").unwrap();\n\
+             \x20   let transform = conformance::Transform::parse(\"{transform}\").unwrap();\n\
+             \x20   let cfg = {cfg_expr};\n\
+             \x20   assert_eq!(conformance::check_one(algo, transform, &cfg, &r, &s), None);\n\
+             }}\n",
+            label = self.label,
+            r = fmt_rel(&self.r),
+            s = fmt_rel(&self.s),
+        )
+    }
+}
+
+/// Minimal recursive-descent parser for the repro JSON subset.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.b[start..self.i])
+                    .map_err(|e| e.to_string())?
+                    .to_string();
+                self.i += 1;
+                return Ok(s);
+            }
+            self.i += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn rect_array(&mut self) -> Result<Vec<[f64; 4]>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b',') => {
+                    self.i += 1;
+                }
+                Some(b'[') => {
+                    self.i += 1;
+                    let mut coords = [0.0f64; 4];
+                    for (k, c) in coords.iter_mut().enumerate() {
+                        if k > 0 {
+                            self.expect(b',')?;
+                        }
+                        *c = self.number()?;
+                    }
+                    self.expect(b']')?;
+                    out.push(coords);
+                }
+                other => {
+                    return Err(format!(
+                        "expected rect array at byte {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Repro {
+        Repro {
+            label: "shared edge under mem change".into(),
+            algo: Some(AlgoId::PbsmRpmList),
+            transform: Some(Transform::Mem { bytes: 2048 }),
+            mem: Some(1024),
+            r: kpes_from_rects(vec![[0.25, 0.5, 0.25, 0.75], [0.0, 0.0, 1.0, 1.0]]),
+            s: kpes_from_rects(vec![[0.25, 0.125, 0.5, 0.5]]),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = sample();
+        let back = Repro::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn round_trips_awkward_floats() {
+        // Shortest-repr Display must survive parse bit-for-bit, including
+        // non-dyadic snapped lattice values.
+        let lattice = (1u64 << 20) as f64;
+        let v = (0.333_333 * lattice).round() / lattice;
+        let r = Repro {
+            label: String::new(),
+            algo: None,
+            transform: None,
+            mem: None,
+            r: kpes_from_rects(vec![[v, v, v, v]]),
+            s: kpes_from_rects(vec![[0.1, 0.2, 0.3, 0.4]]),
+        };
+        let back = Repro::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.r[0].rect.xl.to_bits(), v.to_bits());
+        assert_eq!(back.s[0].rect.yh.to_bits(), 0.4f64.to_bits());
+    }
+
+    #[test]
+    fn replay_of_a_valid_workload_is_clean() {
+        let r = sample();
+        assert!(r.replay(&RunConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn snippet_mentions_the_cell() {
+        let snip = sample().regression_snippet("corpus_shared_edge");
+        assert!(snip.contains("fn corpus_shared_edge()"));
+        assert!(snip.contains("pbsm-rpm-list"));
+        assert!(snip.contains("mem 2048"));
+    }
+}

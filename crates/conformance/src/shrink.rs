@@ -1,0 +1,164 @@
+//! Counterexample shrinking: delta-debugging a failing workload down to a
+//! minimal KPE set.
+//!
+//! The predicate is the oracle cell that failed (`check_one(...)
+//! .is_some()`), so shrinking preserves *the same* failure class — the
+//! result is the smallest sub-workload on which that algorithm/transform
+//! pair still misbehaves. Classic ddmin over both relations: try removing
+//! chunks of size n/2, n/4, …, 1 from each relation in turn, restarting
+//! whenever a removal keeps the failure alive, until a fixpoint where no
+//! single KPE can be dropped.
+
+use geom::{Kpe, RecordId};
+
+/// Removes `chunk` elements starting at `at` (clamped) from a copy of `v`.
+fn without(v: &[Kpe], at: usize, chunk: usize) -> Vec<Kpe> {
+    let end = (at + chunk).min(v.len());
+    let mut out = Vec::with_capacity(v.len() - (end - at));
+    out.extend_from_slice(&v[..at]);
+    out.extend_from_slice(&v[end..]);
+    out
+}
+
+/// Shrinks `(r, s)` to a locally minimal failing workload.
+///
+/// `fails` must return `true` when the workload still exhibits the failure.
+/// It is assumed (and debug-asserted) to hold on the input. `max_evals`
+/// bounds the number of predicate evaluations; on exhaustion the best
+/// workload found so far is returned — still failing, just possibly not
+/// 1-minimal.
+pub fn shrink<F>(r: &[Kpe], s: &[Kpe], mut fails: F, max_evals: usize) -> (Vec<Kpe>, Vec<Kpe>)
+where
+    F: FnMut(&[Kpe], &[Kpe]) -> bool,
+{
+    debug_assert!(fails(r, s), "shrink called on a non-failing workload");
+    let mut cur_r = r.to_vec();
+    let mut cur_s = s.to_vec();
+    let mut evals = 0usize;
+
+    loop {
+        let mut progressed = false;
+        // Alternate relations so neither starves the other.
+        for rel in 0..2 {
+            let len = if rel == 0 { cur_r.len() } else { cur_s.len() };
+            if len == 0 {
+                continue;
+            }
+            let mut chunk = len.div_ceil(2);
+            loop {
+                let mut at = 0;
+                // Re-read the length every step: a successful removal
+                // shrinks the relation under our feet.
+                while at < if rel == 0 { cur_r.len() } else { cur_s.len() } {
+                    if evals >= max_evals {
+                        return (cur_r, cur_s);
+                    }
+                    let (cand_r, cand_s) = if rel == 0 {
+                        (without(&cur_r, at, chunk), cur_s.clone())
+                    } else {
+                        (cur_r.clone(), without(&cur_s, at, chunk))
+                    };
+                    evals += 1;
+                    if fails(&cand_r, &cand_s) {
+                        cur_r = cand_r;
+                        cur_s = cand_s;
+                        progressed = true;
+                        // Re-test the same offset: the element now at `at`
+                        // is new.
+                    } else {
+                        at += chunk;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk = chunk.div_ceil(2);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Canonicalise: renumber ids sequentially per relation — repro files
+    // and regression snippets read better with ids 0..n. Keep the
+    // renumbering only if the failure survives it (ids can matter, e.g.
+    // for tie-breaks on identical rectangles).
+    let renum = |v: &[Kpe]| -> Vec<Kpe> {
+        v.iter()
+            .enumerate()
+            .map(|(i, k)| Kpe::new(RecordId(i as u64), k.rect))
+            .collect()
+    };
+    let (nr, ns) = (renum(&cur_r), renum(&cur_s));
+    if evals < max_evals && fails(&nr, &ns) {
+        (nr, ns)
+    } else {
+        (cur_r, cur_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Rect;
+
+    fn kpe(id: u64, x: f64) -> Kpe {
+        Kpe::new(RecordId(id), Rect::new(x, 0.0, x + 0.1, 0.1))
+    }
+
+    /// Predicate: "r contains id 7 and s contains id 3" — shrinking must
+    /// isolate exactly those two KPEs.
+    #[test]
+    fn shrinks_to_the_two_culprits() {
+        let r: Vec<Kpe> = (0..20).map(|i| kpe(i, i as f64 / 32.0)).collect();
+        let s: Vec<Kpe> = (0..20).map(|i| kpe(i, i as f64 / 32.0)).collect();
+        let (mr, ms) = shrink(
+            &r,
+            &s,
+            |r, s| r.iter().any(|k| k.id.0 == 7) && s.iter().any(|k| k.id.0 == 3),
+            10_000,
+        );
+        assert_eq!(mr.len(), 1);
+        assert_eq!(ms.len(), 1);
+        // Renumbering was rejected (the predicate depends on original ids).
+        assert_eq!(mr[0].id.0, 7);
+        assert_eq!(ms[0].id.0, 3);
+    }
+
+    /// A predicate on geometry alone accepts the canonical renumbering.
+    #[test]
+    fn renumbers_when_ids_do_not_matter() {
+        let r: Vec<Kpe> = (0..16).map(|i| kpe(i + 100, i as f64 / 32.0)).collect();
+        let s: Vec<Kpe> = (0..16).map(|i| kpe(i + 200, i as f64 / 32.0)).collect();
+        let (mr, ms) = shrink(
+            &r,
+            &s,
+            |r, s| r.len() + s.len() >= 3 && !r.is_empty() && !s.is_empty(),
+            10_000,
+        );
+        assert_eq!(mr.len() + ms.len(), 3);
+        let mut ids: Vec<u64> = mr.iter().map(|k| k.id.0).collect();
+        ids.sort_unstable();
+        assert!(ids.iter().enumerate().all(|(i, &id)| id == i as u64));
+        assert!(ms.iter().enumerate().all(|(i, k)| k.id.0 == i as u64));
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let r: Vec<Kpe> = (0..64).map(|i| kpe(i, 0.0)).collect();
+        let s: Vec<Kpe> = (0..64).map(|i| kpe(i, 0.0)).collect();
+        let mut evals = 0;
+        let (mr, ms) = shrink(
+            &r,
+            &s,
+            |r, s| {
+                evals += 1;
+                !r.is_empty() && !s.is_empty()
+            },
+            10,
+        );
+        assert!(evals <= 12); // budget + the initial debug_assert + renumber probe
+        assert!(!mr.is_empty() && !ms.is_empty());
+    }
+}

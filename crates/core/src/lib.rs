@@ -153,6 +153,54 @@ impl Algorithm {
         self
     }
 
+    /// Overrides the memory budget `M` on any algorithm. This is the
+    /// partition-count lever of the conformance oracle: PBSM's partition
+    /// count follows formula (1) from `M`, SHJ's bucket count likewise, and
+    /// the sort-based algorithms size their runs from it — while the result
+    /// set must stay byte-identical for every value.
+    pub fn with_mem(mut self, mem_bytes: usize) -> Algorithm {
+        match &mut self {
+            Algorithm::Pbsm(c) => c.mem_bytes = mem_bytes,
+            Algorithm::S3j(c) => c.mem_bytes = mem_bytes,
+            Algorithm::Sssj(c) => c.mem_bytes = mem_bytes,
+            Algorithm::Shj(c) => c.mem_bytes = mem_bytes,
+        }
+        self
+    }
+
+    /// The configured memory budget in bytes.
+    pub fn mem_bytes(&self) -> usize {
+        match self {
+            Algorithm::Pbsm(c) => c.mem_bytes,
+            Algorithm::S3j(c) => c.mem_bytes,
+            Algorithm::Sssj(c) => c.mem_bytes,
+            Algorithm::Shj(c) => c.mem_bytes,
+        }
+    }
+
+    /// Sets the in-memory join algorithm used for partition/bucket pairs on
+    /// the algorithms that have one (PBSM, S³J, SHJ); a no-op for SSSJ,
+    /// whose single sweep *is* the algorithm. Results are invariant.
+    pub fn with_internal(mut self, internal: InternalAlgo) -> Algorithm {
+        match &mut self {
+            Algorithm::Pbsm(c) => c.internal = internal,
+            Algorithm::S3j(c) => c.internal = internal,
+            Algorithm::Shj(c) => c.internal = internal,
+            Algorithm::Sssj(_) => {}
+        }
+        self
+    }
+
+    /// Sets PBSM's tiles-per-partition knob (`NT = P ·` this) — the
+    /// tile-grid lever of the conformance oracle; a no-op elsewhere.
+    /// Results are invariant for every value ≥ 1.
+    pub fn with_tiles_per_partition(mut self, tiles: u32) -> Algorithm {
+        if let Algorithm::Pbsm(c) = &mut self {
+            c.tiles_per_partition = tiles;
+        }
+        self
+    }
+
     /// The configured worker-thread knob (`None` for algorithms without
     /// partition-level parallelism).
     pub fn threads(&self) -> Option<usize> {

@@ -1,0 +1,312 @@
+//! Adversarial workloads for the conformance harness.
+//!
+//! Real generators ([`crate::LineNetwork`], [`crate::uniform`], …) produce
+//! geometry that is *generic* with probability one: no two coordinates are
+//! equal, nothing lies exactly on a partition boundary, every intersection
+//! has positive area. The duplicate-detection machinery this workspace
+//! exists to validate — the Reference Point Method and its tie-breaking at
+//! partition borders — is only exercised at the opposite end of the
+//! spectrum. This module deliberately produces the degenerate geometry the
+//! boundary-condition bugs of partition-based joins hide behind:
+//!
+//! * rectangles whose edges lie (to within half a lattice step) **on grid
+//!   lines** of the small tile grids PBSM and the MX-CIF quadtree use;
+//! * **zero-width / zero-height / point** MBRs, as TIGER axis-parallel
+//!   segments routinely produce;
+//! * **shared-edge** and **point-touch** pairs, whose intersection is a
+//!   segment or a single point — exactly where a `<` vs `<=` flip in the
+//!   reference-point test changes the answer;
+//! * exact **coordinate duplicates** across and within relations;
+//! * **hot tiles**: clusters concentrated in one grid cell (plus a rect
+//!   equal to the cell and one spanning it), the skew that forces
+//!   repartitioning recursion.
+//!
+//! Every coordinate is a multiple of `1 / 2^20` (a *dyadic lattice*). This
+//! is load-bearing for the metamorphic oracle: translating by a lattice
+//! amount and scaling by a power of two are **exact** in `f64`, so the
+//! transformed workload provably has the same intersection relation as the
+//! original — result-set differences observed by the oracle are therefore
+//! always real bugs, never floating-point artefacts.
+//!
+//! Generation is fully deterministic in the seed.
+
+use geom::{Kpe, Rect, RecordId};
+use rand::prelude::*;
+
+/// Lattice resolution: all generated coordinates are multiples of `1/2^20`.
+pub const LATTICE: f64 = (1u64 << 20) as f64;
+
+/// Snaps a value in `[0, 1]` to the nearest lattice point. Exact: the
+/// rounded numerator is an integer ≤ 2^20 and the division is by a power of
+/// two.
+#[inline]
+pub fn snap(v: f64) -> f64 {
+    (v.clamp(0.0, 1.0) * LATTICE).round() / LATTICE
+}
+
+/// Tile-grid granularities whose boundaries the generator aims at. The
+/// non-power-of-two entries (3, 5, 6, 12) hit PBSM base grids (`gx × gy`
+/// chosen near-square from the partition count); the powers of two also hit
+/// MX-CIF quadtree cell boundaries at every level up to 5.
+const GRIDS: [u32; 9] = [2, 3, 4, 5, 6, 8, 12, 16, 32];
+
+/// Configuration of an adversarial workload (a pair of relations).
+#[derive(Debug, Clone, Copy)]
+pub struct Adversarial {
+    /// Rectangles per relation.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Adversarial {
+    /// Generates the `(r, s)` relation pair. Ids are sequential per
+    /// relation (`kpes[i].id.0 == i`), like every generator in this crate.
+    pub fn generate_pair(&self) -> (Vec<Kpe>, Vec<Kpe>) {
+        assert!(self.count > 0, "empty workload requested");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xADE5_A71A);
+        let mut r: Vec<Rect> = Vec::with_capacity(self.count + 8);
+        let mut s: Vec<Rect> = Vec::with_capacity(self.count + 8);
+        while r.len() < self.count || s.len() < self.count {
+            emit_feature(&mut rng, &mut r, &mut s);
+        }
+        r.truncate(self.count);
+        s.truncate(self.count);
+        let id = |v: Vec<Rect>| {
+            v.into_iter()
+                .enumerate()
+                .map(|(i, rect)| Kpe::new(RecordId(i as u64), rect))
+                .collect()
+        };
+        (id(r), id(s))
+    }
+}
+
+/// A grid-line coordinate: `k/g` for a random granularity `g`, snapped to
+/// the lattice (within `2^-21` of the true boundary — adversarially close
+/// on a deterministic side).
+fn grid_line(rng: &mut StdRng) -> f64 {
+    let g = GRIDS[rng.gen_range(0..GRIDS.len())];
+    let k = rng.gen_range(0..=g);
+    snap(k as f64 / g as f64)
+}
+
+/// A general lattice coordinate.
+fn coord(rng: &mut StdRng) -> f64 {
+    snap(rng.gen_range(0.0..1.0))
+}
+
+/// A small lattice-aligned extent in `(0, max]`.
+fn extent(rng: &mut StdRng, max: f64) -> f64 {
+    let steps = (max * LATTICE) as u64;
+    rng.gen_range(1..=steps.max(1)) as f64 / LATTICE
+}
+
+/// Builds an ordered rectangle from two corner coordinates per axis.
+fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+    Rect::new(x0.min(x1), y0.min(y1), x0.max(x1), y0.max(y1))
+}
+
+/// Emits one adversarial feature into the relations (most features place
+/// correlated geometry into *both* relations, so cross-relation ties at
+/// partition borders actually occur).
+fn emit_feature(rng: &mut StdRng, r: &mut Vec<Rect>, s: &mut Vec<Rect>) {
+    match rng.gen_range(0u32..9) {
+        // Crossing zero-area segments pinned to grid lines: a horizontal
+        // segment in one relation, a vertical in the other. Their
+        // intersection is a single grid-adjacent point.
+        0 => {
+            let y = grid_line(rng);
+            let (a, b) = (coord(rng), coord(rng));
+            r.push(rect(a, y, b, y));
+            let x = grid_line(rng);
+            let (c, d) = (coord(rng), coord(rng));
+            s.push(rect(x, c, x, d));
+        }
+        // A box with all four edges on grid lines (degenerate when two
+        // lines coincide), mirrored into the other relation shrunk by one
+        // lattice step so the pair straddles the boundary both ways.
+        1 => {
+            let b = rect(grid_line(rng), grid_line(rng), grid_line(rng), grid_line(rng));
+            r.push(b);
+            let q = 1.0 / LATTICE;
+            if b.xh - b.xl >= 2.0 * q && b.yh - b.yl >= 2.0 * q {
+                s.push(Rect::new(b.xl + q, b.yl + q, b.xh - q, b.yh - q));
+            } else {
+                s.push(b);
+            }
+        }
+        // Shared edge: the right edge of an `r` rect is exactly the left
+        // edge of an `s` rect; the intersection is a vertical segment.
+        2 => {
+            let x = grid_line(rng);
+            let (y0, h) = (coord(rng), extent(rng, 0.1));
+            let a = rect((x - extent(rng, 0.1)).max(0.0), y0, x, (y0 + h).min(1.0));
+            r.push(a);
+            let dy = extent(rng, 0.05);
+            s.push(rect(
+                x,
+                (a.yl + dy).min(1.0),
+                (x + extent(rng, 0.1)).min(1.0),
+                (a.yh + dy).min(1.0),
+            ));
+        }
+        // Point touch: two rects sharing exactly one corner.
+        3 => {
+            let (x, y) = (grid_line(rng), grid_line(rng));
+            r.push(rect(
+                (x - extent(rng, 0.08)).max(0.0),
+                (y - extent(rng, 0.08)).max(0.0),
+                x,
+                y,
+            ));
+            s.push(rect(
+                x,
+                y,
+                (x + extent(rng, 0.08)).min(1.0),
+                (y + extent(rng, 0.08)).min(1.0),
+            ));
+        }
+        // Exact coordinate duplicates: replay an earlier rectangle into
+        // both relations (duplicate ids never occur; duplicate geometry
+        // must be handled everywhere).
+        4 => {
+            if let Some(&b) = r.last().or_else(|| s.last()) {
+                r.push(b);
+                s.push(b);
+            } else {
+                let b = rect(coord(rng), coord(rng), coord(rng), coord(rng));
+                r.push(b);
+                s.push(b);
+            }
+        }
+        // Hot tile: a cluster inside one grid cell, the cell itself as a
+        // rectangle, and a rect spanning a 2×2 block of cells.
+        5 => {
+            let g = [4u32, 8][rng.gen_range(0..2usize)];
+            let (i, j) = (rng.gen_range(0..g), rng.gen_range(0..g));
+            let step = 1.0 / g as f64;
+            let (cx, cy) = (i as f64 * step, j as f64 * step);
+            r.push(Rect::new(cx, cy, cx + step, cy + step));
+            for k in 0..rng.gen_range(4..10usize) {
+                let x = snap(cx + rng.gen_range(0.0..step));
+                let y = snap(cy + rng.gen_range(0.0..step));
+                let b = rect(
+                    x,
+                    y,
+                    (x + extent(rng, step / 4.0)).min(1.0),
+                    (y + extent(rng, step / 4.0)).min(1.0),
+                );
+                if k % 2 == 0 {
+                    r.push(b);
+                } else {
+                    s.push(b);
+                }
+            }
+            s.push(Rect::new(
+                (cx - step).max(0.0),
+                (cy - step).max(0.0),
+                (cx + step).min(1.0),
+                (cy + step).min(1.0),
+            ));
+        }
+        // Point rectangle on a grid node, plus a rect whose corner is that
+        // exact node.
+        6 => {
+            let (x, y) = (grid_line(rng), grid_line(rng));
+            r.push(Rect::new(x, y, x, y));
+            s.push(rect(
+                x,
+                y,
+                (x + extent(rng, 0.1)).min(1.0),
+                (y + extent(rng, 0.1)).min(1.0),
+            ));
+        }
+        // Data-space boundary huggers: zero-width at `x = 1`, zero-height
+        // at `y = 0`, and partners touching them.
+        7 => {
+            let (a, b) = (coord(rng), coord(rng));
+            r.push(rect(1.0, a, 1.0, b));
+            s.push(rect(1.0 - extent(rng, 0.1), a, 1.0, b));
+            let (c, d) = (coord(rng), coord(rng));
+            r.push(rect(c, 0.0, d, 0.0));
+            s.push(rect(c, 0.0, d, extent(rng, 0.1)));
+        }
+        // Filler: ordinary small lattice rects keeping the workload from
+        // being 100% pathological (mixed populations hide bugs best).
+        _ => {
+            let (x, y) = (coord(rng), coord(rng));
+            let b = rect(
+                x,
+                y,
+                (x + extent(rng, 0.08)).min(1.0),
+                (y + extent(rng, 0.08)).min(1.0),
+            );
+            if rng.gen_bool(0.5) {
+                r.push(b);
+            } else {
+                s.push(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let cfg = Adversarial { count: 200, seed: 7 };
+        let (r1, s1) = cfg.generate_pair();
+        let (r2, s2) = cfg.generate_pair();
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.len(), 200);
+        assert_eq!(s1.len(), 200);
+        let other = Adversarial { seed: 8, ..cfg }.generate_pair();
+        assert_ne!(r1, other.0);
+    }
+
+    #[test]
+    fn coordinates_are_on_the_lattice_and_in_range() {
+        let (r, s) = Adversarial { count: 300, seed: 3 }.generate_pair();
+        for k in r.iter().chain(s.iter()) {
+            for v in [k.rect.xl, k.rect.yl, k.rect.xh, k.rect.yh] {
+                assert!((0.0..=1.0).contains(&v));
+                let scaled = v * LATTICE;
+                assert_eq!(scaled, scaled.round(), "off-lattice coordinate {v}");
+            }
+            assert!(k.rect.xl <= k.rect.xh && k.rect.yl <= k.rect.yh);
+        }
+    }
+
+    #[test]
+    fn degenerate_and_tied_geometry_is_actually_present() {
+        let (r, s) = Adversarial { count: 400, seed: 11 }.generate_pair();
+        let all: Vec<&Kpe> = r.iter().chain(s.iter()).collect();
+        let zero_w = all.iter().filter(|k| k.rect.width() == 0.0).count();
+        let zero_h = all.iter().filter(|k| k.rect.height() == 0.0).count();
+        let points = all
+            .iter()
+            .filter(|k| k.rect.width() == 0.0 && k.rect.height() == 0.0)
+            .count();
+        assert!(zero_w > 10, "zero-width count {zero_w}");
+        assert!(zero_h > 10, "zero-height count {zero_h}");
+        assert!(points > 0, "no point rectangles");
+        // Exact cross-relation coordinate duplicates exist.
+        let dup = r
+            .iter()
+            .any(|a| s.iter().any(|b| a.rect == b.rect));
+        assert!(dup, "no exact duplicate geometry across relations");
+        // Shared coordinates across *distinct* rects (ties) are plentiful.
+        let mut xs: Vec<u64> = all
+            .iter()
+            .flat_map(|k| [k.rect.xl.to_bits(), k.rect.xh.to_bits()])
+            .collect();
+        let total = xs.len();
+        xs.sort_unstable();
+        xs.dedup();
+        assert!(xs.len() < total * 9 / 10, "almost no coordinate ties");
+    }
+}

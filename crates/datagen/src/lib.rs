@@ -18,6 +18,9 @@
 use geom::{dataset_stats, Kpe, Point, Rect, RecordId, Segment};
 use rand::prelude::*;
 
+pub mod adversarial;
+pub use adversarial::Adversarial;
+
 /// A generated dataset with exact geometry: `segments[i]` is the line
 /// segment whose MBR is `kpes[i].rect` (and `kpes[i].id.0 == i`). The
 /// filter step consumes the KPEs; the refinement step (`refine` crate)

@@ -405,6 +405,7 @@ pub fn try_pbsm_join(
                         files_s[i as usize],
                         &chain,
                         0,
+                        (false, false),
                         i,
                         out,
                         &mut |pair| {
@@ -477,6 +478,7 @@ pub fn try_pbsm_join(
                     files_s[i],
                     &chain,
                     0,
+                    (false, false),
                     i as u32,
                     &mut |a, b| pairs.push((a, b)),
                     &mut |pair| {
@@ -517,6 +519,23 @@ pub fn try_pbsm_join(
         );
         for (fork, internal, mut partial, _clock) in workers {
             partial.join_counters = internal.counters();
+            // Per-worker duplicate accounting, checked before the merge can
+            // hide an interleaving bug: under RPM (and the raw diagnostic)
+            // every candidate a worker saw was classified exactly once;
+            // under the sort phase workers only collect candidates and must
+            // not classify anything.
+            match cfg.dedup {
+                Dedup::ReferencePoint | Dedup::None => debug_assert_eq!(
+                    partial.candidates,
+                    partial.results + partial.duplicates,
+                    "per-worker RPM accounting broken"
+                ),
+                Dedup::SortPhase => debug_assert_eq!(
+                    (partial.results, partial.duplicates),
+                    (0, 0),
+                    "sort-phase worker classified candidates"
+                ),
+            }
             stats.merge(&partial);
             // Fold the worker's forked meter back so `disk.stats()` reports
             // the same totals as a sequential run.
@@ -696,6 +715,13 @@ fn join_pair(
     fs: FileId,
     chain: &RegionChain,
     depth: u32,
+    // Which sides a parent split without shrinking (r, s). Degenerate
+    // geometry — e.g. a hot tile of rectangles that all span the whole
+    // region — replicates every record into every sub-partition, so
+    // splitting makes no progress and the recursion would otherwise burn
+    // O(branchingᵈᵉᵖᵗʰ) work before the depth cap. Once *both* sides have
+    // stalled, refinement provably cannot help: join over budget now.
+    stalled: (bool, bool),
     top: u32,
     out: &mut dyn FnMut(RecordId, RecordId),
     cand: &mut dyn FnMut(IdPair) -> Result<(), IoError>,
@@ -708,10 +734,11 @@ fn join_pair(
         return Ok(());
     }
     let fits = (br + bs) as usize <= ctx.cfg.mem_bytes;
+    let refinement_exhausted = depth >= MAX_REPART_DEPTH || (stalled.0 && stalled.1);
     // On degradation, split the side whose load failed: its fault counters
     // are the warmed-up ones. `None` = the normal size heuristic.
     let mut forced_split: Option<bool> = None;
-    if fits || depth >= MAX_REPART_DEPTH {
+    if fits || refinement_exhausted {
         // --- Join phase ---
         let c0 = (ctx.clock)();
         let io0 = disk.stats();
@@ -732,7 +759,7 @@ fn join_pair(
             Err(e) => {
                 ctx.stats.io_join = ctx.stats.io_join.plus(&disk.stats().delta(&io0));
                 ctx.stats.cpu_join += (ctx.clock)() - c0;
-                if depth >= MAX_REPART_DEPTH {
+                if refinement_exhausted {
                     return Err(join_err(e));
                 }
                 ctx.stats.degraded_partitions += 1;
@@ -746,7 +773,14 @@ fn join_pair(
     let io0 = disk.stats();
     ctx.stats.repartitioned_pairs += 1;
     ctx.stats.repart_depth = ctx.stats.repart_depth.max(depth + 1);
-    let split_r = forced_split.unwrap_or(br >= bs); // default: larger side first
+    // Split-side choice: a degraded load picks the warmed-up side; otherwise
+    // prefer a side that has not already stalled, falling back to the
+    // larger-side heuristic when both are still viable.
+    let split_r = forced_split.unwrap_or(match stalled {
+        (true, false) => false,
+        (false, true) => true,
+        _ => br >= bs,
+    });
     let (big, big_bytes) = if split_r { (fr, br) } else { (fs, bs) };
     let f_new = chain.max_f() * 2;
     let n_sub = ((ctx.cfg.safety_factor * 2.0 * big_bytes as f64 / ctx.cfg.mem_bytes as f64)
@@ -841,14 +875,41 @@ fn join_pair(
         return Err(repart_err(e));
     }
 
+    // Progress check for the stall detector: if the largest sub-partition is
+    // no smaller than what we split, every record was replicated into every
+    // sub-file and this side is refinement-proof.
+    let mut max_sub = 0u64;
+    for &sub in &subfiles {
+        match disk.try_len(sub) {
+            Ok(len) => max_sub = max_sub.max(len),
+            Err(e) => {
+                for &f in &subfiles {
+                    disk.delete(f);
+                }
+                return Err(repart_err(e));
+            }
+        }
+    }
+    // Geometric progress is required (≥ 25% shrink), not just any shrink:
+    // degenerate data that sheds one separable record per level would
+    // otherwise still drive the recursion to the depth cap with full
+    // branching. Honest splits of non-degenerate data shrink by roughly
+    // 1/n_sub per level and pass this easily.
+    let progressed = max_sub <= big_bytes - big_bytes / 4;
+    let child_stalled = if split_r {
+        (!progressed, stalled.1)
+    } else {
+        (stalled.0, !progressed)
+    };
+
     let mut sub_err: Option<JoinError> = None;
     for (k, &sub) in subfiles.iter().enumerate() {
         if sub_err.is_none() {
             let sub_chain = chain.refined(f_new, submap, k as u32);
             let res = if split_r {
-                join_pair(ctx, sub, fs, &sub_chain, depth + 1, top, out, cand)
+                join_pair(ctx, sub, fs, &sub_chain, depth + 1, child_stalled, top, out, cand)
             } else {
-                join_pair(ctx, fr, sub, &sub_chain, depth + 1, top, out, cand)
+                join_pair(ctx, fr, sub, &sub_chain, depth + 1, child_stalled, top, out, cand)
             };
             if let Err(e) = res {
                 sub_err = Some(e);

@@ -709,6 +709,15 @@ fn heap_scan_parallel(
         },
     );
     for (ctx, cpu, _clock, _scratch) in workers {
+        // Per-worker duplicate accounting: every candidate was either
+        // reported or suppressed by the modified reference-point test
+        // (duplicates are 0 in the unreplicated original), regardless of
+        // how chunks were interleaved across workers.
+        debug_assert_eq!(
+            ctx.candidates,
+            ctx.results + ctx.duplicates,
+            "per-worker S3J accounting broken"
+        );
         let mut partial = S3jStats::partial(model);
         partial.candidates = ctx.candidates;
         partial.results = ctx.results;

@@ -1,0 +1,44 @@
+//! Replays every golden repro under `tests/corpus/` against all algorithms.
+//!
+//! Each corpus file is a shrunken counterexample (or a hand-written
+//! boundary workload) in the `conformance` JSON repro format. Replaying
+//! checks every algorithm against brute force on the recorded workload and
+//! re-applies the recorded failing transform to every algorithm it applies
+//! to — so a bug once caught in one algorithm permanently guards them all.
+//!
+//! To add a file: run `cargo run -p conformance -- --seeds N`, copy the
+//! emitted JSON from the failure directory, and drop it here.
+
+use conformance::{Repro, RunConfig};
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus directory missing")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 4,
+        "corpus unexpectedly small: {} files",
+        paths.len()
+    );
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let repro =
+            Repro::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let failures = repro.replay(&RunConfig::default());
+        assert!(
+            failures.is_empty(),
+            "{} ({}): {:?}",
+            path.display(),
+            repro.label,
+            failures
+                .iter()
+                .map(|f| format!("{} [{}]: {}", f.algo, f.transform, f.message))
+                .collect::<Vec<_>>()
+        );
+    }
+}

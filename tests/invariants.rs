@@ -6,17 +6,29 @@ use spatial_join_suite::{Algorithm, Kpe, Point, Rect, RecordId, SpatialJoin};
 
 fn arb_kpes(max_n: usize) -> impl Strategy<Value = Vec<Kpe>> {
     prop::collection::vec(
-        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.2, 0.0f64..0.2),
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.2, 0.0f64..0.2, 0u8..8),
         1..max_n,
     )
     .prop_map(|v| {
         v.into_iter()
             .enumerate()
-            .map(|(i, (x, y, w, h))| {
-                Kpe::new(
-                    RecordId(i as u64),
-                    Rect::new(x, y, (x + w).min(1.0), (y + h).min(1.0)),
-                )
+            .map(|(i, (x, y, w, h, kind))| {
+                // A continuous `0.0..0.2` extent hits exactly zero with
+                // probability zero (and the old `(x + w).min(1.0)` clamp
+                // squashed geometry instead of anchoring it), so degenerate
+                // MBRs — legal per the paper's closed-rectangle semantics —
+                // were never actually exercised. Kinds 0–2 force them.
+                let (w, h) = match kind {
+                    0 => (0.0, h),   // zero-width vertical segment
+                    1 => (w, 0.0),   // zero-height horizontal segment
+                    2 => (0.0, 0.0), // point rectangle
+                    _ => (w, h),
+                };
+                // Anchor the corner so the full extent always fits in the
+                // unit square instead of being clamped away at the border.
+                let x = x * (1.0 - w);
+                let y = y * (1.0 - h);
+                Kpe::new(RecordId(i as u64), Rect::new(x, y, x + w, y + h))
             })
             .collect()
     })

@@ -118,6 +118,53 @@ fn s3j_threads4_matches_threads1_per_dedup_mode() {
     }
 }
 
+/// Duplicate accounting stays exact under the parallel executor: the
+/// identity `candidates = results + suppressed` holds after the merge for
+/// threads ∈ {1, 2, 4} on an adversarial workload (grid-aligned edges,
+/// zero-area rects, coordinate duplicates, hot tiles). The per-worker half
+/// of the same identity is debug-asserted at the merge sites in
+/// `pbsm/src/join.rs` and `s3j/src/scan.rs`, so a debug-profile run of this
+/// test exercises each worker's partial stats too.
+#[test]
+fn duplicate_accounting_exact_after_parallel_merge() {
+    let (r, s) = datagen::Adversarial {
+        count: 150,
+        seed: 7,
+    }
+    .generate_pair();
+    let want = brute(&r, &s);
+    for threads in [1, 2, 4] {
+        let cfg = PbsmConfig {
+            mem_bytes: 4 * 1024, // several partitions, real replication
+            threads,
+            ..Default::default()
+        };
+        let (mut got, st) = run_pbsm(&r, &s, &cfg);
+        got.sort_unstable();
+        assert_eq!(got, want, "pbsm result set (threads={threads})");
+        assert_eq!(
+            st.candidates,
+            st.results + st.duplicates,
+            "pbsm accounting (threads={threads})"
+        );
+        assert_eq!(st.results as usize, want.len());
+
+        let cfg = S3jConfig {
+            mem_bytes: 4 * 1024,
+            threads,
+            ..Default::default()
+        };
+        let (mut got, st) = run_s3j(&r, &s, &cfg);
+        got.sort_unstable();
+        assert_eq!(got, want, "s3j result set (threads={threads})");
+        assert_eq!(
+            st.candidates,
+            st.results + st.duplicates,
+            "s3j accounting (threads={threads})"
+        );
+    }
+}
+
 fn arb_kpes(max_n: usize) -> impl Strategy<Value = Vec<Kpe>> {
     prop::collection::vec(
         (0.0f64..1.0, 0.0f64..1.0, 0.0f64..0.25, 0.0f64..0.25),

@@ -18,8 +18,19 @@ fn datasets() -> (Vec<geom::Kpe>, Vec<geom::Kpe>) {
 fn sort_phase_blocks_rpm_streams() {
     let (r, s) = datasets();
     let mem = 48 * 1024;
-    let (_, rpm) = SpatialJoin::new(Algorithm::pbsm_rpm(mem)).count(&r, &s);
-    let (_, sorted) = SpatialJoin::new(Algorithm::pbsm_original(mem)).count(&r, &s);
+    // cpu_slowdown = 1: the fractions are then dominated by the simulated
+    // (deterministic) I/O meters instead of wall-clock CPU measurements,
+    // which wobble under parallel test-suite load.
+    let model = storage::DiskModel {
+        cpu_slowdown: 1.0,
+        ..Default::default()
+    };
+    let (_, rpm) = SpatialJoin::new(Algorithm::pbsm_rpm(mem))
+        .with_disk_model(model)
+        .count(&r, &s);
+    let (_, sorted) = SpatialJoin::new(Algorithm::pbsm_original(mem))
+        .with_disk_model(model)
+        .count(&r, &s);
 
     let rpm_frac = rpm.first_result_seconds().unwrap() / rpm.total_seconds();
     let sort_frac = sorted.first_result_seconds().unwrap() / sorted.total_seconds();
