@@ -6,7 +6,8 @@
 //! prints a ready-to-paste regression test. Exit code 1 if any cell failed.
 
 use conformance::{
-    check_one, check_workload, shrink, transforms_for, AlgoId, Repro, RunConfig, Transform,
+    check_one, check_workload, crash_points_for, shrink, transforms_for, AlgoId, Repro, RunConfig,
+    Transform,
 };
 use datagen::Adversarial;
 use geom::Kpe;
@@ -16,9 +17,11 @@ struct Args {
     first_seed: u64,
     count: usize,
     mem: usize,
+    threads: usize,
     out: String,
     algo: Option<AlgoId>,
     transform: Option<Transform>,
+    crash_sweep: bool,
     max_shrinks: usize,
     shrink_evals: usize,
 }
@@ -30,9 +33,11 @@ impl Default for Args {
             first_seed: 0,
             count: 120,
             mem: 4 * 1024,
+            threads: 1,
             out: "conformance-failures".into(),
             algo: None,
             transform: None,
+            crash_sweep: false,
             max_shrinks: 3,
             shrink_evals: 2000,
         }
@@ -49,9 +54,15 @@ OPTIONS:
   --first-seed N   first seed, soak covers [N, N+seeds) (default 0)
   --count N        KPEs per relation per workload (default 120)
   --mem BYTES      base memory budget (default 4096)
+  --threads N      base thread count for every cell (default 1)
   --out DIR        directory for shrunken JSON repros (default conformance-failures)
   --algo NAME      restrict to one algorithm (e.g. pbsm-rpm-list, s3j, quadtree)
-  --transform T    restrict to one transform (e.g. identity, swap, 'mem 2048')
+  --transform T    restrict to one transform (e.g. identity, swap, 'mem 2048',
+                   'crash after-commit:2')
+  --crash-sweep    replace the transform matrix with the crash-recovery set:
+                   {after-commit:N, mid-partition:N, mid-rename} per seed,
+                   checking exactly-once crash+resume against each
+                   checkpointable algorithm
   --max-shrinks N  stop shrinking after N distinct failures (default 3)
   --shrink-evals N predicate-evaluation budget per shrink (default 2000)
   --help           print this help
@@ -71,6 +82,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--count" => args.count = val("--count")?.parse().map_err(|e| format!("--count: {e}"))?,
             "--mem" => args.mem = val("--mem")?.parse().map_err(|e| format!("--mem: {e}"))?,
+            "--threads" => {
+                args.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--crash-sweep" => args.crash_sweep = true,
             "--out" => args.out = val("--out")?,
             "--algo" => {
                 let v = val("--algo")?;
@@ -117,6 +134,7 @@ fn main() {
     };
     let cfg = RunConfig {
         mem: args.mem,
+        threads: args.threads,
         ..RunConfig::default()
     };
 
@@ -132,6 +150,7 @@ fn main() {
         let (r, s) = gen.generate_pair();
         let transforms: Vec<Transform> = match args.transform {
             Some(t) => vec![t],
+            None if args.crash_sweep => crash_points_for(seed),
             None => transforms_for(seed, args.mem),
         };
         let found = check_workload(&r, &s, &cfg, &algos, &transforms);

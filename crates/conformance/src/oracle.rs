@@ -20,7 +20,10 @@
 
 use geom::{Kpe, Rect};
 use quadtree::MxCifQuadtree;
-use spatialjoin::{Algorithm, DiskModel, FaultPlan, InternalAlgo, JoinStats, SpatialJoin};
+use spatialjoin::{
+    Algorithm, CrashPoint, DiskModel, FaultPlan, InternalAlgo, JoinErrorKind, JoinStats,
+    RetryPolicy, SimDisk, SpatialJoin,
+};
 
 /// Finest quadtree level used for the in-memory MX-CIF reference join.
 const QUADTREE_LEVEL: u8 = 12;
@@ -108,6 +111,12 @@ pub enum Transform {
     /// Different CPU-slowdown factor in the disk model: results *and* I/O
     /// totals must be invariant (time scaling must not leak into logic).
     CpuSlowdown { factor: f64 },
+    /// Injected crash at `point` followed by a resume on the same disk
+    /// state: the interrupted leg's emissions plus the resumed leg's must
+    /// equal the uninterrupted result set with zero overlap (exactly-once),
+    /// and the resumed run's folded counters must match the uninterrupted
+    /// run's.
+    Crash { point: CrashPoint },
 }
 
 impl Transform {
@@ -130,6 +139,13 @@ impl Transform {
                 algo,
                 PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort | S3jReplicated | S3jOriginal
             ),
+            // Only the checkpointable joins: RPM attributes each pair to one
+            // partition (the resume unit); sort-phase dedup and the S³J
+            // ablation scan refuse checkpointing with a typed error.
+            Transform::Crash { .. } => matches!(
+                algo,
+                PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | S3jReplicated | S3jOriginal
+            ),
         }
     }
 }
@@ -146,6 +162,7 @@ impl std::fmt::Display for Transform {
             Transform::Threads { n } => write!(f, "threads {n}"),
             Transform::Faults { seed } => write!(f, "faults {seed}"),
             Transform::CpuSlowdown { factor } => write!(f, "cpu-slowdown {factor}"),
+            Transform::Crash { point } => write!(f, "crash {point}"),
         }
     }
 }
@@ -165,6 +182,9 @@ impl Transform {
             "threads" => Transform::Threads { n: num()? as usize },
             "faults" => Transform::Faults { seed: num()? as u64 },
             "cpu-slowdown" => Transform::CpuSlowdown { factor: num()? },
+            "crash" => Transform::Crash {
+                point: CrashPoint::from_spec(it.next()?)?,
+            },
             _ => return None,
         };
         Some(t)
@@ -216,16 +236,9 @@ pub fn brute_force(r: &[Kpe], s: &[Kpe]) -> Vec<(u64, u64)> {
     v
 }
 
-/// Runs one algorithm through the public API under `cfg`.
-pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<RunOut, String> {
-    if algo == AlgoId::Quadtree {
-        let tr = MxCifQuadtree::bulk(r, QUADTREE_LEVEL);
-        let ts = MxCifQuadtree::bulk(s, QUADTREE_LEVEL);
-        let mut pairs = Vec::new();
-        tr.join(&ts, &mut |a, b| pairs.push((a.id.0, b.id.0)));
-        pairs.sort_unstable();
-        return Ok(RunOut { pairs, stats: None });
-    }
+/// The configured [`Algorithm`] for an oracle cell (`None` for the
+/// in-memory quadtree, which has no external configuration surface).
+fn configured_algorithm(algo: AlgoId, cfg: &RunConfig) -> Option<Algorithm> {
     let base = match algo {
         AlgoId::PbsmRpmNested => {
             Algorithm::pbsm_rpm(cfg.mem).with_internal(InternalAlgo::NestedLoops)
@@ -241,12 +254,25 @@ pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<R
         AlgoId::S3jOriginal => Algorithm::s3j_original(cfg.mem),
         AlgoId::Sssj => Algorithm::sssj(cfg.mem),
         AlgoId::Shj => Algorithm::shj(cfg.mem),
-        AlgoId::Quadtree => unreachable!(),
+        AlgoId::Quadtree => return None,
     };
     let mut base = base.with_threads(cfg.threads);
     if let Some(tiles) = cfg.tiles_per_partition {
         base = base.with_tiles_per_partition(tiles);
     }
+    Some(base)
+}
+
+/// Runs one algorithm through the public API under `cfg`.
+pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<RunOut, String> {
+    let Some(base) = configured_algorithm(algo, cfg) else {
+        let tr = MxCifQuadtree::bulk(r, QUADTREE_LEVEL);
+        let ts = MxCifQuadtree::bulk(s, QUADTREE_LEVEL);
+        let mut pairs = Vec::new();
+        tr.join(&ts, &mut |a, b| pairs.push((a.id.0, b.id.0)));
+        pairs.sort_unstable();
+        return Ok(RunOut { pairs, stats: None });
+    };
     let mut join = SpatialJoin::new(base);
     if let Some(seed) = cfg.fault_seed {
         join = join.with_faults(FaultPlan::recoverable(seed));
@@ -346,6 +372,91 @@ fn accounting(algo: AlgoId, out: &RunOut) -> Option<String> {
             if stats.duplicates() != 0 {
                 return Some(format!("{algo}: baseline reported suppressed duplicates"));
             }
+        }
+    }
+    None
+}
+
+/// The crash-recovery oracle relation, checked in three legs on one cell:
+///
+/// 1. a **durable** run on a fresh disk with `point` armed runs until the
+///    injected crash fires (the pairs it emitted before dying are kept);
+/// 2. a **resume** on the same disk state recovers the manifest, truncates
+///    any torn journal tail, and completes the run;
+/// 3. both legs together must reproduce the uninterrupted result set
+///    (`base`) with **zero overlap** — each pair emitted exactly once — and
+///    the resumed run's folded counters must equal the uninterrupted run's.
+///
+/// If the crash point lies beyond the run's end (e.g. `after-commit:3` on a
+/// two-partition join) the first leg completes normally; the cell then
+/// degenerates to "durable run equals plain run", which must still hold.
+fn check_crash_legs(
+    algo: AlgoId,
+    point: CrashPoint,
+    cfg: &RunConfig,
+    base: &RunOut,
+    r: &[Kpe],
+    s: &[Kpe],
+) -> Option<String> {
+    let join = SpatialJoin::new(configured_algorithm(algo, cfg)?);
+    let run_id = 0xC0FFEE;
+    let disk = SimDisk::with_default_model().with_faults(
+        FaultPlan::crash_only(0, point),
+        RetryPolicy::default(),
+    );
+    let mut first: Vec<(u64, u64)> = Vec::new();
+    let crash_leg =
+        join.try_run_durable_with(&disk, r, s, run_id, &mut |a, b| first.push((a.0, b.0)));
+    first.sort_unstable();
+    match crash_leg {
+        Err(e) if matches!(e.kind, JoinErrorKind::Crashed(_)) => {}
+        Err(e) => {
+            return Some(format!(
+                "{algo} [crash {point}]: crash leg died with a non-crash error: {e}"
+            ))
+        }
+        Ok(_) => {
+            // Crash point beyond the end of the run: no interruption.
+            if first != base.pairs {
+                return Some(format!(
+                    "{algo} [crash {point}]: durable run diverges from plain run: {}",
+                    first_diff(&first, &base.pairs)
+                ));
+            }
+            return None;
+        }
+    }
+    // Resume on the same disk state; recovery disables the injector.
+    let mut second: Vec<(u64, u64)> = Vec::new();
+    let stats = match join.try_run_durable_with(&disk, r, s, run_id, &mut |a, b| {
+        second.push((a.0, b.0))
+    }) {
+        Ok(stats) => stats,
+        Err(e) => return Some(format!("{algo} [crash {point}]: resume failed: {e}")),
+    };
+    second.sort_unstable();
+    if let Some(dup) = first.iter().find(|p| second.binary_search(p).is_ok()) {
+        return Some(format!(
+            "{algo} [crash {point}]: pair {dup:?} re-emitted on resume (exactly-once violated)"
+        ));
+    }
+    let mut union: Vec<(u64, u64)> = first.iter().chain(second.iter()).copied().collect();
+    union.sort_unstable();
+    if union != base.pairs {
+        return Some(format!(
+            "{algo} [crash {point}]: crash+resume legs diverge from uninterrupted run: {}",
+            first_diff(&union, &base.pairs)
+        ));
+    }
+    if let Some(b) = &base.stats {
+        if (stats.results(), stats.duplicates()) != (b.results(), b.duplicates()) {
+            return Some(format!(
+                "{algo} [crash {point}]: resumed totals ({}, {}) != uninterrupted ({}, {})",
+                stats.results(),
+                stats.duplicates(),
+                b.results(),
+                b.duplicates()
+            ));
         }
     }
     None
@@ -461,6 +572,9 @@ pub fn check_one(
                 Err(e) => return Some(e),
             }
         }
+        Transform::Crash { point } => {
+            return check_crash_legs(algo, point, cfg, &base, r, s);
+        }
     };
     if let Some(msg) = accounting(algo, &variant) {
         return Some(format!("{msg} [under {transform}]"));
@@ -559,6 +673,23 @@ pub fn transforms_for(seed: u64, mem: usize) -> Vec<Transform> {
     ]
 }
 
+/// The crash-recovery transform set for one soak seed: one instance of each
+/// [`CrashPoint`] taxon, with seed-derived commit indices so the soak walks
+/// different commit boundaries on different seeds.
+pub fn crash_points_for(seed: u64) -> Vec<Transform> {
+    vec![
+        Transform::Crash {
+            point: CrashPoint::AfterCommit(1 + (seed % 3) as u32),
+        },
+        Transform::Crash {
+            point: CrashPoint::MidPartition((seed % 2) as u32),
+        },
+        Transform::Crash {
+            point: CrashPoint::MidRename,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +707,36 @@ mod tests {
         for t in transforms_for(5, 4096) {
             let s = t.to_string();
             assert_eq!(Transform::parse(&s), Some(t), "{s}");
+        }
+    }
+
+    #[test]
+    fn crash_transform_strings_round_trip() {
+        for seed in 0..6 {
+            for t in crash_points_for(seed) {
+                let s = t.to_string();
+                assert_eq!(Transform::parse(&s), Some(t), "{s}");
+            }
+        }
+        assert_eq!(Transform::parse("crash bogus"), None);
+        assert_eq!(Transform::parse("crash"), None);
+    }
+
+    #[test]
+    fn crash_oracle_accepts_a_small_adversarial_workload() {
+        let (r, s) = datagen::Adversarial { count: 60, seed: 7 }.generate_pair();
+        let cfg = RunConfig::default();
+        for threads in [1usize, 4] {
+            let cfg = RunConfig { threads, ..cfg };
+            let failures = check_workload(&r, &s, &cfg, &AlgoId::ALL, &crash_points_for(7));
+            assert!(
+                failures.is_empty(),
+                "threads {threads}: unexpected failures: {:?}",
+                failures
+                    .iter()
+                    .map(|f| format!("{} [{}]: {}", f.algo, f.transform, f.message))
+                    .collect::<Vec<_>>()
+            );
         }
     }
 

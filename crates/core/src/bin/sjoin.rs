@@ -18,7 +18,8 @@
 //! ```
 
 use spatialjoin::{
-    datagen, refine, Algorithm, FaultPlan, InternalAlgo, JoinStats, RetryPolicy, SpatialJoin,
+    datagen, refine, Algorithm, CrashPoint, FaultPlan, InternalAlgo, JoinRun, JoinStats,
+    RetryPolicy, SimDisk, SpatialJoin,
 };
 
 struct Args {
@@ -37,6 +38,11 @@ struct Args {
     faults: Option<u64>,
     fault_rate: Option<f64>,
     retry: Option<u32>,
+    deadline: Option<f64>,
+    crash: Option<CrashPoint>,
+    durable: bool,
+    run_dir: String,
+    resume: Option<u64>,
 }
 
 impl Args {
@@ -57,6 +63,11 @@ impl Args {
             faults: None,
             fault_rate: None,
             retry: None,
+            deadline: None,
+            crash: None,
+            durable: false,
+            run_dir: "runs".into(),
+            resume: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -88,6 +99,22 @@ impl Args {
                     args.retry =
                         Some(val("--retry")?.parse().map_err(|e| format!("--retry: {e}"))?)
                 }
+                "--deadline" => args.deadline = Some(parse_num(&val("--deadline")?)?),
+                "--crash" => {
+                    let spec = val("--crash")?;
+                    args.crash = Some(CrashPoint::from_spec(&spec).ok_or_else(|| {
+                        format!(
+                            "--crash: bad spec {spec} \
+                             (after-commit:N | mid-partition:N | mid-rename)"
+                        )
+                    })?)
+                }
+                "--durable" => args.durable = true,
+                "--run-dir" => args.run_dir = val("--run-dir")?,
+                "--resume" => {
+                    args.resume =
+                        Some(val("--resume")?.parse().map_err(|e| format!("--resume: {e}"))?)
+                }
                 "--help" | "-h" => {
                     println!("{}", HELP);
                     std::process::exit(0);
@@ -113,7 +140,16 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
   --stats         print the phase breakdown
   --faults SEED   inject seeded deterministic disk faults
   --fault-rate P  fraction of request identities that fail  (default 0.05)
-  --retry N       attempts per page request, incl. the first (default 4)";
+  --retry N       attempts per page request, incl. the first (default 4)
+  --deadline S    simulated-time deadline in seconds; expiry exits 3 (resumable
+                  when the run is durable)
+  --durable       checkpoint the run (manifest + journal); interruptions leave
+                  a resumable state snapshot under --run-dir
+  --crash SPEC    durable run that dies at a crash point:
+                  after-commit:N | mid-partition:N | mid-rename
+  --run-dir DIR   where interrupted durable runs keep state.bin (default runs)
+  --resume ID     resume an interrupted durable run (pass the SAME dataset,
+                  algorithm and memory flags; threads may differ)";
 
 fn parse_num(v: &str) -> Result<f64, String> {
     v.parse().map_err(|e| format!("bad number {v}: {e}"))
@@ -204,6 +240,97 @@ fn print_phase_stats(stats: &JoinStats) {
     }
 }
 
+/// Per-phase retry/fault breakdown plus the total. The phase buckets are
+/// disjoint (each request, retries included, is charged to exactly one
+/// phase), so the total line is their sum — no retry is counted twice.
+fn print_fault_stats(stats: &JoinStats) {
+    let io = stats.io_total();
+    if io.faults_injected == 0 {
+        return;
+    }
+    let line = |phase: &str, s: &spatialjoin::IoStats| {
+        println!(
+            "  faults [{phase:<10}]: {} ({} read retries, {} write retries, {} backoff units)",
+            s.faults_injected, s.read_retries, s.write_retries, s.backoff_units
+        );
+    };
+    for (phase, s) in stats.io_phases() {
+        if s.faults_injected > 0 {
+            line(phase, &s);
+        }
+    }
+    line("total", &io);
+}
+
+/// Runs a durable (checkpointed) join: fresh on an empty disk, resumed from
+/// a state snapshot under `--run-dir` otherwise. A resumable interruption
+/// (crash point, deadline, cancellation) persists the disk image and exits
+/// 3 with a resume hint; success removes the snapshot.
+fn run_durable(args: &Args, join: &SpatialJoin, left: &[spatialjoin::Kpe], right: &[spatialjoin::Kpe]) -> JoinRun {
+    let run_id = args.resume.unwrap_or(args.seed);
+    let state = std::path::Path::new(&args.run_dir)
+        .join(run_id.to_string())
+        .join("state.bin");
+    let disk = SimDisk::with_default_model();
+    if let Some(id) = args.resume {
+        let bytes = std::fs::read(&state).unwrap_or_else(|e| {
+            die(format!("--resume {id}: cannot read {}: {e}", state.display()))
+        });
+        disk.restore_files(&bytes)
+            .unwrap_or_else(|e| die(format!("--resume {id}: corrupt snapshot: {e}")));
+    } else if args.crash.is_some() || args.faults.is_some() {
+        let mut plan = match args.faults {
+            Some(seed) => FaultPlan::recoverable(seed),
+            None => FaultPlan::crash_only(args.seed, CrashPoint::MidRename),
+        };
+        if let Some(rate) = args.fault_rate {
+            plan.fault_rate = rate.clamp(0.0, 1.0);
+        }
+        plan.crash = args.crash;
+        // Fault state lives on the disk for durable runs: the checkpoint
+        // layer arms crash injection from the disk's own plan.
+        let retry = args
+            .retry
+            .map(RetryPolicy::with_max_attempts)
+            .unwrap_or_default();
+        let faulty = disk.with_faults(plan, retry);
+        return finish_durable(join, left, right, run_id, &state, &faulty);
+    }
+    finish_durable(join, left, right, run_id, &state, &disk)
+}
+
+fn finish_durable(
+    join: &SpatialJoin,
+    left: &[spatialjoin::Kpe],
+    right: &[spatialjoin::Kpe],
+    run_id: u64,
+    state: &std::path::Path,
+    disk: &SimDisk,
+) -> JoinRun {
+    match join.try_run_durable(disk, left, right, run_id) {
+        Ok(run) => {
+            let _ = std::fs::remove_file(state);
+            run
+        }
+        Err(e) if e.is_resumable() => {
+            if let Some(dir) = state.parent() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|err| die(format!("cannot create {}: {err}", dir.display())));
+            }
+            std::fs::write(state, disk.export_files())
+                .unwrap_or_else(|err| die(format!("cannot write {}: {err}", state.display())));
+            eprintln!("error: {e}");
+            eprintln!(
+                "run {run_id} is resumable: state saved to {}; \
+                 rerun with the same flags plus --resume {run_id}",
+                state.display()
+            );
+            std::process::exit(3);
+        }
+        Err(e) => die_join(e),
+    }
+}
+
 fn main() {
     let args = match Args::parse() {
         Ok(a) => a,
@@ -239,6 +366,13 @@ fn main() {
     }
     if let Some(n) = args.retry {
         join = join.with_retry(RetryPolicy::with_max_attempts(n));
+    }
+    if let Some(d) = args.deadline {
+        join = join.with_deadline(d);
+    }
+    let durable = args.durable || args.crash.is_some() || args.resume.is_some();
+    if durable && (args.refine || args.distance.is_some()) {
+        die::<()>("durable runs checkpoint the filter step only; drop --refine/--distance".into());
     }
     println!(
         "{} ({} MBRs) ⋈ {} ({} MBRs), {} , M = {} MiB",
@@ -289,7 +423,11 @@ fn main() {
         return;
     }
 
-    let run = join.try_run(&left.kpes, &right.kpes).unwrap_or_else(die_join);
+    let run = if durable {
+        run_durable(&args, &join, &left.kpes, &right.kpes)
+    } else {
+        join.try_run(&left.kpes, &right.kpes).unwrap_or_else(die_join)
+    };
     println!("results          : {}", run.stats.results());
     println!("duplicates       : {}", run.stats.duplicates());
     println!("cpu (emulated)   : {:.2} s", run.stats.scaled_cpu_seconds());
@@ -300,13 +438,7 @@ fn main() {
     }
     if args.stats {
         print_phase_stats(&run.stats);
-        let io = run.stats.io_total();
-        if io.faults_injected > 0 {
-            println!(
-                "  faults injected  : {} ({} read retries, {} write retries, {} backoff units)",
-                io.faults_injected, io.read_retries, io.write_retries, io.backoff_units
-            );
-        }
+        print_fault_stats(&run.stats);
     }
     for (a, b) in run.pairs.iter().take(args.limit) {
         println!("  #{} x #{}", a.0, b.0);

@@ -66,9 +66,12 @@ pub use sweep;
 
 pub use geom::{dataset_stats, reference_point, DatasetStats, Kpe, Point, Rect, RecordId};
 pub use storage::{
-    DiskModel, FaultPlan, IoError, IoErrorKind, IoStats, JoinError, RetryPolicy, SimDisk,
+    CancelToken, CrashPoint, DiskModel, FaultPlan, IoError, IoErrorKind, IoStats, JoinError,
+    JoinErrorKind, RetryPolicy, SimDisk,
 };
 pub use sweep::InternalAlgo;
+
+use storage::{FileId, Recovered, RunCheckpoint, RunControl};
 
 use pbsm::{Dedup, PbsmConfig, PbsmStats};
 use s3j::{S3jConfig, S3jStats};
@@ -292,6 +295,34 @@ impl JoinStats {
         }
     }
 
+    /// Named per-phase I/O buckets. The buckets are disjoint — each disk
+    /// request (including its retries and backoff) is charged to exactly one
+    /// phase — so they sum to [`JoinStats::io_total`]; reporting per-phase
+    /// and total counters therefore never counts a retry twice.
+    pub fn io_phases(&self) -> Vec<(&'static str, IoStats)> {
+        match self {
+            JoinStats::Pbsm(s) => vec![
+                ("partition", s.io_partition),
+                ("repartition", s.io_repart),
+                ("join", s.io_join),
+                ("dedup", s.io_dedup),
+                ("checkpoint", s.io_checkpoint),
+            ],
+            JoinStats::S3j(s) => vec![
+                ("partition", s.io_partition),
+                ("sort", s.io_sort),
+                ("join", s.io_join),
+                ("checkpoint", s.io_checkpoint),
+            ],
+            JoinStats::Sssj(s) => vec![("sort", s.io_sort), ("join", s.io_join)],
+            JoinStats::Shj(s) => vec![
+                ("build", s.io_build),
+                ("probe", s.io_probe),
+                ("join", s.io_join),
+            ],
+        }
+    }
+
     /// Total I/O counters across all phases.
     pub fn io_total(&self) -> IoStats {
         match self {
@@ -325,6 +356,8 @@ pub struct SpatialJoin {
     disk_model: DiskModel,
     fault_plan: Option<FaultPlan>,
     retry: RetryPolicy,
+    cancel: Option<CancelToken>,
+    deadline: Option<f64>,
 }
 
 /// Result of [`SpatialJoin::run`]: materialised pairs plus statistics.
@@ -341,6 +374,8 @@ impl SpatialJoin {
             disk_model: DiskModel::default(),
             fault_plan: None,
             retry: RetryPolicy::default(),
+            cancel: None,
+            deadline: None,
         }
     }
 
@@ -366,8 +401,44 @@ impl SpatialJoin {
         self
     }
 
+    /// Shares a cooperative-cancellation token with the join. Tripping it
+    /// from any thread stops the run at the next partition boundary with a
+    /// typed `Cancelled` error (partial results already emitted stand).
+    /// Only the partition-based joins (PBSM, S³J) poll the token; attaching
+    /// one to a baseline makes [`SpatialJoin::try_run`] return
+    /// [`IoErrorKind::Unsupported`].
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Simulated-time deadline in seconds (disk time under the cost model
+    /// plus emulated CPU time). Checked at partition granularity; expiry
+    /// surfaces as a typed `DeadlineExceeded` error after the tuples
+    /// emitted so far. Baselines are refused as with
+    /// [`SpatialJoin::with_cancel`].
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        self.deadline = Some(seconds);
+        self
+    }
+
     pub fn algorithm(&self) -> &Algorithm {
         &self.algorithm
+    }
+
+    fn control(&self) -> RunControl {
+        let mut ctl = RunControl::none();
+        if let Some(t) = &self.cancel {
+            ctl = ctl.with_cancel(t.clone());
+        }
+        if let Some(d) = self.deadline {
+            ctl = ctl.with_deadline(d);
+        }
+        ctl
+    }
+
+    fn interruptible(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
     }
 
     fn make_disk(&self) -> SimDisk {
@@ -392,14 +463,19 @@ impl SpatialJoin {
     ) -> Result<JoinStats, JoinError> {
         match &self.algorithm {
             Algorithm::Pbsm(cfg) => {
-                pbsm::try_pbsm_join(&self.make_disk(), r, s, cfg, out).map(JoinStats::Pbsm)
+                pbsm::try_pbsm_join_ctl(&self.make_disk(), r, s, cfg, &self.control(), out)
+                    .map(JoinStats::Pbsm)
             }
             Algorithm::S3j(cfg) => {
-                s3j::try_s3j_join(&self.make_disk(), r, s, cfg, out).map(JoinStats::S3j)
+                s3j::try_s3j_join_ctl(&self.make_disk(), r, s, cfg, &self.control(), out)
+                    .map(JoinStats::S3j)
             }
-            // The single-sweep baselines have no fallible code path; refuse
-            // the combination up front rather than panicking mid-join.
-            Algorithm::Sssj(_) | Algorithm::Shj(_) if self.fault_plan.is_some() => {
+            // The single-sweep baselines have no fallible code path and do
+            // not poll cancellation; refuse the combination up front rather
+            // than panicking mid-join or silently ignoring a deadline.
+            Algorithm::Sssj(_) | Algorithm::Shj(_)
+                if self.fault_plan.is_some() || self.interruptible() =>
+            {
                 Err(JoinError::new("setup", IoError::unsupported()))
             }
             Algorithm::Sssj(cfg) => Ok(JoinStats::Sssj(sssj::sssj_join(
@@ -454,6 +530,117 @@ impl SpatialJoin {
     pub fn count(&self, r: &[Kpe], s: &[Kpe]) -> (u64, JoinStats) {
         self.try_count(r, s)
             .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
+    }
+
+    /// Manifest algorithm tag of the checkpointable joins; `None` for the
+    /// single-sweep baselines (which cannot be checkpointed).
+    fn algo_tag(&self) -> Option<u8> {
+        match &self.algorithm {
+            Algorithm::Pbsm(_) => Some(1),
+            Algorithm::S3j(_) => Some(2),
+            Algorithm::Sssj(_) | Algorithm::Shj(_) => None,
+        }
+    }
+
+    /// Run fingerprint: FNV-1a over the algorithm configuration and both
+    /// relations' contents. A resume is refused when the fingerprint does
+    /// not match the one in the recovered manifest — a changed config or
+    /// input would silently corrupt exactly-once accounting. The worker
+    /// thread knob is normalised out: a run may legally be resumed with a
+    /// different degree of parallelism (the output stream is identical).
+    pub fn fingerprint(&self, r: &[Kpe], s: &[Kpe]) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        let mut h = FNV_OFFSET;
+        let algo = self.algorithm.clone().with_threads(1);
+        eat(&mut h, format!("{algo:?}").as_bytes());
+        for rel in [r, s] {
+            eat(&mut h, &(rel.len() as u64).to_le_bytes());
+            for k in rel {
+                eat(&mut h, &k.id.0.to_le_bytes());
+                for c in [k.rect.xl, k.rect.yl, k.rect.xh, k.rect.yh] {
+                    eat(&mut h, &c.to_bits().to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+
+    /// Runs the join as a *durable, checkpointed* run on `disk` — the
+    /// crash-recovery entry point.
+    ///
+    /// On an empty disk this creates the superblock (by convention the
+    /// disk's first file, raw id 0) and starts a fresh run under `run_id`.
+    /// On a disk restored from an interrupted run's snapshot it recovers
+    /// the published manifest (verifying [`SpatialJoin::fingerprint`]),
+    /// truncates any torn journal tail, sweeps orphan files, and resumes:
+    /// journal-committed partitions are skipped and only the uncommitted
+    /// partitions' pairs are emitted, so the interrupted leg plus this leg
+    /// together produce the uninterrupted output exactly once.
+    ///
+    /// Only the partition-based joins with online duplicate suppression
+    /// can be checkpointed; baselines, PBSM sort-phase dedup and the S³J
+    /// ablation scan are refused with [`IoErrorKind::Unsupported`].
+    pub fn try_run_durable(
+        &self,
+        disk: &SimDisk,
+        r: &[Kpe],
+        s: &[Kpe],
+        run_id: u64,
+    ) -> Result<JoinRun, JoinError> {
+        let mut pairs = Vec::new();
+        let stats =
+            self.try_run_durable_with(disk, r, s, run_id, &mut |a, b| pairs.push((a, b)))?;
+        Ok(JoinRun { pairs, stats })
+    }
+
+    /// Streaming form of [`SpatialJoin::try_run_durable`]: result pairs go to
+    /// `out` as each partition commits. Unlike the materialising wrapper,
+    /// pairs emitted *before* an interruption stay observable — exactly what
+    /// the crash-recovery oracle needs to check that the interrupted leg plus
+    /// the resumed leg reproduce the uninterrupted output with no overlap.
+    pub fn try_run_durable_with(
+        &self,
+        disk: &SimDisk,
+        r: &[Kpe],
+        s: &[Kpe],
+        run_id: u64,
+        out: &mut dyn FnMut(RecordId, RecordId),
+    ) -> Result<JoinStats, JoinError> {
+        let Some(tag) = self.algo_tag() else {
+            return Err(JoinError::new("setup", IoError::unsupported()));
+        };
+        let fp = self.fingerprint(r, s);
+        let sb = FileId::from_raw(0);
+        let cp = if disk.exists(sb) {
+            match storage::recover(disk, sb, fp)? {
+                Recovered::Resumed(cp) => cp,
+                Recovered::Fresh => RunCheckpoint::start(disk, sb, run_id, fp, tag),
+            }
+        } else {
+            let created = disk.create();
+            debug_assert_eq!(created.raw(), 0, "superblock must be the disk's first file");
+            RunCheckpoint::start(disk, created, run_id, fp, tag)
+        };
+        let ctl = self.control().with_checkpoint(cp);
+        match &self.algorithm {
+            Algorithm::Pbsm(cfg) => {
+                pbsm::try_pbsm_join_ctl(disk, r, s, cfg, &ctl, out).map(JoinStats::Pbsm)
+            }
+            Algorithm::S3j(cfg) => {
+                s3j::try_s3j_join_ctl(disk, r, s, cfg, &ctl, out).map(JoinStats::S3j)
+            }
+            // `algo_tag` returned above for the baselines.
+            Algorithm::Sssj(_) | Algorithm::Shj(_) => {
+                Err(JoinError::new("setup", IoError::unsupported()))
+            }
+        }
     }
 
     /// Filter step + refinement step in one pipelined pass: every candidate
@@ -643,7 +830,8 @@ mod tests {
                 .with_faults(FaultPlan::unrecoverable(5))
                 .try_run(&r, &s)
                 .expect_err("every request fails: the join cannot succeed");
-            assert!(err.io.kind.is_transient() || err.io.attempts >= 1);
+            let io = err.io().expect("fault-induced errors carry an IoError");
+            assert!(io.kind.is_transient() || io.attempts >= 1);
             assert!(!err.phase.is_empty());
         }
     }
@@ -656,7 +844,7 @@ mod tests {
                 .with_faults(FaultPlan::recoverable(1))
                 .try_run(&r, &s)
                 .expect_err("baselines have no fallible code path");
-            assert_eq!(err.io.kind, IoErrorKind::Unsupported);
+            assert_eq!(err.io().map(|io| io.kind), Some(IoErrorKind::Unsupported));
             assert_eq!(err.phase, "setup");
         }
     }
@@ -672,7 +860,7 @@ mod tests {
         // outlast a 5% identity fault rate, the join is overwhelmingly
         // likely to fail — and must do so with a typed error, not a panic.
         if let Err(e) = res {
-            assert!(e.io.attempts >= 1);
+            assert!(e.io().is_some_and(|io| io.attempts >= 1));
         }
     }
 

@@ -23,9 +23,9 @@ use std::sync::mpsc;
 use std::thread::JoinHandle;
 
 use geom::{Kpe, Rect, RecordId};
-use pbsm::{try_pbsm_join, PbsmConfig};
-use s3j::{try_s3j_join, S3jConfig};
-use storage::{JoinError, SimDisk};
+use pbsm::{try_pbsm_join_ctl, PbsmConfig};
+use s3j::{try_s3j_join_ctl, S3jConfig};
+use storage::{CancelToken, JoinError, RunControl, SimDisk};
 
 /// Why a [`SpatialJoinOp`] stream terminated abnormally. Delivered as the
 /// final item of the stream — the operator never panics the consumer thread
@@ -179,6 +179,8 @@ pub struct SpatialJoinOp<L, R> {
     algorithm: JoinAlgorithm,
     disk: SimDisk,
     pipeline_depth: usize,
+    cancel: CancelToken,
+    deadline: Option<f64>,
     rx: Option<mpsc::Receiver<Result<(RecordId, RecordId), JoinOpError>>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -195,6 +197,8 @@ where
             algorithm,
             disk,
             pipeline_depth: 1024,
+            cancel: CancelToken::new(),
+            deadline: None,
             rx: None,
             worker: None,
         }
@@ -203,6 +207,25 @@ where
     /// Bounded-channel capacity between the join and its consumer.
     pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
         self.pipeline_depth = depth.max(1);
+        self
+    }
+
+    /// Shares a cooperative-cancellation token with the operator. Tripping
+    /// the token from any thread makes the running join stop at the next
+    /// partition boundary and deliver a final `Cancelled` error item.
+    /// `close()` trips the same token, so abandoning the operator stops the
+    /// worker promptly instead of letting it join to a dead channel.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Simulated-time deadline (seconds under the disk's cost model). The
+    /// join checks it at partition granularity; on expiry the stream ends
+    /// with a final `DeadlineExceeded` error item after the tuples emitted
+    /// so far.
+    pub fn with_deadline(mut self, seconds: f64) -> Self {
+        self.deadline = Some(seconds);
         self
     }
 
@@ -240,6 +263,10 @@ where
         let (tx, rx) = mpsc::sync_channel(self.pipeline_depth);
         let algorithm = self.algorithm.clone();
         let disk = self.disk.clone();
+        let mut ctl = RunControl::none().with_cancel(self.cancel.clone());
+        if let Some(d) = self.deadline {
+            ctl = ctl.with_deadline(d);
+        }
         self.worker = Some(std::thread::spawn(move || {
             // The whole join runs under `catch_unwind`: a panicking worker
             // must still hang up the channel with a final error item, or
@@ -253,10 +280,10 @@ where
                 };
                 match algorithm {
                     JoinAlgorithm::Pbsm(cfg) => {
-                        try_pbsm_join(&disk, &lhs, &rhs, &cfg, &mut emit).map(|_| ())
+                        try_pbsm_join_ctl(&disk, &lhs, &rhs, &cfg, &ctl, &mut emit).map(|_| ())
                     }
                     JoinAlgorithm::S3j(cfg) => {
-                        try_s3j_join(&disk, &lhs, &rhs, &cfg, &mut emit).map(|_| ())
+                        try_s3j_join_ctl(&disk, &lhs, &rhs, &cfg, &ctl, &mut emit).map(|_| ())
                     }
                 }
             }));
@@ -284,6 +311,7 @@ where
     }
 
     fn close(&mut self) {
+        self.cancel.cancel(); // stop the join at the next partition boundary
         self.rx = None; // hang up: the worker's sends start failing
         if let Some(w) = self.worker.take() {
             let _ = w.join();
@@ -654,6 +682,68 @@ mod tests {
                 matches!(last, Err(JoinOpError::Join(_))),
                 "expected a typed join error, got {last:?}"
             );
+        }
+    }
+
+    #[test]
+    fn cancellation_ends_stream_with_typed_error_item() {
+        use storage::JoinErrorKind;
+        let r = tiger(1500, 44);
+        let s = tiger(1500, 45);
+        let token = CancelToken::new();
+        token.cancel_after_checks(3); // trip a few partitions into the run
+        let mut op = SpatialJoinOp::new(
+            KpeScan::new(r),
+            KpeScan::new(s),
+            JoinAlgorithm::Pbsm(PbsmConfig {
+                mem_bytes: 32 * 1024,
+                ..Default::default()
+            }),
+            SimDisk::with_default_model(),
+        )
+        .with_cancel(token);
+        let got = Collected::drain(&mut op); // must terminate, not hang
+        let last = got.items.last().expect("stream delivers a final item");
+        match last {
+            Err(JoinOpError::Join(e)) => {
+                assert!(matches!(e.kind, JoinErrorKind::Cancelled), "got {e:?}")
+            }
+            other => panic!("expected a cancellation error item, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_ends_stream_with_typed_error_item() {
+        use storage::JoinErrorKind;
+        let r = tiger(1200, 46);
+        let s = tiger(1200, 47);
+        for algorithm in [
+            JoinAlgorithm::Pbsm(PbsmConfig {
+                mem_bytes: 32 * 1024,
+                ..Default::default()
+            }),
+            JoinAlgorithm::S3j(S3jConfig {
+                mem_bytes: 32 * 1024,
+                max_level: 9,
+                ..Default::default()
+            }),
+        ] {
+            let mut op = SpatialJoinOp::new(
+                KpeScan::new(r.clone()),
+                KpeScan::new(s.clone()),
+                algorithm,
+                SimDisk::with_default_model(),
+            )
+            .with_deadline(1e-9); // expires at the first partition boundary
+            let got = Collected::drain(&mut op);
+            let last = got.items.last().expect("stream delivers a final item");
+            match last {
+                Err(JoinOpError::Join(e)) => assert!(
+                    matches!(e.kind, JoinErrorKind::DeadlineExceeded { .. }),
+                    "got {e:?}"
+                ),
+                other => panic!("expected a deadline error item, got {other:?}"),
+            }
         }
     }
 

@@ -21,10 +21,128 @@
 //! is a single global queue of indices and stealing is the common case).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
+
+/// Why a [`CancelToken`] tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelCause {
+    /// Explicit cooperative cancellation (operator closed the stream, user
+    /// hit ^C, …).
+    Cancelled,
+    /// A simulated-time deadline expired. The join layer owns the clock; it
+    /// trips the shared token with this cause when the budget runs out.
+    Deadline,
+}
+
+const TOKEN_LIVE: u8 = 0;
+const TOKEN_CANCELLED: u8 = 1;
+const TOKEN_DEADLINE: u8 = 2;
+
+struct TokenInner {
+    state: AtomicU8,
+    /// Deterministic test hook: trip (with `Cancelled`) on the `n`-th
+    /// [`CancelToken::check`]. `0` = disabled.
+    trip_after: AtomicU64,
+    checks: AtomicU64,
+}
+
+/// A shared cooperative-cancellation flag, checked at partition granularity.
+///
+/// Cloning shares the flag. Workers poll [`CancelToken::check`] between
+/// partitions; whoever trips the token first (an explicit
+/// [`CancelToken::cancel`], a deadline owner calling
+/// [`CancelToken::cancel_deadline`], or the deterministic
+/// [`CancelToken::cancel_after_checks`] test hook) wins, and the cause is
+/// latched — later trips do not overwrite it.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cause", &self.cause())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                state: AtomicU8::new(TOKEN_LIVE),
+                trip_after: AtomicU64::new(0),
+                checks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Trips the token with [`CancelCause::Cancelled`] (first trip wins).
+    pub fn cancel(&self) {
+        let _ = self.inner.state.compare_exchange(
+            TOKEN_LIVE,
+            TOKEN_CANCELLED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Trips the token with [`CancelCause::Deadline`] (first trip wins).
+    pub fn cancel_deadline(&self) {
+        let _ = self.inner.state.compare_exchange(
+            TOKEN_LIVE,
+            TOKEN_DEADLINE,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// Arms the deterministic test hook: the `n`-th subsequent
+    /// [`CancelToken::check`] (1-based) trips the token with
+    /// [`CancelCause::Cancelled`]. Lets tests cancel at an exact,
+    /// reproducible point of the partition phase.
+    pub fn cancel_after_checks(&self, n: u64) {
+        self.inner.checks.store(0, Ordering::Release);
+        self.inner.trip_after.store(n, Ordering::Release);
+    }
+
+    /// Polls the token, counting this call toward
+    /// [`CancelToken::cancel_after_checks`]. Returns the latched cause once
+    /// tripped.
+    pub fn check(&self) -> Option<CancelCause> {
+        let armed = self.inner.trip_after.load(Ordering::Acquire);
+        if armed > 0 {
+            let seen = self.inner.checks.fetch_add(1, Ordering::AcqRel) + 1;
+            if seen >= armed {
+                self.cancel();
+            }
+        }
+        self.cause()
+    }
+
+    /// Non-counting peek at the latched cause.
+    pub fn cause(&self) -> Option<CancelCause> {
+        match self.inner.state.load(Ordering::Acquire) {
+            TOKEN_CANCELLED => Some(CancelCause::Cancelled),
+            TOKEN_DEADLINE => Some(CancelCause::Deadline),
+            _ => None,
+        }
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+}
 
 /// Cumulative on-CPU time of the calling thread, in seconds, where the
 /// platform exposes it (Linux: `/proc/thread-self/schedstat`, nanosecond
@@ -101,6 +219,29 @@ pub fn run_ordered<S, T, FInit, FTask, FSink>(
     n_tasks: usize,
     init: FInit,
     task: FTask,
+    sink: FSink,
+) -> Vec<S>
+where
+    S: Send,
+    T: Send,
+    FInit: Fn(usize) -> S + Sync,
+    FTask: Fn(&mut S, usize) -> T + Sync,
+    FSink: FnMut(usize, T),
+{
+    run_ordered_with(threads, n_tasks, None, init, task, sink)
+}
+
+/// [`run_ordered`] with cooperative cancellation: each worker polls `cancel`
+/// before claiming its next task and stops claiming once the token trips.
+/// Tasks are claimed in index order, so the sink observes exactly the
+/// contiguous prefix of tasks claimed before the trip — a cancelled run's
+/// partial output is a clean prefix, never a gapped subset.
+pub fn run_ordered_with<S, T, FInit, FTask, FSink>(
+    threads: usize,
+    n_tasks: usize,
+    cancel: Option<&CancelToken>,
+    init: FInit,
+    task: FTask,
     mut sink: FSink,
 ) -> Vec<S>
 where
@@ -123,6 +264,9 @@ where
                 scope.spawn(move || {
                     let mut state = init(w);
                     loop {
+                        if cancel.is_some_and(|c| c.is_cancelled()) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n_tasks {
                             break;
@@ -202,6 +346,30 @@ pub fn run_ordered_fallible<S, T, E, FInit, FTask, FSink>(
     max_requeues: u32,
     init: FInit,
     task: FTask,
+    sink: FSink,
+) -> Vec<S>
+where
+    S: Send,
+    T: Send,
+    E: Send,
+    FInit: Fn(usize) -> S + Sync,
+    FTask: Fn(&mut S, usize, u32) -> Result<T, E> + Sync,
+    FSink: FnMut(usize, Result<T, E>),
+{
+    run_ordered_fallible_with(threads, n_tasks, max_requeues, None, init, task, sink)
+}
+
+/// [`run_ordered_fallible`] with cooperative cancellation, with the same
+/// claim-before-poll contract as [`run_ordered_with`]: workers stop claiming
+/// (fresh indices *and* queued retries) once the token trips, in-flight
+/// tasks finish, and the sink observes a prefix of final results.
+pub fn run_ordered_fallible_with<S, T, E, FInit, FTask, FSink>(
+    threads: usize,
+    n_tasks: usize,
+    max_requeues: u32,
+    cancel: Option<&CancelToken>,
+    init: FInit,
+    task: FTask,
     mut sink: FSink,
 ) -> Vec<S>
 where
@@ -231,12 +399,18 @@ where
                 scope.spawn(move || {
                     let mut state = init(w);
                     loop {
+                        if cancel.is_some_and(|c| c.is_cancelled()) {
+                            break;
+                        }
                         // Claim a retry (preferred — it is oldest work) or a
                         // fresh index; wait while in-flight tasks might still
                         // spawn retries; exit when nothing can arrive.
                         let claimed = {
                             let mut q = queue.lock().expect("requeue lock");
                             loop {
+                                if cancel.is_some_and(|c| c.is_cancelled()) {
+                                    break None;
+                                }
                                 if let Some(job) = q.retries.pop() {
                                     q.in_flight += 1;
                                     break Some(job);
@@ -460,5 +634,84 @@ mod tests {
             |_, _| panic!("no tasks"),
         );
         assert_eq!(states.len(), 1);
+    }
+
+    #[test]
+    fn cancel_token_latches_first_cause() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), None);
+        t.cancel_deadline();
+        t.cancel(); // later trip must not overwrite the cause
+        assert_eq!(t.cause(), Some(CancelCause::Deadline));
+        assert_eq!(t.check(), Some(CancelCause::Deadline));
+        let shared = t.clone();
+        assert!(shared.is_cancelled(), "clones share the flag");
+    }
+
+    #[test]
+    fn cancel_after_checks_trips_on_the_exact_check() {
+        let t = CancelToken::new();
+        t.cancel_after_checks(3);
+        assert_eq!(t.check(), None);
+        assert_eq!(t.check(), None);
+        assert_eq!(t.check(), Some(CancelCause::Cancelled));
+        assert_eq!(t.check(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn cancelled_ordered_pool_emits_a_clean_prefix() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let mut seen = Vec::new();
+            run_ordered_with(
+                threads,
+                100,
+                Some(&token),
+                |_| (),
+                |_, i| {
+                    if i == 10 {
+                        token.cancel();
+                    }
+                    i
+                },
+                |i, out| seen.push((i, out)),
+            );
+            // Everything emitted is the contiguous prefix 0..k, and the trip
+            // stopped the pool well short of the full run.
+            assert!(seen.len() < 100, "pool ran to completion despite cancel");
+            for (idx, (i, out)) in seen.iter().enumerate() {
+                assert_eq!((idx, idx), (*i, *out));
+            }
+            assert!(seen.len() >= 11, "tasks claimed before the trip complete");
+        }
+    }
+
+    #[test]
+    fn cancelled_fallible_pool_stops_claiming_retries() {
+        let token = CancelToken::new();
+        let mut seen = Vec::new();
+        run_ordered_fallible_with(
+            2,
+            50,
+            3,
+            Some(&token),
+            |_| (),
+            |_, i, round| {
+                if i == 5 && round == 0 {
+                    token.cancel();
+                    return Err("tripped mid-task");
+                }
+                Ok::<usize, &str>(i)
+            },
+            |i, out| seen.push((i, out)),
+        );
+        assert!(seen.len() < 50);
+        // Task 5's retry was queued but never claimed: nothing after the
+        // first gap is emitted, and everything emitted is ordered.
+        for w in seen.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!(!seen.iter().any(|(i, _)| *i == 5));
     }
 }

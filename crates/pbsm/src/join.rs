@@ -3,7 +3,7 @@ use std::time::Instant;
 use geom::{reference_point, Kpe, RecordId};
 use storage::{
     try_external_sort, try_read_all, DiskModel, FileId, IdPair, IoError, IoStats, JoinError,
-    RecordReader, RecordWriter, SimDisk, SortStats,
+    RecordReader, RecordWriter, RunCheckpoint, RunControl, RunPhase, SimDisk, SortStats,
 };
 use sweep::{InternalAlgo, InternalJoin, JoinCounters};
 
@@ -112,6 +112,9 @@ pub struct PbsmStats {
     pub io_repart: IoStats,
     pub io_join: IoStats,
     pub io_dedup: IoStats,
+    /// I/O spent on durability (manifest publishes, journal commits, result
+    /// flushes) when the run is checkpointed; zero otherwise.
+    pub io_checkpoint: IoStats,
     pub cpu_partition: f64,
     pub cpu_repart: f64,
     pub cpu_join: f64,
@@ -144,6 +147,7 @@ impl PbsmStats {
             io_repart: IoStats::default(),
             io_join: IoStats::default(),
             io_dedup: IoStats::default(),
+            io_checkpoint: IoStats::default(),
             cpu_partition: 0.0,
             cpu_repart: 0.0,
             cpu_join: 0.0,
@@ -170,6 +174,7 @@ impl PbsmStats {
             .plus(&self.io_repart)
             .plus(&self.io_join)
             .plus(&self.io_dedup)
+            .plus(&self.io_checkpoint)
     }
 
     pub fn cpu_seconds(&self) -> f64 {
@@ -229,6 +234,7 @@ impl PbsmStats {
         self.io_repart = self.io_repart.plus(&other.io_repart);
         self.io_join = self.io_join.plus(&other.io_join);
         self.io_dedup = self.io_dedup.plus(&other.io_dedup);
+        self.io_checkpoint = self.io_checkpoint.plus(&other.io_checkpoint);
         self.cpu_partition = self.cpu_partition.max(other.cpu_partition);
         self.cpu_repart = self.cpu_repart.max(other.cpu_repart);
         self.cpu_join = self.cpu_join.max(other.cpu_join);
@@ -288,8 +294,62 @@ pub fn try_pbsm_join(
     cfg: &PbsmConfig,
     out: &mut dyn FnMut(RecordId, RecordId),
 ) -> Result<PbsmStats, JoinError> {
-    let mut stats = PbsmStats::new(disk.model());
+    try_pbsm_join_ctl(disk, r, s, cfg, &RunControl::none(), out)
+}
+
+/// [`try_pbsm_join`] with run-control plumbing: cooperative cancellation, a
+/// simulated-time deadline (both checked at partition granularity), and —
+/// when [`RunControl::checkpoint`] is set — durable per-partition commits
+/// with exactly-once resume.
+///
+/// Checkpointing requires [`Dedup::ReferencePoint`]: RPM attributes every
+/// result pair to exactly one top-level partition, which is what makes
+/// skipping journal-committed partitions duplicate-free. The sort-phase
+/// dedup classifies pairs only after a *global* sort and the diagnostic mode
+/// never dedups, so neither supports partition-granular resume; both are
+/// refused up front with a typed `Unsupported` error.
+///
+/// Under checkpointing each partition's result pairs are buffered, durably
+/// flushed to the run's results file, journaled (the commit point — crash
+/// injection fires here), and only then emitted. An interrupted run has
+/// therefore emitted exactly its committed partitions' pairs, and a resumed
+/// run emits exactly the uncommitted ones: together the two legs produce the
+/// uninterrupted output with zero re-emissions. A resumed run folds the
+/// journaled counters into its stats, so its reported totals equal an
+/// uninterrupted run's.
+pub fn try_pbsm_join_ctl(
+    disk: &SimDisk,
+    r: &[Kpe],
+    s: &[Kpe],
+    cfg: &PbsmConfig,
+    ctl: &RunControl,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> Result<PbsmStats, JoinError> {
+    let mut cp = ctl.checkpoint.as_ref().map(|m| m.lock());
+    let checkpointing = cp.is_some();
+    if checkpointing && cfg.dedup != Dedup::ReferencePoint {
+        return Err(JoinError::new("setup", IoError::unsupported()));
+    }
+    let model = disk.model();
+    let mut stats = PbsmStats::new(model);
     let run_start = Instant::now();
+
+    // A recovered run that already published `Done`: everything was emitted
+    // before the original process exited, so report the journaled totals and
+    // emit nothing (re-emitting would break exactly-once).
+    if let Some(cp) = cp.as_ref() {
+        if cp.phase() == RunPhase::Done {
+            stats.partitions = cp.partitions();
+            stats.grid = TileGrid::for_partitions(cp.partitions().max(1), cfg.tiles_per_partition);
+            for e in cp.committed() {
+                stats.candidates += e.candidates;
+                stats.results += e.results;
+                stats.duplicates += e.duplicates;
+            }
+            return Ok(stats);
+        }
+    }
+    let resuming = cp.as_ref().is_some_and(|c| c.phase() == RunPhase::Join);
 
     // --- Phase 1: partitioning (formula (1) with safety factor t) ----------
     let t0 = Instant::now();
@@ -310,17 +370,40 @@ pub fn try_pbsm_join(
         stats.copies_r = r.len() as u64; // one logical copy each, not on disk
         stats.copies_s = s.len() as u64;
         (Vec::new(), Vec::new())
+    } else if resuming {
+        // The manifest's partition files survived the crash intact: the
+        // whole partition phase (and its page writes) is skipped.
+        debug_assert_eq!(
+            cp.as_ref().map_or(0, |c| c.partitions()),
+            p,
+            "fingerprint-matched resume must re-derive the partition count"
+        );
+        cp.as_ref().map_or_else(Default::default, |c| {
+            let (fr, fs) = c.files();
+            (fr.to_vec(), fs.to_vec())
+        })
     } else {
-        let (files_r, copies_r) = partition_relation(disk, r, grid, map, cfg.partition_buffer_pages)
-            .map_err(|e| JoinError::new("partition", e))?;
+        let mut poll = |record: u64| {
+            // The whole phase is one sequential pass, so interruption checks
+            // happen every 64 input records instead of per partition.
+            if !record.is_multiple_of(64) {
+                return None;
+            }
+            ctl.charge(
+                "partition",
+                disk.io_seconds() + model.scaled_cpu(t0.elapsed().as_secs_f64()),
+            )
+        };
+        let (files_r, copies_r) =
+            partition_relation(disk, r, grid, map, cfg.partition_buffer_pages, &mut poll)?;
         let (files_s, copies_s) =
-            match partition_relation(disk, s, grid, map, cfg.partition_buffer_pages) {
+            match partition_relation(disk, s, grid, map, cfg.partition_buffer_pages, &mut poll) {
                 Ok(v) => v,
                 Err(e) => {
                     for &f in &files_r {
                         disk.delete(f);
                     }
-                    return Err(JoinError::new("partition", e));
+                    return Err(e);
                 }
             };
         stats.copies_r = copies_r;
@@ -329,6 +412,24 @@ pub fn try_pbsm_join(
     };
     stats.io_partition = disk.stats().delta(&io0);
     stats.cpu_partition = t0.elapsed().as_secs_f64();
+
+    // Publish the `Join` manifest (journal + results files + partition file
+    // list) before any partition can commit; a resumed run instead folds the
+    // journaled counters in so its totals match an uninterrupted run's.
+    if let Some(cp) = cp.as_mut() {
+        if resuming {
+            for e in cp.committed() {
+                stats.candidates += e.candidates;
+                stats.results += e.results;
+                stats.duplicates += e.duplicates;
+            }
+        } else {
+            let c0 = disk.stats();
+            let res = cp.commit_join_phase(p, &files_r, &files_s);
+            stats.io_checkpoint = stats.io_checkpoint.plus(&disk.stats().delta(&c0));
+            res?;
+        }
+    }
 
     // --- Phases 2+3: repartition where needed, join every pair -------------
     // The dedup disk is a scratch fork: own files and meter, but the same
@@ -361,64 +462,150 @@ pub fn try_pbsm_join(
     // On-CPU compute clock (wall fallback) so sequential and parallel
     // join-phase measurements share a basis — see `Ctx::clock`.
     let coord_clock = parallel::WorkClock::start();
-    let wall_clock = move || coord_clock.seconds();
+    let wall_clock = || coord_clock.seconds();
+    // Simulated time so far — what the deadline is charged against at every
+    // partition boundary.
+    let cpu_base = stats.cpu_partition;
+    let elapsed_now = || disk.io_seconds() + model.scaled_cpu(cpu_base + coord_clock.seconds());
+    // Join-phase work units still to do: a resumed run skips every
+    // journal-committed partition (whose pairs the crashed process already
+    // emitted after its commit — skipping them is what makes resume
+    // exactly-once).
+    let todo: Vec<u32> = (0..p)
+        .filter(|i| !cp.as_ref().is_some_and(|c| c.is_committed(*i)))
+        .collect();
     if single {
-        let t = Instant::now();
-        let chain = RegionChain::top(grid, map, map.partition_of(0, 0, grid.gx));
-        let mut rv = r.to_vec();
-        let mut sv = s.to_vec();
-        let mut ctx = Ctx {
-            disk,
-            cfg,
-            internal: &mut *internal,
-            stats: &mut stats,
-            clock: &wall_clock,
-        };
-        let joined = join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out, &mut |pair| {
-            candidates
-                .as_mut()
-                .expect("sort-phase candidate writer (Some iff Dedup::SortPhase)")
-                .try_push(&pair)
-        });
-        stats.cpu_join += t.elapsed().as_secs_f64();
-        stats.join_counters = internal.counters();
-        joined.map_err(|e| JoinError::new("dedup", e))?;
+        if let Some(e) = ctl.charge("join", elapsed_now()) {
+            return Err(e);
+        }
+        if todo.is_empty() {
+            stats.join_counters = internal.counters();
+        } else {
+            let t = Instant::now();
+            let chain = RegionChain::top(grid, map, map.partition_of(0, 0, grid.gx));
+            let mut rv = r.to_vec();
+            let mut sv = s.to_vec();
+            let mut buffered: Vec<(RecordId, RecordId)> = Vec::new();
+            let base = (stats.candidates, stats.results, stats.duplicates);
+            let joined = {
+                let mut ctx = Ctx {
+                    disk,
+                    cfg,
+                    internal: &mut *internal,
+                    stats: &mut stats,
+                    clock: &wall_clock,
+                };
+                if checkpointing {
+                    join_loaded(
+                        &mut ctx,
+                        &mut rv,
+                        &mut sv,
+                        &chain,
+                        &mut |a, b| buffered.push((a, b)),
+                        &mut |_| Ok(()),
+                    )
+                } else {
+                    join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out, &mut |pair| {
+                        candidates
+                            .as_mut()
+                            .expect("sort-phase candidate writer (Some iff Dedup::SortPhase)")
+                            .try_push(&pair)
+                    })
+                }
+            };
+            stats.cpu_join += t.elapsed().as_secs_f64();
+            stats.join_counters = internal.counters();
+            joined.map_err(|e| JoinError::new("dedup", e))?;
+            if let Some(cp) = cp.as_mut() {
+                let deltas = (
+                    stats.candidates - base.0,
+                    stats.results - base.1,
+                    stats.duplicates - base.2,
+                );
+                commit_and_emit(cp, disk, &mut stats.io_checkpoint, 0, &buffered, deltas, out)?;
+            }
+        }
     } else if threads <= 1 {
         // Sequential executor: today's exact behaviour (threads = 1). After
-        // the first terminal error the remaining pairs are skipped, but all
-        // partition files are still deleted.
+        // the first terminal error the remaining pairs are skipped; without
+        // a checkpoint all partition files are still deleted, with one they
+        // are left in place — an interruption must not destroy the state a
+        // resume needs, and `finish`/the recovery scan reclaim them.
         let mut first_err: Option<JoinError> = None;
-        {
-            let mut ctx = Ctx {
-                disk,
-                cfg,
-                internal: &mut *internal,
-                stats: &mut stats,
-                clock: &wall_clock,
-            };
-            for i in 0..p {
-                if first_err.is_none() {
-                    let chain = RegionChain::top(grid, map, i);
-                    let res = join_pair(
-                        &mut ctx,
-                        files_r[i as usize],
-                        files_s[i as usize],
-                        &chain,
-                        0,
-                        (false, false),
-                        i,
-                        out,
-                        &mut |pair| {
-                            candidates
-                                .as_mut()
-                                .expect("sort-phase candidate writer (Some iff Dedup::SortPhase)")
-                                .try_push(&pair)
-                        },
-                    );
-                    if let Err(e) = res {
-                        first_err = Some(e);
+        for &i in &todo {
+            if first_err.is_none() {
+                first_err = ctl.charge("join", elapsed_now());
+            }
+            if first_err.is_none() {
+                let chain = RegionChain::top(grid, map, i);
+                let mut buffered: Vec<(RecordId, RecordId)> = Vec::new();
+                let base = (stats.candidates, stats.results, stats.duplicates);
+                let res = {
+                    let mut ctx = Ctx {
+                        disk,
+                        cfg,
+                        internal: &mut *internal,
+                        stats: &mut stats,
+                        clock: &wall_clock,
+                    };
+                    if checkpointing {
+                        join_pair(
+                            &mut ctx,
+                            files_r[i as usize],
+                            files_s[i as usize],
+                            &chain,
+                            0,
+                            (false, false),
+                            i,
+                            &mut |a, b| buffered.push((a, b)),
+                            &mut |_| Ok(()),
+                        )
+                    } else {
+                        join_pair(
+                            &mut ctx,
+                            files_r[i as usize],
+                            files_s[i as usize],
+                            &chain,
+                            0,
+                            (false, false),
+                            i,
+                            out,
+                            &mut |pair| {
+                                candidates
+                                    .as_mut()
+                                    .expect(
+                                        "sort-phase candidate writer (Some iff Dedup::SortPhase)",
+                                    )
+                                    .try_push(&pair)
+                            },
+                        )
                     }
+                };
+                match res {
+                    Ok(()) => {
+                        if let Some(cp) = cp.as_mut() {
+                            let deltas = (
+                                stats.candidates - base.0,
+                                stats.results - base.1,
+                                stats.duplicates - base.2,
+                            );
+                            if let Err(e) = commit_and_emit(
+                                cp,
+                                disk,
+                                &mut stats.io_checkpoint,
+                                i,
+                                &buffered,
+                                deltas,
+                                out,
+                            ) {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                    Err(e) => first_err = Some(e),
                 }
+            }
+            if !checkpointing {
                 disk.delete(files_r[i as usize]);
                 disk.delete(files_s[i as usize]);
             }
@@ -432,17 +619,28 @@ pub fn try_pbsm_join(
         // repartitioning recursion) is one task. Workers run on forked I/O
         // counters; task outputs are re-assembled in partition order, so
         // the emitted stream — and, for the sort phase, the candidate file
-        // — is byte-identical to the sequential path.
+        // — is byte-identical to the sequential path. Checkpoint commits
+        // happen only here on the coordinator, in that same canonical order.
         struct TaskOut {
             pairs: Vec<(RecordId, RecordId)>,
             cand: Vec<IdPair>,
+            /// Forked-meter delta of this task, folded into the
+            /// coordinator's deadline estimate as results land (the full
+            /// fork meters merge only after the pool drains).
+            io: IoStats,
+            /// (candidates, results, duplicates) this task produced — the
+            /// journal record of its partition.
+            deltas: (u64, u64, u64),
         }
-        let model = disk.model();
         let mut first_err: Option<JoinError> = None;
-        let workers = parallel::run_ordered_fallible(
+        let mut est_io = IoStats::default();
+        let io_ckpt = &mut stats.io_checkpoint;
+        let todo_ref = &todo;
+        let workers = parallel::run_ordered_fallible_with(
             threads,
-            p as usize,
+            todo.len(),
             cfg.max_partition_requeues,
+            Some(&ctl.cancel),
             |_w| {
                 (
                     disk.fork_counters(),
@@ -451,7 +649,8 @@ pub fn try_pbsm_join(
                     parallel::WorkClock::start(),
                 )
             },
-            |(fork, internal, partial, work_clock), i, round| {
+            |(fork, internal, partial, work_clock), idx, round| {
+                let i = todo_ref[idx];
                 if round > 0 {
                     partial.requeued_partitions += 1;
                 }
@@ -461,7 +660,8 @@ pub fn try_pbsm_join(
                 // I/O meter is deliberately *not* rolled back — failed
                 // attempts and their retries are real simulated disk time.
                 let snapshot = partial.clone();
-                let chain = RegionChain::top(grid, map, i as u32);
+                let io_before = fork.stats();
+                let chain = RegionChain::top(grid, map, i);
                 let mut pairs = Vec::new();
                 let mut cand = Vec::new();
                 let clock = || work_clock.seconds();
@@ -474,12 +674,12 @@ pub fn try_pbsm_join(
                 };
                 let res = join_pair(
                     &mut ctx,
-                    files_r[i],
-                    files_s[i],
+                    files_r[i as usize],
+                    files_s[i as usize],
                     &chain,
                     0,
                     (false, false),
-                    i as u32,
+                    i,
                     &mut |a, b| pairs.push((a, b)),
                     &mut |pair| {
                         cand.push(pair);
@@ -487,24 +687,79 @@ pub fn try_pbsm_join(
                     },
                 );
                 match res {
-                    Ok(()) => Ok(TaskOut { pairs, cand }),
+                    Ok(()) => Ok(TaskOut {
+                        pairs,
+                        cand,
+                        io: fork.stats().delta(&io_before),
+                        deltas: (
+                            partial.candidates - snapshot.candidates,
+                            partial.results - snapshot.results,
+                            partial.duplicates - snapshot.duplicates,
+                        ),
+                    }),
                     Err(e) => {
+                        // Roll back the logical counters only (the requeued
+                        // attempt recounts them from scratch); keep the I/O
+                        // and CPU buckets. Restoring those too dropped the
+                        // failed attempt's reads and retries from the join
+                        // bucket while the fork's meter kept them, so the
+                        // per-phase retry breakdown disagreed with the
+                        // disk's total meter.
+                        let attempted = partial.clone();
                         *partial = snapshot;
-                        Err(e)
+                        partial.io_join = attempted.io_join;
+                        partial.io_repart = attempted.io_repart;
+                        partial.cpu_join = attempted.cpu_join;
+                        partial.cpu_repart = attempted.cpu_repart;
+                        // A failure in the last allowed round is terminal —
+                        // the pool will not requeue past the cap — so name
+                        // the partition, the attempt count and the last I/O
+                        // error instead of the bare per-attempt error.
+                        Err(if round >= cfg.max_partition_requeues {
+                            match e.io() {
+                                Some(io) => {
+                                    JoinError::requeue_exhausted(e.phase, i, round + 1, *io)
+                                }
+                                None => e,
+                            }
+                        } else {
+                            e
+                        })
                     }
                 }
             },
-            |i, result| {
+            |idx, result| {
+                let i = todo_ref[idx];
+                if first_err.is_none() {
+                    // Deadline at partition granularity: the coordinator's
+                    // own meter plus every forked delta folded in so far.
+                    first_err = ctl.charge(
+                        "join",
+                        model.seconds(&disk.stats().plus(&est_io))
+                            + model.scaled_cpu(cpu_base + coord_clock.seconds()),
+                    );
+                }
                 match result {
                     Ok(t) => {
-                        for (a, b) in t.pairs {
-                            out(a, b);
-                        }
-                        if let Some(w) = candidates.as_mut() {
-                            for pair in t.cand {
-                                if let Err(e) = w.try_push(&pair) {
-                                    first_err.get_or_insert(JoinError::new("dedup", e));
-                                    break;
+                        est_io = est_io.plus(&t.io);
+                        if first_err.is_none() {
+                            if let Some(cp) = cp.as_mut() {
+                                if let Err(e) =
+                                    commit_and_emit(cp, disk, io_ckpt, i, &t.pairs, t.deltas, out)
+                                {
+                                    first_err = Some(e);
+                                }
+                            } else {
+                                for (a, b) in t.pairs {
+                                    out(a, b);
+                                }
+                                if let Some(w) = candidates.as_mut() {
+                                    for pair in t.cand {
+                                        if let Err(e) = w.try_push(&pair) {
+                                            first_err.get_or_insert(JoinError::new("dedup", e));
+                                            break;
+                                        }
+                                    }
                                 }
                             }
                         }
@@ -513,8 +768,16 @@ pub fn try_pbsm_join(
                         first_err.get_or_insert(e);
                     }
                 }
-                disk.delete(files_r[i]);
-                disk.delete(files_s[i]);
+                if !checkpointing {
+                    disk.delete(files_r[i as usize]);
+                    disk.delete(files_s[i as usize]);
+                } else if first_err.is_some() {
+                    // A checkpointed run that hit a terminal error (crash,
+                    // commit failure) is dead: stop the workers from
+                    // claiming further partitions, like the process exit
+                    // they are simulating would. Committed state stays.
+                    ctl.cancel.cancel();
+                }
             },
         );
         for (fork, internal, mut partial, _clock) in workers {
@@ -579,28 +842,84 @@ pub fn try_pbsm_join(
         stats.io_dedup = ddisk.stats();
         stats.cpu_dedup = t3.elapsed().as_secs_f64();
     }
+
+    // Publish `Done` and drop the partition files; the journal, results and
+    // manifest files remain as the run's durable record.
+    if let Some(cp) = cp.as_mut() {
+        let c0 = disk.stats();
+        let res = cp.finish();
+        stats.io_checkpoint = stats.io_checkpoint.plus(&disk.stats().delta(&c0));
+        res?;
+    }
     stats.first_result_cpu = first_cpu;
     stats.first_result_io = first_io;
     Ok(stats)
 }
 
+/// Commit-protocol steps 2–4 for one finished partition: durably flush its
+/// buffered pairs to the results file, append its journal record (the
+/// commit point — crash injection fires here), and only then emit the pairs
+/// downstream. The checkpoint I/O delta is folded into `io_ckpt`.
+fn commit_and_emit(
+    cp: &mut RunCheckpoint,
+    disk: &SimDisk,
+    io_ckpt: &mut IoStats,
+    partition: u32,
+    pairs: &[(RecordId, RecordId)],
+    (candidates, results, duplicates): (u64, u64, u64),
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> Result<(), JoinError> {
+    let io0 = disk.stats();
+    let encoded: Vec<IdPair> = pairs
+        .iter()
+        .map(|&(a, b)| IdPair { r: a.0, s: b.0 })
+        .collect();
+    let res = cp
+        .append_results(&encoded)
+        .and_then(|()| cp.commit_partition(partition, candidates, results, duplicates));
+    *io_ckpt = io_ckpt.plus(&disk.stats().delta(&io0));
+    // The durable journal record — not the process's last instruction — is
+    // the delivery boundary: a resume skips every committed partition, so a
+    // committed partition's pairs must reach the consumer even when the
+    // injected crash fires between the commit and this loop (otherwise they
+    // would be emitted by neither leg). An uncommitted partition's pairs
+    // stay unemitted; the resume recomputes and emits them.
+    if res.is_ok() || cp.is_committed(partition) {
+        for &(a, b) in pairs {
+            out(a, b);
+        }
+    }
+    res
+}
+
 /// Phase 1 for one relation: replicate each KPE into the partition of every
 /// tile it overlaps. Returns the partition files and the number of copies.
-/// On error every file this call created is deleted before returning.
+/// `poll` is consulted with each input record's ordinal so cancellation and
+/// deadline expiry can interrupt the pass; on any error — I/O or
+/// interruption — every file this call created is deleted before returning,
+/// so an interrupted partition phase leaves no orphan files behind.
 fn partition_relation(
     disk: &SimDisk,
     data: &[Kpe],
     grid: TileGrid,
     map: PartitionMap,
     buffer_pages: usize,
-) -> Result<(Vec<FileId>, u64), IoError> {
+    poll: &mut dyn FnMut(u64) -> Option<JoinError>,
+) -> Result<(Vec<FileId>, u64), JoinError> {
+    let io_err = |e: IoError| JoinError::new("partition", e);
     let p = map.partitions;
     let mut writers: Vec<RecordWriter<Kpe>> = (0..p)
         .map(|_| RecordWriter::create(disk, buffer_pages))
         .collect();
     let mut copies = 0u64;
     let mut targets: Vec<u32> = Vec::with_capacity(8);
-    for k in data {
+    for (n, k) in data.iter().enumerate() {
+        if let Some(e) = poll(n as u64) {
+            for w in &writers {
+                disk.delete(w.file());
+            }
+            return Err(e);
+        }
         targets.clear();
         let (xs, ys) = grid.tile_range(&k.rect, 1);
         for iy in ys {
@@ -616,7 +935,7 @@ fn partition_relation(
                 for w in &writers {
                     disk.delete(w.file());
                 }
-                return Err(e);
+                return Err(io_err(e));
             }
             copies += 1;
         }
@@ -638,7 +957,7 @@ fn partition_relation(
         for &f in &files {
             disk.delete(f);
         }
-        return Err(e);
+        return Err(io_err(e));
     }
     Ok((files, copies))
 }

@@ -5,7 +5,8 @@ use std::time::Instant;
 use geom::{reference_point, Kpe, RecordId};
 use sfc::{Cell, Curve, MAX_LEVEL};
 use storage::{
-    try_external_sort_by, DiskModel, FileId, IoError, IoStats, JoinError, RecordReader, SimDisk,
+    try_external_sort_by, DiskModel, FileId, IdPair, IoError, IoStats, JoinError, RecordReader,
+    RunCheckpoint, RunControl, RunPhase, SimDisk,
 };
 use sweep::{InternalAlgo, InternalJoin, JoinCounters};
 
@@ -95,6 +96,9 @@ pub struct S3jStats {
     pub io_partition: IoStats,
     pub io_sort: IoStats,
     pub io_join: IoStats,
+    /// Checkpoint-layer I/O of a durable run (manifest publishes, journal
+    /// and results-file appends); zero without a checkpoint.
+    pub io_checkpoint: IoStats,
     pub cpu_partition: f64,
     pub cpu_sort: f64,
     pub cpu_join: f64,
@@ -109,7 +113,10 @@ pub struct S3jStats {
 
 impl S3jStats {
     pub fn io_total(&self) -> IoStats {
-        self.io_partition.plus(&self.io_sort).plus(&self.io_join)
+        self.io_partition
+            .plus(&self.io_sort)
+            .plus(&self.io_join)
+            .plus(&self.io_checkpoint)
     }
 
     pub fn cpu_seconds(&self) -> f64 {
@@ -161,6 +168,7 @@ impl S3jStats {
         self.io_partition = self.io_partition.plus(&other.io_partition);
         self.io_sort = self.io_sort.plus(&other.io_sort);
         self.io_join = self.io_join.plus(&other.io_join);
+        self.io_checkpoint = self.io_checkpoint.plus(&other.io_checkpoint);
         self.cpu_partition = self.cpu_partition.max(other.cpu_partition);
         self.cpu_sort = self.cpu_sort.max(other.cpu_sort);
         self.cpu_join = self.cpu_join.max(other.cpu_join);
@@ -185,6 +193,7 @@ impl S3jStats {
             io_partition: IoStats::default(),
             io_sort: IoStats::default(),
             io_join: IoStats::default(),
+            io_checkpoint: IoStats::default(),
             cpu_partition: 0.0,
             cpu_sort: 0.0,
             cpu_join: 0.0,
@@ -378,75 +387,228 @@ pub fn try_s3j_join(
     cfg: &S3jConfig,
     out: &mut dyn FnMut(RecordId, RecordId),
 ) -> Result<S3jStats, JoinError> {
+    try_s3j_join_ctl(disk, r, s, cfg, &RunControl::none(), out)
+}
+
+/// Level-file lists travel through the run manifest as flat [`FileId`]
+/// vectors indexed by level; empty levels are encoded as this sentinel raw
+/// id (never a real file — deleting or keeping it is a no-op on `SimDisk`).
+const EMPTY_LEVEL: u32 = u32::MAX;
+
+fn pack_levels(files: &[Option<FileId>]) -> Vec<FileId> {
+    files
+        .iter()
+        .map(|f| f.unwrap_or(FileId::from_raw(EMPTY_LEVEL)))
+        .collect()
+}
+
+fn unpack_levels(files: &[FileId]) -> Vec<Option<FileId>> {
+    files
+        .iter()
+        .map(|&f| (f.raw() != EMPTY_LEVEL).then_some(f))
+        .collect()
+}
+
+/// Commit-protocol steps 2–4 for one discovered partition: durably flush
+/// its buffered pairs to the results file, append its journal record (the
+/// commit point — crash injection fires here), and only then emit the pairs
+/// downstream. The checkpoint I/O delta is folded into `io_ckpt`.
+fn commit_and_emit(
+    cp: &mut RunCheckpoint,
+    disk: &SimDisk,
+    io_ckpt: &mut IoStats,
+    partition: u32,
+    pairs: &[(RecordId, RecordId)],
+    (candidates, results, duplicates): (u64, u64, u64),
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> Result<(), JoinError> {
+    let io0 = disk.stats();
+    let encoded: Vec<IdPair> = pairs
+        .iter()
+        .map(|&(a, b)| IdPair { r: a.0, s: b.0 })
+        .collect();
+    let res = cp
+        .append_results(&encoded)
+        .and_then(|()| cp.commit_partition(partition, candidates, results, duplicates));
+    *io_ckpt = io_ckpt.plus(&disk.stats().delta(&io0));
+    // The durable journal record — not the process's last instruction — is
+    // the delivery boundary: a resume skips every committed partition, so a
+    // committed partition's pairs must reach the consumer even when the
+    // injected crash fires between the commit and this loop (otherwise they
+    // would be emitted by neither leg). An uncommitted partition's pairs
+    // stay unemitted; the resume recomputes and emits them.
+    if res.is_ok() || cp.is_committed(partition) {
+        for &(a, b) in pairs {
+            out(a, b);
+        }
+    }
+    res
+}
+
+/// [`try_s3j_join`] with run-control plumbing: cooperative cancellation, a
+/// simulated-time deadline (both checked per level file in the build/sort
+/// phases and per discovered partition in the scan), and — when
+/// [`RunControl::checkpoint`] is set — durable per-partition commits with
+/// exactly-once resume.
+///
+/// The journal's work unit is the *discovered partition*: the synchronized
+/// scan pops partitions off the cursor heap in a deterministic pre-order,
+/// so numbering them in discovery order is stable across runs and thread
+/// counts. Each candidate pair arises in exactly one discovery event (the
+/// deeper partition joining the other relation's root path), and the
+/// modified RPM (§4.3) reports a pair only in its reference-point cell, so
+/// skipping journal-committed partitions on resume is duplicate-free — for
+/// the original unreplicated S³J trivially so, since no pair is ever seen
+/// twice. The ablation [`ScanMode::LevelPairs`] re-reads level files
+/// pair-by-pair and has no such unit; checkpointing it is refused with a
+/// typed `Unsupported` error.
+///
+/// The durable run is three manifests deep: a `Partition` manifest after
+/// the build (a crash mid-sort resumes from the intact unsorted level
+/// files), a `Join` manifest after the sort (journal + results + sorted
+/// files; per-partition commits are durable from here), and `Done` at the
+/// end.
+pub fn try_s3j_join_ctl(
+    disk: &SimDisk,
+    r: &[Kpe],
+    s: &[Kpe],
+    cfg: &S3jConfig,
+    ctl: &RunControl,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) -> Result<S3jStats, JoinError> {
+    let mut cp = ctl.checkpoint.as_ref().map(|m| m.lock());
+    let checkpointing = cp.is_some();
+    if checkpointing && !matches!(cfg.scan, ScanMode::HeapMerge) {
+        return Err(JoinError::new("setup", IoError::unsupported()));
+    }
     let run_start = Instant::now();
+    let model = disk.model();
+    let mut stats = S3jStats::partial(model);
+
+    // A recovered run that already published `Done`: everything was emitted
+    // before the original process exited, so report the journaled totals
+    // and emit nothing (re-emitting would break exactly-once).
+    if let Some(c) = cp.as_deref() {
+        if c.phase() == RunPhase::Done {
+            for e in c.committed() {
+                stats.candidates += e.candidates;
+                stats.results += e.results;
+                stats.duplicates += e.duplicates;
+            }
+            return Ok(stats);
+        }
+    }
+    // A published manifest's level-file lists: unsorted when the run died
+    // in the sort phase, sorted once the `Join` manifest was out. A freshly
+    // started checkpoint is also in `Partition` phase but has no files yet.
+    let manifest_levels = cp.as_deref().and_then(|c| {
+        let (fr, fs) = c.files();
+        (!(fr.is_empty() && fs.is_empty())).then(|| (unpack_levels(fr), unpack_levels(fs)))
+    });
+    let resume_join = cp.as_deref().is_some_and(|c| c.phase() == RunPhase::Join);
+    let resume_build = cp.as_deref().is_some_and(|c| c.phase() == RunPhase::Partition)
+        && manifest_levels.is_some();
+
     // --- Phase 1: partitioning into level files -----------------------------
     let t0 = Instant::now();
     let io0 = disk.stats();
-    let lf_r = LevelFiles::try_build(
-        disk,
-        r,
-        cfg.max_level,
-        cfg.curve,
-        cfg.replicate,
-        cfg.level_shift,
-        cfg.level_buffer_pages,
-    )
-    .map_err(|e| JoinError::new("build", e))?;
-    let lf_s = match LevelFiles::try_build(
-        disk,
-        s,
-        cfg.max_level,
-        cfg.curve,
-        cfg.replicate,
-        cfg.level_shift,
-        cfg.level_buffer_pages,
-    ) {
-        Ok(lf) => lf,
-        Err(e) => {
-            lf_r.delete(disk);
-            return Err(JoinError::new("build", e));
+    let (unsorted_r, unsorted_s) = if resume_join {
+        (Vec::new(), Vec::new()) // build *and* sort already durable
+    } else if resume_build {
+        // The unsorted level files survived the crash intact: skip the
+        // build, redo the sort.
+        manifest_levels.clone().unwrap_or_default()
+    } else {
+        let elapsed = || disk.io_seconds() + model.scaled_cpu(t0.elapsed().as_secs_f64());
+        if let Some(e) = ctl.charge("build", elapsed()) {
+            return Err(e);
         }
-    };
-    let mut stats = S3jStats {
-        copies_r: lf_r.copies,
-        copies_s: lf_s.copies,
-        histogram_r: lf_r.histogram.clone(),
-        histogram_s: lf_s.histogram.clone(),
-        code_computations: lf_r.code_computations + lf_s.code_computations,
-        candidates: 0,
-        results: 0,
-        duplicates: 0,
-        join_counters: JoinCounters::default(),
-        sort_runs: 0,
-        sort_passes_max: 0,
-        io_partition: IoStats::default(),
-        io_sort: IoStats::default(),
-        io_join: IoStats::default(),
-        cpu_partition: 0.0,
-        cpu_sort: 0.0,
-        cpu_join: 0.0,
-        peak_partition_bytes: 0,
-        model: disk.model(),
-        first_result_cpu: None,
-        first_result_io: None,
+        let lf_r = LevelFiles::try_build(
+            disk,
+            r,
+            cfg.max_level,
+            cfg.curve,
+            cfg.replicate,
+            cfg.level_shift,
+            cfg.level_buffer_pages,
+        )
+        .map_err(|e| JoinError::new("build", e))?;
+        if let Some(e) = ctl.charge("build", elapsed()) {
+            lf_r.delete(disk);
+            return Err(e);
+        }
+        let lf_s = match LevelFiles::try_build(
+            disk,
+            s,
+            cfg.max_level,
+            cfg.curve,
+            cfg.replicate,
+            cfg.level_shift,
+            cfg.level_buffer_pages,
+        ) {
+            Ok(lf) => lf,
+            Err(e) => {
+                lf_r.delete(disk);
+                return Err(JoinError::new("build", e));
+            }
+        };
+        if let Some(e) = ctl.charge("build", elapsed()) {
+            lf_r.delete(disk);
+            lf_s.delete(disk);
+            return Err(e);
+        }
+        stats.copies_r = lf_r.copies;
+        stats.copies_s = lf_s.copies;
+        stats.histogram_r = lf_r.histogram.clone();
+        stats.histogram_s = lf_s.histogram.clone();
+        stats.code_computations = lf_r.code_computations + lf_s.code_computations;
+        (lf_r.files, lf_s.files)
     };
     stats.io_partition = disk.stats().delta(&io0);
     stats.cpu_partition = t0.elapsed().as_secs_f64();
+    // Durable build: after this publish, a crash or deadline during the
+    // sort phase resumes from the intact unsorted level files instead of
+    // re-partitioning.
+    if !(resume_join || resume_build) {
+        if let Some(c) = cp.as_deref_mut() {
+            let c0 = disk.stats();
+            let res =
+                c.commit_partition_phase(&pack_levels(&unsorted_r), &pack_levels(&unsorted_s));
+            stats.io_checkpoint = stats.io_checkpoint.plus(&disk.stats().delta(&c0));
+            res?;
+        }
+    }
 
     // --- Phase 2: sort every level file by locational code ------------------
     let t1 = Instant::now();
     let io1 = disk.stats();
-    // A sort failure is latched; later level files are deleted unsorted and
-    // every already-sorted file is cleaned up before the error surfaces.
-    let mut sort_err: Option<IoError> = None;
-    let sort_levels =
-        |lf: &LevelFiles, stats: &mut S3jStats, err: &mut Option<IoError>| -> Vec<Option<FileId>> {
-            lf.files
-                .iter()
+    let (sorted_r, sorted_s) = if resume_join {
+        manifest_levels.unwrap_or_default()
+    } else {
+        // A sort failure (or interruption) is latched; later level files
+        // are skipped and every already-sorted file is cleaned up before
+        // the error surfaces. Without a checkpoint each unsorted file is
+        // deleted as soon as it is consumed; a durable run keeps them until
+        // the `Join` manifest — which references the sorted files instead —
+        // is published, so an interrupted sort phase stays resumable.
+        let cpu_base = stats.cpu_partition;
+        let elapsed =
+            || disk.io_seconds() + model.scaled_cpu(cpu_base + t1.elapsed().as_secs_f64());
+        let mut sort_err: Option<JoinError> = None;
+        let sort_levels = |lf: &[Option<FileId>],
+                           stats: &mut S3jStats,
+                           err: &mut Option<JoinError>|
+         -> Vec<Option<FileId>> {
+            lf.iter()
                 .map(|f| {
                     f.and_then(|f| {
+                        if err.is_none() {
+                            *err = ctl.charge("sort", elapsed());
+                        }
                         if err.is_some() {
-                            disk.delete(f);
+                            if !checkpointing {
+                                disk.delete(f);
+                            }
                             return None;
                         }
                         match try_external_sort_by::<LevelRecord, _, _>(
@@ -456,14 +618,18 @@ pub fn try_s3j_join(
                             |r| r.code,
                         ) {
                             Ok((sorted, st)) => {
-                                disk.delete(f);
+                                if !checkpointing {
+                                    disk.delete(f);
+                                }
                                 stats.sort_runs += st.runs;
                                 stats.sort_passes_max = stats.sort_passes_max.max(st.merge_passes);
                                 Some(sorted)
                             }
                             Err(e) => {
-                                disk.delete(f);
-                                *err = Some(e);
+                                if !checkpointing {
+                                    disk.delete(f);
+                                }
+                                *err = Some(JoinError::new("sort", e));
                                 None
                             }
                         }
@@ -471,15 +637,45 @@ pub fn try_s3j_join(
                 })
                 .collect()
         };
-    let sorted_r = sort_levels(&lf_r, &mut stats, &mut sort_err);
-    let sorted_s = sort_levels(&lf_s, &mut stats, &mut sort_err);
-    stats.io_sort = disk.stats().delta(&io1);
-    stats.cpu_sort = t1.elapsed().as_secs_f64();
-    if let Some(e) = sort_err {
-        for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
-            disk.delete(*f);
+        let sorted_r = sort_levels(&unsorted_r, &mut stats, &mut sort_err);
+        let sorted_s = sort_levels(&unsorted_s, &mut stats, &mut sort_err);
+        stats.io_sort = disk.stats().delta(&io1);
+        stats.cpu_sort = t1.elapsed().as_secs_f64();
+        if let Some(e) = sort_err {
+            // Half-done sorted files are orphans either way; under a
+            // checkpoint the unsorted files stay (the `Partition` manifest
+            // references them; resume redoes the sort).
+            for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
+                disk.delete(*f);
+            }
+            return Err(e);
         }
-        return Err(JoinError::new("sort", e));
+        // Publish the `Join` manifest (journal + results + sorted files):
+        // from here on per-partition commits are durable, and the unsorted
+        // level files are no longer needed by any resume.
+        if let Some(c) = cp.as_deref_mut() {
+            let c0 = disk.stats();
+            let res = c.commit_join_phase(0, &pack_levels(&sorted_r), &pack_levels(&sorted_s));
+            stats.io_checkpoint = stats.io_checkpoint.plus(&disk.stats().delta(&c0));
+            res?;
+            for f in unsorted_r.iter().chain(unsorted_s.iter()).flatten() {
+                disk.delete(*f);
+            }
+        }
+        (sorted_r, sorted_s)
+    };
+
+    // A resumed join phase folds the journaled counters in, so its reported
+    // totals match an uninterrupted run's (the committed partitions' pairs
+    // were already emitted by the crashed process after each commit).
+    if resume_join {
+        if let Some(c) = cp.as_deref() {
+            for e in c.committed() {
+                stats.candidates += e.candidates;
+                stats.results += e.results;
+                stats.duplicates += e.duplicates;
+            }
+        }
     }
 
     // --- Phase 3: synchronized scan ------------------------------------------
@@ -488,6 +684,7 @@ pub fn try_s3j_join(
     // are meaningful even on an oversubscribed host.
     let t2 = parallel::WorkClock::start();
     let io2 = disk.stats();
+    let ckpt2 = stats.io_checkpoint;
     let mut first_cpu: Option<f64> = None;
     let mut first_io: Option<IoStats> = None;
     let probe_disk = disk.clone();
@@ -500,12 +697,29 @@ pub fn try_s3j_join(
     };
     let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
     let threads = parallel::resolve_threads(cfg.threads);
-    let scan_res: Result<(), IoError> = if matches!(cfg.scan, ScanMode::HeapMerge) && threads > 1 {
+    // Simulated time so far — what the deadline is charged against at every
+    // discovered partition (S³J scan workers do no I/O, so the
+    // coordinator's meter is the whole story).
+    let cpu_base = stats.cpu_partition + stats.cpu_sort;
+    let elapsed_now = || disk.io_seconds() + model.scaled_cpu(cpu_base + t2.seconds());
+    let scan_res: Result<(), JoinError> = if matches!(cfg.scan, ScanMode::HeapMerge) && threads > 1
+    {
         // `cpu_join` is assembled inside: the coordinator's discovery scan
         // plus the max-over-workers on-CPU join time — the phase cost on
         // dedicated cores, which the pool barrier realises as wall time on
         // an unloaded multicore host.
-        heap_scan_parallel(disk, cfg, threads, &sorted_r, &sorted_s, &mut stats, out)
+        heap_scan_parallel(
+            disk,
+            cfg,
+            threads,
+            &sorted_r,
+            &sorted_s,
+            &mut stats,
+            ctl,
+            cp.as_deref_mut(),
+            &elapsed_now,
+            out,
+        )
     } else {
         let mut ctx = JoinCtx {
             cfg,
@@ -515,26 +729,61 @@ pub fn try_s3j_join(
             duplicates: 0,
         };
         let res = match cfg.scan {
-            ScanMode::HeapMerge => {
-                heap_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
-            }
-            ScanMode::LevelPairs => {
-                pair_scan(disk, cfg, &sorted_r, &sorted_s, &mut ctx, &mut stats, out)
-            }
+            ScanMode::HeapMerge => heap_scan(
+                disk,
+                cfg,
+                &sorted_r,
+                &sorted_s,
+                &mut ctx,
+                &mut stats,
+                ctl,
+                cp.as_deref_mut(),
+                &elapsed_now,
+                out,
+            ),
+            ScanMode::LevelPairs => pair_scan(
+                disk,
+                cfg,
+                &sorted_r,
+                &sorted_s,
+                &mut ctx,
+                &mut stats,
+                ctl,
+                &elapsed_now,
+                out,
+            ),
         };
-        stats.candidates = ctx.candidates;
-        stats.results = ctx.results;
-        stats.duplicates = ctx.duplicates;
+        stats.candidates += ctx.candidates;
+        stats.results += ctx.results;
+        stats.duplicates += ctx.duplicates;
         stats.join_counters = ctx.internal.counters();
         stats.cpu_join = t2.seconds();
         res
     };
-    stats.io_join = disk.stats().delta(&io2);
+    // Join-phase I/O excludes what the checkpoint layer did mid-scan (those
+    // commits are accounted under `io_checkpoint`).
+    stats.io_join = disk
+        .stats()
+        .delta(&io2)
+        .delta(&stats.io_checkpoint.delta(&ckpt2));
 
-    for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
-        disk.delete(*f);
+    // An interrupted durable run must keep the sorted level files — the
+    // `Join` manifest references them and a resume reads them again;
+    // `finish` (or the next recovery scan) reclaims everything.
+    if !checkpointing {
+        for f in sorted_r.iter().chain(sorted_s.iter()).flatten() {
+            disk.delete(*f);
+        }
     }
-    scan_res.map_err(|e| JoinError::new("scan", e))?;
+    scan_res?;
+    // Publish `Done` and drop the sorted level files; the journal, results
+    // and manifest files remain as the run's durable record.
+    if let Some(c) = cp.as_deref_mut() {
+        let c0 = disk.stats();
+        let res = c.finish();
+        stats.io_checkpoint = stats.io_checkpoint.plus(&disk.stats().delta(&c0));
+        res?;
+    }
     stats.first_result_cpu = first_cpu;
     stats.first_result_io = first_io;
     Ok(stats)
@@ -544,6 +793,13 @@ pub fn try_s3j_join(
 /// pre-order; per relation a stack of the partitions on the current root
 /// path. A new partition is joined against the other relation's stack (its
 /// cell's ancestors-or-equal), then pushed on its own stack.
+///
+/// Partitions are numbered in discovery order — the journal's work unit.
+/// Under a checkpoint each partition's pairs are buffered, durably flushed,
+/// journaled, and only then emitted; a resumed run skips committed
+/// partitions (their pairs were emitted by the original process after the
+/// commit) while still maintaining the stacks they feed.
+#[allow(clippy::too_many_arguments)] // internal scan driver; the args are the scan state
 fn heap_scan(
     disk: &SimDisk,
     cfg: &S3jConfig,
@@ -551,13 +807,19 @@ fn heap_scan(
     sorted_s: &[Option<FileId>],
     ctx: &mut JoinCtx<'_>,
     stats: &mut S3jStats,
+    ctl: &RunControl,
+    mut cp: Option<&mut RunCheckpoint>,
+    elapsed: &dyn Fn() -> f64,
     out: &mut dyn FnMut(RecordId, RecordId),
-) -> Result<(), IoError> {
+) -> Result<(), JoinError> {
+    let to_err = |e: IoError| JoinError::new("scan", e);
     let mut cursors: Vec<Cursor> = Vec::new();
     for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
         for (level, f) in files.iter().enumerate() {
             if let Some(f) = f {
-                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages)?);
+                cursors.push(
+                    Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages).map_err(to_err)?,
+                );
             }
         }
     }
@@ -569,8 +831,16 @@ fn heap_scan(
     }
     let mut stacks: [Vec<Part>; 2] = [Vec::new(), Vec::new()];
     let mut resident = 0usize;
+    let mut d: u32 = 0; // discovery index
     while let Some(Reverse((_, _, _, ci))) = heap.pop() {
-        let mut part = cursors[ci].take_partition(cfg.curve, cfg.max_level)?;
+        // Interruption check at partition granularity; a checkpointed run's
+        // committed prefix stays durable and resumable.
+        if let Some(e) = ctl.charge("scan", elapsed()) {
+            return Err(e);
+        }
+        let mut part = cursors[ci]
+            .take_partition(cfg.curve, cfg.max_level)
+            .map_err(to_err)?;
         if let Some((st, lv, rl)) = cursors[ci].peek_key(cfg.max_level) {
             heap.push(Reverse((st, lv, rl, ci)));
         }
@@ -586,13 +856,36 @@ fn heap_scan(
         }
         // Join against the other relation's root path. Every stack entry is
         // an ancestor-or-equal cell, so `part` is always the deeper one.
+        // Partitions with nothing to join against do no work and are never
+        // journaled.
+        let committed = cp.as_deref().is_some_and(|c| c.is_committed(d));
         let other_stack = &mut stacks[1 - part.rel];
-        for q in other_stack.iter_mut() {
-            ctx.join_parts(&mut part, q, out);
+        if !committed && !other_stack.is_empty() {
+            match cp.as_deref_mut() {
+                Some(c) => {
+                    let base = (ctx.candidates, ctx.results, ctx.duplicates);
+                    let mut pairs: Vec<(RecordId, RecordId)> = Vec::new();
+                    for q in other_stack.iter_mut() {
+                        ctx.join_parts(&mut part, q, &mut |a, b| pairs.push((a, b)));
+                    }
+                    let deltas = (
+                        ctx.candidates - base.0,
+                        ctx.results - base.1,
+                        ctx.duplicates - base.2,
+                    );
+                    commit_and_emit(c, disk, &mut stats.io_checkpoint, d, &pairs, deltas, out)?;
+                }
+                None => {
+                    for q in other_stack.iter_mut() {
+                        ctx.join_parts(&mut part, q, out);
+                    }
+                }
+            }
         }
         resident += part.rects.len() * Kpe::ENCODED_SIZE;
         stats.peak_partition_bytes = stats.peak_partition_bytes.max(resident);
         stacks[part.rel].push(part);
+        d += 1;
     }
     Ok(())
 }
@@ -607,6 +900,7 @@ fn heap_scan(
 /// the emitted stream is identical to the sequential scan, and the modified
 /// RPM (§4.3) keeps the union of task outputs duplicate-free no matter how
 /// tasks interleave.
+#[allow(clippy::too_many_arguments)] // internal scan driver; the args are the scan state
 fn heap_scan_parallel(
     disk: &SimDisk,
     cfg: &S3jConfig,
@@ -614,16 +908,22 @@ fn heap_scan_parallel(
     sorted_r: &[Option<FileId>],
     sorted_s: &[Option<FileId>],
     stats: &mut S3jStats,
+    ctl: &RunControl,
+    mut cp: Option<&mut RunCheckpoint>,
+    elapsed: &dyn Fn() -> f64,
     out: &mut dyn FnMut(RecordId, RecordId),
-) -> Result<(), IoError> {
+) -> Result<(), JoinError> {
     use std::sync::Arc;
 
+    let to_err = |e: IoError| JoinError::new("scan", e);
     let t_discover = parallel::WorkClock::start();
     let mut cursors: Vec<Cursor> = Vec::new();
     for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
         for (level, f) in files.iter().enumerate() {
             if let Some(f) = f {
-                cursors.push(Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages)?);
+                cursors.push(
+                    Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages).map_err(to_err)?,
+                );
             }
         }
     }
@@ -636,8 +936,17 @@ fn heap_scan_parallel(
     let mut stacks: [Vec<Arc<Part>>; 2] = [Vec::new(), Vec::new()];
     let mut resident = 0usize;
     let mut tasks: Vec<(Arc<Part>, Arc<Part>)> = Vec::new();
+    // The pair ranges of the task list that belong to each uncommitted
+    // discovered partition (checkpointed runs only — see `units` below).
+    let mut partition_ranges: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
+    let mut d: u32 = 0; // discovery index, identical to the sequential scan
     while let Some(Reverse((_, _, _, ci))) = heap.pop() {
-        let part = cursors[ci].take_partition(cfg.curve, cfg.max_level)?;
+        if let Some(e) = ctl.charge("scan", elapsed()) {
+            return Err(e);
+        }
+        let part = cursors[ci]
+            .take_partition(cfg.curve, cfg.max_level)
+            .map_err(to_err)?;
         if let Some((st, lv, rl)) = cursors[ci].peek_key(cfg.max_level) {
             heap.push(Reverse((st, lv, rl, ci)));
         }
@@ -651,12 +960,23 @@ fn heap_scan_parallel(
             }
         }
         let part = Arc::new(part);
+        let start = tasks.len();
         for q in stacks[1 - part.rel].iter() {
             tasks.push((Arc::clone(&part), Arc::clone(q)));
+        }
+        if tasks.len() > start {
+            if cp.as_deref().is_some_and(|c| c.is_committed(d)) {
+                // Resumed run: the crashed process already emitted this
+                // partition's pairs after its commit — skip the work.
+                tasks.truncate(start);
+            } else {
+                partition_ranges.push((d, start..tasks.len()));
+            }
         }
         resident += part.rects.len() * Kpe::ENCODED_SIZE;
         stats.peak_partition_bytes = stats.peak_partition_bytes.max(resident);
         stacks[part.rel].push(part);
+        d += 1;
     }
     drop(stacks);
     let discover_secs = t_discover.seconds();
@@ -664,13 +984,25 @@ fn heap_scan_parallel(
     // S³J partition pairs are tiny (often a handful of rects), so a task
     // per pair would drown in per-task overhead. Workers instead claim
     // contiguous *chunks* of the discovery-ordered pair list; chunk outputs
-    // re-assemble in chunk order, which is discovery order.
-    let chunk = tasks.len().div_ceil(threads * 16).max(1);
-    let n_chunks = tasks.len().div_ceil(chunk);
+    // re-assemble in chunk order, which is discovery order. Under a
+    // checkpoint the unit is one discovered partition's pair range instead
+    // — the span a journal record covers — so commits align with units.
+    let units: Vec<(u32, std::ops::Range<usize>)> = if cp.is_some() {
+        partition_ranges
+    } else {
+        let chunk = tasks.len().div_ceil(threads * 16).max(1);
+        (0..tasks.len().div_ceil(chunk))
+            .map(|c| (0, c * chunk..tasks.len().min((c + 1) * chunk)))
+            .collect()
+    };
     let model = stats.model;
-    let workers = parallel::run_ordered(
+    let mut first_err: Option<JoinError> = None;
+    let io_ckpt = &mut stats.io_checkpoint;
+    let units_ref = &units;
+    let workers = parallel::run_ordered_with(
         threads,
-        n_chunks,
+        units.len(),
+        Some(&ctl.cancel),
         |_w| {
             (
                 JoinCtx {
@@ -689,10 +1021,11 @@ fn heap_scan_parallel(
                 (Vec::new(), Vec::new()),
             )
         },
-        |(ctx, cpu, work_clock, scratch), c| {
+        |(ctx, cpu, work_clock, scratch), u| {
             let c0 = work_clock.seconds();
+            let base = (ctx.candidates, ctx.results, ctx.duplicates);
             let mut pairs = Vec::new();
-            for (deeper, other) in &tasks[c * chunk..tasks.len().min((c + 1) * chunk)] {
+            for (deeper, other) in &tasks[units_ref[u].1.clone()] {
                 let mut deeper = deeper.copy_into(std::mem::take(&mut scratch.0));
                 let mut other = other.copy_into(std::mem::take(&mut scratch.1));
                 ctx.join_parts(&mut deeper, &mut other, &mut |a, b| pairs.push((a, b)));
@@ -700,11 +1033,41 @@ fn heap_scan_parallel(
                 scratch.1 = other.rects;
             }
             *cpu += work_clock.seconds() - c0;
-            pairs
+            let deltas = (
+                ctx.candidates - base.0,
+                ctx.results - base.1,
+                ctx.duplicates - base.2,
+            );
+            (pairs, deltas)
         },
-        |_i, pairs| {
-            for (a, b) in pairs {
-                out(a, b);
+        |u, (pairs, deltas)| {
+            // Deadline at unit granularity on the coordinator (workers do
+            // no I/O, so `elapsed` sees the whole simulated-time story).
+            if first_err.is_none() {
+                first_err = ctl.charge("scan", elapsed());
+            }
+            if first_err.is_none() {
+                match cp.as_deref_mut() {
+                    Some(c) => {
+                        if let Err(e) =
+                            commit_and_emit(c, disk, io_ckpt, units_ref[u].0, &pairs, deltas, out)
+                        {
+                            first_err = Some(e);
+                        }
+                    }
+                    None => {
+                        for (a, b) in pairs {
+                            out(a, b);
+                        }
+                    }
+                }
+            }
+            if first_err.is_some() && cp.is_some() {
+                // A checkpointed run that hit a terminal error (crash
+                // injection, commit failure, deadline) is dead: stop the
+                // workers from claiming further partitions, like the
+                // process exit they simulate. Committed state stays.
+                ctl.cancel.cancel();
             }
         },
     );
@@ -726,17 +1089,21 @@ fn heap_scan_parallel(
         partial.cpu_join = cpu;
         stats.merge(&partial);
     }
-    // Coordinator discovery (the phase's only I/O and heap work) happens
-    // before the workers start; it adds to whichever worker was slowest.
-    // Once discovery succeeded nothing below can fail: the worker tasks are
-    // pure CPU over in-memory partitions.
+    // Coordinator discovery (the phase's only non-checkpoint I/O and heap
+    // work) happens before the workers start; it adds to whichever worker
+    // was slowest. Without a checkpoint nothing below discovery can fail:
+    // the worker tasks are pure CPU over in-memory partitions.
     stats.cpu_join += discover_secs;
-    Ok(())
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Ablation baseline for §4.4.3: a separate merge scan per pair of level
 /// files. Produces identical results; re-reads each level file once per
 /// opposite occupied level.
+#[allow(clippy::too_many_arguments)] // internal scan driver; the args are the scan state
 fn pair_scan(
     disk: &SimDisk,
     cfg: &S3jConfig,
@@ -744,8 +1111,11 @@ fn pair_scan(
     sorted_s: &[Option<FileId>],
     ctx: &mut JoinCtx<'_>,
     stats: &mut S3jStats,
+    ctl: &RunControl,
+    elapsed: &dyn Fn() -> f64,
     out: &mut dyn FnMut(RecordId, RecordId),
-) -> Result<(), IoError> {
+) -> Result<(), JoinError> {
+    let to_err = |e: IoError| JoinError::new("scan", e);
     // The next whole partition of `c`, or `None` at end of file.
     fn next_part(c: &mut Cursor, curve: Curve, max_level: u8) -> Result<Option<Part>, IoError> {
         if c.pending.is_some() {
@@ -758,12 +1128,18 @@ fn pair_scan(
         let Some(fr) = fr else { continue };
         for (ls, fs) in sorted_s.iter().enumerate() {
             let Some(fs) = fs else { continue };
-            let cr = Cursor::new(disk, *fr, lr as u8, 0, cfg.io_buffer_pages)?;
-            let cs = Cursor::new(disk, *fs, ls as u8, 1, cfg.io_buffer_pages)?;
+            // Interruption check once per level-file pair: the ablation
+            // scan has no partition-discovery loop on the coordinator to
+            // hook into, so cancellation is coarser here.
+            if let Some(e) = ctl.charge("scan", elapsed()) {
+                return Err(e);
+            }
+            let cr = Cursor::new(disk, *fr, lr as u8, 0, cfg.io_buffer_pages).map_err(to_err)?;
+            let cs = Cursor::new(disk, *fs, ls as u8, 1, cfg.io_buffer_pages).map_err(to_err)?;
             // Merge: `a` is the coarser-or-equal side, `b` the deeper side.
             let (mut a, mut b) = if lr <= ls { (cr, cs) } else { (cs, cr) };
-            let mut pa = next_part(&mut a, cfg.curve, cfg.max_level)?;
-            let mut pb = next_part(&mut b, cfg.curve, cfg.max_level)?;
+            let mut pa = next_part(&mut a, cfg.curve, cfg.max_level).map_err(to_err)?;
+            let mut pb = next_part(&mut b, cfg.curve, cfg.max_level).map_err(to_err)?;
             while let (Some(ca), Some(cb)) = (&mut pa, &mut pb) {
                 if ca.start <= cb.start && cb.start < ca.end {
                     // `ca` covers `cb`: join (cb is the deeper partition).
@@ -771,11 +1147,11 @@ fn pair_scan(
                         (ca.rects.len() + cb.rects.len()) * Kpe::ENCODED_SIZE,
                     );
                     ctx.join_parts(cb, ca, out);
-                    pb = next_part(&mut b, cfg.curve, cfg.max_level)?;
+                    pb = next_part(&mut b, cfg.curve, cfg.max_level).map_err(to_err)?;
                 } else if ca.end <= cb.start {
-                    pa = next_part(&mut a, cfg.curve, cfg.max_level)?;
+                    pa = next_part(&mut a, cfg.curve, cfg.max_level).map_err(to_err)?;
                 } else {
-                    pb = next_part(&mut b, cfg.curve, cfg.max_level)?;
+                    pb = next_part(&mut b, cfg.curve, cfg.max_level).map_err(to_err)?;
                 }
             }
         }

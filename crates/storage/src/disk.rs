@@ -142,11 +142,27 @@ impl FileId {
     pub(crate) fn sentinel() -> FileId {
         FileId(u32::MAX)
     }
+
+    /// The raw slot index, for serializing a file reference into a durable
+    /// manifest. Ids are stable for the lifetime of the disk (deletion
+    /// leaves a hole; slots are never reused).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a handle from a serialized [`FileId::raw`] value. The
+    /// id is *not* validated here — a stale id surfaces as a typed
+    /// [`IoErrorKind::FileDeleted`] on first use, exactly like a deleted
+    /// file would.
+    pub fn from_raw(raw: u32) -> FileId {
+        FileId(raw)
+    }
 }
 
-/// FNV-1a 64-bit, the per-page checksum of the simulated page format.
+/// FNV-1a 64-bit: the per-page checksum of the simulated page format, and
+/// the record checksum of the manifest/journal layer (`crate::manifest`).
 #[inline]
-fn page_checksum(bytes: &[u8]) -> u64 {
+pub(crate) fn page_checksum(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -366,6 +382,129 @@ impl SimDisk {
         if let Some(slot) = g.get_mut(f.0 as usize) {
             *slot = None;
         }
+    }
+
+    /// `true` iff the file exists (was created and not deleted).
+    pub fn exists(&self, f: FileId) -> bool {
+        let g = self.files.lock();
+        matches!(g.get(f.0 as usize), Some(Some(_)))
+    }
+
+    /// Ids of all live (non-deleted) files, in creation order. Used by the
+    /// recovery scan to find orphans — files a crashed run created that no
+    /// committed manifest references.
+    pub fn file_ids(&self) -> Vec<FileId> {
+        let g = self.files.lock();
+        g.iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(i, _)| FileId(i as u32))
+            .collect()
+    }
+
+    /// Shrinks a file to `len` bytes (a no-op if it is already shorter).
+    /// A metadata operation — free and fault-exempt, like [`SimDisk::try_len`].
+    /// Recovery uses this to drop a torn journal tail and to roll the
+    /// results file back to the last committed watermark.
+    pub fn try_truncate(&self, f: FileId, len: u64) -> Result<(), IoError> {
+        let mut g = self.files.lock();
+        let Some(file) = g.get_mut(f.0 as usize).and_then(|s| s.as_mut()) else {
+            return Err(IoError {
+                kind: IoErrorKind::FileDeleted,
+                file: f,
+                offset: len,
+                len: 0,
+                attempts: 1,
+            });
+        };
+        let len = len as usize;
+        if len >= file.data.len() {
+            return Ok(());
+        }
+        let ps = self.model.page_size;
+        file.data.truncate(len);
+        let n_pages = file.data.len().div_ceil(ps);
+        file.sums.truncate(n_pages);
+        if n_pages > 0 {
+            // The last page may now be partial: recompute its checksum.
+            let start = (n_pages - 1) * ps;
+            file.sums[n_pages - 1] = page_checksum(&file.data[start..]);
+        }
+        Ok(())
+    }
+
+    /// Serializes the entire file table (contents and deleted-slot holes) so
+    /// a host process can persist it across a real process boundary and
+    /// [`SimDisk::restore_files`] it on `--resume`. This models the host
+    /// filesystem surviving the crash; it is not a disk request and charges
+    /// nothing to the meter.
+    pub fn export_files(&self) -> Vec<u8> {
+        let g = self.files.lock();
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SJDK");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(g.len() as u32).to_le_bytes());
+        for slot in g.iter() {
+            match slot {
+                None => out.push(0),
+                Some(file) => {
+                    out.push(1);
+                    out.extend_from_slice(&(file.data.len() as u64).to_le_bytes());
+                    out.extend_from_slice(&file.data);
+                }
+            }
+        }
+        out
+    }
+
+    /// Replaces this disk's file table with a snapshot produced by
+    /// [`SimDisk::export_files`]. Per-page checksums are recomputed on
+    /// import. A malformed snapshot surfaces as a typed
+    /// [`IoErrorKind::Unsupported`] error.
+    pub fn restore_files(&self, snapshot: &[u8]) -> Result<(), IoError> {
+        let bad = || IoError::unsupported();
+        let rest = snapshot.strip_prefix(b"SJDK").ok_or_else(bad)?;
+        let take = |buf: &[u8], n: usize| -> Result<(Vec<u8>, usize), IoError> {
+            if buf.len() < n {
+                Err(bad())
+            } else {
+                Ok((buf[..n].to_vec(), n))
+            }
+        };
+        let (ver, mut pos) = take(rest, 4)?;
+        if ver != 1u32.to_le_bytes() {
+            return Err(bad());
+        }
+        let (cnt, used) = take(&rest[pos..], 4)?;
+        pos += used;
+        let count = u32::from_le_bytes([cnt[0], cnt[1], cnt[2], cnt[3]]) as usize;
+        let ps = self.model.page_size;
+        let mut table: Vec<Option<StoredFile>> = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (tag, used) = take(&rest[pos..], 1)?;
+            pos += used;
+            match tag[0] {
+                0 => table.push(None),
+                1 => {
+                    let (len_bytes, used) = take(&rest[pos..], 8)?;
+                    pos += used;
+                    let mut len8 = [0u8; 8];
+                    len8.copy_from_slice(&len_bytes);
+                    let len = u64::from_le_bytes(len8) as usize;
+                    let (data, used) = take(&rest[pos..], len)?;
+                    pos += used;
+                    let mut file = StoredFile::new();
+                    file.append(&data, ps);
+                    table.push(Some(file));
+                }
+                _ => return Err(bad()),
+            }
+        }
+        if pos != rest.len() {
+            return Err(bad());
+        }
+        *self.files.lock() = table;
+        Ok(())
     }
 
     /// Length of a file in bytes. A metadata lookup — free and fault-exempt.
@@ -716,6 +855,70 @@ mod tests {
         d.read(f, 0, &mut empty);
         assert_eq!(d.stats(), IoStats::default());
     }
+
+    #[test]
+    fn truncate_shrinks_and_keeps_checksums_consistent() {
+        let d = small_disk();
+        let f = d.create();
+        d.append(f, &(0..40u8).collect::<Vec<u8>>()); // 2.5 pages
+        d.try_truncate(f, 20).unwrap();
+        assert_eq!(d.len(f), 20);
+        // The now-partial last page must still verify on read.
+        let mut out = vec![0u8; 20];
+        d.try_read(f, 0, &mut out).unwrap();
+        assert_eq!(out, (0..20u8).collect::<Vec<u8>>());
+        // Growing truncate is a no-op; appending after truncate works.
+        d.try_truncate(f, 100).unwrap();
+        assert_eq!(d.len(f), 20);
+        d.append(f, &[99u8; 4]);
+        let mut tail = [0u8; 4];
+        d.read(f, 20, &mut tail);
+        assert_eq!(tail, [99u8; 4]);
+        d.delete(f);
+        assert_eq!(
+            d.try_truncate(f, 0).unwrap_err().kind,
+            IoErrorKind::FileDeleted
+        );
+    }
+
+    #[test]
+    fn file_ids_lists_live_files_and_raw_round_trips() {
+        let d = small_disk();
+        let a = d.create();
+        let b = d.create();
+        let c = d.create();
+        d.delete(b);
+        assert_eq!(d.file_ids(), vec![a, c]);
+        assert!(d.exists(a) && !d.exists(b));
+        assert_eq!(FileId::from_raw(a.raw()), a);
+    }
+
+    #[test]
+    fn export_restore_round_trips_contents_and_holes() {
+        let d = small_disk();
+        let a = d.create();
+        let b = d.create();
+        let c = d.create();
+        d.append(a, b"alpha");
+        d.append(c, &[3u8; 40]);
+        d.delete(b);
+        let snap = d.export_files();
+
+        let e = SimDisk::new(d.model());
+        e.restore_files(&snap).unwrap();
+        assert_eq!(e.file_ids(), vec![a, c]);
+        let mut out = vec![0u8; 5];
+        e.try_read(a, 0, &mut out).unwrap();
+        assert_eq!(&out, b"alpha");
+        let mut out = vec![0u8; 40];
+        e.try_read(c, 0, &mut out).unwrap();
+        assert_eq!(out, [3u8; 40]);
+        // Ids allocated after restore continue past the snapshot's slots.
+        assert_eq!(e.create().raw(), 3);
+        // Malformed snapshots surface typed errors.
+        assert!(e.restore_files(b"JUNK").is_err());
+        assert!(e.restore_files(&snap[..snap.len() - 1]).is_err());
+    }
 }
 
 #[cfg(test)]
@@ -811,6 +1014,7 @@ mod fault_tests {
             max_consecutive: 1,
             permanent_rate: 0.0,
             reads_only: false,
+            crash: None,
         }
     }
 
@@ -858,6 +1062,7 @@ mod fault_tests {
                 max_consecutive: 1,
                 permanent_rate: 0.0,
                 reads_only: false,
+                crash: None,
             };
             if let Some((1, IoErrorKind::ChecksumMismatch)) = p.fate(IoOp::Read, 0, 32) {
                 chosen = Some(p);

@@ -136,19 +136,103 @@ impl std::fmt::Display for IoError {
 
 impl std::error::Error for IoError {}
 
-/// A join-level error: an [`IoError`] plus where in the pipeline it escaped.
+/// A deterministic crash point: where in the run the process "dies".
+///
+/// Crash injection simulates a kill -9 at a named durability boundary of the
+/// checkpoint protocol, so recovery is testable at exactly the states a real
+/// crash can leave behind:
+///
+/// * [`AfterCommit`](CrashPoint::AfterCommit)`(n)` — the process dies
+///   immediately *after* the `n`-th journal commit record is durable. The
+///   journal and results file are consistent; the committed prefix must be
+///   preserved and never re-emitted on resume.
+/// * [`MidPartition`](CrashPoint::MidPartition)`(n)` — the process dies
+///   *while appending* the `n+1`-th journal record: a torn half-record is
+///   left at the journal tail. Recovery must truncate the tear and roll the
+///   results file back to the last committed watermark.
+/// * [`MidRename`](CrashPoint::MidRename) — the process dies during the
+///   final manifest publish: the new `Done` manifest bytes are written but
+///   the superblock pointer making them current is not. Resume must keep
+///   using the previous manifest (whose journal is fully committed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Die right after the `n`-th (1-based) journal commit becomes durable.
+    AfterCommit(u32),
+    /// Die while writing the `n+1`-th journal record, leaving a torn tail
+    /// (`n` is the number of commits that completed before the tear).
+    MidPartition(u32),
+    /// Die between writing the final manifest and publishing its pointer.
+    MidRename,
+}
+
+impl CrashPoint {
+    /// Parses the CLI / repro-file spelling: `after-commit:N`,
+    /// `mid-partition:N`, or `mid-rename`.
+    pub fn from_spec(spec: &str) -> Option<CrashPoint> {
+        if spec == "mid-rename" {
+            return Some(CrashPoint::MidRename);
+        }
+        let (name, n) = spec.split_once(':')?;
+        let n: u32 = n.parse().ok()?;
+        match name {
+            "after-commit" => Some(CrashPoint::AfterCommit(n)),
+            "mid-partition" => Some(CrashPoint::MidPartition(n)),
+            _ => None,
+        }
+    }
+
+    /// The inverse of [`from_spec`](CrashPoint::from_spec).
+    pub fn spec(&self) -> String {
+        match self {
+            CrashPoint::AfterCommit(n) => format!("after-commit:{n}"),
+            CrashPoint::MidPartition(n) => format!("mid-partition:{n}"),
+            CrashPoint::MidRename => "mid-rename".to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.spec())
+    }
+}
+
+/// What went wrong at the join level. [`Io`](JoinErrorKind::Io) is the
+/// classic case (a request exhausted its retry budget); the other variants
+/// carry the interruption machinery of the checkpoint layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JoinErrorKind {
+    /// A disk request exhausted its retry budget and every degradation path.
+    Io(IoError),
+    /// The ordered pool's requeue cap was exhausted for one partition:
+    /// `attempts` full retry budgets were spent, `last` is the error the
+    /// final attempt died with.
+    RequeueExhausted { attempts: u32, last: IoError },
+    /// The simulated-time deadline expired; partial results were emitted and
+    /// the manifest (if checkpointing) is left resumable.
+    DeadlineExceeded { elapsed: f64, deadline: f64 },
+    /// The run was cooperatively cancelled via a `CancelToken`.
+    Cancelled,
+    /// An injected [`CrashPoint`] fired: the process "died" and left its run
+    /// directory behind exactly as a kill would.
+    Crashed(CrashPoint),
+}
+
+/// A join-level error: what happened plus where in the pipeline it escaped.
 ///
 /// This is the error type the fallible join entry points
 /// (`try_pbsm_join`, `try_s3j_join`, `SpatialJoin::try_run`) surface once a
-/// request has exhausted its retry budget and every degradation path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// request has exhausted its retry budget and every degradation path — or
+/// once the run is interrupted by cancellation, deadline expiry, or an
+/// injected crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinError {
     /// Pipeline phase the error escaped from (`"partition"`, `"join"`,
     /// `"repartition"`, `"dedup"`, `"build"`, `"sort"`, `"scan"`, …).
     pub phase: &'static str,
     /// Partition (task) index for per-partition phases, if known.
     pub partition: Option<u32>,
-    pub io: IoError,
+    pub kind: JoinErrorKind,
 }
 
 impl JoinError {
@@ -156,7 +240,7 @@ impl JoinError {
         JoinError {
             phase,
             partition: None,
-            io,
+            kind: JoinErrorKind::Io(io),
         }
     }
 
@@ -164,23 +248,111 @@ impl JoinError {
         JoinError {
             phase,
             partition: Some(partition),
-            io,
+            kind: JoinErrorKind::Io(io),
         }
+    }
+
+    /// Terminal requeue-cap error, naming the partition that kept failing.
+    pub fn requeue_exhausted(
+        phase: &'static str,
+        partition: u32,
+        attempts: u32,
+        last: IoError,
+    ) -> Self {
+        JoinError {
+            phase,
+            partition: Some(partition),
+            kind: JoinErrorKind::RequeueExhausted { attempts, last },
+        }
+    }
+
+    pub fn deadline_exceeded(phase: &'static str, elapsed: f64, deadline: f64) -> Self {
+        JoinError {
+            phase,
+            partition: None,
+            kind: JoinErrorKind::DeadlineExceeded { elapsed, deadline },
+        }
+    }
+
+    pub fn cancelled(phase: &'static str) -> Self {
+        JoinError {
+            phase,
+            partition: None,
+            kind: JoinErrorKind::Cancelled,
+        }
+    }
+
+    pub fn crashed(phase: &'static str, point: CrashPoint) -> Self {
+        JoinError {
+            phase,
+            partition: None,
+            kind: JoinErrorKind::Crashed(point),
+        }
+    }
+
+    /// The underlying [`IoError`], when the failure was I/O-shaped.
+    pub fn io(&self) -> Option<&IoError> {
+        match &self.kind {
+            JoinErrorKind::Io(io) => Some(io),
+            JoinErrorKind::RequeueExhausted { last, .. } => Some(last),
+            _ => None,
+        }
+    }
+
+    /// `true` when the run directory is left in a state `--resume` can
+    /// complete from (crash, cancellation, or deadline expiry under
+    /// checkpointing).
+    pub fn is_resumable(&self) -> bool {
+        matches!(
+            self.kind,
+            JoinErrorKind::Crashed(_)
+                | JoinErrorKind::Cancelled
+                | JoinErrorKind::DeadlineExceeded { .. }
+        )
     }
 }
 
 impl std::fmt::Display for JoinError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.partition {
-            Some(p) => write!(f, "join failed in phase `{}` (partition {}): {}", self.phase, p, self.io),
-            None => write!(f, "join failed in phase `{}`: {}", self.phase, self.io),
+        match (&self.kind, self.partition) {
+            (JoinErrorKind::Io(io), Some(p)) => {
+                write!(f, "join failed in phase `{}` (partition {}): {}", self.phase, p, io)
+            }
+            (JoinErrorKind::Io(io), None) => {
+                write!(f, "join failed in phase `{}`: {}", self.phase, io)
+            }
+            (JoinErrorKind::RequeueExhausted { attempts, last }, p) => write!(
+                f,
+                "join failed in phase `{}`: partition {} exhausted its requeue cap \
+                 ({} attempt{}); last error: {}",
+                self.phase,
+                p.map_or_else(|| "?".to_string(), |p| p.to_string()),
+                attempts,
+                if *attempts == 1 { "" } else { "s" },
+                last,
+            ),
+            (JoinErrorKind::DeadlineExceeded { elapsed, deadline }, _) => write!(
+                f,
+                "join deadline exceeded in phase `{}`: {:.4}s simulated of a {:.4}s budget",
+                self.phase, elapsed, deadline,
+            ),
+            (JoinErrorKind::Cancelled, _) => {
+                write!(f, "join cancelled in phase `{}`", self.phase)
+            }
+            (JoinErrorKind::Crashed(point), _) => {
+                write!(f, "simulated crash ({point}) in phase `{}`", self.phase)
+            }
         }
     }
 }
 
 impl std::error::Error for JoinError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.io)
+        match &self.kind {
+            JoinErrorKind::Io(io) => Some(io),
+            JoinErrorKind::RequeueExhausted { last, .. } => Some(last),
+            _ => None,
+        }
     }
 }
 
@@ -227,6 +399,11 @@ pub struct FaultPlan {
     /// (repartition fallback, partition requeue), but a write that outlasts
     /// its budget has no second chance — the bytes were never persisted.
     pub reads_only: bool,
+    /// Kill the run at a named durability boundary of the checkpoint
+    /// protocol (no effect on runs that don't checkpoint). Orthogonal to
+    /// the per-request fault machinery: a crash-only plan keeps
+    /// `fault_rate` at zero.
+    pub crash: Option<CrashPoint>,
 }
 
 impl FaultPlan {
@@ -240,6 +417,7 @@ impl FaultPlan {
             max_consecutive: 2,
             permanent_rate: 0.0,
             reads_only: false,
+            crash: None,
         }
     }
 
@@ -253,6 +431,7 @@ impl FaultPlan {
             max_consecutive: 6,
             permanent_rate: 0.0,
             reads_only: true,
+            crash: None,
         }
     }
 
@@ -265,7 +444,27 @@ impl FaultPlan {
             max_consecutive: 1,
             permanent_rate: 1.0,
             reads_only: false,
+            crash: None,
         }
+    }
+
+    /// A plan that injects **no** per-request faults but kills the run at
+    /// `point` — the crash-recovery sweep's workhorse.
+    pub fn crash_only(seed: u64, point: CrashPoint) -> Self {
+        FaultPlan {
+            seed,
+            fault_rate: 0.0,
+            max_consecutive: 0,
+            permanent_rate: 0.0,
+            reads_only: false,
+            crash: Some(point),
+        }
+    }
+
+    /// Adds a crash point to an existing plan (faults *and* a crash).
+    pub fn with_crash(mut self, point: CrashPoint) -> Self {
+        self.crash = Some(point);
+        self
     }
 
     /// Salt identifying a request, stable across processes and thread
@@ -372,5 +571,63 @@ mod tests {
         let j = JoinError::in_partition("join", 3, e);
         let s = j.to_string();
         assert!(s.contains("phase `join`") && s.contains("partition 3"), "{s}");
+    }
+
+    #[test]
+    fn crash_point_spec_round_trips() {
+        for p in [
+            CrashPoint::AfterCommit(1),
+            CrashPoint::AfterCommit(17),
+            CrashPoint::MidPartition(2),
+            CrashPoint::MidRename,
+        ] {
+            assert_eq!(CrashPoint::from_spec(&p.spec()), Some(p));
+        }
+        assert_eq!(CrashPoint::from_spec("mid-rename:3"), None);
+        assert_eq!(CrashPoint::from_spec("after-commit"), None);
+        assert_eq!(CrashPoint::from_spec("after-commit:x"), None);
+        assert_eq!(CrashPoint::from_spec("bogus:1"), None);
+    }
+
+    #[test]
+    fn requeue_exhausted_names_the_partition_and_last_error() {
+        let d = crate::SimDisk::with_default_model();
+        let f = d.create();
+        let last = IoError {
+            kind: IoErrorKind::TransientRead,
+            file: f,
+            offset: 8192,
+            len: 4096,
+            attempts: 4,
+        };
+        let j = JoinError::requeue_exhausted("join", 7, 2, last);
+        assert_eq!(j.partition, Some(7));
+        let s = j.to_string();
+        assert!(
+            s.contains("partition 7") && s.contains("2 attempts") && s.contains("transient read"),
+            "{s}"
+        );
+        assert_eq!(j.io(), Some(&last));
+    }
+
+    #[test]
+    fn interruption_kinds_are_resumable_and_io_kinds_are_not() {
+        let io = IoError::unsupported();
+        assert!(!JoinError::new("join", io).is_resumable());
+        assert!(!JoinError::requeue_exhausted("join", 0, 1, io).is_resumable());
+        assert!(JoinError::cancelled("join").is_resumable());
+        assert!(JoinError::deadline_exceeded("join", 2.0, 1.0).is_resumable());
+        assert!(JoinError::crashed("join", CrashPoint::MidRename).is_resumable());
+        assert!(JoinError::cancelled("join").io().is_none());
+    }
+
+    #[test]
+    fn crash_only_plan_injects_no_request_faults() {
+        let p = FaultPlan::crash_only(9, CrashPoint::AfterCommit(3));
+        for i in 0..1000u64 {
+            assert_eq!(p.fate(IoOp::Read, i * 4096, 4096), None);
+            assert_eq!(p.fate(IoOp::Write, i * 4096, 4096), None);
+        }
+        assert_eq!(p.crash, Some(CrashPoint::AfterCommit(3)));
     }
 }

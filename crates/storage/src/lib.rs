@@ -33,17 +33,31 @@
 //! entry point return the typed [`IoError`]; the historic infallible names
 //! remain as thin wrappers (they still succeed under recoverable plans,
 //! because retries happen at the page-request level underneath them).
+//!
+//! Durability model (PR 4): the [`mod@manifest`] layer adds checkpointed
+//! runs — an atomic-publish [`Manifest`], an append-only per-partition
+//! completion journal with checksummed records, and a recovery scan
+//! ([`recover`]) that truncates torn tails and sweeps orphan files — plus
+//! [`RunControl`] for cooperative cancellation, simulated-time deadlines and
+//! crash-point injection ([`CrashPoint`]).
 
 mod disk;
 mod fault;
 mod file;
+mod manifest;
 mod pool;
 mod record;
 mod sort;
 mod retry;
 
 pub use disk::{DiskModel, FileId, IoStats, SimDisk};
-pub use fault::{FaultPlan, IoError, IoErrorKind, IoOp, JoinError};
+// Re-exported so downstream crates can build a `RunControl` without a direct
+// `parallel` dependency.
+pub use parallel::{CancelCause, CancelToken};
+pub use fault::{CrashPoint, FaultPlan, IoError, IoErrorKind, IoOp, JoinError, JoinErrorKind};
+pub use manifest::{
+    recover, JournalEntry, Manifest, Recovered, RunCheckpoint, RunControl, RunPhase,
+};
 pub use file::{FileReader, FileWriter};
 pub use pool::BufferPool;
 pub use record::{

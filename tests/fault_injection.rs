@@ -237,6 +237,7 @@ fn parallel_requeue_cures_partitions_that_fail_in_task() {
             max_consecutive: 24,
             permanent_rate: 0.0,
             reads_only: true,
+            crash: None,
         };
         let (mut got, st) =
             pbsm_run(&r, &s, &cfg, Some(plan)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -278,7 +279,7 @@ fn unrecoverable_faults_surface_typed_errors_everywhere() {
         .with_faults(plan)
         .try_run(&r, &s)
         .expect_err("SpatialJoin::try_run must fail");
-    assert!(err.io.attempts >= 1);
+    assert!(err.io().is_some_and(|io| io.attempts >= 1));
     // Streaming operator: the stream ends with an error item.
     let mut op = SpatialJoinOp::new(
         KpeScan::new(r.clone()),
