@@ -1,0 +1,315 @@
+//! Bench-regression pipeline: replays the paper's joins J1–J5 under the
+//! deterministic cost model and emits a versioned JSON-lines report that
+//! doubles as a CI gate.
+//!
+//! The runs pin `cpu_slowdown = 0`, so every reported number is derived
+//! from the simulated I/O meters alone — bit-reproducible across hosts and
+//! thread counts. A drift is therefore a *code* change, never host noise:
+//! counters (results, duplicates, candidates, pages) must match the
+//! baseline exactly, while the simulated times get a 5 % relative
+//! tolerance so deliberate small cost-model tweaks don't force a re-bless.
+//! Every run is additionally pushed through
+//! [`MetricsReport::reconcile`](storage::MetricsReport::reconcile) at
+//! thread counts 1 and 4 — the gate fails on any accounting leak before it
+//! ever diffs numbers.
+//!
+//! ```text
+//! # produce / bless a baseline (records the dataset scale inside)
+//! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- --out BENCH_pr5.json
+//! # CI gate: re-run and diff against the committed baseline
+//! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- \
+//!     --check BENCH_pr5.json --out bench-regress.json
+//! ```
+//!
+//! Exit codes: 0 pass, 1 regression or reconciliation failure, 2 usage
+//! error (including a baseline recorded at a different `SJ_SCALE` — the
+//! numbers are not comparable across scales, so the diff is refused).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use bench::{cal_st, join_inputs, paper_mem, scale};
+use spatialjoin::{Algorithm, SpatialJoin};
+use storage::DiskModel;
+
+const SCHEMA_VERSION: u32 = 1;
+const TIME_TOLERANCE: f64 = 0.05;
+
+struct Row {
+    join: &'static str,
+    algo: &'static str,
+    threads: usize,
+    results: u64,
+    duplicates: u64,
+    candidates: u64,
+    pages_read: u64,
+    pages_written: u64,
+    total_s: f64,
+    first_result_s: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"join\":\"{}\",\"algo\":\"{}\",\"threads\":{},\"results\":{},\
+             \"duplicates\":{},\"candidates\":{},\"pages_read\":{},\"pages_written\":{},\
+             \"total_s\":{:.6},\"first_result_s\":{:.6}}}",
+            self.join,
+            self.algo,
+            self.threads,
+            self.results,
+            self.duplicates,
+            self.candidates,
+            self.pages_read,
+            self.pages_written,
+            self.total_s,
+            self.first_result_s,
+        )
+    }
+}
+
+fn run_point(join: &'static str, algo: &'static str, base: &Algorithm, r: &[geom::Kpe], s: &[geom::Kpe]) -> Result<Vec<Row>, String> {
+    // Deterministic clock: position = simulated I/O only.
+    let model = DiskModel {
+        cpu_slowdown: 0.0,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    for threads in [1usize, 4] {
+        let (_, st) = SpatialJoin::new(base.clone().with_threads(threads))
+            .with_disk_model(model)
+            .count(r, s);
+        // The load-bearing invariant: the export reconciles before any
+        // number reaches the report.
+        let report = st.metrics_report(algo, threads);
+        report
+            .reconcile()
+            .map_err(|e| format!("{join}/{algo} threads={threads}: reconciliation failed: {e}"))?;
+        let io = st.io_total();
+        rows.push(Row {
+            join,
+            algo,
+            threads,
+            results: st.results(),
+            duplicates: st.duplicates(),
+            candidates: st.candidates().unwrap_or(0),
+            pages_read: io.pages_read,
+            pages_written: io.pages_written,
+            total_s: st.total_seconds(),
+            first_result_s: st.first_result_seconds().unwrap_or(-1.0),
+        });
+    }
+    // Thread-count invariance of the deterministic meters is part of the
+    // gate: if 1 and 4 workers disagree, the accounting regressed.
+    let (a, b) = (&rows[0], &rows[1]);
+    if (a.results, a.duplicates, a.candidates, a.pages_read, a.pages_written)
+        != (b.results, b.duplicates, b.candidates, b.pages_read, b.pages_written)
+        || a.total_s != b.total_s
+        || a.first_result_s != b.first_result_s
+    {
+        return Err(format!(
+            "{join}/{algo}: deterministic meters differ between threads=1 and threads=4"
+        ));
+    }
+    Ok(rows)
+}
+
+fn produce() -> Result<(String, Vec<Row>), String> {
+    let mut rows = Vec::new();
+    for p in 1..=4u32 {
+        let (r, s) = join_inputs(p);
+        let join: &'static str = ["J1", "J2", "J3", "J4"][(p - 1) as usize];
+        eprintln!("regress: {join} ({} x {})", r.len(), s.len());
+        // Tighter than the paper's usual budgets so both algorithms are
+        // forced through their external-partitioning paths — an in-memory
+        // run has all-zero I/O meters and guards nothing.
+        let mem = paper_mem(2.0);
+        rows.extend(run_point(join, "pbsm", &Algorithm::pbsm_rpm(mem), &r, &s)?);
+        rows.extend(run_point(join, "s3j", &Algorithm::s3j_replicated(mem), &r, &s)?);
+    }
+    let cal = cal_st();
+    eprintln!("regress: J5 (CAL_ST self join, {})", cal.len());
+    let mem = paper_mem(8.0);
+    rows.extend(run_point("J5", "pbsm", &Algorithm::pbsm_rpm(mem), cal, cal)?);
+    rows.extend(run_point("J5", "s3j", &Algorithm::s3j_replicated(mem), cal, cal)?);
+
+    let mut out = format!(
+        "{{\"meta\":{{\"bench\":\"regress\",\"schema_version\":{SCHEMA_VERSION},\
+         \"scale\":{},\"time_tolerance\":{TIME_TOLERANCE}}}}}\n",
+        scale()
+    );
+    for row in &rows {
+        let _ = writeln!(out, "{}", row.to_json());
+    }
+    Ok((out, rows))
+}
+
+/// Extracts `"key":<value>` from a JSON line the way this binary writes it
+/// (no nested objects after the meta line, no escapes in our field values).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| *c == ',' || *c == '}')
+        .map(|(i, _)| i)?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field(line, key)?.parse().ok()
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    field(line, key)?.parse().ok()
+}
+
+/// Diffs the freshly produced rows against a baseline file. Returns the
+/// list of human-readable failures (empty = gate passes).
+fn check(baseline: &str, rows: &[Row]) -> Result<Vec<String>, String> {
+    let mut lines = baseline.lines().filter(|l| !l.trim().is_empty());
+    let meta = lines.next().ok_or("baseline is empty")?;
+    let base_schema = field_u64(meta, "schema_version")
+        .ok_or("baseline meta line has no schema_version")?;
+    if base_schema != u64::from(SCHEMA_VERSION) {
+        return Err(format!(
+            "baseline schema_version {base_schema} != {SCHEMA_VERSION}; re-bless the baseline"
+        ));
+    }
+    let base_scale = field_f64(meta, "scale").ok_or("baseline meta line has no scale")?;
+    if base_scale != scale() {
+        return Err(format!(
+            "baseline was recorded at SJ_SCALE={base_scale}, this run is at {}; \
+             refusing a cross-scale comparison — rerun with SJ_SCALE={base_scale}",
+            scale()
+        ));
+    }
+
+    let mut failures = Vec::new();
+    let mut matched = 0usize;
+    for line in lines {
+        let key = (
+            field(line, "join").unwrap_or(""),
+            field(line, "algo").unwrap_or(""),
+            field_u64(line, "threads").unwrap_or(0),
+        );
+        let Some(row) = rows
+            .iter()
+            .find(|r| (r.join, r.algo, r.threads as u64) == (key.0, key.1, key.2))
+        else {
+            failures.push(format!("baseline row {key:?} missing from this run"));
+            continue;
+        };
+        matched += 1;
+        let ctx = format!("{}/{} threads={}", row.join, row.algo, row.threads);
+        for (name, base, got) in [
+            ("results", field_u64(line, "results"), row.results),
+            ("duplicates", field_u64(line, "duplicates"), row.duplicates),
+            ("candidates", field_u64(line, "candidates"), row.candidates),
+            ("pages_read", field_u64(line, "pages_read"), row.pages_read),
+            ("pages_written", field_u64(line, "pages_written"), row.pages_written),
+        ] {
+            match base {
+                Some(b) if b == got => {}
+                Some(b) => failures.push(format!("{ctx}: {name} {got} != baseline {b}")),
+                None => failures.push(format!("{ctx}: baseline row lacks {name}")),
+            }
+        }
+        for (name, base, got) in [
+            ("total_s", field_f64(line, "total_s"), row.total_s),
+            (
+                "first_result_s",
+                field_f64(line, "first_result_s"),
+                row.first_result_s,
+            ),
+        ] {
+            match base {
+                Some(b) => {
+                    let drift = (got - b).abs() / b.abs().max(1e-12);
+                    if drift > TIME_TOLERANCE {
+                        failures.push(format!(
+                            "{ctx}: {name} {got:.6} drifts {:.1}% from baseline {b:.6} \
+                             (tolerance {:.0}%)",
+                            drift * 100.0,
+                            TIME_TOLERANCE * 100.0
+                        ));
+                    }
+                }
+                None => failures.push(format!("{ctx}: baseline row lacks {name}")),
+            }
+        }
+    }
+    if matched != rows.len() {
+        failures.push(format!(
+            "run produced {} rows, baseline covers {matched}; re-bless the baseline",
+            rows.len()
+        ));
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut check_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check_path = args.next(),
+            "--out" => out_path = args.next(),
+            "--help" => {
+                eprintln!(
+                    "usage: regress [--check <baseline.json>] [--out <report.json>]\n\
+                     Honors SJ_SCALE; a --check baseline must match the current scale."
+                );
+                return ExitCode::from(0);
+            }
+            other => {
+                eprintln!("regress: unknown flag {other} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (report, rows) = match produce() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("regress: FAIL: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    print!("{report}");
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("regress: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("regress: report written to {path}");
+    }
+
+    if let Some(path) = &check_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("regress: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match check(&baseline, &rows) {
+            Ok(failures) if failures.is_empty() => {
+                eprintln!("regress: PASS — {} rows within tolerance of {path}", rows.len());
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("regress: FAIL: {f}");
+                }
+                return ExitCode::from(1);
+            }
+            Err(e) => {
+                eprintln!("regress: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::from(0)
+}

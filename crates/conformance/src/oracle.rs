@@ -286,6 +286,13 @@ pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<R
     let run = join
         .try_run(r, s)
         .map_err(|e| format!("{algo}: join failed: {e}"))?;
+    // Every oracle cell also gates the observability contract: the
+    // per-phase metrics must reconcile exactly with the run totals, under
+    // whatever faults/threads this cell configured.
+    run.stats
+        .metrics_report(algo.name(), cfg.threads)
+        .reconcile()
+        .map_err(|e| format!("{algo}: metrics fail to reconcile: {e}"))?;
     let mut pairs: Vec<(u64, u64)> = run.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
     pairs.sort_unstable();
     Ok(RunOut {

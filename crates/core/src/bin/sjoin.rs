@@ -3,9 +3,12 @@
 //! ```text
 //! sjoin [--left la_rr|la_st|cal_st|uniform|clustered]
 //!       [--right la_rr|la_st|cal_st|uniform|clustered|self]
-//!       [--algo pbsm|pbsm-trie|pbsm-sort|s3j|s3j-orig|sssj]
+//!       [--algo pbsm|pbsm-trie|pbsm-sort|s3j|s3j-orig|sssj|shj]
 //!       [--mem-mb <f64>] [--scale <f64>] [--p <f64>] [--seed <u64>]
 //!       [--threads <n>] [--limit <n>] [--refine] [--distance <eps>] [--stats]
+//!       [--faults <seed>] [--fault-rate <p>] [--retry <n>] [--deadline <s>]
+//!       [--durable] [--crash <spec>] [--run-dir <dir>] [--resume <id>]
+//!       [--metrics-json <path>] [--trace <path>]
 //! ```
 //!
 //! Examples:
@@ -15,11 +18,16 @@
 //! sjoin --algo s3j --mem-mb 2.5 --p 3         # S3J on LA_RR(3) ⋈ LA_ST(3)
 //! sjoin --left cal_st --right self --stats    # J5 with phase breakdown
 //! sjoin --refine --limit 5                    # exact road crossings
+//! sjoin --faults 7 --metrics-json m.json      # reconciled metrics under faults
+//! sjoin --durable --crash after-commit:2      # die mid-run, then --resume 42
 //! ```
+//!
+//! Exit codes: 0 success, 1 join error, 2 usage error, 3 resumable
+//! interruption of a durable run (crash point, deadline, cancellation).
 
 use spatialjoin::{
     datagen, refine, Algorithm, CrashPoint, FaultPlan, InternalAlgo, JoinRun, JoinStats,
-    RetryPolicy, SimDisk, SpatialJoin,
+    Recorder, RetryPolicy, SimDisk, SpatialJoin,
 };
 
 struct Args {
@@ -43,6 +51,62 @@ struct Args {
     durable: bool,
     run_dir: String,
     resume: Option<u64>,
+    metrics_json: Option<String>,
+    trace: Option<String>,
+}
+
+/// Every flag the parser accepts, kept next to the `match` below so the
+/// usage test can diff it against `HELP` — the drift this guards against is
+/// exactly what PR 5 had to fix.
+const VALID_FLAGS: &[&str] = &[
+    "--left",
+    "--right",
+    "--algo",
+    "--mem-mb",
+    "--scale",
+    "--p",
+    "--seed",
+    "--threads",
+    "--limit",
+    "--refine",
+    "--distance",
+    "--stats",
+    "--faults",
+    "--fault-rate",
+    "--retry",
+    "--deadline",
+    "--crash",
+    "--durable",
+    "--run-dir",
+    "--resume",
+    "--metrics-json",
+    "--trace",
+    "--help",
+];
+
+/// Levenshtein edit distance, for "did you mean" on unknown flags.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+/// The closest valid flag within a small edit radius, if any.
+fn nearest_flag(unknown: &str) -> Option<&'static str> {
+    VALID_FLAGS
+        .iter()
+        .map(|&f| (edit_distance(unknown, f), f))
+        .min()
+        .filter(|&(d, _)| d <= 3)
+        .map(|(_, f)| f)
 }
 
 impl Args {
@@ -68,6 +132,8 @@ impl Args {
             durable: false,
             run_dir: "runs".into(),
             resume: None,
+            metrics_json: None,
+            trace: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -115,11 +181,20 @@ impl Args {
                     args.resume =
                         Some(val("--resume")?.parse().map_err(|e| format!("--resume: {e}"))?)
                 }
+                "--metrics-json" => args.metrics_json = Some(val("--metrics-json")?),
+                "--trace" => args.trace = Some(val("--trace")?),
                 "--help" | "-h" => {
                     println!("{}", HELP);
                     std::process::exit(0);
                 }
-                other => return Err(format!("unknown flag {other} (try --help)")),
+                other => {
+                    return Err(match nearest_flag(other) {
+                        Some(near) => {
+                            format!("unknown flag {other} (did you mean {near}? try --help)")
+                        }
+                        None => format!("unknown flag {other} (try --help)"),
+                    })
+                }
             }
         }
         Ok(args)
@@ -149,7 +224,11 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
                   after-commit:N | mid-partition:N | mid-rename
   --run-dir DIR   where interrupted durable runs keep state.bin (default runs)
   --resume ID     resume an interrupted durable run (pass the SAME dataset,
-                  algorithm and memory flags; threads may differ)";
+                  algorithm and memory flags; threads may differ)
+  --metrics-json P  write the reconciled metrics report (versioned JSON) to P;
+                  refuses to write numbers that do not sum to the run totals
+  --trace P       write the phase-span/partition-event trace (simulated-time
+                  JSON) to P";
 
 fn parse_num(v: &str) -> Result<f64, String> {
     v.parse().map_err(|e| format!("bad number {v}: {e}"))
@@ -237,6 +316,33 @@ fn print_phase_stats(stats: &JoinStats) {
             println!("  overflowed pairs : {}", s.overflowed_pairs);
             println!("  intersection tests: {}", s.join_counters.tests);
         }
+    }
+}
+
+/// Writes the `--metrics-json` and `--trace` artifacts. The metrics
+/// exporter *refuses to write* a report that fails reconciliation — a
+/// mismatch means the accounting is broken, and a broken number on disk is
+/// worse than no number (exit 1, like any other join failure).
+fn export_observability(
+    args: &Args,
+    stats: &JoinStats,
+    algo_name: &str,
+    recorder: Option<&Recorder>,
+) {
+    if let Some(path) = &args.metrics_json {
+        let report = stats.metrics_report(algo_name, args.threads);
+        if let Err(e) = report.reconcile() {
+            eprintln!("error: refusing to write {path}: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+        println!("metrics written  : {path}");
+    }
+    if let (Some(path), Some(rec)) = (&args.trace, recorder) {
+        std::fs::write(path, rec.to_json())
+            .unwrap_or_else(|e| die(format!("cannot write {path}: {e}")));
+        println!("trace written    : {path}");
     }
 }
 
@@ -370,6 +476,10 @@ fn main() {
     if let Some(d) = args.deadline {
         join = join.with_deadline(d);
     }
+    let recorder = args.trace.as_ref().map(|_| Recorder::shared());
+    if let Some(r) = &recorder {
+        join = join.with_recorder(std::sync::Arc::clone(r));
+    }
     let durable = args.durable || args.crash.is_some() || args.resume.is_some();
     if durable && (args.refine || args.distance.is_some()) {
         die::<()>("durable runs checkpoint the filter step only; drop --refine/--distance".into());
@@ -396,6 +506,7 @@ fn main() {
         for (a, b) in run.pairs.iter().take(args.limit) {
             println!("  #{} ~ #{}", a.0, b.0);
         }
+        export_observability(&args, &run.filter, join.algorithm().name(), recorder.as_deref());
         return;
     }
 
@@ -420,6 +531,7 @@ fn main() {
         for (a, b) in run.pairs.iter().take(args.limit) {
             println!("  #{} x #{}", a.0, b.0);
         }
+        export_observability(&args, &run.filter, join.algorithm().name(), recorder.as_deref());
         return;
     }
 
@@ -443,6 +555,7 @@ fn main() {
     for (a, b) in run.pairs.iter().take(args.limit) {
         println!("  #{} x #{}", a.0, b.0);
     }
+    export_observability(&args, &run.stats, join.algorithm().name(), recorder.as_deref());
 }
 
 fn die<T>(e: String) -> T {
@@ -453,4 +566,43 @@ fn die<T>(e: String) -> T {
 fn die_join<T>(e: spatialjoin::JoinError) -> T {
     eprintln!("error: {e}");
     std::process::exit(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The drift this PR fixed: every flag the parser accepts must be
+    /// documented in `--help` (and `VALID_FLAGS` is what the parser's
+    /// unknown-flag suggestions draw from, so it must stay complete too).
+    #[test]
+    fn every_valid_flag_is_documented_in_help() {
+        for flag in VALID_FLAGS {
+            if *flag == "--help" {
+                continue; // --help documents the others, not itself
+            }
+            assert!(
+                HELP.contains(flag),
+                "flag {flag} accepted by the parser but missing from HELP"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_flags_suggest_the_nearest_valid_one() {
+        assert_eq!(nearest_flag("--thread"), Some("--threads"));
+        assert_eq!(nearest_flag("--metrics-jsn"), Some("--metrics-json"));
+        assert_eq!(nearest_flag("--fault"), Some("--faults"));
+        assert_eq!(nearest_flag("--resumee"), Some("--resume"));
+        // Far from everything: no misleading suggestion.
+        assert_eq!(nearest_flag("--zzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn edit_distance_is_sane() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
 }

@@ -69,8 +69,10 @@ pub use storage::{
     CancelToken, CrashPoint, DiskModel, FaultPlan, IoError, IoErrorKind, IoStats, JoinError,
     JoinErrorKind, RetryPolicy, SimDisk,
 };
+pub use storage::{MetricsReport, PhaseMetric, Recorder, RunCounters, METRICS_SCHEMA_VERSION};
 pub use sweep::InternalAlgo;
 
+use std::sync::Arc;
 use storage::{FileId, Recovered, RunCheckpoint, RunControl};
 
 use pbsm::{Dedup, PbsmConfig, PbsmStats};
@@ -347,6 +349,127 @@ impl JoinStats {
             JoinStats::Shj(_) => None,
         }
     }
+
+    /// The I/O-only leg of the first-result position: pure simulated time,
+    /// never past `io_seconds()`. The probe minimizes the *combined*
+    /// position over emitting tasks, so under `cpu_slowdown = 0` this is
+    /// bit-identical at every thread count; with live CPU costing the
+    /// minimizing task can shift with the host measurement.
+    pub fn first_result_io_seconds(&self) -> Option<f64> {
+        let io = match self {
+            JoinStats::Pbsm(s) => s.first_result_io.as_ref(),
+            JoinStats::S3j(s) => s.first_result_io.as_ref(),
+            JoinStats::Sssj(s) => s.first_result_io.as_ref(),
+            JoinStats::Shj(_) => None,
+        }?;
+        Some(self.model().seconds(io))
+    }
+
+    /// Candidate pairs tested by the filter step, for algorithms that track
+    /// them (`candidates == results + duplicates` holds by construction).
+    pub fn candidates(&self) -> Option<u64> {
+        match self {
+            JoinStats::Pbsm(s) => Some(s.candidates),
+            JoinStats::S3j(s) => Some(s.candidates),
+            JoinStats::Sssj(_) | JoinStats::Shj(_) => None,
+        }
+    }
+
+    /// The disk model the run was costed under.
+    pub fn model(&self) -> DiskModel {
+        match self {
+            JoinStats::Pbsm(s) => s.model,
+            JoinStats::S3j(s) => s.model,
+            JoinStats::Sssj(s) => s.model,
+            JoinStats::Shj(s) => s.model,
+        }
+    }
+
+    /// Builds the versioned, reconciled metrics document for this run.
+    ///
+    /// Phase CPU rows use the *same* field order as each stats struct's
+    /// `cpu_seconds()` fold, so [`MetricsReport::reconcile`] can demand
+    /// bit-exact agreement between the phase sum and the total; the
+    /// checkpoint phase carries its I/O bucket with zero CPU (commit work is
+    /// I/O-dominated and not separately timed).
+    pub fn metrics_report(&self, algo: &str, threads: usize) -> MetricsReport {
+        let cpu_phases: Vec<(&'static str, f64)> = match self {
+            JoinStats::Pbsm(s) => vec![
+                ("partition", s.cpu_partition),
+                ("repartition", s.cpu_repart),
+                ("join", s.cpu_join),
+                ("dedup", s.cpu_dedup),
+                ("checkpoint", 0.0),
+            ],
+            JoinStats::S3j(s) => vec![
+                ("partition", s.cpu_partition),
+                ("sort", s.cpu_sort),
+                ("join", s.cpu_join),
+                ("checkpoint", 0.0),
+            ],
+            JoinStats::Sssj(s) => vec![("sort", s.cpu_sort), ("join", s.cpu_join)],
+            JoinStats::Shj(s) => vec![
+                ("build", s.cpu_build),
+                ("probe", s.cpu_probe),
+                ("join", s.cpu_join),
+            ],
+        };
+        let io_phases = self.io_phases();
+        debug_assert_eq!(io_phases.len(), cpu_phases.len());
+        let phases = io_phases
+            .iter()
+            .zip(&cpu_phases)
+            .map(|((name, io), (cpu_name, cpu))| {
+                debug_assert_eq!(name, cpu_name);
+                PhaseMetric {
+                    name,
+                    io: *io,
+                    cpu_seconds: *cpu,
+                }
+            })
+            .collect();
+        let counters = match self {
+            JoinStats::Pbsm(s) => RunCounters {
+                candidates: Some(s.candidates),
+                results: s.results,
+                duplicates: s.duplicates,
+                partitions: u64::from(s.partitions),
+                requeued_partitions: u64::from(s.requeued_partitions),
+                degraded_partitions: u64::from(s.degraded_partitions),
+                checkpoint_commits: s.checkpoint_commits,
+            },
+            JoinStats::S3j(s) => RunCounters {
+                candidates: Some(s.candidates),
+                results: s.results,
+                duplicates: s.duplicates,
+                checkpoint_commits: s.checkpoint_commits,
+                ..RunCounters::default()
+            },
+            JoinStats::Sssj(s) => RunCounters {
+                results: s.results,
+                ..RunCounters::default()
+            },
+            JoinStats::Shj(s) => RunCounters {
+                results: s.results,
+                ..RunCounters::default()
+            },
+        };
+        MetricsReport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            algo: algo.to_string(),
+            threads,
+            model: self.model(),
+            phases,
+            counters,
+            io_total: self.io_total(),
+            cpu_seconds: self.cpu_seconds(),
+            scaled_cpu_seconds: self.scaled_cpu_seconds(),
+            io_seconds: self.io_seconds(),
+            total_seconds: self.total_seconds(),
+            first_result_seconds: self.first_result_seconds(),
+            first_result_io_seconds: self.first_result_io_seconds(),
+        }
+    }
 }
 
 /// A configured spatial join, ready to run.
@@ -358,6 +481,7 @@ pub struct SpatialJoin {
     retry: RetryPolicy,
     cancel: Option<CancelToken>,
     deadline: Option<f64>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 /// Result of [`SpatialJoin::run`]: materialised pairs plus statistics.
@@ -376,6 +500,7 @@ impl SpatialJoin {
             retry: RetryPolicy::default(),
             cancel: None,
             deadline: None,
+            recorder: None,
         }
     }
 
@@ -422,6 +547,16 @@ impl SpatialJoin {
         self
     }
 
+    /// Attaches a shared trace recorder. The partition-based joins (PBSM,
+    /// S³J) record phase spans and per-partition events on the simulated
+    /// clock into it; the single-sweep baselines run unobserved (attaching a
+    /// recorder to one is a no-op, never an error). Read the trace back with
+    /// [`Recorder::to_json`] after the run.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
     pub fn algorithm(&self) -> &Algorithm {
         &self.algorithm
     }
@@ -433,6 +568,9 @@ impl SpatialJoin {
         }
         if let Some(d) = self.deadline {
             ctl = ctl.with_deadline(d);
+        }
+        if let Some(r) = &self.recorder {
+            ctl = ctl.with_recorder(Arc::clone(r));
         }
         ctl
     }

@@ -19,13 +19,13 @@
 //!   time-to-first-tuple and time-to-completion.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use geom::{Kpe, Rect, RecordId};
-use pbsm::{try_pbsm_join_ctl, PbsmConfig};
-use s3j::{try_s3j_join_ctl, S3jConfig};
-use storage::{CancelToken, JoinError, RunControl, SimDisk};
+use pbsm::{try_pbsm_join_ctl, PbsmConfig, PbsmStats};
+use s3j::{try_s3j_join_ctl, S3jConfig, S3jStats};
+use storage::{CancelToken, JoinError, Recorder, RunControl, SimDisk};
 
 /// Why a [`SpatialJoinOp`] stream terminated abnormally. Delivered as the
 /// final item of the stream — the operator never panics the consumer thread
@@ -146,6 +146,15 @@ pub enum JoinAlgorithm {
     S3j(S3jConfig),
 }
 
+/// Statistics of a completed [`SpatialJoinOp`] run, kept instead of being
+/// discarded at the operator boundary — the operator tree is where
+/// per-phase accounting is otherwise easiest to lose.
+#[derive(Debug, Clone)]
+pub enum OpStats {
+    Pbsm(PbsmStats),
+    S3j(S3jStats),
+}
+
 impl JoinAlgorithm {
     /// Sets the partition-join worker-thread knob of the wrapped config
     /// (`0` = all cores, `1` = sequential). The operator's output stream is
@@ -181,6 +190,8 @@ pub struct SpatialJoinOp<L, R> {
     pipeline_depth: usize,
     cancel: CancelToken,
     deadline: Option<f64>,
+    recorder: Option<Arc<Recorder>>,
+    stats: Arc<Mutex<Option<OpStats>>>,
     rx: Option<mpsc::Receiver<Result<(RecordId, RecordId), JoinOpError>>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -199,6 +210,8 @@ where
             pipeline_depth: 1024,
             cancel: CancelToken::new(),
             deadline: None,
+            recorder: None,
+            stats: Arc::new(Mutex::new(None)),
             rx: None,
             worker: None,
         }
@@ -237,6 +250,24 @@ where
         self.algorithm = self.algorithm.clone().with_threads(threads);
         self
     }
+
+    /// Attaches a shared trace recorder: the join records phase spans and
+    /// per-partition events on the simulated clock into it.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The completed run's statistics. `None` while the join is still
+    /// running, after an error, or before `open()`; populated once the
+    /// stream has ended normally (drain to the end or `close()` after the
+    /// final tuple).
+    pub fn stats(&self) -> Option<OpStats> {
+        self.stats
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
 }
 
 impl<L, R> Operator for SpatialJoinOp<L, R>
@@ -267,6 +298,11 @@ where
         if let Some(d) = self.deadline {
             ctl = ctl.with_deadline(d);
         }
+        if let Some(r) = &self.recorder {
+            ctl = ctl.with_recorder(Arc::clone(r));
+        }
+        *self.stats.lock().unwrap_or_else(|p| p.into_inner()) = None;
+        let stats_slot = Arc::clone(&self.stats);
         self.worker = Some(std::thread::spawn(move || {
             // The whole join runs under `catch_unwind`: a panicking worker
             // must still hang up the channel with a final error item, or
@@ -280,12 +316,17 @@ where
                 };
                 match algorithm {
                     JoinAlgorithm::Pbsm(cfg) => {
-                        try_pbsm_join_ctl(&disk, &lhs, &rhs, &cfg, &ctl, &mut emit).map(|_| ())
+                        try_pbsm_join_ctl(&disk, &lhs, &rhs, &cfg, &ctl, &mut emit)
+                            .map(OpStats::Pbsm)
                     }
                     JoinAlgorithm::S3j(cfg) => {
-                        try_s3j_join_ctl(&disk, &lhs, &rhs, &cfg, &ctl, &mut emit).map(|_| ())
+                        try_s3j_join_ctl(&disk, &lhs, &rhs, &cfg, &ctl, &mut emit)
+                            .map(OpStats::S3j)
                     }
                 }
+                .map(|st| {
+                    *stats_slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(st);
+                })
             }));
             match outcome {
                 Ok(Ok(())) => {}

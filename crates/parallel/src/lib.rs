@@ -307,6 +307,18 @@ struct Requeue {
     next: usize,
     retries: Vec<(usize, u32)>, // (task index, round = prior failures)
     in_flight: usize,
+    requeues: u64,
+}
+
+/// Scheduler-level counters from one [`run_ordered_fallible`] run, counted
+/// by the shared queue itself — independent of whatever the per-worker
+/// states accumulate, so callers can cross-check their own accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Fresh task indices claimed (≤ `n_tasks` under cancellation).
+    pub tasks_claimed: u64,
+    /// Failed tasks pushed back onto the queue for another round.
+    pub requeues: u64,
 }
 
 /// Decrements `in_flight` and wakes waiters even if the task panicked —
@@ -347,7 +359,7 @@ pub fn run_ordered_fallible<S, T, E, FInit, FTask, FSink>(
     init: FInit,
     task: FTask,
     sink: FSink,
-) -> Vec<S>
+) -> (Vec<S>, PoolStats)
 where
     S: Send,
     T: Send,
@@ -371,7 +383,7 @@ pub fn run_ordered_fallible_with<S, T, E, FInit, FTask, FSink>(
     init: FInit,
     task: FTask,
     mut sink: FSink,
-) -> Vec<S>
+) -> (Vec<S>, PoolStats)
 where
     S: Send,
     T: Send,
@@ -385,6 +397,7 @@ where
         next: 0,
         retries: Vec::new(),
         in_flight: 0,
+        requeues: 0,
     });
     let cvar = Condvar::new();
     let (tx, rx) = mpsc::channel::<(usize, Result<T, E>)>();
@@ -434,6 +447,7 @@ where
                             Err(e) if round < max_requeues => {
                                 let mut q = queue.lock().expect("requeue lock");
                                 q.retries.push((i, round + 1));
+                                q.requeues += 1;
                                 drop(q);
                                 drop(e);
                             }
@@ -462,10 +476,20 @@ where
             }
         }
 
-        handles
+        let states: Vec<S> = handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
-            .collect()
+            .collect();
+        let q = match queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let stats = PoolStats {
+            tasks_claimed: q.next as u64,
+            requeues: q.requeues,
+        };
+        drop(q);
+        (states, stats)
     })
 }
 
@@ -564,7 +588,7 @@ mod tests {
         for threads in [1, 4] {
             attempts.lock().unwrap().clear();
             let mut seen = Vec::new();
-            run_ordered_fallible(
+            let (_, pool) = run_ordered_fallible(
                 threads,
                 30,
                 2,
@@ -590,6 +614,11 @@ mod tests {
             for i in 0..30usize {
                 assert_eq!(att[&i], (i % 3) as u32 + 1, "task {i} total runs");
             }
+            // Scheduler-side counters agree with the task-side bookkeeping:
+            // every task was claimed once fresh, and each requeue is one
+            // failed round, i.e. sum over i of (i % 3).
+            assert_eq!(pool.tasks_claimed, 30);
+            assert_eq!(pool.requeues, (0..30).map(|i| (i % 3) as u64).sum::<u64>());
         }
     }
 
@@ -597,7 +626,7 @@ mod tests {
     fn fallible_pool_surfaces_final_error_after_cap() {
         for threads in [1, 3] {
             let mut results = Vec::new();
-            run_ordered_fallible(
+            let (_, pool) = run_ordered_fallible(
                 threads,
                 10,
                 1,
@@ -620,12 +649,13 @@ mod tests {
                     assert_eq!(*out, Ok(*i));
                 }
             }
+            assert_eq!(pool.requeues, 1, "task 4 requeued once before the cap");
         }
     }
 
     #[test]
     fn fallible_pool_zero_tasks_is_fine() {
-        let states = run_ordered_fallible(
+        let (states, pool) = run_ordered_fallible(
             4,
             0,
             3,
@@ -634,6 +664,7 @@ mod tests {
             |_, _| panic!("no tasks"),
         );
         assert_eq!(states.len(), 1);
+        assert_eq!(pool, PoolStats::default());
     }
 
     #[test]
@@ -691,7 +722,7 @@ mod tests {
     fn cancelled_fallible_pool_stops_claiming_retries() {
         let token = CancelToken::new();
         let mut seen = Vec::new();
-        run_ordered_fallible_with(
+        let (_, pool) = run_ordered_fallible_with(
             2,
             50,
             3,
@@ -713,5 +744,7 @@ mod tests {
             assert!(w[0].0 < w[1].0);
         }
         assert!(!seen.iter().any(|(i, _)| *i == 5));
+        assert_eq!(pool.requeues, 1, "the tripped task was queued for retry");
+        assert!(pool.tasks_claimed < 50);
     }
 }

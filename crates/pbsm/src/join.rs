@@ -107,6 +107,9 @@ pub struct PbsmStats {
     /// Partition pairs whose load exhausted the retry budget and that fell
     /// back to recursive repartitioning (graceful degradation).
     pub degraded_partitions: u32,
+    /// Durable per-partition journal commits performed by this run (zero
+    /// unless the run is checkpointed).
+    pub checkpoint_commits: u64,
     pub join_counters: JoinCounters,
     pub io_partition: IoStats,
     pub io_repart: IoStats,
@@ -121,9 +124,16 @@ pub struct PbsmStats {
     pub cpu_dedup: f64,
     pub sort: Option<SortStats>,
     pub model: DiskModel,
-    /// CPU position (seconds since start) of the first emitted result.
+    /// CPU position of the earliest result on the *pipelined* clock: the
+    /// join-phase CPU base plus the emitting task's own CPU up to its first
+    /// pair, minimized over all emitting tasks. With more than one worker
+    /// this is when the first result *could* reach the consumer on dedicated
+    /// cores — never later than any single worker's emission.
     pub first_result_cpu: Option<f64>,
-    /// I/O meter (all disks) at the first emitted result.
+    /// I/O meter at the earliest result on the pipelined clock: the meter at
+    /// join-phase entry plus the emitting task's own I/O delta (its reads,
+    /// repartition writes and — when checkpointed — commit I/O) up to its
+    /// first pair, minimized over tasks together with `first_result_cpu`.
     pub first_result_io: Option<IoStats>,
 }
 
@@ -142,6 +152,7 @@ impl PbsmStats {
             duplicates: 0,
             requeued_partitions: 0,
             degraded_partitions: 0,
+            checkpoint_commits: 0,
             join_counters: JoinCounters::default(),
             io_partition: IoStats::default(),
             io_repart: IoStats::default(),
@@ -161,7 +172,9 @@ impl PbsmStats {
 
     /// Simulated time at which the first result appeared (None if empty) —
     /// the pipelining metric: RPM emits during the join phase, the sort
-    /// phase only after the complete candidate set is sorted.
+    /// phase only after the complete candidate set is sorted. Measured on
+    /// the pipelined clock (min over emitting tasks of base + own work), so
+    /// it is the same at every thread count.
     pub fn first_result_seconds(&self) -> Option<f64> {
         Some(
             self.model.scaled_cpu(self.first_result_cpu?)
@@ -229,6 +242,7 @@ impl PbsmStats {
         self.duplicates += other.duplicates;
         self.requeued_partitions += other.requeued_partitions;
         self.degraded_partitions += other.degraded_partitions;
+        self.checkpoint_commits += other.checkpoint_commits;
         self.join_counters.merge(&other.join_counters);
         self.io_partition = self.io_partition.plus(&other.io_partition);
         self.io_repart = self.io_repart.plus(&other.io_repart);
@@ -332,7 +346,10 @@ pub fn try_pbsm_join_ctl(
     }
     let model = disk.model();
     let mut stats = PbsmStats::new(model);
-    let run_start = Instant::now();
+    // Absolute position on the simulated timeline: disk-model seconds for an
+    // I/O meter reading plus scaled CPU — phase spans and events are stamped
+    // with this, never with wall time.
+    let sim_at = |io: &IoStats, cpu: f64| model.seconds(io) + model.scaled_cpu(cpu);
 
     // A recovered run that already published `Done`: everything was emitted
     // before the original process exited, so report the journaled totals and
@@ -412,6 +429,11 @@ pub fn try_pbsm_join_ctl(
     };
     stats.io_partition = disk.stats().delta(&io0);
     stats.cpu_partition = t0.elapsed().as_secs_f64();
+    ctl.span(
+        "partition",
+        sim_at(&io0, 0.0),
+        sim_at(&disk.stats(), stats.cpu_partition),
+    );
 
     // Publish the `Join` manifest (journal + results files + partition file
     // list) before any partition can commit; a resumed run instead folds the
@@ -439,24 +461,24 @@ pub fn try_pbsm_join_ctl(
     let mut candidates = dedup_disk
         .as_ref()
         .map(|d| RecordWriter::<IdPair>::create(d, cfg.io_buffer_pages));
-    // First-result probe: captures the CPU/I/O meters the moment the first
-    // result reaches the consumer (the pipelining metric of §3.1/§5).
-    let mut first_cpu: Option<f64> = None;
-    let mut first_io: Option<IoStats> = None;
-    let probe_disk = disk.clone();
-    let probe_dedup = dedup_disk.clone();
-    let mut wrapped_out = |a: RecordId, b: RecordId| {
-        if first_cpu.is_none() {
-            first_cpu = Some(run_start.elapsed().as_secs_f64());
-            let mut io = probe_disk.stats();
-            if let Some(d) = &probe_dedup {
-                io = io.plus(&d.stats());
-            }
-            first_io = Some(io);
+    // First-result probe (the pipelining metric of §3.1/§5) on the
+    // *pipelined* clock: join-phase base plus the emitting task's own
+    // CPU/I/O up to its first pair, minimized over all emitting tasks.
+    // Task-own deltas are scheduling-independent, so threads=1 and
+    // threads=N report the same position (satellite fix: the old probe read
+    // the coordinator's wall clock and global meters at delivery, which on
+    // the parallel path is later than the earliest worker emission).
+    let mut first_pos: Option<(f64, IoStats)> = None;
+    let fold_first = |slot: &mut Option<(f64, IoStats)>, cand: (f64, IoStats)| {
+        let pos = |p: &(f64, IoStats)| model.scaled_cpu(p.0) + model.seconds(&p.1);
+        if slot.as_ref().is_none_or(|cur| pos(&cand) < pos(cur)) {
+            *slot = Some(cand);
         }
-        out(a, b);
     };
-    let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
+    // This run's I/O at join-phase entry — the base every task-own delta is
+    // measured against (relative to `io0`, so a reused disk's earlier
+    // charges never leak into the probe).
+    let base_io = disk.stats().delta(&io0);
     let threads = parallel::resolve_threads(cfg.threads);
     let mut internal = cfg.internal.create();
     // On-CPU compute clock (wall fallback) so sequential and parallel
@@ -487,6 +509,18 @@ pub fn try_pbsm_join_ctl(
             let mut sv = s.to_vec();
             let mut buffered: Vec<(RecordId, RecordId)> = Vec::new();
             let base = (stats.candidates, stats.results, stats.duplicates);
+            let cpu0 = coord_clock.seconds();
+            let io0s = disk.stats();
+            let mut task_first: Option<(f64, IoStats)> = None;
+            let mut track = |a: RecordId, b: RecordId| {
+                if task_first.is_none() {
+                    task_first = Some((
+                        cpu_base + (coord_clock.seconds() - cpu0),
+                        base_io.plus(&disk.stats().delta(&io0s)),
+                    ));
+                }
+                out(a, b);
+            };
             let joined = {
                 let mut ctx = Ctx {
                     disk,
@@ -505,7 +539,7 @@ pub fn try_pbsm_join_ctl(
                         &mut |_| Ok(()),
                     )
                 } else {
-                    join_loaded(&mut ctx, &mut rv, &mut sv, &chain, out, &mut |pair| {
+                    join_loaded(&mut ctx, &mut rv, &mut sv, &chain, &mut track, &mut |pair| {
                         candidates
                             .as_mut()
                             .expect("sort-phase candidate writer (Some iff Dedup::SortPhase)")
@@ -516,13 +550,41 @@ pub fn try_pbsm_join_ctl(
             stats.cpu_join += t.elapsed().as_secs_f64();
             stats.join_counters = internal.counters();
             joined.map_err(|e| JoinError::new("dedup", e))?;
+            let deltas = (
+                stats.candidates - base.0,
+                stats.results - base.1,
+                stats.duplicates - base.2,
+            );
             if let Some(cp) = cp.as_mut() {
-                let deltas = (
-                    stats.candidates - base.0,
-                    stats.results - base.1,
-                    stats.duplicates - base.2,
+                commit_and_emit(
+                    cp,
+                    disk,
+                    &mut stats.io_checkpoint,
+                    &mut stats.checkpoint_commits,
+                    0,
+                    &buffered,
+                    deltas,
+                    &mut track,
+                )?;
+            }
+            if let Some(f) = task_first {
+                fold_first(&mut first_pos, f);
+            }
+            if ctl.observed() {
+                let io_own = disk.stats().delta(&io0s);
+                ctl.event(
+                    "partition-done",
+                    elapsed_now(),
+                    &[
+                        ("partition", 0),
+                        ("candidates", deltas.0),
+                        ("results", deltas.1),
+                        ("duplicates", deltas.2),
+                        ("pages_read", io_own.pages_read),
+                        ("pages_written", io_own.pages_written),
+                        ("committed", checkpointing as u64),
+                    ],
                 );
-                commit_and_emit(cp, disk, &mut stats.io_checkpoint, 0, &buffered, deltas, out)?;
             }
         }
     } else if threads <= 1 {
@@ -540,6 +602,18 @@ pub fn try_pbsm_join_ctl(
                 let chain = RegionChain::top(grid, map, i);
                 let mut buffered: Vec<(RecordId, RecordId)> = Vec::new();
                 let base = (stats.candidates, stats.results, stats.duplicates);
+                let cpu0 = coord_clock.seconds();
+                let io0s = disk.stats();
+                let mut task_first: Option<(f64, IoStats)> = None;
+                let mut track = |a: RecordId, b: RecordId| {
+                    if task_first.is_none() {
+                        task_first = Some((
+                            cpu_base + (coord_clock.seconds() - cpu0),
+                            base_io.plus(&disk.stats().delta(&io0s)),
+                        ));
+                    }
+                    out(a, b);
+                };
                 let res = {
                     let mut ctx = Ctx {
                         disk,
@@ -569,7 +643,7 @@ pub fn try_pbsm_join_ctl(
                             0,
                             (false, false),
                             i,
-                            out,
+                            &mut track,
                             &mut |pair| {
                                 candidates
                                     .as_mut()
@@ -593,16 +667,36 @@ pub fn try_pbsm_join_ctl(
                                 cp,
                                 disk,
                                 &mut stats.io_checkpoint,
+                                &mut stats.checkpoint_commits,
                                 i,
                                 &buffered,
                                 deltas,
-                                out,
+                                &mut track,
                             ) {
                                 first_err = Some(e);
                             }
                         }
                     }
                     Err(e) => first_err = Some(e),
+                }
+                if let Some(f) = task_first {
+                    fold_first(&mut first_pos, f);
+                }
+                if ctl.observed() && first_err.is_none() {
+                    let io_own = disk.stats().delta(&io0s);
+                    ctl.event(
+                        "partition-done",
+                        elapsed_now(),
+                        &[
+                            ("partition", u64::from(i)),
+                            ("candidates", stats.candidates - base.0),
+                            ("results", stats.results - base.1),
+                            ("duplicates", stats.duplicates - base.2),
+                            ("pages_read", io_own.pages_read),
+                            ("pages_written", io_own.pages_written),
+                            ("committed", checkpointing as u64),
+                        ],
+                    );
                 }
             }
             if !checkpointing {
@@ -628,6 +722,11 @@ pub fn try_pbsm_join_ctl(
             /// coordinator's deadline estimate as results land (the full
             /// fork meters merge only after the pool drains).
             io: IoStats,
+            /// On-CPU seconds this task cost its worker.
+            cpu: f64,
+            /// This task's own (CPU delta, I/O delta) at its first pair —
+            /// the task-local leg of the pipelined first-result probe.
+            first: Option<(f64, IoStats)>,
             /// (candidates, results, duplicates) this task produced — the
             /// journal record of its partition.
             deltas: (u64, u64, u64),
@@ -635,8 +734,10 @@ pub fn try_pbsm_join_ctl(
         let mut first_err: Option<JoinError> = None;
         let mut est_io = IoStats::default();
         let io_ckpt = &mut stats.io_checkpoint;
+        let ckpt_commits = &mut stats.checkpoint_commits;
+        let first_pos_ref = &mut first_pos;
         let todo_ref = &todo;
-        let workers = parallel::run_ordered_fallible_with(
+        let (workers, pool) = parallel::run_ordered_fallible_with(
             threads,
             todo.len(),
             cfg.max_partition_requeues,
@@ -661,12 +762,15 @@ pub fn try_pbsm_join_ctl(
                 // attempts and their retries are real simulated disk time.
                 let snapshot = partial.clone();
                 let io_before = fork.stats();
+                let cpu_before = work_clock.seconds();
                 let chain = RegionChain::top(grid, map, i);
                 let mut pairs = Vec::new();
                 let mut cand = Vec::new();
+                let mut first: Option<(f64, IoStats)> = None;
+                let fork_ref: &SimDisk = fork;
                 let clock = || work_clock.seconds();
                 let mut ctx = Ctx {
-                    disk: fork,
+                    disk: fork_ref,
                     cfg,
                     internal: &mut **internal,
                     stats: partial,
@@ -680,7 +784,15 @@ pub fn try_pbsm_join_ctl(
                     0,
                     (false, false),
                     i,
-                    &mut |a, b| pairs.push((a, b)),
+                    &mut |a, b| {
+                        if first.is_none() {
+                            first = Some((
+                                work_clock.seconds() - cpu_before,
+                                fork_ref.stats().delta(&io_before),
+                            ));
+                        }
+                        pairs.push((a, b));
+                    },
                     &mut |pair| {
                         cand.push(pair);
                         Ok(())
@@ -690,7 +802,9 @@ pub fn try_pbsm_join_ctl(
                     Ok(()) => Ok(TaskOut {
                         pairs,
                         cand,
-                        io: fork.stats().delta(&io_before),
+                        io: fork_ref.stats().delta(&io_before),
+                        cpu: work_clock.seconds() - cpu_before,
+                        first,
                         deltas: (
                             partial.candidates - snapshot.candidates,
                             partial.results - snapshot.results,
@@ -742,14 +856,64 @@ pub fn try_pbsm_join_ctl(
                 match result {
                     Ok(t) => {
                         est_io = est_io.plus(&t.io);
+                        if ctl.observed() && first_err.is_none() {
+                            ctl.event(
+                                "partition-done",
+                                model.seconds(&disk.stats().plus(&est_io))
+                                    + model.scaled_cpu(cpu_base + coord_clock.seconds()),
+                                &[
+                                    ("partition", u64::from(i)),
+                                    ("candidates", t.deltas.0),
+                                    ("results", t.deltas.1),
+                                    ("duplicates", t.deltas.2),
+                                    ("pages_read", t.io.pages_read),
+                                    ("pages_written", t.io.pages_written),
+                                    ("committed", checkpointing as u64),
+                                ],
+                            );
+                        }
                         if first_err.is_none() {
                             if let Some(cp) = cp.as_mut() {
-                                if let Err(e) =
-                                    commit_and_emit(cp, disk, io_ckpt, i, &t.pairs, t.deltas, out)
-                                {
+                                // Emission happens after the durable commit,
+                                // so the task's pipelined first-pair position
+                                // includes its full join work plus the commit
+                                // I/O that precedes delivery.
+                                let io_c0 = disk.stats();
+                                let mut task_first: Option<(f64, IoStats)> = None;
+                                let mut track = |a: RecordId, b: RecordId| {
+                                    if task_first.is_none() {
+                                        task_first = Some((
+                                            cpu_base + t.cpu,
+                                            base_io
+                                                .plus(&t.io)
+                                                .plus(&disk.stats().delta(&io_c0)),
+                                        ));
+                                    }
+                                    out(a, b);
+                                };
+                                let res = commit_and_emit(
+                                    cp,
+                                    disk,
+                                    io_ckpt,
+                                    ckpt_commits,
+                                    i,
+                                    &t.pairs,
+                                    t.deltas,
+                                    &mut track,
+                                );
+                                if let Some(f) = task_first {
+                                    fold_first(first_pos_ref, f);
+                                }
+                                if let Err(e) = res {
                                     first_err = Some(e);
                                 }
                             } else {
+                                if let Some(f) = t.first {
+                                    fold_first(
+                                        first_pos_ref,
+                                        (cpu_base + f.0, base_io.plus(&f.1)),
+                                    );
+                                }
                                 for (a, b) in t.pairs {
                                     out(a, b);
                                 }
@@ -804,14 +968,46 @@ pub fn try_pbsm_join_ctl(
             // the same totals as a sequential run.
             disk.add_stats(&fork.stats());
         }
+        // Cross-check the scheduler's own requeue count against the
+        // per-worker accounting (they can only diverge when a cancellation
+        // leaves a queued retry unclaimed).
+        if first_err.is_none() && !ctl.cancel.is_cancelled() {
+            debug_assert_eq!(
+                u64::from(stats.requeued_partitions),
+                pool.requeues,
+                "scheduler requeue count disagrees with per-worker accounting"
+            );
+        }
+        if ctl.observed() {
+            ctl.event(
+                "pool-drained",
+                elapsed_now(),
+                &[
+                    ("tasks_claimed", pool.tasks_claimed),
+                    ("requeues", pool.requeues),
+                    ("threads", threads as u64),
+                ],
+            );
+        }
         if let Some(e) = first_err {
             return Err(e);
         }
     }
 
+    ctl.span(
+        "join",
+        sim_at(&base_io, cpu_base),
+        sim_at(
+            &disk.stats(),
+            stats.cpu_partition + stats.cpu_repart + stats.cpu_join,
+        ),
+    );
+
     // --- Phase 4 (SortPhase only): sort candidates, drop duplicates --------
     if let (Some(ddisk), Some(writer)) = (dedup_disk, candidates) {
         let t3 = Instant::now();
+        let cpu_pre = stats.cpu_partition + stats.cpu_repart + stats.cpu_join;
+        let dd_start = sim_at(&disk.stats().plus(&ddisk.stats()), cpu_pre);
         let cand_file = writer
             .try_finish()
             .map_err(|e| JoinError::new("dedup", e))?;
@@ -831,6 +1027,15 @@ pub fn try_pbsm_join_ctl(
             };
             if prev != Some(pair) {
                 stats.results += 1;
+                if first_pos.is_none() {
+                    // The sort phase pipelines nothing: the first pair can
+                    // only appear after every candidate is sorted, so its
+                    // position is the cumulative clock at this scan step.
+                    first_pos = Some((
+                        cpu_pre + t3.elapsed().as_secs_f64(),
+                        disk.stats().delta(&io0).plus(&ddisk.stats()),
+                    ));
+                }
                 out(RecordId(pair.r), RecordId(pair.s));
             } else {
                 stats.duplicates += 1;
@@ -841,6 +1046,11 @@ pub fn try_pbsm_join_ctl(
         stats.sort = Some(sort_stats);
         stats.io_dedup = ddisk.stats();
         stats.cpu_dedup = t3.elapsed().as_secs_f64();
+        ctl.span(
+            "dedup",
+            dd_start,
+            sim_at(&disk.stats().plus(&ddisk.stats()), cpu_pre + stats.cpu_dedup),
+        );
     }
 
     // Publish `Done` and drop the partition files; the journal, results and
@@ -851,19 +1061,22 @@ pub fn try_pbsm_join_ctl(
         stats.io_checkpoint = stats.io_checkpoint.plus(&disk.stats().delta(&c0));
         res?;
     }
-    stats.first_result_cpu = first_cpu;
-    stats.first_result_io = first_io;
+    stats.first_result_cpu = first_pos.as_ref().map(|p| p.0);
+    stats.first_result_io = first_pos.map(|p| p.1);
     Ok(stats)
 }
 
 /// Commit-protocol steps 2–4 for one finished partition: durably flush its
 /// buffered pairs to the results file, append its journal record (the
 /// commit point — crash injection fires here), and only then emit the pairs
-/// downstream. The checkpoint I/O delta is folded into `io_ckpt`.
+/// downstream. The checkpoint I/O delta is folded into `io_ckpt`, and each
+/// durable journal record bumps `commits`.
+#[allow(clippy::too_many_arguments)] // internal commit driver; the args are the commit state
 fn commit_and_emit(
     cp: &mut RunCheckpoint,
     disk: &SimDisk,
     io_ckpt: &mut IoStats,
+    commits: &mut u64,
     partition: u32,
     pairs: &[(RecordId, RecordId)],
     (candidates, results, duplicates): (u64, u64, u64),
@@ -885,6 +1098,7 @@ fn commit_and_emit(
     // would be emitted by neither leg). An uncommitted partition's pairs
     // stay unemitted; the resume recomputes and emits them.
     if res.is_ok() || cp.is_committed(partition) {
+        *commits += 1;
         for &(a, b) in pairs {
             out(a, b);
         }

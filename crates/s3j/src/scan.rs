@@ -104,10 +104,17 @@ pub struct S3jStats {
     pub cpu_join: f64,
     /// Peak bytes of partitions resident during the join scan.
     pub peak_partition_bytes: usize,
+    /// Durable per-partition journal commits performed by this run (zero
+    /// unless the run is checkpointed).
+    pub checkpoint_commits: u64,
     pub model: DiskModel,
-    /// CPU position (seconds since start) of the first emitted result.
+    /// CPU position of the earliest result on the *pipelined* clock (scan
+    /// base plus the emitting task's own CPU), minimized over tasks — the
+    /// same at every thread count.
     pub first_result_cpu: Option<f64>,
-    /// I/O meter at the first emitted result.
+    /// This run's I/O meter at the earliest result on the pipelined clock:
+    /// the discovery I/O up to the emitting partition (plus its commit I/O
+    /// when checkpointed) — scan workers themselves do no I/O.
     pub first_result_io: Option<IoStats>,
 }
 
@@ -173,6 +180,7 @@ impl S3jStats {
         self.cpu_sort = self.cpu_sort.max(other.cpu_sort);
         self.cpu_join = self.cpu_join.max(other.cpu_join);
         self.peak_partition_bytes = self.peak_partition_bytes.max(other.peak_partition_bytes);
+        self.checkpoint_commits += other.checkpoint_commits;
     }
 
     /// A zeroed partial for per-worker accumulation (merged back with
@@ -198,6 +206,7 @@ impl S3jStats {
             cpu_sort: 0.0,
             cpu_join: 0.0,
             peak_partition_bytes: 0,
+            checkpoint_commits: 0,
             model,
             first_result_cpu: None,
             first_result_io: None,
@@ -412,11 +421,14 @@ fn unpack_levels(files: &[FileId]) -> Vec<Option<FileId>> {
 /// Commit-protocol steps 2–4 for one discovered partition: durably flush
 /// its buffered pairs to the results file, append its journal record (the
 /// commit point — crash injection fires here), and only then emit the pairs
-/// downstream. The checkpoint I/O delta is folded into `io_ckpt`.
+/// downstream. The checkpoint I/O delta is folded into `io_ckpt`, and each
+/// durable journal record bumps `commits`.
+#[allow(clippy::too_many_arguments)] // internal commit driver; the args are the commit state
 fn commit_and_emit(
     cp: &mut RunCheckpoint,
     disk: &SimDisk,
     io_ckpt: &mut IoStats,
+    commits: &mut u64,
     partition: u32,
     pairs: &[(RecordId, RecordId)],
     (candidates, results, duplicates): (u64, u64, u64),
@@ -438,6 +450,7 @@ fn commit_and_emit(
     // would be emitted by neither leg). An uncommitted partition's pairs
     // stay unemitted; the resume recomputes and emits them.
     if res.is_ok() || cp.is_committed(partition) {
+        *commits += 1;
         for &(a, b) in pairs {
             out(a, b);
         }
@@ -481,9 +494,11 @@ pub fn try_s3j_join_ctl(
     if checkpointing && !matches!(cfg.scan, ScanMode::HeapMerge) {
         return Err(JoinError::new("setup", IoError::unsupported()));
     }
-    let run_start = Instant::now();
     let model = disk.model();
     let mut stats = S3jStats::partial(model);
+    // Absolute simulated-timeline position for trace spans: disk meter in
+    // seconds plus scaled CPU.
+    let sim_at = |io: &IoStats, cpu: f64| model.seconds(io) + model.scaled_cpu(cpu);
 
     // A recovered run that already published `Done`: everything was emitted
     // before the original process exited, so report the journaled totals
@@ -566,6 +581,7 @@ pub fn try_s3j_join_ctl(
     };
     stats.io_partition = disk.stats().delta(&io0);
     stats.cpu_partition = t0.elapsed().as_secs_f64();
+    ctl.span("build", sim_at(&io0, 0.0), sim_at(&disk.stats(), stats.cpu_partition));
     // Durable build: after this publish, a crash or deadline during the
     // sort phase resumes from the intact unsorted level files instead of
     // re-partitioning.
@@ -664,6 +680,11 @@ pub fn try_s3j_join_ctl(
         }
         (sorted_r, sorted_s)
     };
+    ctl.span(
+        "sort",
+        sim_at(&io1, stats.cpu_partition),
+        sim_at(&disk.stats(), stats.cpu_partition + stats.cpu_sort),
+    );
 
     // A resumed join phase folds the journaled counters in, so its reported
     // totals match an uninterrupted run's (the committed partitions' pairs
@@ -685,23 +706,17 @@ pub fn try_s3j_join_ctl(
     let t2 = parallel::WorkClock::start();
     let io2 = disk.stats();
     let ckpt2 = stats.io_checkpoint;
-    let mut first_cpu: Option<f64> = None;
-    let mut first_io: Option<IoStats> = None;
-    let probe_disk = disk.clone();
-    let mut wrapped_out = |a: RecordId, b: RecordId| {
-        if first_cpu.is_none() {
-            first_cpu = Some(run_start.elapsed().as_secs_f64());
-            first_io = Some(probe_disk.stats());
-        }
-        out(a, b);
-    };
-    let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
     let threads = parallel::resolve_threads(cfg.threads);
     // Simulated time so far — what the deadline is charged against at every
     // discovered partition (S³J scan workers do no I/O, so the
     // coordinator's meter is the whole story).
     let cpu_base = stats.cpu_partition + stats.cpu_sort;
     let elapsed_now = || disk.io_seconds() + model.scaled_cpu(cpu_base + t2.seconds());
+    // Earliest result on the pipelined clock: (CPU position, this run's I/O
+    // meter) at the first delivered pair, minimized over emitting tasks.
+    // Run-relative (`delta(&io0)`) so a reused disk's earlier charges never
+    // leak into the probe.
+    let mut first_pos: Option<(f64, IoStats)> = None;
     let scan_res: Result<(), JoinError> = if matches!(cfg.scan, ScanMode::HeapMerge) && threads > 1
     {
         // `cpu_join` is assembled inside: the coordinator's discovery scan
@@ -717,10 +732,24 @@ pub fn try_s3j_join_ctl(
             &mut stats,
             ctl,
             cp.as_deref_mut(),
+            &io0,
+            &mut first_pos,
             &elapsed_now,
             out,
         )
     } else {
+        // Sequential scans emit in discovery order against a monotone meter,
+        // so the first delivery is already the minimum; reading the live
+        // clocks at that moment matches the parallel probe exactly on the
+        // I/O axis (discovery I/O through the emitting partition, plus its
+        // commit when checkpointed).
+        let mut wrapped_out = |a: RecordId, b: RecordId| {
+            if first_pos.is_none() {
+                first_pos = Some((cpu_base + t2.seconds(), disk.stats().delta(&io0)));
+            }
+            out(a, b);
+        };
+        let out = &mut wrapped_out as &mut dyn FnMut(RecordId, RecordId);
         let mut ctx = JoinCtx {
             cfg,
             internal: cfg.internal.create(),
@@ -766,6 +795,11 @@ pub fn try_s3j_join_ctl(
         .stats()
         .delta(&io2)
         .delta(&stats.io_checkpoint.delta(&ckpt2));
+    ctl.span(
+        "scan",
+        sim_at(&io2, cpu_base),
+        sim_at(&disk.stats(), cpu_base + stats.cpu_join),
+    );
 
     // An interrupted durable run must keep the sorted level files — the
     // `Join` manifest references them and a resume reads them again;
@@ -784,8 +818,8 @@ pub fn try_s3j_join_ctl(
         stats.io_checkpoint = stats.io_checkpoint.plus(&disk.stats().delta(&c0));
         res?;
     }
-    stats.first_result_cpu = first_cpu;
-    stats.first_result_io = first_io;
+    stats.first_result_cpu = first_pos.as_ref().map(|p| p.0);
+    stats.first_result_io = first_pos.map(|p| p.1);
     Ok(stats)
 }
 
@@ -859,11 +893,12 @@ fn heap_scan(
         // Partitions with nothing to join against do no work and are never
         // journaled.
         let committed = cp.as_deref().is_some_and(|c| c.is_committed(d));
+        let base = (ctx.candidates, ctx.results, ctx.duplicates);
         let other_stack = &mut stacks[1 - part.rel];
-        if !committed && !other_stack.is_empty() {
+        let has_work = !other_stack.is_empty();
+        if !committed && has_work {
             match cp.as_deref_mut() {
                 Some(c) => {
-                    let base = (ctx.candidates, ctx.results, ctx.duplicates);
                     let mut pairs: Vec<(RecordId, RecordId)> = Vec::new();
                     for q in other_stack.iter_mut() {
                         ctx.join_parts(&mut part, q, &mut |a, b| pairs.push((a, b)));
@@ -873,7 +908,16 @@ fn heap_scan(
                         ctx.results - base.1,
                         ctx.duplicates - base.2,
                     );
-                    commit_and_emit(c, disk, &mut stats.io_checkpoint, d, &pairs, deltas, out)?;
+                    commit_and_emit(
+                        c,
+                        disk,
+                        &mut stats.io_checkpoint,
+                        &mut stats.checkpoint_commits,
+                        d,
+                        &pairs,
+                        deltas,
+                        out,
+                    )?;
                 }
                 None => {
                     for q in other_stack.iter_mut() {
@@ -881,6 +925,19 @@ fn heap_scan(
                     }
                 }
             }
+        }
+        if ctl.observed() && has_work {
+            ctl.event(
+                "partition-done",
+                elapsed(),
+                &[
+                    ("partition", u64::from(d)),
+                    ("candidates", ctx.candidates - base.0),
+                    ("results", ctx.results - base.1),
+                    ("duplicates", ctx.duplicates - base.2),
+                    ("committed", u64::from(committed || cp.is_some())),
+                ],
+            );
         }
         resident += part.rects.len() * Kpe::ENCODED_SIZE;
         stats.peak_partition_bytes = stats.peak_partition_bytes.max(resident);
@@ -910,12 +967,19 @@ fn heap_scan_parallel(
     stats: &mut S3jStats,
     ctl: &RunControl,
     mut cp: Option<&mut RunCheckpoint>,
+    io0: &IoStats,
+    first_pos: &mut Option<(f64, IoStats)>,
     elapsed: &dyn Fn() -> f64,
     out: &mut dyn FnMut(RecordId, RecordId),
 ) -> Result<(), JoinError> {
     use std::sync::Arc;
 
     let to_err = |e: IoError| JoinError::new("scan", e);
+    let cpu_base = stats.cpu_partition + stats.cpu_sort;
+    // Scan-phase checkpoint I/O accumulated so far (build/sort publishes):
+    // subtracted out when reconstructing the sequential meter position of a
+    // mid-scan delivery.
+    let ckpt0 = stats.io_checkpoint;
     let t_discover = parallel::WorkClock::start();
     let mut cursors: Vec<Cursor> = Vec::new();
     for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
@@ -936,6 +1000,11 @@ fn heap_scan_parallel(
     let mut stacks: [Vec<Arc<Part>>; 2] = [Vec::new(), Vec::new()];
     let mut resident = 0usize;
     let mut tasks: Vec<(Arc<Part>, Arc<Part>)> = Vec::new();
+    // Per task: the run-relative I/O meter right after its partition's
+    // discovery read — exactly the sequential scan's meter position when it
+    // would join that partition (scan workers do no I/O). Feeds the
+    // pipelined first-result probe; kept aligned with `tasks`.
+    let mut snaps: Vec<IoStats> = Vec::new();
     // The pair ranges of the task list that belong to each uncommitted
     // discovered partition (checkpointed runs only — see `units` below).
     let mut partition_ranges: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
@@ -961,14 +1030,17 @@ fn heap_scan_parallel(
         }
         let part = Arc::new(part);
         let start = tasks.len();
+        let snap = disk.stats().delta(io0);
         for q in stacks[1 - part.rel].iter() {
             tasks.push((Arc::clone(&part), Arc::clone(q)));
+            snaps.push(snap);
         }
         if tasks.len() > start {
             if cp.as_deref().is_some_and(|c| c.is_committed(d)) {
                 // Resumed run: the crashed process already emitted this
                 // partition's pairs after its commit — skip the work.
                 tasks.truncate(start);
+                snaps.truncate(start);
             } else {
                 partition_ranges.push((d, start..tasks.len()));
             }
@@ -998,7 +1070,16 @@ fn heap_scan_parallel(
     let model = stats.model;
     let mut first_err: Option<JoinError> = None;
     let io_ckpt = &mut stats.io_checkpoint;
+    let ckpt_commits = &mut stats.checkpoint_commits;
     let units_ref = &units;
+    let snaps_ref = &snaps;
+    // Keep whichever candidate sits earliest on the pipelined clock.
+    let fold_first = |slot: &mut Option<(f64, IoStats)>, cand: (f64, IoStats)| {
+        let pos = |p: &(f64, IoStats)| model.scaled_cpu(p.0) + model.seconds(&p.1);
+        if slot.as_ref().is_none_or(|cur| pos(&cand) < pos(cur)) {
+            *slot = Some(cand);
+        }
+    };
     let workers = parallel::run_ordered_with(
         threads,
         units.len(),
@@ -1025,10 +1106,20 @@ fn heap_scan_parallel(
             let c0 = work_clock.seconds();
             let base = (ctx.candidates, ctx.results, ctx.duplicates);
             let mut pairs = Vec::new();
-            for (deeper, other) in &tasks[units_ref[u].1.clone()] {
+            // (global task index, own on-CPU seconds) at this unit's first
+            // produced pair — the unit's contribution to the pipelined
+            // first-result probe.
+            let mut first: Option<(usize, f64)> = None;
+            let range = units_ref[u].1.clone();
+            for (i, (deeper, other)) in tasks[range.clone()].iter().enumerate() {
                 let mut deeper = deeper.copy_into(std::mem::take(&mut scratch.0));
                 let mut other = other.copy_into(std::mem::take(&mut scratch.1));
-                ctx.join_parts(&mut deeper, &mut other, &mut |a, b| pairs.push((a, b)));
+                ctx.join_parts(&mut deeper, &mut other, &mut |a, b| {
+                    if first.is_none() {
+                        first = Some((range.start + i, work_clock.seconds() - c0));
+                    }
+                    pairs.push((a, b));
+                });
                 scratch.0 = deeper.rects;
                 scratch.1 = other.rects;
             }
@@ -1038,24 +1129,77 @@ fn heap_scan_parallel(
                 ctx.results - base.1,
                 ctx.duplicates - base.2,
             );
-            (pairs, deltas)
+            (pairs, deltas, first)
         },
-        |u, (pairs, deltas)| {
+        |u, (pairs, deltas, first)| {
             // Deadline at unit granularity on the coordinator (workers do
             // no I/O, so `elapsed` sees the whole simulated-time story).
             if first_err.is_none() {
                 first_err = ctl.charge("scan", elapsed());
             }
+            if ctl.observed() && first_err.is_none() {
+                ctl.event(
+                    "partition-done",
+                    elapsed(),
+                    &[
+                        ("partition", u64::from(units_ref[u].0)),
+                        ("unit", u as u64),
+                        ("candidates", deltas.0),
+                        ("results", deltas.1),
+                        ("duplicates", deltas.2),
+                        ("committed", u64::from(cp.is_some())),
+                    ],
+                );
+            }
             if first_err.is_none() {
                 match cp.as_deref_mut() {
                     Some(c) => {
-                        if let Err(e) =
-                            commit_and_emit(c, disk, io_ckpt, units_ref[u].0, &pairs, deltas, out)
-                        {
+                        // Reconstruct the sequential meter position of this
+                        // unit's first delivered pair: discovery I/O through
+                        // its partition, scan commits of earlier units, and
+                        // the live delta of its own in-flight commit.
+                        let prior_commits = io_ckpt.delta(&ckpt0);
+                        let io_c0 = disk.stats();
+                        let mut task_first: Option<(f64, IoStats)> = None;
+                        let res = {
+                            let mut track = |a: RecordId, b: RecordId| {
+                                if task_first.is_none() {
+                                    if let Some((ti, fc)) = first {
+                                        task_first = Some((
+                                            cpu_base + discover_secs + fc,
+                                            snaps_ref[ti]
+                                                .plus(&prior_commits)
+                                                .plus(&disk.stats().delta(&io_c0)),
+                                        ));
+                                    }
+                                }
+                                out(a, b);
+                            };
+                            commit_and_emit(
+                                c,
+                                disk,
+                                io_ckpt,
+                                ckpt_commits,
+                                units_ref[u].0,
+                                &pairs,
+                                deltas,
+                                &mut track,
+                            )
+                        };
+                        if let Err(e) = res {
                             first_err = Some(e);
+                        }
+                        if let Some(f) = task_first {
+                            fold_first(first_pos, f);
                         }
                     }
                     None => {
+                        if let Some((ti, fc)) = first {
+                            fold_first(
+                                first_pos,
+                                (cpu_base + discover_secs + fc, snaps_ref[ti]),
+                            );
+                        }
                         for (a, b) in pairs {
                             out(a, b);
                         }
@@ -1094,6 +1238,17 @@ fn heap_scan_parallel(
     // was slowest. Without a checkpoint nothing below discovery can fail:
     // the worker tasks are pure CPU over in-memory partitions.
     stats.cpu_join += discover_secs;
+    if ctl.observed() {
+        ctl.event(
+            "pool-drained",
+            elapsed(),
+            &[
+                ("units", units.len() as u64),
+                ("tasks", tasks.len() as u64),
+                ("threads", threads as u64),
+            ],
+        );
+    }
     match first_err {
         Some(e) => Err(e),
         None => Ok(()),

@@ -45,6 +45,7 @@ mod disk;
 mod fault;
 mod file;
 mod manifest;
+pub mod metrics;
 mod pool;
 mod record;
 mod sort;
@@ -57,6 +58,10 @@ pub use parallel::{CancelCause, CancelToken};
 pub use fault::{CrashPoint, FaultPlan, IoError, IoErrorKind, IoOp, JoinError, JoinErrorKind};
 pub use manifest::{
     recover, JournalEntry, Manifest, Recovered, RunCheckpoint, RunControl, RunPhase,
+};
+pub use metrics::{
+    MetricsReport, PhaseMetric, ReconcileError, Recorder, RunCounters, TraceEvent, TraceSpan,
+    METRICS_SCHEMA_VERSION,
 };
 pub use file::{FileReader, FileWriter};
 pub use pool::BufferPool;

@@ -63,12 +63,14 @@
 //! global sort), which is why checkpointing requires RPM.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use parallel::{CancelCause, CancelToken};
 use parking_lot::Mutex;
 
 use crate::disk::page_checksum as fnv1a;
 use crate::fault::{CrashPoint, JoinError};
+use crate::metrics::Recorder;
 use crate::record::{FixedRecord, IdPair};
 use crate::{FileId, IoError, SimDisk};
 
@@ -696,6 +698,9 @@ pub struct RunControl {
     pub deadline: Option<f64>,
     /// When present, the join commits per-partition progress through it.
     pub checkpoint: Option<Mutex<RunCheckpoint>>,
+    /// When present, the join records phase spans and per-partition events
+    /// on the simulated clock (see [`crate::metrics`]).
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl RunControl {
@@ -717,6 +722,31 @@ impl RunControl {
     pub fn with_checkpoint(mut self, cp: RunCheckpoint) -> Self {
         self.checkpoint = Some(Mutex::new(cp));
         self
+    }
+
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Record a completed phase span, if a recorder is attached.
+    pub fn span(&self, name: &'static str, start_s: f64, end_s: f64) {
+        if let Some(r) = &self.recorder {
+            r.span(name, start_s, end_s);
+        }
+    }
+
+    /// Record a point event, if a recorder is attached. `attrs` are integer
+    /// counters; build them only when a recorder is present to keep the
+    /// unobserved path free — use [`RunControl::observed`] to guard.
+    pub fn event(&self, name: &'static str, t_s: f64, attrs: &[(&'static str, u64)]) {
+        if let Some(r) = &self.recorder {
+            r.event(name, t_s, attrs);
+        }
+    }
+
+    pub fn observed(&self) -> bool {
+        self.recorder.is_some()
     }
 
     pub fn is_checkpointing(&self) -> bool {

@@ -1,0 +1,548 @@
+//! Structured observability on **simulated** time.
+//!
+//! The recorder captures phase spans and per-partition events whose
+//! timestamps are positions on the cost-model clock (DiskModel seconds for
+//! I/O plus scaled CPU seconds), *not* wall time. Because every simulated
+//! quantity in this workspace is deterministic for a fixed seed and
+//! thread-count-invariant by construction (fault identity excludes workers,
+//! CPU phases merge max-over-workers), a trace taken at `--threads 4` tells
+//! the same story as one taken at `--threads 1` — which is what makes traces
+//! diffable in CI.
+//!
+//! The second half of this module is the reconciled metrics report: a
+//! versioned, machine-readable summary whose exporter *refuses to emit*
+//! numbers that do not sum back to the run's own totals. This is a standing
+//! guard against the accounting bug class found in PR 4 (per-phase I/O
+//! buckets double-counting the checkpoint writes).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::disk::{DiskModel, IoStats};
+
+/// Version stamped into every exported trace and metrics document. Bump on
+/// any backwards-incompatible change to the JSON shape.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Default cap on buffered trace events; beyond it events are counted but
+/// dropped (the drop count is exported, so truncation is never silent).
+pub const DEFAULT_MAX_EVENTS: usize = 65_536;
+
+/// A named interval on the simulated clock (e.g. one algorithm phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    pub name: &'static str,
+    /// Simulated seconds at phase entry.
+    pub start_s: f64,
+    /// Simulated seconds at phase exit.
+    pub end_s: f64,
+}
+
+/// A point event on the simulated clock with integer counter attributes
+/// (partition index, candidates, pages read, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: &'static str,
+    /// Simulated seconds at which the event was recorded.
+    pub t_s: f64,
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    spans: Vec<TraceSpan>,
+    events: Vec<TraceEvent>,
+    dropped_events: u64,
+}
+
+/// Thread-safe span/event sink. Cheap enough to leave attached in release
+/// runs: one short mutex hold per phase or per partition, no allocation on
+/// the drop path.
+#[derive(Debug)]
+pub struct Recorder {
+    inner: Mutex<RecorderInner>,
+    max_events: usize,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::with_max_events(DEFAULT_MAX_EVENTS)
+    }
+
+    pub fn with_max_events(max_events: usize) -> Self {
+        Recorder {
+            inner: Mutex::new(RecorderInner::default()),
+            max_events,
+        }
+    }
+
+    /// Convenience for the common `Arc<Recorder>` handoff into `RunControl`.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Record a completed phase interval `[start_s, end_s]` in simulated
+    /// seconds. Spans are few (one per phase) and never dropped.
+    pub fn span(&self, name: &'static str, start_s: f64, end_s: f64) {
+        self.inner.lock().spans.push(TraceSpan {
+            name,
+            start_s,
+            end_s,
+        });
+    }
+
+    /// Record a point event with counter attributes at simulated time `t_s`.
+    pub fn event(&self, name: &'static str, t_s: f64, attrs: &[(&'static str, u64)]) {
+        let mut g = self.inner.lock();
+        if g.events.len() >= self.max_events {
+            g.dropped_events += 1;
+            return;
+        }
+        g.events.push(TraceEvent {
+            name,
+            t_s,
+            attrs: attrs.to_vec(),
+        });
+    }
+
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        self.inner.lock().spans.clone()
+    }
+
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.lock().dropped_events
+    }
+
+    /// Serialize the whole trace as a single JSON document (hand-rolled; the
+    /// workspace carries no serde). Events keep their recording order, which
+    /// for coordinator-side emission is the canonical partition order.
+    pub fn to_json(&self) -> String {
+        let g = self.inner.lock();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {METRICS_SCHEMA_VERSION},\n  \"kind\": \"sjoin-trace\",\n  \"clock\": \"simulated-seconds\",\n"
+        ));
+        out.push_str("  \"spans\": [\n");
+        for (i, s) in g.spans.iter().enumerate() {
+            let sep = if i + 1 == g.spans.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"start_s\": {}, \"end_s\": {}}}{sep}\n",
+                json_escape(s.name),
+                json_f64(s.start_s),
+                json_f64(s.end_s)
+            ));
+        }
+        out.push_str("  ],\n  \"events\": [\n");
+        for (i, e) in g.events.iter().enumerate() {
+            let sep = if i + 1 == g.events.len() { "" } else { "," };
+            let mut attrs = String::new();
+            for (k, v) in &e.attrs {
+                attrs.push_str(&format!(", \"{}\": {v}", json_escape(k)));
+            }
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"t_s\": {}{attrs}}}{sep}\n",
+                json_escape(e.name),
+                json_f64(e.t_s)
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"dropped_events\": {}\n}}\n",
+            g.dropped_events
+        ));
+        out
+    }
+}
+
+/// One phase row of a [`MetricsReport`]: disjoint I/O bucket + raw (unscaled)
+/// CPU seconds attributed to the phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseMetric {
+    pub name: &'static str,
+    pub io: IoStats,
+    pub cpu_seconds: f64,
+}
+
+/// Extra whole-run counters carried by a [`MetricsReport`]. All optional in
+/// the sense that algorithms without the concept report zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCounters {
+    /// Candidate pairs tested by the refinement-free filter step, when the
+    /// algorithm tracks them (`results + duplicates` must equal this).
+    pub candidates: Option<u64>,
+    pub results: u64,
+    pub duplicates: u64,
+    pub partitions: u64,
+    pub requeued_partitions: u64,
+    pub degraded_partitions: u64,
+    pub checkpoint_commits: u64,
+}
+
+/// Reconciled, versioned summary of one join run.
+///
+/// Build it with the per-phase buckets and the *independently computed*
+/// totals from the run's stats struct; [`MetricsReport::reconcile`] then
+/// proves the two agree before anything is exported.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    pub schema_version: u32,
+    pub algo: String,
+    pub threads: usize,
+    pub model: DiskModel,
+    pub phases: Vec<PhaseMetric>,
+    pub counters: RunCounters,
+    /// Total I/O as reported by the stats struct (`io_total()`).
+    pub io_total: IoStats,
+    /// Total raw CPU seconds as reported by the stats struct.
+    pub cpu_seconds: f64,
+    pub scaled_cpu_seconds: f64,
+    pub io_seconds: f64,
+    pub total_seconds: f64,
+    /// Pipelined first-result position (§3.1/§5). Its CPU leg is measured
+    /// on the host's compute clock, so the combined value is reproducible
+    /// only in aggregate; the deterministic part is
+    /// [`first_result_io_seconds`](Self::first_result_io_seconds).
+    pub first_result_seconds: Option<f64>,
+    /// The I/O-only leg of the first-result position — pure simulated
+    /// time, never past `io_seconds`. Under `cpu_slowdown = 0` the whole
+    /// position is I/O-derived and bit-identical at every thread count;
+    /// with live CPU costing the minimizing task can shift with the host
+    /// measurement, moving this leg slightly.
+    pub first_result_io_seconds: Option<f64>,
+}
+
+/// A reconciliation failure: which invariant broke and the two sides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconcileError {
+    pub what: String,
+}
+
+impl std::fmt::Display for ReconcileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metrics reconciliation failed: {}", self.what)
+    }
+}
+
+impl std::error::Error for ReconcileError {}
+
+impl MetricsReport {
+    /// Check every exported number against the run totals. The phase I/O
+    /// buckets must sum **field-for-field exactly** to `io_total`; CPU and
+    /// seconds identities are checked bit-exactly too, because both sides
+    /// are computed by summing the same f64s in the same order.
+    pub fn reconcile(&self) -> Result<(), ReconcileError> {
+        let mut io_sum = IoStats::default();
+        let mut cpu_sum = 0.0f64;
+        for p in &self.phases {
+            io_sum = io_sum.plus(&p.io);
+            cpu_sum += p.cpu_seconds;
+        }
+        if io_sum != self.io_total {
+            return Err(ReconcileError {
+                what: format!(
+                    "phase IoStats sum != io_total (sum {:?}, total {:?})",
+                    io_sum, self.io_total
+                ),
+            });
+        }
+        if cpu_sum != self.cpu_seconds {
+            return Err(ReconcileError {
+                what: format!(
+                    "phase cpu sum {} != cpu_seconds {}",
+                    json_f64(cpu_sum),
+                    json_f64(self.cpu_seconds)
+                ),
+            });
+        }
+        let scaled = self.model.scaled_cpu(self.cpu_seconds);
+        if scaled != self.scaled_cpu_seconds {
+            return Err(ReconcileError {
+                what: format!(
+                    "scaled_cpu_seconds {} != model.scaled_cpu(cpu) {}",
+                    json_f64(self.scaled_cpu_seconds),
+                    json_f64(scaled)
+                ),
+            });
+        }
+        let io_secs = self.model.seconds(&self.io_total);
+        if io_secs != self.io_seconds {
+            return Err(ReconcileError {
+                what: format!(
+                    "io_seconds {} != model.seconds(io_total) {}",
+                    json_f64(self.io_seconds),
+                    json_f64(io_secs)
+                ),
+            });
+        }
+        let total = self.scaled_cpu_seconds + self.io_seconds;
+        if total != self.total_seconds {
+            return Err(ReconcileError {
+                what: format!(
+                    "total_seconds {} != scaled_cpu + io {}",
+                    json_f64(self.total_seconds),
+                    json_f64(total)
+                ),
+            });
+        }
+        if let Some(c) = self.counters.candidates {
+            let rd = self.counters.results + self.counters.duplicates;
+            if c != rd {
+                return Err(ReconcileError {
+                    what: format!("candidates {c} != results + duplicates {rd}"),
+                });
+            }
+        }
+        // The combined first-result position mixes in a wall-derived CPU
+        // leg whose measurement windows differ from the phase timers, so it
+        // cannot be soundly bounded against `total_seconds` on a loaded
+        // host. The I/O leg is pure simulated time and *is* bounded: the
+        // first pair cannot land after the run's last I/O.
+        if let Some(fio) = self.first_result_io_seconds {
+            let slack = 1e-9 * self.io_seconds.abs().max(1.0);
+            if fio > self.io_seconds + slack {
+                return Err(ReconcileError {
+                    what: format!(
+                        "first_result_io_seconds {} > io_seconds {}",
+                        json_f64(fio),
+                        json_f64(self.io_seconds)
+                    ),
+                });
+            }
+            if let Some(first) = self.first_result_seconds {
+                if first < fio - slack {
+                    return Err(ReconcileError {
+                        what: format!(
+                            "first_result_seconds {} < its own io leg {}",
+                            json_f64(first),
+                            json_f64(fio)
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize as JSON. Call [`reconcile`](Self::reconcile) first; the
+    /// exporters in this workspace refuse to write an unreconciled report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"kind\": \"sjoin-metrics\",\n  \"algo\": \"{}\",\n  \"threads\": {},\n",
+            self.schema_version,
+            json_escape(&self.algo),
+            self.threads
+        ));
+        out.push_str(&format!(
+            "  \"model\": {{\"page_size\": {}, \"positioning_ratio\": {}, \"transfer_secs_per_page\": {}, \"cpu_slowdown\": {}}},\n",
+            self.model.page_size,
+            json_f64(self.model.positioning_ratio),
+            json_f64(self.model.transfer_secs_per_page),
+            json_f64(self.model.cpu_slowdown)
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            let sep = if i + 1 == self.phases.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"cpu_seconds\": {}, \"io\": {}}}{sep}\n",
+                json_escape(p.name),
+                json_f64(p.cpu_seconds),
+                io_stats_json(&p.io)
+            ));
+        }
+        out.push_str("  ],\n");
+        let c = &self.counters;
+        match c.candidates {
+            Some(v) => out.push_str(&format!("  \"candidates\": {v},\n")),
+            None => out.push_str("  \"candidates\": null,\n"),
+        }
+        out.push_str(&format!(
+            "  \"results\": {},\n  \"duplicates\": {},\n  \"partitions\": {},\n  \"requeued_partitions\": {},\n  \"degraded_partitions\": {},\n  \"checkpoint_commits\": {},\n",
+            c.results, c.duplicates, c.partitions, c.requeued_partitions, c.degraded_partitions, c.checkpoint_commits
+        ));
+        out.push_str(&format!("  \"io_total\": {},\n", io_stats_json(&self.io_total)));
+        out.push_str(&format!(
+            "  \"cpu_seconds\": {},\n  \"scaled_cpu_seconds\": {},\n  \"io_seconds\": {},\n  \"total_seconds\": {},\n",
+            json_f64(self.cpu_seconds),
+            json_f64(self.scaled_cpu_seconds),
+            json_f64(self.io_seconds),
+            json_f64(self.total_seconds)
+        ));
+        match self.first_result_seconds {
+            Some(v) => out.push_str(&format!("  \"first_result_seconds\": {},\n", json_f64(v))),
+            None => out.push_str("  \"first_result_seconds\": null,\n"),
+        }
+        match self.first_result_io_seconds {
+            Some(v) => out.push_str(&format!("  \"first_result_io_seconds\": {}\n", json_f64(v))),
+            None => out.push_str("  \"first_result_io_seconds\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Render an [`IoStats`] as a JSON object (single line).
+pub fn io_stats_json(s: &IoStats) -> String {
+    format!(
+        "{{\"read_requests\": {}, \"write_requests\": {}, \"pages_read\": {}, \"pages_written\": {}, \"bytes_read\": {}, \"bytes_written\": {}, \"faults_injected\": {}, \"read_retries\": {}, \"write_retries\": {}, \"backoff_units\": {}}}",
+        s.read_requests,
+        s.write_requests,
+        s.pages_read,
+        s.pages_written,
+        s.bytes_read,
+        s.bytes_written,
+        s.faults_injected,
+        s.read_retries,
+        s.write_retries,
+        s.backoff_units
+    )
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 as a JSON number. Rust's `Display` prints the shortest
+/// decimal that round-trips, so re-parsing recovers the exact bits; the
+/// non-finite values JSON cannot express become `null`.
+pub fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MetricsReport {
+        let model = DiskModel::default();
+        let io_a = IoStats {
+            read_requests: 2,
+            pages_read: 10,
+            bytes_read: 10 * model.page_size as u64,
+            ..IoStats::default()
+        };
+        let io_b = IoStats {
+            write_requests: 1,
+            pages_written: 4,
+            bytes_written: 4 * model.page_size as u64,
+            ..IoStats::default()
+        };
+        let phases = vec![
+            PhaseMetric {
+                name: "partition",
+                io: io_a,
+                cpu_seconds: 0.25,
+            },
+            PhaseMetric {
+                name: "join",
+                io: io_b,
+                cpu_seconds: 0.5,
+            },
+        ];
+        let io_total = io_a.plus(&io_b);
+        let cpu = 0.25 + 0.5;
+        MetricsReport {
+            schema_version: METRICS_SCHEMA_VERSION,
+            algo: "pbsm".to_string(),
+            threads: 1,
+            model,
+            phases,
+            counters: RunCounters {
+                candidates: Some(12),
+                results: 10,
+                duplicates: 2,
+                ..RunCounters::default()
+            },
+            io_total,
+            cpu_seconds: cpu,
+            scaled_cpu_seconds: model.scaled_cpu(cpu),
+            io_seconds: model.seconds(&io_total),
+            total_seconds: model.scaled_cpu(cpu) + model.seconds(&io_total),
+            first_result_seconds: None,
+            first_result_io_seconds: None,
+        }
+    }
+
+    #[test]
+    fn reconcile_accepts_consistent_report() {
+        report().reconcile().expect("consistent report reconciles");
+    }
+
+    #[test]
+    fn reconcile_rejects_io_drift() {
+        let mut r = report();
+        r.io_total.pages_read += 1;
+        let err = r.reconcile().expect_err("drifted io must fail");
+        assert!(err.what.contains("io_total"), "{err}");
+    }
+
+    #[test]
+    fn reconcile_rejects_first_result_io_past_the_run() {
+        let mut r = report();
+        r.first_result_seconds = Some(r.total_seconds);
+        r.first_result_io_seconds = Some(r.io_seconds * 2.0);
+        let err = r.reconcile().expect_err("io leg past io_seconds must fail");
+        assert!(err.what.contains("first_result_io_seconds"), "{err}");
+        r.first_result_io_seconds = Some(r.io_seconds);
+        r.reconcile().expect("io leg at the boundary reconciles");
+    }
+
+    #[test]
+    fn reconcile_rejects_candidate_mismatch() {
+        let mut r = report();
+        r.counters.candidates = Some(11);
+        let err = r.reconcile().expect_err("candidate identity must fail");
+        assert!(err.what.contains("candidates"), "{err}");
+    }
+
+    #[test]
+    fn recorder_caps_events_and_counts_drops() {
+        let rec = Recorder::with_max_events(2);
+        for i in 0..5 {
+            rec.event("partition-commit", i as f64, &[("partition", i)]);
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.dropped_events(), 3);
+        let json = rec.to_json();
+        assert!(json.contains("\"dropped_events\": 3"), "{json}");
+    }
+
+    #[test]
+    fn trace_json_is_well_formed_enough() {
+        let rec = Recorder::new();
+        rec.span("partition", 0.0, 1.5);
+        rec.event("partition-commit", 1.5, &[("partition", 0), ("results", 7)]);
+        let json = rec.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"name\": \"partition\""));
+        assert!(json.contains("\"results\": 7"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Satellite property tests (observability PR): per-phase metric
+//! accounting sums *exactly* to the run totals — under fault injection, at
+//! thread counts {1, 2, 4}, and across a crash/resume pair — and the
+//! exported [`MetricsReport`]'s own reconciliation gate passes everywhere.
+//!
+//! "Exactly" means field-for-field [`IoStats`] equality (the struct is
+//! `Eq`) and bit-exact f64 equality for the CPU fold: the report builder
+//! sums phases in the same order as each stats struct's own accessor, so
+//! any drift is a real accounting bug, not float noise.
+
+use datagen::Adversarial;
+use geom::Kpe;
+use spatialjoin::{
+    Algorithm, CrashPoint, FaultPlan, JoinErrorKind, JoinStats, RetryPolicy, SimDisk, SpatialJoin,
+};
+use storage::IoStats;
+
+const MEM: usize = 8 * 1024;
+
+fn workload(seed: u64, count: usize) -> (Vec<Kpe>, Vec<Kpe>) {
+    Adversarial { count, seed }.generate_pair()
+}
+
+/// Field-for-field sum of every exported phase meter.
+fn phase_sum(st: &JoinStats) -> IoStats {
+    st.io_phases()
+        .iter()
+        .fold(IoStats::default(), |acc, (_, io)| acc.plus(io))
+}
+
+/// The full reconciliation contract for one completed run.
+fn assert_reconciles(st: &JoinStats, threads: usize, ctx: &str) {
+    assert_eq!(
+        phase_sum(st),
+        st.io_total(),
+        "{ctx}: per-phase I/O does not sum exactly to io_total()"
+    );
+    if let Some(c) = st.candidates() {
+        assert_eq!(
+            c,
+            st.results() + st.duplicates(),
+            "{ctx}: candidate accounting leak"
+        );
+    }
+    let report = st.metrics_report("reconciliation-test", threads);
+    if let Err(e) = report.reconcile() {
+        panic!("{ctx}: exported report fails its own gate: {e}");
+    }
+}
+
+/// Every algorithm family × dedup mode × thread count × fault plan: the
+/// per-phase meters (including PBSM's sort-phase dedup staging I/O) sum
+/// exactly to the totals and the exported report reconciles.
+#[test]
+fn phase_meters_sum_exactly_under_faults_and_threads() {
+    let (r, s) = workload(41, 160);
+    let algos = [
+        Algorithm::pbsm_rpm(MEM),
+        Algorithm::pbsm_original(MEM), // sort-phase dedup: exercises io_dedup staging
+        Algorithm::s3j_replicated(MEM),
+        Algorithm::sssj(MEM),
+        Algorithm::shj(MEM),
+    ];
+    for base in algos {
+        let threads: &[usize] = match base.threads() {
+            Some(_) => &[1, 2, 4],
+            None => &[1], // single-sweep baselines have no thread knob
+        };
+        // Only the partition-based joins have fallible code paths; a fault
+        // plan on a baseline is a typed `Unsupported` configuration error.
+        let plans: &[Option<FaultPlan>] = match base.threads() {
+            Some(_) => &[None, Some(FaultPlan::recoverable(9))],
+            None => &[None],
+        };
+        for &t in threads {
+            for &plan in plans {
+                let ctx = format!("{} threads={t} faults={}", base.name(), plan.is_some());
+                let mut join = SpatialJoin::new(base.clone().with_threads(t));
+                if let Some(p) = plan {
+                    join = join.with_faults(p);
+                }
+                let (_, st) = join.count(&r, &s);
+                if plan.is_some() {
+                    assert!(
+                        st.io_total().faults_injected > 0 || !matches!(base, Algorithm::Pbsm(_)),
+                        "{ctx}: fault plan never fired on the PBSM workload"
+                    );
+                }
+                assert_reconciles(&st, t, &ctx);
+            }
+        }
+    }
+}
+
+/// Thread-count invariance of the deterministic meters: the phase sums at
+/// threads 1, 2 and 4 are identical (the parallel executor redistributes
+/// work, it must not re-account it), faults included.
+#[test]
+fn phase_sums_are_thread_invariant() {
+    let (r, s) = workload(17, 160);
+    for base in [Algorithm::pbsm_rpm(MEM), Algorithm::s3j_replicated(MEM)] {
+        let sum_at = |t: usize| {
+            let (_, st) = SpatialJoin::new(base.clone().with_threads(t))
+                .with_faults(FaultPlan::recoverable(3))
+                .count(&r, &s);
+            (phase_sum(&st), st.results(), st.duplicates())
+        };
+        let one = sum_at(1);
+        assert_eq!(one, sum_at(2), "{}: threads=2 diverges", base.name());
+        assert_eq!(one, sum_at(4), "{}: threads=4 diverges", base.name());
+    }
+}
+
+/// Crash/resume: each leg's report reconciles on its own, and the pair
+/// together accounts for exactly the uninterrupted run — emitted pairs sum
+/// with zero overlap and the resumed run's folded counters (results,
+/// duplicates, candidates) equal the cold run's.
+#[test]
+fn metrics_reconcile_across_a_crash_resume_pair() {
+    let (r, s) = workload(23, 140);
+    for threads in [1usize, 4] {
+        for base in [Algorithm::pbsm_rpm(4 * 1024), Algorithm::s3j_replicated(4 * 1024)] {
+            let ctx = format!("{} threads={threads}", base.name());
+            let join = SpatialJoin::new(base.clone().with_threads(threads));
+
+            // Uninterrupted durable reference.
+            let cold_disk = SimDisk::with_default_model();
+            let mut want = Vec::new();
+            let cold = join
+                .try_run_durable_with(&cold_disk, &r, &s, 7, &mut |a, b| want.push((a.0, b.0)))
+                .unwrap_or_else(|e| panic!("{ctx}: cold run failed: {e}"));
+            want.sort_unstable();
+            assert_reconciles(&cold, threads, &format!("{ctx} [cold]"));
+
+            // Leg 1: crash after the second journal commit.
+            let disk = SimDisk::with_default_model().with_faults(
+                FaultPlan::crash_only(0, CrashPoint::AfterCommit(2)),
+                RetryPolicy::default(),
+            );
+            let mut first = Vec::new();
+            let err = join
+                .try_run_durable_with(&disk, &r, &s, 7, &mut |a, b| first.push((a.0, b.0)))
+                .expect_err("crash point must fire");
+            assert!(
+                matches!(err.kind, JoinErrorKind::Crashed(_)),
+                "{ctx}: {err}"
+            );
+            first.sort_unstable();
+
+            // Leg 2: resume; its exported report must reconcile even though
+            // the disk meters carry the crashed leg's charges (run-relative
+            // accounting).
+            let mut second = Vec::new();
+            let resumed = join
+                .try_run_durable_with(&disk, &r, &s, 7, &mut |a, b| second.push((a.0, b.0)))
+                .unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"));
+            second.sort_unstable();
+            assert_reconciles(&resumed, threads, &format!("{ctx} [resume]"));
+
+            // The pair sums to the uninterrupted run.
+            let mut union: Vec<(u64, u64)> = first.iter().chain(second.iter()).copied().collect();
+            union.sort_unstable();
+            assert_eq!(union, want, "{ctx}: crash+resume pairs diverge");
+            assert!(
+                first.iter().all(|p| second.binary_search(p).is_err()),
+                "{ctx}: a pair was emitted by both legs"
+            );
+            assert_eq!(
+                (resumed.results(), resumed.duplicates(), resumed.candidates()),
+                (cold.results(), cold.duplicates(), cold.candidates()),
+                "{ctx}: resumed folded counters diverge from the cold run's"
+            );
+        }
+    }
+}
+
+/// The exported JSON itself carries the reconciled numbers: schema version,
+/// algorithm label, thread count, and a counters block whose results field
+/// matches the stats accessor.
+#[test]
+fn exported_json_matches_the_stats_surface() {
+    let (r, s) = workload(7, 120);
+    let (_, st) = SpatialJoin::new(Algorithm::pbsm_rpm(MEM).with_threads(2)).count(&r, &s);
+    let report = st.metrics_report("PBSM (reference point)", 2);
+    report.reconcile().expect("report must reconcile");
+    let json = report.to_json();
+    assert!(json.contains("\"schema_version\": 1"));
+    assert!(json.contains("\"algo\": \"PBSM (reference point)\""));
+    assert!(json.contains("\"threads\": 2"));
+    assert!(json.contains(&format!("\"results\": {}", st.results())));
+    assert!(json.contains(&format!("\"duplicates\": {}", st.duplicates())));
+}

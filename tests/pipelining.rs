@@ -125,3 +125,39 @@ fn s3j_streams_during_the_scan() {
     let first = st.first_result_seconds().unwrap();
     assert!(first < st.total_seconds());
 }
+
+/// PR 5 bugfix regression: the first-result probe is the *minimum over
+/// emitting tasks* on the pipelined clock, not a merge artifact of worker
+/// scheduling — so with `cpu_slowdown = 0` (position = deterministic I/O
+/// meters only) the reported latency is bit-identical at every thread
+/// count. Before the fix, `--threads 4` could report a first result later
+/// (PBSM: max-over-workers merge) or wildly earlier/later (S³J: wall-clock
+/// probe) than `--threads 1`.
+#[test]
+fn first_result_is_thread_count_invariant() {
+    let (r, s) = datasets();
+    let model = storage::DiskModel {
+        cpu_slowdown: 0.0,
+        ..Default::default()
+    };
+    let mem = 48 * 1024;
+    for algo in [Algorithm::pbsm_rpm(mem), Algorithm::s3j_replicated(mem)] {
+        let first_at = |threads: usize| {
+            let (_, st) = SpatialJoin::new(algo.clone().with_threads(threads))
+                .with_disk_model(model)
+                .count(&r, &s);
+            st.first_result_seconds()
+                .expect("both joins produce results")
+        };
+        let t1 = first_at(1);
+        let t4 = first_at(4);
+        assert!(t1 > 0.0, "{}: first result costs I/O", algo.name());
+        assert_eq!(
+            t1.to_bits(),
+            t4.to_bits(),
+            "{}: first-result position must not depend on thread count \
+             (threads=1 {t1}, threads=4 {t4})",
+            algo.name()
+        );
+    }
+}
