@@ -8,17 +8,20 @@
 //! counters (results, duplicates, candidates, pages) must match the
 //! baseline exactly, while the simulated times get a 5 % relative
 //! tolerance so deliberate small cost-model tweaks don't force a re-bless.
-//! Every run is additionally pushed through
-//! [`MetricsReport::reconcile`](storage::MetricsReport::reconcile) at
-//! thread counts 1 and 4 — the gate fails on any accounting leak before it
-//! ever diffs numbers.
+//! Every point runs the full channels {1, 4} × threads {1, 4} grid and is
+//! pushed through
+//! [`MetricsReport::reconcile`](storage::MetricsReport::reconcile) — the
+//! gate fails on any accounting leak before it ever diffs numbers. The
+//! produce step additionally enforces the multi-channel contract inline:
+//! deterministic meters identical across all four configurations, and
+//! `total_s` strictly lower at four channels than at one.
 //!
 //! ```text
 //! # produce / bless a baseline (records the dataset scale inside)
-//! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- --out BENCH_pr5.json
+//! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- --out BENCH_pr6.json
 //! # CI gate: re-run and diff against the committed baseline
 //! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- \
-//!     --check BENCH_pr5.json --out bench-regress.json
+//!     --check BENCH_pr6.json --out bench-regress.json
 //! ```
 //!
 //! Exit codes: 0 pass, 1 regression or reconciliation failure, 2 usage
@@ -32,13 +35,14 @@ use bench::{cal_st, join_inputs, paper_mem, scale};
 use spatialjoin::{Algorithm, SpatialJoin};
 use storage::DiskModel;
 
-const SCHEMA_VERSION: u32 = 1;
+const SCHEMA_VERSION: u32 = 2;
 const TIME_TOLERANCE: f64 = 0.05;
 
 struct Row {
     join: &'static str,
     algo: &'static str,
     threads: usize,
+    channels: usize,
     results: u64,
     duplicates: u64,
     candidates: u64,
@@ -51,12 +55,13 @@ struct Row {
 impl Row {
     fn to_json(&self) -> String {
         format!(
-            "{{\"join\":\"{}\",\"algo\":\"{}\",\"threads\":{},\"results\":{},\
+            "{{\"join\":\"{}\",\"algo\":\"{}\",\"threads\":{},\"channels\":{},\"results\":{},\
              \"duplicates\":{},\"candidates\":{},\"pages_read\":{},\"pages_written\":{},\
              \"total_s\":{:.6},\"first_result_s\":{:.6}}}",
             self.join,
             self.algo,
             self.threads,
+            self.channels,
             self.results,
             self.duplicates,
             self.candidates,
@@ -66,49 +71,79 @@ impl Row {
             self.first_result_s,
         )
     }
+
+    fn meters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.results,
+            self.duplicates,
+            self.candidates,
+            self.pages_read,
+            self.pages_written,
+        )
+    }
 }
 
 fn run_point(join: &'static str, algo: &'static str, base: &Algorithm, r: &[geom::Kpe], s: &[geom::Kpe]) -> Result<Vec<Row>, String> {
-    // Deterministic clock: position = simulated I/O only.
-    let model = DiskModel {
-        cpu_slowdown: 0.0,
-        ..Default::default()
-    };
     let mut rows = Vec::new();
-    for threads in [1usize, 4] {
-        let (_, st) = SpatialJoin::new(base.clone().with_threads(threads))
-            .with_disk_model(model)
-            .count(r, s);
-        // The load-bearing invariant: the export reconciles before any
-        // number reaches the report.
-        let report = st.metrics_report(algo, threads);
-        report
-            .reconcile()
-            .map_err(|e| format!("{join}/{algo} threads={threads}: reconciliation failed: {e}"))?;
-        let io = st.io_total();
-        rows.push(Row {
-            join,
-            algo,
-            threads,
-            results: st.results(),
-            duplicates: st.duplicates(),
-            candidates: st.candidates().unwrap_or(0),
-            pages_read: io.pages_read,
-            pages_written: io.pages_written,
-            total_s: st.total_seconds(),
-            first_result_s: st.first_result_seconds().unwrap_or(-1.0),
-        });
+    for channels in [1usize, 4] {
+        // Deterministic clock: position = simulated I/O only.
+        let model = DiskModel {
+            channels,
+            cpu_slowdown: 0.0,
+            ..Default::default()
+        };
+        for threads in [1usize, 4] {
+            let (_, st) = SpatialJoin::new(base.clone().with_threads(threads))
+                .with_disk_model(model)
+                .count(r, s);
+            // The load-bearing invariant: the export reconciles before any
+            // number reaches the report — including the per-channel leg.
+            let report = st.metrics_report(algo, threads);
+            report.reconcile().map_err(|e| {
+                format!(
+                    "{join}/{algo} threads={threads} channels={channels}: \
+                     reconciliation failed: {e}"
+                )
+            })?;
+            let io = st.io_total();
+            rows.push(Row {
+                join,
+                algo,
+                threads,
+                channels,
+                results: st.results(),
+                duplicates: st.duplicates(),
+                candidates: st.candidates().unwrap_or(0),
+                pages_read: io.pages_read,
+                pages_written: io.pages_written,
+                total_s: st.total_seconds(),
+                first_result_s: st.first_result_seconds().unwrap_or(-1.0),
+            });
+        }
+        // Thread-count invariance of the deterministic meters is part of
+        // the gate: if 1 and 4 workers disagree, the accounting regressed.
+        let (a, b) = (&rows[rows.len() - 2], &rows[rows.len() - 1]);
+        if a.meters() != b.meters() || a.total_s != b.total_s || a.first_result_s != b.first_result_s
+        {
+            return Err(format!(
+                "{join}/{algo} channels={channels}: deterministic meters differ \
+                 between threads=1 and threads=4"
+            ));
+        }
     }
-    // Thread-count invariance of the deterministic meters is part of the
-    // gate: if 1 and 4 workers disagree, the accounting regressed.
-    let (a, b) = (&rows[0], &rows[1]);
-    if (a.results, a.duplicates, a.candidates, a.pages_read, a.pages_written)
-        != (b.results, b.duplicates, b.candidates, b.pages_read, b.pages_written)
-        || a.total_s != b.total_s
-        || a.first_result_s != b.first_result_s
-    {
+    // The multi-channel contract: channels are pure time model (identical
+    // meters), and four channels must buy strict simulated time — this is
+    // the PR 6 tentpole, enforced on every point, every produce.
+    let (c1, c4) = (&rows[0], &rows[2]);
+    if c1.meters() != c4.meters() {
         return Err(format!(
-            "{join}/{algo}: deterministic meters differ between threads=1 and threads=4"
+            "{join}/{algo}: deterministic meters differ between channels=1 and channels=4"
+        ));
+    }
+    if c4.total_s >= c1.total_s {
+        return Err(format!(
+            "{join}/{algo}: channels=4 not strictly faster: {} vs {}",
+            c4.total_s, c1.total_s
         ));
     }
     Ok(rows)
@@ -193,16 +228,19 @@ fn check(baseline: &str, rows: &[Row]) -> Result<Vec<String>, String> {
             field(line, "join").unwrap_or(""),
             field(line, "algo").unwrap_or(""),
             field_u64(line, "threads").unwrap_or(0),
+            field_u64(line, "channels").unwrap_or(0),
         );
-        let Some(row) = rows
-            .iter()
-            .find(|r| (r.join, r.algo, r.threads as u64) == (key.0, key.1, key.2))
-        else {
+        let Some(row) = rows.iter().find(|r| {
+            (r.join, r.algo, r.threads as u64, r.channels as u64) == (key.0, key.1, key.2, key.3)
+        }) else {
             failures.push(format!("baseline row {key:?} missing from this run"));
             continue;
         };
         matched += 1;
-        let ctx = format!("{}/{} threads={}", row.join, row.algo, row.threads);
+        let ctx = format!(
+            "{}/{} threads={} channels={}",
+            row.join, row.algo, row.threads, row.channels
+        );
         for (name, base, got) in [
             ("results", field_u64(line, "results"), row.results),
             ("duplicates", field_u64(line, "duplicates"), row.duplicates),

@@ -13,7 +13,8 @@
 //! * [`oracle`] runs every algorithm through the public API and asserts
 //!   result-set equality under semantics-preserving transformations
 //!   (translate, scale, R↔S swap, memory/partition-count changes, tile-grid
-//!   changes, thread counts, fault plans, CPU-slowdown changes) plus the
+//!   changes, thread counts, fault plans, CPU-slowdown changes, I/O channel
+//!   counts) plus the
 //!   duplicate-accounting identity `candidates = results + suppressed`;
 //! * [`shrink`] bisects a failing workload down to a minimal KPE set;
 //! * [`repro`] emits/replays JSON repro files under `tests/corpus/` and

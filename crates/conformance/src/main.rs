@@ -18,6 +18,7 @@ struct Args {
     count: usize,
     mem: usize,
     threads: usize,
+    channels: Option<usize>,
     out: String,
     algo: Option<AlgoId>,
     transform: Option<Transform>,
@@ -34,6 +35,7 @@ impl Default for Args {
             count: 120,
             mem: 4 * 1024,
             threads: 1,
+            channels: None,
             out: "conformance-failures".into(),
             algo: None,
             transform: None,
@@ -55,6 +57,8 @@ OPTIONS:
   --count N        KPEs per relation per workload (default 120)
   --mem BYTES      base memory budget (default 4096)
   --threads N      base thread count for every cell (default 1)
+  --channels D     base I/O channel count of the disk model for every cell
+                   (default: the model's default, 1)
   --out DIR        directory for shrunken JSON repros (default conformance-failures)
   --algo NAME      restrict to one algorithm (e.g. pbsm-rpm-list, s3j, quadtree)
   --transform T    restrict to one transform (e.g. identity, swap, 'mem 2048',
@@ -86,6 +90,13 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = val("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--channels" => {
+                args.channels = Some(
+                    val("--channels")?
+                        .parse()
+                        .map_err(|e| format!("--channels: {e}"))?,
+                )
             }
             "--crash-sweep" => args.crash_sweep = true,
             "--out" => args.out = val("--out")?,
@@ -135,6 +146,7 @@ fn main() {
     let cfg = RunConfig {
         mem: args.mem,
         threads: args.threads,
+        channels: args.channels,
         ..RunConfig::default()
     };
 

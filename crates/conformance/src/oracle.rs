@@ -8,8 +8,9 @@
 //!
 //! * **configuration invariance** — memory budget (and therefore partition
 //!   count), tile grid, internal algorithm, thread count, fault plan,
-//!   CPU-slowdown factor: none of these touch the geometry, so the result
-//!   set (and for threads/slowdown even the I/O counters) must not move;
+//!   CPU-slowdown factor, I/O channel count: none of these touch the
+//!   geometry, so the result set (and for threads/slowdown/channels even
+//!   the I/O counters) must not move;
 //! * **exact geometric transforms** — scaling by a power of two is exact in
 //!   `f64`, and translating by a dyadic-lattice amount after an exact
 //!   halving is exact for lattice-aligned workloads (the adversarial
@@ -111,6 +112,11 @@ pub enum Transform {
     /// Different CPU-slowdown factor in the disk model: results *and* I/O
     /// totals must be invariant (time scaling must not leak into logic).
     CpuSlowdown { factor: f64 },
+    /// Different number of simulated I/O channels in the disk model: file
+    /// layout and request streams are identical for any channel count, so
+    /// results *and* I/O totals must be invariant (only the simulated clock
+    /// may move, and only downward).
+    Channels { d: usize },
     /// Injected crash at `point` followed by a resume on the same disk
     /// state: the interrupted leg's emissions plus the resumed leg's must
     /// equal the uninterrupted result set with zero overlap (exactly-once),
@@ -131,7 +137,9 @@ impl Transform {
             | Transform::Translate { .. }
             | Transform::Scale { .. }
             | Transform::SwapInputs => true,
-            Transform::Mem { .. } | Transform::CpuSlowdown { .. } => algo != Quadtree,
+            Transform::Mem { .. } | Transform::CpuSlowdown { .. } | Transform::Channels { .. } => {
+                algo != Quadtree
+            }
             Transform::Tiles { .. } => {
                 matches!(algo, PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort)
             }
@@ -162,6 +170,7 @@ impl std::fmt::Display for Transform {
             Transform::Threads { n } => write!(f, "threads {n}"),
             Transform::Faults { seed } => write!(f, "faults {seed}"),
             Transform::CpuSlowdown { factor } => write!(f, "cpu-slowdown {factor}"),
+            Transform::Channels { d } => write!(f, "channels {d}"),
             Transform::Crash { point } => write!(f, "crash {point}"),
         }
     }
@@ -182,6 +191,7 @@ impl Transform {
             "threads" => Transform::Threads { n: num()? as usize },
             "faults" => Transform::Faults { seed: num()? as u64 },
             "cpu-slowdown" => Transform::CpuSlowdown { factor: num()? },
+            "channels" => Transform::Channels { d: num()? as usize },
             "crash" => Transform::Crash {
                 point: CrashPoint::from_spec(it.next()?)?,
             },
@@ -201,6 +211,8 @@ pub struct RunConfig {
     pub tiles_per_partition: Option<u32>,
     pub fault_seed: Option<u64>,
     pub cpu_slowdown: Option<f64>,
+    /// Simulated I/O channels of the disk model (`None` = the default 1).
+    pub channels: Option<usize>,
 }
 
 impl Default for RunConfig {
@@ -211,6 +223,7 @@ impl Default for RunConfig {
             tiles_per_partition: None,
             fault_seed: None,
             cpu_slowdown: None,
+            channels: None,
         }
     }
 }
@@ -277,10 +290,12 @@ pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<R
     if let Some(seed) = cfg.fault_seed {
         join = join.with_faults(FaultPlan::recoverable(seed));
     }
-    if let Some(factor) = cfg.cpu_slowdown {
+    if cfg.cpu_slowdown.is_some() || cfg.channels.is_some() {
+        let base_model = DiskModel::default();
         join = join.with_disk_model(DiskModel {
-            cpu_slowdown: factor,
-            ..DiskModel::default()
+            cpu_slowdown: cfg.cpu_slowdown.unwrap_or(base_model.cpu_slowdown),
+            channels: cfg.channels.unwrap_or(base_model.channels),
+            ..base_model
         });
     }
     let run = join
@@ -407,7 +422,13 @@ fn check_crash_legs(
 ) -> Option<String> {
     let join = SpatialJoin::new(configured_algorithm(algo, cfg)?);
     let run_id = 0xC0FFEE;
-    let disk = SimDisk::with_default_model().with_faults(
+    let base_model = DiskModel::default();
+    let model = DiskModel {
+        cpu_slowdown: cfg.cpu_slowdown.unwrap_or(base_model.cpu_slowdown),
+        channels: cfg.channels.unwrap_or(base_model.channels),
+        ..base_model
+    };
+    let disk = SimDisk::new(model).with_faults(
         FaultPlan::crash_only(0, point),
         RetryPolicy::default(),
     );
@@ -465,6 +486,18 @@ fn check_crash_legs(
                 b.duplicates()
             ));
         }
+    }
+    // Under a multi-channel model the resumed run's per-channel buckets
+    // (restored files fold back into their channels via the snapshot's
+    // channel tags) must still decompose its I/O total exactly.
+    let folded = stats
+        .io_channels()
+        .iter()
+        .fold(stats.io_shared(), |acc, c| acc.plus(c));
+    if folded != stats.io_total() {
+        return Some(format!(
+            "{algo} [crash {point}]: resumed per-channel buckets do not sum to io_total"
+        ));
     }
     None
 }
@@ -579,6 +612,16 @@ pub fn check_one(
                 Err(e) => return Some(e),
             }
         }
+        Transform::Channels { d } => {
+            let cfg2 = RunConfig {
+                channels: Some(d),
+                ..*cfg
+            };
+            match run_algo(algo, &cfg2, r, s) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
         Transform::Crash { point } => {
             return check_crash_legs(algo, point, cfg, &base, r, s);
         }
@@ -593,11 +636,13 @@ pub fn check_one(
         ));
     }
     // Transforms that must not even move the I/O counters: thread count
-    // (deterministic parallel reassembly) and CPU-slowdown (a pure time
-    // scaling — if it leaks into logic, the cost model is broken).
+    // (deterministic parallel reassembly), CPU-slowdown (a pure time
+    // scaling — if it leaks into logic, the cost model is broken), and
+    // channel count (a pure re-binning of the same requests — file layout
+    // must be identical for any D).
     if matches!(
         transform,
-        Transform::Threads { .. } | Transform::CpuSlowdown { .. }
+        Transform::Threads { .. } | Transform::CpuSlowdown { .. } | Transform::Channels { .. }
     ) {
         if let (Some(a), Some(b)) = (&base.stats, &variant.stats) {
             if a.io_total() != b.io_total() {
@@ -677,6 +722,9 @@ pub fn transforms_for(seed: u64, mem: usize) -> Vec<Transform> {
             seed: seed ^ 0xFA17,
         },
         Transform::CpuSlowdown { factor: 1.0 },
+        Transform::Channels {
+            d: 2 + 2 * (seed % 2) as usize,
+        },
     ]
 }
 

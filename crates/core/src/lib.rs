@@ -335,9 +335,62 @@ impl JoinStats {
         }
     }
 
-    /// The paper's "total runtime": emulated CPU + simulated disk time.
+    /// I/O charged to the serial shared lane (manifest, journal, results,
+    /// dedup scratch, and any untagged file). Together with
+    /// [`JoinStats::io_channels`] this decomposes [`JoinStats::io_total`]
+    /// field-for-field.
+    pub fn io_shared(&self) -> IoStats {
+        match self {
+            JoinStats::Pbsm(s) => s.io_shared,
+            JoinStats::S3j(s) => s.io_shared,
+            JoinStats::Sssj(s) => s.io_shared,
+            JoinStats::Shj(s) => s.io_shared,
+        }
+    }
+
+    /// Per-data-channel I/O, one bucket per channel of the run's disk.
+    pub fn io_channels(&self) -> &[IoStats] {
+        match self {
+            JoinStats::Pbsm(s) => &s.io_channels,
+            JoinStats::S3j(s) => &s.io_channels,
+            JoinStats::Sssj(s) => &s.io_channels,
+            JoinStats::Shj(s) => &s.io_channels,
+        }
+    }
+
+    /// Channel-parallel disk time: shared lane plus the busiest data
+    /// channel. Equals [`JoinStats::io_seconds`] bit-exactly at one channel.
+    pub fn io_parallel_seconds(&self) -> f64 {
+        match self {
+            JoinStats::Pbsm(s) => s.io_parallel_seconds(),
+            JoinStats::S3j(s) => s.io_parallel_seconds(),
+            JoinStats::Sssj(s) => s.io_parallel_seconds(),
+            JoinStats::Shj(s) => s.io_parallel_seconds(),
+        }
+    }
+
+    /// Disk time hidden behind computation by double-buffered prefetch
+    /// (zero with one channel, and zero under `cpu_slowdown = 0`).
+    pub fn prefetch_hidden_seconds(&self) -> f64 {
+        match self {
+            JoinStats::Pbsm(s) => s.prefetch_hidden_seconds(),
+            JoinStats::S3j(s) => s.prefetch_hidden_seconds(),
+            JoinStats::Sssj(s) => s.prefetch_hidden_seconds(),
+            JoinStats::Shj(s) => s.prefetch_hidden_seconds(),
+        }
+    }
+
+    /// The paper's "total runtime": emulated CPU + channel-parallel disk
+    /// time, minus disk time hidden behind computation by prefetch. With one
+    /// channel this reduces bit-exactly to
+    /// `scaled_cpu_seconds() + io_seconds()`, the pre-channel serial clock.
     pub fn total_seconds(&self) -> f64 {
-        self.scaled_cpu_seconds() + self.io_seconds()
+        match self {
+            JoinStats::Pbsm(s) => s.total_seconds(),
+            JoinStats::S3j(s) => s.total_seconds(),
+            JoinStats::Sssj(s) => s.total_seconds(),
+            JoinStats::Shj(s) => s.total_seconds(),
+        }
     }
 
     /// Simulated position of the first emitted result (pipelining metric).
@@ -462,9 +515,14 @@ impl JoinStats {
             phases,
             counters,
             io_total: self.io_total(),
+            channels: self.model().data_channels(),
+            io_shared: self.io_shared(),
+            io_channels: self.io_channels().to_vec(),
             cpu_seconds: self.cpu_seconds(),
             scaled_cpu_seconds: self.scaled_cpu_seconds(),
             io_seconds: self.io_seconds(),
+            io_parallel_seconds: self.io_parallel_seconds(),
+            prefetch_hidden_seconds: self.prefetch_hidden_seconds(),
             total_seconds: self.total_seconds(),
             first_result_seconds: self.first_result_seconds(),
             first_result_io_seconds: self.first_result_io_seconds(),

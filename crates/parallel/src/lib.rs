@@ -340,6 +340,41 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// Claims the next job: a queued retry (preferred — it is oldest work) or a
+/// fresh index. With `block`, waits while in-flight tasks might still spawn
+/// retries and returns `None` only when nothing can arrive (or the token
+/// tripped); without, returns `None` as soon as nothing is immediately
+/// claimable — the non-blocking probe a pipelining worker uses while it
+/// still holds work of its own (waiting there would deadlock on itself).
+fn claim_job(
+    queue: &Mutex<Requeue>,
+    cvar: &Condvar,
+    n_tasks: usize,
+    cancel: Option<&CancelToken>,
+    block: bool,
+) -> Option<(usize, u32)> {
+    let mut q = queue.lock().expect("requeue lock");
+    loop {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return None;
+        }
+        if let Some(job) = q.retries.pop() {
+            q.in_flight += 1;
+            return Some(job);
+        }
+        if q.next < n_tasks {
+            let i = q.next;
+            q.next += 1;
+            q.in_flight += 1;
+            return Some((i, 0));
+        }
+        if !block || q.in_flight == 0 {
+            return None;
+        }
+        q = cvar.wait(q).expect("requeue lock");
+    }
+}
+
 /// [`run_ordered`] for fallible tasks, with bounded requeueing: a task that
 /// returns `Err` goes back into the shared queue up to `max_requeues` times
 /// before its final `Err` is delivered to the sink. Each retry runs on
@@ -415,31 +450,7 @@ where
                         if cancel.is_some_and(|c| c.is_cancelled()) {
                             break;
                         }
-                        // Claim a retry (preferred — it is oldest work) or a
-                        // fresh index; wait while in-flight tasks might still
-                        // spawn retries; exit when nothing can arrive.
-                        let claimed = {
-                            let mut q = queue.lock().expect("requeue lock");
-                            loop {
-                                if cancel.is_some_and(|c| c.is_cancelled()) {
-                                    break None;
-                                }
-                                if let Some(job) = q.retries.pop() {
-                                    q.in_flight += 1;
-                                    break Some(job);
-                                }
-                                if q.next < n_tasks {
-                                    let i = q.next;
-                                    q.next += 1;
-                                    q.in_flight += 1;
-                                    break Some((i, 0));
-                                }
-                                if q.in_flight == 0 {
-                                    break None;
-                                }
-                                q = cvar.wait(q).expect("requeue lock");
-                            }
-                        };
+                        let claimed = claim_job(queue, cvar, n_tasks, cancel, true);
                         let Some((i, round)) = claimed else { break };
                         let guard = InFlightGuard { queue, cvar };
                         let res = task(&mut state, i, round);
@@ -454,6 +465,144 @@ where
                             final_res => {
                                 // Receiver outlives the scope; send only
                                 // fails if the collector panicked first.
+                                let _ = tx.send((i, final_res));
+                            }
+                        }
+                        drop(guard); // decrement + notify after requeue push
+                    }
+                    state
+                })
+            })
+            .collect();
+        drop(tx);
+
+        // Canonical-order reassembly, as in `run_ordered`.
+        let mut pending: BTreeMap<usize, Result<T, E>> = BTreeMap::new();
+        let mut emit_next = 0usize;
+        for (i, out) in rx {
+            pending.insert(i, out);
+            while let Some(out) = pending.remove(&emit_next) {
+                sink(emit_next, out);
+                emit_next += 1;
+            }
+        }
+
+        let states: Vec<S> = handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect();
+        let q = match queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let stats = PoolStats {
+            tasks_claimed: q.next as u64,
+            requeues: q.requeues,
+        };
+        drop(q);
+        (states, stats)
+    })
+}
+
+/// [`run_ordered_fallible_with`] with a split **load / compute** pipeline:
+/// each worker is a two-stage software pipeline that claims and `load`s
+/// task `k+1` *before* computing task `k`, so on a multi-channel disk the
+/// next partition's pages stream in on their own channel while the current
+/// partition's join runs (double-buffered prefetch — the channel model
+/// turns the overlap into hidden simulated time).
+///
+/// * `load(&mut state, task_idx, round)` performs the task's input I/O and
+///   returns whatever the compute stage needs. It runs exactly once per
+///   (task, round) — a requeued round re-loads, same as the non-pipelined
+///   pool re-runs the whole task.
+/// * `task(&mut state, task_idx, round, loaded)` consumes the loaded input.
+///   Both stages of one task run on the same worker (same forked meter), in
+///   order, so per-task I/O deltas stay exact.
+///
+/// Scheduling, requeueing, cancellation and output order are identical to
+/// [`run_ordered_fallible_with`]: a prefetched task was *claimed*, so it is
+/// computed even if the token trips before its turn, preserving the
+/// clean-prefix property.
+#[allow(clippy::too_many_arguments)] // mirrors run_ordered_fallible_with plus the load stage
+pub fn run_ordered_prefetch_fallible_with<S, L, T, E, FInit, FLoad, FTask, FSink>(
+    threads: usize,
+    n_tasks: usize,
+    max_requeues: u32,
+    cancel: Option<&CancelToken>,
+    init: FInit,
+    load: FLoad,
+    task: FTask,
+    mut sink: FSink,
+) -> (Vec<S>, PoolStats)
+where
+    S: Send,
+    L: Send,
+    T: Send,
+    E: Send,
+    FInit: Fn(usize) -> S + Sync,
+    FLoad: Fn(&mut S, usize, u32) -> L + Sync,
+    FTask: Fn(&mut S, usize, u32, L) -> Result<T, E> + Sync,
+    FSink: FnMut(usize, Result<T, E>),
+{
+    let threads = threads.max(1).min(n_tasks.max(1));
+    let queue = Mutex::new(Requeue {
+        next: 0,
+        retries: Vec::new(),
+        in_flight: 0,
+        requeues: 0,
+    });
+    let cvar = Condvar::new();
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, E>)>();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let tx = tx.clone();
+                let queue = &queue;
+                let cvar = &cvar;
+                let init = &init;
+                let load = &load;
+                let task = &task;
+                scope.spawn(move || {
+                    let mut state = init(w);
+                    // The prefetched job: claimed, loaded, awaiting compute.
+                    // Its guard keeps `in_flight` honest if compute panics.
+                    let mut held: Option<(usize, u32, L, InFlightGuard)> = None;
+                    loop {
+                        let (i, round, loaded, guard) = match held.take() {
+                            Some(j) => j,
+                            None => {
+                                // A held job is computed even after a cancel
+                                // trip (it was claimed); claim_job refuses
+                                // new claims once tripped.
+                                match claim_job(queue, cvar, n_tasks, cancel, true) {
+                                    Some((i, round)) => {
+                                        let guard = InFlightGuard { queue, cvar };
+                                        let l = load(&mut state, i, round);
+                                        (i, round, l, guard)
+                                    }
+                                    None => break,
+                                }
+                            }
+                        };
+                        // Double buffering: claim and load the next job
+                        // before computing this one. Non-blocking — waiting
+                        // here while holding unfinished work would deadlock
+                        // the pool on itself.
+                        if let Some((j, r)) = claim_job(queue, cvar, n_tasks, cancel, false) {
+                            let g = InFlightGuard { queue, cvar };
+                            let l = load(&mut state, j, r);
+                            held = Some((j, r, l, g));
+                        }
+                        let res = task(&mut state, i, round, loaded);
+                        match res {
+                            Err(e) if round < max_requeues => {
+                                let mut q = queue.lock().expect("requeue lock");
+                                q.retries.push((i, round + 1));
+                                q.requeues += 1;
+                                drop(q);
+                                drop(e);
+                            }
+                            final_res => {
                                 let _ = tx.send((i, final_res));
                             }
                         }
@@ -661,6 +810,127 @@ mod tests {
             3,
             |_| (),
             |_, _i, _r| Ok::<(), ()>(()),
+            |_, _| panic!("no tasks"),
+        );
+        assert_eq!(states.len(), 1);
+        assert_eq!(pool, PoolStats::default());
+    }
+
+    #[test]
+    fn prefetch_pool_matches_fallible_pool_results() {
+        use std::collections::HashMap;
+        use std::sync::Mutex as StdMutex;
+        // Same failure pattern as the plain fallible pool test; the
+        // pipelined pool must deliver identical final results in identical
+        // order, with load running exactly once per (task, round).
+        for threads in [1, 2, 4] {
+            let loads: StdMutex<HashMap<(usize, u32), u32>> = StdMutex::new(HashMap::new());
+            let mut seen = Vec::new();
+            let (_, pool) = run_ordered_prefetch_fallible_with(
+                threads,
+                30,
+                2,
+                None,
+                |_| (),
+                |_, i, round| {
+                    *loads.lock().unwrap().entry((i, round)).or_insert(0) += 1;
+                    i * 10 // the "loaded" payload
+                },
+                |_, i, round, loaded| {
+                    assert_eq!(loaded, i * 10, "compute sees its own load");
+                    if round < (i % 3) as u32 {
+                        Err(format!("task {i} round {round}"))
+                    } else {
+                        Ok((i, round))
+                    }
+                },
+                |i, out| seen.push((i, out)),
+            );
+            assert_eq!(seen.len(), 30);
+            for (idx, (i, out)) in seen.iter().enumerate() {
+                assert_eq!(idx, *i, "canonical order");
+                let (task, round) = out.as_ref().expect("all tasks recover within cap");
+                assert_eq!((*task, *round), (idx, (idx % 3) as u32));
+            }
+            let l = loads.lock().unwrap();
+            for i in 0..30usize {
+                for round in 0..=(i % 3) as u32 {
+                    assert_eq!(l.get(&(i, round)), Some(&1), "task {i} round {round}");
+                }
+            }
+            assert_eq!(pool.tasks_claimed, 30);
+            assert_eq!(pool.requeues, (0..30).map(|i| (i % 3) as u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn prefetch_pool_surfaces_final_error_after_cap() {
+        let mut results = Vec::new();
+        let (_, pool) = run_ordered_prefetch_fallible_with(
+            3,
+            10,
+            1,
+            None,
+            |_| (),
+            |_, i, _r| i,
+            |_, i, _round, loaded| {
+                if loaded == 4 {
+                    Err("always fails")
+                } else {
+                    Ok(i)
+                }
+            },
+            |i, out| results.push((i, out)),
+        );
+        assert_eq!(results.len(), 10);
+        for (i, out) in &results {
+            if *i == 4 {
+                assert_eq!(*out, Err("always fails"));
+            } else {
+                assert_eq!(*out, Ok(*i));
+            }
+        }
+        assert_eq!(pool.requeues, 1);
+    }
+
+    #[test]
+    fn cancelled_prefetch_pool_emits_a_clean_prefix() {
+        for threads in [1, 4] {
+            let token = CancelToken::new();
+            let mut seen = Vec::new();
+            run_ordered_prefetch_fallible_with(
+                threads,
+                100,
+                0,
+                Some(&token),
+                |_| (),
+                |_, i, _r| i,
+                |_, i, _round, _loaded| {
+                    if i == 10 {
+                        token.cancel();
+                    }
+                    Ok::<usize, ()>(i)
+                },
+                |i, out| seen.push((i, out)),
+            );
+            assert!(seen.len() < 100, "pool ran to completion despite cancel");
+            for (idx, (i, out)) in seen.iter().enumerate() {
+                assert_eq!((idx, Ok(idx)), (*i, *out));
+            }
+            assert!(seen.len() >= 11, "claimed (and prefetched) tasks complete");
+        }
+    }
+
+    #[test]
+    fn prefetch_pool_zero_tasks_is_fine() {
+        let (states, pool) = run_ordered_prefetch_fallible_with(
+            4,
+            0,
+            3,
+            None,
+            |_| (),
+            |_, i, _r| i,
+            |_, _s, _i, _r| Ok::<(), ()>(()),
             |_, _| panic!("no tasks"),
         );
         assert_eq!(states.len(), 1);

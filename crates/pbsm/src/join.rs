@@ -118,6 +118,16 @@ pub struct PbsmStats {
     /// I/O spent on durability (manifest publishes, journal commits, result
     /// flushes) when the run is checkpointed; zero otherwise.
     pub io_checkpoint: IoStats,
+    /// Shared-lane I/O: untagged files (manifest, journal, results, the
+    /// dedup scratch disk) whose requests serialize on the multi-channel
+    /// clock. Together with `io_channels` this is an exact field-for-field
+    /// decomposition of [`io_total`](Self::io_total).
+    pub io_shared: IoStats,
+    /// Per-data-channel I/O (partition files ride channel `pid mod D`,
+    /// repartition sub-files their top-level partition's channel). Always
+    /// `model.data_channels()` entries; with one channel the split is
+    /// trivial and the clock is bit-identical to the serial model.
+    pub io_channels: Vec<IoStats>,
     pub cpu_partition: f64,
     pub cpu_repart: f64,
     pub cpu_join: f64,
@@ -159,6 +169,8 @@ impl PbsmStats {
             io_join: IoStats::default(),
             io_dedup: IoStats::default(),
             io_checkpoint: IoStats::default(),
+            io_shared: IoStats::default(),
+            io_channels: vec![IoStats::default(); model.data_channels()],
             cpu_partition: 0.0,
             cpu_repart: 0.0,
             cpu_join: 0.0,
@@ -203,9 +215,27 @@ impl PbsmStats {
         self.model.scaled_cpu(self.cpu_seconds())
     }
 
-    /// The paper's "total runtime": (emulated) CPU plus simulated disk time.
+    /// Simulated I/O wall time under the multi-channel clock: the shared
+    /// lane serializes, data channels overlap (`shared + max over
+    /// channels`). With one channel this is bit-identical to
+    /// [`io_seconds`](Self::io_seconds).
+    pub fn io_parallel_seconds(&self) -> f64 {
+        self.model.parallel_io_seconds(&self.io_shared, &self.io_channels)
+    }
+
+    /// I/O time hidden behind computation by the double-buffered partition
+    /// prefetch — zero with a single channel (nowhere to overlap).
+    pub fn prefetch_hidden_seconds(&self) -> f64 {
+        self.model
+            .prefetch_hidden_seconds(self.scaled_cpu_seconds(), &self.io_channels)
+    }
+
+    /// The paper's "total runtime": (emulated) CPU plus simulated disk time
+    /// on the multi-channel clock, minus the prefetch overlap. With one
+    /// channel this reduces bit-exactly to `scaled_cpu + io_seconds`.
     pub fn total_seconds(&self) -> f64 {
-        self.scaled_cpu_seconds() + self.io_seconds()
+        self.model
+            .total_seconds(self.scaled_cpu_seconds(), &self.io_shared, &self.io_channels)
     }
 
     /// Fraction of the total runtime spent repartitioning (Figure 6).
@@ -229,8 +259,10 @@ impl PbsmStats {
     /// the **max over workers**, because workers run concurrently and a
     /// phase costs as much wall-clock as its slowest worker; the recursion
     /// depth takes the max. Run-level fields (`partitions`, `grid`, `model`,
-    /// `sort`, first-result probes) belong to the coordinating run and are
-    /// kept from `self`.
+    /// `sort`, first-result probes, and the channel decomposition
+    /// `io_shared`/`io_channels`, which the coordinator derives from the
+    /// disk's per-channel meters after all forks fold back) belong to the
+    /// coordinating run and are kept from `self`.
     pub fn merge(&mut self, other: &PbsmStats) {
         self.copies_r += other.copies_r;
         self.copies_s += other.copies_s;
@@ -371,6 +403,9 @@ pub fn try_pbsm_join_ctl(
     // --- Phase 1: partitioning (formula (1) with safety factor t) ----------
     let t0 = Instant::now();
     let io0 = disk.stats();
+    // Per-channel baseline for the run's channel decomposition (the disk
+    // may carry charges from earlier runs; only this run's deltas count).
+    let ch0 = disk.channel_stats();
     let input_bytes = (r.len() + s.len()) * Kpe::ENCODED_SIZE;
     let p = ((cfg.safety_factor * input_bytes as f64 / cfg.mem_bytes as f64).ceil() as u32).max(1);
     let grid = TileGrid::for_partitions(p, cfg.tiles_per_partition);
@@ -631,6 +666,7 @@ pub fn try_pbsm_join_ctl(
                             0,
                             (false, false),
                             i,
+                            None,
                             &mut |a, b| buffered.push((a, b)),
                             &mut |_| Ok(()),
                         )
@@ -643,6 +679,7 @@ pub fn try_pbsm_join_ctl(
                             0,
                             (false, false),
                             i,
+                            None,
                             &mut track,
                             &mut |pair| {
                                 candidates
@@ -731,13 +768,22 @@ pub fn try_pbsm_join_ctl(
             /// journal record of its partition.
             deltas: (u64, u64, u64),
         }
+        /// Load-stage handoff of the software pipeline: the preload outcome
+        /// plus what it cost. The compute stage folds `io`/`cpu` into the
+        /// attempt's join-phase buckets, so the phase decomposition is
+        /// identical whether the load ran early or inline.
+        struct Prefetch {
+            outcome: Option<Preloaded>,
+            io: IoStats,
+            cpu: f64,
+        }
         let mut first_err: Option<JoinError> = None;
         let mut est_io = IoStats::default();
         let io_ckpt = &mut stats.io_checkpoint;
         let ckpt_commits = &mut stats.checkpoint_commits;
         let first_pos_ref = &mut first_pos;
         let todo_ref = &todo;
-        let (workers, pool) = parallel::run_ordered_fallible_with(
+        let (workers, pool) = parallel::run_ordered_prefetch_fallible_with(
             threads,
             todo.len(),
             cfg.max_partition_requeues,
@@ -750,7 +796,49 @@ pub fn try_pbsm_join_ctl(
                     parallel::WorkClock::start(),
                 )
             },
-            |(fork, internal, partial, work_clock), idx, round| {
+            // Load stage: pull the next claimed pair into memory while the
+            // previous pair is still computing — the double-buffering the
+            // multi-channel clock credits as hidden I/O. It runs on the
+            // same worker and forked meter as the compute stage, in claim
+            // order, so per-task deltas and the fault-attempt sequence are
+            // exactly the sequential path's.
+            |(fork, _internal, _partial, work_clock), idx, _round| {
+                let i = todo_ref[idx];
+                let c0 = work_clock.seconds();
+                let io0 = fork.stats();
+                let fork_ref: &SimDisk = fork;
+                let outcome = (|| {
+                    let br = fork_ref.try_len(files_r[i as usize]).ok()?;
+                    let bs = fork_ref.try_len(files_s[i as usize]).ok()?;
+                    // Only a pair the join phase would load whole is worth
+                    // prefetching; empty and over-budget pairs reach
+                    // `join_pair` untouched (`try_len` is free and not
+                    // fault-injected, so its re-check drifts nothing).
+                    if br == 0 || bs == 0 || (br + bs) as usize > cfg.mem_bytes {
+                        return None;
+                    }
+                    Some(
+                        match try_read_all::<Kpe>(fork_ref, files_r[i as usize], cfg.io_buffer_pages)
+                        {
+                            Ok(rv) => match try_read_all::<Kpe>(
+                                fork_ref,
+                                files_s[i as usize],
+                                cfg.io_buffer_pages,
+                            ) {
+                                Ok(sv) => Preloaded::Loaded(rv, sv),
+                                Err(err) => Preloaded::Failed { err, failed_r: false },
+                            },
+                            Err(err) => Preloaded::Failed { err, failed_r: true },
+                        },
+                    )
+                })();
+                Prefetch {
+                    outcome,
+                    io: fork_ref.stats().delta(&io0),
+                    cpu: work_clock.seconds() - c0,
+                }
+            },
+            |(fork, internal, partial, work_clock), idx, round, pre| {
                 let i = todo_ref[idx];
                 if round > 0 {
                     partial.requeued_partitions += 1;
@@ -761,6 +849,12 @@ pub fn try_pbsm_join_ctl(
                 // I/O meter is deliberately *not* rolled back — failed
                 // attempts and their retries are real simulated disk time.
                 let snapshot = partial.clone();
+                // The load stage's work is join-phase work that ran early;
+                // folding it here (after the snapshot) keeps the rollback
+                // semantics of a failed attempt: its load I/O stays charged,
+                // and the requeued round re-loads with a fresh budget.
+                partial.io_join = partial.io_join.plus(&pre.io);
+                partial.cpu_join += pre.cpu;
                 let io_before = fork.stats();
                 let cpu_before = work_clock.seconds();
                 let chain = RegionChain::top(grid, map, i);
@@ -784,11 +878,15 @@ pub fn try_pbsm_join_ctl(
                     0,
                     (false, false),
                     i,
+                    pre.outcome,
                     &mut |a, b| {
                         if first.is_none() {
+                            // Task-own position includes the prefetched
+                            // load: on the pipelined clock the pair's work
+                            // starts at its load, wherever it was scheduled.
                             first = Some((
-                                work_clock.seconds() - cpu_before,
-                                fork_ref.stats().delta(&io_before),
+                                pre.cpu + (work_clock.seconds() - cpu_before),
+                                pre.io.plus(&fork_ref.stats().delta(&io_before)),
                             ));
                         }
                         pairs.push((a, b));
@@ -802,8 +900,8 @@ pub fn try_pbsm_join_ctl(
                     Ok(()) => Ok(TaskOut {
                         pairs,
                         cand,
-                        io: fork_ref.stats().delta(&io_before),
-                        cpu: work_clock.seconds() - cpu_before,
+                        io: pre.io.plus(&fork_ref.stats().delta(&io_before)),
+                        cpu: pre.cpu + (work_clock.seconds() - cpu_before),
                         first,
                         deltas: (
                             partial.candidates - snapshot.candidates,
@@ -964,9 +1062,10 @@ pub fn try_pbsm_join_ctl(
                 ),
             }
             stats.merge(&partial);
-            // Fold the worker's forked meter back so `disk.stats()` reports
-            // the same totals as a sequential run.
-            disk.add_stats(&fork.stats());
+            // Fold the worker's forked meter back bucket-wise so both
+            // `disk.stats()` and the per-channel decomposition report the
+            // same totals as a sequential run.
+            disk.add_channel_stats(&fork.channel_stats());
         }
         // Cross-check the scheduler's own requeue count against the
         // per-worker accounting (they can only diverge when a cancellation
@@ -1063,6 +1162,17 @@ pub fn try_pbsm_join_ctl(
     }
     stats.first_result_cpu = first_pos.as_ref().map(|p| p.0);
     stats.first_result_io = first_pos.map(|p| p.1);
+    // Channel decomposition of this run's I/O: run-relative deltas of the
+    // disk's per-channel meters (every fork has folded back by now), with
+    // the dedup scratch disk's traffic on the shared lane — its files are
+    // untagged, so its time serializes like any shared file.
+    let ch_end = disk.channel_stats();
+    stats.io_shared = ch_end[0].delta(&ch0[0]).plus(&stats.io_dedup);
+    stats.io_channels = ch_end[1..]
+        .iter()
+        .zip(ch0[1..].iter())
+        .map(|(e, s)| e.delta(s))
+        .collect();
     Ok(stats)
 }
 
@@ -1122,8 +1232,11 @@ fn partition_relation(
 ) -> Result<(Vec<FileId>, u64), JoinError> {
     let io_err = |e: IoError| JoinError::new("partition", e);
     let p = map.partitions;
+    // Partition `pid` rides data channel `pid mod D` (the mod is applied at
+    // metering time): with D channels the partition writes — and every later
+    // read of the same files — overlap instead of serializing.
     let mut writers: Vec<RecordWriter<Kpe>> = (0..p)
-        .map(|_| RecordWriter::create(disk, buffer_pages))
+        .map(|pid| RecordWriter::create_on(disk, u64::from(pid), buffer_pages))
         .collect();
     let mut copies = 0u64;
     let mut targets: Vec<u32> = Vec::with_capacity(8);
@@ -1230,9 +1343,26 @@ fn join_loaded(
     }
 }
 
+/// What the prefetch load stage handed a top-level pair's compute stage.
+/// The load ran on the same worker (same forked meter) while an earlier
+/// pair was computing — the overlap the multi-channel clock credits as
+/// [`DiskModel::prefetch_hidden_seconds`].
+enum Preloaded {
+    /// Both sides are in memory; `join_pair` must not read them again.
+    Loaded(Vec<Kpe>, Vec<Kpe>),
+    /// The load exhausted the retry budget. `join_pair` degrades straight
+    /// to repartitioning *without* re-reading: the failed attempts already
+    /// advanced the shared fault counters, and a re-read would advance them
+    /// again, diverging from the sequential path's fault behaviour.
+    Failed { err: IoError, failed_r: bool },
+}
+
 /// Phases 2+3 for one partition pair: join it if it fits, else repartition
 /// the larger side (§3.2.3) and recurse. `top` is the top-level partition
 /// index this pair descends from, carried for error attribution.
+/// `preloaded` is `Some` only at depth 0 on the parallel path, when the
+/// pool's load stage already pulled (or failed to pull) the pair into
+/// memory; the recursion always passes `None`.
 ///
 /// Graceful degradation: a pair that *fits* but whose load exhausts the
 /// retry budget falls through to the repartitioning branch instead of
@@ -1256,6 +1386,7 @@ fn join_pair(
     // stalled, refinement provably cannot help: join over budget now.
     stalled: (bool, bool),
     top: u32,
+    preloaded: Option<Preloaded>,
     out: &mut dyn FnMut(RecordId, RecordId),
     cand: &mut dyn FnMut(IdPair) -> Result<(), IoError>,
 ) -> Result<(), JoinError> {
@@ -1275,12 +1406,19 @@ fn join_pair(
         // --- Join phase ---
         let c0 = (ctx.clock)();
         let io0 = disk.stats();
-        let (loaded, failed_r) = match try_read_all::<Kpe>(disk, fr, ctx.cfg.io_buffer_pages) {
-            Ok(rv) => match try_read_all::<Kpe>(disk, fs, ctx.cfg.io_buffer_pages) {
-                Ok(sv) => (Ok((rv, sv)), false),
-                Err(e) => (Err(e), false),
+        // A prefetched outcome substitutes for the load 1:1 — its I/O (and
+        // any failed attempts) was charged when the load stage ran, so this
+        // window's delta covers only the join work itself.
+        let (loaded, failed_r) = match preloaded {
+            Some(Preloaded::Loaded(rv, sv)) => (Ok((rv, sv)), false),
+            Some(Preloaded::Failed { err, failed_r }) => (Err(err), failed_r),
+            None => match try_read_all::<Kpe>(disk, fr, ctx.cfg.io_buffer_pages) {
+                Ok(rv) => match try_read_all::<Kpe>(disk, fs, ctx.cfg.io_buffer_pages) {
+                    Ok(sv) => (Ok((rv, sv)), false),
+                    Err(e) => (Err(e), false),
+                },
+                Err(e) => (Err(e), true),
             },
-            Err(e) => (Err(e), true),
         };
         match loaded {
             Ok((mut rv, mut sv)) => {
@@ -1337,8 +1475,11 @@ fn join_pair(
     let mut copy_err: Option<IoError> = None;
     for _round in 0..COPY_ROUNDS {
         copy_err = None;
+        // Sub-files stay on the top-level partition's data channel: the
+        // recursion is one task, so spreading it over channels would claim
+        // overlap that a single worker cannot realize.
         let mut writers: Vec<RecordWriter<Kpe>> = (0..n_sub)
-            .map(|_| RecordWriter::create(disk, ctx.cfg.partition_buffer_pages))
+            .map(|_| RecordWriter::create_on(disk, u64::from(top), ctx.cfg.partition_buffer_pages))
             .collect();
         let copied: Result<u64, IoError> = (|| {
             let mut copies = 0u64;
@@ -1440,9 +1581,9 @@ fn join_pair(
         if sub_err.is_none() {
             let sub_chain = chain.refined(f_new, submap, k as u32);
             let res = if split_r {
-                join_pair(ctx, sub, fs, &sub_chain, depth + 1, child_stalled, top, out, cand)
+                join_pair(ctx, sub, fs, &sub_chain, depth + 1, child_stalled, top, None, out, cand)
             } else {
-                join_pair(ctx, fr, sub, &sub_chain, depth + 1, child_stalled, top, out, cand)
+                join_pair(ctx, fr, sub, &sub_chain, depth + 1, child_stalled, top, None, out, cand)
             };
             if let Err(e) = res {
                 sub_err = Some(e);
@@ -1670,6 +1811,66 @@ mod tests {
         );
         assert!(stats.total_seconds() > 0.0);
         assert!(stats.repart_fraction() >= 0.0 && stats.repart_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn channels_decompose_io_and_buy_simulated_time() {
+        let (r, s) = tiger_pair(1500);
+        // cpu_slowdown 0 isolates the deterministic I/O clock: wall-clock
+        // CPU noise cannot blur the strict-improvement assertion.
+        let run_ch = |channels: usize, threads: usize| {
+            let disk = SimDisk::new(DiskModel {
+                channels,
+                cpu_slowdown: 0.0,
+                ..Default::default()
+            });
+            let cfg = PbsmConfig {
+                mem_bytes: 32 * 1024,
+                threads,
+                ..Default::default()
+            };
+            let mut got = Vec::new();
+            let stats = pbsm_join(&disk, &r, &s, &cfg, &mut |a, b| got.push((a.0, b.0)));
+            got.sort_unstable();
+            (got, stats)
+        };
+        let (res1, st1) = run_ch(1, 1);
+        let (res4, st4) = run_ch(4, 1);
+        let (res4t, st4t) = run_ch(4, 4);
+        // Results and all deterministic counters are channel- and
+        // thread-invariant; only the clock model changes.
+        assert_eq!(res1, res4);
+        assert_eq!(res4, res4t);
+        assert_eq!(st1.io_total(), st4.io_total());
+        assert_eq!(st4.io_total(), st4t.io_total());
+        assert_eq!(
+            (st1.candidates, st1.results, st1.duplicates),
+            (st4.candidates, st4.results, st4.duplicates)
+        );
+        // The channel meters are an exact decomposition of the total.
+        assert_eq!(st1.io_channels.len(), 1);
+        assert_eq!(st4.io_channels.len(), 4);
+        for st in [&st1, &st4, &st4t] {
+            let mut sum = st.io_shared;
+            for c in &st.io_channels {
+                sum = sum.plus(c);
+            }
+            assert_eq!(sum, st.io_total());
+        }
+        // One channel reduces bit-exactly to the serial clock...
+        assert_eq!(st1.total_seconds(), st1.scaled_cpu_seconds() + st1.io_seconds());
+        // ...four channels spread the partition files and strictly beat it.
+        assert!(
+            st4.io_channels.iter().filter(|c| c.pages_read > 0).count() > 1,
+            "partition files should land on several channels"
+        );
+        assert!(
+            st4.total_seconds() < st1.total_seconds(),
+            "channels=4 ({}) should strictly beat channels=1 ({})",
+            st4.total_seconds(),
+            st1.total_seconds()
+        );
+        assert_eq!(st4.total_seconds(), st4t.total_seconds());
     }
 
     #[test]

@@ -90,8 +90,11 @@ impl LevelFiles {
                     level: u8,
                     rec: LevelRecord|
          -> Result<(), IoError> {
+            // Level `l` rides data channel `l mod D` (both relations): the
+            // per-level partition writes and the join's level scans overlap
+            // across channels under the multi-channel clock.
             let w = writers[level as usize]
-                .get_or_insert_with(|| RecordWriter::create(disk, buffer_pages));
+                .get_or_insert_with(|| RecordWriter::create_on(disk, u64::from(level), buffer_pages));
             w.try_push(&rec)
         };
         let delete_all = |writers: &[Option<RecordWriter<LevelRecord>>]| {

@@ -99,6 +99,15 @@ pub struct S3jStats {
     /// Checkpoint-layer I/O of a durable run (manifest publishes, journal
     /// and results-file appends); zero without a checkpoint.
     pub io_checkpoint: IoStats,
+    /// Shared-lane I/O: untagged files (manifest, journal, results, sort
+    /// scratch that outlives its level tag) whose requests serialize on the
+    /// multi-channel clock. With `io_channels` this is an exact
+    /// field-for-field decomposition of [`io_total`](Self::io_total).
+    pub io_shared: IoStats,
+    /// Per-data-channel I/O: level `l`'s file (and its sort runs, which
+    /// inherit the tag) rides channel `l mod D` for both relations. Always
+    /// `model.data_channels()` entries.
+    pub io_channels: Vec<IoStats>,
     pub cpu_partition: f64,
     pub cpu_sort: f64,
     pub cpu_join: f64,
@@ -139,9 +148,29 @@ impl S3jStats {
         self.model.scaled_cpu(self.cpu_seconds())
     }
 
-    /// The paper's "total runtime": (emulated) CPU plus simulated disk time.
+    /// Simulated I/O wall time under the multi-channel clock: the shared
+    /// lane serializes, data channels overlap (`shared + max over
+    /// channels`). With one channel this is bit-identical to
+    /// [`io_seconds`](Self::io_seconds).
+    pub fn io_parallel_seconds(&self) -> f64 {
+        self.model.parallel_io_seconds(&self.io_shared, &self.io_channels)
+    }
+
+    /// I/O time hidden behind computation — zero with a single channel.
+    /// S³J needs no explicit prefetch stage for this: the coordinator's
+    /// synchronized scan performs all I/O while workers join in-memory
+    /// partitions, so discovery reads on spare channels overlap compute.
+    pub fn prefetch_hidden_seconds(&self) -> f64 {
+        self.model
+            .prefetch_hidden_seconds(self.scaled_cpu_seconds(), &self.io_channels)
+    }
+
+    /// The paper's "total runtime": (emulated) CPU plus simulated disk time
+    /// on the multi-channel clock, minus the compute/I-O overlap. With one
+    /// channel this reduces bit-exactly to `scaled_cpu + io_seconds`.
     pub fn total_seconds(&self) -> f64 {
-        self.scaled_cpu_seconds() + self.io_seconds()
+        self.model
+            .total_seconds(self.scaled_cpu_seconds(), &self.io_shared, &self.io_channels)
     }
 
     pub fn replication_rate(&self, input_len: usize) -> f64 {
@@ -163,7 +192,9 @@ impl S3jStats {
     /// pure sums (independent of worker interleaving); CPU phase times and
     /// the resident peak take the **max over workers** (concurrent phases
     /// cost as much as the slowest worker). Run-level fields (`model`,
-    /// histograms, sort stats, first-result probes) are kept from `self`.
+    /// histograms, sort stats, first-result probes, and the channel
+    /// decomposition `io_shared`/`io_channels`, derived from the disk's
+    /// per-channel meters at run end) are kept from `self`.
     pub fn merge(&mut self, other: &S3jStats) {
         self.copies_r += other.copies_r;
         self.copies_s += other.copies_s;
@@ -202,6 +233,8 @@ impl S3jStats {
             io_sort: IoStats::default(),
             io_join: IoStats::default(),
             io_checkpoint: IoStats::default(),
+            io_shared: IoStats::default(),
+            io_channels: vec![IoStats::default(); model.data_channels()],
             cpu_partition: 0.0,
             cpu_sort: 0.0,
             cpu_join: 0.0,
@@ -527,6 +560,9 @@ pub fn try_s3j_join_ctl(
     // --- Phase 1: partitioning into level files -----------------------------
     let t0 = Instant::now();
     let io0 = disk.stats();
+    // Per-channel baseline for the run's channel decomposition (the disk
+    // may carry charges from earlier runs; only this run's deltas count).
+    let ch0 = disk.channel_stats();
     let (unsorted_r, unsorted_s) = if resume_join {
         (Vec::new(), Vec::new()) // build *and* sort already durable
     } else if resume_build {
@@ -820,6 +856,16 @@ pub fn try_s3j_join_ctl(
     }
     stats.first_result_cpu = first_pos.as_ref().map(|p| p.0);
     stats.first_result_io = first_pos.map(|p| p.1);
+    // Channel decomposition of this run's I/O: run-relative deltas of the
+    // disk's per-channel meters. All S³J I/O happens on the coordinator
+    // (scan workers are pure CPU), so no fork folding is needed.
+    let ch_end = disk.channel_stats();
+    stats.io_shared = ch_end[0].delta(&ch0[0]);
+    stats.io_channels = ch_end[1..]
+        .iter()
+        .zip(ch0[1..].iter())
+        .map(|(e, s)| e.delta(s))
+        .collect();
     Ok(stats)
 }
 
@@ -1516,6 +1562,61 @@ mod tests {
         assert_eq!(stats.io_total(), disk.stats());
         assert!(stats.total_seconds() > 0.0);
         assert!(stats.peak_partition_bytes > 0);
+    }
+
+    #[test]
+    fn channels_decompose_io_and_buy_simulated_time() {
+        let (r, s) = tiger_pair(1000);
+        // cpu_slowdown 0 isolates the deterministic I/O clock.
+        let run_ch = |channels: usize, threads: usize| {
+            let disk = SimDisk::new(DiskModel {
+                channels,
+                cpu_slowdown: 0.0,
+                ..Default::default()
+            });
+            let cfg = S3jConfig {
+                mem_bytes: 48 * 1024,
+                max_level: 9,
+                threads,
+                ..Default::default()
+            };
+            let mut got = Vec::new();
+            let stats = s3j_join(&disk, &r, &s, &cfg, &mut |a, b| got.push((a.0, b.0)));
+            got.sort_unstable();
+            (got, stats)
+        };
+        let (res1, st1) = run_ch(1, 1);
+        let (res4, st4) = run_ch(4, 1);
+        let (res4t, st4t) = run_ch(4, 4);
+        // Results and counters are channel- and thread-invariant.
+        assert_eq!(res1, res4);
+        assert_eq!(res4, res4t);
+        assert_eq!(st1.io_total(), st4.io_total());
+        assert_eq!(st4.io_total(), st4t.io_total());
+        // The channel meters are an exact decomposition of the total.
+        assert_eq!(st1.io_channels.len(), 1);
+        assert_eq!(st4.io_channels.len(), 4);
+        for st in [&st1, &st4, &st4t] {
+            let mut sum = st.io_shared;
+            for c in &st.io_channels {
+                sum = sum.plus(c);
+            }
+            assert_eq!(sum, st.io_total());
+        }
+        // One channel reduces bit-exactly to the serial clock; four spread
+        // the level files across channels and strictly beat it.
+        assert_eq!(st1.total_seconds(), st1.scaled_cpu_seconds() + st1.io_seconds());
+        assert!(
+            st4.io_channels.iter().filter(|c| c.pages_read > 0).count() > 1,
+            "level files should land on several channels"
+        );
+        assert!(
+            st4.total_seconds() < st1.total_seconds(),
+            "channels=4 ({}) should strictly beat channels=1 ({})",
+            st4.total_seconds(),
+            st1.total_seconds()
+        );
+        assert_eq!(st4.total_seconds(), st4t.total_seconds());
     }
 }
 

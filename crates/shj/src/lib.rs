@@ -84,6 +84,13 @@ pub struct ShjStats {
     pub io_build: IoStats,
     pub io_probe: IoStats,
     pub io_join: IoStats,
+    /// Shared-lane I/O. SHJ's bucket files are untagged (the baseline's
+    /// build/probe passes interleave one sequential stream), so this equals
+    /// [`io_total`](Self::io_total) and the data channels carry nothing:
+    /// extra channels cannot speed SHJ up.
+    pub io_shared: IoStats,
+    /// Per-data-channel I/O — always `model.data_channels()` zero entries.
+    pub io_channels: Vec<IoStats>,
     pub cpu_build: f64,
     pub cpu_probe: f64,
     pub cpu_join: f64,
@@ -107,8 +114,23 @@ impl ShjStats {
         self.model.seconds(&self.io_total())
     }
 
+    /// Simulated I/O wall time under the multi-channel clock. All SHJ I/O
+    /// is shared-lane, so this is bit-identical to
+    /// [`io_seconds`](Self::io_seconds) at every channel count.
+    pub fn io_parallel_seconds(&self) -> f64 {
+        self.model.parallel_io_seconds(&self.io_shared, &self.io_channels)
+    }
+
+    /// I/O time hidden behind computation — always zero here (no data
+    /// channels carry traffic, so there is nothing to overlap).
+    pub fn prefetch_hidden_seconds(&self) -> f64 {
+        self.model
+            .prefetch_hidden_seconds(self.scaled_cpu_seconds(), &self.io_channels)
+    }
+
     pub fn total_seconds(&self) -> f64 {
-        self.scaled_cpu_seconds() + self.io_seconds()
+        self.model
+            .total_seconds(self.scaled_cpu_seconds(), &self.io_shared, &self.io_channels)
     }
 
     /// Probe-side replication rate.
@@ -138,6 +160,8 @@ pub fn shj_join(
         io_build: IoStats::default(),
         io_probe: IoStats::default(),
         io_join: IoStats::default(),
+        io_shared: IoStats::default(),
+        io_channels: vec![IoStats::default(); model.data_channels()],
         cpu_build: 0.0,
         cpu_probe: 0.0,
         cpu_join: 0.0,
@@ -239,6 +263,8 @@ pub fn shj_join(
     stats.join_counters = internal.counters();
     stats.io_join = disk.stats().delta(&io2);
     stats.cpu_join = t2.elapsed().as_secs_f64();
+    // All bucket files are untagged: the whole run rides the shared lane.
+    stats.io_shared = stats.io_total();
     stats
 }
 

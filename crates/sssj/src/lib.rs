@@ -52,6 +52,13 @@ pub struct SssjStats {
     pub cpu_join: f64,
     /// Peak rectangles resident in the sweep-line status.
     pub peak_status: usize,
+    /// Shared-lane I/O. SSSJ's sort/sweep files are untagged (one run file
+    /// pair, scanned sequentially — no partition structure to spread), so
+    /// this equals [`io_total`](Self::io_total) and `io_channels` is empty
+    /// of traffic: extra channels cannot speed SSSJ up.
+    pub io_shared: IoStats,
+    /// Per-data-channel I/O — always `model.data_channels()` zero entries.
+    pub io_channels: Vec<IoStats>,
     pub model: DiskModel,
     /// CPU/I/O position of the first emitted result (None if no results).
     pub first_result_cpu: Option<f64>,
@@ -76,8 +83,23 @@ impl SssjStats {
         self.model.scaled_cpu(self.cpu_seconds())
     }
 
+    /// Simulated I/O wall time under the multi-channel clock. All SSSJ I/O
+    /// is shared-lane, so this is bit-identical to
+    /// [`io_seconds`](Self::io_seconds) at every channel count.
+    pub fn io_parallel_seconds(&self) -> f64 {
+        self.model.parallel_io_seconds(&self.io_shared, &self.io_channels)
+    }
+
+    /// I/O time hidden behind computation — always zero here (no data
+    /// channels carry traffic, so there is nothing to overlap).
+    pub fn prefetch_hidden_seconds(&self) -> f64 {
+        self.model
+            .prefetch_hidden_seconds(self.scaled_cpu_seconds(), &self.io_channels)
+    }
+
     pub fn total_seconds(&self) -> f64 {
-        self.scaled_cpu_seconds() + self.io_seconds()
+        self.model
+            .total_seconds(self.scaled_cpu_seconds(), &self.io_shared, &self.io_channels)
     }
 
     /// Simulated time at which the first result appeared (None if empty).
@@ -171,17 +193,21 @@ pub fn sssj_join(
         disk.delete(f);
     }
 
+    let io_join = disk.stats().delta(&io1);
+    let model = disk.model();
     SssjStats {
         results: counters.results,
         join_counters: counters,
         sort_r,
         sort_s,
         io_sort,
-        io_join: disk.stats().delta(&io1),
+        io_join,
         cpu_sort,
         cpu_join: t1.elapsed().as_secs_f64(),
         peak_status,
-        model: disk.model(),
+        io_shared: io_sort.plus(&io_join),
+        io_channels: vec![IoStats::default(); model.data_channels()],
+        model,
         first_result_cpu,
         first_result_io,
     }

@@ -30,6 +30,14 @@ pub struct DiskModel {
     /// reports (trie vs list sweeps, replication CPU savings) would vanish
     /// behind 1999-era disk time. Set to 1.0 to disable.
     pub cpu_slowdown: f64,
+    /// Number of independent I/O channels (`D`). Files carry an optional
+    /// channel tag set at creation; a tagged file's requests are metered on
+    /// data channel `tag mod D`, untagged files (manifest, journal, results)
+    /// on the serial *shared* lane. Channels advance the simulated clock
+    /// independently, so a run's I/O time is the max over the data channels
+    /// plus the shared lane — with `channels = 1` this degenerates to the
+    /// historic single-meter model, bit for bit.
+    pub channels: usize,
 }
 
 impl Default for DiskModel {
@@ -39,6 +47,7 @@ impl Default for DiskModel {
             positioning_ratio: 6.0,
             transfer_secs_per_page: 0.0016,
             cpu_slowdown: 250.0,
+            channels: 1,
         }
     }
 }
@@ -62,6 +71,49 @@ impl DiskModel {
     /// Measured CPU seconds stretched to the emulated machine.
     pub fn scaled_cpu(&self, raw_secs: f64) -> f64 {
         raw_secs * self.cpu_slowdown
+    }
+
+    /// The number of data channels, clamped to at least one.
+    pub fn data_channels(&self) -> usize {
+        self.channels.max(1)
+    }
+
+    /// Simulated I/O time with channel parallelism: the shared lane
+    /// serializes, the data channels overlap, so the wall clock is
+    /// `shared + max over channels`.
+    ///
+    /// Computed in page-transfer *units* first and converted to seconds with
+    /// a single multiply: every counter is an exact integer-valued `f64`, so
+    /// `units` sums are exact and a one-channel decomposition reproduces the
+    /// serial [`DiskModel::seconds`] of the summed counters bit for bit
+    /// (per-bucket `seconds` would not — float distributivity fails).
+    pub fn parallel_io_seconds(&self, shared: &IoStats, data: &[IoStats]) -> f64 {
+        (self.units(shared) + self.max_channel_units(data)) * self.transfer_secs_per_page
+    }
+
+    /// Simulated seconds hidden by double-buffered prefetch: with more than
+    /// one channel, loading partition `k+1` overlaps the join computation on
+    /// partition `k`, so up to `min(scaled CPU, busiest data channel)` of
+    /// I/O time disappears behind the CPU. A single channel has no idle lane
+    /// to prefetch on, and hides nothing.
+    pub fn prefetch_hidden_seconds(&self, scaled_cpu_secs: f64, data: &[IoStats]) -> f64 {
+        if self.data_channels() <= 1 {
+            return 0.0;
+        }
+        let busiest = self.max_channel_units(data) * self.transfer_secs_per_page;
+        scaled_cpu_secs.min(busiest)
+    }
+
+    /// Wall-clock simulated seconds of a run under the channel model:
+    /// `scaled_cpu + parallel_io − prefetch_hidden`. With `channels = 1`
+    /// this is exactly the historic `scaled_cpu + seconds(io_total)`.
+    pub fn total_seconds(&self, scaled_cpu_secs: f64, shared: &IoStats, data: &[IoStats]) -> f64 {
+        scaled_cpu_secs + self.parallel_io_seconds(shared, data)
+            - self.prefetch_hidden_seconds(scaled_cpu_secs, data)
+    }
+
+    fn max_channel_units(&self, data: &[IoStats]) -> f64 {
+        data.iter().map(|c| self.units(c)).fold(0.0, f64::max)
     }
 }
 
@@ -178,13 +230,19 @@ pub(crate) fn page_checksum(bytes: &[u8]) -> u64 {
 struct StoredFile {
     data: Vec<u8>,
     sums: Vec<u64>,
+    /// I/O channel tag: `None` routes requests to the serial shared lane,
+    /// `Some(t)` to data channel `t mod D`. Set at creation, immutable — a
+    /// property of the file's placement, independent of the channel count,
+    /// so changing `D` merely rebins the same requests.
+    channel: Option<u64>,
 }
 
 impl StoredFile {
-    fn new() -> Self {
+    fn new(channel: Option<u64>) -> Self {
         StoredFile {
             data: Vec::new(),
             sums: Vec::new(),
+            channel,
         }
     }
 
@@ -286,7 +344,10 @@ impl FaultState {
 #[derive(Clone)]
 pub struct SimDisk {
     files: Arc<Mutex<Vec<Option<StoredFile>>>>,
-    stats: Arc<Mutex<IoStats>>,
+    /// Per-bucket meter: index 0 is the serial shared lane, indexes
+    /// `1..=D` the data channels. [`SimDisk::stats`] sums the buckets, so
+    /// single-meter callers observe the historic counters unchanged.
+    stats: Arc<Mutex<Vec<IoStats>>>,
     model: DiskModel,
     faults: Arc<FaultState>,
 }
@@ -295,7 +356,10 @@ impl SimDisk {
     pub fn new(model: DiskModel) -> Self {
         SimDisk {
             files: Arc::new(Mutex::new(Vec::new())),
-            stats: Arc::new(Mutex::new(IoStats::default())),
+            stats: Arc::new(Mutex::new(vec![
+                IoStats::default();
+                1 + model.data_channels()
+            ])),
             model,
             faults: Arc::new(FaultState::clean()),
         }
@@ -331,7 +395,10 @@ impl SimDisk {
     pub fn fork_counters(&self) -> SimDisk {
         SimDisk {
             files: Arc::clone(&self.files),
-            stats: Arc::new(Mutex::new(IoStats::default())),
+            stats: Arc::new(Mutex::new(vec![
+                IoStats::default();
+                1 + self.model.data_channels()
+            ])),
             model: self.model,
             faults: Arc::clone(&self.faults),
         }
@@ -345,7 +412,10 @@ impl SimDisk {
     pub fn scratch_disk(&self) -> SimDisk {
         SimDisk {
             files: Arc::new(Mutex::new(Vec::new())),
-            stats: Arc::new(Mutex::new(IoStats::default())),
+            stats: Arc::new(Mutex::new(vec![
+                IoStats::default();
+                1 + self.model.data_channels()
+            ])),
             model: self.model,
             faults: Arc::new(FaultState {
                 plan: self.faults.plan,
@@ -356,9 +426,27 @@ impl SimDisk {
     }
 
     /// Folds externally accumulated counters (a fork's meter) into this
-    /// handle's meter.
+    /// handle's meter. Counters folded this way land on the shared lane —
+    /// use [`SimDisk::add_channel_stats`] to preserve a fork's per-channel
+    /// decomposition.
     pub fn add_stats(&self, s: &IoStats) {
-        self.stats.lock().merge(s);
+        self.stats.lock()[0].merge(s);
+    }
+
+    /// Folds a fork's full per-bucket meter (from
+    /// [`SimDisk::channel_stats`]) into this handle's, bucket by bucket, so
+    /// the channel decomposition survives the merge. Buckets past this
+    /// disk's own (a fork built under a different model) fold into the
+    /// shared lane rather than vanish.
+    pub fn add_channel_stats(&self, buckets: &[IoStats]) {
+        let mut g = self.stats.lock();
+        for (i, b) in buckets.iter().enumerate() {
+            if i < g.len() {
+                g[i].merge(b);
+            } else {
+                g[0].merge(b);
+            }
+        }
     }
 
     pub fn with_default_model() -> Self {
@@ -369,11 +457,39 @@ impl SimDisk {
         self.model
     }
 
-    /// Creates an empty file.
+    /// Creates an empty file on the serial shared lane.
     pub fn create(&self) -> FileId {
         let mut g = self.files.lock();
-        g.push(Some(StoredFile::new()));
+        g.push(Some(StoredFile::new(None)));
         FileId((g.len() - 1) as u32)
+    }
+
+    /// Creates an empty file whose requests are metered on data channel
+    /// `tag mod D`. The tag is a stable placement key (partition id, level
+    /// index) — *not* a channel index — so the same file lands on the same
+    /// channel however many channels the model has.
+    pub fn create_on(&self, tag: u64) -> FileId {
+        let mut g = self.files.lock();
+        g.push(Some(StoredFile::new(Some(tag))));
+        FileId((g.len() - 1) as u32)
+    }
+
+    /// The channel tag a file was created with (`None` for shared-lane
+    /// files, deleted files and stale ids). Derived files (sort runs, merge
+    /// outputs) inherit their input's tag through this.
+    pub fn file_channel(&self, f: FileId) -> Option<u64> {
+        let g = self.files.lock();
+        g.get(f.0 as usize).and_then(|s| s.as_ref()).and_then(|file| file.channel)
+    }
+
+    /// Creates an empty file on the same channel as `other` (shared lane if
+    /// `other` is untagged or gone) — how derived files stay on their
+    /// input's channel.
+    pub fn create_like(&self, other: FileId) -> FileId {
+        match self.file_channel(other) {
+            Some(t) => self.create_on(t),
+            None => self.create(),
+        }
     }
 
     /// Deletes a file, releasing its space. Idempotent.
@@ -442,13 +558,22 @@ impl SimDisk {
         let g = self.files.lock();
         let mut out = Vec::new();
         out.extend_from_slice(b"SJDK");
-        out.extend_from_slice(&1u32.to_le_bytes());
+        // Version 2 adds the per-file channel tag so a resumed run bins its
+        // re-reads onto the same channels the crashed run wrote on.
+        out.extend_from_slice(&2u32.to_le_bytes());
         out.extend_from_slice(&(g.len() as u32).to_le_bytes());
         for slot in g.iter() {
             match slot {
                 None => out.push(0),
                 Some(file) => {
                     out.push(1);
+                    match file.channel {
+                        None => out.push(0),
+                        Some(t) => {
+                            out.push(1);
+                            out.extend_from_slice(&t.to_le_bytes());
+                        }
+                    }
                     out.extend_from_slice(&(file.data.len() as u64).to_le_bytes());
                     out.extend_from_slice(&file.data);
                 }
@@ -472,9 +597,13 @@ impl SimDisk {
             }
         };
         let (ver, mut pos) = take(rest, 4)?;
-        if ver != 1u32.to_le_bytes() {
+        let version = if ver == 1u32.to_le_bytes() {
+            1
+        } else if ver == 2u32.to_le_bytes() {
+            2
+        } else {
             return Err(bad());
-        }
+        };
         let (cnt, used) = take(&rest[pos..], 4)?;
         pos += used;
         let count = u32::from_le_bytes([cnt[0], cnt[1], cnt[2], cnt[3]]) as usize;
@@ -486,6 +615,25 @@ impl SimDisk {
             match tag[0] {
                 0 => table.push(None),
                 1 => {
+                    // Version-1 snapshots predate channel tags: their files
+                    // restore onto the shared lane.
+                    let channel = if version >= 2 {
+                        let (has, used) = take(&rest[pos..], 1)?;
+                        pos += used;
+                        match has[0] {
+                            0 => None,
+                            1 => {
+                                let (t_bytes, used) = take(&rest[pos..], 8)?;
+                                pos += used;
+                                let mut t8 = [0u8; 8];
+                                t8.copy_from_slice(&t_bytes);
+                                Some(u64::from_le_bytes(t8))
+                            }
+                            _ => return Err(bad()),
+                        }
+                    } else {
+                        None
+                    };
                     let (len_bytes, used) = take(&rest[pos..], 8)?;
                     pos += used;
                     let mut len8 = [0u8; 8];
@@ -493,7 +641,7 @@ impl SimDisk {
                     let len = u64::from_le_bytes(len8) as usize;
                     let (data, used) = take(&rest[pos..], len)?;
                     pos += used;
-                    let mut file = StoredFile::new();
+                    let mut file = StoredFile::new(channel);
                     file.append(&data, ps);
                     table.push(Some(file));
                 }
@@ -505,6 +653,17 @@ impl SimDisk {
         }
         *self.files.lock() = table;
         Ok(())
+    }
+
+    /// Meter bucket for a file's channel tag: untagged files serialize on
+    /// bucket 0, tagged ones bin onto data channel `tag mod D` (buckets
+    /// `1..=D`). Binning happens here, at metering time, so the file layout
+    /// is identical whatever `D` is.
+    fn bucket_of(&self, channel: Option<u64>) -> usize {
+        match channel {
+            None => 0,
+            Some(t) => 1 + (t % self.model.data_channels() as u64) as usize,
+        }
     }
 
     /// Length of a file in bytes. A metadata lookup — free and fault-exempt.
@@ -563,8 +722,9 @@ impl SimDisk {
                 });
             };
             let offset = file.data.len() as u64;
+            let bucket = self.bucket_of(file.channel);
             {
-                let mut s = self.stats.lock();
+                let s = &mut self.stats.lock()[bucket];
                 s.write_requests += 1;
                 s.pages_written += pages;
                 s.bytes_written += data.len() as u64;
@@ -576,7 +736,7 @@ impl SimDisk {
                 }
                 Some((kind, global_idx, salt)) => {
                     drop(files); // nothing persisted: atomic rollback
-                    let mut s = self.stats.lock();
+                    let s = &mut self.stats.lock()[bucket];
                     s.faults_injected += 1;
                     if attempt < max_attempts {
                         s.write_retries += 1;
@@ -639,8 +799,9 @@ impl SimDisk {
                     attempts: attempt,
                 });
             }
+            let bucket = self.bucket_of(file.channel);
             {
-                let mut s = self.stats.lock();
+                let s = &mut self.stats.lock()[bucket];
                 s.read_requests += 1;
                 s.pages_read += pages;
                 s.bytes_read += out.len() as u64;
@@ -670,7 +831,7 @@ impl SimDisk {
                 Some((kind, idx, salt)) => (kind, Some((idx, salt))),
             };
             drop(files);
-            let mut s = self.stats.lock();
+            let s = &mut self.stats.lock()[bucket];
             match salt_and_idx {
                 Some((global_idx, salt)) => {
                     s.faults_injected += 1;
@@ -709,14 +870,30 @@ impl SimDisk {
             .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
-    /// Snapshot of the cumulative counters.
+    /// Snapshot of the cumulative counters: the sum over every meter
+    /// bucket, i.e. the historic single-meter view.
     pub fn stats(&self) -> IoStats {
-        *self.stats.lock()
+        let g = self.stats.lock();
+        let mut total = IoStats::default();
+        for b in g.iter() {
+            total.merge(b);
+        }
+        total
+    }
+
+    /// Snapshot of the per-bucket counters: index 0 is the serial shared
+    /// lane, indexes `1..=D` the data channels. The buckets sum to
+    /// [`SimDisk::stats`] by construction.
+    pub fn channel_stats(&self) -> Vec<IoStats> {
+        self.stats.lock().clone()
     }
 
     /// Resets all counters to zero (file contents are kept).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = IoStats::default();
+        let mut g = self.stats.lock();
+        for b in g.iter_mut() {
+            *b = IoStats::default();
+        }
     }
 
     /// Simulated disk seconds for counters accumulated so far.
@@ -736,6 +913,7 @@ mod tests {
             positioning_ratio: 10.0,
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
+            channels: 1,
         })
     }
 
@@ -919,6 +1097,177 @@ mod tests {
         assert!(e.restore_files(b"JUNK").is_err());
         assert!(e.restore_files(&snap[..snap.len() - 1]).is_err());
     }
+
+    fn channelled_disk(channels: usize) -> SimDisk {
+        SimDisk::new(DiskModel {
+            page_size: 16,
+            positioning_ratio: 10.0,
+            transfer_secs_per_page: 1.0,
+            cpu_slowdown: 1.0,
+            channels,
+        })
+    }
+
+    #[test]
+    fn tagged_files_bin_onto_data_channels() {
+        let d = channelled_disk(2);
+        let shared = d.create();
+        let a = d.create_on(0); // channel 0 → bucket 1
+        let b = d.create_on(5); // 5 mod 2 = 1 → bucket 2
+        assert_eq!(d.file_channel(shared), None);
+        assert_eq!(d.file_channel(a), Some(0));
+        assert_eq!(d.file_channel(b), Some(5));
+        d.append(shared, &[0u8; 16]);
+        d.append(a, &[0u8; 32]);
+        d.append(b, &[0u8; 48]);
+        let buckets = d.channel_stats();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0].pages_written, 1);
+        assert_eq!(buckets[1].pages_written, 2);
+        assert_eq!(buckets[2].pages_written, 3);
+        // The buckets sum to the historic single-meter view.
+        let sum = buckets.iter().fold(IoStats::default(), |acc, b| acc.plus(b));
+        assert_eq!(sum, d.stats());
+        assert_eq!(d.stats().pages_written, 6);
+    }
+
+    #[test]
+    fn channel_count_rebins_without_changing_totals() {
+        // The same workload on 1 vs 4 channels: identical files, identical
+        // summed counters — only the decomposition differs.
+        let run = |channels: usize| -> (IoStats, Vec<IoStats>) {
+            let d = channelled_disk(channels);
+            for pid in 0..6u64 {
+                let f = d.create_on(pid);
+                d.append(f, &[pid as u8; 40]);
+                let mut out = [0u8; 40];
+                d.read(f, 0, &mut out);
+            }
+            (d.stats(), d.channel_stats())
+        };
+        let (one, one_buckets) = run(1);
+        let (four, four_buckets) = run(4);
+        assert_eq!(one, four);
+        assert_eq!(one_buckets.len(), 2);
+        assert_eq!(four_buckets.len(), 5);
+        // With one channel everything tagged lands in the single data bucket.
+        assert_eq!(one_buckets[1], one);
+        // With four, at least two data buckets carry load.
+        assert!(four_buckets[1..].iter().filter(|b| b.pages_written > 0).count() >= 2);
+    }
+
+    #[test]
+    fn parallel_io_seconds_is_shared_plus_busiest_channel() {
+        let d = channelled_disk(2);
+        let shared = d.create();
+        let a = d.create_on(0);
+        let b = d.create_on(1);
+        d.append(shared, &[0u8; 16]); // PT + 1 = 11 units
+        d.append(a, &[0u8; 32]); // 12 units
+        d.append(b, &[0u8; 64]); // 14 units (busiest)
+        let m = d.model();
+        let buckets = d.channel_stats();
+        let par = m.parallel_io_seconds(&buckets[0], &buckets[1..]);
+        assert!((par - (11.0 + 14.0)).abs() < 1e-12);
+        // Serial time counts every unit.
+        assert!((m.seconds(&d.stats()) - (11.0 + 12.0 + 14.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_channel_parallel_time_is_bitwise_serial_time() {
+        // Default-model counters: the decomposition must reproduce the
+        // serial seconds bit for bit, not within an epsilon.
+        let d = SimDisk::with_default_model();
+        let f = d.create_on(3);
+        let g = d.create();
+        d.append(f, &[1u8; 100_000]);
+        d.append(g, &[2u8; 30_000]);
+        let mut out = vec![0u8; 50_000];
+        d.read(f, 0, &mut out);
+        let m = d.model();
+        let buckets = d.channel_stats();
+        let par = m.parallel_io_seconds(&buckets[0], &buckets[1..]);
+        assert_eq!(par, m.seconds(&d.stats()));
+    }
+
+    #[test]
+    fn prefetch_hides_io_only_with_spare_channels() {
+        let data = [IoStats {
+            read_requests: 1,
+            pages_read: 4,
+            ..IoStats::default()
+        }];
+        let single = DiskModel {
+            channels: 1,
+            ..channelled_disk(1).model()
+        };
+        let multi = DiskModel {
+            channels: 2,
+            ..single
+        };
+        // Busiest channel: 10 + 4 = 14 simulated seconds.
+        assert_eq!(single.prefetch_hidden_seconds(5.0, &data), 0.0);
+        assert_eq!(multi.prefetch_hidden_seconds(5.0, &data), 5.0); // CPU-bound
+        assert_eq!(multi.prefetch_hidden_seconds(99.0, &data), 14.0); // IO-bound
+        let shared = IoStats::default();
+        // total = scaled_cpu + (shared + max) − hidden
+        assert_eq!(multi.total_seconds(5.0, &shared, &data), 14.0);
+        assert_eq!(multi.total_seconds(99.0, &shared, &data), 99.0);
+        assert_eq!(single.total_seconds(5.0, &shared, &data), 19.0);
+    }
+
+    #[test]
+    fn export_restore_round_trips_channel_tags() {
+        let d = channelled_disk(4);
+        let a = d.create_on(7);
+        let b = d.create();
+        d.append(a, b"tagged");
+        d.append(b, b"shared");
+        let snap = d.export_files();
+        let e = channelled_disk(4);
+        e.restore_files(&snap).unwrap();
+        assert_eq!(e.file_channel(a), Some(7));
+        assert_eq!(e.file_channel(b), None);
+        // Reads through the restored disk bin like the original's.
+        let mut out = vec![0u8; 6];
+        e.try_read(a, 0, &mut out).unwrap();
+        assert_eq!(&out, b"tagged");
+        let buckets = e.channel_stats();
+        assert_eq!(buckets[1 + (7 % 4)].read_requests, 1);
+        assert_eq!(buckets[0].read_requests, 0);
+    }
+
+    #[test]
+    fn version_one_snapshots_restore_onto_the_shared_lane() {
+        // A hand-built v1 snapshot (no channel tags): one live 3-byte file.
+        let mut snap = Vec::new();
+        snap.extend_from_slice(b"SJDK");
+        snap.extend_from_slice(&1u32.to_le_bytes());
+        snap.extend_from_slice(&1u32.to_le_bytes());
+        snap.push(1);
+        snap.extend_from_slice(&3u64.to_le_bytes());
+        snap.extend_from_slice(b"abc");
+        let d = channelled_disk(2);
+        d.restore_files(&snap).unwrap();
+        let f = FileId::from_raw(0);
+        assert_eq!(d.len(f), 3);
+        assert_eq!(d.file_channel(f), None);
+    }
+
+    #[test]
+    fn add_channel_stats_preserves_the_decomposition() {
+        let d = channelled_disk(2);
+        let fork = d.fork_counters();
+        let f = fork.create_on(1);
+        fork.append(f, &[0u8; 32]);
+        let g = fork.create();
+        fork.append(g, &[0u8; 16]);
+        d.add_channel_stats(&fork.channel_stats());
+        let buckets = d.channel_stats();
+        assert_eq!(buckets[0].pages_written, 1);
+        assert_eq!(buckets[2].pages_written, 2);
+        assert_eq!(d.stats().pages_written, 3);
+    }
 }
 
 #[cfg(test)]
@@ -932,6 +1281,7 @@ mod failure_tests {
             positioning_ratio: 1.0,
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
+            channels: 1,
         })
     }
 
@@ -1001,6 +1351,7 @@ mod fault_tests {
             positioning_ratio: 4.0,
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
+            channels: 1,
         })
         .with_faults(plan, policy)
     }
@@ -1075,6 +1426,7 @@ mod fault_tests {
             positioning_ratio: 4.0,
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
+            channels: 1,
         });
         let f = d.create();
         d.append(f, &[7u8; 32]);

@@ -23,7 +23,11 @@ use crate::disk::{DiskModel, IoStats};
 
 /// Version stamped into every exported trace and metrics document. Bump on
 /// any backwards-incompatible change to the JSON shape.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2: multi-channel I/O model — reports carry `channels`, the
+/// shared-lane/per-channel I/O decomposition, and the channel-parallel time
+/// identities (`io_parallel_seconds`, `prefetch_hidden_seconds`).
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 /// Default cap on buffered trace events; beyond it events are counted but
 /// dropped (the drop count is exported, so truncation is never silent).
@@ -204,10 +208,25 @@ pub struct MetricsReport {
     pub counters: RunCounters,
     /// Total I/O as reported by the stats struct (`io_total()`).
     pub io_total: IoStats,
+    /// Data channels of the run's disk (`model.data_channels()`).
+    pub channels: usize,
+    /// I/O on the serial shared lane (manifest, journal, results, dedup
+    /// scratch). Together with `io_channels` this must sum field-for-field
+    /// to `io_total`.
+    pub io_shared: IoStats,
+    /// Per-data-channel I/O, one bucket per channel.
+    pub io_channels: Vec<IoStats>,
     /// Total raw CPU seconds as reported by the stats struct.
     pub cpu_seconds: f64,
     pub scaled_cpu_seconds: f64,
+    /// Serial-equivalent disk time: `model.seconds(io_total)`, i.e. every
+    /// unit on one spindle. Kept for cross-version comparability.
     pub io_seconds: f64,
+    /// Channel-parallel disk time: shared lane + busiest data channel.
+    pub io_parallel_seconds: f64,
+    /// Disk time hidden behind computation by double-buffered prefetch
+    /// (zero with one channel).
+    pub prefetch_hidden_seconds: f64,
     pub total_seconds: f64,
     /// Pipelined first-result position (§3.1/§5). Its CPU leg is measured
     /// on the host's compute clock, so the combined value is reproducible
@@ -256,6 +275,39 @@ impl MetricsReport {
                 ),
             });
         }
+        // The channel decomposition is a second, independent partition of
+        // the same total: shared lane + every data channel must also sum
+        // field-for-field to io_total.
+        if self.channels != self.model.data_channels() {
+            return Err(ReconcileError {
+                what: format!(
+                    "channels {} != model.data_channels() {}",
+                    self.channels,
+                    self.model.data_channels()
+                ),
+            });
+        }
+        if self.io_channels.len() != self.channels {
+            return Err(ReconcileError {
+                what: format!(
+                    "io_channels has {} buckets, expected {}",
+                    self.io_channels.len(),
+                    self.channels
+                ),
+            });
+        }
+        let mut chan_sum = self.io_shared;
+        for c in &self.io_channels {
+            chan_sum = chan_sum.plus(c);
+        }
+        if chan_sum != self.io_total {
+            return Err(ReconcileError {
+                what: format!(
+                    "io_shared + channel IoStats sum != io_total (sum {:?}, total {:?})",
+                    chan_sum, self.io_total
+                ),
+            });
+        }
         if cpu_sum != self.cpu_seconds {
             return Err(ReconcileError {
                 what: format!(
@@ -285,11 +337,35 @@ impl MetricsReport {
                 ),
             });
         }
-        let total = self.scaled_cpu_seconds + self.io_seconds;
+        let io_par = self
+            .model
+            .parallel_io_seconds(&self.io_shared, &self.io_channels);
+        if io_par != self.io_parallel_seconds {
+            return Err(ReconcileError {
+                what: format!(
+                    "io_parallel_seconds {} != shared + busiest channel {}",
+                    json_f64(self.io_parallel_seconds),
+                    json_f64(io_par)
+                ),
+            });
+        }
+        let hidden = self
+            .model
+            .prefetch_hidden_seconds(self.scaled_cpu_seconds, &self.io_channels);
+        if hidden != self.prefetch_hidden_seconds {
+            return Err(ReconcileError {
+                what: format!(
+                    "prefetch_hidden_seconds {} != min(scaled_cpu, busiest channel) {}",
+                    json_f64(self.prefetch_hidden_seconds),
+                    json_f64(hidden)
+                ),
+            });
+        }
+        let total = self.scaled_cpu_seconds + self.io_parallel_seconds - self.prefetch_hidden_seconds;
         if total != self.total_seconds {
             return Err(ReconcileError {
                 what: format!(
-                    "total_seconds {} != scaled_cpu + io {}",
+                    "total_seconds {} != scaled_cpu + parallel io - hidden {}",
                     json_f64(self.total_seconds),
                     json_f64(total)
                 ),
@@ -346,11 +422,12 @@ impl MetricsReport {
             self.threads
         ));
         out.push_str(&format!(
-            "  \"model\": {{\"page_size\": {}, \"positioning_ratio\": {}, \"transfer_secs_per_page\": {}, \"cpu_slowdown\": {}}},\n",
+            "  \"model\": {{\"page_size\": {}, \"positioning_ratio\": {}, \"transfer_secs_per_page\": {}, \"cpu_slowdown\": {}, \"channels\": {}}},\n",
             self.model.page_size,
             json_f64(self.model.positioning_ratio),
             json_f64(self.model.transfer_secs_per_page),
-            json_f64(self.model.cpu_slowdown)
+            json_f64(self.model.cpu_slowdown),
+            self.model.channels
         ));
         out.push_str("  \"phases\": [\n");
         for (i, p) in self.phases.iter().enumerate() {
@@ -373,11 +450,21 @@ impl MetricsReport {
             c.results, c.duplicates, c.partitions, c.requeued_partitions, c.degraded_partitions, c.checkpoint_commits
         ));
         out.push_str(&format!("  \"io_total\": {},\n", io_stats_json(&self.io_total)));
+        out.push_str(&format!("  \"channels\": {},\n", self.channels));
+        out.push_str(&format!("  \"io_shared\": {},\n", io_stats_json(&self.io_shared)));
+        out.push_str("  \"io_channels\": [\n");
+        for (i, c) in self.io_channels.iter().enumerate() {
+            let sep = if i + 1 == self.io_channels.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", io_stats_json(c)));
+        }
+        out.push_str("  ],\n");
         out.push_str(&format!(
-            "  \"cpu_seconds\": {},\n  \"scaled_cpu_seconds\": {},\n  \"io_seconds\": {},\n  \"total_seconds\": {},\n",
+            "  \"cpu_seconds\": {},\n  \"scaled_cpu_seconds\": {},\n  \"io_seconds\": {},\n  \"io_parallel_seconds\": {},\n  \"prefetch_hidden_seconds\": {},\n  \"total_seconds\": {},\n",
             json_f64(self.cpu_seconds),
             json_f64(self.scaled_cpu_seconds),
             json_f64(self.io_seconds),
+            json_f64(self.io_parallel_seconds),
+            json_f64(self.prefetch_hidden_seconds),
             json_f64(self.total_seconds)
         ));
         match self.first_result_seconds {
@@ -469,6 +556,13 @@ mod tests {
         ];
         let io_total = io_a.plus(&io_b);
         let cpu = 0.25 + 0.5;
+        // Channel decomposition: reads on the single data channel, writes
+        // on the shared lane.
+        let io_shared = io_b;
+        let io_channels = vec![io_a];
+        let scaled = model.scaled_cpu(cpu);
+        let io_par = model.parallel_io_seconds(&io_shared, &io_channels);
+        let hidden = model.prefetch_hidden_seconds(scaled, &io_channels);
         MetricsReport {
             schema_version: METRICS_SCHEMA_VERSION,
             algo: "pbsm".to_string(),
@@ -482,10 +576,15 @@ mod tests {
                 ..RunCounters::default()
             },
             io_total,
+            channels: model.data_channels(),
+            io_shared,
+            io_channels,
             cpu_seconds: cpu,
-            scaled_cpu_seconds: model.scaled_cpu(cpu),
+            scaled_cpu_seconds: scaled,
             io_seconds: model.seconds(&io_total),
-            total_seconds: model.scaled_cpu(cpu) + model.seconds(&io_total),
+            io_parallel_seconds: io_par,
+            prefetch_hidden_seconds: hidden,
+            total_seconds: scaled + io_par - hidden,
             first_result_seconds: None,
             first_result_io_seconds: None,
         }
@@ -516,6 +615,52 @@ mod tests {
     }
 
     #[test]
+    fn reconcile_rejects_corrupted_channel_bucket() {
+        // A channel bucket that drifts from the decomposition must be
+        // refused even though io_total and the phase sum still agree.
+        let mut r = report();
+        r.io_channels[0].pages_read += 1;
+        let err = r.reconcile().expect_err("corrupted channel bucket must fail");
+        assert!(err.what.contains("io_shared + channel"), "{err}");
+    }
+
+    fn two_channel_report() -> MetricsReport {
+        let mut r = report();
+        r.model.channels = 2;
+        r.channels = 2;
+        r.io_channels.push(IoStats::default());
+        r.io_parallel_seconds = r.model.parallel_io_seconds(&r.io_shared, &r.io_channels);
+        r.prefetch_hidden_seconds = r
+            .model
+            .prefetch_hidden_seconds(r.scaled_cpu_seconds, &r.io_channels);
+        r.total_seconds = r.scaled_cpu_seconds + r.io_parallel_seconds - r.prefetch_hidden_seconds;
+        r
+    }
+
+    #[test]
+    fn two_channel_report_checks_parallel_time_identities() {
+        let r = two_channel_report();
+        assert!(r.prefetch_hidden_seconds > 0.0, "two channels hide io");
+        assert!(r.io_parallel_seconds < r.io_seconds + 1e-12);
+        r.reconcile().expect("two-channel report reconciles");
+        // Shifting load between buckets keeps the field-for-field sum but
+        // breaks the shared + busiest-channel time — also refused.
+        let mut r = two_channel_report();
+        r.io_shared.pages_written -= 2;
+        r.io_channels[1].pages_written += 2;
+        let err = r.reconcile().expect_err("shifted decomposition must fail");
+        assert!(err.what.contains("io_parallel_seconds"), "{err}");
+    }
+
+    #[test]
+    fn reconcile_rejects_channel_count_mismatch() {
+        let mut r = report();
+        r.io_channels.push(IoStats::default());
+        let err = r.reconcile().expect_err("extra bucket must fail");
+        assert!(err.what.contains("io_channels"), "{err}");
+    }
+
+    #[test]
     fn reconcile_rejects_candidate_mismatch() {
         let mut r = report();
         r.counters.candidates = Some(11);
@@ -541,7 +686,7 @@ mod tests {
         rec.span("partition", 0.0, 1.5);
         rec.event("partition-commit", 1.5, &[("partition", 0), ("results", 7)]);
         let json = rec.to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"name\": \"partition\""));
         assert!(json.contains("\"results\": 7"));
     }

@@ -116,6 +116,7 @@ mod tests {
             positioning_ratio: 4.0,
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
+            channels: 1,
         })
     }
 

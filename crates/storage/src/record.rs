@@ -75,6 +75,14 @@ impl<R: FixedRecord> RecordWriter<R> {
         Self::new(disk, f, buffer_pages)
     }
 
+    /// Creates the backing file pinned to data channel `channel` (see
+    /// [`SimDisk::create_on`]); its requests overlap with other channels
+    /// under the multi-channel clock instead of serializing.
+    pub fn create_on(disk: &SimDisk, channel: u64, buffer_pages: usize) -> Self {
+        let f = disk.create_on(channel);
+        Self::new(disk, f, buffer_pages)
+    }
+
     /// Buffers one record; an error surfaces only when a flush exhausts the
     /// disk's retry budget.
     pub fn try_push(&mut self, r: &R) -> Result<(), IoError> {
@@ -235,6 +243,7 @@ mod tests {
             positioning_ratio: 2.0,
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
+            channels: 1,
         })
     }
 

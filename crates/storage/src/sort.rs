@@ -76,7 +76,10 @@ where
     // --- Run formation -----------------------------------------------------
     let mut stats = SortStats::default();
     let mut reader = RecordReader::<R>::new(disk, input, plan.in_pages);
-    let runs_file = disk.create();
+    // Runs (and, below, merge outputs) stay on the input's I/O channel: the
+    // sort of a partition's data contends with that partition's channel,
+    // not with every other channel's.
+    let runs_file = disk.create_like(input);
     let mut runs: Vec<(u64, u64)> = Vec::new(); // byte ranges
     let mut offset = 0u64;
     let mut chunk: Vec<R> = Vec::with_capacity(run_records.min(1 << 20));
@@ -220,7 +223,7 @@ where
     let mut current_runs = runs;
     while current_runs.len() > 1 {
         stats.merge_passes += 1;
-        let next_file = disk.create();
+        let next_file = disk.create_like(current_file);
         let mut next_runs: Vec<(u64, u64)> = Vec::new();
         let mut out_offset = 0u64;
         for group in current_runs.chunks(fan_in) {
@@ -353,6 +356,7 @@ mod tests {
             positioning_ratio: 5.0,
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
+            channels: 1,
         })
     }
 
@@ -468,6 +472,7 @@ mod proptests {
                 positioning_ratio: 3.0,
                 transfer_secs_per_page: 1.0,
                 cpu_slowdown: 1.0,
+                channels: 1,
             });
             let records: Vec<IdPair> = values.iter().map(|&(r, s)| IdPair { r, s }).collect();
             let f = write_all(&disk, &records, 2);
@@ -489,6 +494,7 @@ mod proptests {
                 positioning_ratio: 1.0,
                 transfer_secs_per_page: 1.0,
                 cpu_slowdown: 1.0,
+                channels: 1,
             });
             let records: Vec<IdPair> = values.iter().map(|&v| IdPair { r: v, s: !v }).collect();
             let f = write_all(&disk, &records, 2);

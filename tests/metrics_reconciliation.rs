@@ -184,9 +184,14 @@ fn exported_json_matches_the_stats_surface() {
     let report = st.metrics_report("PBSM (reference point)", 2);
     report.reconcile().expect("report must reconcile");
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\": 1"));
+    assert!(json.contains("\"schema_version\": 2"));
     assert!(json.contains("\"algo\": \"PBSM (reference point)\""));
     assert!(json.contains("\"threads\": 2"));
+    assert!(json.contains("\"channels\": 1"));
+    assert!(json.contains("\"io_shared\""));
+    assert!(json.contains("\"io_channels\""));
+    assert!(json.contains("\"io_parallel_seconds\""));
+    assert!(json.contains("\"prefetch_hidden_seconds\""));
     assert!(json.contains(&format!("\"results\": {}", st.results())));
     assert!(json.contains(&format!("\"duplicates\": {}", st.duplicates())));
 }
