@@ -490,6 +490,7 @@ impl JoinStats {
                 requeued_partitions: u64::from(s.requeued_partitions),
                 degraded_partitions: u64::from(s.degraded_partitions),
                 checkpoint_commits: s.checkpoint_commits,
+                partition_cache_hits: 0,
             },
             JoinStats::S3j(s) => RunCounters {
                 candidates: Some(s.candidates),

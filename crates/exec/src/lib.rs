@@ -25,7 +25,9 @@ use std::thread::JoinHandle;
 use geom::{Kpe, Rect, RecordId};
 use pbsm::{try_pbsm_join_ctl, PbsmConfig, PbsmStats};
 use s3j::{try_s3j_join_ctl, S3jConfig, S3jStats};
-use storage::{CancelToken, JoinError, Recorder, RunControl, SimDisk};
+use storage::{
+    AdmissionError, CancelToken, JoinError, MemoryArbiter, Recorder, RunControl, SimDisk,
+};
 
 /// Why a [`SpatialJoinOp`] stream terminated abnormally. Delivered as the
 /// final item of the stream — the operator never panics the consumer thread
@@ -37,6 +39,10 @@ pub enum JoinOpError {
     Join(JoinError),
     /// The worker thread panicked; the payload message is preserved.
     WorkerPanicked(String),
+    /// Admission was refused by the shared [`MemoryArbiter`]: the join never
+    /// started and performed no I/O. `Overloaded` carries the retry hint a
+    /// service should surface to its client.
+    Admission(AdmissionError),
 }
 
 impl std::fmt::Display for JoinOpError {
@@ -44,6 +50,7 @@ impl std::fmt::Display for JoinOpError {
         match self {
             JoinOpError::Join(e) => write!(f, "{e}"),
             JoinOpError::WorkerPanicked(msg) => write!(f, "join worker panicked: {msg}"),
+            JoinOpError::Admission(e) => write!(f, "join not admitted: {e}"),
         }
     }
 }
@@ -53,6 +60,7 @@ impl std::error::Error for JoinOpError {
         match self {
             JoinOpError::Join(e) => Some(e),
             JoinOpError::WorkerPanicked(_) => None,
+            JoinOpError::Admission(e) => Some(e),
         }
     }
 }
@@ -196,6 +204,16 @@ impl JoinAlgorithm {
         }
         self
     }
+
+    /// The memory budget the wrapped config sizes itself from — the bytes a
+    /// budget-shared operator leases from the [`MemoryArbiter`] before it is
+    /// allowed to start.
+    pub fn mem_bytes(&self) -> u64 {
+        match self {
+            JoinAlgorithm::Pbsm(c) => c.mem_bytes as u64,
+            JoinAlgorithm::S3j(c) => c.mem_bytes as u64,
+        }
+    }
 }
 
 /// Binary streaming spatial-join operator.
@@ -221,6 +239,7 @@ pub struct SpatialJoinOp<L, R> {
     cancel: CancelToken,
     deadline: Option<f64>,
     recorder: Option<Arc<Recorder>>,
+    admission: Option<MemoryArbiter>,
     stats: Arc<Mutex<Option<OpStats>>>,
     rx: Option<mpsc::Receiver<Result<(RecordId, RecordId), JoinOpError>>>,
     worker: Option<JoinHandle<()>>,
@@ -241,6 +260,7 @@ where
             cancel: CancelToken::new(),
             deadline: None,
             recorder: None,
+            admission: None,
             stats: Arc::new(Mutex::new(None)),
             rx: None,
             worker: None,
@@ -288,6 +308,18 @@ where
         self
     }
 
+    /// Makes the operator budget-shared: `open()` leases the algorithm's
+    /// `mem_bytes` from `arbiter` before the join starts, queueing (FIFO,
+    /// cancellable via this operator's token) if the budget is currently
+    /// exhausted. Admission refusal — a full queue or a request larger than
+    /// the whole budget — never starts the worker: the stream delivers a
+    /// single [`JoinOpError::Admission`] item. The lease is released when
+    /// the worker finishes, errors, or panics.
+    pub fn with_admission(mut self, arbiter: MemoryArbiter) -> Self {
+        self.admission = Some(arbiter);
+        self
+    }
+
     /// The completed run's statistics. `None` while the join is still
     /// running, after an error, or before `open()`; populated once the
     /// stream has ended normally (drain to the end or `close()` after the
@@ -322,6 +354,26 @@ where
         self.right.close();
 
         let (tx, rx) = mpsc::sync_channel(self.pipeline_depth);
+
+        // Budget-shared admission happens *before* the worker exists: a
+        // refused join must not spawn a thread, touch the disk, or count as
+        // started. Waiting in the arbiter queue honours this operator's
+        // cancel token, so an impatient consumer can abandon the wait.
+        let lease = match &self.admission {
+            None => None,
+            Some(arbiter) => {
+                match arbiter.lease(self.algorithm.mem_bytes(), Some(&self.cancel)) {
+                    Ok(lease) => Some(lease),
+                    Err(e) => {
+                        let _ = tx.send(Err(JoinOpError::Admission(e)));
+                        drop(tx); // hang up: the single error item ends the stream
+                        self.rx = Some(rx);
+                        return;
+                    }
+                }
+            }
+        };
+
         let algorithm = self.algorithm.clone();
         let disk = self.disk.clone();
         let mut ctl = RunControl::none().with_cancel(self.cancel.clone());
@@ -334,6 +386,11 @@ where
         *self.stats.lock().unwrap_or_else(|p| p.into_inner()) = None;
         let stats_slot = Arc::clone(&self.stats);
         self.worker = Some(std::thread::spawn(move || {
+            // The lease lives on the worker thread for the whole join and is
+            // released by Drop on every exit path — completion, typed error,
+            // or panic (the unwind below is caught, so this frame always
+            // finishes and the Drop always runs).
+            let _lease = lease;
             // The whole join runs under `catch_unwind`: a panicking worker
             // must still hang up the channel with a final error item, or
             // the consumer would block forever on `recv()`.
@@ -865,6 +922,96 @@ mod tests {
                 other => panic!("expected a deadline error item, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn admission_refusal_delivers_single_error_item_and_no_io() {
+        use storage::{AdmissionError, MemoryArbiter};
+        let r = tiger(400, 50);
+        let s = tiger(400, 51);
+        let arbiter = MemoryArbiter::new(16 * 1024, 0);
+        let disk = SimDisk::with_default_model();
+        let mut op = SpatialJoinOp::new(
+            KpeScan::new(r),
+            KpeScan::new(s),
+            JoinAlgorithm::Pbsm(PbsmConfig {
+                mem_bytes: 32 * 1024, // larger than the whole budget
+                ..Default::default()
+            }),
+            disk.clone(),
+        )
+        .with_admission(arbiter.clone());
+        let got = Collected::drain(&mut op);
+        assert_eq!(got.items.len(), 1, "exactly one (error) item");
+        match &got.items[0] {
+            Err(JoinOpError::Admission(AdmissionError::TooLarge { requested, budget })) => {
+                assert_eq!((*requested, *budget), (32 * 1024, 16 * 1024));
+            }
+            other => panic!("expected TooLarge admission error, got {other:?}"),
+        }
+        let io = disk.stats();
+        assert_eq!(io.read_requests + io.write_requests, 0, "no I/O performed");
+        assert!(arbiter.is_idle(), "refusal must not leak budget");
+    }
+
+    #[test]
+    fn overload_shedding_with_zero_queue_depth() {
+        use storage::{AdmissionError, MemoryArbiter};
+        let arbiter = MemoryArbiter::new(64 * 1024, 0);
+        // Hold most of the budget so the operator's request cannot fit.
+        let _hold = arbiter.lease(48 * 1024, None).expect("fits");
+        let mut op = SpatialJoinOp::new(
+            KpeScan::new(tiger(200, 52)),
+            KpeScan::new(tiger(200, 53)),
+            JoinAlgorithm::Pbsm(PbsmConfig {
+                mem_bytes: 32 * 1024,
+                ..Default::default()
+            }),
+            SimDisk::with_default_model(),
+        )
+        .with_admission(arbiter.clone());
+        let got = Collected::drain(&mut op);
+        match got.items.last() {
+            Some(Err(JoinOpError::Admission(AdmissionError::Overloaded { retry_after }))) => {
+                assert!(*retry_after > 0.0)
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admitted_joins_share_the_budget_and_release_leases() {
+        use storage::MemoryArbiter;
+        let r = tiger(800, 54);
+        let s = tiger(800, 55);
+        let want = brute(&r, &s);
+        // Budget fits one join at a time; the second queues and runs after
+        // the first releases. Both must produce the full solo result.
+        let arbiter = MemoryArbiter::new(40 * 1024, 8);
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let (r, s, arbiter) = (r.clone(), s.clone(), arbiter.clone());
+            handles.push(std::thread::spawn(move || {
+                let mut op = SpatialJoinOp::new(
+                    KpeScan::new(r),
+                    KpeScan::new(s),
+                    JoinAlgorithm::Pbsm(PbsmConfig {
+                        mem_bytes: 32 * 1024,
+                        ..Default::default()
+                    }),
+                    SimDisk::with_default_model(),
+                )
+                .with_admission(arbiter);
+                ok_pairs(Collected::drain(&mut op).items)
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().expect("no panic"), want);
+        }
+        assert!(arbiter.is_idle(), "all leases returned");
+        let snap = arbiter.snapshot();
+        assert_eq!(snap.admitted, 2);
+        assert!(snap.peak_leased_bytes <= snap.budget_bytes);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Minimal blocking client for the `sjoind` protocol — shared by the
+//! integration tests and the soak driver, and small enough to be a
+//! reference implementation of the wire format.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crate::json::Json;
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Everything a `join` command produced: the streamed pairs in arrival
+/// order plus exactly one terminal object.
+#[derive(Debug, Clone)]
+pub struct JoinResponse {
+    pub pairs: Vec<(u64, u64)>,
+    /// The `"done"` object on success.
+    pub done: Option<Json>,
+    /// The `"error"` object on refusal / interruption / failure.
+    pub error: Option<Json>,
+}
+
+impl JoinResponse {
+    pub fn error_kind(&self) -> Option<&str> {
+        self.error.as_ref()?.get("kind")?.as_str()
+    }
+
+    pub fn results(&self) -> Option<u64> {
+        self.done.as_ref()?.get("results")?.as_u64()
+    }
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one raw protocol line.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    /// Reads and parses one response line.
+    pub fn recv(&mut self) -> io::Result<Json> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server hung up",
+            ));
+        }
+        Json::parse(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// One-line request/response round trip (everything except `join`).
+    pub fn request(&mut self, line: &str) -> io::Result<Json> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    /// Sends a `join` line and collects the whole streamed response.
+    pub fn join(&mut self, line: &str) -> io::Result<JoinResponse> {
+        self.send(line)?;
+        let mut resp = JoinResponse {
+            pairs: Vec::new(),
+            done: None,
+            error: None,
+        };
+        loop {
+            let v = self.recv()?;
+            if let Some(batch) = v.get("pairs").and_then(Json::as_arr) {
+                for pair in batch {
+                    let Some([a, b]) = pair.as_arr().and_then(|p| <&[Json; 2]>::try_from(p).ok())
+                    else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "malformed pair in stream",
+                        ));
+                    };
+                    match (a.as_u64(), b.as_u64()) {
+                        (Some(a), Some(b)) => resp.pairs.push((a, b)),
+                        _ => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                "non-integer pair in stream",
+                            ))
+                        }
+                    }
+                }
+            } else if let Some(done) = v.get("done") {
+                resp.done = Some(done.clone());
+                return Ok(resp);
+            } else if let Some(err) = v.get("error") {
+                resp.error = Some(err.clone());
+                return Ok(resp);
+            } else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected line in join stream: {v}"),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! Every request is one JSON object on one line with a `"cmd"` member
+//! (`ping` | `register` | `list` | `metrics` | `join` | `shutdown`). Every
+//! response is one line too, except `join`, which streams zero or more
+//! `{"pairs":[[r,s],...]}` batches followed by exactly one terminal line:
+//! `{"done":{...}}` on success or `{"error":{"kind":...,...}}` on refusal,
+//! interruption or failure. Error kinds are stable strings clients can
+//! dispatch on:
+//!
+//! | kind              | meaning                                            |
+//! |-------------------|----------------------------------------------------|
+//! | `overloaded`      | shed by admission control; `retry_after` hint (s)  |
+//! | `too_large`       | request exceeds the whole memory budget            |
+//! | `cancelled`       | cooperative cancellation (client went away)        |
+//! | `deadline`        | simulated-time deadline expired; resumable         |
+//! | `crashed`         | injected crash point fired; resumable              |
+//! | `io`              | retry budget exhausted on an unrecoverable fault   |
+//! | `panicked`        | worker panic, contained to this request            |
+//! | `unsupported`     | algorithm can't serve the requested mode           |
+//! | `unknown_dataset` | join referenced an unregistered name               |
+//! | `bad_request`     | malformed JSON or missing/invalid fields           |
+//! | `draining`        | server is shutting down, not accepting joins       |
+
+use spatialjoin::{Algorithm, CrashPoint, InternalAlgo};
+
+use crate::json::{escape, Json};
+
+/// Algorithms the service accepts (`exec`-streamable joins; the sweep-line
+/// baselines have no partition phase and no cancel support, so they stay
+/// CLI-only).
+pub const ALGOS: [&str; 5] = ["pbsm", "pbsm-trie", "pbsm-sort", "s3j", "s3j-orig"];
+
+/// Subset of [`ALGOS`] the durable-run machinery can checkpoint — the only
+/// algorithms `reuse`/`crash` requests can serve (PR 4: sort-phase dedup and
+/// the S³J ablation scan are refused by the checkpoint layer).
+pub const CHECKPOINTABLE: [&str; 3] = ["pbsm", "pbsm-trie", "s3j"];
+
+/// Dataset generators the `register` command understands (same set and
+/// sizing rules as the `sjoin` CLI).
+pub const SOURCES: [&str; 5] = ["la_rr", "la_st", "cal_st", "uniform", "clustered"];
+
+/// A validated `join` request.
+#[derive(Debug, Clone)]
+pub struct JoinRequest {
+    pub left: String,
+    pub right: String,
+    pub algo: String,
+    /// Memory budget the join sizes itself from *and* leases from the
+    /// arbiter, in bytes.
+    pub mem_bytes: usize,
+    pub threads: usize,
+    pub channels: usize,
+    /// Simulated-seconds deadline propagated into the join.
+    pub deadline: Option<f64>,
+    /// Stop *sending* pairs after this many; the join still completes and
+    /// the terminal `done` line carries the full deterministic totals.
+    pub limit: Option<u64>,
+    /// Serve from the partition-file cache (warming it on first use).
+    pub reuse: bool,
+    /// Run under seeded recoverable fault injection.
+    pub faults: Option<u64>,
+    /// Inject a crash point (spec string, e.g. `"mid-partition:1"`).
+    pub crash: Option<CrashPoint>,
+    /// Test hook: panic the worker after emitting this many pairs.
+    pub panic_after: Option<u64>,
+    /// Test hook: hold the memory lease this many real milliseconds before
+    /// joining, to make overload windows deterministic in tests.
+    pub hold_ms: Option<u64>,
+    /// Attach the reconciled `MetricsReport` to the `done` line.
+    pub metrics: bool,
+}
+
+impl JoinRequest {
+    /// Extracts and validates a join request from a parsed protocol line.
+    pub fn from_json(v: &Json) -> Result<JoinRequest, String> {
+        let field_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("join requires string field {key:?}"))
+        };
+        let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => j
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+            }
+        };
+        let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+            match v.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(j) => j
+                    .as_f64()
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                    .map(Some)
+                    .ok_or_else(|| format!("field {key:?} must be a finite number >= 0")),
+            }
+        };
+        let flag = |key: &str| v.get(key).and_then(Json::as_bool).unwrap_or(false);
+
+        let algo = match v.get("algo").and_then(Json::as_str) {
+            None => "pbsm".to_owned(),
+            Some(a) if ALGOS.contains(&a) => a.to_owned(),
+            Some(other) => {
+                return Err(format!(
+                    "unknown algorithm {other:?} (expected one of {})",
+                    ALGOS.join("|")
+                ))
+            }
+        };
+        let mem_mb = opt_f64("mem_mb")?.unwrap_or(1.0);
+        if mem_mb <= 0.0 || mem_mb > 16_384.0 {
+            return Err("mem_mb must be in (0, 16384]".to_owned());
+        }
+        let crash = match v.get("crash") {
+            None | Some(Json::Null) => None,
+            Some(j) => {
+                let spec = j.as_str().ok_or("field \"crash\" must be a spec string")?;
+                Some(CrashPoint::from_spec(spec).ok_or_else(|| {
+                    format!(
+                        "bad crash spec {spec:?} (after-commit:N | mid-partition:N | mid-rename)"
+                    )
+                })?)
+            }
+        };
+        let req = JoinRequest {
+            left: field_str("left")?,
+            right: field_str("right")?,
+            mem_bytes: (mem_mb * 1024.0 * 1024.0) as usize,
+            threads: opt_u64("threads")?.unwrap_or(1).clamp(1, 64) as usize,
+            channels: opt_u64("channels")?.unwrap_or(1).clamp(1, 64) as usize,
+            deadline: opt_f64("deadline")?,
+            limit: opt_u64("limit")?,
+            reuse: flag("reuse"),
+            faults: opt_u64("faults")?,
+            crash,
+            panic_after: opt_u64("panic_after")?,
+            hold_ms: opt_u64("hold_ms")?,
+            metrics: flag("metrics"),
+            algo,
+        };
+        if (req.reuse || req.crash.is_some()) && !CHECKPOINTABLE.contains(&req.algo.as_str()) {
+            return Err(format!(
+                "algorithm {:?} cannot serve reuse/crash requests (not checkpointable; use {})",
+                req.algo,
+                CHECKPOINTABLE.join("|")
+            ));
+        }
+        if req.reuse && (req.crash.is_some() || req.faults.is_some()) {
+            return Err("reuse cannot be combined with crash/faults".to_owned());
+        }
+        Ok(req)
+    }
+}
+
+/// Builds the CLI-convention [`Algorithm`] for a validated name.
+pub fn algorithm(name: &str, mem: usize, threads: usize) -> Result<Algorithm, String> {
+    let algo = match name {
+        "pbsm" => Algorithm::pbsm_rpm(mem),
+        "pbsm-trie" => {
+            let Algorithm::Pbsm(mut cfg) = Algorithm::pbsm_rpm(mem) else {
+                unreachable!()
+            };
+            cfg.internal = InternalAlgo::PlaneSweepTrie;
+            Algorithm::Pbsm(cfg)
+        }
+        "pbsm-sort" => Algorithm::pbsm_original(mem),
+        "s3j" => Algorithm::s3j_replicated(mem),
+        "s3j-orig" => Algorithm::s3j_original(mem),
+        other => return Err(format!("unknown algorithm {other}")),
+    };
+    Ok(algo.with_threads(threads))
+}
+
+/// Generates a dataset's KPEs for `register` (sizing rules shared with the
+/// `sjoin` CLI: the synthetic networks size by `scale` directly, the paper's
+/// datasets scale their full configuration).
+pub fn dataset(source: &str, scale: f64, seed: u64) -> Result<Vec<geom::Kpe>, String> {
+    let cfg = match source {
+        "la_rr" => datagen::la_rr_config(seed),
+        "la_st" => datagen::la_st_config(seed),
+        "cal_st" => datagen::cal_st_config(seed),
+        "uniform" | "clustered" => datagen::LineNetwork {
+            count: (50_000_f64 * scale).max(16.0) as usize,
+            coverage: 0.1,
+            segments_per_line: if source == "clustered" { 60 } else { 2 },
+            seed,
+        },
+        other => {
+            return Err(format!(
+                "unknown source {other:?} (expected one of {})",
+                SOURCES.join("|")
+            ))
+        }
+    };
+    let fraction = if matches!(source, "uniform" | "clustered") {
+        1.0
+    } else {
+        scale
+    };
+    Ok(datagen::sized(&cfg, fraction).generate_dataset().kpes)
+}
+
+/// One-line error response. `extra` members are appended verbatim (already
+/// JSON-encoded values, e.g. `("retry_after", "0.05")`).
+pub fn error_line(kind: &str, message: &str, extra: &[(&str, String)]) -> String {
+    let mut line = format!(
+        "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"",
+        escape(kind),
+        escape(message)
+    );
+    for (k, v) in extra {
+        line.push_str(&format!(",\"{}\":{v}", escape(k)));
+    }
+    line.push_str("}}");
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<JoinRequest, String> {
+        JoinRequest::from_json(&Json::parse(line).expect("test line parses"))
+    }
+
+    #[test]
+    fn minimal_join_defaults() {
+        let r = parse(r#"{"cmd":"join","left":"a","right":"b"}"#).unwrap();
+        assert_eq!(r.algo, "pbsm");
+        assert_eq!(r.mem_bytes, 1024 * 1024);
+        assert_eq!((r.threads, r.channels), (1, 1));
+        assert!(!r.reuse && r.crash.is_none() && r.deadline.is_none());
+    }
+
+    #[test]
+    fn full_join_round_trip() {
+        let r = parse(
+            r#"{"cmd":"join","left":"a","right":"b","algo":"s3j","mem_mb":2.5,
+                "threads":4,"channels":2,"deadline":9.5,"limit":10,
+                "faults":7,"panic_after":3,"hold_ms":20,"metrics":true}"#,
+        )
+        .unwrap();
+        assert_eq!(r.algo, "s3j");
+        assert_eq!(r.mem_bytes, (2.5 * 1024.0 * 1024.0) as usize);
+        assert_eq!((r.threads, r.channels), (4, 2));
+        assert_eq!(r.deadline, Some(9.5));
+        assert_eq!(r.limit, Some(10));
+        assert_eq!((r.faults, r.panic_after, r.hold_ms), (Some(7), Some(3), Some(20)));
+        assert!(r.metrics);
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!(parse(r#"{"cmd":"join","left":"a"}"#).is_err()); // missing right
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","algo":"nope"}"#).is_err());
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","mem_mb":0}"#).is_err());
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","deadline":-1}"#).is_err());
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","crash":"mid-nothing"}"#).is_err());
+        // Non-checkpointable algorithms cannot serve reuse or crash modes.
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","algo":"pbsm-sort","reuse":true}"#)
+            .is_err());
+        assert!(parse(
+            r#"{"cmd":"join","left":"a","right":"b","algo":"s3j-orig","crash":"mid-rename"}"#
+        )
+        .is_err());
+        // reuse is exclusive with fault/crash injection.
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","reuse":true,"faults":1}"#).is_err());
+    }
+
+    #[test]
+    fn crash_spec_parses() {
+        let r = parse(r#"{"cmd":"join","left":"a","right":"b","crash":"mid-partition:2"}"#).unwrap();
+        assert_eq!(r.crash, Some(CrashPoint::MidPartition(2)));
+    }
+
+    #[test]
+    fn error_line_is_valid_json() {
+        let line = error_line(
+            "overloaded",
+            "memory budget \"exhausted\"",
+            &[("retry_after", "0.05".to_owned())],
+        );
+        let v = Json::parse(&line).unwrap();
+        let e = v.get("error").unwrap();
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(e.get("retry_after").and_then(Json::as_f64), Some(0.05));
+    }
+
+    #[test]
+    fn dataset_sources_generate() {
+        for source in ["uniform", "clustered"] {
+            let kpes = dataset(source, 0.001, 42).unwrap();
+            assert!(kpes.len() >= 16, "{source} too small");
+        }
+        assert!(dataset("mars_rr", 1.0, 1).is_err());
+    }
+}

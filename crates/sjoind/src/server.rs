@@ -1,0 +1,986 @@
+//! The join service: thread-per-connection TCP server with admission
+//! control, memory arbitration, fault isolation and graceful drain.
+//!
+//! Datasets are registered once and joined many times by concurrent
+//! clients. Every join leases its memory budget from one shared
+//! [`MemoryArbiter`] before it may start; joins that cannot get their grant
+//! queue (FIFO) up to a bounded depth and are shed with a typed
+//! `overloaded` response beyond it. Because grants are all-or-nothing —
+//! never scaled down — a join admitted under load runs with exactly the
+//! configuration it asked for, so its result stream is bit-identical to a
+//! solo run of the same request. Time stays *simulated* and per-request;
+//! only the memory budget and the partition-file cache are truly shared.
+//!
+//! Fault isolation: each request runs on its own worker thread behind
+//! `catch_unwind` (directly here for the durable/fault/reuse paths, inside
+//! [`exec::SpatialJoinOp`] for plain streaming). A panicking or crashing
+//! request delivers one typed terminal line to its own client, its memory
+//! lease is released by `Drop`, and co-tenant joins never observe it. A
+//! client that disconnects mid-stream trips the join's [`CancelToken`]; the
+//! worker stops at the next partition boundary and the lease is released.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use exec::{JoinOpError, KpeScan, Operator, SpatialJoinOp};
+use spatialjoin::{
+    Algorithm, CancelToken, CrashPoint, DiskModel, FaultPlan, IoError, IoErrorKind, JoinError,
+    JoinErrorKind, JoinStats, Kpe, RecordId, RetryPolicy, SimDisk, SpatialJoin,
+};
+use storage::{AdmissionError, MemoryArbiter};
+
+use crate::cache::{PartitionCache, Slot};
+use crate::json::{escape, Json};
+use crate::proto::{self, JoinRequest};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Total memory the arbiter may lease out at once, in bytes.
+    pub budget_bytes: u64,
+    /// Joins allowed to wait for a grant; one more is shed `overloaded`.
+    pub max_queue: usize,
+    /// Result pairs per streamed `{"pairs":[...]}` line.
+    pub batch: usize,
+    /// Partition-snapshot cache capacity (distinct config+input keys).
+    pub cache_capacity: usize,
+    /// Append a line-oriented server log here (soak artifact).
+    pub log_path: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            budget_bytes: 64 << 20,
+            max_queue: 16,
+            batch: 256,
+            cache_capacity: 16,
+            log_path: None,
+        }
+    }
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    arbiter: MemoryArbiter,
+    datasets: Mutex<HashMap<String, Arc<Vec<Kpe>>>>,
+    cache: PartitionCache,
+    draining: AtomicBool,
+    /// In-flight join count; the drain gate waits for it to reach zero.
+    active: Mutex<u32>,
+    active_cv: Condvar,
+    joins_ok: AtomicU64,
+    joins_failed: AtomicU64,
+    joins_shed: AtomicU64,
+    log: Mutex<Option<std::fs::File>>,
+}
+
+impl Inner {
+    fn log(&self, msg: &str) {
+        let mut g = self.log.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(f) = g.as_mut() {
+            let _ = writeln!(f, "{msg}");
+        }
+    }
+}
+
+/// A configured-but-not-yet-listening server.
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+/// Handle to a running server: its bound address (ephemeral ports resolve
+/// here) plus introspection for tests, and `join()` to wait for drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    pub fn new(cfg: ServerConfig) -> Server {
+        let log = cfg
+            .log_path
+            .as_ref()
+            .and_then(|p| std::fs::File::create(p).ok());
+        let inner = Inner {
+            arbiter: MemoryArbiter::new(cfg.budget_bytes, cfg.max_queue),
+            cache: PartitionCache::new(cfg.cache_capacity),
+            datasets: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            active: Mutex::new(0),
+            active_cv: Condvar::new(),
+            joins_ok: AtomicU64::new(0),
+            joins_failed: AtomicU64::new(0),
+            joins_shed: AtomicU64::new(0),
+            log: Mutex::new(log),
+            cfg,
+        };
+        Server {
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    pub fn start(self, addr: &str) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        self.inner.log(&format!("listening on {local}"));
+        let inner = Arc::clone(&self.inner);
+        let thread = std::thread::spawn(move || accept_loop(inner, listener));
+        Ok(ServerHandle {
+            addr: local,
+            thread: Some(thread),
+            inner: self.inner,
+        })
+    }
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared arbiter — lets tests assert lease accounting directly.
+    pub fn arbiter(&self) -> &MemoryArbiter {
+        &self.inner.arbiter
+    }
+
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache.hits()
+    }
+
+    /// Waits for the server to drain and stop (a client must have sent
+    /// `shutdown`, or [`ServerHandle::request_drain`] must have been called).
+    pub fn join(mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Starts the drain without a client connection (used on signal paths).
+    pub fn request_drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+    }
+}
+
+fn accept_loop(inner: Arc<Inner>, listener: TcpListener) {
+    let _ = listener.set_nonblocking(true);
+    let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+    let mut session_socks: Vec<TcpStream> = Vec::new();
+    let mut next_id = 0u64;
+    loop {
+        if inner.draining.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                next_id += 1;
+                let id = next_id;
+                inner.log(&format!("session {id}: accepted {peer}"));
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    session_socks.push(clone);
+                }
+                let inner2 = Arc::clone(&inner);
+                sessions.push(std::thread::spawn(move || session(inner2, stream, id)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => {
+                inner.log(&format!("accept error: {e}"));
+                break;
+            }
+        }
+    }
+    // Drain: let every in-flight join finish streaming (new ones are
+    // already refused), then hang up the idle sessions so their blocked
+    // reads return, and reap the session threads.
+    let mut active = inner.active.lock().unwrap_or_else(PoisonError::into_inner);
+    while *active > 0 {
+        active = inner
+            .active_cv
+            .wait(active)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    drop(active);
+    for s in &session_socks {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    for h in sessions {
+        let _ = h.join();
+    }
+    inner.log("drained; server stopped");
+}
+
+fn session(inner: Arc<Inner>, stream: TcpStream, id: u64) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut out = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                if !send(
+                    &mut out,
+                    &proto::error_line("bad_request", &format!("malformed JSON: {e}"), &[]),
+                ) {
+                    break;
+                }
+                continue;
+            }
+        };
+        let cmd = parsed
+            .get("cmd")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_owned();
+        let keep_going = match cmd.as_str() {
+            "ping" => send(&mut out, "{\"ok\":\"pong\"}"),
+            "register" => handle_register(&inner, &mut out, &parsed),
+            "list" => handle_list(&inner, &mut out),
+            "metrics" => send(&mut out, &metrics_line(&inner)),
+            "join" => handle_join(&inner, &mut out, &parsed, id),
+            "shutdown" => {
+                inner.log(&format!("session {id}: shutdown requested; draining"));
+                inner.draining.store(true, Ordering::Release);
+                let _ = send(&mut out, "{\"ok\":\"draining\"}");
+                false
+            }
+            other => send(
+                &mut out,
+                &proto::error_line("bad_request", &format!("unknown cmd {other:?}"), &[]),
+            ),
+        };
+        if !keep_going {
+            break;
+        }
+    }
+    inner.log(&format!("session {id}: closed"));
+}
+
+/// Writes one protocol line; `false` means the client is gone.
+fn send(out: &mut TcpStream, line: &str) -> bool {
+    out.write_all(line.as_bytes())
+        .and_then(|()| out.write_all(b"\n"))
+        .is_ok()
+}
+
+fn handle_register(inner: &Inner, out: &mut TcpStream, req: &Json) -> bool {
+    let name = match req.get("name").and_then(Json::as_str) {
+        Some(n) if !n.is_empty() => n.to_owned(),
+        _ => {
+            return send(
+                out,
+                &proto::error_line("bad_request", "register requires a non-empty \"name\"", &[]),
+            )
+        }
+    };
+    let source = req
+        .get("source")
+        .and_then(Json::as_str)
+        .unwrap_or("uniform")
+        .to_owned();
+    let scale = req.get("scale").and_then(Json::as_f64).unwrap_or(0.01);
+    if !(scale > 0.0 && scale <= 4.0 && scale.is_finite()) {
+        return send(
+            out,
+            &proto::error_line("bad_request", "scale must be in (0, 4]", &[]),
+        );
+    }
+    let seed = req.get("seed").and_then(Json::as_u64).unwrap_or(42);
+    match proto::dataset(&source, scale, seed) {
+        Ok(kpes) => {
+            let records = kpes.len();
+            inner
+                .datasets
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(name.clone(), Arc::new(kpes));
+            inner.log(&format!("registered {name:?}: {records} records ({source})"));
+            send(
+                out,
+                &format!(
+                    "{{\"ok\":{{\"registered\":\"{}\",\"records\":{records}}}}}",
+                    escape(&name)
+                ),
+            )
+        }
+        Err(e) => send(out, &proto::error_line("bad_request", &e, &[])),
+    }
+}
+
+fn handle_list(inner: &Inner, out: &mut TcpStream) -> bool {
+    let mut entries: Vec<(String, usize)> = inner
+        .datasets
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .map(|(name, kpes)| (name.clone(), kpes.len()))
+        .collect();
+    entries.sort();
+    let body = entries
+        .iter()
+        .map(|(name, records)| format!("{{\"name\":\"{}\",\"records\":{records}}}", escape(name)))
+        .collect::<Vec<_>>()
+        .join(",");
+    send(out, &format!("{{\"ok\":{{\"datasets\":[{body}]}}}}"))
+}
+
+fn metrics_line(inner: &Inner) -> String {
+    let s = inner.arbiter.snapshot();
+    let active = *inner.active.lock().unwrap_or_else(PoisonError::into_inner);
+    format!(
+        concat!(
+            "{{\"ok\":{{\"arbiter\":{{\"budget_bytes\":{},\"leased_bytes\":{},",
+            "\"active_leases\":{},\"queued\":{},\"admitted\":{},",
+            "\"rejected_overloaded\":{},\"rejected_too_large\":{},",
+            "\"peak_leased_bytes\":{}}},",
+            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},",
+            "\"joins\":{{\"ok\":{},\"failed\":{},\"shed\":{},\"active\":{}}},",
+            "\"draining\":{}}}}}"
+        ),
+        s.budget_bytes,
+        s.leased_bytes,
+        s.active_leases,
+        s.queued,
+        s.admitted,
+        s.rejected_overloaded,
+        s.rejected_too_large,
+        s.peak_leased_bytes,
+        inner.cache.len(),
+        inner.cache.hits(),
+        inner.cache.misses(),
+        inner.joins_ok.load(Ordering::Relaxed),
+        inner.joins_failed.load(Ordering::Relaxed),
+        inner.joins_shed.load(Ordering::Relaxed),
+        active,
+        inner.draining.load(Ordering::Acquire),
+    )
+}
+
+/// How a join request ended, for the server-level counters.
+enum Outcome {
+    Ok,
+    Failed,
+    Shed,
+    Disconnected,
+}
+
+fn handle_join(inner: &Arc<Inner>, out: &mut TcpStream, parsed: &Json, sid: u64) -> bool {
+    let jr = match JoinRequest::from_json(parsed) {
+        Ok(jr) => jr,
+        Err(e) => return send(out, &proto::error_line("bad_request", &e, &[])),
+    };
+    let (left, right) = {
+        let g = inner.datasets.lock().unwrap_or_else(PoisonError::into_inner);
+        match (g.get(&jr.left).cloned(), g.get(&jr.right).cloned()) {
+            (Some(l), Some(r)) => (l, r),
+            (l, _) => {
+                let missing = if l.is_none() { &jr.left } else { &jr.right };
+                return send(
+                    out,
+                    &proto::error_line(
+                        "unknown_dataset",
+                        &format!("no dataset {missing:?} registered"),
+                        &[],
+                    ),
+                );
+            }
+        }
+    };
+    let Some(_guard) = JoinGuard::enter(inner) else {
+        return send(
+            out,
+            &proto::error_line("draining", "server is shutting down", &[]),
+        );
+    };
+    inner.log(&format!(
+        "session {sid}: join {}x{} algo={} mem={}B reuse={} crash={:?}",
+        jr.left, jr.right, jr.algo, jr.mem_bytes, jr.reuse, jr.crash
+    ));
+    // The exec operator path covers plain streaming; anything touching
+    // durable runs, fault injection or the test hooks goes through a
+    // dedicated worker so its panics and its lease are contained here.
+    let special = jr.reuse
+        || jr.faults.is_some()
+        || jr.crash.is_some()
+        || jr.panic_after.is_some()
+        || jr.hold_ms.is_some();
+    let outcome = if special {
+        run_special(inner, out, &jr, &left, &right)
+    } else {
+        run_streaming(inner, out, &jr, &left, &right)
+    };
+    match outcome {
+        Outcome::Ok => {
+            inner.joins_ok.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Outcome::Failed => {
+            inner.joins_failed.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Outcome::Shed => {
+            inner.joins_shed.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Outcome::Disconnected => {
+            inner.log(&format!("session {sid}: client left mid-join; cancelled"));
+            inner.joins_failed.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// RAII in-flight counter; the accept loop's drain waits on it.
+struct JoinGuard<'a> {
+    inner: &'a Inner,
+}
+
+impl<'a> JoinGuard<'a> {
+    fn enter(inner: &'a Inner) -> Option<JoinGuard<'a>> {
+        let mut g = inner.active.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.draining.load(Ordering::Acquire) {
+            return None;
+        }
+        *g += 1;
+        Some(JoinGuard { inner })
+    }
+}
+
+impl Drop for JoinGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self
+            .inner
+            .active
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *g -= 1;
+        drop(g);
+        self.inner.active_cv.notify_all();
+    }
+}
+
+/// Batches result pairs into `{"pairs":[...]}` lines, honouring `limit`
+/// (pairs past it are counted by the join but not sent).
+struct Emitter<'a> {
+    out: &'a mut TcpStream,
+    batch: Vec<(u64, u64)>,
+    cap: usize,
+    limit: Option<u64>,
+    sent: u64,
+    alive: bool,
+}
+
+impl<'a> Emitter<'a> {
+    fn new(out: &'a mut TcpStream, cap: usize, limit: Option<u64>) -> Emitter<'a> {
+        Emitter {
+            out,
+            batch: Vec::with_capacity(cap.clamp(1, 4096)),
+            cap: cap.clamp(1, 4096),
+            limit,
+            sent: 0,
+            alive: true,
+        }
+    }
+
+    /// `false` once the client is gone.
+    fn pair(&mut self, a: u64, b: u64) -> bool {
+        if !self.alive {
+            return false;
+        }
+        if self.limit.is_some_and(|l| self.sent >= l) {
+            return true;
+        }
+        self.batch.push((a, b));
+        self.sent += 1;
+        if self.batch.len() >= self.cap {
+            self.flush()
+        } else {
+            true
+        }
+    }
+
+    /// Writes a terminal (non-pair) line through the same socket borrow.
+    fn send_line(&mut self, line: &str) -> bool {
+        if !self.alive {
+            return false;
+        }
+        self.alive = send(self.out, line);
+        self.alive
+    }
+
+    fn flush(&mut self) -> bool {
+        if !self.alive {
+            return false;
+        }
+        if self.batch.is_empty() {
+            return true;
+        }
+        let mut line = String::with_capacity(self.batch.len() * 14 + 12);
+        line.push_str("{\"pairs\":[");
+        for (i, (a, b)) in self.batch.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push('[');
+            line.push_str(&a.to_string());
+            line.push(',');
+            line.push_str(&b.to_string());
+            line.push(']');
+        }
+        line.push_str("]}");
+        self.batch.clear();
+        self.alive = send(self.out, &line);
+        self.alive
+    }
+}
+
+/// Plain streaming join through [`exec::SpatialJoinOp`]: the operator
+/// leases from the arbiter before spawning its worker, pipelines first
+/// results, and contains worker panics.
+fn run_streaming(
+    inner: &Arc<Inner>,
+    out: &mut TcpStream,
+    jr: &JoinRequest,
+    left: &Arc<Vec<Kpe>>,
+    right: &Arc<Vec<Kpe>>,
+) -> Outcome {
+    let algo = match proto::algorithm(&jr.algo, jr.mem_bytes, jr.threads) {
+        Ok(a) => a,
+        Err(e) => {
+            let _ = send(out, &proto::error_line("bad_request", &e, &[]));
+            return Outcome::Failed;
+        }
+    };
+    let exec_algo = match algo {
+        Algorithm::Pbsm(cfg) => exec::JoinAlgorithm::Pbsm(cfg),
+        Algorithm::S3j(cfg) => exec::JoinAlgorithm::S3j(cfg),
+        _ => {
+            let _ = send(
+                out,
+                &proto::error_line("unsupported", "algorithm cannot stream", &[]),
+            );
+            return Outcome::Failed;
+        }
+    };
+    let model = DiskModel {
+        channels: jr.channels,
+        ..DiskModel::default()
+    };
+    let token = CancelToken::new();
+    let mut op = SpatialJoinOp::new(
+        KpeScan::new(left.as_ref().clone()),
+        KpeScan::new(right.as_ref().clone()),
+        exec_algo,
+        SimDisk::new(model),
+    )
+    .with_admission(inner.arbiter.clone())
+    .with_cancel(token.clone())
+    .with_pipeline_depth(inner.cfg.batch.max(64));
+    if let Some(d) = jr.deadline {
+        op = op.with_deadline(d);
+    }
+    op.open();
+
+    let mut emitter = Emitter::new(out, inner.cfg.batch, jr.limit);
+    let mut error: Option<JoinOpError> = None;
+    while let Some(item) = op.next() {
+        match item {
+            Ok((a, b)) => {
+                if !emitter.pair(a.0, b.0) {
+                    // Client went away: close() trips the token, drops the
+                    // channel and joins the worker; the lease drops with it.
+                    op.close();
+                    return Outcome::Disconnected;
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                break;
+            }
+        }
+    }
+    op.close();
+    match error {
+        Some(e) => {
+            // Pairs already streamed before the error stay observable —
+            // same contract as an interrupted durable run.
+            let _ = emitter.flush();
+            let (line, outcome) = op_error_response(&e);
+            if send(out, &line) {
+                outcome
+            } else {
+                Outcome::Disconnected
+            }
+        }
+        None => {
+            if !emitter.flush() {
+                return Outcome::Disconnected;
+            }
+            let Some(stats) = op.stats().map(op_stats_to_join) else {
+                let _ = emitter
+                    .send_line(&proto::error_line("io", "join finished without statistics", &[]));
+                return Outcome::Failed;
+            };
+            let line = done_line(&stats, jr, false, emitter.sent);
+            if emitter.send_line(&line) {
+                Outcome::Ok
+            } else {
+                Outcome::Disconnected
+            }
+        }
+    }
+}
+
+fn op_stats_to_join(stats: exec::OpStats) -> JoinStats {
+    match stats {
+        exec::OpStats::Pbsm(s) => JoinStats::Pbsm(s),
+        exec::OpStats::S3j(s) => JoinStats::S3j(s),
+    }
+}
+
+/// Worker → session messages on the special (durable/fault/hook) path.
+enum Msg {
+    Pair(u64, u64),
+    Done(Box<JoinStats>, bool),
+    Fail(Box<JoinError>),
+    Panicked(String),
+}
+
+/// Durable, fault-injected, cached and test-hook joins: the session thread
+/// leases explicitly, then confines the join to a worker whose panics are
+/// caught and whose lease is released by `Drop` on every exit path.
+fn run_special(
+    inner: &Arc<Inner>,
+    out: &mut TcpStream,
+    jr: &JoinRequest,
+    left: &Arc<Vec<Kpe>>,
+    right: &Arc<Vec<Kpe>>,
+) -> Outcome {
+    let token = CancelToken::new();
+    let lease = match inner.arbiter.lease(jr.mem_bytes as u64, Some(&token)) {
+        Ok(lease) => lease,
+        Err(e) => {
+            let (line, outcome) = admission_response(&e);
+            let _ = send(out, &line);
+            return outcome;
+        }
+    };
+    let model = DiskModel {
+        channels: jr.channels,
+        ..DiskModel::default()
+    };
+    let (tx, rx) = mpsc::sync_channel::<Msg>(inner.cfg.batch.clamp(16, 4096));
+    let worker = {
+        let inner = Arc::clone(inner);
+        let jr = jr.clone();
+        let (left, right) = (Arc::clone(left), Arc::clone(right));
+        let token = token.clone();
+        let tx_final = tx;
+        std::thread::spawn(move || {
+            // Held for the worker's whole life: completion, typed error and
+            // panic all release the grant via Drop.
+            let _lease = lease;
+            if let Some(ms) = jr.hold_ms {
+                std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+            }
+            let tx = tx_final.clone();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_special_join(&inner, &jr, &left, &right, model, &token, &tx)
+            }));
+            let terminal = match result {
+                Ok(Ok((stats, cache_hit))) => Msg::Done(Box::new(stats), cache_hit),
+                Ok(Err(e)) => Msg::Fail(Box::new(e)),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "worker panicked".to_owned());
+                    Msg::Panicked(msg)
+                }
+            };
+            let _ = tx_final.send(terminal);
+        })
+    };
+
+    let mut emitter = Emitter::new(out, inner.cfg.batch, jr.limit);
+    let mut terminal = None;
+    for msg in rx.iter() {
+        match msg {
+            Msg::Pair(a, b) => {
+                if !emitter.pair(a, b) {
+                    token.cancel();
+                    break;
+                }
+            }
+            other => {
+                terminal = Some(other);
+                break;
+            }
+        }
+    }
+    // Dropping the receiver unblocks a worker stuck on a full channel; the
+    // cancel token stops it at the next partition boundary.
+    drop(rx);
+    let _ = worker.join();
+    let Some(terminal) = terminal else {
+        return Outcome::Disconnected;
+    };
+    match terminal {
+        Msg::Done(stats, cache_hit) => {
+            if !emitter.flush() {
+                return Outcome::Disconnected;
+            }
+            let line = done_line(&stats, jr, cache_hit, emitter.sent);
+            if emitter.send_line(&line) {
+                Outcome::Ok
+            } else {
+                Outcome::Disconnected
+            }
+        }
+        Msg::Fail(e) => {
+            let _ = emitter.flush();
+            let (line, outcome) = join_error_response(&e);
+            if send(out, &line) {
+                outcome
+            } else {
+                Outcome::Disconnected
+            }
+        }
+        Msg::Panicked(msg) => {
+            let _ = emitter.flush();
+            if send(
+                out,
+                &proto::error_line("panicked", &format!("worker panicked: {msg}"), &[]),
+            ) {
+                Outcome::Failed
+            } else {
+                Outcome::Disconnected
+            }
+        }
+        Msg::Pair(..) => unreachable!("pairs are consumed in the loop"),
+    }
+}
+
+fn run_special_join(
+    inner: &Inner,
+    jr: &JoinRequest,
+    left: &[Kpe],
+    right: &[Kpe],
+    model: DiskModel,
+    token: &CancelToken,
+    tx: &mpsc::SyncSender<Msg>,
+) -> Result<(JoinStats, bool), JoinError> {
+    let algo = proto::algorithm(&jr.algo, jr.mem_bytes, jr.threads)
+        .map_err(|_| JoinError::new("setup", IoError::unsupported()))?;
+    let mut join = SpatialJoin::new(algo)
+        .with_disk_model(model)
+        .with_cancel(token.clone());
+    if let Some(d) = jr.deadline {
+        join = join.with_deadline(d);
+    }
+
+    let mut emitted = 0u64;
+    let panic_after = jr.panic_after;
+    let mut emit = |a: RecordId, b: RecordId| {
+        emitted += 1;
+        if Some(emitted) == panic_after {
+            panic!("panic_after test hook fired at pair {emitted}");
+        }
+        // A send to a hung-up session is fine: the token is already
+        // tripped and the join stops at its next cancellation check.
+        let _ = tx.send(Msg::Pair(a.0, b.0));
+    };
+
+    if let Some(point) = jr.crash {
+        // A durable run on a scratch disk with the requested crash point
+        // armed — the service-level equivalent of `sjoin --crash`.
+        let fp = join.fingerprint(left, right);
+        let disk = SimDisk::new(model).with_faults(
+            FaultPlan::crash_only(fp, point),
+            RetryPolicy::default(),
+        );
+        return join
+            .try_run_durable_with(&disk, left, right, fp, &mut emit)
+            .map(|s| (s, false));
+    }
+    if jr.reuse {
+        return run_cached(inner, &join, left, right, model, &mut emit);
+    }
+    if let Some(seed) = jr.faults {
+        join = join.with_faults(FaultPlan::recoverable(seed));
+    }
+    join.try_run_with(left, right, &mut emit).map(|s| (s, false))
+}
+
+/// Serves a `reuse` join from the partition-file cache (warming it on the
+/// first miss). See [`crate::cache`] for why the snapshot is taken at an
+/// injected `mid-partition:0` crash and served by resuming past it.
+fn run_cached(
+    inner: &Inner,
+    join: &SpatialJoin,
+    left: &[Kpe],
+    right: &[Kpe],
+    model: DiskModel,
+    emit: &mut dyn FnMut(RecordId, RecordId),
+) -> Result<(JoinStats, bool), JoinError> {
+    let fp = join.fingerprint(left, right);
+    let (snapshot, cache_hit) = match inner.cache.get(fp) {
+        Some(Slot::Ready(snap)) => (snap, true),
+        Some(Slot::Uncacheable) => {
+            return join.try_run_with(left, right, emit).map(|s| (s, false));
+        }
+        None => {
+            let warm = SimDisk::new(model).with_faults(
+                FaultPlan::crash_only(fp, CrashPoint::MidPartition(0)),
+                RetryPolicy::default(),
+            );
+            match join.try_run_durable_with(&warm, left, right, fp, &mut |_, _| {}) {
+                Err(e) if matches!(e.kind, JoinErrorKind::Crashed(_)) => {
+                    let snap = Arc::new(warm.export_files());
+                    inner.cache.insert(fp, Slot::Ready(Arc::clone(&snap)));
+                    (snap, false)
+                }
+                Ok(_) => {
+                    // The join finished before its first checkpoint (too
+                    // small for the crash to fire): there is no partitioned-
+                    // but-unjoined state to snapshot. Remember that and
+                    // serve plainly.
+                    inner.cache.insert(fp, Slot::Uncacheable);
+                    return join.try_run_with(left, right, emit).map(|s| (s, false));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    };
+    let disk = SimDisk::new(model);
+    disk.restore_files(&snapshot)
+        .map_err(|io| JoinError::new("setup", io))?;
+    join.try_run_durable_with(&disk, left, right, fp, emit)
+        .map(|s| (s, cache_hit))
+}
+
+fn admission_response(e: &AdmissionError) -> (String, Outcome) {
+    match e {
+        AdmissionError::Overloaded { retry_after } => (
+            proto::error_line(
+                "overloaded",
+                &e.to_string(),
+                &[("retry_after", format!("{retry_after:?}"))],
+            ),
+            Outcome::Shed,
+        ),
+        AdmissionError::TooLarge { requested, budget } => (
+            proto::error_line(
+                "too_large",
+                &e.to_string(),
+                &[
+                    ("requested", requested.to_string()),
+                    ("budget", budget.to_string()),
+                ],
+            ),
+            Outcome::Shed,
+        ),
+        AdmissionError::Cancelled => (
+            proto::error_line("cancelled", &e.to_string(), &[]),
+            Outcome::Failed,
+        ),
+    }
+}
+
+fn op_error_response(e: &JoinOpError) -> (String, Outcome) {
+    match e {
+        JoinOpError::Admission(a) => admission_response(a),
+        JoinOpError::Join(j) => join_error_response(j),
+        JoinOpError::WorkerPanicked(msg) => (
+            proto::error_line("panicked", &format!("worker panicked: {msg}"), &[]),
+            Outcome::Failed,
+        ),
+    }
+}
+
+fn join_error_response(e: &JoinError) -> (String, Outcome) {
+    let mut extra = vec![
+        ("resumable", e.is_resumable().to_string()),
+        ("phase", format!("\"{}\"", escape(e.phase))),
+    ];
+    let kind = match &e.kind {
+        JoinErrorKind::DeadlineExceeded { elapsed, deadline } => {
+            extra.push(("elapsed", format!("{elapsed:?}")));
+            extra.push(("deadline", format!("{deadline:?}")));
+            "deadline"
+        }
+        JoinErrorKind::Cancelled => "cancelled",
+        JoinErrorKind::Crashed(p) => {
+            extra.push(("crash_point", format!("\"{}\"", escape(&p.spec()))));
+            "crashed"
+        }
+        JoinErrorKind::Io(io) if io.kind == IoErrorKind::Unsupported => "unsupported",
+        JoinErrorKind::Io(_) | JoinErrorKind::RequeueExhausted { .. } => "io",
+    };
+    (
+        proto::error_line(kind, &e.to_string(), &extra),
+        Outcome::Failed,
+    )
+}
+
+fn done_line(stats: &JoinStats, jr: &JoinRequest, cache_hit: bool, pairs_sent: u64) -> String {
+    let mut line = format!(
+        concat!(
+            "{{\"done\":{{\"results\":{},\"duplicates\":{},\"candidates\":{},",
+            "\"total_seconds\":{:?},\"first_result_seconds\":{},",
+            "\"cache_hit\":{},\"pairs_sent\":{}"
+        ),
+        stats.results(),
+        stats.duplicates(),
+        stats
+            .candidates()
+            .map_or_else(|| "null".to_owned(), |c| c.to_string()),
+        stats.total_seconds(),
+        stats
+            .first_result_seconds()
+            .map_or_else(|| "null".to_owned(), |s| format!("{s:?}")),
+        cache_hit,
+        pairs_sent,
+    );
+    if jr.metrics {
+        let mut report = stats.metrics_report(&jr.algo, jr.threads);
+        report.counters.partition_cache_hits = u64::from(cache_hit);
+        match report.reconcile() {
+            // The report's canonical form is pretty-printed; a protocol
+            // line must stay single-line, and stripping newlines keeps it
+            // valid JSON (the indentation collapses into spaces).
+            Ok(()) => {
+                let compact: String = report.to_json().replace('\n', " ");
+                line.push_str(",\"metrics\":");
+                line.push_str(&compact);
+            }
+            Err(e) => {
+                line.push_str(&format!(
+                    ",\"metrics_error\":\"{}\"",
+                    escape(&e.to_string())
+                ));
+            }
+        }
+    }
+    line.push_str("}}");
+    line
+}

@@ -740,7 +740,9 @@ impl SimDisk {
                     s.faults_injected += 1;
                     if attempt < max_attempts {
                         s.write_retries += 1;
-                        s.backoff_units += self.faults.policy.backoff_units(global_idx, salt);
+                        s.backoff_units = s
+                            .backoff_units
+                            .saturating_add(self.faults.policy.backoff_units(global_idx, salt));
                     } else {
                         return Err(IoError {
                             kind,
@@ -837,7 +839,9 @@ impl SimDisk {
                     s.faults_injected += 1;
                     if attempt < max_attempts {
                         s.read_retries += 1;
-                        s.backoff_units += self.faults.policy.backoff_units(global_idx, salt);
+                        s.backoff_units = s
+                            .backoff_units
+                            .saturating_add(self.faults.policy.backoff_units(global_idx, salt));
                     } else {
                         return Err(IoError {
                             kind: failed,

@@ -41,6 +41,7 @@
 //! [`RunControl`] for cooperative cancellation, simulated-time deadlines and
 //! crash-point injection ([`CrashPoint`]).
 
+mod arbiter;
 mod disk;
 mod fault;
 mod file;
@@ -51,6 +52,7 @@ mod record;
 mod sort;
 mod retry;
 
+pub use arbiter::{AdmissionError, ArbiterSnapshot, MemoryArbiter, MemoryLease};
 pub use disk::{DiskModel, FileId, IoStats, SimDisk};
 // Re-exported so downstream crates can build a `RunControl` without a direct
 // `parallel` dependency.

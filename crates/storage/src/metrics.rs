@@ -191,6 +191,10 @@ pub struct RunCounters {
     pub requeued_partitions: u64,
     pub degraded_partitions: u64,
     pub checkpoint_commits: u64,
+    /// Partition phases skipped because the service reused cached partition
+    /// files for the same config+input fingerprint (PR 7). Zero for one-shot
+    /// runs. Additive to schema v2: absent readers ignore it.
+    pub partition_cache_hits: u64,
 }
 
 /// Reconciled, versioned summary of one join run.
@@ -446,8 +450,8 @@ impl MetricsReport {
             None => out.push_str("  \"candidates\": null,\n"),
         }
         out.push_str(&format!(
-            "  \"results\": {},\n  \"duplicates\": {},\n  \"partitions\": {},\n  \"requeued_partitions\": {},\n  \"degraded_partitions\": {},\n  \"checkpoint_commits\": {},\n",
-            c.results, c.duplicates, c.partitions, c.requeued_partitions, c.degraded_partitions, c.checkpoint_commits
+            "  \"results\": {},\n  \"duplicates\": {},\n  \"partitions\": {},\n  \"requeued_partitions\": {},\n  \"degraded_partitions\": {},\n  \"checkpoint_commits\": {},\n  \"partition_cache_hits\": {},\n",
+            c.results, c.duplicates, c.partitions, c.requeued_partitions, c.degraded_partitions, c.checkpoint_commits, c.partition_cache_hits
         ));
         out.push_str(&format!("  \"io_total\": {},\n", io_stats_json(&self.io_total)));
         out.push_str(&format!("  \"channels\": {},\n", self.channels));

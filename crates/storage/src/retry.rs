@@ -73,7 +73,10 @@ impl RetryPolicy {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             (z ^ (z >> 31)) % (self.jitter_units + 1)
         };
-        exp + jitter
+        // Saturate: with an extreme policy (`max_backoff_units` near
+        // `u64::MAX`) the capped exponential plus jitter would wrap, turning
+        // a huge backoff charge into a tiny one (or a debug-build panic).
+        exp.saturating_add(jitter)
     }
 }
 
@@ -117,5 +120,45 @@ mod tests {
     fn none_policy_never_retries() {
         let p = RetryPolicy::none();
         assert_eq!(p.max_attempts, 1);
+    }
+
+    #[test]
+    fn extreme_policy_saturates_instead_of_overflowing() {
+        // Regression: with an uncapped `max_backoff_units` the exponential
+        // hits the cap exactly (`u64::MAX`) and the jitter add used to wrap
+        // around to a near-zero charge (panicking in debug builds). Attempts
+        // well past 32 must keep returning the saturated maximum.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_units: u64::MAX,
+            max_backoff_units: u64::MAX,
+            jitter_units: u64::MAX - 1,
+        };
+        for idx in [32u32, 33, 64, 1000, u32::MAX] {
+            let units = p.backoff_units(idx, 0xDEAD_BEEF);
+            assert!(
+                units >= p.max_backoff_units.saturating_sub(p.jitter_units),
+                "attempt {idx} wrapped: {units}"
+            );
+        }
+        assert_eq!(p.backoff_units(40, 7), u64::MAX);
+    }
+
+    #[test]
+    fn total_backoff_accumulation_saturates() {
+        // The per-request accumulator in the disk charges
+        // `saturating_add(backoff_units(..))`; summing many maxed-out
+        // backoffs must pin at u64::MAX rather than wrap.
+        let p = RetryPolicy {
+            base_backoff_units: u64::MAX / 2,
+            max_backoff_units: u64::MAX,
+            jitter_units: 0,
+            ..RetryPolicy::default()
+        };
+        let mut total = 0u64;
+        for idx in 0..64 {
+            total = total.saturating_add(p.backoff_units(idx, 1));
+        }
+        assert_eq!(total, u64::MAX);
     }
 }

@@ -1,0 +1,404 @@
+//! Integration tests for the `sjoind` join service (PR 7): concurrent
+//! clients over loopback, admission control and overload shedding, fault
+//! isolation, deadline propagation and partition-file reuse.
+//!
+//! The load-bearing property everywhere: a join admitted under concurrent
+//! load is **bit-identical to a solo run** of the same request — the memory
+//! arbiter grants all-or-nothing, so co-tenancy shares the budget but never
+//! the configuration.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use sjoind::{Client, Json, JoinResponse, Server, ServerConfig, ServerHandle};
+use spatialjoin::{Algorithm, Kpe, SpatialJoin};
+
+const MB: u64 = 1024 * 1024;
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    Server::new(cfg)
+        .start("127.0.0.1:0")
+        .expect("bind ephemeral port")
+}
+
+/// Registers the standard test pair: two small uniform networks.
+fn register_ab(addr: SocketAddr) -> (Vec<Kpe>, Vec<Kpe>) {
+    let mut c = Client::connect(addr).expect("connect");
+    for (name, seed) in [("a", 7u64), ("b", 7 ^ 0xFFFF)] {
+        let resp = c
+            .request(&format!(
+                "{{\"cmd\":\"register\",\"name\":\"{name}\",\"source\":\"uniform\",\"scale\":0.004,\"seed\":{seed}}}"
+            ))
+            .expect("register");
+        assert!(resp.get("ok").is_some(), "register failed: {resp}");
+    }
+    (
+        sjoind::proto::dataset("uniform", 0.004, 7).expect("dataset a"),
+        sjoind::proto::dataset("uniform", 0.004, 7 ^ 0xFFFF).expect("dataset b"),
+    )
+}
+
+/// Solo (non-service) run of the same request — the bit-identity oracle.
+fn solo(left: &[Kpe], right: &[Kpe], mem: usize) -> (Vec<(u64, u64)>, u64, u64) {
+    let run = SpatialJoin::new(Algorithm::pbsm_rpm(mem))
+        .try_run(left, right)
+        .expect("solo run");
+    let mut pairs: Vec<(u64, u64)> = run
+        .pairs
+        .iter()
+        .map(|&(a, b)| (a.0, b.0))
+        .collect();
+    pairs.sort_unstable();
+    (pairs, run.stats.results(), run.stats.duplicates())
+}
+
+fn sorted_pairs(resp: &JoinResponse) -> Vec<(u64, u64)> {
+    let mut pairs = resp.pairs.clone();
+    pairs.sort_unstable();
+    pairs
+}
+
+fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !done() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn concurrent_clients_are_bit_identical_to_solo_runs() {
+    // Budget fits two 1 MiB joins; four concurrent clients force the other
+    // two through the admission queue. Every response must still be
+    // bit-identical to a solo run, and the arbiter must never over-commit.
+    let handle = start(ServerConfig {
+        budget_bytes: 2 * MB,
+        max_queue: 4,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let (left, right) = register_ab(addr);
+    let (want_pairs, want_results, want_duplicates) = solo(&left, &right, MB as usize);
+    assert!(want_results > 0, "test join must produce results");
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"algo\":\"pbsm\",\"mem_mb\":1.0}")
+                    .expect("join stream")
+            })
+        })
+        .collect();
+    for t in threads {
+        let resp = t.join().expect("client thread");
+        assert_eq!(resp.error, None, "co-tenant join failed: {:?}", resp.error);
+        let done = resp.done.clone().expect("done line");
+        assert_eq!(done.get("results").and_then(Json::as_u64), Some(want_results));
+        assert_eq!(
+            done.get("duplicates").and_then(Json::as_u64),
+            Some(want_duplicates)
+        );
+        assert_eq!(sorted_pairs(&resp), want_pairs, "pair stream differs from solo");
+    }
+    let snap = handle.arbiter().snapshot();
+    assert!(
+        snap.peak_leased_bytes <= snap.budget_bytes,
+        "arbiter over-committed: {} > {}",
+        snap.peak_leased_bytes,
+        snap.budget_bytes
+    );
+    assert_eq!(snap.admitted, 4);
+    assert!(handle.arbiter().is_idle(), "leases leaked after load");
+}
+
+#[test]
+fn overload_is_shed_with_typed_retry_hint() {
+    // Queue depth zero: while one join holds most of the budget, a second
+    // that does not fit must be rejected `overloaded` immediately — and the
+    // holder must still complete bit-identically.
+    let handle = start(ServerConfig {
+        budget_bytes: MB,
+        max_queue: 0,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let (left, right) = register_ab(addr);
+    let (want_pairs, want_results, _) = solo(&left, &right, (0.8 * MB as f64) as usize);
+
+    let holder = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect holder");
+        c.join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":0.8,\"hold_ms\":1500}")
+            .expect("holder stream")
+    });
+    wait_until("holder to take its lease", || {
+        handle.arbiter().snapshot().leased_bytes > 0
+    });
+
+    let mut shed = Client::connect(addr).expect("connect shed");
+    let resp = shed
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":0.5}")
+        .expect("shed stream");
+    assert_eq!(resp.error_kind(), Some("overloaded"), "{:?}", resp.error);
+    let retry_after = resp
+        .error
+        .as_ref()
+        .and_then(|e| e.get("retry_after"))
+        .and_then(Json::as_f64)
+        .expect("retry_after hint");
+    assert!(retry_after > 0.0, "retry_after must be positive");
+    assert!(resp.pairs.is_empty(), "shed join must not stream pairs");
+
+    // An impossible request is typed differently: it can never be admitted.
+    let resp = shed
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":64}")
+        .expect("too-large stream");
+    assert_eq!(resp.error_kind(), Some("too_large"), "{:?}", resp.error);
+    assert_eq!(
+        resp.error.as_ref().and_then(|e| e.get("budget")).and_then(Json::as_u64),
+        Some(MB)
+    );
+
+    let held = holder.join().expect("holder thread");
+    assert_eq!(held.error, None, "{:?}", held.error);
+    assert_eq!(
+        held.done.as_ref().and_then(|d| d.get("results")).and_then(Json::as_u64),
+        Some(want_results)
+    );
+    assert_eq!(sorted_pairs(&held), want_pairs);
+    assert!(handle.arbiter().is_idle());
+}
+
+#[test]
+fn killed_client_releases_lease_and_server_stays_healthy() {
+    // Small batches force many socket writes, so the mid-stream hangup is
+    // detected while the join is still emitting.
+    let handle = start(ServerConfig {
+        budget_bytes: 4 * MB,
+        batch: 4,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let (left, right) = register_ab(addr);
+
+    let mut victim = Client::connect(addr).expect("connect victim");
+    victim
+        .send("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0,\"hold_ms\":100}")
+        .expect("send join");
+    let _ = victim.recv(); // at most one line, then walk away mid-stream
+    drop(victim);
+
+    wait_until("the dead client's lease to be released", || {
+        handle.arbiter().is_idle()
+    });
+
+    // The server must remain fully operational for other clients.
+    let mut c = Client::connect(addr).expect("connect after kill");
+    assert_eq!(
+        c.request("{\"cmd\":\"ping\"}").expect("ping").get("ok").and_then(Json::as_str),
+        Some("pong")
+    );
+    let (want_pairs, want_results, _) = solo(&left, &right, MB as usize);
+    let resp = c
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0}")
+        .expect("follow-up join");
+    assert_eq!(resp.error, None, "{:?}", resp.error);
+    assert_eq!(
+        resp.done.as_ref().and_then(|d| d.get("results")).and_then(Json::as_u64),
+        Some(want_results)
+    );
+    assert_eq!(sorted_pairs(&resp), want_pairs);
+    assert!(handle.arbiter().is_idle());
+}
+
+#[test]
+fn deadline_expiry_returns_typed_resumable_error() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    register_ab(addr);
+    let mut c = Client::connect(addr).expect("connect");
+    let resp = c
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"deadline\":1e-9}")
+        .expect("join stream");
+    let err = resp.error.clone().expect("deadline must trip");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("deadline"));
+    assert_eq!(err.get("resumable").and_then(Json::as_bool), Some(true));
+    assert!(err.get("elapsed").and_then(Json::as_f64).is_some());
+    assert!(handle.arbiter().is_idle(), "deadline expiry leaked its lease");
+}
+
+#[test]
+fn partition_reuse_is_bit_identical_and_reports_cache_hits() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    let (left, right) = register_ab(addr);
+    let (want_pairs, want_results, _) = solo(&left, &right, MB as usize);
+
+    let mut c = Client::connect(addr).expect("connect");
+    let line =
+        "{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0,\"reuse\":true,\"metrics\":true}";
+    let cold = c.join(line).expect("cold reuse join");
+    assert_eq!(cold.error, None, "{:?}", cold.error);
+    let cold_done = cold.done.clone().expect("done");
+    assert_eq!(cold_done.get("cache_hit").and_then(Json::as_bool), Some(false));
+    assert_eq!(sorted_pairs(&cold), want_pairs);
+
+    let warm = c.join(line).expect("warm reuse join");
+    assert_eq!(warm.error, None, "{:?}", warm.error);
+    let warm_done = warm.done.clone().expect("done");
+    assert_eq!(
+        warm_done.get("cache_hit").and_then(Json::as_bool),
+        Some(true),
+        "second identical reuse join must hit the cache"
+    );
+    assert_eq!(
+        warm_done.get("results").and_then(Json::as_u64),
+        Some(want_results)
+    );
+    assert_eq!(sorted_pairs(&warm), want_pairs, "cached serve differs from solo");
+
+    // The hit is visible in the request's reconciled metrics report…
+    let report = warm_done.get("metrics").expect("metrics attached");
+    assert_eq!(
+        report.get("partition_cache_hits").and_then(Json::as_u64),
+        Some(1),
+        "metrics report must count the partition cache hit"
+    );
+    // …and in the server-wide metrics command.
+    let metrics = c.request("{\"cmd\":\"metrics\"}").expect("metrics cmd");
+    let cache = metrics.get("ok").and_then(|o| o.get("cache")).expect("cache block");
+    assert!(cache.get("hits").and_then(Json::as_u64).unwrap_or(0) >= 1);
+    assert_eq!(handle.cache_hits(), 1);
+    assert!(handle.arbiter().is_idle());
+}
+
+#[test]
+fn crash_and_panic_are_contained_to_their_session() {
+    let handle = start(ServerConfig {
+        budget_bytes: 8 * MB,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let (left, right) = register_ab(addr);
+    let (want_pairs, want_results, _) = solo(&left, &right, MB as usize);
+
+    // A well-behaved co-tenant runs concurrently with both fault legs.
+    let cotenant = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect co-tenant");
+        c.join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0,\"hold_ms\":50}")
+            .expect("co-tenant stream")
+    });
+
+    let mut crasher = Client::connect(addr).expect("connect crasher");
+    let resp = crasher
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0,\"crash\":\"mid-partition:0\"}")
+        .expect("crash stream");
+    let err = resp.error.clone().expect("crash point must fire");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("crashed"));
+    assert_eq!(err.get("resumable").and_then(Json::as_bool), Some(true));
+    // The crash fires while committing the first partition, so the crashed
+    // leg streamed a strict prefix of the output.
+    assert!(resp.pairs.len() < want_pairs.len());
+
+    // The same *session* stays usable after its request crashed…
+    assert_eq!(
+        crasher.request("{\"cmd\":\"ping\"}").expect("ping").get("ok").and_then(Json::as_str),
+        Some("pong")
+    );
+
+    // …and a panicking worker is likewise contained to one typed line.
+    let resp = crasher
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0,\"panic_after\":1}")
+        .expect("panic stream");
+    assert_eq!(resp.error_kind(), Some("panicked"), "{:?}", resp.error);
+
+    let good = cotenant.join().expect("co-tenant thread");
+    assert_eq!(good.error, None, "{:?}", good.error);
+    assert_eq!(
+        good.done.as_ref().and_then(|d| d.get("results")).and_then(Json::as_u64),
+        Some(want_results)
+    );
+    assert_eq!(
+        sorted_pairs(&good),
+        want_pairs,
+        "co-tenant of a crashed/panicked join must be bit-identical to solo"
+    );
+    wait_until("fault legs to release their leases", || {
+        handle.arbiter().is_idle()
+    });
+}
+
+#[test]
+fn shutdown_drains_in_flight_joins_and_refuses_new_ones() {
+    let handle = start(ServerConfig {
+        budget_bytes: 4 * MB,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let (left, right) = register_ab(addr);
+    let (want_pairs, want_results, _) = solo(&left, &right, MB as usize);
+
+    // Pre-open every connection: once draining starts the listener stops
+    // accepting.
+    let mut shutter = Client::connect(addr).expect("connect shutter");
+    let mut late = Client::connect(addr).expect("connect late");
+
+    let in_flight = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect in-flight");
+        c.join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0,\"hold_ms\":1500}")
+            .expect("in-flight stream")
+    });
+    wait_until("the in-flight join to be admitted", || {
+        handle.arbiter().snapshot().leased_bytes > 0
+    });
+
+    let ack = shutter.request("{\"cmd\":\"shutdown\"}").expect("shutdown ack");
+    assert_eq!(ack.get("ok").and_then(Json::as_str), Some("draining"));
+
+    // A join arriving during the drain gets the typed refusal.
+    let refused = late
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0}")
+        .expect("late join");
+    assert_eq!(refused.error_kind(), Some("draining"), "{:?}", refused.error);
+
+    // The in-flight join still finishes streaming, bit-identically.
+    let done = in_flight.join().expect("in-flight thread");
+    assert_eq!(done.error, None, "{:?}", done.error);
+    assert_eq!(
+        done.done.as_ref().and_then(|d| d.get("results")).and_then(Json::as_u64),
+        Some(want_results)
+    );
+    assert_eq!(sorted_pairs(&done), want_pairs);
+
+    // And the server thread exits once drained.
+    assert!(handle.arbiter().is_idle());
+    handle.join();
+}
+
+#[test]
+fn protocol_rejects_garbage_without_dying() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).expect("connect");
+    for bad in [
+        "not json at all",
+        "{\"cmd\":\"frobnicate\"}",
+        "{\"cmd\":\"join\",\"left\":\"a\"}",
+        "{\"cmd\":\"join\",\"left\":\"nope\",\"right\":\"nada\"}",
+    ] {
+        let resp = c.request(bad).expect("error response");
+        let err = resp.get("error").expect("typed error");
+        let kind = err.get("kind").and_then(Json::as_str).expect("kind");
+        assert!(
+            kind == "bad_request" || kind == "unknown_dataset",
+            "unexpected kind {kind} for {bad:?}"
+        );
+    }
+    // Session still alive after every rejection.
+    assert_eq!(
+        c.request("{\"cmd\":\"ping\"}").expect("ping").get("ok").and_then(Json::as_str),
+        Some("pong")
+    );
+    handle.request_drain();
+    handle.join();
+}
