@@ -123,6 +123,12 @@ pub enum Transform {
     /// and the resumed run's folded counters must match the uninterrupted
     /// run's.
     Crash { point: CrashPoint },
+    /// Cost-based plan selection: profile the workload, let the planner pick
+    /// whatever `(algorithm, tiles, internal, buffers)` it ranks best under
+    /// the cell's memory budget, and run the winner. Plan choice only moves
+    /// the execution strategy, never the geometry, so the result set must be
+    /// bit-identical to the reference cell's.
+    PlanAuto,
 }
 
 impl Transform {
@@ -154,6 +160,10 @@ impl Transform {
                 algo,
                 PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | S3jReplicated | S3jOriginal
             ),
+            // The planner's pick is independent of which reference cell it is
+            // compared against; one representative avoids re-running the same
+            // planned join nine times per workload.
+            Transform::PlanAuto => algo == PbsmRpmList,
         }
     }
 }
@@ -172,6 +182,7 @@ impl std::fmt::Display for Transform {
             Transform::CpuSlowdown { factor } => write!(f, "cpu-slowdown {factor}"),
             Transform::Channels { d } => write!(f, "channels {d}"),
             Transform::Crash { point } => write!(f, "crash {point}"),
+            Transform::PlanAuto => write!(f, "plan-auto"),
         }
     }
 }
@@ -195,6 +206,7 @@ impl Transform {
             "crash" => Transform::Crash {
                 point: CrashPoint::from_spec(it.next()?)?,
             },
+            "plan-auto" => Transform::PlanAuto,
             _ => return None,
         };
         Some(t)
@@ -286,6 +298,19 @@ pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<R
         pairs.sort_unstable();
         return Ok(RunOut { pairs, stats: None });
     };
+    run_configured(algo.name(), base, cfg, r, s)
+}
+
+/// Runs an already-configured [`Algorithm`] under the cell's fault plan and
+/// disk model, gating the same metrics-reconciliation contract as every
+/// other oracle cell.
+fn run_configured(
+    label: &str,
+    base: Algorithm,
+    cfg: &RunConfig,
+    r: &[Kpe],
+    s: &[Kpe],
+) -> Result<RunOut, String> {
     let mut join = SpatialJoin::new(base);
     if let Some(seed) = cfg.fault_seed {
         join = join.with_faults(FaultPlan::recoverable(seed));
@@ -300,14 +325,14 @@ pub fn run_algo(algo: AlgoId, cfg: &RunConfig, r: &[Kpe], s: &[Kpe]) -> Result<R
     }
     let run = join
         .try_run(r, s)
-        .map_err(|e| format!("{algo}: join failed: {e}"))?;
+        .map_err(|e| format!("{label}: join failed: {e}"))?;
     // Every oracle cell also gates the observability contract: the
     // per-phase metrics must reconcile exactly with the run totals, under
     // whatever faults/threads this cell configured.
     run.stats
-        .metrics_report(algo.name(), cfg.threads)
+        .metrics_report(label, cfg.threads)
         .reconcile()
-        .map_err(|e| format!("{algo}: metrics fail to reconcile: {e}"))?;
+        .map_err(|e| format!("{label}: metrics fail to reconcile: {e}"))?;
     let mut pairs: Vec<(u64, u64)> = run.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
     pairs.sort_unstable();
     Ok(RunOut {
@@ -625,6 +650,20 @@ pub fn check_one(
         Transform::Crash { point } => {
             return check_crash_legs(algo, point, cfg, &base, r, s);
         }
+        Transform::PlanAuto => {
+            use spatialjoin::estimate::{DatasetProfile, Planner};
+            // Identity coefficients: the oracle gates correctness of the
+            // *selected execution*, not accuracy of the calibration.
+            let plan = Planner::new(cfg.mem)
+                .plan(&DatasetProfile::build(r), &DatasetProfile::build(s));
+            let choice = plan.chosen().choice;
+            let planned = Algorithm::from_choice(&choice).with_threads(cfg.threads);
+            let label = format!("planned:{}", choice.describe());
+            match run_configured(&label, planned, cfg, r, s) {
+                Ok(out) => (out, base.pairs.clone()),
+                Err(e) => return Some(e),
+            }
+        }
     };
     if let Some(msg) = accounting(algo, &variant) {
         return Some(format!("{msg} [under {transform}]"));
@@ -725,6 +764,7 @@ pub fn transforms_for(seed: u64, mem: usize) -> Vec<Transform> {
         Transform::Channels {
             d: 2 + 2 * (seed % 2) as usize,
         },
+        Transform::PlanAuto,
     ]
 }
 

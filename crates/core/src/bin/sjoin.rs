@@ -10,6 +10,7 @@
 //!       [--faults <seed>] [--fault-rate <p>] [--retry <n>] [--deadline <s>]
 //!       [--durable] [--crash <spec>] [--run-dir <dir>] [--resume <id>]
 //!       [--metrics-json <path>] [--trace <path>]
+//!       [--plan off|auto|explain] [--plan-coeffs <path>]
 //! ```
 //!
 //! Examples:
@@ -22,11 +23,14 @@
 //! sjoin --channels 4 --threads 4 --stats      # 4 I/O channels: overlapped I/O
 //! sjoin --faults 7 --metrics-json m.json      # reconciled metrics under faults
 //! sjoin --durable --crash after-commit:2      # die mid-run, then --resume 42
+//! sjoin --plan auto --mem-mb 2                # planner picks the algorithm
+//! sjoin --plan explain                        # ranked candidate table, then run
 //! ```
 //!
 //! Exit codes: 0 success, 1 join error, 2 usage error, 3 resumable
 //! interruption of a durable run (crash point, deadline, cancellation).
 
+use spatialjoin::estimate::{Coefficients, DatasetProfile, PlanMode, Planner};
 use spatialjoin::{
     datagen, refine, Algorithm, CrashPoint, DiskModel, FaultPlan, InternalAlgo, JoinRun,
     JoinStats, Recorder, RetryPolicy, SimDisk, SpatialJoin,
@@ -56,6 +60,8 @@ struct Args {
     resume: Option<u64>,
     metrics_json: Option<String>,
     trace: Option<String>,
+    plan: PlanMode,
+    plan_coeffs: Option<String>,
 }
 
 /// Every flag the parser accepts, kept next to the `match` below so the
@@ -85,6 +91,8 @@ const VALID_FLAGS: &[&str] = &[
     "--resume",
     "--metrics-json",
     "--trace",
+    "--plan",
+    "--plan-coeffs",
     "--help",
 ];
 
@@ -139,6 +147,8 @@ impl Args {
             resume: None,
             metrics_json: None,
             trace: None,
+            plan: PlanMode::Off,
+            plan_coeffs: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -195,6 +205,8 @@ impl Args {
                 }
                 "--metrics-json" => args.metrics_json = Some(val("--metrics-json")?),
                 "--trace" => args.trace = Some(val("--trace")?),
+                "--plan" => args.plan = PlanMode::parse(&val("--plan")?).map_err(|e| format!("--plan: {e}"))?,
+                "--plan-coeffs" => args.plan_coeffs = Some(val("--plan-coeffs")?),
                 "--help" | "-h" => {
                     println!("{}", HELP);
                     std::process::exit(0);
@@ -244,7 +256,14 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
   --metrics-json P  write the reconciled metrics report (versioned JSON) to P;
                   refuses to write numbers that do not sum to the run totals
   --trace P       write the phase-span/partition-event trace (simulated-time
-                  JSON) to P";
+                  JSON) to P
+  --plan MODE     off (default) runs --algo as given; auto lets the cost-based
+                  planner pick the algorithm, tiles, sweep and buffer split for
+                  the memory budget; explain also prints the ranked candidate
+                  table (predicted vs chosen) before running the winner
+  --plan-coeffs P fitted correction coefficients for the planner's cost model
+                  (default planner-coeffs.json if present; refit with
+                  `cargo run -p bench --bin planner-eval -- --fit BENCH_pr6.json`)";
 
 fn parse_num(v: &str) -> Result<f64, String> {
     v.parse().map_err(|e| format!("bad number {v}: {e}"))
@@ -479,10 +498,42 @@ fn main() {
     } else {
         (left, right)
     };
-    let mut join = SpatialJoin::new(
-        algorithm(&args.algo, mem).unwrap_or_else(die).with_threads(args.threads),
-    )
-    .with_disk_model(DiskModel {
+    let algo = if args.plan == PlanMode::Off {
+        algorithm(&args.algo, mem).unwrap_or_else(die)
+    } else {
+        // Planner-selected configuration. Durable runs are refused: a
+        // resume must replay the *same* configuration, and the planner's
+        // pick is a function of the data, not of the manifest.
+        if args.durable || args.crash.is_some() || args.resume.is_some() {
+            die::<()>(
+                "--plan auto|explain and durable runs don't mix; pick --algo explicitly".into(),
+            );
+        }
+        let coeffs_path = args.plan_coeffs.clone().unwrap_or_else(|| "planner-coeffs.json".into());
+        let coeffs = Coefficients::load(std::path::Path::new(&coeffs_path)).unwrap_or_else(die);
+        let planner = Planner::new(mem)
+            .with_disk_model(DiskModel {
+                channels: args.channels,
+                ..Default::default()
+            })
+            .with_coefficients(coeffs);
+        let plan = planner.plan(
+            &DatasetProfile::build(&left.kpes),
+            &DatasetProfile::build(&right.kpes),
+        );
+        if args.plan == PlanMode::Explain {
+            print!("{}", plan.render_table());
+        }
+        let chosen = plan.chosen();
+        println!(
+            "plan chosen      : {} (predicted {:.2} s total, {:.0} candidates)",
+            chosen.choice.describe(),
+            chosen.predicted.total_seconds,
+            chosen.predicted.candidates,
+        );
+        Algorithm::from_choice(&chosen.choice)
+    };
+    let mut join = SpatialJoin::new(algo.with_threads(args.threads)).with_disk_model(DiskModel {
         channels: args.channels,
         ..Default::default()
     });
@@ -627,6 +678,18 @@ mod tests {
         assert_eq!(nearest_flag("--resumee"), Some("--resume"));
         // Far from everything: no misleading suggestion.
         assert_eq!(nearest_flag("--zzzzzzzzzzzz"), None);
+    }
+
+    #[test]
+    fn unknown_plan_modes_suggest_the_nearest_valid_one() {
+        // `--plan` value errors go through the same nearest-match treatment
+        // as unknown flags: a typo'd mode names the intended one.
+        assert!(PlanMode::parse("auot").unwrap_err().contains("\"auto\""));
+        assert!(PlanMode::parse("explan").unwrap_err().contains("\"explain\""));
+        assert!(PlanMode::parse("of").unwrap_err().contains("\"off\""));
+        // Far from everything: list the valid modes instead of guessing.
+        let err = PlanMode::parse("qwertyuiop").unwrap_err();
+        assert!(err.contains("off|auto|explain"), "{err}");
     }
 
     #[test]

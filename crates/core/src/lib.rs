@@ -145,6 +145,52 @@ impl Algorithm {
         })
     }
 
+    /// Materialises a planner-selected [`estimate::PlanChoice`] as a runnable
+    /// configuration: the choice's algorithm family, internal sweep,
+    /// tiles-per-partition, write-buffer split and memory budget, with every
+    /// other knob at its default. The planner's choices are self-describing
+    /// precisely so this mapping stays total.
+    pub fn from_choice(choice: &estimate::PlanChoice) -> Algorithm {
+        use estimate::PlanAlgo;
+        match choice.algo {
+            PlanAlgo::PbsmRpm => Algorithm::Pbsm(PbsmConfig {
+                mem_bytes: choice.mem_bytes,
+                internal: choice.internal,
+                tiles_per_partition: choice.tiles_per_partition,
+                partition_buffer_pages: choice.buffer_pages,
+                ..Default::default()
+            }),
+            PlanAlgo::PbsmSort => Algorithm::Pbsm(PbsmConfig {
+                mem_bytes: choice.mem_bytes,
+                internal: choice.internal,
+                tiles_per_partition: choice.tiles_per_partition,
+                partition_buffer_pages: choice.buffer_pages,
+                dedup: Dedup::SortPhase,
+                ..Default::default()
+            }),
+            PlanAlgo::S3jReplicated => Algorithm::S3j(S3jConfig {
+                mem_bytes: choice.mem_bytes,
+                internal: choice.internal,
+                level_buffer_pages: choice.buffer_pages,
+                replicate: true,
+                ..Default::default()
+            }),
+            PlanAlgo::S3jOriginal => Algorithm::S3j(S3jConfig {
+                mem_bytes: choice.mem_bytes,
+                internal: choice.internal,
+                level_buffer_pages: choice.buffer_pages,
+                replicate: false,
+                ..Default::default()
+            }),
+            PlanAlgo::Sssj => Algorithm::sssj(choice.mem_bytes),
+            PlanAlgo::Shj => Algorithm::Shj(ShjConfig {
+                mem_bytes: choice.mem_bytes,
+                internal: choice.internal,
+                ..Default::default()
+            }),
+        }
+    }
+
     /// Sets the partition-join worker-thread knob (`0` = all cores, `1` =
     /// sequential) on algorithms that support parallel partition execution
     /// (PBSM and S³J); a no-op for the single-sweep baselines. Results and

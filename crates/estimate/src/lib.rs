@@ -12,10 +12,21 @@
 //! * [`estimate_join_cardinality`] — the classical grid estimate of the
 //!   number of intersecting pairs,
 //! * [`recommended_partitions`] — formula (1) driven by estimated input
-//!   cardinalities instead of exact ones.
+//!   cardinalities instead of exact ones,
+//! * [`planner`] — the cost-based planner: dataset profiles, an
+//!   analytical per-algorithm cost model with fitted correction
+//!   coefficients, and ranked [`Plan`]s behind `sjoin --plan auto`.
 
 use geom::Kpe;
 use rand::prelude::*;
+
+pub mod planner;
+pub use planner::{
+    fit_affine, fit_affine_relative, Coefficients, DatasetProfile, JointEstimate, Plan,
+    PlanAlgo, PlanCandidate,
+    PlanChoice, PlanMode, PlanSpace, Planner, Prediction, COEFFS_SCHEMA_VERSION,
+    PROFILE_GRID,
+};
 
 /// An equi-width grid histogram over the unit data space: per cell, the
 /// number of rectangle *centres* and their average width/height.

@@ -1,0 +1,1631 @@
+//! Cost-based plan selection: pick the algorithm, tile count, internal
+//! sweep and buffer split for a workload known only through statistics.
+//!
+//! The repo has nine conformance-checked algorithm variants with wildly
+//! different cost profiles (J5: PBSM ~28 s vs S³J ~150 s simulated), but
+//! every caller has had to choose by hand. [`Planner`] closes that gap:
+//!
+//! 1. [`DatasetProfile`] condenses each input into statistics (cardinality,
+//!    coverage, an MBR-size histogram and a tile-occupancy sketch). The
+//!    histogram is laid over the dataset's *bounding box*, not the unit
+//!    square, so the profile is bit-exactly invariant under the conformance
+//!    oracle's exact affine transforms (dyadic translate, power-of-two
+//!    scale) on lattice workloads — a planner that changes its mind when
+//!    the data moves is a planner that cannot be metamorphically tested.
+//! 2. An analytical cost model predicts, per candidate configuration,
+//!    the candidate pairs, replication factor and simulated I/O by
+//!    mirroring each algorithm's actual arithmetic: PBSM's formula (1)
+//!    with its `P = 1` in-memory shortcut, 40-byte KPE copies, S³J's
+//!    48-byte level records and sort passes, the sort-phase dedup's
+//!    16-byte candidate pairs, and the paper's `PT + n` request costing.
+//! 3. An optional correction layer — per-family affine coefficients fitted
+//!    by least squares on recorded reconciled bench rows (`BENCH_pr6.json`
+//!    replay) and persisted as a versioned JSON file — absorbs the
+//!    systematic error of the closed forms without touching their shape.
+//!
+//! The ranked [`Plan`] is consumed by `sjoin --plan auto|explain`, the
+//! `sjoind` `plan` request field, `exec::SpatialJoinOp` and the
+//! `planner-eval` bench gate.
+
+use geom::{Kpe, Rect};
+use storage::DiskModel;
+use sweep::InternalAlgo;
+
+/// Grid resolution of the profile histogram (per axis).
+pub const PROFILE_GRID: u32 = 64;
+
+/// Sub-cell resolution of the occupancy sketch: each histogram cell is
+/// probed at `FINE_FACTOR²` sub-tiles to measure how strongly records
+/// cluster *inside* a cell (line networks concentrate on 1-D curves, so the
+/// uniform-within-cell collision model can undercount self-join pairs
+/// severely — adjacent segments of one polyline always intersect).
+const FINE_FACTOR: u32 = 32;
+
+/// Size-histogram buckets: `log2(bbox_extent / mbr_extent)` clamped.
+pub const SIZE_BUCKETS: usize = 24;
+
+/// Probe-side copy rate of SHJ's grown nearest-seed bucket extents,
+/// measured on the bench corpus (stable across 3–44 buckets).
+const SHJ_OVERLAP_FACTOR: f64 = 1.55;
+
+/// Mirrors `PbsmConfig::safety_factor` / `ShjConfig::safety_factor`.
+const SAFETY_FACTOR: f64 = 1.2;
+
+/// Mirrors the `io_buffer_pages` default of the sequential-scan readers.
+const SCAN_BUFFER_PAGES: f64 = 4.0;
+
+/// Mirrors `s3j::LevelRecord`'s encoded size.
+const LEVEL_RECORD_BYTES: f64 = 48.0;
+
+/// Mirrors the sort-phase dedup's candidate `IdPair` encoding.
+const ID_PAIR_BYTES: f64 = 16.0;
+
+/// Mirrors `S3jConfig::level_shift` (coarsen size levels by one).
+const LEVEL_SHIFT: i32 = 1;
+
+// ---------------------------------------------------------------------------
+// Dataset statistics
+// ---------------------------------------------------------------------------
+
+/// Statistics of one input, sufficient for every cost formula the planner
+/// evaluates. Built by one pass over the data (or a seeded sample).
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Total rectangles represented (scaled up when sampled).
+    pub cardinality: f64,
+    /// Bounding box of the data (the histogram frame).
+    pub bbox: Rect,
+    /// Per-cell centre counts over `bbox`, `PROFILE_GRID²` cells.
+    counts: Vec<f64>,
+    /// Per-cell extent sums (absolute units, same frame).
+    sum_w: Vec<f64>,
+    sum_h: Vec<f64>,
+    /// `Σ area(mbr) / area(bbox)` — total relative coverage.
+    pub coverage: f64,
+    /// MBR-size histogram: bucket `i` counts rectangles whose max extent is
+    /// within `[2^-(i+1), 2^-i)` of the bbox's max side (bucket 0 = huge,
+    /// last bucket also collects degenerate/point rectangles).
+    pub size_hist: [f64; SIZE_BUCKETS],
+    /// Skew of the tile-occupancy sketch: coefficient of variation of the
+    /// per-cell counts (0 = perfectly uniform).
+    pub skew: f64,
+    /// Fraction of occupied histogram cells.
+    pub occupancy: f64,
+    /// Per-cell clumping factor from the fine occupancy sketch: the ratio
+    /// of the observed within-cell collision probability to the uniform
+    /// assumption (1 = uniform, up to `FINE_FACTOR²` for point masses).
+    /// Estimated unbiased via `Σ m_f(m_f−1) / (m(m−1))` over the cell's
+    /// sub-tiles.
+    clump: Vec<f64>,
+    /// Sparse fine occupancy sketch: `(fine_cell_index, weighted_count)`
+    /// for occupied cells of the `(PROFILE_GRID·FINE_FACTOR)²` grid, sorted
+    /// by index. Lets a self join be estimated at full sketch resolution,
+    /// where the uniform-within-cell assumption actually holds.
+    fine: Vec<(u32, f64)>,
+}
+
+impl DatasetProfile {
+    /// Builds from a full scan.
+    pub fn build(data: &[Kpe]) -> DatasetProfile {
+        Self::from_slice(data, 1.0)
+    }
+
+    /// Builds from a deterministic sample of `sample_size` records (strided,
+    /// so the result depends only on `seed` and the data, not on iteration
+    /// order), scaling counts back up to the population.
+    pub fn build_sampled(data: &[Kpe], sample_size: usize, seed: u64) -> DatasetProfile {
+        if sample_size == 0 || sample_size >= data.len() {
+            return Self::build(data);
+        }
+        let stride = data.len() / sample_size;
+        let offset = (seed as usize) % stride.max(1);
+        let sample: Vec<Kpe> = data
+            .iter()
+            .skip(offset)
+            .step_by(stride.max(1))
+            .take(sample_size)
+            .copied()
+            .collect();
+        let factor = data.len() as f64 / sample.len() as f64;
+        Self::from_slice(&sample, factor)
+    }
+
+    fn from_slice(data: &[Kpe], weight: f64) -> DatasetProfile {
+        let bbox = bounding_box(data);
+        let g = PROFILE_GRID;
+        let n = (g * g) as usize;
+        let mut p = DatasetProfile {
+            cardinality: 0.0,
+            bbox,
+            counts: vec![0.0; n],
+            sum_w: vec![0.0; n],
+            sum_h: vec![0.0; n],
+            coverage: 0.0,
+            size_hist: [0.0; SIZE_BUCKETS],
+            skew: 0.0,
+            occupancy: 0.0,
+            clump: vec![1.0; n],
+            fine: Vec::new(),
+        };
+        let bw = (bbox.xh - bbox.xl).max(f64::MIN_POSITIVE);
+        let bh = (bbox.yh - bbox.yl).max(f64::MIN_POSITIVE);
+        let bmax = bw.max(bh);
+        let fine_g = g * FINE_FACTOR;
+        let mut fine = vec![0.0f64; (fine_g * fine_g) as usize];
+        let mut area_sum = 0.0;
+        for k in data {
+            let c = k.rect.center();
+            // Exactness: on lattice data, `(c - bbox.xl) / bw` is a quotient
+            // of exact differences, so an exact affine map of the whole
+            // dataset reproduces the same cell assignment bit for bit.
+            let fx = ((c.x - bbox.xl) / bw).clamp(0.0, 1.0);
+            let fy = ((c.y - bbox.yl) / bh).clamp(0.0, 1.0);
+            let ix = ((fx * g as f64) as u32).min(g - 1);
+            let iy = ((fy * g as f64) as u32).min(g - 1);
+            let cell = (iy * g + ix) as usize;
+            let jx = ((fx * fine_g as f64) as u32).min(fine_g - 1);
+            let jy = ((fy * fine_g as f64) as u32).min(fine_g - 1);
+            fine[(jy * fine_g + jx) as usize] += 1.0;
+            let (w, h) = (k.rect.width(), k.rect.height());
+            p.counts[cell] += weight;
+            p.sum_w[cell] += weight * w;
+            p.sum_h[cell] += weight * h;
+            p.cardinality += weight;
+            area_sum += weight * w * h;
+            let rel = w.max(h) / bmax;
+            let bucket = if rel <= 0.0 {
+                SIZE_BUCKETS - 1
+            } else {
+                (-rel.log2()).floor().clamp(0.0, (SIZE_BUCKETS - 1) as f64) as usize
+            };
+            p.size_hist[bucket] += weight;
+        }
+        p.coverage = area_sum / (bw * bh);
+        let occupied = p.counts.iter().filter(|&&c| c > 0.0).count();
+        p.occupancy = occupied as f64 / n as f64;
+        let mean = p.cardinality / n as f64;
+        if mean > 0.0 {
+            let var: f64 = p.counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / n as f64;
+            p.skew = var.sqrt() / mean;
+        }
+        // Unbiased within-cell collision estimate per histogram cell:
+        // `n_sub · Σ m_f(m_f−1) / (m(m−1))` over the cell's sub-tiles is 1
+        // for uniform spread and `n_sub` when all records share a sub-tile.
+        let n_sub = (FINE_FACTOR * FINE_FACTOR) as f64;
+        for cy in 0..g {
+            for cx in 0..g {
+                let m = p.counts[(cy * g + cx) as usize] / weight;
+                if m < 2.0 {
+                    continue;
+                }
+                let mut collisions = 0.0;
+                for sy in 0..FINE_FACTOR {
+                    let fy = cy * FINE_FACTOR + sy;
+                    for sx in 0..FINE_FACTOR {
+                        let mf = fine[(fy * fine_g + cx * FINE_FACTOR + sx) as usize];
+                        collisions += mf * (mf - 1.0);
+                    }
+                }
+                p.clump[(cy * g + cx) as usize] =
+                    (n_sub * collisions / (m * (m - 1.0))).max(1.0);
+            }
+        }
+        p.fine = fine
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(i, &c)| (i as u32, c * weight))
+            .collect();
+        p
+    }
+
+    /// Mean absolute extents across all records.
+    pub fn avg_extent(&self) -> (f64, f64) {
+        if self.cardinality <= 0.0 {
+            return (0.0, 0.0);
+        }
+        (
+            self.sum_w.iter().sum::<f64>() / self.cardinality,
+            self.sum_h.iter().sum::<f64>() / self.cardinality,
+        )
+    }
+
+    /// The transform-invariant fingerprint of the profile: every statistic
+    /// normalised by the bbox frame. Two profiles of the same data under an
+    /// exact affine map (the conformance translate/scale transforms on
+    /// lattice workloads) produce bit-identical fingerprints.
+    pub fn invariant_key(&self) -> (u64, Vec<u64>, Vec<u64>, u64, u64, u64) {
+        let bw = (self.bbox.xh - self.bbox.xl).max(f64::MIN_POSITIVE);
+        let bh = (self.bbox.yh - self.bbox.yl).max(f64::MIN_POSITIVE);
+        let rel = |sum: &[f64], b: f64| -> Vec<u64> {
+            sum.iter().map(|v| (v / b).to_bits()).collect()
+        };
+        let mut cells: Vec<u64> = self.counts.iter().map(|c| c.to_bits()).collect();
+        cells.extend(rel(&self.sum_w, bw));
+        cells.extend(rel(&self.sum_h, bh));
+        cells.extend(self.clump.iter().map(|c| c.to_bits()));
+        (
+            self.cardinality.to_bits(),
+            cells,
+            self.size_hist.iter().map(|v| v.to_bits()).collect(),
+            self.coverage.to_bits(),
+            self.skew.to_bits(),
+            self.occupancy.to_bits(),
+        )
+    }
+}
+
+fn bounding_box(data: &[Kpe]) -> Rect {
+    if data.is_empty() {
+        return Rect::new(0.0, 0.0, 1.0, 1.0);
+    }
+    let mut b = data[0].rect;
+    for k in &data[1..] {
+        b.xl = b.xl.min(k.rect.xl);
+        b.yl = b.yl.min(k.rect.yl);
+        b.xh = b.xh.max(k.rect.xh);
+        b.yh = b.yh.max(k.rect.yh);
+    }
+    b
+}
+
+// ---------------------------------------------------------------------------
+// Candidate space
+// ---------------------------------------------------------------------------
+
+/// Algorithm families the planner chooses between. Self-describing (no
+/// dependency on the algorithm crates' config types — those sit *above*
+/// this crate); `spatialjoin::Algorithm::from_choice` and
+/// `exec::JoinAlgorithm::from_choice` do the mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanAlgo {
+    /// PBSM with Reference Point dedup (the paper's improved PBSM).
+    PbsmRpm,
+    /// Original PBSM: duplicates removed in a final sort phase.
+    PbsmSort,
+    /// S³J with controlled ≤4× replication (§4.3).
+    S3jReplicated,
+    /// Original S³J: covering-cell assignment, no replication.
+    S3jOriginal,
+    /// Scalable sweeping-based baseline.
+    Sssj,
+    /// Spatial hash join baseline.
+    Shj,
+}
+
+impl PlanAlgo {
+    pub const ALL: [PlanAlgo; 6] = [
+        PlanAlgo::PbsmRpm,
+        PlanAlgo::PbsmSort,
+        PlanAlgo::S3jReplicated,
+        PlanAlgo::S3jOriginal,
+        PlanAlgo::Sssj,
+        PlanAlgo::Shj,
+    ];
+
+    /// The correction-coefficient family this algorithm calibrates with.
+    /// The sort-phase ablation shares PBSM's partition arithmetic, the
+    /// original S³J shares the level-file arithmetic.
+    pub fn family(self) -> &'static str {
+        match self {
+            PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort => "pbsm",
+            PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal => "s3j",
+            PlanAlgo::Sssj => "sssj",
+            PlanAlgo::Shj => "shj",
+        }
+    }
+}
+
+/// One fully specified configuration the planner can recommend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanChoice {
+    pub algo: PlanAlgo,
+    /// In-memory join for partition/bucket pairs (PBSM/S³J/SHJ).
+    pub internal: InternalAlgo,
+    /// PBSM `NT = P ·` this; ignored elsewhere.
+    pub tiles_per_partition: u32,
+    /// Write-buffer pages per partition/level/bucket file — the memory
+    /// split between "many small buffers, cheap partial flushes" and
+    /// "fewer, larger requests that amortise positioning time".
+    pub buffer_pages: usize,
+    /// Memory budget the configuration sizes itself from.
+    pub mem_bytes: usize,
+}
+
+impl PlanChoice {
+    /// The CLI/service algorithm name this choice maps to (`sjoin --algo`,
+    /// `sjoind` `"algo"`).
+    pub fn cli_name(&self) -> &'static str {
+        match (self.algo, self.internal) {
+            (PlanAlgo::PbsmRpm, InternalAlgo::PlaneSweepTrie) => "pbsm-trie",
+            (PlanAlgo::PbsmRpm, _) => "pbsm",
+            (PlanAlgo::PbsmSort, _) => "pbsm-sort",
+            (PlanAlgo::S3jReplicated, _) => "s3j",
+            (PlanAlgo::S3jOriginal, _) => "s3j-orig",
+            (PlanAlgo::Sssj, _) => "sssj",
+            (PlanAlgo::Shj, _) => "shj",
+        }
+    }
+
+    /// Whether `exec::SpatialJoinOp` (and therefore `sjoind`) can stream
+    /// this choice.
+    pub fn streamable(&self) -> bool {
+        matches!(
+            self.algo,
+            PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort | PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal
+        )
+    }
+
+    /// Compact human-readable description for report lines.
+    pub fn describe(&self) -> String {
+        match self.algo {
+            PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort => format!(
+                "{} tiles={} buf={}",
+                self.cli_name(),
+                self.tiles_per_partition,
+                self.buffer_pages
+            ),
+            PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal => {
+                format!("{} buf={}", self.cli_name(), self.buffer_pages)
+            }
+            PlanAlgo::Sssj | PlanAlgo::Shj => self.cli_name().to_owned(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predictions
+// ---------------------------------------------------------------------------
+
+/// What the cost model predicts for one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Duplicate-free result pairs.
+    pub results: f64,
+    /// Candidate pairs including tile/level duplicates.
+    pub candidates: f64,
+    /// Average copies per input record (1.0 = no replication).
+    pub replication: f64,
+    /// PBSM partition count by formula (1) (1 for non-partitioned algos).
+    pub partitions: u32,
+    pub pages_written: f64,
+    pub pages_read: f64,
+    /// Positioning-paying disk requests.
+    pub requests: f64,
+    /// Simulated disk seconds under the configured model.
+    pub io_seconds: f64,
+    /// Emulated (slowed-down) CPU seconds.
+    pub cpu_seconds: f64,
+    /// `cpu + io` — the ranking key.
+    pub total_seconds: f64,
+}
+
+/// One ranked candidate: the configuration plus its prediction.
+#[derive(Debug, Clone)]
+pub struct PlanCandidate {
+    pub choice: PlanChoice,
+    pub predicted: Prediction,
+}
+
+/// The ranked output of [`Planner::plan`]: candidates sorted by predicted
+/// total time, cheapest first.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub ranked: Vec<PlanCandidate>,
+}
+
+impl Plan {
+    /// The winning candidate.
+    pub fn chosen(&self) -> &PlanCandidate {
+        &self.ranked[0]
+    }
+
+    /// Renders the ranked candidate table (`sjoin --plan explain`). Pure
+    /// string output, so it can be snapshot-tested without a process.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "rank  plan                      P   repl  candidates  pages_w  pages_r   io_s    cpu_s   total_s\n",
+        );
+        for (i, c) in self.ranked.iter().enumerate() {
+            let p = &c.predicted;
+            let marker = if i == 0 { " <- chosen" } else { "" };
+            out.push_str(&format!(
+                "{:>4}  {:<24} {:>3}  {:>5.2}  {:>10.0}  {:>7.0}  {:>7.0}  {:>6.2}  {:>6.2}  {:>8.2}{}\n",
+                i + 1,
+                c.choice.describe(),
+                p.partitions,
+                p.replication,
+                p.candidates,
+                p.pages_written,
+                p.pages_read,
+                p.io_seconds,
+                p.cpu_seconds,
+                p.total_seconds,
+                marker,
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan mode (CLI surface)
+// ---------------------------------------------------------------------------
+
+/// `--plan` modes accepted by `sjoin` (and the `sjoind` `plan` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Use the explicitly configured algorithm (the historic behaviour).
+    Off,
+    /// Let the planner pick the algorithm and its knobs.
+    Auto,
+    /// Print the ranked candidate table and run the chosen plan.
+    Explain,
+}
+
+impl PlanMode {
+    pub const NAMES: [&'static str; 3] = ["off", "auto", "explain"];
+
+    /// Parses a mode, suggesting the nearest valid one on a miss.
+    pub fn parse(s: &str) -> Result<PlanMode, String> {
+        match s {
+            "off" => Ok(PlanMode::Off),
+            "auto" => Ok(PlanMode::Auto),
+            "explain" => Ok(PlanMode::Explain),
+            other => {
+                let near = Self::NAMES
+                    .iter()
+                    .map(|&m| (edit_distance(other, m), m))
+                    .min()
+                    .filter(|&(d, _)| d <= 3)
+                    .map(|(_, m)| m);
+                Err(match near {
+                    Some(m) => format!("unknown plan mode {other:?} (did you mean {m:?}?)"),
+                    None => format!(
+                        "unknown plan mode {other:?} (expected one of {})",
+                        Self::NAMES.join("|")
+                    ),
+                })
+            }
+        }
+    }
+}
+
+/// Levenshtein edit distance (shared by the plan-mode suggestions).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
+// ---------------------------------------------------------------------------
+// Correction coefficients
+// ---------------------------------------------------------------------------
+
+/// Affine corrections `y ≈ a·x + b` per (family, metric), fitted by least
+/// squares on the bench corpus and persisted as a flat versioned JSON file.
+/// Identity (`a = 1, b = 0`) when no calibration exists for a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coefficients {
+    /// Dataset scale the fit was recorded at (0.0 = unfitted identity).
+    pub scale: f64,
+    /// `(family, metric) -> (a, b)`; metric ∈ {candidates, pages, seconds}.
+    entries: Vec<(String, String, f64, f64)>,
+}
+
+pub const COEFFS_SCHEMA_VERSION: u32 = 1;
+
+impl Default for Coefficients {
+    fn default() -> Self {
+        Coefficients {
+            scale: 0.0,
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl Coefficients {
+    /// The identity correction (raw model output).
+    pub fn identity() -> Coefficients {
+        Coefficients::default()
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a fitted pair for `(family, metric)`.
+    pub fn set(&mut self, family: &str, metric: &str, a: f64, b: f64) {
+        self.entries
+            .retain(|(f, m, _, _)| !(f == family && m == metric));
+        self.entries
+            .push((family.to_owned(), metric.to_owned(), a, b));
+    }
+
+    /// The correction for `(family, metric)`, identity if unfitted.
+    pub fn get(&self, family: &str, metric: &str) -> (f64, f64) {
+        self.entries
+            .iter()
+            .find(|(f, m, _, _)| f == family && m == metric)
+            .map(|&(_, _, a, b)| (a, b))
+            .unwrap_or((1.0, 0.0))
+    }
+
+    fn apply(&self, family: &str, metric: &str, x: f64) -> f64 {
+        let (a, b) = self.get(family, metric);
+        (a * x + b).max(0.0)
+    }
+
+    /// Serialises to the versioned flat-JSON schema (documented in
+    /// DESIGN.md "Plan selection & cost calibration").
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema_version\":{COEFFS_SCHEMA_VERSION},\"scale\":{}",
+            self.scale
+        );
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|x, y| (&x.0, &x.1).cmp(&(&y.0, &y.1)));
+        for (family, metric, a, b) in &sorted {
+            out.push_str(&format!(",\"{family}_{metric}\":[{a},{b}]"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses the flat-JSON schema written by [`Coefficients::to_json`].
+    pub fn parse(text: &str) -> Result<Coefficients, String> {
+        let version = json_number(text, "schema_version")
+            .ok_or("coefficients file has no schema_version")?;
+        if version as u32 != COEFFS_SCHEMA_VERSION {
+            return Err(format!(
+                "coefficients schema_version {version} != {COEFFS_SCHEMA_VERSION}; refit"
+            ));
+        }
+        let scale = json_number(text, "scale").ok_or("coefficients file has no scale")?;
+        let mut c = Coefficients {
+            scale,
+            entries: Vec::new(),
+        };
+        for family in ["pbsm", "s3j", "sssj", "shj"] {
+            for metric in ["candidates", "pages", "seconds"] {
+                if let Some((a, b)) = json_pair(text, &format!("{family}_{metric}")) {
+                    c.set(family, metric, a, b);
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Loads from a file; a missing file yields the identity correction.
+    pub fn load(path: &std::path::Path) -> Result<Coefficients, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Coefficients::identity()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+}
+
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| *c == ',' || *c == '}')
+        .map(|(i, _)| i)?;
+    rest[..end].trim().parse().ok()
+}
+
+fn json_pair(text: &str, key: &str) -> Option<(f64, f64)> {
+    let pat = format!("\"{key}\":[");
+    let start = text.find(&pat)? + pat.len();
+    let rest = &text[start..];
+    let end = rest.find(']')?;
+    let mut it = rest[..end].split(',');
+    let a = it.next()?.trim().parse().ok()?;
+    let b = it.next()?.trim().parse().ok()?;
+    Some((a, b))
+}
+
+/// Ordinary least squares for `y ≈ a·x + b`. Degenerates gracefully: with
+/// fewer than two distinct x values the slope falls back to the ratio of
+/// means (and identity when even that is undefined).
+/// Weighted least squares for `y ≈ a·x + b` minimising *relative* error
+/// (weights `1/y²`): the right objective for calibration data whose points
+/// span orders of magnitude — plain OLS would sacrifice the small joins to
+/// the big ones. Falls back to [`fit_affine`] when any `y` is ~zero.
+pub fn fit_affine_relative(points: &[(f64, f64)]) -> (f64, f64) {
+    if points.is_empty() || points.iter().any(|p| p.1.abs() < 1e-12) {
+        return fit_affine(points);
+    }
+    let (mut sw, mut swx, mut swy, mut swxx, mut swxy) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let w = 1.0 / (y * y);
+        sw += w;
+        swx += w * x;
+        swy += w * y;
+        swxx += w * x * x;
+        swxy += w * x * y;
+    }
+    let det = sw * swxx - swx * swx;
+    if det.abs() < 1e-12 * swxx.max(1.0) {
+        return fit_affine(points);
+    }
+    let a = (sw * swxy - swx * swy) / det;
+    let b = (swy - a * swx) / sw;
+    (a, b)
+}
+
+pub fn fit_affine(points: &[(f64, f64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.is_empty() {
+        return (1.0, 0.0);
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-12 * sxx.max(1.0) {
+        return if sx.abs() > 1e-12 { (sy / sx, 0.0) } else { (1.0, 0.0) };
+    }
+    let a = (n * sxy - sx * sy) / det;
+    let b = (sy - a * sx) / n;
+    (a, b)
+}
+
+// ---------------------------------------------------------------------------
+// The planner
+// ---------------------------------------------------------------------------
+
+/// Which candidate families [`Planner::plan`] enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSpace {
+    /// Every algorithm the CLI can run.
+    All,
+    /// Only `exec`-streamable joins (PBSM and S³J) — the `sjoind` space.
+    Streamable,
+}
+
+/// The cost-based planner. Construct with the memory budget, optionally
+/// attach a [`DiskModel`] and fitted [`Coefficients`], then call
+/// [`Planner::plan`] with two [`DatasetProfile`]s.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    mem_bytes: usize,
+    model: DiskModel,
+    coeffs: Coefficients,
+    space: PlanSpace,
+}
+
+impl Planner {
+    pub fn new(mem_bytes: usize) -> Planner {
+        Planner {
+            mem_bytes,
+            model: DiskModel::default(),
+            coeffs: Coefficients::identity(),
+            space: PlanSpace::All,
+        }
+    }
+
+    /// Predicts under a specific disk model (channel count, CPU slowdown).
+    pub fn with_disk_model(mut self, model: DiskModel) -> Planner {
+        self.model = model;
+        self
+    }
+
+    /// Attaches fitted correction coefficients.
+    pub fn with_coefficients(mut self, coeffs: Coefficients) -> Planner {
+        self.coeffs = coeffs;
+        self
+    }
+
+    /// Restricts the candidate space.
+    pub fn with_space(mut self, space: PlanSpace) -> Planner {
+        self.space = space;
+        self
+    }
+
+    /// Enumerates, predicts and ranks every candidate configuration.
+    pub fn plan(&self, r: &DatasetProfile, s: &DatasetProfile) -> Plan {
+        let joint = JointEstimate::build(r, s);
+        let mut ranked: Vec<PlanCandidate> = self
+            .candidates()
+            .into_iter()
+            .map(|choice| PlanCandidate {
+                predicted: self.predict(&choice, r, s, &joint),
+                choice,
+            })
+            .collect();
+        // Deterministic ranking: predicted total, then the enumeration
+        // order (already deterministic) as the tie-break via stable sort.
+        ranked.sort_by(|a, b| {
+            a.predicted
+                .total_seconds
+                .total_cmp(&b.predicted.total_seconds)
+        });
+        Plan { ranked }
+    }
+
+    /// The candidate configurations for the active [`PlanSpace`].
+    pub fn candidates(&self) -> Vec<PlanChoice> {
+        let m = self.mem_bytes;
+        let mut out = Vec::new();
+        for internal in [InternalAlgo::PlaneSweepList, InternalAlgo::PlaneSweepTrie] {
+            for tiles in [1u32, 4, 16] {
+                for buf in [1usize, 4] {
+                    out.push(PlanChoice {
+                        algo: PlanAlgo::PbsmRpm,
+                        internal,
+                        tiles_per_partition: tiles,
+                        buffer_pages: buf,
+                        mem_bytes: m,
+                    });
+                }
+            }
+        }
+        for buf in [1usize, 4] {
+            out.push(PlanChoice {
+                algo: PlanAlgo::PbsmSort,
+                internal: InternalAlgo::PlaneSweepList,
+                tiles_per_partition: 4,
+                buffer_pages: buf,
+                mem_bytes: m,
+            });
+            out.push(PlanChoice {
+                algo: PlanAlgo::S3jReplicated,
+                internal: InternalAlgo::PlaneSweepList,
+                tiles_per_partition: 4,
+                buffer_pages: buf,
+                mem_bytes: m,
+            });
+        }
+        out.push(PlanChoice {
+            algo: PlanAlgo::S3jOriginal,
+            internal: InternalAlgo::PlaneSweepList,
+            tiles_per_partition: 4,
+            buffer_pages: 1,
+            mem_bytes: m,
+        });
+        if self.space == PlanSpace::All {
+            out.push(PlanChoice {
+                algo: PlanAlgo::Sssj,
+                internal: InternalAlgo::PlaneSweepList,
+                tiles_per_partition: 4,
+                buffer_pages: 1,
+                mem_bytes: m,
+            });
+            out.push(PlanChoice {
+                algo: PlanAlgo::Shj,
+                internal: InternalAlgo::PlaneSweepList,
+                tiles_per_partition: 4,
+                buffer_pages: 1,
+                mem_bytes: m,
+            });
+        }
+        out
+    }
+
+    /// Predicts one candidate's cost.
+    pub fn predict(
+        &self,
+        choice: &PlanChoice,
+        r: &DatasetProfile,
+        s: &DatasetProfile,
+        joint: &JointEstimate,
+    ) -> Prediction {
+        let raw = match choice.algo {
+            PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort => self.predict_pbsm(choice, r, s, joint),
+            PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal => self.predict_s3j(choice, r, s, joint),
+            PlanAlgo::Sssj => self.predict_sssj(r, s, joint),
+            PlanAlgo::Shj => self.predict_shj(r, s, joint),
+        };
+        self.correct(choice.algo.family(), raw)
+    }
+
+    /// Applies the fitted affine corrections to a raw prediction.
+    fn correct(&self, family: &str, mut p: Prediction) -> Prediction {
+        p.candidates = self.coeffs.apply(family, "candidates", p.candidates);
+        let pages = p.pages_read + p.pages_written;
+        if pages > 0.0 {
+            let corrected = self.coeffs.apply(family, "pages", pages);
+            let f = corrected / pages;
+            p.pages_read *= f;
+            p.pages_written *= f;
+            p.requests *= f;
+        }
+        p.io_seconds = self.coeffs.apply(family, "seconds", p.io_seconds);
+        p.total_seconds = p.cpu_seconds + p.io_seconds;
+        p
+    }
+
+    /// Disk seconds for `(requests, pages)` under the model: the paper's
+    /// `PT + n` units, divided across the data channels (partition/level
+    /// files are channel-tagged round-robin, so a D-channel model overlaps
+    /// their transfers almost perfectly).
+    fn io_secs(&self, requests: f64, pages: f64) -> f64 {
+        let units = requests * self.model.positioning_ratio + pages;
+        units * self.model.transfer_secs_per_page / self.model.channels.max(1) as f64
+    }
+
+    fn cpu_secs(&self, records: f64, tests: f64) -> f64 {
+        // Host-CPU constants (seconds per record pass / per intersection
+        // test on a modern core), stretched by the model's slowdown exactly
+        // like measured CPU is. Calibration defaults — the fitted seconds
+        // coefficients absorb residual error.
+        const PER_RECORD: f64 = 60e-9;
+        const PER_TEST: f64 = 15e-9;
+        (records * PER_RECORD + tests * PER_TEST) * self.model.cpu_slowdown
+    }
+
+    fn page(&self) -> f64 {
+        self.model.page_size as f64
+    }
+
+    fn predict_pbsm(
+        &self,
+        choice: &PlanChoice,
+        r: &DatasetProfile,
+        s: &DatasetProfile,
+        joint: &JointEstimate,
+    ) -> Prediction {
+        let (nr, ns) = (r.cardinality, s.cardinality);
+        let input_bytes = (nr + ns) * Kpe::ENCODED_SIZE as f64;
+        // Formula (1), exactly as pbsm::join computes it.
+        let p = ((SAFETY_FACTOR * input_bytes / choice.mem_bytes as f64).ceil() as u32).max(1);
+        let grid = pbsm::TileGrid::for_partitions(p, choice.tiles_per_partition);
+        let (gx, gy) = (grid.gx, grid.gy);
+        let copies_r = straddle_copies(r, gx, gy);
+        let copies_s = straddle_copies(s, gx, gy);
+        let copies = copies_r + copies_s;
+        let dup = joint.duplicate_pairs(gx, gy);
+        let results = joint.results;
+        let candidates = results + dup;
+        let replication = if nr + ns > 0.0 { copies / (nr + ns) } else { 1.0 };
+
+        let (mut pages_w, mut pages_r, mut requests) = (0.0, 0.0, 0.0);
+        let mut io = 0.0;
+        if p > 1 {
+            // Partition phase: the replicated input written once, one
+            // partial page flushed per partition file (one file per side).
+            let part_bytes = copies * Kpe::ENCODED_SIZE as f64;
+            let part_pages = part_bytes / self.page() + 2.0 * p as f64;
+            let part_reqs = part_pages / choice.buffer_pages as f64;
+            // Join phase: reads back what partitioning wrote.
+            let join_reqs = part_pages / SCAN_BUFFER_PAGES;
+            pages_w += part_pages;
+            pages_r += part_pages;
+            requests += part_reqs + join_reqs;
+            io += self.io_secs(part_reqs, part_pages) + self.io_secs(join_reqs, part_pages);
+
+            // Overflow / repartitioning (§3.2.3): per-tile expected bytes
+            // hashed through the SAME tile→partition map the join will use.
+            // With few tiles per partition, balls-in-bins collisions plus
+            // spatial skew push individual partition pairs over budget, and
+            // each such pair pays the recursive repartition: re-read and
+            // rewrite the big side, then read the untouched other side once
+            // per sub-partition. This term is what separates `tiles=1` from
+            // `tiles=16` — without it they look identical.
+            let map = pbsm::PartitionMap::new(
+                p,
+                pbsm::TileScheme::default(),
+                pbsm::PbsmConfig::default().seed,
+            );
+            let loads_r = tile_loads(r, gx, gy);
+            let loads_s = tile_loads(s, gx, gy);
+            let mut bytes_r = vec![0.0f64; p as usize];
+            let mut bytes_s = vec![0.0f64; p as usize];
+            for iy in 0..gy {
+                for ix in 0..gx {
+                    let pid = map.partition_of(ix, iy, gx) as usize;
+                    let t = (iy * gx + ix) as usize;
+                    bytes_r[pid] += loads_r[t];
+                    bytes_s[pid] += loads_s[t];
+                }
+            }
+            let m = self.mem_bytes as f64;
+            for pid in 0..p as usize {
+                let (mut br, mut bs) = (bytes_r[pid], bytes_s[pid]);
+                // `mult` tracks how many sub-pairs a deeper level fans out
+                // to; overflow past one level is rare, the guard is a
+                // degenerate-data backstop like MAX_REPART_DEPTH.
+                let mut mult = 1.0;
+                for _ in 0..8 {
+                    if br + bs <= m || br.min(bs) <= 0.0 {
+                        break;
+                    }
+                    let (big, other) = if br >= bs { (br, bs) } else { (bs, br) };
+                    let n_sub = ((SAFETY_FACTOR * 2.0 * big / m).ceil()).max(2.0);
+                    let big_pages = big / self.page();
+                    let other_pages = other / self.page();
+                    // Copy: read big once, rewrite it (+ partial tail pages);
+                    // sub-joins: big read back in pieces, other side re-read
+                    // per sub-pair. The base join term above already charged
+                    // one read of (big + other), so only the surplus counts.
+                    let w_pages = big_pages + n_sub;
+                    let r_pages = big_pages + (n_sub - 1.0) * other_pages;
+                    let w_reqs = w_pages / choice.buffer_pages as f64;
+                    let r_reqs = r_pages / SCAN_BUFFER_PAGES;
+                    pages_w += mult * w_pages;
+                    pages_r += mult * r_pages;
+                    requests += mult * (w_reqs + r_reqs);
+                    io += mult
+                        * (self.io_secs(w_reqs, w_pages) + self.io_secs(r_reqs, r_pages));
+                    if br >= bs {
+                        br = big / n_sub;
+                    } else {
+                        bs = big / n_sub;
+                    }
+                    mult *= n_sub;
+                }
+            }
+        }
+        if choice.algo == PlanAlgo::PbsmSort {
+            // Sort-phase dedup stages every candidate pair (16 bytes) to
+            // disk, sorts and re-reads it — the Figure 3a overhead.
+            let cand_bytes = candidates * ID_PAIR_BYTES;
+            let cand_pages = cand_bytes / self.page();
+            let sort_pages = 2.0 * cand_pages;
+            let sort_reqs = sort_pages / SCAN_BUFFER_PAGES;
+            pages_w += cand_pages;
+            pages_r += cand_pages;
+            requests += sort_reqs;
+            io += self.io_secs(sort_reqs, sort_pages);
+        }
+        let tests = candidates * 2.0 + (nr + ns) * 1.5;
+        let cpu = self.cpu_secs(nr + ns + copies, tests)
+            * if choice.internal == InternalAlgo::PlaneSweepTrie { 0.8 } else { 1.0 };
+        Prediction {
+            results,
+            candidates,
+            replication,
+            partitions: p,
+            pages_written: pages_w,
+            pages_read: pages_r,
+            requests,
+            io_seconds: io,
+            cpu_seconds: cpu,
+            total_seconds: cpu + io,
+        }
+    }
+
+    fn predict_s3j(
+        &self,
+        choice: &PlanChoice,
+        r: &DatasetProfile,
+        s: &DatasetProfile,
+        joint: &JointEstimate,
+    ) -> Prediction {
+        let (nr, ns) = (r.cardinality, s.cardinality);
+        let replicate = choice.algo == PlanAlgo::S3jReplicated;
+        let (copies_r, copies_s) = if replicate {
+            (level_copies(r), level_copies(s))
+        } else {
+            (nr, ns)
+        };
+        let copies = copies_r + copies_s;
+        let results = joint.results;
+        // Replicated mode re-discovers straddler pairs once per shared
+        // cell; the shifted size level keeps the per-axis straddle below
+        // one half, so the duplicate mass is a fraction of the results.
+        let dup = if replicate { joint.level_duplicate_pairs() } else { 0.0 };
+        // The original assignment joins every cell against all ancestor
+        // cells, inflating the candidate checks instead of the copies.
+        let candidates = if replicate { results + dup } else { results };
+
+        let level_bytes = copies * LEVEL_RECORD_BYTES;
+        let level_pages = level_bytes / self.page() + 12.0; // ~one partial page per occupied level
+        // Partition: write the level files once. Sort: read + write them.
+        // Join: one synchronized scan over the sorted files.
+        let part_reqs = level_pages / choice.buffer_pages as f64;
+        let sort_reqs = 2.0 * level_pages / SCAN_BUFFER_PAGES;
+        let join_reqs = level_pages / SCAN_BUFFER_PAGES;
+        let pages_w = 2.0 * level_pages;
+        let pages_r = 2.0 * level_pages;
+        let requests = part_reqs + sort_reqs + join_reqs;
+        let io = self.io_secs(part_reqs, level_pages)
+            + self.io_secs(sort_reqs, 2.0 * level_pages)
+            + self.io_secs(join_reqs, level_pages);
+        // The original's ancestor scans multiply the intersection tests —
+        // the CPU half of Figure 11.
+        let test_factor = if replicate { 2.0 } else { 8.0 };
+        let cpu = self.cpu_secs(
+            (nr + ns + copies) * 2.0,
+            candidates * test_factor + (nr + ns) * 2.0,
+        );
+        Prediction {
+            results,
+            candidates,
+            replication: if nr + ns > 0.0 { copies / (nr + ns) } else { 1.0 },
+            partitions: 1,
+            pages_written: pages_w,
+            pages_read: pages_r,
+            requests,
+            io_seconds: io,
+            cpu_seconds: cpu,
+            total_seconds: cpu + io,
+        }
+    }
+
+    fn predict_sssj(
+        &self,
+        r: &DatasetProfile,
+        s: &DatasetProfile,
+        joint: &JointEstimate,
+    ) -> Prediction {
+        let (nr, ns) = (r.cardinality, s.cardinality);
+        let m = self.mem_bytes as f64;
+        let rec = Kpe::ENCODED_SIZE as f64;
+        let (mut pages_w, mut pages_r, mut requests, mut io) = (0.0, 0.0, 0.0, 0.0);
+        // The join goes external only when BOTH sorted inputs cannot be held
+        // at once; each side then external-sorts under half the budget.
+        if (nr + ns) * rec > m {
+            let half = (m / 2.0).max(self.page());
+            // Buffer sizing mirrors storage's BufferPlan::for_budget: tiny
+            // budgets shrink the run/output buffers rather than the runs.
+            let budget_pages = (half / self.page()).floor().max(2.0);
+            let out_pages = (budget_pages / 8.0).floor().clamp(1.0, 4.0);
+            let run_pages = (budget_pages / 16.0).floor().clamp(1.0, 2.0);
+            let run_bytes = (half - 2.0 * out_pages * self.page()).max(half / 2.0).max(rec);
+            let fan_in = ((budget_pages - out_pages) / run_pages).floor().max(2.0);
+            for n in [nr, ns] {
+                let bytes = n * rec;
+                let pages = bytes / self.page();
+                // Run formation: sorted chunks stream out through the
+                // output buffer, one partial flush per run.
+                let runs = (bytes / run_bytes).ceil().max(1.0);
+                let w_reqs = pages / out_pages + runs;
+                let mut reqs = w_reqs;
+                let (mut p_w, mut p_r) = (pages, 0.0);
+                // Merge passes: every pass reads all pages through per-run
+                // buffers and rewrites them through the output buffer.
+                let mut live = runs;
+                while live > 1.0 {
+                    live = (live / fan_in).ceil();
+                    reqs += pages / run_pages + pages / out_pages;
+                    p_r += pages;
+                    p_w += pages;
+                }
+                // The sweep scans the final sorted file once.
+                p_r += pages;
+                reqs += pages / SCAN_BUFFER_PAGES;
+                pages_w += p_w;
+                pages_r += p_r;
+                requests += reqs;
+                io += self.io_secs(reqs, p_w + p_r);
+            }
+        }
+        let results = joint.results;
+        let cpu = self.cpu_secs((nr + ns) * 2.0, results * 3.0 + (nr + ns) * 2.0);
+        Prediction {
+            results,
+            candidates: results,
+            replication: 1.0,
+            partitions: 1,
+            pages_written: pages_w,
+            pages_read: pages_r,
+            requests,
+            io_seconds: io,
+            cpu_seconds: cpu,
+            total_seconds: cpu + io,
+        }
+    }
+
+    fn predict_shj(
+        &self,
+        r: &DatasetProfile,
+        s: &DatasetProfile,
+        joint: &JointEstimate,
+    ) -> Prediction {
+        let (nr, ns) = (r.cardinality, s.cardinality);
+        // [LR 96] sizes buckets off BOTH inputs (the bucket pair must fit),
+        // and the baseline stages every record through bucket files even at
+        // b = 1 — SHJ is never an in-memory plan.
+        let input_bytes = (nr + ns) * Kpe::ENCODED_SIZE as f64;
+        let buckets =
+            ((SAFETY_FACTOR * input_bytes / self.mem_bytes as f64).ceil() as u32).max(1);
+        // Probe replication: nearest-seed bucket extents grow to cover
+        // their members and overlap each other heavily, so for b > 1 the
+        // copy rate is dominated by extent overlap (~1.55 on the line-MBR
+        // corpus), not by the records' own straddle width. Keep the
+        // straddle term as a floor for fat-rectangle inputs.
+        let g = (buckets as f64).sqrt().ceil() as u32;
+        let copies_s = if buckets > 1 {
+            straddle_copies(s, g, g).max(ns * SHJ_OVERLAP_FACTOR)
+        } else {
+            ns
+        };
+        // Build side written once (no replication), probe side replicated;
+        // both read back bucket-pair-wise. Bucket writers hold
+        // `bucket_buffer_pages` (1) pages — every page write positions the
+        // arm — while reads stream through `io_buffer_pages` (4).
+        let bytes = (nr + copies_s) * Kpe::ENCODED_SIZE as f64;
+        let pages = bytes / self.page() + buckets as f64; // partial tail pages
+        let write_reqs = pages;
+        let read_reqs = pages / SCAN_BUFFER_PAGES;
+        let requests = write_reqs + read_reqs;
+        let io = self.io_secs(write_reqs, pages) + self.io_secs(read_reqs, pages);
+        let results = joint.results;
+        let cpu = self.cpu_secs(nr + ns + copies_s, results * 2.5 + (nr + ns) * 1.5);
+        Prediction {
+            results,
+            candidates: results,
+            replication: if nr + ns > 0.0 { (nr + copies_s) / (nr + ns) } else { 1.0 },
+            partitions: buckets,
+            pages_written: pages,
+            pages_read: pages,
+            requests,
+            io_seconds: io,
+            cpu_seconds: cpu,
+            total_seconds: cpu + io,
+        }
+    }
+}
+
+/// Expected partition-file bytes landing in each tile of PBSM's `gx × gy`
+/// grid over the **unit space** (where the real `TileGrid` lives — the
+/// profile histogram itself is framed on the data's bbox). Each histogram
+/// cell's mass, inflated by its records' straddle copies, is spread over
+/// the tiles it overlaps in proportion to area.
+fn tile_loads(profile: &DatasetProfile, gx: u32, gy: u32) -> Vec<f64> {
+    let g = PROFILE_GRID;
+    let mut loads = vec![0.0f64; (gx as usize) * (gy as usize)];
+    let b = profile.bbox;
+    let (bw, bh) = (b.xh - b.xl, b.yh - b.yl);
+    let cap = (gx as f64) * (gy as f64);
+    for iy in 0..g {
+        for ix in 0..g {
+            let i = (iy * g + ix) as usize;
+            let c = profile.counts[i];
+            if c <= 0.0 {
+                continue;
+            }
+            let w = profile.sum_w[i] / c;
+            let h = profile.sum_h[i] / c;
+            let per = ((1.0 + w * gx as f64) * (1.0 + h * gy as f64)).min(cap);
+            let mass = c * per * Kpe::ENCODED_SIZE as f64;
+            // The cell's rect in unit space.
+            let x0 = b.xl + bw * ix as f64 / g as f64;
+            let x1 = b.xl + bw * (ix + 1) as f64 / g as f64;
+            let y0 = b.yl + bh * iy as f64 / g as f64;
+            let y1 = b.yl + bh * (iy + 1) as f64 / g as f64;
+            let area = ((x1 - x0) * (y1 - y0)).max(f64::MIN_POSITIVE);
+            let tx0 = ((x0.clamp(0.0, 1.0) * gx as f64).floor() as u32).min(gx - 1);
+            let tx1 = (((x1.clamp(0.0, 1.0) * gx as f64).ceil() as u32).max(1) - 1).min(gx - 1);
+            let ty0 = ((y0.clamp(0.0, 1.0) * gy as f64).floor() as u32).min(gy - 1);
+            let ty1 = (((y1.clamp(0.0, 1.0) * gy as f64).ceil() as u32).max(1) - 1).min(gy - 1);
+            for ty in ty0..=ty1 {
+                let oy = (y1.min((ty + 1) as f64 / gy as f64) - y0.max(ty as f64 / gy as f64))
+                    .max(0.0);
+                for tx in tx0..=tx1 {
+                    let ox = (x1.min((tx + 1) as f64 / gx as f64)
+                        - x0.max(tx as f64 / gx as f64))
+                    .max(0.0);
+                    loads[(ty * gx + tx) as usize] += mass * (ox * oy) / area;
+                }
+            }
+        }
+    }
+    loads
+}
+
+/// Expected KPE copies when `profile`'s rectangles are assigned to every
+/// tile of a `gx × gy` grid over the unit square they intersect:
+/// `E[(1 + w/tile_w)(1 + h/tile_h)]`, capped at the tile count.
+fn straddle_copies(profile: &DatasetProfile, gx: u32, gy: u32) -> f64 {
+    let cap = (gx as f64) * (gy as f64);
+    let mut copies = 0.0;
+    for i in 0..profile.counts.len() {
+        let c = profile.counts[i];
+        if c <= 0.0 {
+            continue;
+        }
+        let w = profile.sum_w[i] / c;
+        let h = profile.sum_h[i] / c;
+        copies += c * ((1.0 + w * gx as f64) * (1.0 + h * gy as f64)).min(cap);
+    }
+    copies
+}
+
+/// Expected copies under S³J's shifted size-level assignment: each
+/// rectangle lands on the level whose cells are at least twice its max
+/// extent, straddling at most 4 of them.
+fn level_copies(profile: &DatasetProfile) -> f64 {
+    let mut copies = 0.0;
+    for i in 0..profile.counts.len() {
+        let c = profile.counts[i];
+        if c <= 0.0 {
+            continue;
+        }
+        let w = profile.sum_w[i] / c;
+        let h = profile.sum_h[i] / c;
+        let e = w.max(h);
+        if e <= 0.0 {
+            copies += c;
+            continue;
+        }
+        // size_level: the finest level whose cell size covers the extent,
+        // coarsened by LEVEL_SHIFT (the §4.3 replication-rate design choice).
+        let level = ((-e.log2()).floor() as i32 - LEVEL_SHIFT).max(0);
+        let cell = (2.0f64).powi(-level);
+        copies += c * (1.0 + (w / cell).min(1.0)) * (1.0 + (h / cell).min(1.0));
+    }
+    copies
+}
+
+// ---------------------------------------------------------------------------
+// Joint (two-profile) estimation
+// ---------------------------------------------------------------------------
+
+/// The two profiles resampled onto a common grid over the union bounding
+/// box, plus the classical per-cell join-cardinality estimate.
+#[derive(Debug, Clone)]
+pub struct JointEstimate {
+    grid: u32,
+    cell_w: f64,
+    cell_h: f64,
+    /// Per cell: `(pairs, min_avg_w, min_avg_h)` — the pair mass and the
+    /// extents of the pair *intersections* (bounded by the smaller rect).
+    cells: Vec<(f64, f64, f64)>,
+    /// Estimated duplicate-free result pairs.
+    pub results: f64,
+}
+
+impl JointEstimate {
+    /// Builds the joint estimate. Symmetric in `(r, s)` by construction —
+    /// every per-cell term commutes — so swapped inputs predict the same
+    /// cardinalities.
+    pub fn build(r: &DatasetProfile, s: &DatasetProfile) -> JointEstimate {
+        let g = PROFILE_GRID;
+        let union = Rect::new(
+            r.bbox.xl.min(s.bbox.xl),
+            r.bbox.yl.min(s.bbox.yl),
+            r.bbox.xh.max(s.bbox.xh),
+            r.bbox.yh.max(s.bbox.yh),
+        );
+        let rr = resample(r, &union, g);
+        let ss = resample(s, &union, g);
+        let bw = (union.xh - union.xl).max(f64::MIN_POSITIVE);
+        let bh = (union.yh - union.yl).max(f64::MIN_POSITIVE);
+        let cell_w = bw / g as f64;
+        let cell_h = bh / g as f64;
+        let cell_area = cell_w * cell_h;
+        let mut cells = vec![(0.0, 0.0, 0.0); (g * g) as usize];
+        let mut results = 0.0;
+        for i in 0..cells.len() {
+            let (cr, wr, hr, _) = rr[i];
+            let (cs, ws, hs, _) = ss[i];
+            if cr <= 0.0 || cs <= 0.0 {
+                continue;
+            }
+            let p = (((wr + ws) * (hr + hs)) / cell_area).min(1.0);
+            let pairs = cr * cs * p;
+            cells[i] = (pairs, wr.min(ws), hr.min(hs));
+            results += pairs;
+        }
+        // A self join (bit-identical profiles) concentrates its pair mass on
+        // the dataset's own sub-structures — polyline neighbours always
+        // intersect — which the coarse uniform-within-cell model undercounts
+        // badly. Re-estimate the total at full sketch resolution, where the
+        // uniform assumption holds, and rescale the coarse distribution to
+        // it (the *shape* stays coarse; only the mass moves).
+        let self_join = r.cardinality.to_bits() == s.cardinality.to_bits()
+            && r.bbox == s.bbox
+            && r.counts == s.counts
+            && !r.fine.is_empty();
+        if self_join && results > 0.0 {
+            let fine_results = self_pairs_at_sketch_resolution(r);
+            if fine_results > results {
+                let f = fine_results / results;
+                for c in &mut cells {
+                    c.0 *= f;
+                }
+                results = fine_results;
+            }
+        }
+        JointEstimate {
+            grid: g,
+            cell_w,
+            cell_h,
+            cells,
+            results,
+        }
+    }
+
+    /// Expected duplicate candidate pairs when results are discovered in
+    /// every shared tile of a `gx × gy` unit-square grid: an intersecting
+    /// pair is re-found once per extra tile its intersection straddles.
+    pub fn duplicate_pairs(&self, gx: u32, gy: u32) -> f64 {
+        let cap = (gx as f64) * (gy as f64);
+        let mut dup = 0.0;
+        for &(pairs, w, h) in &self.cells {
+            if pairs <= 0.0 {
+                continue;
+            }
+            let tiles = ((1.0 + w * gx as f64) * (1.0 + h * gy as f64)).min(cap);
+            dup += pairs * (tiles - 1.0);
+        }
+        dup
+    }
+
+    /// Expected duplicates under S³J's size-level replication: the shifted
+    /// assignment keeps the per-axis straddle of the intersection below
+    /// one half at the participating level.
+    pub fn level_duplicate_pairs(&self) -> f64 {
+        let mut dup = 0.0;
+        for &(pairs, w, h) in &self.cells {
+            if pairs <= 0.0 {
+                continue;
+            }
+            let e = w.max(h).max(f64::MIN_POSITIVE);
+            let level = ((-e.log2()).floor() as i32 - LEVEL_SHIFT).max(0);
+            let cell = (2.0f64).powi(-level);
+            let copies = (1.0 + (w / cell).min(1.0)) * (1.0 + (h / cell).min(1.0));
+            dup += pairs * (copies.min(4.0) - 1.0);
+        }
+        dup
+    }
+
+    /// Cell geometry, exposed for diagnostics.
+    pub fn cell_size(&self) -> (f64, f64) {
+        (self.cell_w, self.cell_h)
+    }
+
+    pub fn grid(&self) -> u32 {
+        self.grid
+    }
+}
+
+/// Maps a profile's histogram onto a `g × g` grid over `frame` by
+/// area-overlap resampling, returning per-cell `(count, avg_w, avg_h)`.
+/// Self-join pair estimate over the sparse fine sketch.
+///
+/// The sketch is first aggregated to the finest level whose cell still
+/// spans about twice the dataset's average extent per axis: records that
+/// touch (polyline neighbours sit one extent apart) then share a cell, so
+/// the uniform collision probability `min(1, 2w̄·2h̄ / cell_area)` is
+/// evaluated in its valid regime rather than across cell boundaries it
+/// cannot see. Per aggregated cell, `c²` pairs meet with that probability
+/// (extents from the parent histogram cell; the diagonal is included —
+/// every record intersects itself — matching how the join algorithms count
+/// a self join).
+fn self_pairs_at_sketch_resolution(p: &DatasetProfile) -> f64 {
+    let g = PROFILE_GRID;
+    let fine_g = g * FINE_FACTOR;
+    let bw = (p.bbox.xh - p.bbox.xl).max(f64::MIN_POSITIVE);
+    let bh = (p.bbox.yh - p.bbox.yl).max(f64::MIN_POSITIVE);
+    let (aw, ah) = p.avg_extent();
+    let max_shift = FINE_FACTOR.trailing_zeros();
+    let shift_for = |cell: f64, target: f64| -> u32 {
+        let mut s = 0;
+        while s < max_shift && cell * f64::from(1u32 << s) < target {
+            s += 1;
+        }
+        s
+    };
+    let sx = shift_for(bw / fine_g as f64, 2.0 * aw);
+    let sy = shift_for(bh / fine_g as f64, 2.0 * ah);
+    let cell_area = (bw / fine_g as f64 * f64::from(1u32 << sx))
+        * (bh / fine_g as f64 * f64::from(1u32 << sy));
+    // Deterministic aggregation: bucket keys sorted, then summed in order.
+    let mut buckets: Vec<(u64, u32, f64)> = p
+        .fine
+        .iter()
+        .map(|&(idx, c)| {
+            let (fx, fy) = (idx % fine_g, idx / fine_g);
+            let key = u64::from(fy >> sy) * u64::from(fine_g) + u64::from(fx >> sx);
+            let coarse = (fy / FINE_FACTOR) * g + fx / FINE_FACTOR;
+            (key, coarse, c)
+        })
+        .collect();
+    buckets.sort_by_key(|&(key, _, _)| key);
+    let mut results = 0.0;
+    let mut i = 0;
+    while i < buckets.len() {
+        let (key, coarse, _) = buckets[i];
+        let mut c = 0.0;
+        while i < buckets.len() && buckets[i].0 == key {
+            c += buckets[i].2;
+            i += 1;
+        }
+        let cc = p.counts[coarse as usize];
+        if cc <= 0.0 {
+            continue;
+        }
+        let (w, h) = (p.sum_w[coarse as usize] / cc, p.sum_h[coarse as usize] / cc);
+        let prob = ((2.0 * w) * (2.0 * h) / cell_area).min(1.0);
+        results += c * c * prob;
+    }
+    results
+}
+
+fn resample(p: &DatasetProfile, frame: &Rect, g: u32) -> Vec<(f64, f64, f64, f64)> {
+    let src_g = PROFILE_GRID;
+    let sbw = (p.bbox.xh - p.bbox.xl).max(f64::MIN_POSITIVE);
+    let sbh = (p.bbox.yh - p.bbox.yl).max(f64::MIN_POSITIVE);
+    let fbw = (frame.xh - frame.xl).max(f64::MIN_POSITIVE);
+    let fbh = (frame.yh - frame.yl).max(f64::MIN_POSITIVE);
+    let mut counts = vec![0.0; (g * g) as usize];
+    let mut sum_w = vec![0.0; (g * g) as usize];
+    let mut sum_h = vec![0.0; (g * g) as usize];
+    let mut sum_k = vec![0.0; (g * g) as usize];
+    for sy in 0..src_g {
+        for sx in 0..src_g {
+            let i = (sy * src_g + sx) as usize;
+            let c = p.counts[i];
+            if c <= 0.0 {
+                continue;
+            }
+            // Source-cell bounds in frame-relative [0,1) coordinates.
+            let x0 = ((p.bbox.xl - frame.xl) / fbw) + (sx as f64 / src_g as f64) * (sbw / fbw);
+            let x1 = x0 + (sbw / fbw) / src_g as f64;
+            let y0 = ((p.bbox.yl - frame.yl) / fbh) + (sy as f64 / src_g as f64) * (sbh / fbh);
+            let y1 = y0 + (sbh / fbh) / src_g as f64;
+            // Distribute across overlapped target cells by axis overlap.
+            let tx0 = ((x0 * g as f64) as u32).min(g - 1);
+            let tx1 = (((x1 * g as f64).ceil() as u32).max(tx0 + 1)).min(g);
+            let ty0 = ((y0 * g as f64) as u32).min(g - 1);
+            let ty1 = (((y1 * g as f64).ceil() as u32).max(ty0 + 1)).min(g);
+            let inv_w = 1.0 / (x1 - x0).max(f64::MIN_POSITIVE);
+            let inv_h = 1.0 / (y1 - y0).max(f64::MIN_POSITIVE);
+            for ty in ty0..ty1 {
+                let oy0 = (ty as f64 / g as f64).max(y0);
+                let oy1 = ((ty + 1) as f64 / g as f64).min(y1);
+                let fy = ((oy1 - oy0) * inv_h).max(0.0);
+                if fy <= 0.0 {
+                    continue;
+                }
+                for tx in tx0..tx1 {
+                    let ox0 = (tx as f64 / g as f64).max(x0);
+                    let ox1 = ((tx + 1) as f64 / g as f64).min(x1);
+                    let fx = ((ox1 - ox0) * inv_w).max(0.0);
+                    if fx <= 0.0 {
+                        continue;
+                    }
+                    let f = fx * fy;
+                    let t = (ty * g + tx) as usize;
+                    counts[t] += c * f;
+                    sum_w[t] += p.sum_w[i] * f;
+                    sum_h[t] += p.sum_h[i] * f;
+                    sum_k[t] += p.clump[i] * c * f;
+                }
+            }
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(t, &c)| {
+            if c > 0.0 {
+                (c, sum_w[t] / c, sum_h[t] / c, sum_k[t] / c)
+            } else {
+                (0.0, 0.0, 0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiger(n: usize, coverage: f64, seed: u64) -> Vec<Kpe> {
+        datagen::LineNetwork {
+            count: n,
+            coverage,
+            segments_per_line: 12,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn profile_totals_and_coverage() {
+        let data = tiger(4000, 0.1, 1);
+        let p = DatasetProfile::build(&data);
+        assert!((p.cardinality - 4000.0).abs() < 1e-9);
+        assert!(p.coverage > 0.0 && p.occupancy > 0.0);
+        let hist_total: f64 = p.size_hist.iter().sum();
+        assert!((hist_total - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_profile_keeps_cardinality() {
+        let data = tiger(10_000, 0.1, 2);
+        let p = DatasetProfile::build_sampled(&data, 500, 7);
+        assert!((p.cardinality - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn joint_estimate_is_symmetric() {
+        let r = DatasetProfile::build(&tiger(3000, 0.12, 3));
+        let s = DatasetProfile::build(&tiger(3000, 0.05, 4));
+        let a = JointEstimate::build(&r, &s);
+        let b = JointEstimate::build(&s, &r);
+        assert_eq!(a.results.to_bits(), b.results.to_bits());
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let r = DatasetProfile::build(&tiger(2000, 0.1, 5));
+        let s = DatasetProfile::build(&tiger(2000, 0.1, 6));
+        let planner = Planner::new(64 * 1024);
+        let a = planner.plan(&r, &s);
+        let b = planner.plan(&r, &s);
+        assert_eq!(a.chosen().choice, b.chosen().choice);
+        assert_eq!(a.render_table(), b.render_table());
+    }
+
+    #[test]
+    fn huge_memory_prefers_an_in_memory_plan() {
+        let r = DatasetProfile::build(&tiger(2000, 0.1, 7));
+        let s = DatasetProfile::build(&tiger(2000, 0.1, 8));
+        let plan = Planner::new(1 << 30).plan(&r, &s);
+        assert_eq!(plan.chosen().predicted.partitions, 1);
+        assert_eq!(plan.chosen().predicted.io_seconds, 0.0);
+    }
+
+    #[test]
+    fn streamable_space_excludes_baselines() {
+        let planner = Planner::new(4096).with_space(PlanSpace::Streamable);
+        assert!(planner
+            .candidates()
+            .iter()
+            .all(|c| c.streamable()));
+    }
+
+    #[test]
+    fn plan_mode_parse_and_suggestions() {
+        assert_eq!(PlanMode::parse("auto"), Ok(PlanMode::Auto));
+        assert_eq!(PlanMode::parse("off"), Ok(PlanMode::Off));
+        assert_eq!(PlanMode::parse("explain"), Ok(PlanMode::Explain));
+        let err = PlanMode::parse("autoo").unwrap_err();
+        assert!(err.contains("\"auto\""), "{err}");
+        let err = PlanMode::parse("explian").unwrap_err();
+        assert!(err.contains("\"explain\""), "{err}");
+        assert!(PlanMode::parse("zzzzzzzz").is_err());
+    }
+
+    #[test]
+    fn coefficients_round_trip() {
+        let mut c = Coefficients::identity();
+        c.scale = 0.2;
+        c.set("pbsm", "candidates", 1.25, -10.0);
+        c.set("s3j", "pages", 0.9, 4.5);
+        let text = c.to_json();
+        let back = Coefficients::parse(&text).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.get("pbsm", "candidates"), (1.25, -10.0));
+        assert_eq!(back.get("shj", "seconds"), (1.0, 0.0)); // unfitted
+    }
+
+    #[test]
+    fn fit_affine_recovers_a_line() {
+        let pts: Vec<(f64, f64)> = (1..6).map(|i| (i as f64, 3.0 * i as f64 + 2.0)).collect();
+        let (a, b) = fit_affine(&pts);
+        assert!((a - 3.0).abs() < 1e-9 && (b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cli_names_cover_the_service_algos() {
+        let planner = Planner::new(4096);
+        for c in planner.candidates() {
+            let name = c.cli_name();
+            assert!(
+                ["pbsm", "pbsm-trie", "pbsm-sort", "s3j", "s3j-orig", "sssj", "shj"]
+                    .contains(&name),
+                "unexpected cli name {name}"
+            );
+        }
+    }
+}

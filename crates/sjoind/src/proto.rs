@@ -22,6 +22,7 @@
 //! | `bad_request`     | malformed JSON or missing/invalid fields           |
 //! | `draining`        | server is shutting down, not accepting joins       |
 
+use spatialjoin::estimate::PlanChoice;
 use spatialjoin::{Algorithm, CrashPoint, InternalAlgo};
 
 use crate::json::{escape, Json};
@@ -69,6 +70,16 @@ pub struct JoinRequest {
     pub hold_ms: Option<u64>,
     /// Attach the reconciled `MetricsReport` to the `done` line.
     pub metrics: bool,
+    /// `"plan": "auto"` — let the cost-based planner pick the algorithm
+    /// and its knobs over the service's streamable candidate space; any
+    /// explicit `algo` is ignored. The chosen plan is reported on the
+    /// `done` line.
+    pub plan: bool,
+    /// Filled by the server once the planner has run: the full chosen
+    /// configuration (including knobs the algorithm name alone cannot
+    /// carry, like the tile count and buffer split). Never parsed from
+    /// the wire; `chosen_plan()` renders the `done`-line description.
+    pub chosen_choice: Option<PlanChoice>,
 }
 
 impl JoinRequest {
@@ -115,6 +126,16 @@ impl JoinRequest {
         if mem_mb <= 0.0 || mem_mb > 16_384.0 {
             return Err("mem_mb must be in (0, 16384]".to_owned());
         }
+        let plan = match v.get("plan") {
+            None | Some(Json::Null) => false,
+            Some(j) => match j.as_str() {
+                Some("auto") => true,
+                Some(other) => {
+                    return Err(format!("field \"plan\" must be \"auto\", got {other:?}"))
+                }
+                None => return Err("field \"plan\" must be the string \"auto\"".to_owned()),
+            },
+        };
         let crash = match v.get("crash") {
             None | Some(Json::Null) => None,
             Some(j) => {
@@ -140,8 +161,16 @@ impl JoinRequest {
             panic_after: opt_u64("panic_after")?,
             hold_ms: opt_u64("hold_ms")?,
             metrics: flag("metrics"),
+            plan,
+            chosen_choice: None,
             algo,
         };
+        if req.plan && (req.reuse || req.crash.is_some()) {
+            // The reuse cache and crash/resume machinery key on a *fixed*
+            // configuration fingerprint; a data-dependent planner pick
+            // would silently miss the cache or refuse the resume.
+            return Err("plan cannot be combined with reuse/crash".to_owned());
+        }
         if (req.reuse || req.crash.is_some()) && !CHECKPOINTABLE.contains(&req.algo.as_str()) {
             return Err(format!(
                 "algorithm {:?} cannot serve reuse/crash requests (not checkpointable; use {})",
@@ -269,6 +298,24 @@ mod tests {
         .is_err());
         // reuse is exclusive with fault/crash injection.
         assert!(parse(r#"{"cmd":"join","left":"a","right":"b","reuse":true,"faults":1}"#).is_err());
+    }
+
+    #[test]
+    fn plan_field_parses_and_validates() {
+        let r = parse(r#"{"cmd":"join","left":"a","right":"b","plan":"auto"}"#).unwrap();
+        assert!(r.plan && r.chosen_choice.is_none());
+        // Only the literal "auto" is accepted on the wire.
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","plan":"explain"}"#).is_err());
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","plan":true}"#).is_err());
+        // Planner picks are data-dependent; fingerprint-keyed modes refuse them.
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","plan":"auto","reuse":true}"#)
+            .is_err());
+        assert!(parse(
+            r#"{"cmd":"join","left":"a","right":"b","plan":"auto","crash":"mid-rename"}"#
+        )
+        .is_err());
+        // Faults compose fine: the planner only picks the configuration.
+        assert!(parse(r#"{"cmd":"join","left":"a","right":"b","plan":"auto","faults":3}"#).is_ok());
     }
 
     #[test]

@@ -383,7 +383,7 @@ enum Outcome {
 }
 
 fn handle_join(inner: &Arc<Inner>, out: &mut TcpStream, parsed: &Json, sid: u64) -> bool {
-    let jr = match JoinRequest::from_json(parsed) {
+    let mut jr = match JoinRequest::from_json(parsed) {
         Ok(jr) => jr,
         Err(e) => return send(out, &proto::error_line("bad_request", &e, &[])),
     };
@@ -410,6 +410,29 @@ fn handle_join(inner: &Arc<Inner>, out: &mut TcpStream, parsed: &Json, sid: u64)
             &proto::error_line("draining", "server is shutting down", &[]),
         );
     };
+    if jr.plan {
+        // Cost-based plan selection over the service's streamable candidate
+        // space: profile the resolved datasets, rank, and rewrite the
+        // request as if the client had asked for the winner explicitly.
+        let planner = spatialjoin::estimate::Planner::new(jr.mem_bytes)
+            .with_disk_model(DiskModel {
+                channels: jr.channels,
+                ..DiskModel::default()
+            })
+            .with_space(spatialjoin::estimate::PlanSpace::Streamable);
+        let plan = planner.plan(
+            &spatialjoin::estimate::DatasetProfile::build(&left),
+            &spatialjoin::estimate::DatasetProfile::build(&right),
+        );
+        let choice = plan.chosen().choice;
+        inner.log(&format!(
+            "session {sid}: plan auto chose {}",
+            choice.describe()
+        ));
+        jr.algo = choice.cli_name().to_owned();
+        jr.chosen_choice = Some(choice);
+    }
+    let jr = jr;
     inner.log(&format!(
         "session {sid}: join {}x{} algo={} mem={}B reuse={} crash={:?}",
         jr.left, jr.right, jr.algo, jr.mem_bytes, jr.reuse, jr.crash
@@ -562,22 +585,34 @@ fn run_streaming(
     left: &Arc<Vec<Kpe>>,
     right: &Arc<Vec<Kpe>>,
 ) -> Outcome {
-    let algo = match proto::algorithm(&jr.algo, jr.mem_bytes, jr.threads) {
-        Ok(a) => a,
-        Err(e) => {
-            let _ = send(out, &proto::error_line("bad_request", &e, &[]));
-            return Outcome::Failed;
-        }
-    };
-    let exec_algo = match algo {
-        Algorithm::Pbsm(cfg) => exec::JoinAlgorithm::Pbsm(cfg),
-        Algorithm::S3j(cfg) => exec::JoinAlgorithm::S3j(cfg),
-        _ => {
-            let _ = send(
-                out,
-                &proto::error_line("unsupported", "algorithm cannot stream", &[]),
-            );
-            return Outcome::Failed;
+    // A planner-selected choice carries knobs (tile count, buffer split)
+    // the algorithm name alone cannot; materialise it directly.
+    let planned = jr
+        .chosen_choice
+        .as_ref()
+        .and_then(exec::JoinAlgorithm::from_choice)
+        .map(|a| a.with_threads(jr.threads));
+    let exec_algo = match planned {
+        Some(a) => a,
+        None => {
+            let algo = match proto::algorithm(&jr.algo, jr.mem_bytes, jr.threads) {
+                Ok(a) => a,
+                Err(e) => {
+                    let _ = send(out, &proto::error_line("bad_request", &e, &[]));
+                    return Outcome::Failed;
+                }
+            };
+            match algo {
+                Algorithm::Pbsm(cfg) => exec::JoinAlgorithm::Pbsm(cfg),
+                Algorithm::S3j(cfg) => exec::JoinAlgorithm::S3j(cfg),
+                _ => {
+                    let _ = send(
+                        out,
+                        &proto::error_line("unsupported", "algorithm cannot stream", &[]),
+                    );
+                    return Outcome::Failed;
+                }
+            }
         }
     };
     let model = DiskModel {
@@ -789,8 +824,11 @@ fn run_special_join(
     token: &CancelToken,
     tx: &mpsc::SyncSender<Msg>,
 ) -> Result<(JoinStats, bool), JoinError> {
-    let algo = proto::algorithm(&jr.algo, jr.mem_bytes, jr.threads)
-        .map_err(|_| JoinError::new("setup", IoError::unsupported()))?;
+    let algo = match &jr.chosen_choice {
+        Some(choice) => Algorithm::from_choice(choice).with_threads(jr.threads),
+        None => proto::algorithm(&jr.algo, jr.mem_bytes, jr.threads)
+            .map_err(|_| JoinError::new("setup", IoError::unsupported()))?,
+    };
     let mut join = SpatialJoin::new(algo)
         .with_disk_model(model)
         .with_cancel(token.clone());
@@ -961,6 +999,9 @@ fn done_line(stats: &JoinStats, jr: &JoinRequest, cache_hit: bool, pairs_sent: u
         cache_hit,
         pairs_sent,
     );
+    if let Some(choice) = &jr.chosen_choice {
+        line.push_str(&format!(",\"plan\":\"{}\"", escape(&choice.describe())));
+    }
     if jr.metrics {
         let mut report = stats.metrics_report(&jr.algo, jr.threads);
         report.counters.partition_cache_hits = u64::from(cache_hit);

@@ -124,6 +124,130 @@ fn total_time_identity() {
     assert!(st.scaled_cpu_seconds() > st.cpu_seconds());
 }
 
+/// The planner's corrected predictions stay within 25 % of the committed
+/// bench corpus (`BENCH_pr6.json` + `planner-coeffs.json`) on candidates
+/// and the I/O meters — the bound `planner-eval --fit` achieved when the
+/// coefficients were committed, pinned here so silent model drift (or a
+/// stale coefficients file) fails the suite instead of degrading picks.
+#[test]
+fn planner_predictions_within_25pct_of_committed_corpus() {
+    use spatial_join_suite::estimate::{
+        Coefficients, DatasetProfile, JointEstimate, PlanAlgo, PlanChoice, Planner,
+    };
+    use spatial_join_suite::InternalAlgo;
+    use storage::DiskModel;
+
+    /// `"key":<value>` extraction matching the regress writer (flat rows).
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let pat = format!("\"{key}\":");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim_matches('"'))
+    }
+
+    const BOUND: f64 = 0.25;
+    // The scale the corpus was recorded (and the coefficients fitted) at.
+    const CORPUS_SCALE: f64 = 0.2;
+    // bench::SEED / bench::paper_mem, replicated so this test does not need
+    // the bench crate or the SJ_SCALE environment variable.
+    const SEED: u64 = 2026;
+    let paper_mem =
+        |mb: f64| -> usize { ((mb * 2.0 * 1024.0 * 1024.0) * CORPUS_SCALE).max(4096.0) as usize };
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let corpus = std::fs::read_to_string(root.join("BENCH_pr6.json")).expect("corpus");
+    let coeffs = Coefficients::load(&root.join("planner-coeffs.json")).expect("coefficients");
+    assert!(!coeffs.is_identity(), "committed coefficients must be fitted");
+    assert_eq!(coeffs.scale, CORPUS_SCALE, "coefficients fitted at the corpus scale");
+
+    let mut lines = corpus.lines().filter(|l| !l.trim().is_empty());
+    let meta = lines.next().expect("corpus meta line");
+    assert_eq!(
+        field(meta, "scale").and_then(|v| v.parse::<f64>().ok()),
+        Some(CORPUS_SCALE),
+        "corpus recorded at the expected scale"
+    );
+
+    let la_rr = datagen::sized(&datagen::la_rr_config(SEED), CORPUS_SCALE).generate();
+    let la_st = datagen::sized(&datagen::la_st_config(SEED), CORPUS_SCALE).generate();
+    let cal_st = datagen::sized(&datagen::cal_st_config(SEED), CORPUS_SCALE).generate();
+    let inputs = |join: &str| -> (Vec<Kpe>, Vec<Kpe>) {
+        match join {
+            "J5" => (cal_st.clone(), cal_st.clone()),
+            _ => {
+                let p: f64 = join.strip_prefix('J').unwrap().parse().unwrap();
+                (datagen::scale(&la_rr, p), datagen::scale(&la_st, p))
+            }
+        }
+    };
+    let model = DiskModel {
+        cpu_slowdown: 0.0,
+        ..Default::default()
+    };
+
+    let mut profiles: Vec<(String, DatasetProfile, DatasetProfile)> = Vec::new();
+    let mut checked = 0usize;
+    for line in lines {
+        // One row per (join, algo): meters are invariant across the
+        // threads × channels grid the corpus also sweeps.
+        if field(line, "threads") != Some("1") || field(line, "channels") != Some("1") {
+            continue;
+        }
+        let join = field(line, "join").expect("row join").to_owned();
+        let algo = field(line, "algo").expect("row algo");
+        let mem = if join == "J5" { paper_mem(8.0) } else { paper_mem(2.0) };
+        let choice = PlanChoice {
+            algo: match algo {
+                "pbsm" => PlanAlgo::PbsmRpm,
+                "s3j" => PlanAlgo::S3jReplicated,
+                other => panic!("unexpected corpus algo {other:?}"),
+            },
+            internal: InternalAlgo::PlaneSweepList,
+            tiles_per_partition: 4,
+            buffer_pages: 1,
+            mem_bytes: mem,
+        };
+        if !profiles.iter().any(|(j, _, _)| *j == join) {
+            let (r, s) = inputs(&join);
+            profiles.push((join.clone(), DatasetProfile::build(&r), DatasetProfile::build(&s)));
+        }
+        let (_, pr, ps) = profiles.iter().find(|(j, _, _)| *j == join).unwrap();
+        let planner = Planner::new(mem)
+            .with_disk_model(model)
+            .with_coefficients(coeffs.clone());
+        let joint = JointEstimate::build(pr, ps);
+        let p = planner.predict(&choice, pr, ps, &joint);
+
+        let meas_u64 = |key: &str| -> f64 {
+            field(line, key).and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
+                panic!("row lacks {key}: {line}")
+            }) as f64
+        };
+        let rel = |predicted: f64, measured: f64| (predicted - measured).abs() / measured;
+        let cand = meas_u64("candidates");
+        let pages = meas_u64("pages_read") + meas_u64("pages_written");
+        let secs: f64 = field(line, "total_s").and_then(|v| v.parse().ok()).expect("total_s");
+        assert!(
+            rel(p.candidates, cand) <= BOUND,
+            "{join}/{algo} candidates: predicted {:.0} vs measured {cand:.0}",
+            p.candidates
+        );
+        assert!(
+            rel(p.pages_read + p.pages_written, pages) <= BOUND,
+            "{join}/{algo} pages: predicted {:.0} vs measured {pages:.0}",
+            p.pages_read + p.pages_written
+        );
+        assert!(
+            rel(p.io_seconds, secs) <= BOUND,
+            "{join}/{algo} io seconds: predicted {:.3} vs measured {secs:.3}",
+            p.io_seconds
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 10, "corpus holds 5 joins x 2 algorithms at threads=1/channels=1");
+}
+
 /// S³J replication reduces intersection tests (the CPU side of Figure 11)
 /// on straddler-heavy (scaled) data.
 #[test]

@@ -376,6 +376,59 @@ fn shutdown_drains_in_flight_joins_and_refuses_new_ones() {
 }
 
 #[test]
+fn plan_auto_reports_its_choice_and_stays_bit_identical() {
+    use spatialjoin::estimate::{DatasetProfile, PlanSpace, Planner};
+
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    let (left, right) = register_ab(addr);
+
+    // Re-derive the pick the server must make: streamable space, identity
+    // coefficients, single channel — then its answer is an oracle for both
+    // the done-line annotation and the pair stream.
+    let plan = Planner::new(MB as usize)
+        .with_space(PlanSpace::Streamable)
+        .plan(&DatasetProfile::build(&left), &DatasetProfile::build(&right));
+    let choice = plan.chosen().choice;
+    let run = SpatialJoin::new(Algorithm::from_choice(&choice))
+        .try_run(&left, &right)
+        .expect("oracle run");
+    let mut want_pairs: Vec<(u64, u64)> = run.pairs.iter().map(|&(a, b)| (a.0, b.0)).collect();
+    want_pairs.sort_unstable();
+
+    let mut c = Client::connect(addr).expect("connect");
+    let resp = c
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0,\"plan\":\"auto\"}")
+        .expect("planned join");
+    assert_eq!(resp.error, None, "{:?}", resp.error);
+    let done = resp.done.clone().expect("done line");
+    assert_eq!(
+        done.get("plan").and_then(Json::as_str),
+        Some(choice.describe().as_str()),
+        "done line must report the chosen plan"
+    );
+    assert_eq!(
+        done.get("results").and_then(Json::as_u64),
+        Some(run.stats.results())
+    );
+    assert_eq!(sorted_pairs(&resp), want_pairs, "planned join differs from oracle");
+
+    // Planning composes with neither reuse nor crash/resume: both key on a
+    // fixed configuration fingerprint.
+    let refused = c
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"plan\":\"auto\",\"reuse\":true}")
+        .expect("plan+reuse stream");
+    assert_eq!(refused.error_kind(), Some("bad_request"), "{:?}", refused.error);
+
+    // An unplanned join's done line carries no plan field.
+    let plain = c
+        .join("{\"cmd\":\"join\",\"left\":\"a\",\"right\":\"b\",\"mem_mb\":1.0}")
+        .expect("plain join");
+    assert!(plain.done.expect("done").get("plan").is_none());
+    assert!(handle.arbiter().is_idle());
+}
+
+#[test]
 fn protocol_rejects_garbage_without_dying() {
     let handle = start(ServerConfig::default());
     let addr = handle.addr();
