@@ -28,8 +28,8 @@ pub mod repro;
 pub mod shrink;
 
 pub use oracle::{
-    brute_force, check_one, check_workload, crash_points_for, run_algo, transforms_for, AlgoId,
-    Failure, RunConfig, Transform,
+    brute_force, chaos_transforms_for, check_one, check_workload, crash_points_for, run_algo,
+    transforms_for, AlgoId, Failure, RunConfig, Transform,
 };
 pub use repro::Repro;
 pub use shrink::shrink;

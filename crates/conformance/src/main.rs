@@ -6,8 +6,8 @@
 //! prints a ready-to-paste regression test. Exit code 1 if any cell failed.
 
 use conformance::{
-    check_one, check_workload, crash_points_for, shrink, transforms_for, AlgoId, Repro, RunConfig,
-    Transform,
+    chaos_transforms_for, check_one, check_workload, crash_points_for, shrink, transforms_for,
+    AlgoId, Repro, RunConfig, Transform,
 };
 use datagen::Adversarial;
 use geom::Kpe;
@@ -23,6 +23,7 @@ struct Args {
     algo: Option<AlgoId>,
     transform: Option<Transform>,
     crash_sweep: bool,
+    chaos: bool,
     max_shrinks: usize,
     shrink_evals: usize,
 }
@@ -40,6 +41,7 @@ impl Default for Args {
             algo: None,
             transform: None,
             crash_sweep: false,
+            chaos: false,
             max_shrinks: 3,
             shrink_evals: 2000,
         }
@@ -67,6 +69,11 @@ OPTIONS:
                    {after-commit:N, mid-partition:N, mid-rename} per seed,
                    checking exactly-once crash+resume against each
                    checkpointable algorithm
+  --chaos          replace the transform matrix with the persistent-damage
+                   set: one pure-corruption leg and one disk-budget leg per
+                   seed; every cell must end bit-identical to the clean run
+                   or in a typed persistent error, never a silent wrong
+                   answer
   --max-shrinks N  stop shrinking after N distinct failures (default 3)
   --shrink-evals N predicate-evaluation budget per shrink (default 2000)
   --help           print this help
@@ -99,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--crash-sweep" => args.crash_sweep = true,
+            "--chaos" => args.chaos = true,
             "--out" => args.out = val("--out")?,
             "--algo" => {
                 let v = val("--algo")?;
@@ -163,6 +171,7 @@ fn main() {
         let transforms: Vec<Transform> = match args.transform {
             Some(t) => vec![t],
             None if args.crash_sweep => crash_points_for(seed),
+            None if args.chaos => chaos_transforms_for(seed),
             None => transforms_for(seed, args.mem),
         };
         let found = check_workload(&r, &s, &cfg, &algos, &transforms);

@@ -129,6 +129,13 @@ pub enum Transform {
     /// the execution strategy, never the geometry, so the result set must be
     /// bit-identical to the reference cell's.
     PlanAuto,
+    /// Persistent media damage (and optionally a disk budget in pages): the
+    /// run must end in exactly one of two states — the bit-identical clean
+    /// result set (quarantine-recompute or fallback recovered it) or a
+    /// typed persistent-kind error. A wrong answer, a transient-kind error
+    /// or a panic is a conformance failure: damaged sectors fail reads,
+    /// they never silently return rotten bytes.
+    Chaos { seed: u64, budget: Option<u64> },
 }
 
 impl Transform {
@@ -164,6 +171,14 @@ impl Transform {
             // compared against; one representative avoids re-running the same
             // planned join nine times per workload.
             Transform::PlanAuto => algo == PbsmRpmList,
+            // Same family set as `Faults`: the PBSM and S³J joins own the
+            // retry/quarantine machinery the chaos relation gates; the
+            // baselines refuse fault injection with a typed setup error and
+            // the in-memory quadtree has no disk to degrade.
+            Transform::Chaos { .. } => matches!(
+                algo,
+                PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort | S3jReplicated | S3jOriginal
+            ),
         }
     }
 }
@@ -183,6 +198,10 @@ impl std::fmt::Display for Transform {
             Transform::Channels { d } => write!(f, "channels {d}"),
             Transform::Crash { point } => write!(f, "crash {point}"),
             Transform::PlanAuto => write!(f, "plan-auto"),
+            Transform::Chaos { seed, budget } => match budget {
+                None => write!(f, "chaos {seed}"),
+                Some(pages) => write!(f, "chaos {seed} budget {pages}"),
+            },
         }
     }
 }
@@ -207,6 +226,15 @@ impl Transform {
                 point: CrashPoint::from_spec(it.next()?)?,
             },
             "plan-auto" => Transform::PlanAuto,
+            "chaos" => {
+                let seed = it.next()?.parse::<u64>().ok()?;
+                let budget = match it.next() {
+                    None => None,
+                    Some("budget") => Some(it.next()?.parse::<u64>().ok()?),
+                    Some(_) => return None,
+                };
+                Transform::Chaos { seed, budget }
+            }
             _ => return None,
         };
         Some(t)
@@ -527,6 +555,75 @@ fn check_crash_legs(
     None
 }
 
+/// The chaos oracle relation: one cell run under a persistent-damage fault
+/// plan (and optionally a page budget that forces ENOSPC mid-run). Exactly
+/// two outcomes are conformant:
+///
+/// 1. the run completes — then its result set must be **bit-identical** to
+///    the clean cell's (quarantine-recompute or the disk-full fallback
+///    ladder recovered it), with metrics still reconciling and the
+///    duplicate-accounting identity intact; or
+/// 2. the run dies with a **typed persistent-kind** I/O error.
+///
+/// A diverging result set, a transient-kind error, or any non-I/O failure
+/// is a conformance violation: damaged sectors fail reads, they never
+/// silently return rotten bytes.
+fn check_chaos(
+    algo: AlgoId,
+    seed: u64,
+    budget: Option<u64>,
+    cfg: &RunConfig,
+    base: &RunOut,
+    r: &[Kpe],
+    s: &[Kpe],
+) -> Option<String> {
+    let base_algo = configured_algorithm(algo, cfg)?;
+    let mut plan = FaultPlan::persistent(seed).with_persistent_rate(0.03);
+    if let Some(pages) = budget {
+        plan = plan.with_disk_budget(pages);
+    }
+    let mut join = SpatialJoin::new(base_algo).with_faults(plan);
+    if cfg.cpu_slowdown.is_some() || cfg.channels.is_some() {
+        let base_model = DiskModel::default();
+        join = join.with_disk_model(DiskModel {
+            cpu_slowdown: cfg.cpu_slowdown.unwrap_or(base_model.cpu_slowdown),
+            channels: cfg.channels.unwrap_or(base_model.channels),
+            ..base_model
+        });
+    }
+    let label = format!("{algo} [chaos {seed}]");
+    match join.try_run(r, s) {
+        Ok(run) => {
+            if let Err(e) = run.stats.metrics_report(&label, cfg.threads).reconcile() {
+                return Some(format!("{label}: metrics fail to reconcile: {e}"));
+            }
+            let mut pairs: Vec<(u64, u64)> =
+                run.pairs.iter().map(|(a, b)| (a.0, b.0)).collect();
+            pairs.sort_unstable();
+            let out = RunOut {
+                pairs,
+                stats: Some(run.stats),
+            };
+            if let Some(msg) = accounting(algo, &out) {
+                return Some(format!("{msg} [under chaos {seed}]"));
+            }
+            if out.pairs != base.pairs {
+                return Some(format!(
+                    "{label}: silent divergence under persistent damage: {}",
+                    first_diff(&out.pairs, &base.pairs)
+                ));
+            }
+            None
+        }
+        Err(e) => match e.io() {
+            Some(io) if io.kind.is_persistent() => None,
+            _ => Some(format!(
+                "{label}: non-persistent failure under persistent damage: {e}"
+            )),
+        },
+    }
+}
+
 fn first_diff(a: &[(u64, u64)], b: &[(u64, u64)]) -> String {
     let only_a = a.iter().find(|p| b.binary_search(p).is_err());
     let only_b = b.iter().find(|p| a.binary_search(p).is_err());
@@ -649,6 +746,9 @@ pub fn check_one(
         }
         Transform::Crash { point } => {
             return check_crash_legs(algo, point, cfg, &base, r, s);
+        }
+        Transform::Chaos { seed, budget } => {
+            return check_chaos(algo, seed, budget, cfg, &base, r, s);
         }
         Transform::PlanAuto => {
             use spatialjoin::estimate::{DatasetProfile, Planner};
@@ -785,6 +885,23 @@ pub fn crash_points_for(seed: u64) -> Vec<Transform> {
     ]
 }
 
+/// The persistent-damage transform set for one soak seed: one pure
+/// corruption leg (every damaged sector fails on every re-read) and one leg
+/// that additionally caps the disk at a seed-derived page budget so the
+/// ENOSPC fallback ladder is exercised alongside quarantine-recompute.
+pub fn chaos_transforms_for(seed: u64) -> Vec<Transform> {
+    vec![
+        Transform::Chaos {
+            seed: seed ^ 0x0BAD_5EC7,
+            budget: None,
+        },
+        Transform::Chaos {
+            seed: seed.wrapping_mul(31).wrapping_add(7),
+            budget: Some(24 + (seed % 5) * 8),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -824,6 +941,37 @@ mod tests {
         for threads in [1usize, 4] {
             let cfg = RunConfig { threads, ..cfg };
             let failures = check_workload(&r, &s, &cfg, &AlgoId::ALL, &crash_points_for(7));
+            assert!(
+                failures.is_empty(),
+                "threads {threads}: unexpected failures: {:?}",
+                failures
+                    .iter()
+                    .map(|f| format!("{} [{}]: {}", f.algo, f.transform, f.message))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_transform_strings_round_trip() {
+        for seed in 0..6 {
+            for t in chaos_transforms_for(seed) {
+                let s = t.to_string();
+                assert_eq!(Transform::parse(&s), Some(t), "{s}");
+            }
+        }
+        assert_eq!(Transform::parse("chaos"), None);
+        assert_eq!(Transform::parse("chaos 3 pages 9"), None);
+        assert_eq!(Transform::parse("chaos 3 budget"), None);
+    }
+
+    #[test]
+    fn chaos_oracle_accepts_a_small_adversarial_workload() {
+        let (r, s) = datagen::Adversarial { count: 60, seed: 9 }.generate_pair();
+        let cfg = RunConfig::default();
+        for threads in [1usize, 4] {
+            let cfg = RunConfig { threads, ..cfg };
+            let failures = check_workload(&r, &s, &cfg, &AlgoId::ALL, &chaos_transforms_for(9));
             assert!(
                 failures.is_empty(),
                 "threads {threads}: unexpected failures: {:?}",

@@ -8,9 +8,12 @@
 //!       [--threads <n>] [--channels <d>] [--limit <n>] [--refine]
 //!       [--distance <eps>] [--stats]
 //!       [--faults <seed>] [--fault-rate <p>] [--retry <n>] [--deadline <s>]
+//!       [--persistent-rate <p>] [--disk-budget <pages>]
+//!       [--degraded-channel <c:factor>]
 //!       [--durable] [--crash <spec>] [--run-dir <dir>] [--resume <id>]
 //!       [--metrics-json <path>] [--trace <path>]
 //!       [--plan off|auto|explain] [--plan-coeffs <path>]
+//! sjoin scrub [--run-dir <dir>]
 //! ```
 //!
 //! Examples:
@@ -52,6 +55,9 @@ struct Args {
     stats: bool,
     faults: Option<u64>,
     fault_rate: Option<f64>,
+    persistent_rate: Option<f64>,
+    disk_budget: Option<u64>,
+    degraded_channel: Option<(usize, f64)>,
     retry: Option<u32>,
     deadline: Option<f64>,
     crash: Option<CrashPoint>,
@@ -83,6 +89,9 @@ const VALID_FLAGS: &[&str] = &[
     "--stats",
     "--faults",
     "--fault-rate",
+    "--persistent-rate",
+    "--disk-budget",
+    "--degraded-channel",
     "--retry",
     "--deadline",
     "--crash",
@@ -139,6 +148,9 @@ impl Args {
             stats: false,
             faults: None,
             fault_rate: None,
+            persistent_rate: None,
+            disk_budget: None,
+            degraded_channel: None,
             retry: None,
             deadline: None,
             crash: None,
@@ -183,6 +195,19 @@ impl Args {
                         Some(val("--faults")?.parse().map_err(|e| format!("--faults: {e}"))?)
                 }
                 "--fault-rate" => args.fault_rate = Some(parse_num(&val("--fault-rate")?)?),
+                "--persistent-rate" => {
+                    args.persistent_rate = Some(parse_num(&val("--persistent-rate")?)?)
+                }
+                "--disk-budget" => {
+                    args.disk_budget = Some(
+                        val("--disk-budget")?
+                            .parse()
+                            .map_err(|e| format!("--disk-budget: {e}"))?,
+                    )
+                }
+                "--degraded-channel" => {
+                    args.degraded_channel = Some(parse_degraded_channel(&val("--degraded-channel")?)?)
+                }
                 "--retry" => {
                     args.retry =
                         Some(val("--retry")?.parse().map_err(|e| format!("--retry: {e}"))?)
@@ -243,6 +268,14 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
   --stats         print the phase breakdown
   --faults SEED   inject seeded deterministic disk faults
   --fault-rate P  fraction of request identities that fail  (default 0.05)
+  --persistent-rate P  fraction of (channel, page) sectors with persistent
+                  media damage: re-reads always fail, so the join must
+                  quarantine and recompute the affected partition/level files
+                  (exit 0 with a `degraded` line) or surface a typed error
+  --disk-budget N cap the simulated volume at N pages; writes past it fail
+                  with disk-full and trigger the typed fallback ladder
+  --degraded-channel C:F  multiply data channel C's transfer time by F
+                  (results unchanged; only the simulated clock degrades)
   --retry N       attempts per page request, incl. the first (default 4)
   --deadline S    simulated-time deadline in seconds; expiry exits 3 (resumable
                   when the run is durable)
@@ -263,10 +296,93 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
                   table (predicted vs chosen) before running the winner
   --plan-coeffs P fitted correction coefficients for the planner's cost model
                   (default planner-coeffs.json if present; refit with
-                  `cargo run -p bench --bin planner-eval -- --fit BENCH_pr6.json`)";
+                  `cargo run -p bench --bin planner-eval -- --fit BENCH_pr6.json`)
+
+  sjoin scrub [--run-dir DIR]   offline integrity walk over the interrupted
+                  durable runs under DIR (default runs): validates each
+                  state.bin snapshot and prints a machine-readable JSON
+                  summary; exit 0 when every snapshot is sound, 1 otherwise";
 
 fn parse_num(v: &str) -> Result<f64, String> {
     v.parse().map_err(|e| format!("bad number {v}: {e}"))
+}
+
+/// Parses a `--degraded-channel` spec: `CHANNEL:FACTOR`, factor ≥ 1.
+fn parse_degraded_channel(spec: &str) -> Result<(usize, f64), String> {
+    let err = || format!("--degraded-channel: bad spec {spec} (want CHANNEL:FACTOR, e.g. 0:4)");
+    let (c, f) = spec.split_once(':').ok_or_else(err)?;
+    let channel: usize = c.parse().map_err(|_| err())?;
+    let factor: f64 = f.parse().map_err(|_| err())?;
+    if !factor.is_finite() || factor < 1.0 {
+        return Err(format!("--degraded-channel: factor must be >= 1, got {factor}"));
+    }
+    Ok((channel, factor))
+}
+
+/// Assembles the fault plan from the injection flags, or `None` when no
+/// fault flag was given. `--faults SEED` supplies the transient plan; the
+/// persistent taxa (`--persistent-rate`, `--disk-budget`,
+/// `--degraded-channel`) compose onto it, or onto an otherwise-clean plan
+/// keyed on the dataset seed when `--faults` is absent.
+fn fault_plan(args: &Args) -> Option<FaultPlan> {
+    let taxa = args.persistent_rate.is_some()
+        || args.disk_budget.is_some()
+        || args.degraded_channel.is_some();
+    if args.faults.is_none() && !taxa {
+        return None;
+    }
+    let mut plan = match args.faults {
+        Some(seed) => FaultPlan::recoverable(seed),
+        None => FaultPlan::none(args.seed),
+    };
+    if let Some(rate) = args.fault_rate {
+        plan.fault_rate = rate.clamp(0.0, 1.0);
+    }
+    if let Some(rate) = args.persistent_rate {
+        plan = plan.with_persistent_rate(rate.clamp(0.0, 1.0));
+    }
+    if let Some(pages) = args.disk_budget {
+        plan = plan.with_disk_budget(pages);
+    }
+    if let Some((channel, factor)) = args.degraded_channel {
+        plan = plan.with_degraded_channel(channel, factor);
+    }
+    Some(plan)
+}
+
+/// Quarantine and fallback events that let the run finish *exactly* despite
+/// persistent media damage. Printed unconditionally (not only under
+/// `--stats`): the join exits 0 because the result is correct, but an
+/// operator should know the media is rotting under it.
+fn degraded_line(stats: &JoinStats) -> Option<String> {
+    let mut parts = Vec::new();
+    match stats {
+        JoinStats::Pbsm(s) => {
+            if s.quarantined_partitions > 0 {
+                parts.push(format!(
+                    "{} partition file(s) quarantined and recomputed from source",
+                    s.quarantined_partitions
+                ));
+            }
+            if s.enospc_fallbacks > 0 {
+                parts.push(format!("{} disk-full fallback(s)", s.enospc_fallbacks));
+            }
+        }
+        JoinStats::S3j(s) => {
+            if s.quarantined_levels > 0 {
+                parts.push(format!(
+                    "{} level file(s) quarantined and recomputed from source",
+                    s.quarantined_levels
+                ));
+            }
+        }
+        JoinStats::Sssj(_) | JoinStats::Shj(_) => {}
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(", "))
+    }
 }
 
 fn dataset(name: &str, scale: f64, seed: u64) -> Result<datagen::LineDataset, String> {
@@ -403,6 +519,93 @@ fn print_fault_stats(stats: &JoinStats) {
     line("total", &io);
 }
 
+/// `sjoin scrub [--run-dir DIR]`: offline integrity walk over interrupted
+/// durable runs. Each `<DIR>/<id>/state.bin` snapshot is restored onto a
+/// scratch simulated disk, which validates the container end to end
+/// (magic, version, per-file framing, trailing bytes). Prints one JSON
+/// summary line; exits 0 when every snapshot is sound, 1 otherwise.
+fn run_scrub(rest: Vec<String>) -> ! {
+    let mut run_dir = "runs".to_string();
+    let mut it = rest.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--run-dir" => match it.next() {
+                Some(v) => run_dir = v,
+                None => die::<()>("--run-dir needs a value".into()),
+            },
+            other => die::<()>(format!("scrub: unknown flag {other} (scrub takes --run-dir only)")),
+        }
+    }
+    let (summary, sound) = scrub_summary(std::path::Path::new(&run_dir));
+    println!("{summary}");
+    std::process::exit(i32::from(!sound));
+}
+
+/// The machine-readable scrub report and whether every snapshot was sound.
+/// A run directory without a readable `state.bin` counts as corrupt: an
+/// interrupted run that lost its snapshot cannot be resumed.
+fn scrub_summary(dir: &std::path::Path) -> (String, bool) {
+    let mut entries: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect()
+        })
+        .unwrap_or_default();
+    entries.sort();
+    let mut runs: Vec<String> = Vec::new();
+    let (mut ok, mut corrupt) = (0usize, 0usize);
+    for path in entries {
+        let id = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let entry = match std::fs::read(path.join("state.bin")) {
+            Err(_) => {
+                corrupt += 1;
+                format!("{{\"id\":\"{id}\",\"status\":\"missing-state\"}}")
+            }
+            Ok(bytes) => {
+                let disk = SimDisk::with_default_model();
+                match disk.restore_files(&bytes) {
+                    Ok(()) => {
+                        ok += 1;
+                        let files = disk.file_ids();
+                        let spares = files.iter().filter(|&&f| disk.is_spare(f)).count();
+                        format!(
+                            "{{\"id\":\"{id}\",\"status\":\"ok\",\"bytes\":{},\"files\":{},\
+                             \"pages\":{},\"spare_files\":{}}}",
+                            bytes.len(),
+                            files.len(),
+                            disk.pages_in_use(),
+                            spares
+                        )
+                    }
+                    Err(e) => {
+                        corrupt += 1;
+                        format!(
+                            "{{\"id\":\"{id}\",\"status\":\"corrupt\",\"bytes\":{},\
+                             \"error\":\"{}\"}}",
+                            bytes.len(),
+                            e.kind.describe()
+                        )
+                    }
+                }
+            }
+        };
+        runs.push(entry);
+    }
+    let summary = format!(
+        "{{\"run_dir\":{:?},\"scanned\":{},\"ok\":{},\"corrupt\":{},\"runs\":[{}]}}",
+        dir.display().to_string(),
+        runs.len(),
+        ok,
+        corrupt,
+        runs.join(",")
+    );
+    (summary, corrupt == 0)
+}
+
 /// Runs a durable (checkpointed) join: fresh on an empty disk, resumed from
 /// a state snapshot under `--run-dir` otherwise. A resumable interruption
 /// (crash point, deadline, cancellation) persists the disk image and exits
@@ -422,14 +625,8 @@ fn run_durable(args: &Args, join: &SpatialJoin, left: &[spatialjoin::Kpe], right
         });
         disk.restore_files(&bytes)
             .unwrap_or_else(|e| die(format!("--resume {id}: corrupt snapshot: {e}")));
-    } else if args.crash.is_some() || args.faults.is_some() {
-        let mut plan = match args.faults {
-            Some(seed) => FaultPlan::recoverable(seed),
-            None => FaultPlan::crash_only(args.seed, CrashPoint::MidRename),
-        };
-        if let Some(rate) = args.fault_rate {
-            plan.fault_rate = rate.clamp(0.0, 1.0);
-        }
+    } else if args.crash.is_some() || fault_plan(args).is_some() {
+        let mut plan = fault_plan(args).unwrap_or_else(|| FaultPlan::none(args.seed));
         plan.crash = args.crash;
         // Fault state lives on the disk for durable runs: the checkpoint
         // layer arms crash injection from the disk's own plan.
@@ -476,6 +673,10 @@ fn finish_durable(
 }
 
 fn main() {
+    let mut argv = std::env::args().skip(1);
+    if argv.next().as_deref() == Some("scrub") {
+        run_scrub(argv.collect());
+    }
     let args = match Args::parse() {
         Ok(a) => a,
         Err(e) => {
@@ -537,11 +738,7 @@ fn main() {
         channels: args.channels,
         ..Default::default()
     });
-    if let Some(seed) = args.faults {
-        let mut plan = FaultPlan::recoverable(seed);
-        if let Some(rate) = args.fault_rate {
-            plan.fault_rate = rate.clamp(0.0, 1.0);
-        }
+    if let Some(plan) = fault_plan(&args) {
         join = join.with_faults(plan);
     }
     if let Some(n) = args.retry {
@@ -630,6 +827,9 @@ fn main() {
     if let Some(first) = run.stats.first_result_seconds() {
         println!("first result at  : {first:.2} s");
     }
+    if let Some(degraded) = degraded_line(&run.stats) {
+        println!("degraded         : {degraded}");
+    }
     if args.stats {
         print_phase_stats(&run.stats);
         print_fault_stats(&run.stats);
@@ -690,6 +890,46 @@ mod tests {
         // Far from everything: list the valid modes instead of guessing.
         let err = PlanMode::parse("qwertyuiop").unwrap_err();
         assert!(err.contains("off|auto|explain"), "{err}");
+    }
+
+    #[test]
+    fn degraded_channel_spec_parses() {
+        assert_eq!(parse_degraded_channel("0:4"), Ok((0, 4.0)));
+        assert_eq!(parse_degraded_channel("2:1.5"), Ok((2, 1.5)));
+        assert!(parse_degraded_channel("nope").is_err());
+        assert!(parse_degraded_channel("1:0.5").is_err(), "factor < 1 must be refused");
+        assert!(parse_degraded_channel("1:").is_err());
+    }
+
+    #[test]
+    fn scrub_walks_run_dirs_and_flags_corruption() {
+        let base = std::env::temp_dir().join(format!("sjoin-scrub-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        for id in ["41", "42", "43"] {
+            std::fs::create_dir_all(base.join(id)).expect("test dir");
+        }
+        // 41: a sound snapshot with one spare file.
+        let disk = SimDisk::with_default_model();
+        let f = disk.create_on(3);
+        disk.append(f, &[7u8; 100]);
+        let spare = disk.create_spare_like(f);
+        disk.append(spare, &[8u8; 10]);
+        std::fs::write(base.join("41").join("state.bin"), disk.export_files()).expect("write");
+        // 42: a truncated snapshot. 43: no state.bin at all.
+        std::fs::write(base.join("42").join("state.bin"), b"SJDKgarbage").expect("write");
+        let (summary, sound) = scrub_summary(&base);
+        assert!(!sound, "{summary}");
+        assert!(summary.contains("\"scanned\":3"), "{summary}");
+        assert!(summary.contains("\"ok\":1"), "{summary}");
+        assert!(summary.contains("\"corrupt\":2"), "{summary}");
+        assert!(summary.contains("\"status\":\"missing-state\""), "{summary}");
+        assert!(summary.contains("\"spare_files\":1"), "{summary}");
+        // A sound-only dir scrubs clean.
+        std::fs::remove_dir_all(base.join("42")).expect("rm");
+        std::fs::remove_dir_all(base.join("43")).expect("rm");
+        let (summary, sound) = scrub_summary(&base);
+        assert!(sound, "{summary}");
+        std::fs::remove_dir_all(&base).expect("rm");
     }
 
     #[test]

@@ -706,6 +706,7 @@ pub struct Planner {
     model: DiskModel,
     coeffs: Coefficients,
     space: PlanSpace,
+    disk_budget_pages: Option<u64>,
 }
 
 impl Planner {
@@ -715,7 +716,18 @@ impl Planner {
             model: DiskModel::default(),
             coeffs: Coefficients::identity(),
             space: PlanSpace::All,
+            disk_budget_pages: None,
         }
+    }
+
+    /// Plans against a capacity-limited volume: candidates whose predicted
+    /// page footprint exceeds `pages` rank behind every fitting one, so a
+    /// disk-full run re-planned through here lands on an in-memory-eligible
+    /// (or at least smaller-footprint) configuration instead of hitting
+    /// ENOSPC again.
+    pub fn with_disk_budget_pages(mut self, pages: u64) -> Planner {
+        self.disk_budget_pages = Some(pages);
+        self
     }
 
     /// Predicts under a specific disk model (channel count, CPU slowdown).
@@ -749,10 +761,19 @@ impl Planner {
             .collect();
         // Deterministic ranking: predicted total, then the enumeration
         // order (already deterministic) as the tie-break via stable sort.
+        // With a disk budget, over-footprint candidates sort behind every
+        // fitting one regardless of predicted speed — a plan that cannot
+        // complete has no meaningful runtime.
+        let over = |p: &Prediction| {
+            self.disk_budget_pages
+                .is_some_and(|b| p.pages_written > b as f64)
+        };
         ranked.sort_by(|a, b| {
-            a.predicted
-                .total_seconds
-                .total_cmp(&b.predicted.total_seconds)
+            over(&a.predicted).cmp(&over(&b.predicted)).then(
+                a.predicted
+                    .total_seconds
+                    .total_cmp(&b.predicted.total_seconds),
+            )
         });
         Plan { ranked }
     }
@@ -1582,6 +1603,44 @@ mod tests {
             .candidates()
             .iter()
             .all(|c| c.streamable()));
+    }
+
+    #[test]
+    fn disk_budget_demotes_over_footprint_candidates() {
+        let r = DatasetProfile::build(&tiger(3000, 0.1, 9));
+        let s = DatasetProfile::build(&tiger(3000, 0.1, 10));
+        // Tight memory: every on-disk candidate predicts real page traffic.
+        let unbounded = Planner::new(32 * 1024).plan(&r, &s);
+        assert!(
+            unbounded.chosen().predicted.pages_written > 0.0,
+            "baseline must want disk"
+        );
+        // A one-page volume disqualifies every on-disk plan: the chosen
+        // candidate must be one that predicts a footprint within budget (if
+        // any exists) — and the demoted ones must all sit behind it.
+        let capped = Planner::new(32 * 1024)
+            .with_disk_budget_pages(1)
+            .plan(&r, &s);
+        let fits: Vec<bool> = capped
+            .ranked
+            .iter()
+            .map(|c| c.predicted.pages_written <= 1.0)
+            .collect();
+        if fits.contains(&true) {
+            assert!(fits[0], "an in-budget candidate must rank first");
+        }
+        let first_over = fits.iter().position(|f| !f);
+        if let Some(i) = first_over {
+            assert!(
+                fits[i..].iter().all(|f| !f),
+                "in-budget candidate ranked behind an over-budget one"
+            );
+        }
+        // With ample memory the in-memory single-partition plan fits a
+        // one-page volume and wins outright.
+        let roomy = Planner::new(1 << 30).with_disk_budget_pages(1).plan(&r, &s);
+        assert_eq!(roomy.chosen().predicted.partitions, 1);
+        assert_eq!(roomy.chosen().predicted.pages_written, 0.0);
     }
 
     #[test]

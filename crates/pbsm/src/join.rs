@@ -107,6 +107,15 @@ pub struct PbsmStats {
     /// Partition pairs whose load exhausted the retry budget and that fell
     /// back to recursive repartitioning (graceful degradation).
     pub degraded_partitions: u32,
+    /// Partition pairs abandoned to persistent media damage and recomputed
+    /// in memory from the source relations (quarantine-recompute). RPM's
+    /// stateless per-pair reference-point test keeps the recompute leg
+    /// duplicate-free, so the output is identical to an undamaged run's.
+    pub quarantined_partitions: u32,
+    /// Times the partition phase hit simulated ENOSPC and fell back to a
+    /// smaller-footprint plan (coarser tiling, then the in-memory
+    /// single-partition path).
+    pub enospc_fallbacks: u32,
     /// Durable per-partition journal commits performed by this run (zero
     /// unless the run is checkpointed).
     pub checkpoint_commits: u64,
@@ -162,6 +171,8 @@ impl PbsmStats {
             duplicates: 0,
             requeued_partitions: 0,
             degraded_partitions: 0,
+            quarantined_partitions: 0,
+            enospc_fallbacks: 0,
             checkpoint_commits: 0,
             join_counters: JoinCounters::default(),
             io_partition: IoStats::default(),
@@ -274,6 +285,8 @@ impl PbsmStats {
         self.duplicates += other.duplicates;
         self.requeued_partitions += other.requeued_partitions;
         self.degraded_partitions += other.degraded_partitions;
+        self.quarantined_partitions += other.quarantined_partitions;
+        self.enospc_fallbacks += other.enospc_fallbacks;
         self.checkpoint_commits += other.checkpoint_commits;
         self.join_counters.merge(&other.join_counters);
         self.io_partition = self.io_partition.plus(&other.io_partition);
@@ -298,6 +311,11 @@ struct Ctx<'a> {
     /// the parallel path (so the max-over-workers reduction reports the
     /// phase cost on dedicated cores, not host timeslicing).
     clock: &'a dyn Fn() -> f64,
+    /// The source relations, kept around so a partition file lost to
+    /// *persistent* media damage can be quarantined and its pair recomputed
+    /// in memory (source reads are free of charge per the paper's cost
+    /// model, §2 — the inputs live outside the simulated disk).
+    sources: (&'a [Kpe], &'a [Kpe]),
 }
 
 /// Runs PBSM on `r ⋈ s`, invoking `out` for every result pair.
@@ -407,9 +425,10 @@ pub fn try_pbsm_join_ctl(
     // may carry charges from earlier runs; only this run's deltas count).
     let ch0 = disk.channel_stats();
     let input_bytes = (r.len() + s.len()) * Kpe::ENCODED_SIZE;
-    let p = ((cfg.safety_factor * input_bytes as f64 / cfg.mem_bytes as f64).ceil() as u32).max(1);
-    let grid = TileGrid::for_partitions(p, cfg.tiles_per_partition);
-    let map = PartitionMap::new(p, cfg.tile_scheme, cfg.seed);
+    let mut p =
+        ((cfg.safety_factor * input_bytes as f64 / cfg.mem_bytes as f64).ceil() as u32).max(1);
+    let mut grid = TileGrid::for_partitions(p, cfg.tiles_per_partition);
+    let mut map = PartitionMap::new(p, cfg.tile_scheme, cfg.seed);
     stats.partitions = p;
     stats.grid = grid;
 
@@ -417,7 +436,7 @@ pub fn try_pbsm_join_ctl(
     // model it can be joined straight from memory, so the partition files
     // are never materialised (the same shortcut every in-memory hash join
     // takes when it fits).
-    let single = p == 1;
+    let mut single = p == 1;
     let (files_r, files_s) = if single {
         stats.copies_r = r.len() as u64; // one logical copy each, not on disk
         stats.copies_s = s.len() as u64;
@@ -446,18 +465,51 @@ pub fn try_pbsm_join_ctl(
                 disk.io_seconds() + model.scaled_cpu(t0.elapsed().as_secs_f64()),
             )
         };
-        let (files_r, copies_r) =
-            partition_relation(disk, r, grid, map, cfg.partition_buffer_pages, &mut poll)?;
-        let (files_s, copies_s) =
-            match partition_relation(disk, s, grid, map, cfg.partition_buffer_pages, &mut poll) {
-                Ok(v) => v,
+        let run_both = |g: TileGrid,
+                        m: PartitionMap,
+                        poll: &mut dyn FnMut(u64) -> Option<JoinError>|
+         -> Result<(Partitioned, Partitioned), JoinError> {
+            let fr = partition_relation(disk, r, g, m, cfg.partition_buffer_pages, poll)?;
+            match partition_relation(disk, s, g, m, cfg.partition_buffer_pages, poll) {
+                Ok(fs) => Ok((fr, fs)),
                 Err(e) => {
-                    for &f in &files_r {
+                    for &f in &fr.0 {
                         disk.delete(f);
                     }
-                    return Err(e);
+                    Err(e)
                 }
-            };
+            }
+        };
+        let is_enospc = |e: &JoinError| {
+            e.io().is_some_and(|io| io.kind == storage::IoErrorKind::DiskFull)
+        };
+        let mut res = run_both(grid, map, &mut poll);
+        // ENOSPC fallback ladder, fresh (non-checkpointed) runs only — the
+        // resume fingerprint pins a checkpointed run's partition geometry,
+        // so those surface the typed error for the caller to re-plan.
+        // Rung 1: coarser tiling (fewer tiles ⇒ less replication ⇒ fewer
+        // pages). Rung 2: the in-memory single-partition plan, which
+        // touches no disk at all. `partition_relation` deleted its files on
+        // the way out, so each rung starts from the freed budget.
+        if !checkpointing {
+            if res.as_ref().err().is_some_and(is_enospc) && cfg.tiles_per_partition > 1 {
+                stats.enospc_fallbacks += 1;
+                grid = TileGrid::for_partitions(p, 1);
+                stats.grid = grid;
+                res = run_both(grid, map, &mut poll);
+            }
+            if res.as_ref().err().is_some_and(is_enospc) {
+                stats.enospc_fallbacks += 1;
+                single = true;
+                p = 1;
+                grid = TileGrid::for_partitions(1, cfg.tiles_per_partition);
+                map = PartitionMap::new(1, cfg.tile_scheme, cfg.seed);
+                stats.partitions = 1;
+                stats.grid = grid;
+                res = Ok(((Vec::new(), r.len() as u64), (Vec::new(), s.len() as u64)));
+            }
+        }
+        let ((files_r, copies_r), (files_s, copies_s)) = res?;
         stats.copies_r = copies_r;
         stats.copies_s = copies_s;
         (files_r, files_s)
@@ -563,6 +615,7 @@ pub fn try_pbsm_join_ctl(
                     internal: &mut *internal,
                     stats: &mut stats,
                     clock: &wall_clock,
+                    sources: (r, s),
                 };
                 if checkpointing {
                     join_loaded(
@@ -656,6 +709,7 @@ pub fn try_pbsm_join_ctl(
                         internal: &mut *internal,
                         stats: &mut stats,
                         clock: &wall_clock,
+                        sources: (r, s),
                     };
                     if checkpointing {
                         join_pair(
@@ -869,6 +923,7 @@ pub fn try_pbsm_join_ctl(
                     internal: &mut **internal,
                     stats: partial,
                     clock: &clock,
+                    sources: (r, s),
                 };
                 let res = join_pair(
                     &mut ctx,
@@ -1222,6 +1277,9 @@ fn commit_and_emit(
 /// deadline expiry can interrupt the pass; on any error — I/O or
 /// interruption — every file this call created is deleted before returning,
 /// so an interrupted partition phase leaves no orphan files behind.
+/// One relation's partition files plus the KPE copies written into them.
+type Partitioned = (Vec<FileId>, u64);
+
 fn partition_relation(
     disk: &SimDisk,
     data: &[Kpe],
@@ -1229,7 +1287,7 @@ fn partition_relation(
     map: PartitionMap,
     buffer_pages: usize,
     poll: &mut dyn FnMut(u64) -> Option<JoinError>,
-) -> Result<(Vec<FileId>, u64), JoinError> {
+) -> Result<Partitioned, JoinError> {
     let io_err = |e: IoError| JoinError::new("partition", e);
     let p = map.partitions;
     // Partition `pid` rides data channel `pid mod D` (the mod is applied at
@@ -1357,6 +1415,52 @@ enum Preloaded {
     Failed { err: IoError, failed_r: bool },
 }
 
+/// Quarantine-recompute for a partition pair lost to persistent media
+/// damage: the on-disk copy is abandoned where it lies and both sides'
+/// members are rebuilt **from the source relations** — a record belongs to
+/// the pair iff it overlaps a tile of the pair's region at the chain's
+/// finest refinement, which is by construction exactly the membership test
+/// the partition (and every repartition) pass applied when the damaged file
+/// was written (`contains_tile` agrees with `contains_point`; see the grid
+/// tests). The rebuilt pair is then joined in memory under the same
+/// [`RegionChain`], so RPM classifies every candidate identically to an
+/// undamaged run and the recompute leg stays exactly-once. Source reads are
+/// free per the cost model (§2), so a quarantined run does strictly less
+/// page I/O than a cold rerun, which would re-partition everything.
+///
+/// The in-memory join deliberately ignores `mem_bytes`: honouring the
+/// budget would mean repartitioning — i.e. re-reading the damaged file —
+/// and an over-budget exact answer beats no answer. This is the accepted
+/// degraded-mode concession, surfaced via
+/// [`PbsmStats::quarantined_partitions`].
+fn quarantine_join(
+    ctx: &mut Ctx<'_>,
+    chain: &RegionChain,
+    top: u32,
+    out: &mut dyn FnMut(RecordId, RecordId),
+    cand: &mut dyn FnMut(IdPair) -> Result<(), IoError>,
+) -> Result<(), JoinError> {
+    let c0 = (ctx.clock)();
+    let f = chain.max_f();
+    let members = |data: &[Kpe]| -> Vec<Kpe> {
+        data.iter()
+            .filter(|k| {
+                let (xs, ys) = chain.base.tile_range(&k.rect, f);
+                ys.clone()
+                    .any(|iy| xs.clone().any(|ix| chain.contains_tile(ix, iy, f)))
+            })
+            .copied()
+            .collect()
+    };
+    let (r, s) = ctx.sources;
+    let mut rv = members(r);
+    let mut sv = members(s);
+    ctx.stats.quarantined_partitions += 1;
+    let joined = join_loaded(ctx, &mut rv, &mut sv, chain, out, cand);
+    ctx.stats.cpu_join += (ctx.clock)() - c0;
+    joined.map_err(|e| JoinError::in_partition("dedup", top, e))
+}
+
 /// Phases 2+3 for one partition pair: join it if it fits, else repartition
 /// the larger side (§3.2.3) and recurse. `top` is the top-level partition
 /// index this pair descends from, carried for error attribution.
@@ -1430,6 +1534,12 @@ fn join_pair(
             Err(e) => {
                 ctx.stats.io_join = ctx.stats.io_join.plus(&disk.stats().delta(&io0));
                 ctx.stats.cpu_join += (ctx.clock)() - c0;
+                if e.kind.is_persistent() {
+                    // Persistent damage: re-reads fail identically, and the
+                    // repartitioning fallback would read the same damaged
+                    // file. Quarantine the pair and recompute it from source.
+                    return quarantine_join(ctx, chain, top, out, cand);
+                }
                 if refinement_exhausted {
                     return Err(join_err(e));
                 }
@@ -1546,6 +1656,12 @@ fn join_pair(
     ctx.stats.io_repart = ctx.stats.io_repart.plus(&disk.stats().delta(&io0));
     ctx.stats.cpu_repart += (ctx.clock)() - c0;
     if let Some(e) = copy_err {
+        if e.kind.is_persistent() {
+            // The copy pass hit persistent damage (a bad sector in the file
+            // being split, or ENOSPC on the sub-files): no number of
+            // re-issues cures it. Quarantine and recompute from source.
+            return quarantine_join(ctx, chain, top, out, cand);
+        }
         return Err(repart_err(e));
     }
 
@@ -1871,6 +1987,105 @@ mod tests {
             st1.total_seconds()
         );
         assert_eq!(st4.total_seconds(), st4t.total_seconds());
+    }
+
+    #[test]
+    fn persistent_corruption_quarantines_and_stays_exact() {
+        use storage::{FaultPlan, RetryPolicy};
+        let (r, s) = tiger_pair(2000);
+        let cfg = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            ..Default::default()
+        };
+        let clean = run(&r, &s, &cfg).0;
+        // Persistent damage is a pure function of (seed, channel, page), so
+        // hunt a few seeds until one lands on a partition file; every seed —
+        // hit or miss — must still produce the exact result set.
+        let mut hit = false;
+        for seed in 0..64u64 {
+            let disk = SimDisk::with_default_model().with_faults(
+                FaultPlan::persistent(seed).with_persistent_rate(0.02),
+                RetryPolicy::default(),
+            );
+            let mut got = Vec::new();
+            let stats = try_pbsm_join(&disk, &r, &s, &cfg, &mut |a, b| got.push((a.0, b.0)))
+                .expect("persistent damage must quarantine, not kill the join");
+            got.sort_unstable();
+            assert_eq!(got, clean, "seed {seed} diverged");
+            if stats.quarantined_partitions > 0 {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "no seed damaged a partition file read");
+    }
+
+    #[test]
+    fn quarantine_is_thread_invariant() {
+        use storage::{FaultPlan, RetryPolicy};
+        let (r, s) = tiger_pair(2000);
+        // Damage keys on (seed, channel, page) — not on who reads — so the
+        // sequential and parallel executors quarantine the same pairs and
+        // emit the same results.
+        let run_t = |threads: usize, seed: u64| {
+            let disk = SimDisk::with_default_model().with_faults(
+                FaultPlan::persistent(seed).with_persistent_rate(0.05),
+                RetryPolicy::default(),
+            );
+            let cfg = PbsmConfig {
+                mem_bytes: 32 * 1024,
+                threads,
+                ..Default::default()
+            };
+            let mut got = Vec::new();
+            let stats = try_pbsm_join(&disk, &r, &s, &cfg, &mut |a, b| got.push((a.0, b.0)))
+                .expect("quarantine covers persistent damage");
+            got.sort_unstable();
+            (got, stats)
+        };
+        for seed in [3u64, 11, 29] {
+            let (got1, st1) = run_t(1, seed);
+            let (got4, st4) = run_t(4, seed);
+            assert_eq!(got1, got4, "seed {seed}");
+            assert_eq!(
+                st1.quarantined_partitions, st4.quarantined_partitions,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn enospc_falls_back_down_the_ladder_and_stays_exact() {
+        use storage::{FaultPlan, RetryPolicy};
+        let (r, s) = tiger_pair(1500);
+        let cfg = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            ..Default::default()
+        };
+        let clean = run(&r, &s, &cfg).0;
+        // A zero-page volume rejects every tiling: rung one (coarser tiles)
+        // and rung two (in-memory single partition) both fire.
+        let disk = SimDisk::with_default_model().with_faults(
+            FaultPlan::none(7).with_disk_budget(0),
+            RetryPolicy::default(),
+        );
+        let mut got = Vec::new();
+        let stats = try_pbsm_join(&disk, &r, &s, &cfg, &mut |a, b| got.push((a.0, b.0)))
+            .expect("ENOSPC must degrade to the in-memory plan, not die");
+        got.sort_unstable();
+        assert_eq!(got, clean);
+        assert_eq!(stats.enospc_fallbacks, 2);
+        assert_eq!(stats.partitions, 1);
+        assert_eq!(stats.duplicates, 0, "one partition cannot duplicate");
+        assert_eq!(disk.pages_in_use(), 0, "fallback leaked partition files");
+        // A generous budget never trips the ladder.
+        let disk = SimDisk::with_default_model().with_faults(
+            FaultPlan::none(7).with_disk_budget(1 << 20),
+            RetryPolicy::default(),
+        );
+        let stats = try_pbsm_join(&disk, &r, &s, &cfg, &mut |_, _| {}).unwrap();
+        assert_eq!(stats.enospc_fallbacks, 0);
+        assert!(stats.partitions > 1);
     }
 
     #[test]

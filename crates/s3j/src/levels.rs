@@ -188,6 +188,47 @@ impl LevelFiles {
     }
 }
 
+/// Recomputes the records of one level in memory, sorted by locational code
+/// — the quarantine-recompute path for a level file on persistently damaged
+/// media. The per-KPE assignment is a pure function of the rectangle and the
+/// build parameters, so replaying [`LevelFiles::try_build`]'s rule filtered
+/// to `level` reproduces exactly the records the damaged file holds, and the
+/// stable by-code sort reproduces the sorted file's partition structure
+/// (records within one code may permute relative to the external sort's
+/// merge order; partitions are joined as unordered sets, so results are
+/// unaffected). Reading the source relation is free of charge (paper §2).
+pub fn rebuild_level_sorted(
+    data: &[Kpe],
+    level: u8,
+    max_level: u8,
+    curve: Curve,
+    replicate: bool,
+    level_shift: u8,
+) -> Vec<LevelRecord> {
+    let mut recs: Vec<LevelRecord> = Vec::new();
+    for k in data {
+        if replicate {
+            let l = size_level(&k.rect, max_level).saturating_sub(level_shift);
+            if l != level {
+                continue;
+            }
+            for cell in cells_overlapping(&k.rect, l) {
+                let code = if l == 0 { 0 } else { cell.code(curve) };
+                recs.push(LevelRecord { code, kpe: *k });
+            }
+        } else {
+            let cell = mxcif_cell(&k.rect, max_level);
+            if cell.level != level {
+                continue;
+            }
+            let code = if cell.level == 0 { 0 } else { cell.code(curve) };
+            recs.push(LevelRecord { code, kpe: *k });
+        }
+    }
+    recs.sort_by_key(|r| r.code);
+    recs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,5 +30,5 @@
 mod levels;
 mod scan;
 
-pub use levels::{LevelFiles, LevelRecord};
+pub use levels::{rebuild_level_sorted, LevelFiles, LevelRecord};
 pub use scan::{s3j_join, try_s3j_join, try_s3j_join_ctl, S3jConfig, S3jStats, ScanMode};

@@ -6,7 +6,7 @@ use geom::{reference_point, Kpe, RecordId};
 use sfc::{Cell, Curve, MAX_LEVEL};
 use storage::{
     try_external_sort_by, DiskModel, FileId, IdPair, IoError, IoStats, JoinError, RecordReader,
-    RunCheckpoint, RunControl, RunPhase, SimDisk,
+    RecordWriter, RunCheckpoint, RunControl, RunPhase, SimDisk,
 };
 use sweep::{InternalAlgo, InternalJoin, JoinCounters};
 
@@ -116,6 +116,12 @@ pub struct S3jStats {
     /// Durable per-partition journal commits performed by this run (zero
     /// unless the run is checkpointed).
     pub checkpoint_commits: u64,
+    /// Level files abandoned to persistent media damage and recomputed from
+    /// the source relation (quarantine-recompute): sort-phase rebuilds that
+    /// rewrote a level through a spare file, plus scan-phase cursors that
+    /// switched to the in-memory replay. The run completes with the exact
+    /// result set either way; this only marks that it ran degraded.
+    pub quarantined_levels: u32,
     pub model: DiskModel,
     /// CPU position of the earliest result on the *pipelined* clock (scan
     /// base plus the emitting task's own CPU), minimized over tasks — the
@@ -212,6 +218,7 @@ impl S3jStats {
         self.cpu_join = self.cpu_join.max(other.cpu_join);
         self.peak_partition_bytes = self.peak_partition_bytes.max(other.peak_partition_bytes);
         self.checkpoint_commits += other.checkpoint_commits;
+        self.quarantined_levels += other.quarantined_levels;
     }
 
     /// A zeroed partial for per-worker accumulation (merged back with
@@ -240,6 +247,7 @@ impl S3jStats {
             cpu_join: 0.0,
             peak_partition_bytes: 0,
             checkpoint_commits: 0,
+            quarantined_levels: 0,
             model,
             first_result_cpu: None,
             first_result_io: None,
@@ -279,30 +287,123 @@ impl Part {
     }
 }
 
+/// What a level-file cursor falls back to when its sorted file turns out to
+/// sit on persistently damaged media: the source relation plus the build
+/// parameters needed to recompute the level's records in memory
+/// ([`crate::levels::rebuild_level_sorted`]).
+#[derive(Clone, Copy)]
+struct LevelSource<'a> {
+    data: &'a [Kpe],
+    max_level: u8,
+    curve: Curve,
+    replicate: bool,
+    level_shift: u8,
+}
+
+impl<'a> LevelSource<'a> {
+    fn for_rel(cfg: &S3jConfig, r: &'a [Kpe], s: &'a [Kpe], rel: usize) -> LevelSource<'a> {
+        LevelSource {
+            data: if rel == 0 { r } else { s },
+            max_level: cfg.max_level,
+            curve: cfg.curve,
+            replicate: cfg.replicate,
+            level_shift: cfg.level_shift,
+        }
+    }
+
+    fn rebuild(&self, level: u8) -> Vec<LevelRecord> {
+        crate::levels::rebuild_level_sorted(
+            self.data,
+            level,
+            self.max_level,
+            self.curve,
+            self.replicate,
+            self.level_shift,
+        )
+    }
+}
+
+/// Where a [`Cursor`] draws its records from: the sorted level file, or —
+/// after a persistent read failure quarantined that file — the in-memory
+/// replay of the level, already positioned past every fully-consumed
+/// partition.
+enum CursorSrc {
+    Disk(RecordReader<LevelRecord>),
+    Memory(std::vec::IntoIter<LevelRecord>),
+}
+
 /// Cursor over one sorted level file that yields whole partitions.
-struct Cursor {
-    reader: RecordReader<LevelRecord>,
+struct Cursor<'a> {
+    src: CursorSrc,
     level: u8,
     rel: usize,
     pending: Option<LevelRecord>,
+    source: LevelSource<'a>,
+    /// Set once this cursor abandoned its damaged file for the replay.
+    quarantined: bool,
 }
 
-impl Cursor {
+impl<'a> Cursor<'a> {
     fn new(
         disk: &SimDisk,
         file: FileId,
         level: u8,
         rel: usize,
         buffer_pages: usize,
+        source: LevelSource<'a>,
     ) -> Result<Self, IoError> {
         let mut reader = RecordReader::new(disk, file, buffer_pages);
-        let pending = reader.try_next()?;
-        Ok(Cursor {
-            reader,
-            level,
-            rel,
-            pending,
-        })
+        match reader.try_next() {
+            Ok(pending) => Ok(Cursor {
+                src: CursorSrc::Disk(reader),
+                level,
+                rel,
+                pending,
+                source,
+                quarantined: false,
+            }),
+            Err(e) if e.kind.is_persistent() => {
+                // The very first page is damaged: no partition was consumed
+                // yet, so the replay starts from the beginning.
+                let mut c = Cursor {
+                    src: CursorSrc::Memory(Vec::new().into_iter()),
+                    level,
+                    rel,
+                    pending: None,
+                    source,
+                    quarantined: false,
+                };
+                c.quarantine(None);
+                Ok(c)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Abandons the damaged level file: recomputes the level from the source
+    /// relation (free of charge, paper §2 — the inputs stay readable),
+    /// sorted by code, and repositions at `resume_code`'s partition (or the
+    /// start when the first read failed). Every earlier partition was fully
+    /// consumed and already joined; the in-flight one restarts from its
+    /// first record — nothing is lost or double-joined.
+    fn quarantine(&mut self, resume_code: Option<u64>) {
+        let mut it = self.source.rebuild(self.level).into_iter();
+        let mut pending = it.next();
+        if let Some(c) = resume_code {
+            while pending.as_ref().is_some_and(|r| r.code < c) {
+                pending = it.next();
+            }
+        }
+        self.pending = pending;
+        self.src = CursorSrc::Memory(it);
+        self.quarantined = true;
+    }
+
+    fn next_record(&mut self) -> Result<Option<LevelRecord>, IoError> {
+        match &mut self.src {
+            CursorSrc::Disk(r) => r.try_next(),
+            CursorSrc::Memory(it) => Ok(it.next()),
+        }
     }
 
     /// Pre-order heap key of the next partition.
@@ -313,33 +414,59 @@ impl Cursor {
         })
     }
 
-    /// Consumes all records of the next cell. On error the cursor is broken
-    /// (the partition in flight is lost); the scan treats it as terminal.
-    fn take_partition(&mut self, curve: Curve, max_level: u8) -> Result<Part, IoError> {
-        // Invariant: only called after `peek_key` returned `Some`, so a
-        // pending record exists.
-        let first = self.pending.take().expect("cursor exhausted");
-        let code = first.code;
-        let mut rects = vec![first.kpe];
+    /// Consumes all records of the next cell's code.
+    fn collect(&mut self, code: u64, mut rects: Vec<Kpe>) -> Result<Vec<Kpe>, IoError> {
         loop {
-            match self.reader.try_next()? {
+            match self.next_record()? {
                 Some(r) if r.code == code => rects.push(r.kpe),
                 other => {
                     self.pending = other;
-                    break;
+                    return Ok(rects);
                 }
             }
         }
+    }
+
+    fn make_part(&self, code: u64, rects: Vec<Kpe>, curve: Curve, max_level: u8) -> Part {
         let shift = 2 * (max_level - self.level) as u32;
         let start = code << shift;
-        Ok(Part {
+        Part {
             rel: self.rel,
             level: self.level,
             start,
             end: start + (1u64 << shift),
             cell: Cell::from_code(self.level, code, curve),
             rects,
-        })
+        }
+    }
+
+    /// Consumes all records of the next cell. A transient error that
+    /// exhausted the retry budget is terminal (the partition in flight is
+    /// lost); persistent damage quarantines the file instead and the
+    /// partition is re-collected from the in-memory replay.
+    fn take_partition(&mut self, curve: Curve, max_level: u8) -> Result<Part, IoError> {
+        // Invariant: only called after `peek_key` returned `Some`, so a
+        // pending record exists.
+        let first = self.pending.take().expect("cursor exhausted");
+        let code = first.code;
+        match self.collect(code, vec![first.kpe]) {
+            Ok(rects) => Ok(self.make_part(code, rects, curve, max_level)),
+            Err(e) if e.kind.is_persistent() => {
+                // Re-reads of a damaged page fail identically, so retrying
+                // the file is pointless: switch to the replay and restart
+                // the in-flight partition from its first record (the
+                // partially collected rects were never joined or emitted).
+                self.quarantine(Some(code));
+                let first = self
+                    .pending
+                    .take()
+                    .expect("rebuilt level lost the in-flight partition");
+                debug_assert_eq!(first.code, code, "replay resumed at the wrong partition");
+                let rects = self.collect(code, vec![first.kpe])?;
+                Ok(self.make_part(code, rects, curve, max_level))
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -487,6 +614,46 @@ fn commit_and_emit(
         for &(a, b) in pairs {
             out(a, b);
         }
+    }
+    res
+}
+
+/// Sort-phase quarantine-recompute: `damaged` (an unsorted level file on
+/// persistently bad media, or one whose sort ran out of disk) is abandoned;
+/// the level's records are recomputed from the source relation (free, paper
+/// §2), sorted in memory, and written through a **spare** file on the same
+/// channel — the analogue of remapping damaged sectors — which the fault
+/// model never damages. The spare is created before `damaged` is reclaimed
+/// so it inherits the channel; page charges for the rewrite are real, only
+/// the doomed re-sort is skipped. On a write failure the spare is deleted
+/// and the error surfaces.
+fn rebuild_sorted_to_spare(
+    disk: &SimDisk,
+    damaged: FileId,
+    reclaim: bool,
+    level: u8,
+    src: LevelSource<'_>,
+    buffer_pages: usize,
+) -> Result<FileId, IoError> {
+    let recs = src.rebuild(level);
+    let spare = disk.create_spare_like(damaged);
+    if reclaim {
+        disk.delete(damaged);
+    }
+    let mut w = RecordWriter::new(disk, spare, buffer_pages);
+    let mut push_err: Option<IoError> = None;
+    for rec in &recs {
+        if let Err(e) = w.try_push(rec) {
+            push_err = Some(e);
+            break;
+        }
+    }
+    let res = match push_err {
+        None => w.try_finish(),
+        Some(e) => Err(e),
+    };
+    if res.is_err() {
+        disk.delete(spare);
     }
     res
 }
@@ -648,11 +815,13 @@ pub fn try_s3j_join_ctl(
             || disk.io_seconds() + model.scaled_cpu(cpu_base + t1.elapsed().as_secs_f64());
         let mut sort_err: Option<JoinError> = None;
         let sort_levels = |lf: &[Option<FileId>],
+                           src: LevelSource<'_>,
                            stats: &mut S3jStats,
                            err: &mut Option<JoinError>|
          -> Vec<Option<FileId>> {
             lf.iter()
-                .map(|f| {
+                .enumerate()
+                .map(|(level, f)| {
                     f.and_then(|f| {
                         if err.is_none() {
                             *err = ctl.charge("sort", elapsed());
@@ -677,6 +846,37 @@ pub fn try_s3j_join_ctl(
                                 stats.sort_passes_max = stats.sort_passes_max.max(st.merge_passes);
                                 Some(sorted)
                             }
+                            Err(e) if e.kind.is_persistent() => {
+                                // Persistent damage (or ENOSPC in the sort's
+                                // scratch): the external sort can never
+                                // finish this file. Quarantine it and
+                                // rewrite the level, recomputed from source
+                                // and sorted in memory, through a spare file
+                                // on the same channel — the remapped-sector
+                                // analogue — exempt from further damage.
+                                // Reclaiming the doomed unsorted file also
+                                // frees its budget, so the direct rewrite
+                                // can fit where sort scratch could not (a
+                                // durable run keeps it: its manifest is
+                                // what a resume re-sorts from).
+                                match rebuild_sorted_to_spare(
+                                    disk,
+                                    f,
+                                    !checkpointing,
+                                    level as u8,
+                                    src,
+                                    cfg.level_buffer_pages,
+                                ) {
+                                    Ok(spare) => {
+                                        stats.quarantined_levels += 1;
+                                        Some(spare)
+                                    }
+                                    Err(e2) => {
+                                        *err = Some(JoinError::new("sort", e2));
+                                        None
+                                    }
+                                }
+                            }
                             Err(e) => {
                                 if !checkpointing {
                                     disk.delete(f);
@@ -689,8 +889,18 @@ pub fn try_s3j_join_ctl(
                 })
                 .collect()
         };
-        let sorted_r = sort_levels(&unsorted_r, &mut stats, &mut sort_err);
-        let sorted_s = sort_levels(&unsorted_s, &mut stats, &mut sort_err);
+        let sorted_r = sort_levels(
+            &unsorted_r,
+            LevelSource::for_rel(cfg, r, s, 0),
+            &mut stats,
+            &mut sort_err,
+        );
+        let sorted_s = sort_levels(
+            &unsorted_s,
+            LevelSource::for_rel(cfg, r, s, 1),
+            &mut stats,
+            &mut sort_err,
+        );
         stats.io_sort = disk.stats().delta(&io1);
         stats.cpu_sort = t1.elapsed().as_secs_f64();
         if let Some(e) = sort_err {
@@ -763,6 +973,8 @@ pub fn try_s3j_join_ctl(
             disk,
             cfg,
             threads,
+            r,
+            s,
             &sorted_r,
             &sorted_s,
             &mut stats,
@@ -797,6 +1009,8 @@ pub fn try_s3j_join_ctl(
             ScanMode::HeapMerge => heap_scan(
                 disk,
                 cfg,
+                r,
+                s,
                 &sorted_r,
                 &sorted_s,
                 &mut ctx,
@@ -809,6 +1023,8 @@ pub fn try_s3j_join_ctl(
             ScanMode::LevelPairs => pair_scan(
                 disk,
                 cfg,
+                r,
+                s,
                 &sorted_r,
                 &sorted_s,
                 &mut ctx,
@@ -883,6 +1099,8 @@ pub fn try_s3j_join_ctl(
 fn heap_scan(
     disk: &SimDisk,
     cfg: &S3jConfig,
+    r: &[Kpe],
+    s: &[Kpe],
     sorted_r: &[Option<FileId>],
     sorted_s: &[Option<FileId>],
     ctx: &mut JoinCtx<'_>,
@@ -893,12 +1111,14 @@ fn heap_scan(
     out: &mut dyn FnMut(RecordId, RecordId),
 ) -> Result<(), JoinError> {
     let to_err = |e: IoError| JoinError::new("scan", e);
-    let mut cursors: Vec<Cursor> = Vec::new();
+    let mut cursors: Vec<Cursor<'_>> = Vec::new();
     for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
         for (level, f) in files.iter().enumerate() {
             if let Some(f) = f {
+                let src = LevelSource::for_rel(cfg, r, s, rel);
                 cursors.push(
-                    Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages).map_err(to_err)?,
+                    Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages, src)
+                        .map_err(to_err)?,
                 );
             }
         }
@@ -990,6 +1210,7 @@ fn heap_scan(
         stacks[part.rel].push(part);
         d += 1;
     }
+    stats.quarantined_levels += cursors.iter().filter(|c| c.quarantined).count() as u32;
     Ok(())
 }
 
@@ -1008,6 +1229,8 @@ fn heap_scan_parallel(
     disk: &SimDisk,
     cfg: &S3jConfig,
     threads: usize,
+    r: &[Kpe],
+    s: &[Kpe],
     sorted_r: &[Option<FileId>],
     sorted_s: &[Option<FileId>],
     stats: &mut S3jStats,
@@ -1027,12 +1250,14 @@ fn heap_scan_parallel(
     // mid-scan delivery.
     let ckpt0 = stats.io_checkpoint;
     let t_discover = parallel::WorkClock::start();
-    let mut cursors: Vec<Cursor> = Vec::new();
+    let mut cursors: Vec<Cursor<'_>> = Vec::new();
     for (rel, files) in [(0usize, sorted_r), (1, sorted_s)] {
         for (level, f) in files.iter().enumerate() {
             if let Some(f) = f {
+                let src = LevelSource::for_rel(cfg, r, s, rel);
                 cursors.push(
-                    Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages).map_err(to_err)?,
+                    Cursor::new(disk, *f, level as u8, rel, cfg.io_buffer_pages, src)
+                        .map_err(to_err)?,
                 );
             }
         }
@@ -1097,6 +1322,7 @@ fn heap_scan_parallel(
         d += 1;
     }
     drop(stacks);
+    stats.quarantined_levels += cursors.iter().filter(|c| c.quarantined).count() as u32;
     let discover_secs = t_discover.seconds();
 
     // S³J partition pairs are tiny (often a handful of rects), so a task
@@ -1308,6 +1534,8 @@ fn heap_scan_parallel(
 fn pair_scan(
     disk: &SimDisk,
     cfg: &S3jConfig,
+    r: &[Kpe],
+    s: &[Kpe],
     sorted_r: &[Option<FileId>],
     sorted_s: &[Option<FileId>],
     ctx: &mut JoinCtx<'_>,
@@ -1318,7 +1546,7 @@ fn pair_scan(
 ) -> Result<(), JoinError> {
     let to_err = |e: IoError| JoinError::new("scan", e);
     // The next whole partition of `c`, or `None` at end of file.
-    fn next_part(c: &mut Cursor, curve: Curve, max_level: u8) -> Result<Option<Part>, IoError> {
+    fn next_part(c: &mut Cursor<'_>, curve: Curve, max_level: u8) -> Result<Option<Part>, IoError> {
         if c.pending.is_some() {
             Ok(Some(c.take_partition(curve, max_level)?))
         } else {
@@ -1335,8 +1563,12 @@ fn pair_scan(
             if let Some(e) = ctl.charge("scan", elapsed()) {
                 return Err(e);
             }
-            let cr = Cursor::new(disk, *fr, lr as u8, 0, cfg.io_buffer_pages).map_err(to_err)?;
-            let cs = Cursor::new(disk, *fs, ls as u8, 1, cfg.io_buffer_pages).map_err(to_err)?;
+            let src_r = LevelSource::for_rel(cfg, r, s, 0);
+            let src_s = LevelSource::for_rel(cfg, r, s, 1);
+            let cr = Cursor::new(disk, *fr, lr as u8, 0, cfg.io_buffer_pages, src_r)
+                .map_err(to_err)?;
+            let cs = Cursor::new(disk, *fs, ls as u8, 1, cfg.io_buffer_pages, src_s)
+                .map_err(to_err)?;
             // Merge: `a` is the coarser-or-equal side, `b` the deeper side.
             let (mut a, mut b) = if lr <= ls { (cr, cs) } else { (cs, cr) };
             let mut pa = next_part(&mut a, cfg.curve, cfg.max_level).map_err(to_err)?;
@@ -1355,6 +1587,11 @@ fn pair_scan(
                     pb = next_part(&mut b, cfg.curve, cfg.max_level).map_err(to_err)?;
                 }
             }
+            // The ablation re-reads each level file once per opposite level,
+            // so one damaged file can quarantine once per pairing — an
+            // honest per-event count.
+            stats.quarantined_levels +=
+                [&a, &b].iter().filter(|c| c.quarantined).count() as u32;
         }
     }
     Ok(())
@@ -1435,6 +1672,116 @@ mod tests {
         assert!(stats.copies_r as usize > r.len(), "expected replication");
         assert!(stats.duplicates > 0, "expected suppressed duplicates");
         assert!(stats.replication_rate(r.len() + s.len()) <= 4.0);
+    }
+
+    #[test]
+    fn persistent_corruption_quarantines_levels_and_stays_exact() {
+        use storage::{FaultPlan, RetryPolicy};
+        let (r0, s0) = tiger_pair(1200);
+        let (r, s) = (scale(&r0, 3.0), scale(&s0, 3.0));
+        for replicate in [false, true] {
+            let cfg = S3jConfig {
+                replicate,
+                mem_bytes: 48 * 1024,
+                max_level: 9,
+                ..Default::default()
+            };
+            let clean = run(&r, &s, &cfg).0;
+            // Persistent damage is a pure function of (seed, channel, page):
+            // hunt seeds until one lands on a level file (unsorted — the
+            // sort-phase rebuild — or sorted — the scan-phase cursor
+            // replay); every seed, hit or miss, must still produce the
+            // exact result set.
+            let mut hit = false;
+            for seed in 0..48u64 {
+                let disk = SimDisk::with_default_model().with_faults(
+                    FaultPlan::persistent(seed).with_persistent_rate(0.03),
+                    RetryPolicy::default(),
+                );
+                let mut got = Vec::new();
+                let stats = try_s3j_join(&disk, &r, &s, &cfg, &mut |a, b| got.push((a.0, b.0)))
+                    .expect("persistent damage must quarantine, not kill the join");
+                got.sort_unstable();
+                assert_eq!(got, clean, "seed {seed} replicate {replicate} diverged");
+                if stats.quarantined_levels > 0 {
+                    hit = true;
+                    break;
+                }
+            }
+            assert!(hit, "no seed damaged a level file (replicate {replicate})");
+        }
+    }
+
+    #[test]
+    fn level_quarantine_is_thread_invariant() {
+        use storage::{FaultPlan, RetryPolicy};
+        let (r0, s0) = tiger_pair(1200);
+        let (r, s) = (scale(&r0, 3.0), scale(&s0, 3.0));
+        // Damage keys on (seed, channel, page) — not on who reads — and the
+        // discovery scan is coordinator-only at every thread count, so the
+        // sequential and parallel scans quarantine the same levels and emit
+        // the same results.
+        let run_t = |threads: usize, seed: u64| {
+            let disk = SimDisk::with_default_model().with_faults(
+                FaultPlan::persistent(seed).with_persistent_rate(0.05),
+                RetryPolicy::default(),
+            );
+            let cfg = S3jConfig {
+                mem_bytes: 48 * 1024,
+                max_level: 9,
+                threads,
+                ..Default::default()
+            };
+            let mut got = Vec::new();
+            let stats = try_s3j_join(&disk, &r, &s, &cfg, &mut |a, b| got.push((a.0, b.0)))
+                .expect("quarantine covers persistent damage");
+            got.sort_unstable();
+            (got, stats)
+        };
+        for seed in [3u64, 11, 29] {
+            let (got1, st1) = run_t(1, seed);
+            let (got4, st4) = run_t(4, seed);
+            assert_eq!(got1, got4, "seed {seed}");
+            assert_eq!(st1.quarantined_levels, st4.quarantined_levels, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rebuilt_level_matches_what_the_build_wrote() {
+        use crate::levels::rebuild_level_sorted;
+        use storage::read_all;
+        let (r0, _) = tiger_pair(600);
+        let r = scale(&r0, 3.0);
+        for (replicate, shift) in [(false, 0u8), (true, 0), (true, 1)] {
+            let disk = SimDisk::with_default_model();
+            let lf = LevelFiles::build(&disk, &r, 9, Curve::Peano, replicate, shift, 1);
+            for level in lf.occupied_levels() {
+                let mut on_disk: Vec<LevelRecord> =
+                    read_all(&disk, lf.files[level as usize].unwrap(), 1);
+                on_disk.sort_by_key(|rec| rec.code);
+                let rebuilt =
+                    rebuild_level_sorted(&r, level, 9, Curve::Peano, replicate, shift);
+                assert_eq!(
+                    rebuilt, on_disk,
+                    "level {level} replicate {replicate} shift {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_full_during_build_surfaces_typed_error() {
+        use storage::{FaultPlan, IoErrorKind, RetryPolicy};
+        let (r, s) = tiger_pair(400);
+        let disk = SimDisk::with_default_model().with_faults(
+            FaultPlan::none(7).with_disk_budget(0),
+            RetryPolicy::default(),
+        );
+        let err = try_s3j_join(&disk, &r, &s, &S3jConfig::default(), &mut |_, _| {})
+            .expect_err("a zero-page volume cannot hold level files");
+        assert_eq!(err.phase, "build");
+        assert_eq!(err.io().expect("io-layer error").kind, IoErrorKind::DiskFull);
+        assert_eq!(disk.pages_in_use(), 0, "failed build leaked files");
     }
 
     #[test]

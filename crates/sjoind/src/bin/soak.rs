@@ -7,10 +7,15 @@
 //! ```
 //!
 //! K client threads replay a seed-derived request mix — random dataset
-//! pairs, algorithms and memory sizes, cache reuse, seeded fault injection,
-//! tiny deadlines, mid-stream disconnects, one injected crash point and one
-//! worker panic — against a deliberately small memory budget so admission
-//! queueing and overload shedding both fire. Afterwards the driver asserts:
+//! pairs, algorithms and memory sizes, cache reuse, seeded fault injection
+//! (half of the fault legs escalated to *persistent* media damage, which the
+//! quarantine-recompute paths must absorb bit-identically), tiny deadlines,
+//! mid-stream disconnects, one injected crash point and one worker panic —
+//! against a deliberately small memory budget so admission queueing and
+//! overload shedding both fire. A cache-rot chaos leg then corrupts every
+//! cached partition snapshot in place and replays a reuse join: the
+//! integrity gate must evict and re-warm, never resume from rotten state.
+//! Afterwards the driver asserts:
 //!
 //! * every completed join is **bit-identical to its solo run** (sorted pair
 //!   set and result count against a library-computed baseline);
@@ -224,6 +229,11 @@ fn main() -> ExitCode {
                 let crash = client_idx == 0 && req_idx == 1;
                 let panic_hook = client_idx == 1 && req_idx == 1;
                 let faults = !crash && !panic_hook && rng.gen_bool(0.2);
+                // Half the fault legs carry persistent media damage instead
+                // of transient faults: retries cannot cure those, so an OK
+                // response proves the quarantine-recompute paths delivered
+                // the exact clean result through the service.
+                let persistent = faults && rng.gen_bool(0.5);
 
                 let mut line = format!(
                     "{{\"cmd\":\"join\",\"left\":\"{}\",\"right\":\"{}\",\"algo\":\"{}\",\"mem_mb\":{}",
@@ -238,6 +248,9 @@ fn main() -> ExitCode {
                         line.push_str(",\"reuse\":true");
                     } else if faults {
                         line.push_str(&format!(",\"faults\":{}", seed.wrapping_add(req_idx as u64)));
+                        if persistent {
+                            line.push_str(",\"faults_persistent\":true");
+                        }
                     }
                     if deadline {
                         line.push_str(",\"deadline\":1e-9");
@@ -277,6 +290,9 @@ fn main() -> ExitCode {
                 match resp.error_kind() {
                     None => {
                         tally("ok");
+                        if persistent {
+                            tally("persistent_ok");
+                        }
                         let Some((expected_pairs, expected_results)) =
                             baselines.get(&(l, r, a, m))
                         else {
@@ -343,6 +359,48 @@ fn main() -> ExitCode {
         }
     }
 
+    // Cache-rot chaos leg: warm one cell's snapshot, probe it (a second
+    // reuse join bumps the hit counter iff the slot is Ready rather than
+    // Uncacheable), rot every cached snapshot in place, and replay the
+    // identical join. The integrity gate must evict the rotten snapshot and
+    // re-warm — same bits, one more warm pass — never resume from it.
+    {
+        let complain = |msg: String| {
+            violations.lock().expect("violations lock").push(msg);
+        };
+        let chaos_cell = (0usize, 1usize, 0usize, 2usize);
+        let chaos_line = format!(
+            "{{\"cmd\":\"join\",\"left\":\"{}\",\"right\":\"{}\",\"algo\":\"{}\",\"mem_mb\":{},\"reuse\":true}}",
+            DATASETS[chaos_cell.0].0, DATASETS[chaos_cell.1].0, ALGOS[chaos_cell.2], MEM_MB[chaos_cell.3]
+        );
+        let (chaos_pairs, chaos_results) = &baselines[&chaos_cell];
+        let hits_before_probe = handle.cache_hits();
+        let mut corrupted = 0usize;
+        for stage in ["warm", "probe", "rotten"] {
+            if stage == "rotten" {
+                corrupted = handle.corrupt_cache();
+            }
+            match control.join(&chaos_line) {
+                Ok(resp) if resp.error_kind().is_none() => {
+                    let mut got = resp.pairs.clone();
+                    got.sort_unstable();
+                    if got != *chaos_pairs || resp.results() != Some(*chaos_results) {
+                        complain(format!(
+                            "cache-rot {stage} leg diverged from the solo run ({chaos_line})"
+                        ));
+                    }
+                }
+                other => complain(format!("cache-rot {stage} leg failed: {other:?}")),
+            }
+        }
+        let slot_was_ready = handle.cache_hits() > hits_before_probe;
+        if slot_was_ready && corrupted > 0 && handle.cache_integrity_evictions() == 0 {
+            complain(
+                "rotten snapshots were looked up without a single integrity eviction".to_owned(),
+            );
+        }
+    }
+
     // Post-load invariants: nothing leaked, nothing orphaned.
     let snap = handle.arbiter().snapshot();
     let mut violations = Arc::try_unwrap(violations)
@@ -381,6 +439,7 @@ fn main() -> ExitCode {
         other => violations.push(format!("shutdown not acknowledged: {other:?}")),
     }
     let cache_hits = handle.cache_hits();
+    let integrity_evictions = handle.cache_integrity_evictions();
     handle.join(); // must return: drain leaves no stuck sessions
 
     let tallies = tallies.lock().expect("tallies lock");
@@ -388,12 +447,13 @@ fn main() -> ExitCode {
     summary.sort();
     println!("soak: {}", summary.join(" "));
     println!(
-        "soak: peak leased {} / {} bytes, {} admitted, {} shed, cache hits {}",
+        "soak: peak leased {} / {} bytes, {} admitted, {} shed, cache hits {}, integrity evictions {}",
         snap.peak_leased_bytes,
         snap.budget_bytes,
         snap.admitted,
         snap.rejected_overloaded,
-        cache_hits
+        cache_hits,
+        integrity_evictions
     );
     if violations.is_empty() {
         println!("soak: all invariants held");

@@ -61,6 +61,10 @@ pub struct JoinRequest {
     pub reuse: bool,
     /// Run under seeded recoverable fault injection.
     pub faults: Option<u64>,
+    /// Escalate `faults` to the persistent-damage plan: re-reads of a bad
+    /// page always fail, exercising the quarantine-recompute paths. Results
+    /// must still be bit-identical — that is the claim the soak checks.
+    pub faults_persistent: bool,
     /// Inject a crash point (spec string, e.g. `"mid-partition:1"`).
     pub crash: Option<CrashPoint>,
     /// Test hook: panic the worker after emitting this many pairs.
@@ -157,6 +161,7 @@ impl JoinRequest {
             limit: opt_u64("limit")?,
             reuse: flag("reuse"),
             faults: opt_u64("faults")?,
+            faults_persistent: flag("faults_persistent"),
             crash,
             panic_after: opt_u64("panic_after")?,
             hold_ms: opt_u64("hold_ms")?,
@@ -180,6 +185,9 @@ impl JoinRequest {
         }
         if req.reuse && (req.crash.is_some() || req.faults.is_some()) {
             return Err("reuse cannot be combined with crash/faults".to_owned());
+        }
+        if req.faults_persistent && req.faults.is_none() {
+            return Err("faults_persistent requires a faults seed".to_owned());
         }
         Ok(req)
     }
@@ -298,6 +306,15 @@ mod tests {
         .is_err());
         // reuse is exclusive with fault/crash injection.
         assert!(parse(r#"{"cmd":"join","left":"a","right":"b","reuse":true,"faults":1}"#).is_err());
+        // the persistent escalation needs a seed to escalate.
+        assert!(
+            parse(r#"{"cmd":"join","left":"a","right":"b","faults_persistent":true}"#).is_err()
+        );
+        let r = parse(
+            r#"{"cmd":"join","left":"a","right":"b","faults":4,"faults_persistent":true}"#,
+        )
+        .unwrap();
+        assert!(r.faults_persistent && r.faults == Some(4));
     }
 
     #[test]

@@ -35,7 +35,7 @@ use spatialjoin::{
 };
 use storage::{AdmissionError, MemoryArbiter};
 
-use crate::cache::{PartitionCache, Slot};
+use crate::cache::{PartitionCache, Slot, Snapshot};
 use crate::json::{escape, Json};
 use crate::proto::{self, JoinRequest};
 
@@ -155,6 +155,18 @@ impl ServerHandle {
 
     pub fn cache_hits(&self) -> u64 {
         self.inner.cache.hits()
+    }
+
+    /// Snapshots the integrity gate evicted because their bytes rotted.
+    pub fn cache_integrity_evictions(&self) -> u64 {
+        self.inner.cache.integrity_evictions()
+    }
+
+    /// Chaos hook: corrupts every cached partition snapshot in place (the
+    /// checksums are left stale, so the next lookup must catch it). Returns
+    /// how many snapshots were corrupted.
+    pub fn corrupt_cache(&self) -> usize {
+        self.inner.cache.corrupt_all()
     }
 
     /// Waits for the server to drain and stop (a client must have sent
@@ -351,7 +363,8 @@ fn metrics_line(inner: &Inner) -> String {
             "\"active_leases\":{},\"queued\":{},\"admitted\":{},",
             "\"rejected_overloaded\":{},\"rejected_too_large\":{},",
             "\"peak_leased_bytes\":{}}},",
-            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{}}},",
+            "\"cache\":{{\"entries\":{},\"hits\":{},\"misses\":{},",
+            "\"integrity_evictions\":{}}},",
             "\"joins\":{{\"ok\":{},\"failed\":{},\"shed\":{},\"active\":{}}},",
             "\"draining\":{}}}}}"
         ),
@@ -366,6 +379,7 @@ fn metrics_line(inner: &Inner) -> String {
         inner.cache.len(),
         inner.cache.hits(),
         inner.cache.misses(),
+        inner.cache.integrity_evictions(),
         inner.joins_ok.load(Ordering::Relaxed),
         inner.joins_failed.load(Ordering::Relaxed),
         inner.joins_shed.load(Ordering::Relaxed),
@@ -864,7 +878,13 @@ fn run_special_join(
         return run_cached(inner, &join, left, right, model, &mut emit);
     }
     if let Some(seed) = jr.faults {
-        join = join.with_faults(FaultPlan::recoverable(seed));
+        // Persistent damage exercises the quarantine-recompute paths end to
+        // end: the join must still deliver the exact clean result set.
+        join = join.with_faults(if jr.faults_persistent {
+            FaultPlan::persistent(seed)
+        } else {
+            FaultPlan::recoverable(seed)
+        });
     }
     join.try_run_with(left, right, &mut emit).map(|s| (s, false))
 }
@@ -893,8 +913,8 @@ fn run_cached(
             );
             match join.try_run_durable_with(&warm, left, right, fp, &mut |_, _| {}) {
                 Err(e) if matches!(e.kind, JoinErrorKind::Crashed(_)) => {
-                    let snap = Arc::new(warm.export_files());
-                    inner.cache.insert(fp, Slot::Ready(Arc::clone(&snap)));
+                    let snap = Snapshot::new(warm.export_files());
+                    inner.cache.insert(fp, Slot::Ready(snap.clone()));
                     (snap, false)
                 }
                 Ok(_) => {
@@ -910,7 +930,7 @@ fn run_cached(
         }
     };
     let disk = SimDisk::new(model);
-    disk.restore_files(&snapshot)
+    disk.restore_files(snapshot.bytes())
         .map_err(|io| JoinError::new("setup", io))?;
     join.try_run_durable_with(&disk, left, right, fp, emit)
         .map(|s| (s, cache_hit))

@@ -504,6 +504,58 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_survives_zero_length_holds() {
+        // Pathological hold pattern: a burst of leases dropped the instant
+        // they are granted drives the hold EWMA toward zero. The hint must
+        // keep its floors — `hold` falls back to 0.05 s while the average
+        // is exactly zero, and the product is clamped to >= 1 ms — so a
+        // client honouring the hint always backs off a nonzero amount.
+        let arb = MemoryArbiter::new(100, 0);
+        for _ in 0..64 {
+            drop(arb.lease(10, None).unwrap());
+        }
+        let _hold = arb.lease(100, None).unwrap();
+        for _ in 0..8 {
+            match arb.lease(50, None) {
+                Err(AdmissionError::Overloaded { retry_after }) => {
+                    assert!(
+                        retry_after >= 0.001,
+                        "hint collapsed to {retry_after}s after zero-length holds"
+                    );
+                    assert!(retry_after.is_finite());
+                }
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn retry_after_stays_bounded_after_one_pathological_outlier() {
+        // Many near-instant holds, then one outlier orders of magnitude
+        // longer. The 1/4-step EWMA folds the outlier in instead of
+        // replacing the average wholesale, so the advisory hint stays a
+        // small multiple of the *blended* hold time and never explodes to
+        // the raw outlier scaled by queued demand.
+        let arb = MemoryArbiter::new(100, 0);
+        for _ in 0..16 {
+            drop(arb.lease(10, None).unwrap());
+        }
+        let outlier = arb.lease(10, None).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        drop(outlier);
+        let _hold = arb.lease(100, None).unwrap();
+        let retry = match arb.lease(60, None) {
+            Err(AdmissionError::Overloaded { retry_after }) => retry_after,
+            other => panic!("expected Overloaded, got {other:?}"),
+        };
+        // demand = 100 held + 60 requested = 2 budget drains; the blended
+        // hold is ~0.25 x the outlier, so even with generous host-timing
+        // slack the hint stays far below an unblended outlier estimate.
+        assert!(retry >= 0.001, "floor lost: {retry}");
+        assert!(retry < 2.0, "hint exploded after one outlier: {retry}s");
+    }
+
+    #[test]
     fn fifo_order_is_strict_even_when_later_requests_fit() {
         // A small request behind a large queued one must wait its turn:
         // granting it early would starve the large request forever.

@@ -38,6 +38,12 @@ pub struct DiskModel {
     /// plus the shared lane — with `channels = 1` this degenerates to the
     /// historic single-meter model, bit for bit.
     pub channels: usize,
+    /// Degraded data channel `(index, factor)`: every page-transfer unit on
+    /// that channel takes `factor` (≥ 1) times as long, stressing deadlines
+    /// without changing a single counter. Stamped from
+    /// [`FaultPlan::degraded_channel`] by [`SimDisk::with_faults`]; `None`
+    /// (the default) keeps the clock bit-identical to the healthy model.
+    pub degraded_channel: Option<(usize, f64)>,
 }
 
 impl Default for DiskModel {
@@ -48,6 +54,7 @@ impl Default for DiskModel {
             transfer_secs_per_page: 0.0016,
             cpu_slowdown: 250.0,
             channels: 1,
+            degraded_channel: None,
         }
     }
 }
@@ -112,8 +119,22 @@ impl DiskModel {
             - self.prefetch_hidden_seconds(scaled_cpu_secs, data)
     }
 
+    /// Transfer-time multiplier of data channel `c`: 1.0 for healthy
+    /// channels, the degradation factor for the one the plan degraded.
+    /// Multiplying by the literal 1.0 is exact, so a `None` spec keeps every
+    /// derived time bit-identical to the healthy model.
+    pub fn channel_factor(&self, c: usize) -> f64 {
+        match self.degraded_channel {
+            Some((dc, f)) if dc == c => f.max(1.0),
+            _ => 1.0,
+        }
+    }
+
     fn max_channel_units(&self, data: &[IoStats]) -> f64 {
-        data.iter().map(|c| self.units(c)).fold(0.0, f64::max)
+        data.iter()
+            .enumerate()
+            .map(|(i, c)| self.units(c) * self.channel_factor(i))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -235,6 +256,11 @@ struct StoredFile {
     /// property of the file's placement, independent of the channel count,
     /// so changing `D` merely rebins the same requests.
     channel: Option<u64>,
+    /// Spare-sector file: exempt from the plan's persistent bad-page map,
+    /// the simulated analogue of a drive remapping a damaged sector onto a
+    /// spare. Quarantine-recompute paths write rebuilt data through spares
+    /// so the replacement cannot land on the same bad sector.
+    spare: bool,
 }
 
 impl StoredFile {
@@ -243,6 +269,7 @@ impl StoredFile {
             data: Vec::new(),
             sums: Vec::new(),
             channel,
+            spare: false,
         }
     }
 
@@ -366,8 +393,14 @@ impl SimDisk {
     }
 
     /// Attaches a fault plan and retry policy. Call before handing out forks
-    /// or siblings — fault state is shared through them.
+    /// or siblings — fault state is shared through them. A plan with a
+    /// degraded channel stamps the slowdown into this handle's
+    /// [`DiskModel`], so every clock derived from [`SimDisk::model`]
+    /// (deadline charging, per-phase stats) feels it automatically.
     pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        if let Some((c, factor)) = plan.degraded_channel {
+            self.model.degraded_channel = Some((c, factor.max(1.0)));
+        }
         self.faults = Arc::new(FaultState {
             plan: Some(plan),
             policy,
@@ -492,6 +525,50 @@ impl SimDisk {
         }
     }
 
+    /// Creates an empty file on data channel `tag mod D` whose pages are
+    /// **exempt** from the plan's persistent bad-sector map — the simulated
+    /// analogue of remapping a damaged sector onto a spare. The
+    /// quarantine-recompute paths write rebuilt partition data through
+    /// spares so a rebuilt file cannot land on the very sectors that
+    /// poisoned the original.
+    pub fn create_spare_on(&self, tag: u64) -> FileId {
+        let mut g = self.files.lock();
+        let mut file = StoredFile::new(Some(tag));
+        file.spare = true;
+        g.push(Some(file));
+        FileId((g.len() - 1) as u32)
+    }
+
+    /// Creates a spare file on the same channel as `other` (a plain
+    /// shared-lane file if `other` is untagged or gone — untagged files are
+    /// never damaged, so the spare property is moot there).
+    pub fn create_spare_like(&self, other: FileId) -> FileId {
+        match self.file_channel(other) {
+            Some(t) => self.create_spare_on(t),
+            None => self.create(),
+        }
+    }
+
+    /// `true` iff the file was created through a spare-sector constructor.
+    pub fn is_spare(&self, f: FileId) -> bool {
+        let g = self.files.lock();
+        g.get(f.0 as usize)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|file| file.spare)
+    }
+
+    /// Pages occupied by live files on this handle's store — the quantity
+    /// [`FaultPlan::disk_budget_pages`] caps. Scratch disks are separate
+    /// volumes with their own (identical) budget.
+    pub fn pages_in_use(&self) -> u64 {
+        let ps = self.model.page_size;
+        let g = self.files.lock();
+        g.iter()
+            .flatten()
+            .map(|file| file.data.len().div_ceil(ps) as u64)
+            .sum()
+    }
+
     /// Deletes a file, releasing its space. Idempotent.
     pub fn delete(&self, f: FileId) {
         let mut g = self.files.lock();
@@ -558,9 +635,10 @@ impl SimDisk {
         let g = self.files.lock();
         let mut out = Vec::new();
         out.extend_from_slice(b"SJDK");
-        // Version 2 adds the per-file channel tag so a resumed run bins its
-        // re-reads onto the same channels the crashed run wrote on.
-        out.extend_from_slice(&2u32.to_le_bytes());
+        // Version 2 added the per-file channel tag so a resumed run bins its
+        // re-reads onto the same channels the crashed run wrote on; version
+        // 3 adds the spare-sector flag so quarantine state survives resume.
+        out.extend_from_slice(&3u32.to_le_bytes());
         out.extend_from_slice(&(g.len() as u32).to_le_bytes());
         for slot in g.iter() {
             match slot {
@@ -574,6 +652,7 @@ impl SimDisk {
                             out.extend_from_slice(&t.to_le_bytes());
                         }
                     }
+                    out.push(u8::from(file.spare));
                     out.extend_from_slice(&(file.data.len() as u64).to_le_bytes());
                     out.extend_from_slice(&file.data);
                 }
@@ -601,6 +680,8 @@ impl SimDisk {
             1
         } else if ver == 2u32.to_le_bytes() {
             2
+        } else if ver == 3u32.to_le_bytes() {
+            3
         } else {
             return Err(bad());
         };
@@ -634,6 +715,19 @@ impl SimDisk {
                     } else {
                         None
                     };
+                    // Pre-version-3 snapshots predate spare-sector files:
+                    // everything restores as a regular file.
+                    let spare = if version >= 3 {
+                        let (s, used) = take(&rest[pos..], 1)?;
+                        pos += used;
+                        match s[0] {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(bad()),
+                        }
+                    } else {
+                        false
+                    };
                     let (len_bytes, used) = take(&rest[pos..], 8)?;
                     pos += used;
                     let mut len8 = [0u8; 8];
@@ -642,6 +736,7 @@ impl SimDisk {
                     let (data, used) = take(&rest[pos..], len)?;
                     pos += used;
                     let mut file = StoredFile::new(channel);
+                    file.spare = spare;
                     file.append(&data, ps);
                     table.push(Some(file));
                 }
@@ -712,6 +807,40 @@ impl SimDisk {
         loop {
             attempt += 1;
             let mut files = self.files.lock();
+            // ENOSPC: the allocator rejects the append before any transfer
+            // when the store's live pages would exceed the plan's capacity.
+            // Retrying cannot free space, so the error surfaces immediately
+            // (the policy classifies DiskFull as not-retryable) and nothing
+            // is charged beyond the fault counter.
+            if let Some(budget) = self.faults.plan.as_ref().and_then(|p| p.disk_budget_pages) {
+                if let Some(file) = files.get(f.0 as usize).and_then(|s| s.as_ref()) {
+                    let len_now = file.data.len();
+                    let new_pages =
+                        ((len_now + data.len()).div_ceil(ps) - len_now.div_ceil(ps)) as u64;
+                    if new_pages > 0 {
+                        let used: u64 = files
+                            .iter()
+                            .flatten()
+                            .map(|sf| sf.data.len().div_ceil(ps) as u64)
+                            .sum();
+                        if used + new_pages > budget {
+                            let kind = IoErrorKind::DiskFull;
+                            debug_assert!(!self.faults.policy.should_retry(kind));
+                            let offset = len_now as u64;
+                            let bucket = self.bucket_of(file.channel);
+                            drop(files);
+                            self.stats.lock()[bucket].faults_injected += 1;
+                            return Err(IoError {
+                                kind,
+                                file: f,
+                                offset,
+                                len: data.len() as u64,
+                                attempts: attempt,
+                            });
+                        }
+                    }
+                }
+            }
             let Some(file) = files.get_mut(f.0 as usize).and_then(|s| s.as_mut()) else {
                 return Err(IoError {
                     kind: IoErrorKind::FileDeleted,
@@ -808,6 +937,28 @@ impl SimDisk {
                 s.pages_read += pages;
                 s.bytes_read += out.len() as u64;
             }
+            // Persistent bad sectors: damage is a property of the platter
+            // location (channel tag × page index), not of the request, so
+            // any read overlapping a damaged page fails identically at
+            // every buffer size and on every attempt. The policy classifies
+            // the kind as not-retryable — one charged attempt, no backoff.
+            // Untagged files model a protected system volume (manifest,
+            // journal, results); spare files model remapped sectors.
+            if let (Some(plan), Some(t)) = (self.faults.plan.as_ref(), file.channel) {
+                if !file.spare && (first_page..=last_page).any(|p| plan.bad_page(t, p)) {
+                    let kind = IoErrorKind::PersistentCorruption;
+                    debug_assert!(!self.faults.policy.should_retry(kind));
+                    drop(files);
+                    self.stats.lock()[bucket].faults_injected += 1;
+                    return Err(IoError {
+                        kind,
+                        file: f,
+                        offset,
+                        len: out.len() as u64,
+                        attempts: attempt,
+                    });
+                }
+            }
             let fault = self.faults.next_fault(IoOp::Read, offset, out.len() as u64);
             // Bit-rot corrupts a page on the wire; the per-page checksum
             // machinery is what detects it. Other read faults fail in
@@ -900,9 +1051,20 @@ impl SimDisk {
         }
     }
 
-    /// Simulated disk seconds for counters accumulated so far.
+    /// Simulated disk seconds for counters accumulated so far. With a
+    /// degraded channel the slow channel's units are stretched by its
+    /// factor — this is the clock deadline charging reads, so a degraded
+    /// channel genuinely eats into a run's deadline budget.
     pub fn io_seconds(&self) -> f64 {
-        self.model.seconds(&self.stats())
+        if self.model.degraded_channel.is_none() {
+            return self.model.seconds(&self.stats());
+        }
+        let buckets = self.channel_stats();
+        let mut units = self.model.units(&buckets[0]);
+        for (i, b) in buckets[1..].iter().enumerate() {
+            units += self.model.units(b) * self.model.channel_factor(i);
+        }
+        units * self.model.transfer_secs_per_page
     }
 }
 
@@ -918,6 +1080,7 @@ mod tests {
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
             channels: 1,
+            degraded_channel: None,
         })
     }
 
@@ -1109,6 +1272,7 @@ mod tests {
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
             channels,
+            degraded_channel: None,
         })
     }
 
@@ -1203,6 +1367,7 @@ mod tests {
         }];
         let single = DiskModel {
             channels: 1,
+            degraded_channel: None,
             ..channelled_disk(1).model()
         };
         let multi = DiskModel {
@@ -1286,6 +1451,7 @@ mod failure_tests {
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
             channels: 1,
+            degraded_channel: None,
         })
     }
 
@@ -1356,6 +1522,7 @@ mod fault_tests {
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
             channels: 1,
+            degraded_channel: None,
         })
         .with_faults(plan, policy)
     }
@@ -1364,12 +1531,9 @@ mod fault_tests {
     /// fail count uniformly in `1..=max_consecutive`, so 1 pins it).
     fn always_fail_once() -> FaultPlan {
         FaultPlan {
-            seed: 1,
             fault_rate: 1.0,
             max_consecutive: 1,
-            permanent_rate: 0.0,
-            reads_only: false,
-            crash: None,
+            ..FaultPlan::none(1)
         }
     }
 
@@ -1412,12 +1576,9 @@ mod fault_tests {
         let mut chosen = None;
         for seed in 0..5000u64 {
             let p = FaultPlan {
-                seed,
                 fault_rate: 1.0,
                 max_consecutive: 1,
-                permanent_rate: 0.0,
-                reads_only: false,
-                crash: None,
+                ..FaultPlan::none(seed)
             };
             if let Some((1, IoErrorKind::ChecksumMismatch)) = p.fate(IoOp::Read, 0, 32) {
                 chosen = Some(p);
@@ -1431,6 +1592,7 @@ mod fault_tests {
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
             channels: 1,
+            degraded_channel: None,
         });
         let f = d.create();
         d.append(f, &[7u8; 32]);
@@ -1503,6 +1665,149 @@ mod fault_tests {
         scratch.try_append(f, &[1u8; 16]).unwrap();
         assert!(scratch.stats().faults_injected > 0);
         assert_eq!(d.stats(), IoStats::default(), "scratch meter is private");
+    }
+
+    #[test]
+    fn persistent_corruption_surfaces_immediately_without_backoff() {
+        // Every (tag, page) sector is bad: the first read of a tagged file
+        // must fail PersistentCorruption after exactly one charged attempt —
+        // no retries, no simulated backoff wasted on an incurable fault.
+        let plan = FaultPlan::none(3).with_persistent_rate(1.0);
+        let d = disk_with(plan, RetryPolicy::default());
+        let f = d.create_on(0);
+        d.try_append(f, &[9u8; 48]).expect("writes are unaffected");
+        let mut out = [0u8; 48];
+        let e = d.try_read(f, 0, &mut out).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::PersistentCorruption);
+        assert!(e.kind.is_persistent() && !e.kind.is_transient());
+        assert_eq!(e.attempts, 1);
+        let s = d.stats();
+        assert_eq!(s.read_requests, 1, "one charged attempt");
+        assert_eq!(s.read_retries, 0);
+        assert_eq!(s.backoff_units, 0);
+        assert_eq!(s.faults_injected, 1);
+        // Re-reads fail identically: the damage never goes away.
+        let e2 = d.try_read(f, 0, &mut out).unwrap_err();
+        assert_eq!(e2.kind, IoErrorKind::PersistentCorruption);
+    }
+
+    #[test]
+    fn untagged_and_spare_files_are_exempt_from_bad_sectors() {
+        let plan = FaultPlan::none(3).with_persistent_rate(1.0);
+        let d = disk_with(plan, RetryPolicy::default());
+        // Untagged: the protected system volume.
+        let sys = d.create();
+        d.try_append(sys, &[1u8; 32]).unwrap();
+        let mut out = [0u8; 32];
+        d.try_read(sys, 0, &mut out).expect("untagged files never rot");
+        // Spare: a remapped replacement sector on the same channel.
+        let spare = d.create_spare_on(5);
+        assert!(d.is_spare(spare));
+        assert_eq!(d.file_channel(spare), Some(5));
+        d.try_append(spare, &[2u8; 32]).unwrap();
+        d.try_read(spare, 0, &mut out).expect("spares never rot");
+        // create_spare_like inherits channel and spare-ness.
+        let like = d.create_spare_like(spare);
+        assert!(d.is_spare(like));
+        assert_eq!(d.file_channel(like), Some(5));
+        // A spare derived from an untagged file is just a shared-lane file.
+        let from_sys = d.create_spare_like(sys);
+        assert_eq!(d.file_channel(from_sys), None);
+    }
+
+    #[test]
+    fn disk_full_surfaces_enospc_and_delete_frees_space() {
+        // page_size 16, budget 4 pages.
+        let plan = FaultPlan::none(7).with_disk_budget(4);
+        let d = disk_with(plan, RetryPolicy::default());
+        let f = d.create_on(0);
+        d.try_append(f, &[1u8; 64]).expect("fits exactly");
+        assert_eq!(d.pages_in_use(), 4);
+        let before = d.stats();
+        let e = d.try_append(f, &[2u8; 1]).unwrap_err();
+        assert_eq!(e.kind, IoErrorKind::DiskFull);
+        assert_eq!(e.attempts, 1);
+        let s = d.stats();
+        // Nothing was transferred: only the fault counter moved.
+        assert_eq!(s.write_requests, before.write_requests);
+        assert_eq!(s.pages_written, before.pages_written);
+        assert_eq!(s.backoff_units, before.backoff_units);
+        assert_eq!(s.faults_injected, before.faults_injected + 1);
+        assert_eq!(d.len(f), 64, "failed append persisted nothing");
+        // Freeing space makes writes succeed again.
+        d.delete(f);
+        assert_eq!(d.pages_in_use(), 0);
+        let g = d.create_on(1);
+        d.try_append(g, &[3u8; 16]).expect("space was freed");
+        // Filling a partial page costs no new pages and is always allowed.
+        let h = d.create_on(2);
+        d.try_append(h, &[4u8; 40]).unwrap(); // 3 pages, 4 total in use
+        d.try_append(h, &[5u8; 8]).expect("stays within the last page");
+    }
+
+    #[test]
+    fn degraded_channel_stretches_clock_without_touching_counters() {
+        let run = |plan: Option<FaultPlan>| -> (IoStats, f64, f64) {
+            let mut d = SimDisk::new(DiskModel {
+                page_size: 16,
+                positioning_ratio: 4.0,
+                transfer_secs_per_page: 1.0,
+                cpu_slowdown: 1.0,
+                channels: 2,
+                degraded_channel: None,
+            });
+            if let Some(p) = plan {
+                d = d.with_faults(p, RetryPolicy::default());
+            }
+            let a = d.create_on(0);
+            let b = d.create_on(1);
+            d.append(a, &[0u8; 32]);
+            d.append(b, &[0u8; 32]);
+            let m = d.model();
+            let buckets = d.channel_stats();
+            let par = m.parallel_io_seconds(&buckets[0], &buckets[1..]);
+            (d.stats(), d.io_seconds(), par)
+        };
+        let (clean, clean_serial, clean_par) = run(None);
+        let plan = FaultPlan::none(1).with_degraded_channel(0, 4.0);
+        let (slow, slow_serial, slow_par) = run(Some(plan));
+        // Counters are bit-identical; only the clock changed.
+        assert_eq!(clean, slow);
+        assert!(slow_serial > clean_serial, "{slow_serial} vs {clean_serial}");
+        assert!(slow_par > clean_par);
+        // Channel 0: one request of 2 pages = PT + 2 = 6 units, ×4 = 24.
+        // Channel 1 healthy: 6 units. Serial = 24 + 6 = 30; clean = 12.
+        assert!((slow_serial - 30.0).abs() < 1e-12, "{slow_serial}");
+        assert!((clean_serial - 12.0).abs() < 1e-12, "{clean_serial}");
+        // The degraded channel dominates the parallel clock.
+        assert!((slow_par - 24.0).abs() < 1e-12, "{slow_par}");
+        // A factor on a channel nothing touches changes nothing.
+        let idle = FaultPlan::none(1).with_degraded_channel(1, 100.0);
+        let m = DiskModel {
+            channels: 2,
+            degraded_channel: idle.degraded_channel,
+            ..DiskModel::default()
+        };
+        assert_eq!(m.channel_factor(0), 1.0);
+        assert_eq!(m.channel_factor(1), 100.0);
+    }
+
+    #[test]
+    fn export_restore_round_trips_spare_flags() {
+        let d = SimDisk::with_default_model();
+        let a = d.create_spare_on(2);
+        let b = d.create_on(2);
+        d.append(a, b"spare");
+        d.append(b, b"plain");
+        let snap = d.export_files();
+        let e = SimDisk::with_default_model();
+        e.restore_files(&snap).unwrap();
+        assert!(e.is_spare(a));
+        assert!(!e.is_spare(b));
+        assert_eq!(e.file_channel(a), Some(2));
+        let mut out = vec![0u8; 5];
+        e.try_read(a, 0, &mut out).unwrap();
+        assert_eq!(&out, b"spare");
     }
 
     #[test]

@@ -65,6 +65,13 @@ pub enum IoErrorKind {
     /// (e.g. fault injection requested for an algorithm that runs fully
     /// in memory).
     Unsupported,
+    /// A damaged sector: every re-read of the page fails the checksum, no
+    /// matter how many retries are spent. The data is only recoverable by
+    /// rebuilding the file from its source (quarantine + recompute).
+    PersistentCorruption,
+    /// The simulated volume is out of capacity (ENOSPC): the write can never
+    /// succeed until space is freed or the plan is changed.
+    DiskFull,
 }
 
 impl IoErrorKind {
@@ -79,7 +86,19 @@ impl IoErrorKind {
         )
     }
 
-    fn describe(self) -> &'static str {
+    /// `true` for kinds that *no* retry can cure: the same request will fail
+    /// the same way forever. The disk surfaces these after a single attempt
+    /// (no simulated backoff is charged) and the join layers respond by
+    /// quarantining the damaged file and recomputing from source.
+    pub fn is_persistent(self) -> bool {
+        matches!(
+            self,
+            IoErrorKind::PersistentCorruption | IoErrorKind::DiskFull
+        )
+    }
+
+    /// Human-readable description, used by `Display` and the CLI taxonomy.
+    pub fn describe(self) -> &'static str {
         match self {
             IoErrorKind::TransientRead => "transient read error",
             IoErrorKind::TransientWrite => "transient write error",
@@ -88,6 +107,10 @@ impl IoErrorKind {
             IoErrorKind::FileDeleted => "file was deleted",
             IoErrorKind::OutOfBounds => "request extends past end of file",
             IoErrorKind::Unsupported => "operation unsupported under fault injection",
+            IoErrorKind::PersistentCorruption => {
+                "persistent media corruption (re-reads cannot cure a damaged sector)"
+            }
+            IoErrorKind::DiskFull => "simulated disk full (ENOSPC)",
         }
     }
 }
@@ -404,20 +427,55 @@ pub struct FaultPlan {
     /// the per-request fault machinery: a crash-only plan keeps
     /// `fault_rate` at zero.
     pub crash: Option<CrashPoint>,
+    /// Fraction of *(channel tag, page)* locations on tagged data files that
+    /// are damaged sectors, in `[0, 1]`. A read touching a damaged page of a
+    /// tagged, non-spare file fails with
+    /// [`IoErrorKind::PersistentCorruption`] on every attempt — the damage is
+    /// keyed on the file's channel tag and page index (not the request
+    /// identity), so re-reading through any buffer size hits the same bad
+    /// sector. Untagged files (manifest, journal, results) model a protected
+    /// system volume and are never damaged; spare files
+    /// ([`crate::SimDisk::create_spare_on`]) model remapped replacement
+    /// sectors and are exempt too.
+    pub persistent_rate: f64,
+    /// Simulated volume capacity in pages. When the live pages across all
+    /// files of a disk handle's store would exceed this budget, the append
+    /// fails with [`IoErrorKind::DiskFull`] — immediately, since retrying
+    /// cannot free space. `None` means unbounded (the historic behaviour).
+    pub disk_budget_pages: Option<u64>,
+    /// Degrade one data channel: `(channel, factor)` multiplies the
+    /// simulated transfer time of every unit on that channel by `factor`
+    /// (≥ 1), stressing deadlines without changing a single counter.
+    /// Channel indices are data-channel indices, i.e. `0..D`.
+    pub degraded_channel: Option<(usize, f64)>,
 }
 
 impl FaultPlan {
+    /// The identity plan: no faults of any taxon. Base for the named
+    /// constructors and for struct-update spelling at call sites that want
+    /// to set only a few fields.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            fault_rate: 0.0,
+            max_consecutive: 0,
+            permanent_rate: 0.0,
+            reads_only: false,
+            crash: None,
+            persistent_rate: 0.0,
+            disk_budget_pages: None,
+            degraded_channel: None,
+        }
+    }
+
     /// A plan whose every fault is cured within the default
     /// [`crate::RetryPolicy`] budget: any join must produce output identical
     /// to the fault-free run, just at a higher simulated-time cost.
     pub fn recoverable(seed: u64) -> Self {
         FaultPlan {
-            seed,
             fault_rate: 0.05,
             max_consecutive: 2,
-            permanent_rate: 0.0,
-            reads_only: false,
-            crash: None,
+            ..FaultPlan::none(seed)
         }
     }
 
@@ -426,12 +484,10 @@ impl FaultPlan {
     /// exercising the partition-requeue and degradation paths.
     pub fn degraded(seed: u64) -> Self {
         FaultPlan {
-            seed,
             fault_rate: 0.02,
             max_consecutive: 6,
-            permanent_rate: 0.0,
             reads_only: true,
-            crash: None,
+            ..FaultPlan::none(seed)
         }
     }
 
@@ -439,12 +495,10 @@ impl FaultPlan {
     /// the disk must surface a typed error (never panic or hang).
     pub fn unrecoverable(seed: u64) -> Self {
         FaultPlan {
-            seed,
             fault_rate: 1.0,
             max_consecutive: 1,
             permanent_rate: 1.0,
-            reads_only: false,
-            crash: None,
+            ..FaultPlan::none(seed)
         }
     }
 
@@ -452,12 +506,19 @@ impl FaultPlan {
     /// `point` — the crash-recovery sweep's workhorse.
     pub fn crash_only(seed: u64, point: CrashPoint) -> Self {
         FaultPlan {
-            seed,
-            fault_rate: 0.0,
-            max_consecutive: 0,
-            permanent_rate: 0.0,
-            reads_only: false,
             crash: Some(point),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// A plan with **persistent media damage only**: a seeded fraction of
+    /// (channel, page) sectors on tagged data files fail every read. Joins
+    /// must either quarantine-recompute to the exact clean result or surface
+    /// a typed error — a retry alone can never cure these.
+    pub fn persistent(seed: u64) -> Self {
+        FaultPlan {
+            persistent_rate: 0.05,
+            ..FaultPlan::none(seed)
         }
     }
 
@@ -465,6 +526,44 @@ impl FaultPlan {
     pub fn with_crash(mut self, point: CrashPoint) -> Self {
         self.crash = Some(point);
         self
+    }
+
+    /// Sets the persistent bad-sector rate on an existing plan.
+    pub fn with_persistent_rate(mut self, rate: f64) -> Self {
+        self.persistent_rate = rate;
+        self
+    }
+
+    /// Caps the simulated volume at `pages` pages (ENOSPC past it).
+    pub fn with_disk_budget(mut self, pages: u64) -> Self {
+        self.disk_budget_pages = Some(pages);
+        self
+    }
+
+    /// Multiplies the transfer time of data channel `channel` by `factor`.
+    pub fn with_degraded_channel(mut self, channel: usize, factor: f64) -> Self {
+        self.degraded_channel = Some((channel, factor.max(1.0)));
+        self
+    }
+
+    /// `true` when any taxon of this plan requires graceful-degradation
+    /// machinery (as opposed to plain retries).
+    pub fn has_persistent_taxa(&self) -> bool {
+        self.persistent_rate > 0.0 || self.disk_budget_pages.is_some()
+    }
+
+    /// Whether the page at index `page` of a file tagged with channel
+    /// `channel_tag` is a damaged sector. A pure function of
+    /// `(seed, channel_tag, page)` — independent of the request identity, so
+    /// any read overlapping the page fails identically at every buffer size
+    /// and thread count.
+    #[inline]
+    pub fn bad_page(&self, channel_tag: u64, page: u64) -> bool {
+        if self.persistent_rate <= 0.0 {
+            return false;
+        }
+        let h = mix(mix(mix(self.seed ^ 0xBAD_5EC7) ^ channel_tag.rotate_left(17)) ^ page);
+        unit(h) < self.persistent_rate
     }
 
     /// Salt identifying a request, stable across processes and thread
@@ -619,6 +718,71 @@ mod tests {
         assert!(JoinError::deadline_exceeded("join", 2.0, 1.0).is_resumable());
         assert!(JoinError::crashed("join", CrashPoint::MidRename).is_resumable());
         assert!(JoinError::cancelled("join").io().is_none());
+    }
+
+    #[test]
+    fn persistent_kinds_are_neither_transient_nor_retryable() {
+        for k in [IoErrorKind::PersistentCorruption, IoErrorKind::DiskFull] {
+            assert!(k.is_persistent());
+            assert!(!k.is_transient());
+            assert!(!k.describe().is_empty());
+        }
+        for k in [
+            IoErrorKind::TransientRead,
+            IoErrorKind::TransientWrite,
+            IoErrorKind::TornWrite,
+            IoErrorKind::ChecksumMismatch,
+            IoErrorKind::FileDeleted,
+            IoErrorKind::OutOfBounds,
+            IoErrorKind::Unsupported,
+        ] {
+            assert!(!k.is_persistent());
+        }
+    }
+
+    #[test]
+    fn bad_page_is_pure_and_hits_roughly_its_rate() {
+        let p = FaultPlan::persistent(11);
+        let n = 10_000u64;
+        let bad = (0..n).filter(|&pg| p.bad_page(3, pg)).count();
+        // 5% ± generous slack.
+        assert!((200..=800).contains(&bad), "bad = {bad}");
+        for pg in 0..64u64 {
+            assert_eq!(p.bad_page(3, pg), p.bad_page(3, pg));
+        }
+        // Different tags damage different sectors.
+        let differs = (0..1000u64).any(|pg| p.bad_page(0, pg) != p.bad_page(1, pg));
+        assert!(differs);
+        // The base plans keep the disk's platters pristine.
+        assert!((0..1000u64).all(|pg| !FaultPlan::recoverable(11).bad_page(0, pg)));
+    }
+
+    #[test]
+    fn persistent_plan_injects_no_identity_faults() {
+        let p = FaultPlan::persistent(5);
+        for i in 0..1000u64 {
+            assert_eq!(p.fate(IoOp::Read, i * 4096, 4096), None);
+            assert_eq!(p.fate(IoOp::Write, i * 4096, 4096), None);
+        }
+        assert!(p.has_persistent_taxa());
+        assert!(!FaultPlan::recoverable(5).has_persistent_taxa());
+        assert!(FaultPlan::none(5).with_disk_budget(16).has_persistent_taxa());
+    }
+
+    #[test]
+    fn plan_builders_compose() {
+        let p = FaultPlan::none(9)
+            .with_persistent_rate(0.25)
+            .with_disk_budget(128)
+            .with_degraded_channel(2, 4.0);
+        assert_eq!(p.persistent_rate, 0.25);
+        assert_eq!(p.disk_budget_pages, Some(128));
+        assert_eq!(p.degraded_channel, Some((2, 4.0)));
+        // Sub-1.0 slowdown factors clamp to the identity.
+        assert_eq!(
+            FaultPlan::none(9).with_degraded_channel(0, 0.5).degraded_channel,
+            Some((0, 1.0))
+        );
     }
 
     #[test]

@@ -183,6 +183,7 @@ mod tests {
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
             channels: 1,
+            degraded_channel: None,
         })
     }
 

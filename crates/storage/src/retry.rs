@@ -54,6 +54,15 @@ impl RetryPolicy {
         }
     }
 
+    /// Whether a failure of `kind` is worth retrying at all. Persistent
+    /// kinds (damaged sectors, ENOSPC) fail identically on every attempt, so
+    /// the policy classifies them as give-up-immediately: no simulated
+    /// backoff is charged and the error surfaces after one attempt,
+    /// regardless of `max_attempts`.
+    pub fn should_retry(&self, kind: crate::IoErrorKind) -> bool {
+        self.max_attempts > 1 && kind.is_transient()
+    }
+
     /// Backoff charged before retrying after the `failure_idx`-th failure of
     /// an identity (0-based, the identity's shared attempt counter — using
     /// the global index rather than the caller-local one keeps the total
@@ -120,6 +129,18 @@ mod tests {
     fn none_policy_never_retries() {
         let p = RetryPolicy::none();
         assert_eq!(p.max_attempts, 1);
+    }
+
+    #[test]
+    fn persistent_kinds_are_never_retried() {
+        use crate::IoErrorKind;
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(IoErrorKind::TransientRead));
+        assert!(p.should_retry(IoErrorKind::TornWrite));
+        assert!(!p.should_retry(IoErrorKind::PersistentCorruption));
+        assert!(!p.should_retry(IoErrorKind::DiskFull));
+        assert!(!p.should_retry(IoErrorKind::FileDeleted));
+        assert!(!RetryPolicy::none().should_retry(IoErrorKind::TransientRead));
     }
 
     #[test]

@@ -357,6 +357,7 @@ mod tests {
             transfer_secs_per_page: 1.0,
             cpu_slowdown: 1.0,
             channels: 1,
+            degraded_channel: None,
         })
     }
 
@@ -473,6 +474,7 @@ mod proptests {
                 transfer_secs_per_page: 1.0,
                 cpu_slowdown: 1.0,
                 channels: 1,
+                degraded_channel: None,
             });
             let records: Vec<IdPair> = values.iter().map(|&(r, s)| IdPair { r, s }).collect();
             let f = write_all(&disk, &records, 2);
@@ -495,6 +497,7 @@ mod proptests {
                 transfer_secs_per_page: 1.0,
                 cpu_slowdown: 1.0,
                 channels: 1,
+                degraded_channel: None,
             });
             let records: Vec<IdPair> = values.iter().map(|&v| IdPair { r: v, s: !v }).collect();
             let f = write_all(&disk, &records, 2);

@@ -232,12 +232,10 @@ fn parallel_requeue_cures_partitions_that_fail_in_task() {
         // 4-attempt copy rounds), so only a requeued second task round can
         // cure the partition.
         let plan = FaultPlan {
-            seed,
             fault_rate: 0.03,
             max_consecutive: 24,
-            permanent_rate: 0.0,
             reads_only: true,
-            crash: None,
+            ..FaultPlan::none(seed)
         };
         let (mut got, st) =
             pbsm_run(&r, &s, &cfg, Some(plan)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -248,6 +246,61 @@ fn parallel_requeue_cures_partitions_that_fail_in_task() {
         }
     }
     assert!(saw_requeue, "no seed in 0..32 forced a requeue");
+}
+
+/// Persistent plan (damaged sectors that no retry can cure): the quarantine
+/// paths recompute the damaged partition/level from source, so every
+/// completed run is still bit-identical to the fault-free result *set*; a
+/// run that cannot recover must die with a persistent-kind error, never a
+/// silent wrong answer. The sweep must force quarantine at least once per
+/// family.
+#[test]
+fn persistent_corruption_is_quarantined_or_typed_never_silent() {
+    let (r, s) = workload();
+    let pbsm_cfg = PbsmConfig {
+        mem_bytes: 24 * 1024,
+        threads: 1,
+        ..Default::default()
+    };
+    let s3j_cfg = S3jConfig {
+        mem_bytes: 24 * 1024,
+        max_level: 9,
+        replicate: true,
+        threads: 1,
+        ..Default::default()
+    };
+    let (mut pbsm_clean, _) = pbsm_run(&r, &s, &pbsm_cfg, None).unwrap();
+    pbsm_clean.sort_unstable();
+    let (mut s3j_clean, _) = s3j_run(&r, &s, &s3j_cfg, None).unwrap();
+    s3j_clean.sort_unstable();
+    let (mut pbsm_quarantines, mut s3j_quarantines) = (0u32, 0u32);
+    for seed in 0..24u64 {
+        let plan = FaultPlan::persistent(seed);
+        match pbsm_run(&r, &s, &pbsm_cfg, Some(plan)) {
+            Ok((mut got, st)) => {
+                got.sort_unstable();
+                assert_eq!(got, pbsm_clean, "pbsm seed {seed}: silent divergence");
+                pbsm_quarantines += st.quarantined_partitions;
+            }
+            Err(e) => assert!(
+                e.io().is_some_and(|io| io.kind.is_persistent()),
+                "pbsm seed {seed}: untyped failure under persistent damage: {e}"
+            ),
+        }
+        match s3j_run(&r, &s, &s3j_cfg, Some(plan)) {
+            Ok((mut got, st)) => {
+                got.sort_unstable();
+                assert_eq!(got, s3j_clean, "s3j seed {seed}: silent divergence");
+                s3j_quarantines += st.quarantined_levels;
+            }
+            Err(e) => assert!(
+                e.io().is_some_and(|io| io.kind.is_persistent()),
+                "s3j seed {seed}: untyped failure under persistent damage: {e}"
+            ),
+        }
+    }
+    assert!(pbsm_quarantines > 0, "no seed forced a PBSM partition quarantine");
+    assert!(s3j_quarantines > 0, "no seed forced an S3J level quarantine");
 }
 
 /// Unrecoverable plan: every entry point surfaces a typed error — library
