@@ -10,14 +10,14 @@
 //!   within 10 % of the best variant's measured total. `--check` turns any
 //!   miss into exit code 1 — the CI gate.
 //! * **`--fit <baseline>`** — replay the committed bench-regression corpus
-//!   (`BENCH_pr6.json`), compare each row's measured meters against the raw
+//!   (`BENCH_pr10.json`), compare each row's measured meters against the raw
 //!   model's prediction for the same configuration, least-squares fit the
 //!   per-family affine corrections, and write the versioned coefficients
 //!   file the planner loads at run time.
 //!
 //! ```text
 //! # calibrate (writes planner-coeffs.json; scale is recorded inside)
-//! SJ_SCALE=0.2 cargo run --release -p bench --bin planner-eval -- --fit BENCH_pr6.json
+//! SJ_SCALE=0.2 cargo run --release -p bench --bin planner-eval -- --fit BENCH_pr10.json
 //! # CI gate: pick within 10 % of best on every grid cell
 //! SJ_SCALE=0.2 cargo run --release -p bench --bin planner-eval -- --check
 //! ```
@@ -29,7 +29,7 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use bench::{cal_st, join_inputs, paper_mem, scale};
+use bench::{cal_st, hisel_inputs, join_inputs, paper_mem, scale, skew_inputs};
 use spatialjoin::estimate::{
     fit_affine_relative, Coefficients, DatasetProfile, JointEstimate, PlanAlgo, PlanChoice,
     Planner,
@@ -57,6 +57,8 @@ fn inputs(join: &str) -> (Vec<geom::Kpe>, Vec<geom::Kpe>) {
         "J3" => join_inputs(3),
         "J4" => join_inputs(4),
         "J5" => (cal_st().to_vec(), cal_st().to_vec()),
+        "SKEW" => skew_inputs(),
+        "HISEL" => hisel_inputs(),
         other => panic!("unknown join {other}"),
     }
 }
@@ -100,11 +102,15 @@ impl CellRow {
 }
 
 /// Measures one variant's simulated total under the deterministic model.
-fn measure(choice: &PlanChoice, r: &[geom::Kpe], s: &[geom::Kpe]) -> f64 {
-    let (_, st) = SpatialJoin::new(Algorithm::from_choice(choice))
+/// `None` when the candidate refuses the configuration (the in-memory
+/// quadtree with inputs over budget) — the planner predicts those at
+/// infinite cost, so they can never be the pick.
+fn measure(choice: &PlanChoice, r: &[geom::Kpe], s: &[geom::Kpe]) -> Option<f64> {
+    SpatialJoin::new(Algorithm::from_choice(choice))
         .with_disk_model(model())
-        .count(r, s);
-    st.total_seconds()
+        .try_count(r, s)
+        .ok()
+        .map(|(_, st)| st.total_seconds())
 }
 
 fn eval(coeffs: &Coefficients) -> Result<(String, Vec<CellRow>), String> {
@@ -133,8 +139,9 @@ fn eval(coeffs: &Coefficients) -> Result<(String, Vec<CellRow>), String> {
                 if measured.iter().any(|m| (m.0, m.1, m.2) == sig) {
                     continue;
                 }
-                let total = measure(&cand.choice, &r, &s);
-                measured.push((sig.0, sig.1, sig.2, cand.choice.describe(), total));
+                if let Some(total) = measure(&cand.choice, &r, &s) {
+                    measured.push((sig.0, sig.1, sig.2, cand.choice.describe(), total));
+                }
             }
             let picked_s = measured
                 .iter()
@@ -192,12 +199,13 @@ fn field_f64(line: &str, key: &str) -> Option<f64> {
     field(line, key)?.parse().ok()
 }
 
-/// The regress corpus runs `pbsm_rpm` / `s3j_replicated` at their library
-/// defaults; the matching planner candidates are fixed.
+/// The regress corpus runs `pbsm_rpm` / `s3j_replicated` / `two_layer` at
+/// their library defaults; the matching planner candidates are fixed.
 fn corpus_choice(algo: &str, mem: usize) -> Option<PlanChoice> {
     let plan_algo = match algo {
         "pbsm" => PlanAlgo::PbsmRpm,
         "s3j" => PlanAlgo::S3jReplicated,
+        "twolayer" => PlanAlgo::TwoLayer,
         _ => return None,
     };
     Some(PlanChoice {
@@ -209,12 +217,13 @@ fn corpus_choice(algo: &str, mem: usize) -> Option<PlanChoice> {
     })
 }
 
-/// The memory budget regress ran each join at (J5 is the big self join).
+/// The memory budget regress ran each join at (J5 is the big self join;
+/// the skew/selectivity workloads run tight to force external runs).
 fn corpus_mem(join: &str) -> usize {
-    if join == "J5" {
-        paper_mem(8.0)
-    } else {
-        paper_mem(2.0)
+    match join {
+        "J5" => paper_mem(8.0),
+        "SKEW" | "HISEL" => paper_mem(0.5),
+        _ => paper_mem(2.0),
     }
 }
 
@@ -279,7 +288,7 @@ fn fit(baseline: &str) -> Result<Coefficients, String> {
 
     let mut coeffs = Coefficients::identity();
     coeffs.scale = scale();
-    for family in ["pbsm", "s3j"] {
+    for family in ["pbsm", "s3j", "twolayer"] {
         for metric in ["candidates", "pages", "seconds"] {
             let pts: Vec<(f64, f64)> = points
                 .iter()

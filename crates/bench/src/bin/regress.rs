@@ -16,12 +16,19 @@
 //! deterministic meters identical across all four configurations, and
 //! `total_s` strictly lower at four channels than at one.
 //!
+//! Besides J1–J5, the grid carries a skewed (`SKEW`) and a
+//! high-selectivity (`HISEL`) workload where the two-layer class scheme is
+//! required to beat PBSM+RPM on the deterministic simulated total (I/O
+//! plus `tests` priced at `TEST_COST`) — the produce step enforces this
+//! inline on every run, so the gate fails the moment the two-layer fast
+//! paths regress.
+//!
 //! ```text
 //! # produce / bless a baseline (records the dataset scale inside)
-//! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- --out BENCH_pr6.json
+//! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- --out BENCH_pr10.json
 //! # CI gate: re-run and diff against the committed baseline
 //! SJ_SCALE=0.2 cargo run --release -p bench --bin regress -- \
-//!     --check BENCH_pr6.json --out bench-regress.json
+//!     --check BENCH_pr10.json --out bench-regress.json
 //! ```
 //!
 //! Exit codes: 0 pass, 1 regression or reconciliation failure, 2 usage
@@ -31,12 +38,17 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use bench::{cal_st, join_inputs, paper_mem, scale};
+use bench::{cal_st, hisel_inputs, join_inputs, paper_mem, scale, skew_inputs};
 use spatialjoin::{Algorithm, SpatialJoin};
 use storage::DiskModel;
 
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
 const TIME_TOLERANCE: f64 = 0.05;
+/// Deterministic seconds per rectangle comparison, used to fold the `tests`
+/// meter into a simulated total for the two-layer beat gate (the measured
+/// clock pins `cpu_slowdown = 0`, so CPU work must be priced from the
+/// deterministic counters to stay bit-reproducible across hosts).
+const TEST_COST: f64 = 2.0e-8;
 
 struct Row {
     join: &'static str,
@@ -46,6 +58,7 @@ struct Row {
     results: u64,
     duplicates: u64,
     candidates: u64,
+    tests: u64,
     pages_read: u64,
     pages_written: u64,
     total_s: f64,
@@ -56,8 +69,8 @@ impl Row {
     fn to_json(&self) -> String {
         format!(
             "{{\"join\":\"{}\",\"algo\":\"{}\",\"threads\":{},\"channels\":{},\"results\":{},\
-             \"duplicates\":{},\"candidates\":{},\"pages_read\":{},\"pages_written\":{},\
-             \"total_s\":{:.6},\"first_result_s\":{:.6}}}",
+             \"duplicates\":{},\"candidates\":{},\"tests\":{},\"pages_read\":{},\
+             \"pages_written\":{},\"total_s\":{:.6},\"first_result_s\":{:.6}}}",
             self.join,
             self.algo,
             self.threads,
@@ -65,6 +78,7 @@ impl Row {
             self.results,
             self.duplicates,
             self.candidates,
+            self.tests,
             self.pages_read,
             self.pages_written,
             self.total_s,
@@ -72,14 +86,23 @@ impl Row {
         )
     }
 
-    fn meters(&self) -> (u64, u64, u64, u64, u64) {
+    fn meters(&self) -> (u64, u64, u64, u64, u64, u64) {
         (
             self.results,
             self.duplicates,
             self.candidates,
+            self.tests,
             self.pages_read,
             self.pages_written,
         )
+    }
+
+    /// Deterministic "total time" with CPU work priced in: simulated I/O
+    /// plus `tests` rectangle comparisons at [`TEST_COST`] each. This is
+    /// what the two-layer beat gate compares — at `cpu_slowdown = 0` the
+    /// measured clock alone cannot see CPU savings.
+    fn sim_total(&self) -> f64 {
+        self.total_s + self.tests as f64 * TEST_COST
     }
 }
 
@@ -114,6 +137,7 @@ fn run_point(join: &'static str, algo: &'static str, base: &Algorithm, r: &[geom
                 results: st.results(),
                 duplicates: st.duplicates(),
                 candidates: st.candidates().unwrap_or(0),
+                tests: st.tests(),
                 pages_read: io.pages_read,
                 pages_written: io.pages_written,
                 total_s: st.total_seconds(),
@@ -167,6 +191,48 @@ fn produce() -> Result<(String, Vec<Row>), String> {
     let mem = paper_mem(8.0);
     rows.extend(run_point("J5", "pbsm", &Algorithm::pbsm_rpm(mem), cal, cal)?);
     rows.extend(run_point("J5", "s3j", &Algorithm::s3j_replicated(mem), cal, cal)?);
+
+    // PR 10's tentpole gate: on the skewed and high-selectivity workloads
+    // the two-layer class scheme must beat PBSM+RPM on the deterministic
+    // simulated total (I/O plus `tests` priced at TEST_COST) — same
+    // partitioning I/O, so the win has to come from the skipped
+    // intersection and duplicate tests.
+    for (join, (r, s)) in [("SKEW", skew_inputs()), ("HISEL", hisel_inputs())] {
+        eprintln!("regress: {join} ({} x {})", r.len(), s.len());
+        // Tight enough that the inputs always exceed the budget (both sides
+        // scale with SJ_SCALE exactly like the budget does), forcing the
+        // external-partitioning path whose I/O the channel gate needs.
+        let mem = paper_mem(0.5);
+        let pbsm_rows = run_point(join, "pbsm", &Algorithm::pbsm_rpm(mem), &r, &s)?;
+        let two_rows = run_point(join, "twolayer", &Algorithm::two_layer(mem), &r, &s)?;
+        let (p, t) = (&pbsm_rows[0], &two_rows[0]);
+        if t.results != p.results {
+            return Err(format!(
+                "{join}: twolayer results {} != pbsm results {}",
+                t.results, p.results
+            ));
+        }
+        if t.sim_total() >= p.sim_total() {
+            return Err(format!(
+                "{join}: twolayer not faster: sim_total {:.6}s (tests {}) vs \
+                 pbsm {:.6}s (tests {})",
+                t.sim_total(),
+                t.tests,
+                p.sim_total(),
+                p.tests
+            ));
+        }
+        eprintln!(
+            "regress: {join}: twolayer beats pbsm: {:.6}s vs {:.6}s \
+             ({} vs {} tests)",
+            t.sim_total(),
+            p.sim_total(),
+            t.tests,
+            p.tests
+        );
+        rows.extend(pbsm_rows);
+        rows.extend(two_rows);
+    }
 
     let mut out = format!(
         "{{\"meta\":{{\"bench\":\"regress\",\"schema_version\":{SCHEMA_VERSION},\
@@ -245,6 +311,7 @@ fn check(baseline: &str, rows: &[Row]) -> Result<Vec<String>, String> {
             ("results", field_u64(line, "results"), row.results),
             ("duplicates", field_u64(line, "duplicates"), row.duplicates),
             ("candidates", field_u64(line, "candidates"), row.candidates),
+            ("tests", field_u64(line, "tests"), row.tests),
             ("pages_read", field_u64(line, "pages_read"), row.pages_read),
             ("pages_written", field_u64(line, "pages_written"), row.pages_written),
         ] {

@@ -57,6 +57,28 @@ pub fn join_inputs(p: u32) -> (Vec<Kpe>, Vec<Kpe>) {
     (datagen::scale(la_rr(), f), datagen::scale(la_st(), f))
 }
 
+/// Skewed regress workload: two heavily clustered datasets whose hot
+/// tiles concentrate most of the candidate pairs — the case where the
+/// two-layer class scheme's partial-comparison sub-joins pay off most.
+pub fn skew_inputs() -> (Vec<Kpe>, Vec<Kpe>) {
+    let n = ((40_000.0 * scale()) as usize).max(500);
+    (
+        datagen::clustered(n, 8, 0.004, SEED),
+        datagen::clustered(n, 8, 0.004, SEED + 1),
+    )
+}
+
+/// High-selectivity regress workload: uniform MBRs with generous edges, so
+/// the join produces many results per input — candidate handling (tests,
+/// duplicate checks) dominates the simulated CPU work.
+pub fn hisel_inputs() -> (Vec<Kpe>, Vec<Kpe>) {
+    let n = ((30_000.0 * scale()) as usize).max(500);
+    (
+        datagen::uniform(n, 0.008, SEED),
+        datagen::uniform(n, 0.008, SEED + 1),
+    )
+}
+
 /// Converts "the paper's M megabytes" into our bytes (40-byte KPEs vs the
 /// paper's ~20-byte KPEs ⇒ factor 2), scaled with the dataset scale.
 pub fn paper_mem(paper_mb: f64) -> usize {

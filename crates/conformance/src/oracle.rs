@@ -42,11 +42,14 @@ pub enum AlgoId {
     S3jOriginal,
     Sssj,
     Shj,
+    /// PBSM partitioning with the two-layer A/B/C/D class scheme (each
+    /// pair found exactly once, no duplicate tests).
+    TwoLayer,
     Quadtree,
 }
 
 impl AlgoId {
-    pub const ALL: [AlgoId; 9] = [
+    pub const ALL: [AlgoId; 10] = [
         AlgoId::PbsmRpmNested,
         AlgoId::PbsmRpmList,
         AlgoId::PbsmRpmTrie,
@@ -55,6 +58,7 @@ impl AlgoId {
         AlgoId::S3jOriginal,
         AlgoId::Sssj,
         AlgoId::Shj,
+        AlgoId::TwoLayer,
         AlgoId::Quadtree,
     ];
 
@@ -68,6 +72,7 @@ impl AlgoId {
             AlgoId::S3jOriginal => "s3j-orig",
             AlgoId::Sssj => "sssj",
             AlgoId::Shj => "shj",
+            AlgoId::TwoLayer => "twolayer",
             AlgoId::Quadtree => "quadtree",
         }
     }
@@ -154,18 +159,25 @@ impl Transform {
                 algo != Quadtree
             }
             Transform::Tiles { .. } => {
-                matches!(algo, PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort)
+                matches!(algo, PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort | TwoLayer)
             }
             Transform::Threads { .. } | Transform::Faults { .. } => matches!(
                 algo,
-                PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort | S3jReplicated | S3jOriginal
+                PbsmRpmNested
+                    | PbsmRpmList
+                    | PbsmRpmTrie
+                    | PbsmSort
+                    | S3jReplicated
+                    | S3jOriginal
+                    | TwoLayer
             ),
-            // Only the checkpointable joins: RPM attributes each pair to one
-            // partition (the resume unit); sort-phase dedup and the S³J
-            // ablation scan refuse checkpointing with a typed error.
+            // Only the checkpointable joins: RPM (and the two-layer class
+            // scheme) attribute each pair to one partition (the resume
+            // unit); sort-phase dedup and the S³J ablation scan refuse
+            // checkpointing with a typed error.
             Transform::Crash { .. } => matches!(
                 algo,
-                PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | S3jReplicated | S3jOriginal
+                PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | S3jReplicated | S3jOriginal | TwoLayer
             ),
             // The planner's pick is independent of which reference cell it is
             // compared against; one representative avoids re-running the same
@@ -177,7 +189,13 @@ impl Transform {
             // the in-memory quadtree has no disk to degrade.
             Transform::Chaos { .. } => matches!(
                 algo,
-                PbsmRpmNested | PbsmRpmList | PbsmRpmTrie | PbsmSort | S3jReplicated | S3jOriginal
+                PbsmRpmNested
+                    | PbsmRpmList
+                    | PbsmRpmTrie
+                    | PbsmSort
+                    | S3jReplicated
+                    | S3jOriginal
+                    | TwoLayer
             ),
         }
     }
@@ -307,6 +325,7 @@ fn configured_algorithm(algo: AlgoId, cfg: &RunConfig) -> Option<Algorithm> {
         AlgoId::S3jOriginal => Algorithm::s3j_original(cfg.mem),
         AlgoId::Sssj => Algorithm::sssj(cfg.mem),
         AlgoId::Shj => Algorithm::shj(cfg.mem),
+        AlgoId::TwoLayer => Algorithm::two_layer(cfg.mem),
         AlgoId::Quadtree => return None,
     };
     let mut base = base.with_threads(cfg.threads);
@@ -443,7 +462,7 @@ fn accounting(algo: AlgoId, out: &RunOut) -> Option<String> {
                 ));
             }
         }
-        JoinStats::Sssj(_) | JoinStats::Shj(_) => {
+        JoinStats::Sssj(_) | JoinStats::Shj(_) | JoinStats::Quadtree(_) => {
             if stats.duplicates() != 0 {
                 return Some(format!("{algo}: baseline reported suppressed duplicates"));
             }

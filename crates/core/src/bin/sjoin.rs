@@ -3,10 +3,10 @@
 //! ```text
 //! sjoin [--left la_rr|la_st|cal_st|uniform|clustered]
 //!       [--right la_rr|la_st|cal_st|uniform|clustered|self]
-//!       [--algo pbsm|pbsm-trie|pbsm-sort|s3j|s3j-orig|sssj|shj]
+//!       [--algo pbsm|pbsm-trie|pbsm-sort|twolayer|s3j|s3j-orig|sssj|shj|quadtree]
 //!       [--mem-mb <f64>] [--scale <f64>] [--p <f64>] [--seed <u64>]
 //!       [--threads <n>] [--channels <d>] [--limit <n>] [--refine]
-//!       [--distance <eps>] [--stats]
+//!       [--distance <eps>] [--raster-filter] [--stats]
 //!       [--faults <seed>] [--fault-rate <p>] [--retry <n>] [--deadline <s>]
 //!       [--persistent-rate <p>] [--disk-budget <pages>]
 //!       [--degraded-channel <c:factor>]
@@ -52,6 +52,7 @@ struct Args {
     limit: usize,
     refine: bool,
     distance: Option<f64>,
+    raster_filter: bool,
     stats: bool,
     faults: Option<u64>,
     fault_rate: Option<f64>,
@@ -86,6 +87,7 @@ const VALID_FLAGS: &[&str] = &[
     "--limit",
     "--refine",
     "--distance",
+    "--raster-filter",
     "--stats",
     "--faults",
     "--fault-rate",
@@ -145,6 +147,7 @@ impl Args {
             limit: 0,
             refine: false,
             distance: None,
+            raster_filter: false,
             stats: false,
             faults: None,
             fault_rate: None,
@@ -189,6 +192,10 @@ impl Args {
                 "--limit" => args.limit = val("--limit")?.parse().map_err(|e| format!("--limit: {e}"))?,
                 "--refine" => args.refine = true,
                 "--distance" => args.distance = Some(parse_num(&val("--distance")?)?),
+                "--raster-filter" => {
+                    args.raster_filter = true;
+                    args.refine = true; // a pre-filter for the refinement step
+                }
                 "--stats" => args.stats = true,
                 "--faults" => {
                     args.faults =
@@ -252,7 +259,8 @@ impl Args {
 
 const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 2000)
   --left/--right  la_rr | la_st | cal_st | uniform | clustered | self (right only)
-  --algo          pbsm | pbsm-trie | pbsm-sort | s3j | s3j-orig | sssj | shj
+  --algo          pbsm | pbsm-trie | pbsm-sort | twolayer | s3j | s3j-orig |
+                  sssj | shj | quadtree
   --mem-mb N      memory budget in MiB                  (default 5)
   --scale F       dataset scale, 1.0 = paper size       (default 0.05)
   --p F           grow MBR edges by factor p            (default 1)
@@ -265,6 +273,9 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
   --limit N       print the first N result pairs
   --refine        verify candidates against exact segment geometry
   --distance EPS  eps-distance join instead of intersection (implies --refine)
+  --raster-filter raster-interval pre-filter for the refinement step (implies
+                  --refine): certain accepts/rejects skip the exact geometry
+                  test; results are bit-identical, counters show the savings
   --stats         print the phase breakdown
   --faults SEED   inject seeded deterministic disk faults
   --fault-rate P  fraction of request identities that fail  (default 0.05)
@@ -296,7 +307,7 @@ const HELP: &str = "sjoin - index-free spatial joins (Dittrich & Seeger, ICDE 20
                   table (predicted vs chosen) before running the winner
   --plan-coeffs P fitted correction coefficients for the planner's cost model
                   (default planner-coeffs.json if present; refit with
-                  `cargo run -p bench --bin planner-eval -- --fit BENCH_pr6.json`)
+                  `cargo run -p bench --bin planner-eval -- --fit BENCH_pr10.json`)
 
   sjoin scrub [--run-dir DIR]   offline integrity walk over the interrupted
                   durable runs under DIR (default runs): validates each
@@ -376,7 +387,7 @@ fn degraded_line(stats: &JoinStats) -> Option<String> {
                 ));
             }
         }
-        JoinStats::Sssj(_) | JoinStats::Shj(_) => {}
+        JoinStats::Sssj(_) | JoinStats::Shj(_) | JoinStats::Quadtree(_) => {}
     }
     if parts.is_empty() {
         None
@@ -417,6 +428,8 @@ fn algorithm(name: &str, mem: usize) -> Result<Algorithm, String> {
         "s3j-orig" => Algorithm::s3j_original(mem),
         "sssj" => Algorithm::sssj(mem),
         "shj" => Algorithm::shj(mem),
+        "twolayer" => Algorithm::two_layer(mem),
+        "quadtree" => Algorithm::quadtree(mem),
         other => return Err(format!("unknown algorithm {other}")),
     })
 }
@@ -466,6 +479,10 @@ fn print_phase_stats(stats: &JoinStats) {
             );
             println!("  overflowed pairs : {}", s.overflowed_pairs);
             println!("  intersection tests: {}", s.join_counters.tests);
+        }
+        JoinStats::Quadtree(s) => {
+            println!("  tree nodes       : {} + {} (r/s)", s.nodes_r, s.nodes_s);
+            println!("  intersection tests: {}", s.tests);
         }
     }
 }
@@ -766,13 +783,19 @@ fn main() {
     );
 
     if let Some(eps) = args.distance {
-        let run = join.try_within_distance(&left, &right, eps).unwrap_or_else(die_join);
+        let run = if args.raster_filter {
+            join.try_within_distance_raster(&left, &right, eps, spatialjoin::sfc::Curve::Hilbert)
+        } else {
+            join.try_within_distance(&left, &right, eps)
+        }
+        .unwrap_or_else(die_join);
         println!("pairs within eps={eps}: {}", run.pairs.len());
         println!(
             "filter candidates {}, false-positive rate {:.1}%",
             run.refine.candidates,
             100.0 * run.refine.false_positive_rate()
         );
+        print_raster_line(&args, &run.refine);
         println!("filter time {:.2}s simulated", run.filter.total_seconds());
         for (a, b) in run.pairs.iter().take(args.limit) {
             println!("  #{} ~ #{}", a.0, b.0);
@@ -782,8 +805,10 @@ fn main() {
     }
 
     if args.refine {
-        let run = join
-            .try_run_refined(
+        let run = if args.raster_filter {
+            join.try_run_refined_raster(&left, &right, spatialjoin::sfc::Curve::Hilbert)
+        } else {
+            join.try_run_refined(
                 &left.kpes,
                 &right.kpes,
                 refine::SegmentIntersect {
@@ -791,13 +816,15 @@ fn main() {
                     s: &right.segments,
                 },
             )
-            .unwrap_or_else(die_join);
+        }
+        .unwrap_or_else(die_join);
         println!("exact intersections: {}", run.pairs.len());
         println!(
             "filter candidates {}, false-positive rate {:.1}%",
             run.refine.candidates,
             100.0 * run.refine.false_positive_rate()
         );
+        print_raster_line(&args, &run.refine);
         println!("filter time {:.2}s simulated", run.filter.total_seconds());
         for (a, b) in run.pairs.iter().take(args.limit) {
             println!("  #{} x #{}", a.0, b.0);
@@ -838,6 +865,20 @@ fn main() {
         println!("  #{} x #{}", a.0, b.0);
     }
     export_observability(&args, &run.stats, join.algorithm().name(), recorder.as_deref());
+}
+
+/// The raster stage's contribution, printed only when `--raster-filter`
+/// is on (it is the only source of nonzero raster counters).
+fn print_raster_line(args: &Args, st: &refine::RefineStats) {
+    if !args.raster_filter {
+        return;
+    }
+    println!(
+        "raster filter: {} rejected, {} accepted, {} exact tests",
+        st.raster_rejects,
+        st.raster_accepts,
+        st.exact_tests()
+    );
 }
 
 fn die<T>(e: String) -> T {

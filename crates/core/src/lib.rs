@@ -73,12 +73,64 @@ pub use storage::{MetricsReport, PhaseMetric, Recorder, RunCounters, METRICS_SCH
 pub use sweep::InternalAlgo;
 
 use std::sync::Arc;
+use std::time::Instant;
 use storage::{FileId, Recovered, RunCheckpoint, RunControl};
 
 use pbsm::{Dedup, PbsmConfig, PbsmStats};
 use s3j::{S3jConfig, S3jStats};
 use shj::{ShjConfig, ShjStats};
 use sssj::{SssjConfig, SssjStats};
+
+/// Configuration of the in-memory MX-CIF quadtree join (§4.1 machinery
+/// promoted to a runnable variant).
+#[derive(Debug, Clone, Copy)]
+pub struct QuadtreeConfig {
+    /// Memory budget in bytes. The variant holds both relations (and both
+    /// trees) in memory, so a run whose inputs exceed the budget is refused
+    /// with a typed `Unsupported` error instead of silently cheating the
+    /// out-of-core cost model.
+    pub mem_bytes: usize,
+    /// Finest decomposition level of the MX-CIF trees.
+    pub max_level: u8,
+}
+
+impl Default for QuadtreeConfig {
+    fn default() -> Self {
+        QuadtreeConfig {
+            mem_bytes: 8 << 20,
+            max_level: 12,
+        }
+    }
+}
+
+/// Statistics of the in-memory MX-CIF quadtree join. All I/O buckets are
+/// zero by construction — the variant never touches the simulated disk —
+/// but they are carried in full (including one bucket per data channel) so
+/// metrics reconciliation sees the same shape as every other run.
+#[derive(Debug, Clone)]
+pub struct QuadtreeStats {
+    pub results: u64,
+    /// Pair tests performed by the synchronized traversal.
+    pub tests: u64,
+    /// Nodes in the R/S trees after bulk-loading.
+    pub nodes_r: u64,
+    pub nodes_s: u64,
+    pub cpu_build: f64,
+    pub cpu_join: f64,
+    pub model: DiskModel,
+    /// Always all-zero, sized to the model's data-channel count.
+    pub io_channels: Vec<IoStats>,
+}
+
+impl QuadtreeStats {
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cpu_build + self.cpu_join
+    }
+
+    pub fn scaled_cpu_seconds(&self) -> f64 {
+        self.model.scaled_cpu(self.cpu_seconds())
+    }
+}
 
 /// Algorithm selection with its full configuration.
 #[derive(Debug, Clone)]
@@ -87,6 +139,7 @@ pub enum Algorithm {
     S3j(S3jConfig),
     Sssj(SssjConfig),
     Shj(ShjConfig),
+    Quadtree(QuadtreeConfig),
 }
 
 impl Algorithm {
@@ -105,6 +158,30 @@ impl Algorithm {
         Algorithm::Pbsm(PbsmConfig {
             mem_bytes,
             dedup: Dedup::SortPhase,
+            ..Default::default()
+        })
+    }
+
+    /// Two-layer space-oriented partitioning (Tsitsigkos et al.): PBSM's
+    /// grid partitioning with a per-tile second layer of object classes
+    /// (A–D by which tile borders an object crosses) instead of any
+    /// per-candidate duplicate test — the structural generalisation of the
+    /// paper's Reference Point Method. Inherits PBSM's full fault, crash
+    /// and channel machinery.
+    pub fn two_layer(mem_bytes: usize) -> Algorithm {
+        Algorithm::Pbsm(PbsmConfig {
+            mem_bytes,
+            dedup: Dedup::TwoLayer,
+            ..Default::default()
+        })
+    }
+
+    /// In-memory MX-CIF quadtree join (§4.1): bulk-load both relations,
+    /// synchronized traversal, no disk I/O. Refused when the inputs exceed
+    /// the memory budget.
+    pub fn quadtree(mem_bytes: usize) -> Algorithm {
+        Algorithm::Quadtree(QuadtreeConfig {
+            mem_bytes,
             ..Default::default()
         })
     }
@@ -188,6 +265,18 @@ impl Algorithm {
                 internal: choice.internal,
                 ..Default::default()
             }),
+            PlanAlgo::TwoLayer => Algorithm::Pbsm(PbsmConfig {
+                mem_bytes: choice.mem_bytes,
+                internal: choice.internal,
+                tiles_per_partition: choice.tiles_per_partition,
+                partition_buffer_pages: choice.buffer_pages,
+                dedup: Dedup::TwoLayer,
+                ..Default::default()
+            }),
+            PlanAlgo::Quadtree => Algorithm::Quadtree(QuadtreeConfig {
+                mem_bytes: choice.mem_bytes,
+                ..Default::default()
+            }),
         }
     }
 
@@ -199,7 +288,7 @@ impl Algorithm {
         match &mut self {
             Algorithm::Pbsm(c) => c.threads = threads,
             Algorithm::S3j(c) => c.threads = threads,
-            Algorithm::Sssj(_) | Algorithm::Shj(_) => {}
+            Algorithm::Sssj(_) | Algorithm::Shj(_) | Algorithm::Quadtree(_) => {}
         }
         self
     }
@@ -215,6 +304,7 @@ impl Algorithm {
             Algorithm::S3j(c) => c.mem_bytes = mem_bytes,
             Algorithm::Sssj(c) => c.mem_bytes = mem_bytes,
             Algorithm::Shj(c) => c.mem_bytes = mem_bytes,
+            Algorithm::Quadtree(c) => c.mem_bytes = mem_bytes,
         }
         self
     }
@@ -226,6 +316,7 @@ impl Algorithm {
             Algorithm::S3j(c) => c.mem_bytes,
             Algorithm::Sssj(c) => c.mem_bytes,
             Algorithm::Shj(c) => c.mem_bytes,
+            Algorithm::Quadtree(c) => c.mem_bytes,
         }
     }
 
@@ -237,7 +328,7 @@ impl Algorithm {
             Algorithm::Pbsm(c) => c.internal = internal,
             Algorithm::S3j(c) => c.internal = internal,
             Algorithm::Shj(c) => c.internal = internal,
-            Algorithm::Sssj(_) => {}
+            Algorithm::Sssj(_) | Algorithm::Quadtree(_) => {}
         }
         self
     }
@@ -258,7 +349,7 @@ impl Algorithm {
         match self {
             Algorithm::Pbsm(c) => Some(c.threads),
             Algorithm::S3j(c) => Some(c.threads),
-            Algorithm::Sssj(_) | Algorithm::Shj(_) => None,
+            Algorithm::Sssj(_) | Algorithm::Shj(_) | Algorithm::Quadtree(_) => None,
         }
     }
 
@@ -269,6 +360,7 @@ impl Algorithm {
                 Dedup::SortPhase => "PBSM (sort-phase dedup)",
                 Dedup::ReferencePoint => "PBSM (reference point)",
                 Dedup::None => "PBSM (raw candidates)",
+                Dedup::TwoLayer => "PBSM (two-layer classes)",
             },
             Algorithm::S3j(c) => {
                 if c.replicate {
@@ -279,6 +371,7 @@ impl Algorithm {
             }
             Algorithm::Sssj(_) => "SSSJ",
             Algorithm::Shj(_) => "SHJ (spatial hash join)",
+            Algorithm::Quadtree(_) => "MX-CIF quadtree (in-memory)",
         }
     }
 }
@@ -290,6 +383,7 @@ pub enum JoinStats {
     S3j(S3jStats),
     Sssj(SssjStats),
     Shj(ShjStats),
+    Quadtree(QuadtreeStats),
 }
 
 impl JoinStats {
@@ -300,6 +394,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.results,
             JoinStats::Sssj(s) => s.results,
             JoinStats::Shj(s) => s.results,
+            JoinStats::Quadtree(s) => s.results,
         }
     }
 
@@ -310,6 +405,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.duplicates,
             JoinStats::Sssj(_) => 0,
             JoinStats::Shj(_) => 0,
+            JoinStats::Quadtree(_) => 0,
         }
     }
 
@@ -320,6 +416,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.cpu_seconds(),
             JoinStats::Sssj(s) => s.cpu_seconds(),
             JoinStats::Shj(s) => s.cpu_seconds(),
+            JoinStats::Quadtree(s) => s.cpu_seconds(),
         }
     }
 
@@ -330,6 +427,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.scaled_cpu_seconds(),
             JoinStats::Sssj(s) => s.scaled_cpu_seconds(),
             JoinStats::Shj(s) => s.scaled_cpu_seconds(),
+            JoinStats::Quadtree(s) => s.scaled_cpu_seconds(),
         }
     }
 
@@ -340,6 +438,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.io_seconds(),
             JoinStats::Sssj(s) => s.io_seconds(),
             JoinStats::Shj(s) => s.io_seconds(),
+            JoinStats::Quadtree(_) => 0.0,
         }
     }
 
@@ -368,6 +467,10 @@ impl JoinStats {
                 ("probe", s.io_probe),
                 ("join", s.io_join),
             ],
+            JoinStats::Quadtree(_) => vec![
+                ("build", IoStats::default()),
+                ("join", IoStats::default()),
+            ],
         }
     }
 
@@ -378,6 +481,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.io_total(),
             JoinStats::Sssj(s) => s.io_total(),
             JoinStats::Shj(s) => s.io_total(),
+            JoinStats::Quadtree(_) => IoStats::default(),
         }
     }
 
@@ -391,6 +495,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.io_shared,
             JoinStats::Sssj(s) => s.io_shared,
             JoinStats::Shj(s) => s.io_shared,
+            JoinStats::Quadtree(_) => IoStats::default(),
         }
     }
 
@@ -401,6 +506,7 @@ impl JoinStats {
             JoinStats::S3j(s) => &s.io_channels,
             JoinStats::Sssj(s) => &s.io_channels,
             JoinStats::Shj(s) => &s.io_channels,
+            JoinStats::Quadtree(s) => &s.io_channels,
         }
     }
 
@@ -412,6 +518,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.io_parallel_seconds(),
             JoinStats::Sssj(s) => s.io_parallel_seconds(),
             JoinStats::Shj(s) => s.io_parallel_seconds(),
+            JoinStats::Quadtree(_) => 0.0,
         }
     }
 
@@ -423,6 +530,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.prefetch_hidden_seconds(),
             JoinStats::Sssj(s) => s.prefetch_hidden_seconds(),
             JoinStats::Shj(s) => s.prefetch_hidden_seconds(),
+            JoinStats::Quadtree(_) => 0.0,
         }
     }
 
@@ -436,6 +544,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.total_seconds(),
             JoinStats::Sssj(s) => s.total_seconds(),
             JoinStats::Shj(s) => s.total_seconds(),
+            JoinStats::Quadtree(s) => s.scaled_cpu_seconds(),
         }
     }
 
@@ -445,7 +554,7 @@ impl JoinStats {
             JoinStats::Pbsm(s) => s.first_result_seconds(),
             JoinStats::S3j(s) => s.first_result_seconds(),
             JoinStats::Sssj(s) => s.first_result_seconds(),
-            JoinStats::Shj(_) => None,
+            JoinStats::Shj(_) | JoinStats::Quadtree(_) => None,
         }
     }
 
@@ -459,7 +568,7 @@ impl JoinStats {
             JoinStats::Pbsm(s) => s.first_result_io.as_ref(),
             JoinStats::S3j(s) => s.first_result_io.as_ref(),
             JoinStats::Sssj(s) => s.first_result_io.as_ref(),
-            JoinStats::Shj(_) => None,
+            JoinStats::Shj(_) | JoinStats::Quadtree(_) => None,
         }?;
         Some(self.model().seconds(io))
     }
@@ -470,7 +579,21 @@ impl JoinStats {
         match self {
             JoinStats::Pbsm(s) => Some(s.candidates),
             JoinStats::S3j(s) => Some(s.candidates),
-            JoinStats::Sssj(_) | JoinStats::Shj(_) => None,
+            JoinStats::Sssj(_) | JoinStats::Shj(_) | JoinStats::Quadtree(_) => None,
+        }
+    }
+
+    /// Rectangle/interval comparisons performed by the internal joins — the
+    /// deterministic CPU-work proxy the paper's CPU plots measure
+    /// indirectly. For the two-layer class scheme this is where the saved
+    /// intersection and duplicate tests show up.
+    pub fn tests(&self) -> u64 {
+        match self {
+            JoinStats::Pbsm(s) => s.join_counters.tests,
+            JoinStats::S3j(s) => s.join_counters.tests,
+            JoinStats::Sssj(s) => s.join_counters.tests,
+            JoinStats::Shj(s) => s.join_counters.tests,
+            JoinStats::Quadtree(s) => s.tests,
         }
     }
 
@@ -481,6 +604,7 @@ impl JoinStats {
             JoinStats::S3j(s) => s.model,
             JoinStats::Sssj(s) => s.model,
             JoinStats::Shj(s) => s.model,
+            JoinStats::Quadtree(s) => s.model,
         }
     }
 
@@ -512,6 +636,7 @@ impl JoinStats {
                 ("probe", s.cpu_probe),
                 ("join", s.cpu_join),
             ],
+            JoinStats::Quadtree(s) => vec![("build", s.cpu_build), ("join", s.cpu_join)],
         };
         let io_phases = self.io_phases();
         debug_assert_eq!(io_phases.len(), cpu_phases.len());
@@ -550,6 +675,10 @@ impl JoinStats {
                 ..RunCounters::default()
             },
             JoinStats::Shj(s) => RunCounters {
+                results: s.results,
+                ..RunCounters::default()
+            },
+            JoinStats::Quadtree(s) => RunCounters {
                 results: s.results,
                 ..RunCounters::default()
             },
@@ -713,10 +842,11 @@ impl SpatialJoin {
                 s3j::try_s3j_join_ctl(&self.make_disk(), r, s, cfg, &self.control(), out)
                     .map(JoinStats::S3j)
             }
-            // The single-sweep baselines have no fallible code path and do
-            // not poll cancellation; refuse the combination up front rather
-            // than panicking mid-join or silently ignoring a deadline.
-            Algorithm::Sssj(_) | Algorithm::Shj(_)
+            // The single-sweep baselines and the in-memory quadtree have no
+            // fallible code path and do not poll cancellation; refuse the
+            // combination up front rather than panicking mid-join or
+            // silently ignoring a deadline.
+            Algorithm::Sssj(_) | Algorithm::Shj(_) | Algorithm::Quadtree(_)
                 if self.fault_plan.is_some() || self.interruptible() =>
             {
                 Err(JoinError::new("setup", IoError::unsupported()))
@@ -735,6 +865,37 @@ impl SpatialJoin {
                 cfg,
                 out,
             ))),
+            // The quadtree variant holds both relations' trees in memory at
+            // once; enforcing the budget honestly keeps it comparable to the
+            // external algorithms (and keeps the planner from "winning" with
+            // an algorithm that could not actually run in the given budget).
+            Algorithm::Quadtree(cfg) => {
+                let input_bytes = (r.len() + s.len()) * Kpe::ENCODED_SIZE;
+                if input_bytes > cfg.mem_bytes {
+                    return Err(JoinError::new("setup", IoError::unsupported()));
+                }
+                let t0 = Instant::now();
+                let tr = quadtree::MxCifQuadtree::bulk(r, cfg.max_level);
+                let ts = quadtree::MxCifQuadtree::bulk(s, cfg.max_level);
+                let cpu_build = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let mut results = 0u64;
+                let tests = tr.join(&ts, &mut |a, b| {
+                    results += 1;
+                    out(a.id, b.id);
+                });
+                let cpu_join = t1.elapsed().as_secs_f64();
+                Ok(JoinStats::Quadtree(QuadtreeStats {
+                    results,
+                    tests,
+                    nodes_r: tr.node_count() as u64,
+                    nodes_s: ts.node_count() as u64,
+                    cpu_build,
+                    cpu_join,
+                    model: self.disk_model,
+                    io_channels: vec![IoStats::default(); self.disk_model.data_channels()],
+                }))
+            }
         }
     }
 
@@ -781,7 +942,7 @@ impl SpatialJoin {
         match &self.algorithm {
             Algorithm::Pbsm(_) => Some(1),
             Algorithm::S3j(_) => Some(2),
-            Algorithm::Sssj(_) | Algorithm::Shj(_) => None,
+            Algorithm::Sssj(_) | Algorithm::Shj(_) | Algorithm::Quadtree(_) => None,
         }
     }
 
@@ -879,8 +1040,8 @@ impl SpatialJoin {
             Algorithm::S3j(cfg) => {
                 s3j::try_s3j_join_ctl(disk, r, s, cfg, &ctl, out).map(JoinStats::S3j)
             }
-            // `algo_tag` returned above for the baselines.
-            Algorithm::Sssj(_) | Algorithm::Shj(_) => {
+            // `algo_tag` returned above for the baselines and the quadtree.
+            Algorithm::Sssj(_) | Algorithm::Shj(_) | Algorithm::Quadtree(_) => {
                 Err(JoinError::new("setup", IoError::unsupported()))
             }
         }
@@ -921,6 +1082,23 @@ impl SpatialJoin {
             .unwrap_or_else(|e| panic!("unhandled simulated-disk error: {e}"))
     }
 
+    /// Exact-intersection refinement with the raster-interval pre-filter
+    /// ([`refine::RasterFilter`]) in front of the exact geometry test.
+    /// Results are bit-identical to the unfiltered run; only the
+    /// [`refine::RefineStats`] raster counters differ.
+    pub fn try_run_refined_raster(
+        &self,
+        r: &datagen::LineDataset,
+        s: &datagen::LineDataset,
+        curve: sfc::Curve,
+    ) -> Result<RefinedRun, JoinError> {
+        self.try_run_refined(
+            &r.kpes,
+            &s.kpes,
+            refine::RasterFilter::intersect(&r.segments, &s.segments, curve),
+        )
+    }
+
     /// ε-distance join over exact line geometry (the similarity-join
     /// direction of the paper's future work, [KS 98]): the filter step runs
     /// this join over `ε/2`-expanded MBRs, the refinement step verifies
@@ -931,6 +1109,28 @@ impl SpatialJoin {
         s: &datagen::LineDataset,
         eps: f64,
     ) -> Result<RefinedRun, JoinError> {
+        self.within_distance_impl(r, s, eps, None)
+    }
+
+    /// [`SpatialJoin::try_within_distance`] with the raster-interval
+    /// pre-filter: certain accepts/rejects skip the exact distance test.
+    pub fn try_within_distance_raster(
+        &self,
+        r: &datagen::LineDataset,
+        s: &datagen::LineDataset,
+        eps: f64,
+        curve: sfc::Curve,
+    ) -> Result<RefinedRun, JoinError> {
+        self.within_distance_impl(r, s, eps, Some(curve))
+    }
+
+    fn within_distance_impl(
+        &self,
+        r: &datagen::LineDataset,
+        s: &datagen::LineDataset,
+        eps: f64,
+        curve: Option<sfc::Curve>,
+    ) -> Result<RefinedRun, JoinError> {
         assert!(eps >= 0.0);
         let expand = |data: &[Kpe]| -> Vec<Kpe> {
             data.iter()
@@ -939,15 +1139,22 @@ impl SpatialJoin {
         };
         let re = expand(&r.kpes);
         let se = expand(&s.kpes);
-        self.try_run_refined(
-            &re,
-            &se,
-            refine::SegmentWithinDistance {
-                r: &r.segments,
-                s: &s.segments,
-                eps,
-            },
-        )
+        match curve {
+            Some(c) => self.try_run_refined(
+                &re,
+                &se,
+                refine::RasterFilter::within_distance(&r.segments, &s.segments, eps, c),
+            ),
+            None => self.try_run_refined(
+                &re,
+                &se,
+                refine::SegmentWithinDistance {
+                    r: &r.segments,
+                    s: &s.segments,
+                    eps,
+                },
+            ),
+        }
     }
 
     /// Infallible [`SpatialJoin::try_within_distance`] for fault-free
@@ -994,6 +1201,8 @@ mod tests {
             Algorithm::s3j_original(mem),
             Algorithm::sssj(mem),
             Algorithm::shj(mem),
+            Algorithm::two_layer(mem),
+            Algorithm::quadtree(1 << 20),
         ];
         let mut reference: Option<Vec<(u64, u64)>> = None;
         for algo in algorithms {
@@ -1082,7 +1291,11 @@ mod tests {
     #[test]
     fn baselines_reject_fault_plans_up_front() {
         let (r, s) = small_pair();
-        for algo in [Algorithm::sssj(64 * 1024), Algorithm::shj(64 * 1024)] {
+        for algo in [
+            Algorithm::sssj(64 * 1024),
+            Algorithm::shj(64 * 1024),
+            Algorithm::quadtree(1 << 20),
+        ] {
             let err = SpatialJoin::new(algo)
                 .with_faults(FaultPlan::recoverable(1))
                 .try_run(&r, &s)
@@ -1090,6 +1303,16 @@ mod tests {
             assert_eq!(err.io().map(|io| io.kind), Some(IoErrorKind::Unsupported));
             assert_eq!(err.phase, "setup");
         }
+    }
+
+    #[test]
+    fn quadtree_refuses_inputs_over_its_memory_budget() {
+        let (r, s) = small_pair();
+        let err = SpatialJoin::new(Algorithm::quadtree(1024))
+            .try_run(&r, &s)
+            .expect_err("both trees cannot fit 1 KiB");
+        assert_eq!(err.io().map(|io| io.kind), Some(IoErrorKind::Unsupported));
+        assert_eq!(err.phase, "setup");
     }
 
     #[test]
@@ -1116,6 +1339,8 @@ mod tests {
             Algorithm::s3j_original(1),
             Algorithm::sssj(1),
             Algorithm::shj(1),
+            Algorithm::two_layer(1),
+            Algorithm::quadtree(1),
         ]
         .iter()
         .map(|a| a.name())

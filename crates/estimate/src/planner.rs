@@ -1,7 +1,7 @@
 //! Cost-based plan selection: pick the algorithm, tile count, internal
 //! sweep and buffer split for a workload known only through statistics.
 //!
-//! The repo has nine conformance-checked algorithm variants with wildly
+//! The repo has ten conformance-checked algorithm variants with wildly
 //! different cost profiles (J5: PBSM ~28 s vs S³J ~150 s simulated), but
 //! every caller has had to choose by hand. [`Planner`] closes that gap:
 //!
@@ -19,7 +19,7 @@
 //!    48-byte level records and sort passes, the sort-phase dedup's
 //!    16-byte candidate pairs, and the paper's `PT + n` request costing.
 //! 3. An optional correction layer — per-family affine coefficients fitted
-//!    by least squares on recorded reconciled bench rows (`BENCH_pr6.json`
+//!    by least squares on recorded reconciled bench rows (`BENCH_pr10.json`
 //!    replay) and persisted as a versioned JSON file — absorbs the
 //!    systematic error of the closed forms without touching their shape.
 //!
@@ -291,27 +291,40 @@ pub enum PlanAlgo {
     Sssj,
     /// Spatial hash join baseline.
     Shj,
+    /// PBSM partitioning with the two-layer A/B/C/D class scheme: every
+    /// pair is found exactly once with no duplicate test and most class
+    /// sub-joins skip one or both axis comparisons.
+    TwoLayer,
+    /// In-memory MX-CIF quadtree join (feasible only when both inputs fit
+    /// the memory budget).
+    Quadtree,
 }
 
 impl PlanAlgo {
-    pub const ALL: [PlanAlgo; 6] = [
+    pub const ALL: [PlanAlgo; 8] = [
         PlanAlgo::PbsmRpm,
         PlanAlgo::PbsmSort,
         PlanAlgo::S3jReplicated,
         PlanAlgo::S3jOriginal,
         PlanAlgo::Sssj,
         PlanAlgo::Shj,
+        PlanAlgo::TwoLayer,
+        PlanAlgo::Quadtree,
     ];
 
     /// The correction-coefficient family this algorithm calibrates with.
     /// The sort-phase ablation shares PBSM's partition arithmetic, the
-    /// original S³J shares the level-file arithmetic.
+    /// original S³J shares the level-file arithmetic. Two-layer shares
+    /// PBSM's I/O arithmetic but not its CPU profile, so it calibrates on
+    /// its own.
     pub fn family(self) -> &'static str {
         match self {
             PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort => "pbsm",
             PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal => "s3j",
             PlanAlgo::Sssj => "sssj",
             PlanAlgo::Shj => "shj",
+            PlanAlgo::TwoLayer => "twolayer",
+            PlanAlgo::Quadtree => "quadtree",
         }
     }
 }
@@ -344,6 +357,8 @@ impl PlanChoice {
             (PlanAlgo::S3jOriginal, _) => "s3j-orig",
             (PlanAlgo::Sssj, _) => "sssj",
             (PlanAlgo::Shj, _) => "shj",
+            (PlanAlgo::TwoLayer, _) => "twolayer",
+            (PlanAlgo::Quadtree, _) => "quadtree",
         }
     }
 
@@ -352,14 +367,18 @@ impl PlanChoice {
     pub fn streamable(&self) -> bool {
         matches!(
             self.algo,
-            PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort | PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal
+            PlanAlgo::PbsmRpm
+                | PlanAlgo::PbsmSort
+                | PlanAlgo::S3jReplicated
+                | PlanAlgo::S3jOriginal
+                | PlanAlgo::TwoLayer
         )
     }
 
     /// Compact human-readable description for report lines.
     pub fn describe(&self) -> String {
         match self.algo {
-            PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort => format!(
+            PlanAlgo::PbsmRpm | PlanAlgo::PbsmSort | PlanAlgo::TwoLayer => format!(
                 "{} tiles={} buf={}",
                 self.cli_name(),
                 self.tiles_per_partition,
@@ -368,7 +387,7 @@ impl PlanChoice {
             PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal => {
                 format!("{} buf={}", self.cli_name(), self.buffer_pages)
             }
-            PlanAlgo::Sssj | PlanAlgo::Shj => self.cli_name().to_owned(),
+            PlanAlgo::Sssj | PlanAlgo::Shj | PlanAlgo::Quadtree => self.cli_name().to_owned(),
         }
     }
 }
@@ -595,7 +614,7 @@ impl Coefficients {
             scale,
             entries: Vec::new(),
         };
-        for family in ["pbsm", "s3j", "sssj", "shj"] {
+        for family in ["pbsm", "s3j", "sssj", "shj", "twolayer", "quadtree"] {
             for metric in ["candidates", "pages", "seconds"] {
                 if let Some((a, b)) = json_pair(text, &format!("{family}_{metric}")) {
                     c.set(family, metric, a, b);
@@ -834,6 +853,28 @@ impl Planner {
                 mem_bytes: m,
             });
         }
+        // New candidates append after the historical ones so enumeration-
+        // order tie-breaks (stable sort) keep their pre-extension winners.
+        for tiles in [1u32, 4, 16] {
+            for buf in [1usize, 4] {
+                out.push(PlanChoice {
+                    algo: PlanAlgo::TwoLayer,
+                    internal: InternalAlgo::PlaneSweepList,
+                    tiles_per_partition: tiles,
+                    buffer_pages: buf,
+                    mem_bytes: m,
+                });
+            }
+        }
+        if self.space == PlanSpace::All {
+            out.push(PlanChoice {
+                algo: PlanAlgo::Quadtree,
+                internal: InternalAlgo::PlaneSweepList,
+                tiles_per_partition: 4,
+                buffer_pages: 1,
+                mem_bytes: m,
+            });
+        }
         out
     }
 
@@ -850,6 +891,8 @@ impl Planner {
             PlanAlgo::S3jReplicated | PlanAlgo::S3jOriginal => self.predict_s3j(choice, r, s, joint),
             PlanAlgo::Sssj => self.predict_sssj(r, s, joint),
             PlanAlgo::Shj => self.predict_shj(r, s, joint),
+            PlanAlgo::TwoLayer => self.predict_twolayer(choice, r, s, joint),
+            PlanAlgo::Quadtree => self.predict_quadtree(r, s, joint),
         };
         self.correct(choice.algo.family(), raw)
     }
@@ -1017,6 +1060,72 @@ impl Planner {
             io_seconds: io,
             cpu_seconds: cpu,
             total_seconds: cpu + io,
+        }
+    }
+
+    fn predict_twolayer(
+        &self,
+        choice: &PlanChoice,
+        r: &DatasetProfile,
+        s: &DatasetProfile,
+        joint: &JointEstimate,
+    ) -> Prediction {
+        // Identical partition/repartition I/O arithmetic to PBSM — the
+        // primary layer *is* PBSM's grid — but the secondary class layer
+        // changes the CPU profile: every pair surfaces exactly once
+        // (candidates = results, no duplicate mass, no per-candidate
+        // reference-point containment test) and most class sub-joins imply
+        // one or both axis comparisons structurally instead of testing.
+        let mut p = self.predict_pbsm(choice, r, s, joint);
+        let (nr, ns) = (r.cardinality, s.cardinality);
+        let copies = p.replication * (nr + ns);
+        p.candidates = p.results;
+        let tests = p.results * 1.2 + (nr + ns) * 1.5;
+        p.cpu_seconds = self.cpu_secs(nr + ns + copies, tests);
+        p.total_seconds = p.cpu_seconds + p.io_seconds;
+        p
+    }
+
+    fn predict_quadtree(
+        &self,
+        r: &DatasetProfile,
+        s: &DatasetProfile,
+        joint: &JointEstimate,
+    ) -> Prediction {
+        let (nr, ns) = (r.cardinality, s.cardinality);
+        let results = joint.results;
+        let input_bytes = (nr + ns) * Kpe::ENCODED_SIZE as f64;
+        // Average MX-CIF settling depth from the size histograms: bucket
+        // `i` holds records whose max extent is ~2^-i of the bbox side, so
+        // they stop at level ~i (clamped by the tree's max level, 12).
+        let mut depth = 0.0;
+        for (i, (hr, hs)) in r.size_hist.iter().zip(&s.size_hist).enumerate() {
+            depth += (hr + hs) * i.min(12) as f64;
+        }
+        let avg_depth = if nr + ns > 0.0 { depth / (nr + ns) } else { 0.0 };
+        // Join work: records bucketed on ancestor cells are compared
+        // against everything on the path below them (the original-S³J
+        // ancestor-scan shape), plus the per-node traversal itself.
+        let tests = results * 4.0 + (nr + ns) * avg_depth;
+        // Both trees live in memory at once; the runtime refuses the
+        // configuration when the inputs exceed the budget, so an
+        // infeasible candidate must rank behind every runnable one.
+        let cpu = if input_bytes > self.mem_bytes as f64 {
+            f64::INFINITY
+        } else {
+            self.cpu_secs((nr + ns) * (1.0 + avg_depth), tests)
+        };
+        Prediction {
+            results,
+            candidates: results,
+            replication: 1.0,
+            partitions: 1,
+            pages_written: 0.0,
+            pages_read: 0.0,
+            requests: 0.0,
+            io_seconds: 0.0,
+            cpu_seconds: cpu,
+            total_seconds: cpu,
         }
     }
 
@@ -1681,8 +1790,11 @@ mod tests {
         for c in planner.candidates() {
             let name = c.cli_name();
             assert!(
-                ["pbsm", "pbsm-trie", "pbsm-sort", "s3j", "s3j-orig", "sssj", "shj"]
-                    .contains(&name),
+                [
+                    "pbsm", "pbsm-trie", "pbsm-sort", "s3j", "s3j-orig", "sssj", "shj",
+                    "twolayer", "quadtree"
+                ]
+                .contains(&name),
                 "unexpected cli name {name}"
             );
         }

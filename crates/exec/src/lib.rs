@@ -196,7 +196,8 @@ impl OpStats {
 impl JoinAlgorithm {
     /// Materialises a planner-selected [`estimate::PlanChoice`] as a
     /// streaming-operator configuration. Returns `None` for choices the
-    /// operator cannot stream (the SSSJ/SHJ baselines) — callers that plan
+    /// operator cannot stream (the SSSJ/SHJ baselines and the in-memory
+    /// quadtree) — callers that plan
     /// for this operator should use
     /// [`estimate::PlanSpace::Streamable`] so this never comes up.
     pub fn from_choice(choice: &estimate::PlanChoice) -> Option<JoinAlgorithm> {
@@ -224,7 +225,15 @@ impl JoinAlgorithm {
                 replicate: choice.algo == PlanAlgo::S3jReplicated,
                 ..Default::default()
             }),
-            PlanAlgo::Sssj | PlanAlgo::Shj => return None,
+            PlanAlgo::TwoLayer => JoinAlgorithm::Pbsm(PbsmConfig {
+                mem_bytes: choice.mem_bytes,
+                internal: choice.internal,
+                tiles_per_partition: choice.tiles_per_partition,
+                partition_buffer_pages: choice.buffer_pages,
+                dedup: pbsm::Dedup::TwoLayer,
+                ..Default::default()
+            }),
+            PlanAlgo::Sssj | PlanAlgo::Shj | PlanAlgo::Quadtree => return None,
         })
     }
 

@@ -27,6 +27,14 @@ pub enum Dedup {
     /// Diagnostic mode: emit raw candidates, duplicates included. Used by
     /// tests to observe the replication-induced duplication rate.
     None,
+    /// Two-layer space-oriented partitioning (Tsitsigkos et al.): inside a
+    /// partition every record is bucketed per overlapped tile and classified
+    /// by where its lower-left corner starts, and only the nine class
+    /// combinations that can contain a pair's reference point are joined.
+    /// Exactly-once by construction — no per-candidate duplicate test at
+    /// all, and most combinations need only 2–3 border comparisons instead
+    /// of the full intersection test. A structural generalisation of RPM.
+    TwoLayer,
 }
 
 /// PBSM tuning knobs.
@@ -366,12 +374,13 @@ pub fn try_pbsm_join(
 /// when [`RunControl::checkpoint`] is set — durable per-partition commits
 /// with exactly-once resume.
 ///
-/// Checkpointing requires [`Dedup::ReferencePoint`]: RPM attributes every
-/// result pair to exactly one top-level partition, which is what makes
-/// skipping journal-committed partitions duplicate-free. The sort-phase
-/// dedup classifies pairs only after a *global* sort and the diagnostic mode
-/// never dedups, so neither supports partition-granular resume; both are
-/// refused up front with a typed `Unsupported` error.
+/// Checkpointing requires [`Dedup::ReferencePoint`] or [`Dedup::TwoLayer`]:
+/// both attribute every result pair to exactly one top-level partition (the
+/// one owning the pair's reference point / reference tile), which is what
+/// makes skipping journal-committed partitions duplicate-free. The
+/// sort-phase dedup classifies pairs only after a *global* sort and the
+/// diagnostic mode never dedups, so neither supports partition-granular
+/// resume; both are refused up front with a typed `Unsupported` error.
 ///
 /// Under checkpointing each partition's result pairs are buffered, durably
 /// flushed to the run's results file, journaled (the commit point — crash
@@ -391,7 +400,7 @@ pub fn try_pbsm_join_ctl(
 ) -> Result<PbsmStats, JoinError> {
     let mut cp = ctl.checkpoint.as_ref().map(|m| m.lock());
     let checkpointing = cp.is_some();
-    if checkpointing && cfg.dedup != Dedup::ReferencePoint {
+    if checkpointing && !matches!(cfg.dedup, Dedup::ReferencePoint | Dedup::TwoLayer) {
         return Err(JoinError::new("setup", IoError::unsupported()));
     }
     let model = disk.model();
@@ -636,7 +645,7 @@ pub fn try_pbsm_join_ctl(
                 }
             };
             stats.cpu_join += t.elapsed().as_secs_f64();
-            stats.join_counters = internal.counters();
+            stats.join_counters.merge(&internal.counters());
             joined.map_err(|e| JoinError::new("dedup", e))?;
             let deltas = (
                 stats.candidates - base.0,
@@ -795,7 +804,7 @@ pub fn try_pbsm_join_ctl(
                 disk.delete(files_s[i as usize]);
             }
         }
-        stats.join_counters = internal.counters();
+        stats.join_counters.merge(&internal.counters());
         if let Some(e) = first_err {
             return Err(e);
         }
@@ -1098,7 +1107,7 @@ pub fn try_pbsm_join_ctl(
             },
         );
         for (fork, internal, mut partial, _clock) in workers {
-            partial.join_counters = internal.counters();
+            partial.join_counters.merge(&internal.counters());
             // Per-worker duplicate accounting, checked before the merge can
             // hide an interleaving bug: under RPM (and the raw diagnostic)
             // every candidate a worker saw was classified exactly once;
@@ -1114,6 +1123,10 @@ pub fn try_pbsm_join_ctl(
                     (partial.results, partial.duplicates),
                     (0, 0),
                     "sort-phase worker classified candidates"
+                ),
+                Dedup::TwoLayer => debug_assert!(
+                    partial.candidates == partial.results && partial.duplicates == 0,
+                    "two-layer worker produced a duplicate"
                 ),
             }
             stats.merge(&partial);
@@ -1359,6 +1372,10 @@ fn join_loaded(
     out: &mut dyn FnMut(RecordId, RecordId),
     cand: &mut dyn FnMut(IdPair) -> Result<(), IoError>,
 ) -> Result<(), IoError> {
+    if ctx.cfg.dedup == Dedup::TwoLayer {
+        two_layer_join(ctx, rv, sv, chain, out);
+        return Ok(());
+    }
     let Ctx {
         internal,
         stats,
@@ -1392,6 +1409,8 @@ fn join_loaded(
                 stats.results += 1;
                 out(a.id, b.id);
             }
+            // Handled by `two_layer_join` before the sweep starts.
+            Dedup::TwoLayer => unreachable!("two-layer pairs never reach the RPM sweep"),
         }
     });
     ctx.stats.candidates += local_candidates;
@@ -1399,6 +1418,192 @@ fn join_loaded(
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// Class of a record within one tile it overlaps (two-layer space-oriented
+/// partitioning): whether the record's lower-left corner starts this tile's
+/// column (`x`) and/or row (`y`). Encoded as `(¬x << 1) | ¬y`.
+const CLASS_A: usize = 0; // starts both axes here (the corner tile)
+const CLASS_B: usize = 1; // starts the column, spans in from a lower row
+const CLASS_C: usize = 2; // starts the row, spans in from a lower column
+const CLASS_D: usize = 3; // spans in from below in both axes
+
+/// Joins one loaded partition pair with the two-layer class scheme
+/// (Tsitsigkos et al.), the structural generalisation of RPM: instead of
+/// sweeping the whole partition and testing every candidate's reference
+/// point, each record is bucketed into every region tile it overlaps at the
+/// chain's finest refinement and classified A–D per tile by where its
+/// lower-left corner starts.
+///
+/// An intersecting pair's reference point `(max xl, max yl)` — the same
+/// point RPM tests — falls in exactly one tile, and in that tile at least
+/// one side starts each axis (the tile indices are monotone images of the
+/// coordinates, so `tile(max(a, b)) = max(tile(a), tile(b))`). Exactly the
+/// nine class combinations below have that property, so joining only those
+/// produces every pair exactly once with **zero** duplicate tests; the
+/// class borders also make some of the four interval comparisons redundant:
+///
+/// * `A×A` — full test, run as a tile-local plane sweep;
+/// * `A×B`/`B×A` — one y comparison is implied by the row border;
+/// * `A×C`/`C×A` — one x comparison is implied by the column border;
+/// * `A×D`/`D×A`, `B×C`/`C×B` — only two comparisons survive.
+///
+/// The remaining seven combinations (`B×B`, `C×C`, and any pairing of `D`
+/// with `B`, `C` or `D`) cannot contain the reference point and are skipped
+/// outright. The same argument holds verbatim at every repartitioning depth
+/// (tiles nest under refinement) and in quarantine-recompute, so the mode
+/// rides the whole fault/crash/ENOSPC machinery unchanged.
+fn two_layer_join(
+    ctx: &mut Ctx<'_>,
+    rv: &[Kpe],
+    sv: &[Kpe],
+    chain: &RegionChain,
+    out: &mut dyn FnMut(RecordId, RecordId),
+) {
+    let f = chain.max_f();
+    let grid = chain.base;
+    // Per-tile class buckets for each side. BTreeMap keeps the tile order
+    // deterministic, so the emitted stream is identical for every thread
+    // count (tasks are already re-assembled in partition order).
+    type Buckets = [Vec<Kpe>; 4];
+    let mut tiles: std::collections::BTreeMap<(u32, u32), (Buckets, Buckets)> =
+        std::collections::BTreeMap::new();
+    let mut scatter = |data: &[Kpe], is_s: bool| {
+        for k in data {
+            let (xs, ys) = grid.tile_range(&k.rect, f);
+            let (x0, y0) = (*xs.start(), *ys.start());
+            for iy in ys.clone() {
+                for ix in xs.clone() {
+                    if !chain.contains_tile(ix, iy, f) {
+                        continue;
+                    }
+                    let class = (((ix != x0) as usize) << 1) | ((iy != y0) as usize);
+                    let entry = tiles.entry((iy, ix)).or_default();
+                    let side = if is_s { &mut entry.1 } else { &mut entry.0 };
+                    side[class].push(*k);
+                }
+            }
+        }
+    };
+    scatter(rv, false);
+    scatter(sv, true);
+
+    // x-interleaved forward-scan sweep over two lists sorted by `xl`; both
+    // x comparisons are implied by the scan, `y_test` applies whatever y
+    // comparisons the class combination still needs.
+    fn sweep_x(
+        r: &[Kpe],
+        s: &[Kpe],
+        tests: &mut u64,
+        y_test: &dyn Fn(&Kpe, &Kpe) -> bool,
+        emit: &mut dyn FnMut(&Kpe, &Kpe),
+    ) {
+        let (mut i, mut j) = (0, 0);
+        while i < r.len() && j < s.len() {
+            if r[i].rect.xl <= s[j].rect.xl {
+                let a = &r[i];
+                for b in &s[j..] {
+                    if b.rect.xl > a.rect.xh {
+                        break;
+                    }
+                    *tests += 1;
+                    if y_test(a, b) {
+                        emit(a, b);
+                    }
+                }
+                i += 1;
+            } else {
+                let b = &s[j];
+                for a in &r[i..] {
+                    if a.rect.xl > b.rect.xh {
+                        break;
+                    }
+                    *tests += 1;
+                    if y_test(a, b) {
+                        emit(a, b);
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+
+    // One-sided scan for combinations whose only surviving x comparison is
+    // `pivot.xl ≤ span.xh`: `spans` is sorted by `xh` descending, so the
+    // first failing span terminates the inner loop. `y_test`/`emit` always
+    // take `(r, s)`.
+    fn scan_x(
+        pivots: &[Kpe],
+        spans: &[Kpe],
+        pivot_is_r: bool,
+        tests: &mut u64,
+        y_test: &dyn Fn(&Kpe, &Kpe) -> bool,
+        emit: &mut dyn FnMut(&Kpe, &Kpe),
+    ) {
+        for p in pivots {
+            for sp in spans {
+                if sp.rect.xh < p.rect.xl {
+                    break;
+                }
+                *tests += 1;
+                let (a, b) = if pivot_is_r { (p, sp) } else { (sp, p) };
+                if y_test(a, b) {
+                    emit(a, b);
+                }
+            }
+        }
+    }
+
+    let y_full = |a: &Kpe, b: &Kpe| a.rect.yl <= b.rect.yh && b.rect.yl <= a.rect.yh;
+    let y_rlow = |a: &Kpe, b: &Kpe| a.rect.yl <= b.rect.yh; // s spans the row border
+    let y_slow = |a: &Kpe, b: &Kpe| b.rect.yl <= a.rect.yh; // r spans the row border
+
+    let mut tests = 0u64;
+    let mut pairs = 0u64;
+    {
+        let mut emit = |a: &Kpe, b: &Kpe| {
+            pairs += 1;
+            out(a.id, b.id);
+        };
+        for (r, s) in tiles.values_mut() {
+            let by_xl = |v: &mut Vec<Kpe>| {
+                v.sort_unstable_by(|a, b| a.rect.xl.total_cmp(&b.rect.xl));
+            };
+            let by_xh_desc = |v: &mut Vec<Kpe>| {
+                v.sort_unstable_by(|a, b| b.rect.xh.total_cmp(&a.rect.xh));
+            };
+            by_xl(&mut r[CLASS_A]);
+            by_xl(&mut r[CLASS_B]);
+            by_xl(&mut s[CLASS_A]);
+            by_xl(&mut s[CLASS_B]);
+            by_xh_desc(&mut r[CLASS_C]);
+            by_xh_desc(&mut r[CLASS_D]);
+            by_xh_desc(&mut s[CLASS_C]);
+            by_xh_desc(&mut s[CLASS_D]);
+            // A×A: full test.
+            sweep_x(&r[CLASS_A], &s[CLASS_A], &mut tests, &y_full, &mut emit);
+            // A×B / B×A: the B side's y-low comparison is implied.
+            sweep_x(&r[CLASS_A], &s[CLASS_B], &mut tests, &y_rlow, &mut emit);
+            sweep_x(&r[CLASS_B], &s[CLASS_A], &mut tests, &y_slow, &mut emit);
+            // A×C / C×A: the C side's x-low comparison is implied.
+            scan_x(&r[CLASS_A], &s[CLASS_C], true, &mut tests, &y_full, &mut emit);
+            scan_x(&s[CLASS_A], &r[CLASS_C], false, &mut tests, &y_full, &mut emit);
+            // A×D / D×A: both of the D side's low comparisons are implied.
+            scan_x(&r[CLASS_A], &s[CLASS_D], true, &mut tests, &y_rlow, &mut emit);
+            scan_x(&s[CLASS_A], &r[CLASS_D], false, &mut tests, &y_slow, &mut emit);
+            // B×C / C×B: each side implies one of the other's comparisons.
+            scan_x(&r[CLASS_B], &s[CLASS_C], true, &mut tests, &y_slow, &mut emit);
+            scan_x(&s[CLASS_B], &r[CLASS_C], false, &mut tests, &y_rlow, &mut emit);
+        }
+    }
+    let stats = &mut *ctx.stats;
+    stats.candidates += pairs;
+    stats.results += pairs;
+    stats.join_counters.merge(&JoinCounters {
+        tests,
+        results: pairs,
+        node_visits: 0,
+    });
 }
 
 /// What the prefetch load stage handed a top-level pair's compute stage.
@@ -1865,6 +2070,106 @@ mod tests {
             stats.copies_r + stats.copies_s
         );
         assert_eq!(got, brute(&r, &s));
+    }
+
+    #[test]
+    fn two_layer_matches_brute_force_multi_partition() {
+        let (r, s) = tiger_pair(3000);
+        let cfg = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            dedup: Dedup::TwoLayer,
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert!(stats.partitions > 4, "want several partitions");
+        assert_eq!(got, brute(&r, &s));
+        // The class scheme produces every pair exactly once: nothing to
+        // suppress, every candidate is a result.
+        assert_eq!(stats.duplicates, 0);
+        assert_eq!(stats.candidates, stats.results);
+    }
+
+    #[test]
+    fn two_layer_matches_rpm_with_fewer_tests() {
+        let (r, s) = tiger_pair(2000);
+        let base = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            ..Default::default()
+        };
+        let (rpm, st_rpm) = run(&r, &s, &base);
+        let (two, st_two) = run(
+            &r,
+            &s,
+            &PbsmConfig {
+                dedup: Dedup::TwoLayer,
+                ..base
+            },
+        );
+        assert_eq!(rpm, two);
+        assert_eq!(st_rpm.results, st_two.results);
+        assert_eq!(st_two.duplicates, 0);
+        // RPM sweeps whole partitions (the hash scheme mixes far-apart
+        // tiles) and then pays a containment test per candidate; the
+        // tile-local class joins examine strictly less.
+        assert!(
+            st_two.join_counters.tests < st_rpm.join_counters.tests + st_rpm.candidates,
+            "two-layer tests {} vs rpm {} + {} dedup tests",
+            st_two.join_counters.tests,
+            st_rpm.join_counters.tests,
+            st_rpm.candidates
+        );
+    }
+
+    #[test]
+    fn two_layer_survives_repartitioning() {
+        let r = datagen::clustered(4000, 2, 0.01, 7);
+        let s = datagen::clustered(4000, 2, 0.01, 8);
+        let cfg = PbsmConfig {
+            mem_bytes: 48 * 1024,
+            tile_scheme: TileScheme::RoundRobin,
+            tiles_per_partition: 1,
+            dedup: Dedup::TwoLayer,
+            ..Default::default()
+        };
+        let (got, stats) = run(&r, &s, &cfg);
+        assert!(stats.repartitioned_pairs > 0, "expected repartitioning");
+        assert_eq!(got, brute(&r, &s));
+        assert_eq!(stats.duplicates, 0);
+        assert_eq!(stats.candidates, stats.results);
+    }
+
+    #[test]
+    fn two_layer_is_thread_invariant() {
+        let (r, s) = tiger_pair(1500);
+        let base = PbsmConfig {
+            mem_bytes: 32 * 1024,
+            dedup: Dedup::TwoLayer,
+            ..Default::default()
+        };
+        let disk = SimDisk::with_default_model();
+        let mut seq = Vec::new();
+        let st1 = pbsm_join(
+            &disk,
+            &r,
+            &s,
+            &PbsmConfig { threads: 1, ..base },
+            &mut |a, b| seq.push((a.0, b.0)),
+        );
+        let disk = SimDisk::with_default_model();
+        let mut par = Vec::new();
+        let st4 = pbsm_join(
+            &disk,
+            &r,
+            &s,
+            &PbsmConfig { threads: 4, ..base },
+            &mut |a, b| par.push((a.0, b.0)),
+        );
+        // Emission order (not just the set) and every deterministic counter
+        // must be scheduling-independent.
+        assert_eq!(seq, par);
+        assert_eq!(st1.results, st4.results);
+        assert_eq!(st1.candidates, st4.candidates);
+        assert_eq!(st1.join_counters.tests, st4.join_counters.tests);
     }
 
     #[test]

@@ -14,14 +14,26 @@
 //! * [`SegmentWithinDistance`] — ε-distance refinement for similarity
 //!   joins (the paper's future-work direction, [KS 98]),
 //! * [`Refinement`] — a counting adaptor that wraps any result callback and
-//!   records hits / false positives of the filter step.
+//!   records hits / false positives of the filter step,
+//! * [`RasterFilter`] — an optional raster-interval pre-filter (after
+//!   Georgiadis & Mamoulis) that decides many candidates without an
+//!   exact geometry test.
 
 use geom::{RecordId, Segment};
+
+mod raster;
+pub use raster::{RasterFilter, DEFAULT_RASTER_LEVEL};
 
 /// Verdict on one candidate pair of the filter step.
 pub trait Refiner {
     /// `true` iff the exact geometries satisfy the join predicate.
     fn verify(&self, r: RecordId, s: RecordId) -> bool;
+
+    /// `(rejects, accepts)` decided by an intermediate raster stage without
+    /// an exact geometry test, if this refiner has one.
+    fn raster_decided(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Exact segment intersection ("do the roads actually cross?").
@@ -57,6 +69,11 @@ pub struct RefineStats {
     pub candidates: u64,
     /// Candidates whose exact geometries satisfy the predicate.
     pub hits: u64,
+    /// Candidates certainly rejected by the raster-interval stage (no
+    /// exact geometry test ran). Zero when no [`RasterFilter`] is in play.
+    pub raster_rejects: u64,
+    /// Candidates certainly accepted by the raster-interval stage.
+    pub raster_accepts: u64,
 }
 
 impl RefineStats {
@@ -73,6 +90,12 @@ impl RefineStats {
         } else {
             self.false_positives() as f64 / self.candidates as f64
         }
+    }
+
+    /// Candidates that needed an exact geometry test (not short-circuited
+    /// by the raster stage).
+    pub fn exact_tests(&self) -> u64 {
+        self.candidates - self.raster_rejects - self.raster_accepts
     }
 }
 
@@ -103,7 +126,12 @@ impl<'a, R: Refiner> Refinement<'a, R> {
     }
 
     pub fn stats(&self) -> RefineStats {
-        self.stats
+        let mut st = self.stats;
+        if let Some((rejects, accepts)) = self.refiner.raster_decided() {
+            st.raster_rejects = rejects;
+            st.raster_accepts = accepts;
+        }
+        st
     }
 }
 

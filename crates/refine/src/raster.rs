@@ -1,0 +1,364 @@
+//! Raster-interval approximation of exact segment geometry.
+//!
+//! Adapted from the raster-intervals technique of Georgiadis & Mamoulis
+//! (arXiv 2307.01716) to this workspace's TIGER-style line segments: each
+//! object is approximated by the run-length-encoded interval list of the
+//! space-filling-curve codes ([`sfc::Curve`]) of the level-`k` grid cells
+//! near its segment. Every cell in the list carries two flags:
+//!
+//! * **PARTIAL** (implicit in membership) — the cell is within `eps/2` of
+//!   the segment; for `eps = 0` that means the segment passes through it.
+//! * **ALL** — *every* point of the cell is within `eps` of the segment
+//!   (established by testing the four corners: the `eps`-capsule of a
+//!   segment is convex, so corners inside imply the whole cell inside).
+//!
+//! A candidate pair is classified by a linear merge of the two sorted
+//! interval lists:
+//!
+//! * no common cell → certain **reject** — if `dist(A, B) ≤ eps`, the
+//!   midpoint of the connecting segment is within `eps/2` of both, so the
+//!   cell containing it appears in both lists (for `eps = 0`: an
+//!   intersection point lies in a cell both segments pass through);
+//! * a common cell that is ALL for one side and *touched* by the other
+//!   → certain **accept** — the touching side has a point inside the cell,
+//!   and every point of the cell is within `eps` of the ALL side;
+//! * otherwise → inconclusive; fall through to the exact refiner.
+//!
+//! Soundness never depends on the chosen level — a coarser grid only makes
+//! the filter less decisive, never wrong.
+
+use std::cell::Cell as Counter;
+
+use geom::{Point, Rect, RecordId, Segment};
+use sfc::{cells_overlapping, Curve};
+
+use crate::{Refiner, SegmentIntersect, SegmentWithinDistance};
+
+/// Default rasterisation level: a `256 × 256` grid, a few cells per
+/// TIGER-scale road segment.
+pub const DEFAULT_RASTER_LEVEL: u8 = 8;
+
+/// One maximal run of consecutive curve codes sharing the same flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    start: u64,
+    end: u64, // inclusive
+    /// The segment itself passes through every cell of the run.
+    touch: bool,
+    /// Every point of every cell of the run is within `eps` of the segment.
+    all: bool,
+}
+
+/// Sorted interval list of one object's rasterisation.
+#[derive(Debug, Clone, Default)]
+struct IntervalList {
+    runs: Vec<Run>,
+}
+
+/// Verdict of the raster stage on one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Reject,
+    Accept,
+    Inconclusive,
+}
+
+/// Squared distance between a segment and a (closed) rectangle: zero when
+/// they touch, else the minimum over the rectangle's four edges.
+fn segment_rect_distance_sq(seg: &Segment, r: &Rect) -> f64 {
+    if r.contains_point(seg.a) || r.contains_point(seg.b) {
+        return 0.0;
+    }
+    let c = [
+        Point::new(r.xl, r.yl),
+        Point::new(r.xh, r.yl),
+        Point::new(r.xh, r.yh),
+        Point::new(r.xl, r.yh),
+    ];
+    let edges = [
+        Segment::new(c[0], c[1]),
+        Segment::new(c[1], c[2]),
+        Segment::new(c[2], c[3]),
+        Segment::new(c[3], c[0]),
+    ];
+    edges
+        .iter()
+        .map(|e| seg.distance_sq(e))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Distance from a point to a segment, squared (via a degenerate segment).
+fn point_segment_distance_sq(p: Point, seg: &Segment) -> f64 {
+    seg.distance_sq(&Segment::new(p, p))
+}
+
+fn rasterise(seg: &Segment, level: u8, curve: Curve, eps: f64) -> IntervalList {
+    let half = eps / 2.0;
+    let probe = seg.mbr().expanded(half);
+    let mut cells: Vec<(u64, bool, bool)> = Vec::new();
+    for cell in cells_overlapping(&probe, level) {
+        let rect = cell.rect();
+        let d2 = segment_rect_distance_sq(seg, &rect);
+        if d2 > half * half {
+            continue;
+        }
+        let touch = d2 == 0.0;
+        let all = eps > 0.0
+            && [
+                Point::new(rect.xl, rect.yl),
+                Point::new(rect.xh, rect.yl),
+                Point::new(rect.xh, rect.yh),
+                Point::new(rect.xl, rect.yh),
+            ]
+            .iter()
+            .all(|&p| point_segment_distance_sq(p, seg) <= eps * eps);
+        cells.push((cell.code(curve), touch, all));
+    }
+    cells.sort_unstable();
+    let mut runs: Vec<Run> = Vec::new();
+    for (code, touch, all) in cells {
+        match runs.last_mut() {
+            Some(r) if r.end + 1 == code && r.touch == touch && r.all == all => r.end = code,
+            _ => runs.push(Run {
+                start: code,
+                end: code,
+                touch,
+                all,
+            }),
+        }
+    }
+    IntervalList { runs }
+}
+
+fn classify(a: &IntervalList, b: &IntervalList) -> Verdict {
+    let (mut i, mut j) = (0, 0);
+    let mut shared = false;
+    while i < a.runs.len() && j < b.runs.len() {
+        let (ra, rb) = (a.runs[i], b.runs[j]);
+        if ra.end < rb.start {
+            i += 1;
+        } else if rb.end < ra.start {
+            j += 1;
+        } else {
+            shared = true;
+            if (ra.all && rb.touch) || (rb.all && ra.touch) {
+                return Verdict::Accept;
+            }
+            if ra.end <= rb.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    if shared {
+        Verdict::Inconclusive
+    } else {
+        Verdict::Reject
+    }
+}
+
+/// A raster-interval pre-filter in front of any exact [`Refiner`]: certain
+/// rejects and accepts skip the exact geometry test; inconclusive pairs
+/// fall through to `inner`. Because every short-circuit is provably
+/// correct, results are bit-identical with the filter on or off — only the
+/// counters differ.
+pub struct RasterFilter<R: Refiner> {
+    inner: R,
+    r: Vec<IntervalList>,
+    s: Vec<IntervalList>,
+    rejects: Counter<u64>,
+    accepts: Counter<u64>,
+}
+
+impl<R: Refiner> RasterFilter<R> {
+    /// Rasterise both segment sets at `level` on `curve`. `eps` must match
+    /// the inner refiner's predicate (`0` for exact intersection).
+    pub fn build(
+        inner: R,
+        r: &[Segment],
+        s: &[Segment],
+        level: u8,
+        curve: Curve,
+        eps: f64,
+    ) -> Self {
+        let level = level.min(sfc::MAX_LEVEL);
+        let raster = |segs: &[Segment]| {
+            segs.iter()
+                .map(|seg| rasterise(seg, level, curve, eps))
+                .collect()
+        };
+        RasterFilter {
+            inner,
+            r: raster(r),
+            s: raster(s),
+            rejects: Counter::new(0),
+            accepts: Counter::new(0),
+        }
+    }
+
+    /// Candidates decided by the raster stage alone: `(rejects, accepts)`.
+    pub fn decided(&self) -> (u64, u64) {
+        (self.rejects.get(), self.accepts.get())
+    }
+}
+
+impl<'a> RasterFilter<SegmentIntersect<'a>> {
+    /// Raster-filtered exact intersection at the default level.
+    pub fn intersect(r: &'a [Segment], s: &'a [Segment], curve: Curve) -> Self {
+        RasterFilter::build(
+            SegmentIntersect { r, s },
+            r,
+            s,
+            DEFAULT_RASTER_LEVEL,
+            curve,
+            0.0,
+        )
+    }
+}
+
+impl<'a> RasterFilter<SegmentWithinDistance<'a>> {
+    /// Raster-filtered ε-distance predicate. The level adapts to `eps` so
+    /// cell sides stay at most `eps`: cells the segment crosses near their
+    /// middle then have all four corners within `eps` and earn the ALL
+    /// flag, so certain accepts actually fire even for small `eps`.
+    pub fn within_distance(r: &'a [Segment], s: &'a [Segment], eps: f64, curve: Curve) -> Self {
+        let level = if eps > 0.0 {
+            ((-eps.log2()).ceil() as i64)
+                .clamp(i64::from(DEFAULT_RASTER_LEVEL), i64::from(sfc::MAX_LEVEL))
+                as u8
+        } else {
+            DEFAULT_RASTER_LEVEL
+        };
+        RasterFilter::build(SegmentWithinDistance { r, s, eps }, r, s, level, curve, eps)
+    }
+}
+
+impl<R: Refiner> Refiner for RasterFilter<R> {
+    fn verify(&self, r: RecordId, s: RecordId) -> bool {
+        match classify(&self.r[r.0 as usize], &self.s[s.0 as usize]) {
+            Verdict::Reject => {
+                self.rejects.set(self.rejects.get() + 1);
+                false
+            }
+            Verdict::Accept => {
+                self.accepts.set(self.accepts.get() + 1);
+                true
+            }
+            Verdict::Inconclusive => self.inner.verify(r, s),
+        }
+    }
+
+    fn raster_decided(&self) -> Option<(u64, u64)> {
+        Some(self.decided())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc::Cell;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn rasterisation_covers_the_segment() {
+        // A diagonal segment touches the cells its points lie in.
+        let s = seg(0.1, 0.1, 0.4, 0.35);
+        let list = rasterise(&s, 8, Curve::Hilbert, 0.0);
+        assert!(!list.runs.is_empty());
+        assert!(list.runs.iter().all(|r| r.touch && !r.all));
+        for t in 0..=20 {
+            let t = t as f64 / 20.0;
+            let p = Point::new(s.a.x + t * (s.b.x - s.a.x), s.a.y + t * (s.b.y - s.a.y));
+            let code = Cell::containing(8, p).code(Curve::Hilbert);
+            assert!(
+                list.runs.iter().any(|r| (r.start..=r.end).contains(&code)),
+                "cell of on-segment point missing at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn disjoint_segments_in_far_cells_reject() {
+        let a = rasterise(&seg(0.1, 0.1, 0.2, 0.1), 8, Curve::Hilbert, 0.0);
+        let b = rasterise(&seg(0.8, 0.8, 0.9, 0.8), 8, Curve::Hilbert, 0.0);
+        assert_eq!(classify(&a, &b), Verdict::Reject);
+    }
+
+    #[test]
+    fn crossing_segments_never_reject() {
+        for curve in [Curve::Peano, Curve::Hilbert] {
+            let sa = seg(0.2, 0.2, 0.6, 0.61);
+            let sb = seg(0.2, 0.6, 0.61, 0.2);
+            let a = rasterise(&sa, 8, curve, 0.0);
+            let b = rasterise(&sb, 8, curve, 0.0);
+            assert_ne!(classify(&a, &b), Verdict::Reject);
+        }
+    }
+
+    #[test]
+    fn all_flag_fast_accepts_distance_pairs() {
+        // A long segment with a generous eps marks cells ALL; a second
+        // segment passing through such a cell is accepted without an
+        // exact test.
+        let eps = 0.1;
+        let sa = seg(0.2, 0.5, 0.8, 0.5);
+        let sb = seg(0.5, 0.52, 0.55, 0.53);
+        let a = rasterise(&sa, 8, Curve::Hilbert, eps);
+        let b = rasterise(&sb, 8, Curve::Hilbert, eps);
+        assert!(a.runs.iter().any(|r| r.all), "eps of 25 cell sides must mark ALL cells");
+        assert_eq!(classify(&a, &b), Verdict::Accept);
+        // And the accept is truthful.
+        assert!(sa.distance_sq(&sb) <= eps * eps);
+    }
+
+    #[test]
+    fn filter_is_transparent_for_intersection() {
+        // Deterministic mini-grid of segments: results with the filter are
+        // bit-identical to the exact refiner, and the filter decides a
+        // nonzero share of pairs on its own.
+        let mut r = Vec::new();
+        let mut s = Vec::new();
+        for i in 0..12 {
+            let t = 0.06 + i as f64 * 0.07;
+            // Short verticals low in the space vs. full-width horizontals:
+            // some pairs cross, many live in disjoint cells.
+            r.push(seg(t, 0.1, t + 0.01, 0.3));
+            s.push(seg(0.05, t, 0.9, t + 0.03));
+        }
+        let exact = SegmentIntersect { r: &r, s: &s };
+        let filtered = RasterFilter::intersect(&r, &s, Curve::Hilbert);
+        let mut decided_by_raster = 0u64;
+        for i in 0..r.len() as u64 {
+            for j in 0..s.len() as u64 {
+                let (ri, sj) = (RecordId(i), RecordId(j));
+                assert_eq!(exact.verify(ri, sj), filtered.verify(ri, sj), "pair {i},{j}");
+                decided_by_raster = filtered.decided().0 + filtered.decided().1;
+            }
+        }
+        assert!(decided_by_raster > 0, "raster stage decided nothing");
+    }
+
+    #[test]
+    fn filter_is_transparent_for_distance() {
+        let mut r = Vec::new();
+        let mut s = Vec::new();
+        for i in 0..10 {
+            let t = 0.08 + i as f64 * 0.08;
+            r.push(seg(t, 0.1, t, 0.85));
+            s.push(seg(0.1, t, 0.88, t));
+        }
+        let eps = 0.02;
+        let exact = SegmentWithinDistance { r: &r, s: &s, eps };
+        let filtered = RasterFilter::within_distance(&r, &s, eps, Curve::Peano);
+        for i in 0..r.len() as u64 {
+            for j in 0..s.len() as u64 {
+                let (ri, sj) = (RecordId(i), RecordId(j));
+                assert_eq!(exact.verify(ri, sj), filtered.verify(ri, sj), "pair {i},{j}");
+            }
+        }
+    }
+}

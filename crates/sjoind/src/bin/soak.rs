@@ -38,7 +38,7 @@ use sjoind::{Client, Json, Server, ServerConfig};
 use spatialjoin::{Algorithm, InternalAlgo, SpatialJoin};
 
 const DATASETS: [(&str, &str); 3] = [("a", "uniform"), ("b", "uniform"), ("c", "clustered")];
-const ALGOS: [&str; 3] = ["pbsm", "pbsm-trie", "s3j"];
+const ALGOS: [&str; 4] = ["pbsm", "pbsm-trie", "twolayer", "s3j"];
 const MEM_MB: [f64; 3] = [0.5, 1.0, 2.0];
 const SCALE: f64 = 0.01;
 
@@ -109,6 +109,7 @@ fn algorithm(idx: usize, mem_bytes: usize) -> Algorithm {
             cfg.internal = InternalAlgo::PlaneSweepTrie;
             Algorithm::Pbsm(cfg)
         }
+        "twolayer" => Algorithm::two_layer(mem_bytes),
         _ => Algorithm::s3j_replicated(mem_bytes),
     }
 }

@@ -30,12 +30,20 @@ use crate::json::{escape, Json};
 /// Algorithms the service accepts (`exec`-streamable joins; the sweep-line
 /// baselines have no partition phase and no cancel support, so they stay
 /// CLI-only).
-pub const ALGOS: [&str; 5] = ["pbsm", "pbsm-trie", "pbsm-sort", "s3j", "s3j-orig"];
+pub const ALGOS: [&str; 6] = [
+    "pbsm",
+    "pbsm-trie",
+    "pbsm-sort",
+    "twolayer",
+    "s3j",
+    "s3j-orig",
+];
 
 /// Subset of [`ALGOS`] the durable-run machinery can checkpoint — the only
 /// algorithms `reuse`/`crash` requests can serve (PR 4: sort-phase dedup and
-/// the S³J ablation scan are refused by the checkpoint layer).
-pub const CHECKPOINTABLE: [&str; 3] = ["pbsm", "pbsm-trie", "s3j"];
+/// the S³J ablation scan are refused by the checkpoint layer; the two-layer
+/// class scheme, like RPM, dedups online and checkpoints fine).
+pub const CHECKPOINTABLE: [&str; 4] = ["pbsm", "pbsm-trie", "twolayer", "s3j"];
 
 /// Dataset generators the `register` command understands (same set and
 /// sizing rules as the `sjoin` CLI).
@@ -205,6 +213,7 @@ pub fn algorithm(name: &str, mem: usize, threads: usize) -> Result<Algorithm, St
             Algorithm::Pbsm(cfg)
         }
         "pbsm-sort" => Algorithm::pbsm_original(mem),
+        "twolayer" => Algorithm::two_layer(mem),
         "s3j" => Algorithm::s3j_replicated(mem),
         "s3j-orig" => Algorithm::s3j_original(mem),
         other => return Err(format!("unknown algorithm {other}")),

@@ -125,7 +125,7 @@ fn total_time_identity() {
 }
 
 /// The planner's corrected predictions stay within 25 % of the committed
-/// bench corpus (`BENCH_pr6.json` + `planner-coeffs.json`) on candidates
+/// bench corpus (`BENCH_pr10.json` + `planner-coeffs.json`) on candidates
 /// and the I/O meters — the bound `planner-eval --fit` achieved when the
 /// coefficients were committed, pinned here so silent model drift (or a
 /// stale coefficients file) fails the suite instead of degrading picks.
@@ -156,7 +156,7 @@ fn planner_predictions_within_25pct_of_committed_corpus() {
         |mb: f64| -> usize { ((mb * 2.0 * 1024.0 * 1024.0) * CORPUS_SCALE).max(4096.0) as usize };
 
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    let corpus = std::fs::read_to_string(root.join("BENCH_pr6.json")).expect("corpus");
+    let corpus = std::fs::read_to_string(root.join("BENCH_pr10.json")).expect("corpus");
     let coeffs = Coefficients::load(&root.join("planner-coeffs.json")).expect("coefficients");
     assert!(!coeffs.is_identity(), "committed coefficients must be fitted");
     assert_eq!(coeffs.scale, CORPUS_SCALE, "coefficients fitted at the corpus scale");
@@ -175,6 +175,22 @@ fn planner_predictions_within_25pct_of_committed_corpus() {
     let inputs = |join: &str| -> (Vec<Kpe>, Vec<Kpe>) {
         match join {
             "J5" => (cal_st.clone(), cal_st.clone()),
+            // bench::skew_inputs / bench::hisel_inputs, replicated at the
+            // corpus scale.
+            "SKEW" => {
+                let n = ((40_000.0 * CORPUS_SCALE) as usize).max(500);
+                (
+                    datagen::clustered(n, 8, 0.004, SEED),
+                    datagen::clustered(n, 8, 0.004, SEED + 1),
+                )
+            }
+            "HISEL" => {
+                let n = ((30_000.0 * CORPUS_SCALE) as usize).max(500);
+                (
+                    datagen::uniform(n, 0.008, SEED),
+                    datagen::uniform(n, 0.008, SEED + 1),
+                )
+            }
             _ => {
                 let p: f64 = join.strip_prefix('J').unwrap().parse().unwrap();
                 (datagen::scale(&la_rr, p), datagen::scale(&la_st, p))
@@ -196,11 +212,16 @@ fn planner_predictions_within_25pct_of_committed_corpus() {
         }
         let join = field(line, "join").expect("row join").to_owned();
         let algo = field(line, "algo").expect("row algo");
-        let mem = if join == "J5" { paper_mem(8.0) } else { paper_mem(2.0) };
+        let mem = match join.as_str() {
+            "J5" => paper_mem(8.0),
+            "SKEW" | "HISEL" => paper_mem(0.5),
+            _ => paper_mem(2.0),
+        };
         let choice = PlanChoice {
             algo: match algo {
                 "pbsm" => PlanAlgo::PbsmRpm,
                 "s3j" => PlanAlgo::S3jReplicated,
+                "twolayer" => PlanAlgo::TwoLayer,
                 other => panic!("unexpected corpus algo {other:?}"),
             },
             internal: InternalAlgo::PlaneSweepList,
@@ -245,7 +266,11 @@ fn planner_predictions_within_25pct_of_committed_corpus() {
         );
         checked += 1;
     }
-    assert_eq!(checked, 10, "corpus holds 5 joins x 2 algorithms at threads=1/channels=1");
+    assert_eq!(
+        checked, 14,
+        "corpus holds 5 joins x 2 algorithms plus 2 workloads x 2 algorithms \
+         at threads=1/channels=1"
+    );
 }
 
 /// S³J replication reduces intersection tests (the CPU side of Figure 11)

@@ -1,7 +1,7 @@
 //! Integration tests of the refinement step and the ε-distance join through
 //! the public API, cross-validated against exact-geometry brute force.
 
-use spatial_join_suite::{refine::SegmentIntersect, Algorithm, SpatialJoin};
+use spatial_join_suite::{refine::SegmentIntersect, sfc::Curve, Algorithm, SpatialJoin};
 
 fn gen(seed: u64, n: usize) -> datagen::LineDataset {
     datagen::LineNetwork {
@@ -111,6 +111,64 @@ fn eps_zero_distance_join_equals_intersection_refinement() {
     a.sort_unstable();
     b.sort_unstable();
     assert_eq!(a, b);
+}
+
+/// Metamorphic: the raster-interval pre-filter is invisible in the results
+/// — the pair set, filter stats and candidate counts are bit-identical with
+/// the filter on or off; only the raster counters move, and they must
+/// account for a nonzero share of candidates on line data.
+#[test]
+fn raster_filter_is_metamorphic_no_op_for_intersection() {
+    let r = gen(11, 1200);
+    let s = gen(12, 1200);
+    for algo in [Algorithm::pbsm_rpm(32 * 1024), Algorithm::two_layer(32 * 1024)] {
+        let name = algo.name();
+        let join = SpatialJoin::new(algo);
+        let plain = join.run_refined(
+            &r.kpes,
+            &s.kpes,
+            SegmentIntersect {
+                r: &r.segments,
+                s: &s.segments,
+            },
+        );
+        for curve in [Curve::Peano, Curve::Hilbert] {
+            let filtered = join
+                .try_run_refined_raster(&r, &s, curve)
+                .expect("fault-free run");
+            assert_eq!(filtered.pairs, plain.pairs, "{name} {curve:?}");
+            assert_eq!(filtered.refine.candidates, plain.refine.candidates, "{name}");
+            assert_eq!(filtered.refine.hits, plain.refine.hits, "{name}");
+            assert_eq!(plain.refine.raster_rejects, 0, "no raster stage, no counters");
+            assert!(
+                filtered.refine.raster_rejects > 0,
+                "{name} {curve:?}: raster stage never rejected a candidate"
+            );
+            assert!(filtered.refine.exact_tests() < filtered.refine.candidates);
+        }
+    }
+}
+
+/// The same transparency for the ε-distance join, where the ALL flag also
+/// enables certain accepts.
+#[test]
+fn raster_filter_is_metamorphic_no_op_for_distance() {
+    let r = gen(13, 700);
+    let s = gen(14, 700);
+    let join = SpatialJoin::new(Algorithm::pbsm_rpm(32 * 1024));
+    for eps in [0.001, 0.02] {
+        let plain = join.within_distance(&r, &s, eps);
+        let filtered = join
+            .try_within_distance_raster(&r, &s, eps, Curve::Hilbert)
+            .expect("fault-free run");
+        assert_eq!(filtered.pairs, plain.pairs, "eps = {eps}");
+        assert_eq!(filtered.refine.candidates, plain.refine.candidates);
+        assert_eq!(filtered.refine.hits, plain.refine.hits);
+        assert!(
+            filtered.refine.raster_rejects + filtered.refine.raster_accepts > 0,
+            "eps = {eps}: raster stage decided nothing"
+        );
+    }
 }
 
 #[test]
